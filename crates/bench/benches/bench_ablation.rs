@@ -1,0 +1,80 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * block-bitset vs per-term (paper-literal) weight evaluation inside
+//!   the HATT construction;
+//! * the Algorithm 3 cache vs literal Algorithm 2 traversals;
+//! * term ordering policies feeding the optimizer;
+//! * measurement-grouping cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatt_circuit::{optimize, trotter_circuit, TermOrder};
+use hatt_core::{hatt_with, HattOptions, Variant};
+use hatt_fermion::models::{FermiHubbard, NeutrinoModel};
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::FermionMapping;
+use hatt_sim::qwc_groups;
+
+fn bench_weight_kernel(c: &mut Criterion) {
+    // The engine ablation: identical output, different inner loop.
+    let h = MajoranaSum::from_fermion(&NeutrinoModel::new(3, 2).hamiltonian());
+    for (label, naive) in [("bitset", false), ("naive", true)] {
+        c.bench_function(&format!("ablation/weight_kernel/{label}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(hatt_with(
+                    &h,
+                    &HattOptions {
+                        variant: Variant::Cached,
+                        naive_weight: naive,
+                    },
+                ))
+            })
+        });
+    }
+}
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    let h = MajoranaSum::uniform_singles(24);
+    for (label, variant) in [("cached", Variant::Cached), ("walking", Variant::Paired)] {
+        c.bench_function(&format!("ablation/pairing_traversal/{label}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(hatt_with(
+                    &h,
+                    &HattOptions { variant, naive_weight: false },
+                ))
+            })
+        });
+    }
+}
+
+fn bench_term_ordering(c: &mut Criterion) {
+    let mut h = MajoranaSum::from_fermion(&FermiHubbard::new(2, 3).hamiltonian());
+    let _ = h.take_identity();
+    let mapping = hatt_with(&h, &HattOptions::default());
+    let hq = mapping.map_majorana_sum(&h);
+    for (label, order) in [
+        ("given", TermOrder::Given),
+        ("lexicographic", TermOrder::Lexicographic),
+        ("greedy_overlap", TermOrder::GreedyOverlap),
+    ] {
+        c.bench_function(&format!("ablation/term_order/{label}"), |b| {
+            b.iter(|| std::hint::black_box(optimize(&trotter_circuit(&hq, 1.0, 1, order))))
+        });
+    }
+}
+
+fn bench_qwc_grouping(c: &mut Criterion) {
+    let mut h = MajoranaSum::from_fermion(&FermiHubbard::new(2, 4).hamiltonian());
+    let _ = h.take_identity();
+    let mapping = hatt_with(&h, &HattOptions::default());
+    let hq = mapping.map_majorana_sum(&h);
+    c.bench_function("ablation/qwc_grouping/hubbard_2x4", |b| {
+        b.iter(|| std::hint::black_box(qwc_groups(&hq)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_weight_kernel, bench_cache_ablation, bench_term_ordering, bench_qwc_grouping
+);
+criterion_main!(benches);

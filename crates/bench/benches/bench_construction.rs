@@ -1,0 +1,77 @@
+//! Criterion benches for mapping construction — the Figure 12 scalability
+//! claim in benchmark form: HATT's O(N³) vs Algorithm 1's O(N⁴), plus the
+//! baselines and the exhaustive search at its small-N limit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatt_core::{hatt_with, HattOptions, Variant};
+use hatt_fermion::models::FermiHubbard;
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::{
+    balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner,
+};
+
+fn bench_variants_on_uniform(c: &mut Criterion) {
+    for n in [8usize, 16, 32] {
+        let h = MajoranaSum::uniform_singles(n);
+        for variant in [Variant::Unopt, Variant::Paired, Variant::Cached] {
+            let label = match variant {
+                Variant::Unopt => "unopt",
+                Variant::Paired => "paired",
+                Variant::Cached => "cached",
+            };
+            c.bench_function(&format!("construct/fig12/{label}/{n}modes"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(hatt_with(
+                        &h,
+                        &HattOptions { variant, naive_weight: false },
+                    ))
+                })
+            });
+        }
+    }
+}
+
+fn bench_variants_on_hubbard(c: &mut Criterion) {
+    let h = MajoranaSum::from_fermion(&FermiHubbard::new(2, 4).hamiltonian());
+    for variant in [Variant::Unopt, Variant::Cached] {
+        let label = if variant == Variant::Unopt { "unopt" } else { "cached" };
+        c.bench_function(&format!("construct/hubbard_2x4/{label}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(hatt_with(
+                    &h,
+                    &HattOptions { variant, naive_weight: false },
+                ))
+            })
+        });
+    }
+}
+
+fn bench_baseline_construction(c: &mut Criterion) {
+    let n = 32;
+    c.bench_function("construct/jw/32modes", |b| {
+        b.iter(|| std::hint::black_box(jordan_wigner(n)))
+    });
+    c.bench_function("construct/bk/32modes", |b| {
+        b.iter(|| std::hint::black_box(bravyi_kitaev(n)))
+    });
+    c.bench_function("construct/btt/32modes", |b| {
+        b.iter(|| std::hint::black_box(balanced_ternary_tree(n)))
+    });
+}
+
+fn bench_exhaustive_small(c: &mut Criterion) {
+    let h = MajoranaSum::uniform_singles(3);
+    c.bench_function("construct/fh_exhaustive/3modes", |b| {
+        b.iter(|| std::hint::black_box(exhaustive_optimal(&h)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_variants_on_uniform,
+        bench_variants_on_hubbard,
+        bench_baseline_construction,
+        bench_exhaustive_small
+);
+criterion_main!(benches);

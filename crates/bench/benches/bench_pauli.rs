@@ -1,0 +1,71 @@
+//! Criterion benches for the Pauli-algebra hot paths that dominate
+//! mapping application (Tables I–III): string products, commutation
+//! checks, and Hamiltonian assembly.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hatt_fermion::models::FermiHubbard;
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::{jordan_wigner, FermionMapping};
+use hatt_pauli::{Complex64, Pauli, PauliString, PauliSum};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_string(n: usize, rng: &mut StdRng) -> PauliString {
+    let mut s = PauliString::identity(n);
+    for q in 0..n {
+        s.set_op(q, Pauli::ALL[rng.gen_range(0..4)]);
+    }
+    s
+}
+
+fn bench_string_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [16usize, 64, 256] {
+        let a = random_string(n, &mut rng);
+        let b = random_string(n, &mut rng);
+        c.bench_function(&format!("pauli/mul/{n}q"), |bench| {
+            bench.iter(|| std::hint::black_box(a.mul(&b)))
+        });
+        c.bench_function(&format!("pauli/commutes/{n}q"), |bench| {
+            bench.iter(|| std::hint::black_box(a.commutes_with(&b)))
+        });
+        c.bench_function(&format!("pauli/weight/{n}q"), |bench| {
+            bench.iter(|| std::hint::black_box(a.weight()))
+        });
+    }
+}
+
+fn bench_sum_assembly(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 32;
+    let strings: Vec<PauliString> = (0..512).map(|_| random_string(n, &mut rng)).collect();
+    c.bench_function("pauli/sum_assembly/512x32q", |bench| {
+        bench.iter_batched(
+            || strings.clone(),
+            |strings| {
+                let mut sum = PauliSum::new(n);
+                for s in strings {
+                    sum.add(Complex64::real(0.25), s);
+                }
+                std::hint::black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hamiltonian_mapping(c: &mut Criterion) {
+    // Applying JW to a Hubbard 3×3 Hamiltonian: the Table II inner loop.
+    let h = MajoranaSum::from_fermion(&FermiHubbard::new(3, 3).hamiltonian());
+    let jw = jordan_wigner(h.n_modes());
+    c.bench_function("pauli/map_hubbard_3x3/jw", |bench| {
+        bench.iter(|| std::hint::black_box(jw.map_majorana_sum(&h)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_string_ops, bench_sum_assembly, bench_hamiltonian_mapping
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches for the full compilation pipeline behind Tables
+//! I–V: Hamiltonian mapping, Trotter synthesis, the optimizer, the
+//! Pauli-network synthesizer, and routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hatt_circuit::{
+    optimize, route_sabre, rustiq_trotter, trotter_circuit, CouplingMap, RouterOptions,
+    RustiqOptions, TermOrder,
+};
+use hatt_core::hatt;
+use hatt_fermion::models::FermiHubbard;
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::FermionMapping;
+
+fn workload() -> (MajoranaSum, hatt_pauli::PauliSum) {
+    let mut h = MajoranaSum::from_fermion(&FermiHubbard::new(2, 3).hamiltonian());
+    let _ = h.take_identity();
+    let mapping = hatt(&h);
+    let hq = mapping.map_majorana_sum(&h);
+    (h, hq)
+}
+
+fn bench_trotter(c: &mut Criterion) {
+    let (_, hq) = workload();
+    c.bench_function("pipeline/trotter/hubbard_2x3", |b| {
+        b.iter(|| std::hint::black_box(trotter_circuit(&hq, 1.0, 1, TermOrder::Lexicographic)))
+    });
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let (_, hq) = workload();
+    let circuit = trotter_circuit(&hq, 1.0, 1, TermOrder::Lexicographic);
+    c.bench_function("pipeline/optimize/hubbard_2x3", |b| {
+        b.iter(|| std::hint::black_box(optimize(&circuit)))
+    });
+}
+
+fn bench_rustiq(c: &mut Criterion) {
+    let (_, hq) = workload();
+    c.bench_function("pipeline/rustiq_lite/hubbard_2x3", |b| {
+        b.iter(|| std::hint::black_box(rustiq_trotter(&hq, 1.0, 1, &RustiqOptions::default())))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let (_, hq) = workload();
+    let circuit = optimize(&trotter_circuit(&hq, 1.0, 1, TermOrder::Lexicographic));
+    let arch = CouplingMap::montreal27();
+    c.bench_function("pipeline/route_sabre/hubbard_2x3_montreal", |b| {
+        b.iter(|| std::hint::black_box(route_sabre(&circuit, &arch, &RouterOptions::default())))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trotter, bench_optimize, bench_rustiq, bench_routing
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Figure 10 — noisy-simulation bias/variance heatmaps for H2 and
+//! LiH-frz: a depolarizing (p1, p2) grid × the five mappings. The ground
+//! state (from the dense eigensolver) is prepared exactly, one Trotter
+//! step of `exp(-iHt)` runs under noise, and the energy is estimated from
+//! shots with QWC grouping — all bias/variance therefore comes from noise
+//! acting on the mapping-dependent circuit (see DESIGN.md §3).
+//!
+//! `cargo run --release -p hatt-bench --bin fig10`
+
+use hatt_bench::preprocess_keep_constant;
+use hatt_circuit::{optimize, trotter_circuit, TermOrder};
+use hatt_core::hatt;
+use hatt_fermion::models::molecule_catalog;
+use hatt_mappings::{
+    balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner, FermionMapping,
+};
+use hatt_sim::{bias_variance, energy_samples, ground_state, NoiseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn logspace(lo: f64, hi: f64, k: usize) -> Vec<f64> {
+    (0..k)
+        .map(|i| lo * (hi / lo).powf(i as f64 / (k - 1) as f64))
+        .collect()
+}
+
+fn main() {
+    println!("== Figure 10: noisy-simulation bias/variance (paper §V-D.1) ==");
+    for (mol_name, shots, reps, grid) in [("H2 sto3g", 1000usize, 8usize, 4usize), ("LiH sto3g frz", 300, 3, 2)]
+    {
+        let spec = molecule_catalog()
+            .into_iter()
+            .find(|m| m.name == mol_name)
+            .expect("known molecule");
+        let h = preprocess_keep_constant(&spec.hamiltonian());
+        let n = h.n_modes();
+        println!("\n--- {mol_name} ({n} modes); {shots} shots × {reps} repetitions ---");
+
+        let mappings: Vec<Box<dyn FermionMapping>> = {
+            let mut v: Vec<Box<dyn FermionMapping>> = vec![
+                Box::new(jordan_wigner(n)),
+                Box::new(bravyi_kitaev(n)),
+                Box::new(balanced_ternary_tree(n)),
+            ];
+            if n <= 5 {
+                v.push(Box::new(exhaustive_optimal(&h).0));
+            }
+            v.push(Box::new(hatt(&h).as_tree_mapping().clone()));
+            v
+        };
+
+        let p1s = logspace(1e-5, 1e-4, grid);
+        let p2s = logspace(1e-4, 1e-3, grid);
+        for mapping in &mappings {
+            let hq = mapping.map_majorana_sum(&h);
+            let (e0, psi0) = ground_state(&hq);
+            let circ = optimize(&trotter_circuit(&hq, 1.0, 1, TermOrder::Lexicographic));
+            let m = circ.metrics();
+            println!(
+                "\n  {} (cnot {}, depth {}): theoretical E0 = {:.6}",
+                mapping.name(),
+                m.cnot,
+                m.depth,
+                e0
+            );
+            println!("    {:>9} {:>9} {:>10} {:>10}", "p1", "p2", "bias", "variance");
+            let mut rng = StdRng::seed_from_u64(0xF16_0 + n as u64);
+            for &p1 in &p1s {
+                for &p2 in &p2s {
+                    let noise = NoiseModel::depolarizing(p1, p2);
+                    let mut samples = Vec::new();
+                    for _ in 0..reps {
+                        samples.extend(energy_samples(&psi0, &circ, &hq, &noise, shots, &mut rng));
+                    }
+                    let (bias, var) = bias_variance(&samples, e0);
+                    println!(
+                        "    {:>9.1e} {:>9.1e} {:>10.4} {:>10.5}",
+                        p1, p2, bias, var
+                    );
+                }
+            }
+        }
+    }
+    println!("\npaper reference: HATT shows the lowest bias/variance, close to the optimal FH");
+}

@@ -1,0 +1,99 @@
+//! Figure 12 — scalability: wall-clock construction time of the
+//! Fermihedral substitute (exponential), HATT (unopt, Algorithm 1,
+//! O(N⁴)), HATT (paired/uncached, Algorithm 2) and HATT (Algorithm 3,
+//! O(N³)) on the paper's `H_F = Σ_i M_i` workload, with log-log slope
+//! fits.
+//!
+//! `cargo run --release -p hatt-bench --bin fig12`
+
+use std::time::Instant;
+
+use hatt_core::{hatt_with, HattOptions, Variant};
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::exhaustive_optimal;
+
+fn time_variant(h: &MajoranaSum, variant: Variant, repeats: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let m = hatt_with(h, &HattOptions { variant, naive_weight: false });
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(m);
+        best = best.min(dt);
+    }
+    best
+}
+
+/// Least-squares slope of ln(t) against ln(n).
+fn loglog_slope(points: &[(usize, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(_, t)| t > 0.0)
+        .map(|&(n, t)| ((n as f64).ln(), t.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+fn main() {
+    println!("== Figure 12: scalability on H_F = Σ M_i (paper §V-E) ==");
+    println!(
+        "  {:>5} {:>12} {:>12} {:>12} {:>12}",
+        "N", "FH(s)", "unopt(s)", "paired(s)", "HATT(s)"
+    );
+    let mut fh_pts = Vec::new();
+    let mut unopt_pts = Vec::new();
+    let mut paired_pts = Vec::new();
+    let mut cached_pts = Vec::new();
+
+    for n in [2usize, 3, 4, 6, 8, 12, 16, 20, 24, 32, 40, 48, 64] {
+        let h = MajoranaSum::uniform_singles(n);
+        let fh = if n <= 4 {
+            let t0 = Instant::now();
+            let (m, _) = exhaustive_optimal(&h);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(m);
+            fh_pts.push((n, dt));
+            format!("{dt:.5}")
+        } else {
+            "-".to_string()
+        };
+        let unopt = time_variant(&h, Variant::Unopt, 3);
+        let paired = time_variant(&h, Variant::Paired, 3);
+        let cached = time_variant(&h, Variant::Cached, 3);
+        unopt_pts.push((n, unopt));
+        paired_pts.push((n, paired));
+        cached_pts.push((n, cached));
+        println!(
+            "  {:>5} {:>12} {:>12.5} {:>12.5} {:>12.5}",
+            n, fh, unopt, paired, cached
+        );
+    }
+
+    // Fit slopes on the large-N tail where asymptotics dominate.
+    let tail = |pts: &[(usize, f64)]| -> Vec<(usize, f64)> {
+        pts.iter().copied().filter(|&(n, _)| n >= 16).collect()
+    };
+    println!("\nlog-log slope fits (N ≥ 16):");
+    println!("  HATT (unopt)  ~ N^{:.2}   (paper: O(N^4))", loglog_slope(&tail(&unopt_pts)));
+    println!("  HATT (paired) ~ N^{:.2}   (uncached Algorithm 2)", loglog_slope(&tail(&paired_pts)));
+    println!("  HATT          ~ N^{:.2}   (paper: O(N^3))", loglog_slope(&tail(&cached_pts)));
+    if fh_pts.len() >= 2 {
+        let (n0, t0) = fh_pts[fh_pts.len() - 2];
+        let (n1, t1) = fh_pts[fh_pts.len() - 1];
+        println!(
+            "  FH substitute grows ×{:.1} from N={n0} to N={n1} (exponential, paper: O(4^N))",
+            t1 / t0.max(1e-12)
+        );
+    }
+    let (n_max, t_unopt) = *unopt_pts.last().unwrap();
+    let t_cached = cached_pts.last().unwrap().1;
+    println!(
+        "\nat N = {n_max}: HATT is {:.2}% faster than HATT (unopt)  (paper: 59.73%)",
+        100.0 * (t_unopt - t_cached) / t_unopt
+    );
+}

@@ -1,0 +1,283 @@
+//! Hardware coupling maps for architecture-aware compilation (Table IV):
+//! IBM-style heavy-hex lattices ("Montreal", "Manhattan") and a
+//! Google-style diagonal grid ("Sycamore").
+//!
+//! These are structural stand-ins with the published qubit counts (27, 65
+//! and 54) and the characteristic connectivity *style* of the named
+//! devices, generated programmatically rather than copied from vendor
+//! calibration data — see DESIGN.md §3.
+
+/// An undirected qubit connectivity graph with precomputed all-pairs
+/// shortest-path distances.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_circuit::CouplingMap;
+///
+/// let line = CouplingMap::line(4);
+/// assert_eq!(line.distance(0, 3), 3);
+/// assert!(line.are_adjacent(1, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingMap {
+    name: String,
+    n: usize,
+    adjacency: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+    dist: Vec<Vec<u32>>,
+}
+
+impl CouplingMap {
+    /// Builds a coupling map from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an edge is out of range, when the graph is
+    /// disconnected, or when `n` is zero.
+    pub fn new(name: impl Into<String>, n: usize, edge_list: &[(usize, usize)]) -> Self {
+        assert!(n > 0, "need at least one qubit");
+        let mut adjacency = vec![Vec::new(); n];
+        let mut edges = Vec::new();
+        for &(a, b) in edge_list {
+            assert!(a < n && b < n && a != b, "bad edge ({a}, {b}) for {n} qubits");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        for neighbors in &mut adjacency {
+            neighbors.sort_unstable();
+        }
+        edges.sort_unstable();
+        // BFS all-pairs distances.
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        for (s, row) in dist.iter_mut().enumerate() {
+            row[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(v) = queue.pop_front() {
+                for &w in &adjacency[v] {
+                    if row[w] == u32::MAX {
+                        row[w] = row[v] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            assert!(
+                row.iter().all(|&d| d != u32::MAX),
+                "coupling map must be connected"
+            );
+        }
+        CouplingMap {
+            name: name.into(),
+            n,
+            adjacency,
+            edges,
+            dist,
+        }
+    }
+
+    /// Architecture name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The undirected edge list (each edge once, `(low, high)`).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbors of a qubit.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Shortest-path distance between two physical qubits.
+    pub fn distance(&self, a: usize, b: usize) -> u32 {
+        self.dist[a][b]
+    }
+
+    /// Returns `true` when two qubits share an edge.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        self.dist[a][b] == 1
+    }
+
+    /// A 1D line of `n` qubits.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        CouplingMap::new(format!("line-{n}"), n, &edges)
+    }
+
+    /// A rows×cols grid with nearest-neighbour edges.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        CouplingMap::new(format!("grid-{rows}x{cols}"), rows * cols, &edges)
+    }
+
+    /// A fully connected device (trapped-ion style, e.g. IonQ Forte).
+    pub fn all_to_all(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        CouplingMap::new(format!("all-to-all-{n}"), n, &edges)
+    }
+
+    /// IBM-style heavy-hex lattice: `rails` horizontal rows of `cols`
+    /// qubits, with single connector qubits bridging adjacent rails every
+    /// `spacing` columns. With `stagger` set, successive gaps offset their
+    /// connector columns by half a spacing (the hexagonal pattern).
+    pub fn heavy_hex(name: &str, rails: usize, cols: usize, spacing: usize, stagger: bool) -> Self {
+        assert!(rails >= 2 && cols >= 2 && spacing >= 2, "degenerate heavy-hex");
+        let rail_q = |r: usize, c: usize| r * cols + c;
+        let mut n = rails * cols;
+        let mut edges = Vec::new();
+        for r in 0..rails {
+            for c in 0..cols.saturating_sub(1) {
+                edges.push((rail_q(r, c), rail_q(r, c + 1)));
+            }
+        }
+        for gap in 0..rails - 1 {
+            let offset = if stagger { (gap % 2) * (spacing / 2) } else { 0 };
+            let mut c = offset;
+            while c < cols {
+                let connector = n;
+                n += 1;
+                edges.push((rail_q(gap, c), connector));
+                edges.push((connector, rail_q(gap + 1, c)));
+                c += spacing;
+            }
+        }
+        CouplingMap::new(name, n, &edges)
+    }
+
+    /// The 27-qubit "Montreal"-style heavy-hex device.
+    pub fn montreal27() -> Self {
+        // 3 rails × 7 qubits + 2 gaps × 3 connectors = 27.
+        Self::heavy_hex("Montreal", 3, 7, 3, false)
+    }
+
+    /// The 65-qubit "Manhattan"-style heavy-hex device.
+    pub fn manhattan65() -> Self {
+        // 5 rails × 11 qubits + (3 + 2 + 3 + 2) staggered connectors = 65.
+        Self::heavy_hex("Manhattan", 5, 11, 5, true)
+    }
+
+    /// Google-style diagonal-grid device with `rows × cols` qubits.
+    pub fn sycamore_grid(rows: usize, cols: usize) -> Self {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows.saturating_sub(1) {
+            for c in 0..cols {
+                edges.push((idx(r, c), idx(r + 1, c)));
+                let diag = if r % 2 == 0 { c + 1 } else { c.wrapping_sub(1) };
+                if diag < cols {
+                    edges.push((idx(r, c), idx(r + 1, diag)));
+                }
+            }
+        }
+        CouplingMap::new(format!("Sycamore-{}x{}", rows, cols), rows * cols, &edges)
+    }
+
+    /// The 54-qubit "Sycamore"-style device (6 × 9 diagonal grid).
+    pub fn sycamore54() -> Self {
+        let mut m = Self::sycamore_grid(6, 9);
+        m.name = "Sycamore".to_string();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_distances() {
+        let m = CouplingMap::line(5);
+        assert_eq!(m.n_qubits(), 5);
+        assert_eq!(m.distance(0, 4), 4);
+        assert_eq!(m.edges().len(), 4);
+        assert_eq!(m.neighbors(2), &[1, 3]);
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let m = CouplingMap::grid(3, 4);
+        assert_eq!(m.distance(0, 11), 2 + 3);
+        assert!(m.are_adjacent(0, 1));
+        assert!(!m.are_adjacent(0, 5));
+    }
+
+    #[test]
+    fn named_devices_have_published_qubit_counts() {
+        assert_eq!(CouplingMap::montreal27().n_qubits(), 27);
+        assert_eq!(CouplingMap::manhattan65().n_qubits(), 65);
+        assert_eq!(CouplingMap::sycamore54().n_qubits(), 54);
+    }
+
+    #[test]
+    fn heavy_hex_is_sparse() {
+        // The staggered lattice keeps the true heavy-hex degree bound of 3.
+        let m = CouplingMap::manhattan65();
+        for q in 0..m.n_qubits() {
+            assert!(m.neighbors(q).len() <= 3, "qubit {q} has degree > 3");
+        }
+        // The unstaggered 27-qubit variant allows a few degree-4 junctions
+        // where connector columns align across gaps.
+        let mtl = CouplingMap::montreal27();
+        for q in 0..27 {
+            assert!(mtl.neighbors(q).len() <= 4, "qubit {q} has degree > 4");
+        }
+    }
+
+    #[test]
+    fn sycamore_has_diagonal_degree() {
+        let m = CouplingMap::sycamore54();
+        let max_deg = (0..54).map(|q| m.neighbors(q).len()).max().unwrap();
+        assert!(max_deg >= 3 && max_deg <= 4, "unexpected degree {max_deg}");
+    }
+
+    #[test]
+    fn all_to_all_distance_is_one() {
+        let m = CouplingMap::all_to_all(5);
+        assert_eq!(m.distance(0, 4), 1);
+        assert_eq!(m.edges().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_rejected() {
+        CouplingMap::new("bad", 4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad edge")]
+    fn self_loop_rejected() {
+        CouplingMap::new("bad", 2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let m = CouplingMap::new("dup", 2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(m.edges().len(), 1);
+    }
+}

@@ -1,0 +1,354 @@
+//! A Clifford tableau: tracks the conjugation action `P ↦ F P F†` of an
+//! accumulated Clifford frame `F` via the images of the `X_q`/`Z_q`
+//! generators, and synthesizes a circuit for `F†` by Gaussian
+//! elimination (Aaronson-Gottesman style).
+//!
+//! Used by the Rustiq-lite Pauli-network synthesizer: rotations are
+//! conjugated through the frame lazily (O(w) string products instead of
+//! rewriting every pending rotation on each appended gate), and the final
+//! frame restore costs O(n²) gates instead of replaying the history.
+
+use hatt_pauli::{Pauli, PauliString, Phase};
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// The conjugation tableau of a Clifford frame `F`.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_circuit::{CliffordTableau, Gate};
+/// use hatt_pauli::PauliString;
+///
+/// let mut t = CliffordTableau::identity(2);
+/// t.apply_gate(&Gate::H(0));
+/// t.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+/// // F X_0 F† for F = CNOT·H: X0 →(H)→ Z0, then Z on the CNOT control
+/// // is unchanged.
+/// let img = t.image(&"IX".parse::<PauliString>().unwrap());
+/// assert_eq!(img.to_string(), "IZ");
+/// // An X on the CNOT target spreads: X1 → X1 X0? No — X on target stays.
+/// let x1 = t.image(&"XI".parse::<PauliString>().unwrap());
+/// assert_eq!(x1.to_string(), "XI");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliffordTableau {
+    n: usize,
+    x_image: Vec<PauliString>,
+    z_image: Vec<PauliString>,
+}
+
+impl CliffordTableau {
+    /// The identity frame on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        CliffordTableau {
+            n,
+            x_image: (0..n).map(|q| PauliString::single(n, q, Pauli::X)).collect(),
+            z_image: (0..n).map(|q| PauliString::single(n, q, Pauli::Z)).collect(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` when the frame is the identity (up to signs being
+    /// exactly `+1`).
+    pub fn is_identity(&self) -> bool {
+        (0..self.n).all(|q| {
+            self.x_image[q] == PauliString::single(self.n, q, Pauli::X)
+                && self.z_image[q] == PauliString::single(self.n, q, Pauli::Z)
+        })
+    }
+
+    /// Extends the frame by one more gate: `F ← g ∘ F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-Clifford gates (rotations, `U3`).
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        let conj = |s: &mut PauliString| match *gate {
+            Gate::H(q) => s.conjugate_h(q),
+            Gate::S(q) => s.conjugate_s(q),
+            Gate::Sdg(q) => s.conjugate_sdg(q),
+            Gate::X(q) => {
+                // X P X: flips sign of Z/Y letters at q.
+                if s.z_bits().get(q) {
+                    *s = s.times_phase(Phase::MINUS_ONE);
+                }
+            }
+            Gate::Y(q) => {
+                if s.z_bits().get(q) != s.x_bits().get(q) {
+                    *s = s.times_phase(Phase::MINUS_ONE);
+                }
+            }
+            Gate::Z(q) => {
+                if s.x_bits().get(q) {
+                    *s = s.times_phase(Phase::MINUS_ONE);
+                }
+            }
+            Gate::Cnot { control, target } => s.conjugate_cnot(control, target),
+            Gate::Swap(a, b) => {
+                s.conjugate_cnot(a, b);
+                s.conjugate_cnot(b, a);
+                s.conjugate_cnot(a, b);
+            }
+            ref g => panic!("non-Clifford gate {g} cannot enter the tableau"),
+        };
+        for s in self.x_image.iter_mut().chain(self.z_image.iter_mut()) {
+            conj(s);
+        }
+    }
+
+    /// Applies every gate of a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-Clifford gates.
+    pub fn apply_circuit(&mut self, c: &Circuit) {
+        for g in c.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// The image `F P F†` of an arbitrary Pauli string.
+    pub fn image(&self, p: &PauliString) -> PauliString {
+        let mut out = PauliString::identity(self.n).times_phase(p.raw_phase());
+        // P = i^k ∏ X^x Z^z per qubit (X before Z within a qubit, matching
+        // the internal representation), so the image is the ordered
+        // product of generator images.
+        for q in 0..self.n {
+            if p.x_bits().get(q) {
+                out.mul_assign_right(&self.x_image[q]);
+            }
+            if p.z_bits().get(q) {
+                out.mul_assign_right(&self.z_image[q]);
+            }
+        }
+        out
+    }
+
+    /// Synthesizes a circuit realizing `F†` (up to global phase): applying
+    /// the returned gates to this tableau reduces it to the identity.
+    pub fn synthesize_inverse(&self) -> Circuit {
+        let mut t = self.clone();
+        let mut c = Circuit::new(self.n);
+        let mut emit = |t: &mut CliffordTableau, c: &mut Circuit, g: Gate| {
+            t.apply_gate(&g);
+            c.push(g);
+        };
+
+        for q in 0..self.n {
+            // --- Reduce x_image[q] to ±X_q. ---
+            reduce_row_to_x(&mut t, &mut c, q, true, &mut emit);
+            // --- Reduce z_image[q] to ±Z_q via the H-sandwich. ---
+            emit(&mut t, &mut c, Gate::H(q));
+            reduce_row_to_x(&mut t, &mut c, q, false, &mut emit);
+            emit(&mut t, &mut c, Gate::H(q));
+            // --- Fix signs. ---
+            let x_neg = t.x_image[q].coefficient_phase() == Phase::MINUS_ONE;
+            let z_neg = t.z_image[q].coefficient_phase() == Phase::MINUS_ONE;
+            match (x_neg, z_neg) {
+                (true, true) => emit(&mut t, &mut c, Gate::Y(q)),
+                (true, false) => emit(&mut t, &mut c, Gate::Z(q)),
+                (false, true) => emit(&mut t, &mut c, Gate::X(q)),
+                (false, false) => {}
+            }
+        }
+        debug_assert!(t.is_identity(), "tableau reduction incomplete");
+        c
+    }
+}
+
+/// Reduces one row to `±X_q` using gates on columns `≥ q` only. When
+/// `primary` is `true` the row is `x_image[q]` (free gate choice,
+/// including a SWAP to bring an x-bit to column `q`); when `false` it is
+/// `z_image[q]` *after* an `H(q)` sandwich, where the structure guarantees
+/// an x-bit at `q` already and only `X_q`-preserving gates are used.
+fn reduce_row_to_x(
+    t: &mut CliffordTableau,
+    c: &mut Circuit,
+    q: usize,
+    primary: bool,
+    emit: &mut impl FnMut(&mut CliffordTableau, &mut Circuit, Gate),
+) {
+    let n = t.n;
+    let row = |t: &CliffordTableau| {
+        if primary {
+            t.x_image[q].clone()
+        } else {
+            t.z_image[q].clone()
+        }
+    };
+
+    if primary {
+        // Ensure an x-bit exists at some column ≥ q.
+        let r = row(t);
+        if !(q..n).any(|j| r.x_bits().get(j)) {
+            let j = (q..n)
+                .find(|&j| r.z_bits().get(j))
+                .expect("row must be supported on columns >= q");
+            emit(t, c, Gate::H(j));
+        }
+        // Bring the x-bit to column q.
+        let r = row(t);
+        if !r.x_bits().get(q) {
+            let j = (q..n)
+                .find(|&j| r.x_bits().get(j))
+                .expect("an x-bit exists by construction");
+            emit(t, c, Gate::Swap(q, j));
+        }
+    }
+    debug_assert!(row(t).x_bits().get(q), "x-bit at pivot column");
+
+    // Clear x-bits on other columns.
+    let r = row(t);
+    for j in (q + 1)..n {
+        if r.x_bits().get(j) {
+            emit(t, c, Gate::Cnot { control: q, target: j });
+        }
+    }
+    // Clear the z-bit at the pivot (letter Y → X).
+    let r = row(t);
+    if r.z_bits().get(q) {
+        emit(t, c, Gate::S(q));
+    }
+    // Clear remaining pure-Z columns: H then CNOT.
+    let r = row(t);
+    for j in (q + 1)..n {
+        if r.z_bits().get(j) {
+            emit(t, c, Gate::H(j));
+            emit(t, c, Gate::Cnot { control: q, target: j });
+        }
+    }
+    debug_assert_eq!(row(t).weight(), 1, "row reduced to a single letter");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().expect("valid string")
+    }
+
+    #[test]
+    fn identity_tableau_maps_strings_to_themselves() {
+        let t = CliffordTableau::identity(3);
+        for s in ["XYZ", "IZI", "YYX"] {
+            assert_eq!(t.image(&ps(s)), ps(s));
+        }
+        assert!(t.is_identity());
+    }
+
+    #[test]
+    fn images_match_direct_conjugation() {
+        // Build a random-ish frame and compare tableau images against
+        // conjugating the string directly, gate by gate.
+        let gates = vec![
+            Gate::H(0),
+            Gate::S(1),
+            Gate::Cnot { control: 0, target: 2 },
+            Gate::Sdg(2),
+            Gate::Cnot { control: 2, target: 1 },
+            Gate::H(1),
+            Gate::Swap(0, 1),
+        ];
+        let mut t = CliffordTableau::identity(3);
+        for g in &gates {
+            t.apply_gate(g);
+        }
+        for s in ["XII", "IYI", "IIZ", "XYZ", "ZZX", "YXY"] {
+            let mut direct = ps(s);
+            for g in &gates {
+                match *g {
+                    Gate::H(q) => direct.conjugate_h(q),
+                    Gate::S(q) => direct.conjugate_s(q),
+                    Gate::Sdg(q) => direct.conjugate_sdg(q),
+                    Gate::Cnot { control, target } => direct.conjugate_cnot(control, target),
+                    Gate::Swap(a, b) => {
+                        direct.conjugate_cnot(a, b);
+                        direct.conjugate_cnot(b, a);
+                        direct.conjugate_cnot(a, b);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            assert_eq!(t.image(&ps(s)), direct, "image mismatch for {s}");
+        }
+    }
+
+    #[test]
+    fn image_is_an_algebra_homomorphism() {
+        let mut t = CliffordTableau::identity(2);
+        t.apply_gate(&Gate::H(0));
+        t.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+        t.apply_gate(&Gate::S(1));
+        for (a, b) in [("XY", "ZZ"), ("YI", "IZ"), ("XX", "YY")] {
+            let (pa, pb) = (ps(a), ps(b));
+            assert_eq!(
+                t.image(&pa.mul(&pb)),
+                t.image(&pa).mul(&t.image(&pb)),
+                "homomorphism fails on {a}·{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthesize_inverse_resets_frames() {
+        let frames: Vec<Vec<Gate>> = vec![
+            vec![Gate::H(0)],
+            vec![Gate::S(0), Gate::H(1)],
+            vec![
+                Gate::H(0),
+                Gate::Cnot { control: 0, target: 1 },
+                Gate::S(1),
+                Gate::Cnot { control: 1, target: 2 },
+                Gate::Sdg(0),
+                Gate::Swap(1, 2),
+            ],
+            vec![
+                Gate::Cnot { control: 2, target: 0 },
+                Gate::H(2),
+                Gate::Cnot { control: 0, target: 1 },
+                Gate::H(1),
+                Gate::S(2),
+                Gate::Cnot { control: 1, target: 2 },
+            ],
+        ];
+        for gates in frames {
+            let mut t = CliffordTableau::identity(3);
+            for g in &gates {
+                t.apply_gate(g);
+            }
+            let inv = t.synthesize_inverse();
+            let mut check = t.clone();
+            check.apply_circuit(&inv);
+            assert!(
+                check.is_identity(),
+                "frame {gates:?} not reset by synthesized inverse"
+            );
+        }
+    }
+
+    #[test]
+    fn pauli_frame_signs_are_fixed() {
+        // A frame of plain Paulis only flips signs; the inverse must fix
+        // them via the sign-fixing X/Y/Z gates.
+        let mut t = CliffordTableau::identity(2);
+        t.apply_gate(&Gate::X(0));
+        t.apply_gate(&Gate::Z(1));
+        let inv = t.synthesize_inverse();
+        let mut check = t.clone();
+        check.apply_circuit(&inv);
+        assert!(check.is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Clifford")]
+    fn rotations_rejected() {
+        CliffordTableau::identity(1).apply_gate(&Gate::Rz(0, 0.1));
+    }
+}

@@ -1,0 +1,47 @@
+//! # hatt-circuit
+//!
+//! Quantum-circuit substrate for the HATT framework: a gate-list IR with
+//! the paper's cost metrics, Trotter synthesis of Pauli evolutions
+//! (§II-B.2, Fig. 2), an optimization pipeline (the "Qiskit L3" stand-in),
+//! a Rustiq-style Pauli-network synthesizer (Table V), and SABRE-style
+//! routing onto heavy-hex / Sycamore coupling maps (Table IV).
+//!
+//! # Example: compile a qubit Hamiltonian to an optimized circuit
+//!
+//! ```
+//! use hatt_circuit::{optimize, trotter_circuit, TermOrder};
+//! use hatt_pauli::{Complex64, PauliSum};
+//!
+//! let mut h = PauliSum::new(3);
+//! h.add(Complex64::real(0.5), "ZZI".parse()?);
+//! h.add(Complex64::real(0.5), "IZZ".parse()?);
+//! h.add(Complex64::real(0.2), "XIX".parse()?);
+//!
+//! let raw = trotter_circuit(&h, 1.0, 1, TermOrder::Lexicographic);
+//! let opt = optimize(&raw);
+//! assert!(opt.metrics().cnot <= raw.metrics().cnot);
+//! # Ok::<(), hatt_pauli::ParsePauliStringError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arch;
+mod circuit;
+mod clifford;
+mod gate;
+mod passes;
+mod route;
+mod rustiq;
+mod trotter;
+
+pub use arch::CouplingMap;
+pub use circuit::{Circuit, CircuitMetrics};
+pub use clifford::CliffordTableau;
+pub use gate::{mat2_mul, Gate, Mat2, MAT2_ID};
+pub use passes::{
+    accumulate_1q, cancel_adjacent_pairs, dist_up_to_phase, merge_single_qubit_runs, optimize,
+};
+pub use route::{route_sabre, RouterOptions, RoutingResult};
+pub use rustiq::{rustiq_trotter, synthesize_pauli_network, RustiqOptions};
+pub use trotter::{order_terms, pauli_evolution, trotter_circuit, trotter_circuit_order2, TermOrder};

@@ -1,0 +1,269 @@
+//! Circuit optimization passes — the "Qiskit L3" stand-in applied after
+//! Trotter synthesis in the paper's compilation pipeline (§V-B.3):
+//! single-qubit-run merging into `U3`, adjacent-inverse cancellation
+//! (including CNOT pairs), and RZ fusion.
+use hatt_pauli::Complex64;
+
+use crate::circuit::Circuit;
+use crate::gate::{mat2_mul, Gate, Mat2, MAT2_ID};
+
+/// Merges maximal runs of single-qubit gates into at most one `U3` per
+/// run (runs are delimited by two-qubit gates). Identity runs vanish.
+pub fn merge_single_qubit_runs(c: &Circuit) -> Circuit {
+    let n = c.n_qubits();
+    let mut pending: Vec<Option<Mat2>> = vec![None; n];
+    let mut out = Circuit::new(n);
+
+    let flush = |pending: &mut Vec<Option<Mat2>>, out: &mut Circuit, q: usize| {
+        if let Some(m) = pending[q].take() {
+            if let Some((theta, phi, lambda)) = Gate::u3_params(&m) {
+                out.push(Gate::U3 {
+                    q,
+                    theta,
+                    phi,
+                    lambda,
+                });
+            }
+        }
+    };
+
+    for g in c.gates() {
+        if let Some(m) = g.matrix1q() {
+            let q = g.qubits()[0];
+            let acc = pending[q].unwrap_or(MAT2_ID);
+            pending[q] = Some(mat2_mul(&m, &acc));
+        } else {
+            for q in g.qubits() {
+                flush(&mut pending, &mut out, q);
+            }
+            out.push(g.clone());
+        }
+    }
+    for q in 0..n {
+        flush(&mut pending, &mut out, q);
+    }
+    out
+}
+
+/// Cancels adjacent inverse pairs: identical CNOTs, H·H, S·S†, X·X, and
+/// fuses adjacent RZ rotations on the same qubit (dropping rotations that
+/// sum to zero). "Adjacent" means no intervening gate touches any shared
+/// qubit. Returns the rewritten circuit.
+pub fn cancel_adjacent_pairs(c: &Circuit) -> Circuit {
+    let n = c.n_qubits();
+    // For each qubit, the index (into `out`) of the last surviving gate
+    // touching it.
+    let mut last: Vec<Option<usize>> = vec![None; n];
+    let mut out: Vec<Option<Gate>> = Vec::with_capacity(c.len());
+
+    for g in c.gates() {
+        let qs = g.qubits();
+        // The candidate predecessor must be the last gate on *all* qubits
+        // of g.
+        let pred = qs
+            .iter()
+            .map(|&q| last[q])
+            .reduce(|a, b| if a == b { a } else { None })
+            .flatten();
+        if let Some(idx) = pred {
+            let prev = out[idx].clone().expect("live gate");
+            if prev.qubits() == qs {
+                // Exact inverse pair?
+                if prev.inverse() == *g {
+                    out[idx] = None;
+                    for &q in &qs {
+                        last[q] = previous_on_qubit(&out, idx, q);
+                    }
+                    continue;
+                }
+                // RZ fusion.
+                if let (Gate::Rz(q1, a), Gate::Rz(q2, b)) = (&prev, g) {
+                    if q1 == q2 {
+                        let sum = a + b;
+                        if sum.abs() < 1e-12 {
+                            out[idx] = None;
+                            last[*q1] = previous_on_qubit(&out, idx, *q1);
+                        } else {
+                            out[idx] = Some(Gate::Rz(*q1, sum));
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+        let idx = out.len();
+        out.push(Some(g.clone()));
+        for &q in &qs {
+            last[q] = Some(idx);
+        }
+    }
+
+    Circuit::from_gates(n, out.into_iter().flatten().collect())
+}
+
+fn previous_on_qubit(out: &[Option<Gate>], before: usize, q: usize) -> Option<usize> {
+    (0..before)
+        .rev()
+        .find(|&i| out[i].as_ref().is_some_and(|g| g.qubits().contains(&q)))
+}
+
+/// The full optimization pipeline: alternate CNOT/inverse cancellation and
+/// single-qubit-run merging until a fixpoint (bounded at 10 rounds).
+pub fn optimize(c: &Circuit) -> Circuit {
+    let mut current = c.clone();
+    for _ in 0..10 {
+        let cancelled = cancel_adjacent_pairs(&current);
+        let merged = merge_single_qubit_runs(&cancelled);
+        if merged == current {
+            return merged;
+        }
+        current = merged;
+    }
+    current
+}
+
+/// Convenience: fidelity-preserving unitary of a 1-qubit circuit segment
+/// (used by tests and the router's metrics sanity checks).
+pub fn accumulate_1q(c: &Circuit, q: usize) -> Mat2 {
+    let mut acc = MAT2_ID;
+    for g in c.gates() {
+        if g.qubits() == [q] {
+            if let Some(m) = g.matrix1q() {
+                acc = mat2_mul(&m, &acc);
+            }
+        }
+    }
+    acc
+}
+
+/// Frobenius distance between two 2×2 matrices up to global phase.
+pub fn dist_up_to_phase(a: &Mat2, b: &Mat2) -> f64 {
+    // Align the phases on the largest entry of b.
+    let mut best = (0, 0);
+    let mut mag = -1.0;
+    for i in 0..2 {
+        for j in 0..2 {
+            if b[i][j].abs() > mag {
+                mag = b[i][j].abs();
+                best = (i, j);
+            }
+        }
+    }
+    if mag < 1e-12 {
+        return f64::INFINITY;
+    }
+    let g = a[best.0][best.1] * b[best.0][best.1].recip();
+    let g = if g.abs() < 1e-12 {
+        Complex64::ONE
+    } else {
+        g * (1.0 / g.abs())
+    };
+    let mut d = 0.0;
+    for i in 0..2 {
+        for j in 0..2 {
+            let diff = a[i][j] - b[i][j] * g;
+            d += diff.norm_sqr();
+        }
+    }
+    d.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_cnot_cancels() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).cnot(0, 1);
+        let opt = cancel_adjacent_pairs(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn interleaved_cnots_do_not_cancel() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1).h(1).cnot(0, 1);
+        let opt = cancel_adjacent_pairs(&c);
+        assert_eq!(opt.metrics().cnot, 2);
+    }
+
+    #[test]
+    fn spectator_gates_do_not_block_cancellation() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1).h(2).cnot(0, 1);
+        let opt = cancel_adjacent_pairs(&c);
+        assert_eq!(opt.metrics().cnot, 0);
+        assert_eq!(opt.metrics().single_qubit, 1);
+    }
+
+    #[test]
+    fn rz_fusion_sums_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3).rz(0, 0.4);
+        let opt = cancel_adjacent_pairs(&c);
+        assert_eq!(opt.gates(), &[Gate::Rz(0, 0.7)]);
+        let mut c2 = Circuit::new(1);
+        c2.rz(0, 0.3).rz(0, -0.3);
+        assert!(cancel_adjacent_pairs(&c2).is_empty());
+    }
+
+    #[test]
+    fn h_h_and_s_sdg_cancel() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0).s(0).sdg(0);
+        assert!(cancel_adjacent_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn cascaded_cancellation_via_fixpoint() {
+        // cx, (h h), cx: one cancellation exposes the next.
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).h(1).h(1).cnot(0, 1);
+        let opt = optimize(&c);
+        assert!(opt.is_empty(), "got {opt}");
+    }
+
+    #[test]
+    fn merge_runs_to_single_u3() {
+        let mut c = Circuit::new(1);
+        c.h(0).s(0).rz(0, 0.4).h(0);
+        let merged = merge_single_qubit_runs(&c);
+        assert_eq!(merged.len(), 1);
+        assert!(matches!(merged.gates()[0], Gate::U3 { .. }));
+        // Matrix equivalence up to global phase.
+        let d = dist_up_to_phase(&accumulate_1q(&merged, 0), &accumulate_1q(&c, 0));
+        assert!(d < 1e-9, "distance {d}");
+    }
+
+    #[test]
+    fn identity_runs_vanish() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert!(merge_single_qubit_runs(&c).is_empty());
+        let mut c2 = Circuit::new(1);
+        c2.s(0).s(0).push(Gate::Z(0));
+        let merged = merge_single_qubit_runs(&c2);
+        assert!(merged.is_empty(), "S·S·Z = Z·Z = I, got {merged}");
+    }
+
+    #[test]
+    fn merging_respects_two_qubit_barriers() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).h(0);
+        let merged = merge_single_qubit_runs(&c);
+        // Two separate U3s around the CNOT.
+        assert_eq!(merged.metrics().single_qubit, 2);
+        assert_eq!(merged.metrics().cnot, 1);
+    }
+
+    #[test]
+    fn optimize_preserves_1q_unitary() {
+        let mut c = Circuit::new(1);
+        c.h(0).s(0).h(0).sdg(0).rz(0, 1.1).h(0).h(0).rz(0, -0.1);
+        let opt = optimize(&c);
+        let d = dist_up_to_phase(&accumulate_1q(&opt, 0), &accumulate_1q(&c, 0));
+        assert!(d < 1e-9, "distance {d}");
+        assert!(opt.len() <= 2);
+    }
+}

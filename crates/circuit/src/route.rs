@@ -1,0 +1,400 @@
+//! SABRE-style qubit routing — the Tetris stand-in for Table IV's
+//! architecture-aware compilation: map logical qubits onto a device's
+//! coupling graph and insert SWAPs so every CNOT acts on adjacent
+//! physical qubits.
+
+use crate::arch::CouplingMap;
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// The outcome of routing a circuit onto a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingResult {
+    /// The routed circuit on the device's physical qubits (SWAPs are
+    /// already decomposed into CNOT triples).
+    pub circuit: Circuit,
+    /// `initial_layout[logical] = physical`.
+    pub initial_layout: Vec<usize>,
+    /// `final_layout[logical] = physical` after all inserted SWAPs.
+    pub final_layout: Vec<usize>,
+    /// Number of SWAPs inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Heuristic weights of the router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterOptions {
+    /// Weight of the lookahead (extended) layer in the SWAP score.
+    pub lookahead_weight: f64,
+    /// Number of future 2-qubit gates in the extended layer.
+    pub lookahead_depth: usize,
+    /// Decay added to a qubit's score factor after it participates in a
+    /// SWAP (discourages ping-ponging).
+    pub decay: f64,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            lookahead_weight: 0.5,
+            lookahead_depth: 20,
+            decay: 0.02,
+        }
+    }
+}
+
+/// Routes `circuit` onto `arch` with a SABRE-style front-layer heuristic
+/// and a trivial initial layout.
+///
+/// # Panics
+///
+/// Panics when the device has fewer qubits than the circuit, or if the
+/// router fails to make progress (which would indicate a bug, not an
+/// input property — every connected device admits a routing).
+pub fn route_sabre(circuit: &Circuit, arch: &CouplingMap, opts: &RouterOptions) -> RoutingResult {
+    let n_logical = circuit.n_qubits();
+    assert!(
+        arch.n_qubits() >= n_logical,
+        "device has {} qubits, circuit needs {}",
+        arch.n_qubits(),
+        n_logical
+    );
+
+    // Layout: logical → physical, plus the inverse.
+    let mut phys_of: Vec<usize> = (0..n_logical).collect();
+    let mut logical_of: Vec<Option<usize>> = (0..arch.n_qubits())
+        .map(|p| if p < n_logical { Some(p) } else { None })
+        .collect();
+    let initial_layout = phys_of.clone();
+
+    // Dependency DAG over the gate list: a gate depends on the previous
+    // gate touching each of its qubits.
+    let gates = circuit.gates();
+    let mut preds_left: Vec<usize> = vec![0; gates.len()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    {
+        let mut last_on: Vec<Option<usize>> = vec![None; n_logical];
+        for (i, g) in gates.iter().enumerate() {
+            for q in g.qubits() {
+                if let Some(j) = last_on[q] {
+                    succs[j].push(i);
+                    preds_left[i] += 1;
+                }
+                last_on[q] = Some(i);
+            }
+        }
+    }
+    let mut front: Vec<usize> = (0..gates.len()).filter(|&i| preds_left[i] == 0).collect();
+    let mut out = Circuit::new(arch.n_qubits());
+    let mut swaps_inserted = 0usize;
+    let mut decay = vec![1.0f64; arch.n_qubits()];
+    let mut stall_rounds = 0usize;
+
+    let remap = |g: &Gate, phys_of: &[usize]| -> Gate {
+        match *g {
+            Gate::H(q) => Gate::H(phys_of[q]),
+            Gate::X(q) => Gate::X(phys_of[q]),
+            Gate::Y(q) => Gate::Y(phys_of[q]),
+            Gate::Z(q) => Gate::Z(phys_of[q]),
+            Gate::S(q) => Gate::S(phys_of[q]),
+            Gate::Sdg(q) => Gate::Sdg(phys_of[q]),
+            Gate::Rz(q, a) => Gate::Rz(phys_of[q], a),
+            Gate::Rx(q, a) => Gate::Rx(phys_of[q], a),
+            Gate::Ry(q, a) => Gate::Ry(phys_of[q], a),
+            Gate::U3 { q, theta, phi, lambda } => Gate::U3 {
+                q: phys_of[q],
+                theta,
+                phi,
+                lambda,
+            },
+            Gate::Cnot { control, target } => Gate::Cnot {
+                control: phys_of[control],
+                target: phys_of[target],
+            },
+            Gate::Swap(a, b) => Gate::Swap(phys_of[a], phys_of[b]),
+        }
+    };
+
+    while !front.is_empty() {
+        // Execute everything executable.
+        let mut executed_any = false;
+        let mut next_front = Vec::new();
+        for &i in &front {
+            let g = &gates[i];
+            let qs = g.qubits();
+            let executable = !g.is_two_qubit()
+                || arch.are_adjacent(phys_of[qs[0]], phys_of[qs[1]]);
+            if executable {
+                out.push(remap(g, &phys_of));
+                executed_any = true;
+                for &s in &succs[i] {
+                    preds_left[s] -= 1;
+                    if preds_left[s] == 0 {
+                        next_front.push(s);
+                    }
+                }
+            } else {
+                next_front.push(i);
+            }
+        }
+        front = next_front;
+        front.sort_unstable();
+        front.dedup();
+        if front.is_empty() {
+            break;
+        }
+        if executed_any {
+            stall_rounds = 0;
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            continue;
+        }
+
+        // Blocked: choose the best SWAP among edges touching front-layer
+        // qubits.
+        stall_rounds += 1;
+        assert!(
+            stall_rounds <= 4 * arch.n_qubits() * arch.n_qubits() + 64,
+            "router failed to make progress"
+        );
+        let blocked: Vec<(usize, usize)> = front
+            .iter()
+            .filter(|&&i| gates[i].is_two_qubit())
+            .map(|&i| {
+                let qs = gates[i].qubits();
+                (phys_of[qs[0]], phys_of[qs[1]])
+            })
+            .collect();
+        let lookahead: Vec<(usize, usize)> = collect_lookahead(
+            gates,
+            &front,
+            &succs,
+            &preds_left,
+            opts.lookahead_depth,
+        )
+        .into_iter()
+        .map(|(a, b)| (phys_of[a], phys_of[b]))
+        .collect();
+
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        if stall_rounds > 12 {
+            // Escape valve: the greedy heuristic is oscillating. Force
+            // guaranteed progress by marching the first blocked pair
+            // together along a shortest path.
+            let (pa, pb) = blocked[0];
+            let step = arch
+                .neighbors(pa)
+                .iter()
+                .copied()
+                .min_by_key(|&nb| arch.distance(nb, pb))
+                .expect("connected graph");
+            candidates.push((pa.min(step), pa.max(step)));
+        } else {
+            for &(pa, pb) in &blocked {
+                for &p in [pa, pb].iter() {
+                    for &nb in arch.neighbors(p) {
+                        candidates.push((p.min(nb), p.max(nb)));
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+        }
+
+        let score = |swap: (usize, usize)| -> f64 {
+            let map = |p: usize| -> usize {
+                if p == swap.0 {
+                    swap.1
+                } else if p == swap.1 {
+                    swap.0
+                } else {
+                    p
+                }
+            };
+            let front_cost: f64 = blocked
+                .iter()
+                .map(|&(a, b)| arch.distance(map(a), map(b)) as f64)
+                .sum();
+            let look_cost: f64 = lookahead
+                .iter()
+                .map(|&(a, b)| arch.distance(map(a), map(b)) as f64)
+                .sum();
+            let d = decay[swap.0].max(decay[swap.1]);
+            d * (front_cost + opts.lookahead_weight * look_cost)
+        };
+
+        let best = candidates
+            .iter()
+            .copied()
+            .min_by(|&a, &b| score(a).total_cmp(&score(b)))
+            .expect("blocked gates have swap candidates");
+
+        // Apply the SWAP to the layout and the output circuit.
+        out.push(Gate::Swap(best.0, best.1));
+        swaps_inserted += 1;
+        decay[best.0] += opts.decay;
+        decay[best.1] += opts.decay;
+        let (la, lb) = (logical_of[best.0], logical_of[best.1]);
+        if let Some(l) = la {
+            phys_of[l] = best.1;
+        }
+        if let Some(l) = lb {
+            phys_of[l] = best.0;
+        }
+        logical_of.swap(best.0, best.1);
+    }
+
+    out.decompose_swaps();
+    RoutingResult {
+        circuit: out,
+        initial_layout,
+        final_layout: phys_of,
+        swaps_inserted,
+    }
+}
+
+/// Gathers the next `depth` two-qubit gates after the front layer (the
+/// extended set of the SABRE heuristic), as logical qubit pairs.
+///
+/// The walk is budgeted: at most `16·depth` gates are visited so a stall
+/// round costs O(depth) rather than O(total gates).
+fn collect_lookahead(
+    gates: &[Gate],
+    front: &[usize],
+    succs: &[Vec<usize>],
+    preds_left: &[usize],
+    depth: usize,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
+    let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
+    let mut decremented: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut budget = 16 * depth.max(1);
+    while let Some(i) = queue.pop_front() {
+        if out.len() >= depth || budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let in_front = front.binary_search(&i).is_ok();
+        if gates[i].is_two_qubit() && !in_front {
+            let qs = gates[i].qubits();
+            out.push((qs[0], qs[1]));
+        }
+        for &s in &succs[i] {
+            let left = decremented
+                .entry(s)
+                .or_insert(preds_left[s])
+                .saturating_sub(1);
+            decremented.insert(s, left);
+            if left == 0 && seen.insert(s) {
+                queue.push_back(s);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routed_ok(c: &Circuit, arch: &CouplingMap) -> RoutingResult {
+        let result = route_sabre(c, arch, &RouterOptions::default());
+        // Every 2q gate in the output must act on adjacent qubits.
+        for g in result.circuit.gates() {
+            if g.is_two_qubit() {
+                let qs = g.qubits();
+                assert!(
+                    arch.are_adjacent(qs[0], qs[1]),
+                    "gate {g} not adjacent after routing"
+                );
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn adjacent_gates_route_without_swaps() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1).cnot(1, 2);
+        let r = routed_ok(&c, &CouplingMap::line(3));
+        assert_eq!(r.swaps_inserted, 0);
+        assert_eq!(r.circuit.metrics().cnot, 2);
+    }
+
+    #[test]
+    fn distant_gates_get_swaps() {
+        let mut c = Circuit::new(4);
+        c.cnot(0, 3);
+        let r = routed_ok(&c, &CouplingMap::line(4));
+        assert!(r.swaps_inserted >= 1);
+        // 1 CNOT + 3 per swap.
+        assert_eq!(r.circuit.metrics().cnot, 1 + 3 * r.swaps_inserted);
+    }
+
+    #[test]
+    fn single_qubit_gates_always_execute() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2).cnot(0, 2);
+        let r = routed_ok(&c, &CouplingMap::line(3));
+        assert_eq!(r.circuit.metrics().single_qubit, 3);
+    }
+
+    #[test]
+    fn all_to_all_needs_no_swaps() {
+        let mut c = Circuit::new(5);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    c.cnot(a, b);
+                }
+            }
+        }
+        let r = routed_ok(&c, &CouplingMap::all_to_all(5));
+        assert_eq!(r.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn dependencies_are_preserved() {
+        // cx(0,1) then cx(1,2): output order must keep the q1 dependency.
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1).cnot(1, 2).h(1);
+        let r = routed_ok(&c, &CouplingMap::line(3));
+        let pos_cx01 = r
+            .circuit
+            .gates()
+            .iter()
+            .position(|g| matches!(g, Gate::Cnot { control: 0, target: 1 }))
+            .unwrap();
+        let pos_cx12 = r
+            .circuit
+            .gates()
+            .iter()
+            .position(|g| matches!(g, Gate::Cnot { control: 1, target: 2 }))
+            .unwrap();
+        assert!(pos_cx01 < pos_cx12);
+    }
+
+    #[test]
+    fn heavy_hex_routing_succeeds() {
+        let arch = CouplingMap::montreal27();
+        let mut c = Circuit::new(10);
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                c.cnot(i, j);
+            }
+        }
+        let r = routed_ok(&c, &arch);
+        assert!(r.swaps_inserted > 0);
+        assert_eq!(r.initial_layout.len(), 10);
+        assert_eq!(r.final_layout.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "device has")]
+    fn small_device_rejected() {
+        let mut c = Circuit::new(5);
+        c.cnot(0, 4);
+        let _ = route_sabre(&c, &CouplingMap::line(3), &RouterOptions::default());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the Clifford tableau and circuit plumbing that do
+//! not need a state-vector simulator: random Clifford circuits must
+//! satisfy `C · C⁻¹ = I` at the tableau level, conjugation must be an
+//! algebra automorphism, and the synthesized inverse must always reset
+//! the frame.
+
+use hatt_circuit::{Circuit, CliffordTableau, Gate};
+use hatt_pauli::{Pauli, PauliString};
+use proptest::prelude::*;
+
+fn arb_clifford_gate(n: usize) -> impl Strategy<Value = Gate> {
+    (0usize..5, 0usize..n, 0usize..n).prop_map(move |(kind, a, b)| {
+        let b = if a == b { (b + 1) % n } else { b };
+        match kind {
+            0 => Gate::H(a),
+            1 => Gate::S(a),
+            2 => Gate::Sdg(a),
+            3 => Gate::Cnot { control: a, target: b },
+            _ => Gate::Swap(a, b),
+        }
+    })
+}
+
+fn arb_clifford_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_clifford_gate(n), 1..len)
+        .prop_map(move |gates| Circuit::from_gates(n, gates))
+}
+
+fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
+    proptest::collection::vec(0usize..4, n).prop_map(move |ops| {
+        let pairs: Vec<(usize, Pauli)> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(q, k)| (q, Pauli::ALL[k]))
+            .collect();
+        PauliString::from_ops(pairs.len(), &pairs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn circuit_inverse_resets_tableau(c in (2usize..5).prop_flat_map(|n| arb_clifford_circuit(n, 24))) {
+        let mut t = CliffordTableau::identity(c.n_qubits());
+        t.apply_circuit(&c);
+        t.apply_circuit(&c.inverse());
+        prop_assert!(t.is_identity(), "C · C⁻¹ ≠ I for {c}");
+    }
+
+    #[test]
+    fn synthesized_inverse_resets_any_frame(
+        c in (2usize..5).prop_flat_map(|n| arb_clifford_circuit(n, 24))
+    ) {
+        let mut t = CliffordTableau::identity(c.n_qubits());
+        t.apply_circuit(&c);
+        let inv = t.synthesize_inverse();
+        let mut check = t.clone();
+        check.apply_circuit(&inv);
+        prop_assert!(check.is_identity(), "synthesized inverse failed for {c}");
+        // The synthesized inverse is O(n²) gates, never a history replay.
+        prop_assert!(inv.len() <= 24 * c.n_qubits() * c.n_qubits() + 8);
+    }
+
+    #[test]
+    fn conjugation_is_an_automorphism(
+        (c, a, b) in (2usize..4).prop_flat_map(|n| {
+            (arb_clifford_circuit(n, 16), arb_string(n), arb_string(n))
+        })
+    ) {
+        let mut t = CliffordTableau::identity(c.n_qubits());
+        t.apply_circuit(&c);
+        // Products map to products…
+        prop_assert_eq!(t.image(&a.mul(&b)), t.image(&a).mul(&t.image(&b)));
+        // …and commutation structure is preserved.
+        prop_assert_eq!(
+            a.commutes_with(&b),
+            t.image(&a).commutes_with(&t.image(&b))
+        );
+        // Weights may change, but Hermiticity cannot.
+        prop_assert_eq!(a.is_hermitian(), t.image(&a).is_hermitian());
+    }
+
+    #[test]
+    fn metrics_are_consistent(c in (2usize..6).prop_flat_map(|n| arb_clifford_circuit(n, 40))) {
+        let m = c.metrics();
+        prop_assert_eq!(m.total, c.len());
+        prop_assert!(m.depth <= swap_aware_len(&c));
+        prop_assert!(m.depth >= 1);
+        // Decomposing SWAPs preserves the CNOT metric.
+        let mut d = c.clone();
+        d.decompose_swaps();
+        prop_assert_eq!(d.metrics().cnot, m.cnot);
+        prop_assert_eq!(d.metrics().single_qubit, m.single_qubit);
+    }
+
+    #[test]
+    fn inverse_is_involutive(c in (2usize..5).prop_flat_map(|n| arb_clifford_circuit(n, 20))) {
+        prop_assert_eq!(c.inverse().inverse(), c.clone());
+    }
+}
+
+fn swap_aware_len(c: &Circuit) -> usize {
+    c.gates()
+        .iter()
+        .map(|g| if matches!(g, Gate::Swap(..)) { 3 } else { 1 })
+        .sum()
+}

@@ -1,0 +1,533 @@
+//! The Hamiltonian-Adaptive Ternary Tree construction — Algorithms 1, 2
+//! and 3 of the paper.
+//!
+//! All three variants share the bottom-up skeleton: start from the
+//! `2N + 1` free leaves (the node set `U`), and for `N` iterations pick
+//! three current roots, attach a new parent (settling one qubit), and
+//! reduce the Hamiltonian. They differ in *how the triple is selected*:
+//!
+//! * [`Variant::Unopt`] — Algorithm 1: free choice over all `C(|U|, 3)`
+//!   triples, minimizing the settled weight. `O(N⁴)` total; does **not**
+//!   preserve the vacuum state.
+//! * [`Variant::Paired`] — Algorithm 2: only `(O_X, O_Z)` are free; `O_Y`
+//!   is derived by walking down to `descZ(O_X)`, picking its partner
+//!   leaf, and walking back up to the node set. Preserves the vacuum
+//!   state; traversals make it `O(N⁴)` worst case.
+//! * [`Variant::Cached`] — Algorithm 3 (the default): Algorithm 2 with
+//!   the `mdown : O → descZ(O)` and `mup : descZ(O) → O` maps replacing
+//!   both traversals with O(1) lookups, for `O(N³)` total.
+
+use std::time::Instant;
+
+use hatt_fermion::{FermionOperator, MajoranaSum};
+use hatt_mappings::{
+    FermionMapping, NodeId, TermEngine, TernaryTreeBuilder, TernaryTree, TreeMapping,
+};
+use hatt_pauli::{PauliString, PauliSum};
+
+use crate::stats::{ConstructionStats, IterationStats};
+
+/// Which of the paper's algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// Algorithm 1: free triple selection, `O(N⁴)`, no vacuum guarantee.
+    Unopt,
+    /// Algorithm 2: operator pairing with literal tree traversals.
+    Paired,
+    /// Algorithm 3: operator pairing with O(1) cached maps (default).
+    #[default]
+    Cached,
+}
+
+impl Variant {
+    /// Short display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Unopt => "HATT (unopt)",
+            Variant::Paired => "HATT (paired, uncached)",
+            Variant::Cached => "HATT",
+        }
+    }
+}
+
+/// Construction options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HattOptions {
+    /// Algorithm variant.
+    pub variant: Variant,
+    /// Use the paper's per-term weight scan instead of the block-bitset
+    /// kernel (ablation; identical results, slower).
+    pub naive_weight: bool,
+}
+
+/// The result of a HATT construction: a tree-backed fermion-to-qubit
+/// mapping plus instrumentation.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_core::hatt;
+/// use hatt_fermion::{FermionOperator, MajoranaSum};
+/// use hatt_mappings::{validate, FermionMapping};
+/// use hatt_pauli::Complex64;
+///
+/// // The paper's Equation (3) Hamiltonian.
+/// let mut hf = FermionOperator::new(3);
+/// hf.add_one_body(Complex64::ONE, 0, 0);
+/// hf.add_two_body(Complex64::real(2.0), 1, 2, 1, 2);
+/// let h = MajoranaSum::from_fermion(&hf);
+///
+/// let mapping = hatt(&h);
+/// let report = validate(&mapping);
+/// assert!(report.is_valid());
+/// assert!(report.vacuum_preserving);
+/// assert_eq!(mapping.stats().total_weight(), 5); // 1 + 2 + 2, as in §IV-B
+/// ```
+#[derive(Debug, Clone)]
+pub struct HattMapping {
+    mapping: TreeMapping,
+    stats: ConstructionStats,
+    options: HattOptions,
+}
+
+impl HattMapping {
+    /// The underlying ternary tree.
+    pub fn tree(&self) -> &TernaryTree {
+        self.mapping.tree()
+    }
+
+    /// Construction statistics (Figure 12 / Table VI instrumentation).
+    pub fn stats(&self) -> &ConstructionStats {
+        &self.stats
+    }
+
+    /// The options the mapping was built with.
+    pub fn options(&self) -> &HattOptions {
+        &self.options
+    }
+
+    /// Access to the inner [`TreeMapping`].
+    pub fn as_tree_mapping(&self) -> &TreeMapping {
+        &self.mapping
+    }
+}
+
+impl FermionMapping for HattMapping {
+    fn n_modes(&self) -> usize {
+        self.mapping.n_modes()
+    }
+
+    fn majorana(&self, k: usize) -> &PauliString {
+        self.mapping.majorana(k)
+    }
+
+    fn name(&self) -> &str {
+        self.options.variant.label()
+    }
+}
+
+/// Compiles a HATT mapping with default options (Algorithm 3).
+///
+/// # Panics
+///
+/// Panics when the Hamiltonian has zero modes.
+pub fn hatt(h: &MajoranaSum) -> HattMapping {
+    hatt_with(h, &HattOptions::default())
+}
+
+/// Compiles a HATT mapping directly from a second-quantized operator.
+pub fn hatt_for_fermion(op: &FermionOperator) -> HattMapping {
+    hatt(&MajoranaSum::from_fermion(op))
+}
+
+/// Compiles a HATT mapping with explicit options.
+///
+/// # Panics
+///
+/// Panics when the Hamiltonian has zero modes.
+pub fn hatt_with(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
+    let n = h.n_modes();
+    assert!(n > 0, "need at least one mode");
+    let start = Instant::now();
+    let mut engine = TermEngine::new(h);
+    let mut builder = TernaryTreeBuilder::new(n);
+    let mut state = PairingState::new(n);
+    let mut iterations = Vec::with_capacity(n);
+
+    for qubit in 0..n {
+        let mut iter_stats = IterationStats {
+            qubit,
+            ..Default::default()
+        };
+        let u = builder.roots();
+        let selection = match options.variant {
+            Variant::Unopt => select_unopt(&engine, &u, options, &mut iter_stats),
+            Variant::Paired => {
+                select_paired(&engine, &builder, &u, n, options, &mut iter_stats, None)
+            }
+            Variant::Cached => select_paired(
+                &engine,
+                &builder,
+                &u,
+                n,
+                options,
+                &mut iter_stats,
+                Some(&state),
+            ),
+        };
+        let [ox, oy, oz] = selection.children;
+        iter_stats.settled_weight = selection.weight;
+        let parent = builder.attach([ox, oy, oz]);
+        engine.reduce(parent, ox, oy, oz);
+        state.record_attach(&builder, parent, ox, oy, oz);
+        iterations.push(iter_stats);
+    }
+
+    let stats = ConstructionStats {
+        iterations,
+        n_terms: engine.n_terms(),
+        elapsed: start.elapsed(),
+    };
+    let tree = builder.finish();
+    let mapping = TreeMapping::with_identity_assignment(options.variant.label(), tree);
+    HattMapping {
+        mapping,
+        stats,
+        options: *options,
+    }
+}
+
+/// A chosen `[X, Y, Z]` child triple and its settled weight.
+struct Selection {
+    children: [NodeId; 3],
+    weight: usize,
+}
+
+fn weight_of(
+    engine: &TermEngine,
+    options: &HattOptions,
+    a: NodeId,
+    b: NodeId,
+    c: NodeId,
+) -> usize {
+    if options.naive_weight {
+        engine.weight_of_triple_naive(a, b, c)
+    } else {
+        engine.weight_of_triple(a, b, c)
+    }
+}
+
+/// Algorithm 1 selection: all unordered triples of `U` (branch labels do
+/// not affect weight, so combinations suffice — see `hatt-mappings`
+/// engine docs).
+fn select_unopt(
+    engine: &TermEngine,
+    u: &[NodeId],
+    options: &HattOptions,
+    stats: &mut IterationStats,
+) -> Selection {
+    let mut best = Selection {
+        children: [u[0], u[1], u[2]],
+        weight: usize::MAX,
+    };
+    for ai in 0..u.len() {
+        for bi in (ai + 1)..u.len() {
+            for ci in (bi + 1)..u.len() {
+                stats.candidates += 1;
+                let w = weight_of(engine, options, u[ai], u[bi], u[ci]);
+                if w < best.weight {
+                    best = Selection {
+                        children: [u[ai], u[bi], u[ci]],
+                        weight: w,
+                    };
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Algorithm 2/3 selection: free `(O_X, O_Z)`, derived `O_Y`.
+///
+/// When `cache` is `Some`, `descZ` / `traverse_up` are O(1) map lookups
+/// (Algorithm 3); otherwise they literally walk the partial tree inside
+/// the selection loop, exactly as Algorithm 2's pseudocode does.
+#[allow(clippy::too_many_arguments)]
+fn select_paired(
+    engine: &TermEngine,
+    builder: &TernaryTreeBuilder,
+    u: &[NodeId],
+    n: usize,
+    options: &HattOptions,
+    stats: &mut IterationStats,
+    cache: Option<&PairingState>,
+) -> Selection {
+    let rightmost_leaf: NodeId = 2 * n; // O_2N never pairs (paper §IV-B)
+    let mut best: Option<Selection> = None;
+
+    for &ox in u {
+        for &oz in u {
+            if oz == ox {
+                continue;
+            }
+            // descZ(O_X): the only unpaired leaf of O_X's subtree.
+            let x_leaf = match cache {
+                Some(state) => state.mdown[ox],
+                None => {
+                    let (leaf, steps) = walk_desc_z(builder, ox);
+                    stats.traversal_steps += steps;
+                    leaf
+                }
+            };
+            if x_leaf == rightmost_leaf {
+                continue; // discard: S_2N is the dropped string
+            }
+            // Partner leaf: even x pairs with x+1, odd with x−1.
+            let (y_leaf, swapped) = if x_leaf % 2 == 0 {
+                (x_leaf + 1, false)
+            } else {
+                (x_leaf - 1, true)
+            };
+            // traverse_up(O_y, U).
+            let oy = match cache {
+                Some(state) => state.mup[y_leaf],
+                None => {
+                    let (root, steps) = walk_up(builder, y_leaf);
+                    stats.traversal_steps += steps;
+                    root
+                }
+            };
+            if oy == oz || oy == ox {
+                continue; // O_Y collides with the chosen Z child
+            }
+            debug_assert!(u.contains(&oy), "derived O_Y must be a current root");
+            stats.candidates += 1;
+            let w = weight_of(engine, options, ox, oy, oz);
+            if best.as_ref().is_none_or(|b| w < b.weight) {
+                // Ensure the even leaf sits on the X branch so the pair
+                // carries (X, Y) and not (Y, X) (Algorithm 2 line 15).
+                let children = if swapped { [oy, ox, oz] } else { [ox, oy, oz] };
+                best = Some(Selection {
+                    children,
+                    weight: w,
+                });
+            }
+        }
+    }
+    best.expect("a valid paired selection always exists for |U| >= 3")
+}
+
+fn walk_desc_z(builder: &TernaryTreeBuilder, node: NodeId) -> (NodeId, u64) {
+    let mut steps = 0;
+    let mut v = node;
+    while let Some(c) = builder.child_z(v) {
+        v = c;
+        steps += 1;
+    }
+    (v, steps)
+}
+
+fn walk_up(builder: &TernaryTreeBuilder, node: NodeId) -> (NodeId, u64) {
+    let mut steps = 0;
+    let mut v = node;
+    while let Some(p) = builder.parent_of(v) {
+        v = p;
+        steps += 1;
+    }
+    (v, steps)
+}
+
+/// The `mdown` / `mup` maps of Algorithm 3.
+#[derive(Debug, Clone)]
+struct PairingState {
+    /// `O → descZ(O)` for current roots.
+    mdown: Vec<NodeId>,
+    /// `descZ(O) → O`: the current root owning each unpaired leaf.
+    mup: Vec<NodeId>,
+}
+
+impl PairingState {
+    fn new(n: usize) -> Self {
+        let n_nodes = 3 * n + 1;
+        let n_leaves = 2 * n + 1;
+        PairingState {
+            mdown: (0..n_nodes).collect(),
+            mup: (0..n_leaves).collect(),
+        }
+    }
+
+    /// Algorithm 3 lines 8–11: after attaching `parent` over
+    /// `(O_X, O_Y, O_Z)`, the parent's Z-descendant is `descZ(O_Z)`.
+    fn record_attach(
+        &mut self,
+        _builder: &TernaryTreeBuilder,
+        parent: NodeId,
+        _ox: NodeId,
+        _oy: NodeId,
+        oz: NodeId,
+    ) {
+        let zdesc = self.mdown[oz];
+        self.mdown[parent] = zdesc;
+        self.mup[zdesc] = parent;
+    }
+}
+
+/// Convenience: compiles HATT and applies it to the same Hamiltonian,
+/// returning the mapped qubit Hamiltonian alongside the mapping.
+pub fn compile(h: &MajoranaSum) -> (HattMapping, PauliSum) {
+    let mapping = hatt(h);
+    let hq = mapping.map_majorana_sum(h);
+    (mapping, hq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_mappings::validate;
+    use hatt_pauli::Complex64;
+
+    fn paper_example() -> MajoranaSum {
+        let mut hf = FermionOperator::new(3);
+        hf.add_one_body(Complex64::ONE, 0, 0);
+        hf.add_two_body(Complex64::real(2.0), 1, 2, 1, 2);
+        let mut m = MajoranaSum::from_fermion(&hf);
+        let _ = m.take_identity();
+        m
+    }
+
+    #[test]
+    fn paper_walkthrough_weights() {
+        // §III-C / §IV-B: step weights 1, 2, 2.
+        let mapping = hatt(&paper_example());
+        let weights: Vec<usize> = mapping
+            .stats()
+            .iterations
+            .iter()
+            .map(|it| it.settled_weight)
+            .collect();
+        assert_eq!(weights[0], 1, "first step should settle weight 1");
+        assert_eq!(mapping.stats().total_weight(), 5);
+    }
+
+    #[test]
+    fn paper_first_step_picks_o0_o1_o6() {
+        // The paper's first iteration groups O0, O1, O6 under qubit 0.
+        let mapping = hatt(&paper_example());
+        let tree = mapping.tree();
+        let q0 = tree.internal_of(0);
+        let mut ch = tree.children(q0).unwrap().to_vec();
+        ch.sort_unstable();
+        assert_eq!(ch, vec![0, 1, 6]);
+    }
+
+    #[test]
+    fn all_variants_are_valid() {
+        let h = paper_example();
+        for variant in [Variant::Unopt, Variant::Paired, Variant::Cached] {
+            let m = hatt_with(&h, &HattOptions { variant, naive_weight: false });
+            let report = validate(&m);
+            assert!(report.is_valid(), "{variant:?} invalid: {report:?}");
+            if variant != Variant::Unopt {
+                assert!(
+                    report.vacuum_preserving,
+                    "{variant:?} must preserve the vacuum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_and_paired_agree_exactly() {
+        for seed in 0..4 {
+            let op = hatt_fermion::models::random_hermitian(5, 6, 5, seed);
+            let h = MajoranaSum::from_fermion(&op);
+            let a = hatt_with(&h, &HattOptions { variant: Variant::Paired, naive_weight: false });
+            let b = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: false });
+            for k in 0..2 * h.n_modes() {
+                assert_eq!(a.majorana(k), b.majorana(k), "seed {seed}, M{k}");
+            }
+            // The cache removes all traversal work.
+            assert_eq!(b.stats().total_traversal_steps(), 0);
+            assert!(a.stats().total_traversal_steps() > 0);
+        }
+    }
+
+    #[test]
+    fn naive_weight_ablation_matches() {
+        let h = paper_example();
+        let fast = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: false });
+        let slow = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: true });
+        for k in 0..6 {
+            assert_eq!(fast.majorana(k), slow.majorana(k));
+        }
+    }
+
+    #[test]
+    fn objective_equals_mapped_weight() {
+        let h = paper_example();
+        let (mapping, hq) = compile(&h);
+        assert_eq!(hq.weight(), mapping.stats().total_weight());
+        assert!(hq.is_hermitian(1e-10));
+    }
+
+    #[test]
+    fn single_mode_gives_xy() {
+        let h = MajoranaSum::uniform_singles(1);
+        let m = hatt(&h);
+        assert_eq!(m.majorana(0).to_string(), "X");
+        assert_eq!(m.majorana(1).to_string(), "Y");
+        assert!(validate(&m).vacuum_preserving);
+    }
+
+    #[test]
+    fn vacuum_preserved_on_random_hamiltonians() {
+        for seed in 0..6 {
+            let op = hatt_fermion::models::random_hermitian(6, 8, 6, seed);
+            let h = MajoranaSum::from_fermion(&op);
+            let m = hatt(&h);
+            let report = validate(&m);
+            assert!(report.is_valid(), "seed {seed}: {report:?}");
+            assert!(report.vacuum_preserving, "seed {seed} breaks vacuum");
+        }
+    }
+
+    #[test]
+    fn unopt_candidate_counts_are_cubic_per_step() {
+        // Step 0 of an N-mode system evaluates C(2N+1, 3) triples.
+        let h = MajoranaSum::uniform_singles(4);
+        let m = hatt_with(&h, &HattOptions { variant: Variant::Unopt, naive_weight: false });
+        let first = &m.stats().iterations[0];
+        assert_eq!(first.candidates, 9 * 8 * 7 / 6);
+    }
+
+    #[test]
+    fn cached_candidate_counts_are_quadratic_per_step() {
+        let h = MajoranaSum::uniform_singles(4);
+        let m = hatt(&h);
+        let first = &m.stats().iterations[0];
+        // ≤ |U|·(|U|−1) ordered pairs, minus skips.
+        assert!(first.candidates <= 72, "got {}", first.candidates);
+        assert!(first.candidates >= 36, "got {}", first.candidates);
+    }
+
+    #[test]
+    fn beats_or_matches_balanced_tree_on_benchmarks() {
+        use hatt_fermion::models::FermiHubbard;
+        use hatt_mappings::balanced_ternary_tree;
+        let op = FermiHubbard::new(2, 2).hamiltonian();
+        let h = MajoranaSum::from_fermion(&op);
+        let hatt_w = hatt(&h).map_majorana_sum(&h).weight();
+        let btt_w = balanced_ternary_tree(8).map_majorana_sum(&h).weight();
+        assert!(
+            hatt_w <= btt_w,
+            "HATT ({hatt_w}) should not lose to BTT ({btt_w}) on Hubbard 2x2"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mode")]
+    fn zero_modes_rejected() {
+        let h = MajoranaSum::new(0);
+        let _ = hatt(&h);
+    }
+}

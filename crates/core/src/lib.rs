@@ -1,0 +1,41 @@
+//! # hatt-core
+//!
+//! The paper's primary contribution: the **Hamiltonian-Adaptive Ternary
+//! Tree** (HATT) fermion-to-qubit mapping construction — a Rust
+//! reproduction of *HATT: Hamiltonian Adaptive Ternary Tree for Optimizing
+//! Fermion-to-Qubit Mapping* (HPCA 2025).
+//!
+//! Three variants are implemented (see [`Variant`]):
+//!
+//! * **Algorithm 1** (`Unopt`): bottom-up greedy triple selection,
+//!   `O(N⁴)`;
+//! * **Algorithm 2** (`Paired`): vacuum-state-preserving operator pairing
+//!   with literal tree traversals;
+//! * **Algorithm 3** (`Cached`, default): the `mdown`/`mup` maps reduce
+//!   pairing traversals to O(1), for `O(N³)` total.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hatt_core::hatt_for_fermion;
+//! use hatt_fermion::models::FermiHubbard;
+//! use hatt_mappings::{jordan_wigner, validate, FermionMapping};
+//!
+//! let hf = FermiHubbard::new(2, 2).hamiltonian();
+//! let mapping = hatt_for_fermion(&hf);
+//! assert!(validate(&mapping).vacuum_preserving);
+//!
+//! // HATT adapts to the Hamiltonian: its Pauli weight beats Jordan-Wigner.
+//! let hatt_weight = mapping.map_fermion(&hf).weight();
+//! let jw_weight = jordan_wigner(8).map_fermion(&hf).weight();
+//! assert!(hatt_weight < jw_weight);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod algorithm;
+mod stats;
+
+pub use algorithm::{compile, hatt, hatt_for_fermion, hatt_with, HattMapping, HattOptions, Variant};
+pub use stats::{ConstructionStats, IterationStats};

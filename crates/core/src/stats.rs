@@ -1,0 +1,87 @@
+//! Construction instrumentation: per-iteration candidate counts, settled
+//! weights and timings, powering the paper's Figure 12 scalability study
+//! and Table VI weight comparison.
+
+use std::time::Duration;
+
+/// Statistics of one construction iteration (one qubit settled).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IterationStats {
+    /// The qubit settled in this iteration.
+    pub qubit: usize,
+    /// Number of candidate selections whose weight was evaluated.
+    pub candidates: u64,
+    /// Number of tree-traversal steps performed while pairing (walking
+    /// `descZ` / `traverse_up`); 0 for the cached variant, which replaces
+    /// them with O(1) map lookups.
+    pub traversal_steps: u64,
+    /// Hamiltonian Pauli weight settled on this qubit by the chosen
+    /// selection.
+    pub settled_weight: usize,
+}
+
+/// Statistics of a complete HATT construction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConstructionStats {
+    /// Per-iteration records, in construction order (qubit 0 first).
+    pub iterations: Vec<IterationStats>,
+    /// Number of (non-constant) Hamiltonian terms seen by the algorithm.
+    pub n_terms: usize,
+    /// Total wall-clock construction time.
+    pub elapsed: Duration,
+}
+
+impl ConstructionStats {
+    /// Total settled weight — the algorithm's objective value
+    /// (equals the mapped Hamiltonian's Pauli weight before term merging).
+    pub fn total_weight(&self) -> usize {
+        self.iterations.iter().map(|it| it.settled_weight).sum()
+    }
+
+    /// Total candidate selections evaluated across all iterations.
+    pub fn total_candidates(&self) -> u64 {
+        self.iterations.iter().map(|it| it.candidates).sum()
+    }
+
+    /// Total tree-traversal steps across all iterations.
+    pub fn total_traversal_steps(&self) -> u64 {
+        self.iterations.iter().map(|it| it.traversal_steps).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_iterations() {
+        let stats = ConstructionStats {
+            iterations: vec![
+                IterationStats {
+                    qubit: 0,
+                    candidates: 10,
+                    traversal_steps: 4,
+                    settled_weight: 1,
+                },
+                IterationStats {
+                    qubit: 1,
+                    candidates: 3,
+                    traversal_steps: 0,
+                    settled_weight: 2,
+                },
+            ],
+            n_terms: 4,
+            elapsed: Duration::from_millis(1),
+        };
+        assert_eq!(stats.total_weight(), 3);
+        assert_eq!(stats.total_candidates(), 13);
+        assert_eq!(stats.total_traversal_steps(), 4);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let stats = ConstructionStats::default();
+        assert_eq!(stats.total_weight(), 0);
+        assert_eq!(stats.total_candidates(), 0);
+    }
+}

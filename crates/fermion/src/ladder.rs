@@ -1,0 +1,268 @@
+//! Second-quantized fermionic operators: sums of creation/annihilation
+//! operator products.
+
+use std::fmt;
+
+use hatt_pauli::Complex64;
+
+/// A single ladder operator: `a†_mode` when `dagger` is set, else `a_mode`.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_fermion::LadderOp;
+///
+/// let op = LadderOp::create(3);
+/// assert!(op.dagger);
+/// assert_eq!(op.mode, 3);
+/// assert_eq!(op.to_string(), "a†3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LadderOp {
+    /// The fermionic mode the operator acts on.
+    pub mode: usize,
+    /// `true` for the creation operator `a†`, `false` for annihilation `a`.
+    pub dagger: bool,
+}
+
+impl LadderOp {
+    /// The creation operator `a†_mode`.
+    pub const fn create(mode: usize) -> Self {
+        LadderOp { mode, dagger: true }
+    }
+
+    /// The annihilation operator `a_mode`.
+    pub const fn annihilate(mode: usize) -> Self {
+        LadderOp {
+            mode,
+            dagger: false,
+        }
+    }
+
+    /// The Hermitian adjoint (creation ↔ annihilation).
+    pub const fn adjoint(self) -> Self {
+        LadderOp {
+            mode: self.mode,
+            dagger: !self.dagger,
+        }
+    }
+}
+
+impl fmt::Display for LadderOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dagger {
+            write!(f, "a†{}", self.mode)
+        } else {
+            write!(f, "a{}", self.mode)
+        }
+    }
+}
+
+/// A second-quantized fermionic operator: a weighted sum of ladder-operator
+/// products, e.g. `H_F = c0·a†0a0 + c2·a†0a†1a0a1`.
+///
+/// Products are stored verbatim (no normal ordering is imposed); the
+/// Majorana conversion in [`crate::MajoranaSum`] performs the full
+/// anticommutation-aware expansion.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_fermion::FermionOperator;
+/// use hatt_pauli::Complex64;
+///
+/// // The paper's Equation (3): H_F = a†0 a0 + 2 a†1 a†2 a1 a2.
+/// let mut h = FermionOperator::new(3);
+/// h.add_one_body(Complex64::ONE, 0, 0);
+/// h.add_two_body(Complex64::real(2.0), 1, 2, 1, 2);
+/// assert_eq!(h.n_terms(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FermionOperator {
+    n_modes: usize,
+    terms: Vec<(Complex64, Vec<LadderOp>)>,
+}
+
+impl FermionOperator {
+    /// Creates an empty operator on `n_modes` fermionic modes.
+    pub fn new(n_modes: usize) -> Self {
+        FermionOperator {
+            n_modes,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Number of fermionic modes.
+    #[inline]
+    pub fn n_modes(&self) -> usize {
+        self.n_modes
+    }
+
+    /// Number of stored product terms.
+    #[inline]
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when no terms are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Appends `coeff · op_1 op_2 … op_k` (identity product when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator's mode is out of range.
+    pub fn add_term(&mut self, coeff: Complex64, ops: Vec<LadderOp>) {
+        for op in &ops {
+            assert!(
+                op.mode < self.n_modes,
+                "mode {} out of range 0..{}",
+                op.mode,
+                self.n_modes
+            );
+        }
+        if !coeff.is_zero(0.0) {
+            self.terms.push((coeff, ops));
+        }
+    }
+
+    /// Adds the one-body term `coeff · a†_p a_q`.
+    pub fn add_one_body(&mut self, coeff: Complex64, p: usize, q: usize) {
+        self.add_term(coeff, vec![LadderOp::create(p), LadderOp::annihilate(q)]);
+    }
+
+    /// Adds the two-body term `coeff · a†_p a†_q a_r a_s`.
+    pub fn add_two_body(&mut self, coeff: Complex64, p: usize, q: usize, r: usize, s: usize) {
+        self.add_term(
+            coeff,
+            vec![
+                LadderOp::create(p),
+                LadderOp::create(q),
+                LadderOp::annihilate(r),
+                LadderOp::annihilate(s),
+            ],
+        );
+    }
+
+    /// Adds the number operator `coeff · n_p = coeff · a†_p a_p`.
+    pub fn add_number(&mut self, coeff: Complex64, p: usize) {
+        self.add_one_body(coeff, p, p);
+    }
+
+    /// Adds `coeff · a†_p a_q + conj(coeff) · a†_q a_p` (a Hermitian hop).
+    pub fn add_hopping(&mut self, coeff: Complex64, p: usize, q: usize) {
+        self.add_one_body(coeff, p, q);
+        self.add_one_body(coeff.conj(), q, p);
+    }
+
+    /// The Hermitian adjoint: coefficients conjugate and each product
+    /// reverses with every ladder operator daggered.
+    pub fn adjoint(&self) -> FermionOperator {
+        let mut out = FermionOperator::new(self.n_modes);
+        for (c, ops) in &self.terms {
+            let rev: Vec<LadderOp> = ops.iter().rev().map(|o| o.adjoint()).collect();
+            out.add_term(c.conj(), rev);
+        }
+        out
+    }
+
+    /// Iterator over `(coefficient, product)` terms.
+    pub fn iter(&self) -> impl Iterator<Item = (Complex64, &[LadderOp])> + '_ {
+        self.terms.iter().map(|(c, ops)| (*c, ops.as_slice()))
+    }
+
+    /// Merges another operator into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode counts differ.
+    pub fn add_operator(&mut self, other: &FermionOperator) {
+        assert_eq!(self.n_modes, other.n_modes, "mode count mismatch");
+        for (c, ops) in &other.terms {
+            self.terms.push((*c, ops.clone()));
+        }
+    }
+}
+
+impl fmt::Display for FermionOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (c, ops)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "({c})·")?;
+            if ops.is_empty() {
+                write!(f, "1")?;
+            }
+            for op in ops {
+                write!(f, "{op}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_op_basics() {
+        let c = LadderOp::create(2);
+        let a = LadderOp::annihilate(2);
+        assert_eq!(c.adjoint(), a);
+        assert_eq!(a.adjoint(), c);
+        assert_eq!(c.to_string(), "a†2");
+        assert_eq!(a.to_string(), "a2");
+    }
+
+    #[test]
+    fn building_terms() {
+        let mut h = FermionOperator::new(3);
+        h.add_number(Complex64::ONE, 0);
+        h.add_hopping(Complex64::real(0.5), 0, 1);
+        h.add_two_body(Complex64::real(2.0), 1, 2, 1, 2);
+        assert_eq!(h.n_terms(), 4);
+        assert_eq!(h.n_modes(), 3);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let mut h = FermionOperator::new(1);
+        h.add_number(Complex64::ZERO, 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mode_bounds_are_checked() {
+        let mut h = FermionOperator::new(2);
+        h.add_number(Complex64::ONE, 2);
+    }
+
+    #[test]
+    fn adjoint_reverses_and_daggers() {
+        let mut h = FermionOperator::new(2);
+        h.add_one_body(Complex64::new(0.0, 1.0), 0, 1);
+        let adj = h.adjoint();
+        let (c, ops) = adj.iter().next().unwrap();
+        assert_eq!(c, Complex64::new(0.0, -1.0));
+        assert_eq!(ops, &[LadderOp::create(1), LadderOp::annihilate(0)]);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let mut h = FermionOperator::new(2);
+        assert_eq!(h.to_string(), "0");
+        h.add_one_body(Complex64::ONE, 0, 1);
+        assert!(h.to_string().contains("a†0"));
+        assert!(h.to_string().contains("a1"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # hatt-fermion
+//!
+//! Fermionic-system substrate for the HATT framework: second-quantized
+//! operators, the Majorana preprocessing step of the paper's Algorithm 1,
+//! and the three benchmark Hamiltonian families of the evaluation section
+//! (electronic structure, Fermi-Hubbard, collective neutrino oscillation).
+//!
+//! # Example
+//!
+//! ```
+//! use hatt_fermion::{FermionOperator, MajoranaSum};
+//! use hatt_pauli::Complex64;
+//!
+//! // A 2-mode Hamiltonian: H = n_0 + 0.5·(a†_0 a_1 + a†_1 a_0).
+//! let mut h = FermionOperator::new(2);
+//! h.add_number(Complex64::ONE, 0);
+//! h.add_hopping(Complex64::real(0.5), 0, 1);
+//!
+//! let majorana = MajoranaSum::from_fermion(&h);
+//! assert!(majorana.is_hermitian(1e-12));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ladder;
+mod majorana;
+pub mod models;
+
+pub use ladder::{FermionOperator, LadderOp};
+pub use majorana::{MajoranaSum, MAJORANA_EPS};

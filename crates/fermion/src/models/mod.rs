@@ -1,0 +1,81 @@
+//! Benchmark Hamiltonian families from the paper's evaluation (§V-A):
+//! electronic structure, Fermi-Hubbard lattices, and collective neutrino
+//! oscillations — plus random Hermitian workloads for testing.
+
+mod hubbard;
+mod molecule;
+mod neutrino;
+
+pub use hubbard::{hubbard_catalog, FermiHubbard};
+pub use molecule::{molecule_catalog, MolecularIntegrals, MoleculeSpec};
+pub use neutrino::{neutrino_catalog, NeutrinoModel};
+
+use hatt_pauli::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ladder::FermionOperator;
+
+/// Generates a random Hermitian fermionic Hamiltonian with `n_one` one-body
+/// hops and `n_two` two-body interactions (deterministic in `seed`). Used
+/// by property tests that need arbitrary-but-physical workloads.
+pub fn random_hermitian(n_modes: usize, n_one: usize, n_two: usize, seed: u64) -> FermionOperator {
+    assert!(n_modes >= 2, "need at least two modes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut op = FermionOperator::new(n_modes);
+    for _ in 0..n_one {
+        let p = rng.gen_range(0..n_modes);
+        let q = rng.gen_range(0..n_modes);
+        let c = Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+        if p == q {
+            op.add_number(Complex64::real(c.re), p);
+        } else {
+            op.add_hopping(c, p, q);
+        }
+    }
+    for _ in 0..n_two {
+        let p = rng.gen_range(0..n_modes);
+        let mut q = rng.gen_range(0..n_modes);
+        while q == p {
+            q = rng.gen_range(0..n_modes);
+        }
+        let r = rng.gen_range(0..n_modes);
+        let mut s = rng.gen_range(0..n_modes);
+        while s == r {
+            s = rng.gen_range(0..n_modes);
+        }
+        let c = rng.gen_range(-1.0..1.0);
+        // c·a†_p a†_q a_r a_s + h.c.
+        op.add_two_body(Complex64::real(c), p, q, r, s);
+        op.add_two_body(Complex64::real(c), s, r, q, p);
+    }
+    op
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::majorana::MajoranaSum;
+
+    #[test]
+    fn random_hermitian_is_hermitian() {
+        for seed in 0..5 {
+            let op = random_hermitian(5, 6, 4, seed);
+            let m = MajoranaSum::from_fermion(&op);
+            assert!(m.is_hermitian(1e-10), "seed {seed} not Hermitian");
+        }
+    }
+
+    #[test]
+    fn random_hermitian_is_deterministic() {
+        let a = random_hermitian(4, 3, 2, 9);
+        let b = random_hermitian(4, 3, 2, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_systems_rejected() {
+        random_hermitian(1, 1, 0, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Collective neutrino oscillation Hamiltonians (the paper's third
+//! benchmark family, §V-A.3), formulated on a 1D momentum lattice:
+//!
+//! ```text
+//!     H_ν = Σ_i Σ_a sqrt(p_i² + m_a²) a†_{a,i} a_{a,i}
+//!         + Σ_{i1,i2,i3} Σ_{a,b} C_{i1,i2,i3} a†_{a,i1} a_{a,i3} a†_{b,i2} a_{b,i4}
+//! ```
+//!
+//! with momentum conservation fixing `i4 = i1 + i2 − i3` and the two-body
+//! coupling `C = μ·(p_{i2} − p_{i1})·(p_{i4} − p_{i3})`.
+//!
+//! The paper's cases are labelled `sites × flavors` (e.g. `3 × 2F`) with
+//! mode counts `2·sites·flavors`; the factor 2 accounts for the two
+//! helicity components per (momentum, flavor) pair. Modes are indexed
+//! `mode(i, a, h) = h·(sites·flavors) + i·flavors + a`.
+
+use hatt_pauli::Complex64;
+
+use crate::ladder::FermionOperator;
+
+/// A collective-neutrino-oscillation model specification.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_fermion::models::NeutrinoModel;
+///
+/// let m = NeutrinoModel::new(3, 2); // the paper's "3 × 2F" case
+/// assert_eq!(m.n_modes(), 12);
+/// let h = m.hamiltonian();
+/// assert_eq!(h.n_modes(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeutrinoModel {
+    sites: usize,
+    flavors: usize,
+    /// Two-body coupling strength μ.
+    pub mu: f64,
+    /// Static masses m_a, one per flavor.
+    pub masses: Vec<f64>,
+    /// Momenta p_i, one per lattice site.
+    pub momenta: Vec<f64>,
+}
+
+impl NeutrinoModel {
+    /// Creates the model with the default linear momentum lattice
+    /// `p_i = (i+1)/sites` and mass splittings `m_a = 0.1·(a+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sites` or `flavors` is zero.
+    pub fn new(sites: usize, flavors: usize) -> Self {
+        assert!(sites > 0 && flavors > 0, "sites and flavors must be positive");
+        NeutrinoModel {
+            sites,
+            flavors,
+            mu: 0.5,
+            masses: (0..flavors).map(|a| 0.1 * (a + 1) as f64).collect(),
+            momenta: (0..sites).map(|i| (i + 1) as f64 / sites as f64).collect(),
+        }
+    }
+
+    /// Number of momentum-lattice sites.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Number of neutrino flavors.
+    pub fn flavors(&self) -> usize {
+        self.flavors
+    }
+
+    /// Number of fermionic modes: `2 · sites · flavors`.
+    pub fn n_modes(&self) -> usize {
+        2 * self.sites * self.flavors
+    }
+
+    /// Case label in the paper's `sites × flavorsF` form.
+    pub fn label(&self) -> String {
+        format!("{}x{}F", self.sites, self.flavors)
+    }
+
+    fn mode(&self, site: usize, flavor: usize, helicity: usize) -> usize {
+        helicity * self.sites * self.flavors + site * self.flavors + flavor
+    }
+
+    /// Builds the second-quantized Hamiltonian.
+    pub fn hamiltonian(&self) -> FermionOperator {
+        let mut op = FermionOperator::new(self.n_modes());
+        // Kinetic term, diagonal in every quantum number.
+        for i in 0..self.sites {
+            for a in 0..self.flavors {
+                let e = (self.momenta[i].powi(2) + self.masses[a].powi(2)).sqrt();
+                for h in 0..2 {
+                    op.add_number(Complex64::real(e), self.mode(i, a, h));
+                }
+            }
+        }
+        // Momentum-conserving two-body forward scattering within each
+        // helicity sector.
+        for i1 in 0..self.sites {
+            for i2 in 0..self.sites {
+                for i3 in 0..self.sites {
+                    let i4s = i1 + i2;
+                    if i4s < i3 {
+                        continue;
+                    }
+                    let i4 = i4s - i3;
+                    if i4 >= self.sites {
+                        continue;
+                    }
+                    let c = self.mu
+                        * (self.momenta[i2] - self.momenta[i1])
+                        * (self.momenta[i4] - self.momenta[i3]);
+                    if c == 0.0 {
+                        continue;
+                    }
+                    for a in 0..self.flavors {
+                        for b in 0..self.flavors {
+                            for h in 0..2 {
+                                let (m1, m3) = (self.mode(i1, a, h), self.mode(i3, a, h));
+                                let (m2, m4) = (self.mode(i2, b, h), self.mode(i4, b, h));
+                                // a†_{a,i1} a_{a,i3} a†_{b,i2} a_{b,i4},
+                                // Hermitized by the symmetric (i3,i4) sum.
+                                op.add_term(
+                                    Complex64::real(0.5 * c),
+                                    vec![
+                                        crate::LadderOp::create(m1),
+                                        crate::LadderOp::annihilate(m3),
+                                        crate::LadderOp::create(m2),
+                                        crate::LadderOp::annihilate(m4),
+                                    ],
+                                );
+                                op.add_term(
+                                    Complex64::real(0.5 * c),
+                                    vec![
+                                        crate::LadderOp::create(m3),
+                                        crate::LadderOp::annihilate(m1),
+                                        crate::LadderOp::create(m4),
+                                        crate::LadderOp::annihilate(m2),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        op
+    }
+}
+
+/// The Table III case roster with the paper's mode counts.
+pub fn neutrino_catalog() -> Vec<NeutrinoModel> {
+    [
+        (3, 2),
+        (4, 2),
+        (3, 3),
+        (5, 2),
+        (4, 3),
+        (6, 2),
+        (7, 2),
+        (5, 3),
+        (6, 3),
+        (7, 3),
+    ]
+    .into_iter()
+    .map(|(s, f)| NeutrinoModel::new(s, f))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::majorana::MajoranaSum;
+
+    #[test]
+    fn mode_counts_match_paper_table3() {
+        let modes: Vec<usize> = neutrino_catalog().iter().map(|m| m.n_modes()).collect();
+        assert_eq!(modes, vec![12, 16, 18, 20, 24, 24, 28, 30, 36, 42]);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(NeutrinoModel::new(3, 2).label(), "3x2F");
+        assert_eq!(NeutrinoModel::new(7, 3).label(), "7x3F");
+    }
+
+    #[test]
+    fn hamiltonian_is_hermitian_and_parity_conserving() {
+        let op = NeutrinoModel::new(3, 2).hamiltonian();
+        let m = MajoranaSum::from_fermion(&op);
+        assert!(m.is_hermitian(1e-10), "neutrino Hamiltonian not Hermitian");
+        assert!(m.is_parity_conserving());
+    }
+
+    #[test]
+    fn kinetic_energies_are_relativistic() {
+        let m = NeutrinoModel::new(2, 2);
+        let e = (m.momenta[0].powi(2) + m.masses[1].powi(2)).sqrt();
+        assert!(e > m.momenta[0]);
+    }
+
+    #[test]
+    fn two_body_terms_exist() {
+        let op = NeutrinoModel::new(3, 2).hamiltonian();
+        let four_body = op.iter().filter(|(_, ops)| ops.len() == 4).count();
+        assert!(four_body > 0, "expected momentum-conserving interactions");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_flavors_rejected() {
+        NeutrinoModel::new(3, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the Majorana algebra layer: canonicalization signs,
+//! Hermiticity under Hermitization, parity structure, and consistency of
+//! the ladder → Majorana expansion.
+
+use hatt_fermion::{FermionOperator, LadderOp, MajoranaSum};
+use hatt_pauli::Complex64;
+use proptest::prelude::*;
+
+fn arb_ladder(n: usize) -> impl Strategy<Value = LadderOp> {
+    (0..n, proptest::bool::ANY).prop_map(|(mode, dagger)| LadderOp { mode, dagger })
+}
+
+fn arb_product(n: usize) -> impl Strategy<Value = Vec<LadderOp>> {
+    proptest::collection::vec(arb_ladder(n), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hermitized_products_give_hermitian_majorana_sums(
+        (n, ops, re, im) in (2usize..6).prop_flat_map(|n| {
+            (Just(n), arb_product(n), -1.0f64..1.0, -1.0f64..1.0)
+        })
+    ) {
+        // c·P + conj(c)·P† is Hermitian for any ladder product P.
+        let mut h = FermionOperator::new(n);
+        let c = Complex64::new(re, im);
+        h.add_term(c, ops.clone());
+        let rev: Vec<LadderOp> = ops.iter().rev().map(|o| o.adjoint()).collect();
+        h.add_term(c.conj(), rev);
+        let m = MajoranaSum::from_fermion(&h);
+        prop_assert!(m.is_hermitian(1e-9), "failed for {ops:?}");
+    }
+
+    #[test]
+    fn majorana_indices_stay_canonical(
+        (n, ops) in (2usize..6).prop_flat_map(|n| (Just(n), arb_product(n)))
+    ) {
+        let mut h = FermionOperator::new(n);
+        h.add_term(Complex64::ONE, ops);
+        let m = MajoranaSum::from_fermion(&h);
+        for (indices, coeff) in m.iter() {
+            // Sorted, unique, in range.
+            prop_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(indices.iter().all(|&i| (i as usize) < 2 * n));
+            prop_assert!(coeff.abs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn swapping_adjacent_distinct_majoranas_flips_sign(
+        (n, i, j) in (3usize..8).prop_flat_map(|n| (Just(n), 0..2*n as u32, 0..2*n as u32))
+    ) {
+        prop_assume!(i != j);
+        let mut a = MajoranaSum::new(n);
+        a.add(Complex64::ONE, &[i, j]);
+        let mut b = MajoranaSum::new(n);
+        b.add(-Complex64::ONE, &[j, i]);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn squares_cancel_to_identity(
+        (n, i) in (2usize..8).prop_flat_map(|n| (Just(n), 0..2*n as u32))
+    ) {
+        let mut a = MajoranaSum::new(n);
+        a.add(Complex64::real(3.0), &[i, i]);
+        prop_assert!(a
+            .coefficient_of(&[])
+            .approx_eq(Complex64::real(3.0), 1e-12));
+        prop_assert_eq!(a.n_terms(), 1);
+    }
+
+    #[test]
+    fn number_operators_commute_via_expansion(
+        (n, p, q) in (2usize..6).prop_flat_map(|n| (Just(n), 0..n, 0..n))
+    ) {
+        // [n_p, n_q] = 0: the Majorana expansions of n_p n_q and n_q n_p
+        // must agree exactly.
+        let build = |first: usize, second: usize| {
+            let mut h = FermionOperator::new(n);
+            h.add_term(
+                Complex64::ONE,
+                vec![
+                    LadderOp::create(first),
+                    LadderOp::annihilate(first),
+                    LadderOp::create(second),
+                    LadderOp::annihilate(second),
+                ],
+            );
+            MajoranaSum::from_fermion(&h)
+        };
+        prop_assert_eq!(build(p, q), build(q, p));
+    }
+
+    #[test]
+    fn even_products_conserve_parity(
+        (n, ops) in (2usize..6).prop_flat_map(|n| (Just(n), arb_product(n)))
+    ) {
+        let mut h = FermionOperator::new(n);
+        h.add_term(Complex64::ONE, ops.clone());
+        let m = MajoranaSum::from_fermion(&h);
+        if ops.len() % 2 == 0 {
+            prop_assert!(m.is_parity_conserving(), "even product broke parity: {ops:?}");
+        } else {
+            prop_assert!(!m.is_parity_conserving() || m.is_empty());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Simulated annealing over ternary-tree merge sequences — the
+//! workspace's substitute for Fermihedral's *approximately optimal*
+//! solutions (the `*`-marked entries of the paper's Tables I and II).
+//!
+//! The state is a complete merge sequence (the triple chosen at every
+//! construction step). A neighbour truncates the sequence at a random
+//! step, substitutes a random triple there, and completes the remainder
+//! greedily. Acceptance follows the Metropolis rule on the accumulated
+//! per-qubit weight objective.
+
+use std::time::Instant;
+
+use hatt_fermion::MajoranaSum;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::TermEngine;
+use crate::exhaustive::SearchStats;
+use crate::tree::{NodeId, TernaryTreeBuilder, TreeMapping};
+
+/// Configuration for the annealing search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealingOptions {
+    /// Number of annealing iterations.
+    pub iterations: usize,
+    /// Initial temperature (in units of the weight objective).
+    pub t0: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    /// RNG seed (the search is deterministic in this seed).
+    pub seed: u64,
+}
+
+impl Default for AnnealingOptions {
+    fn default() -> Self {
+        AnnealingOptions {
+            iterations: 400,
+            t0: 8.0,
+            cooling: 0.99,
+            seed: 7,
+        }
+    }
+}
+
+/// Runs simulated annealing and returns the best tree mapping found plus
+/// search statistics.
+///
+/// # Panics
+///
+/// Panics when the Hamiltonian has zero modes.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_fermion::MajoranaSum;
+/// use hatt_mappings::{anneal_search, AnnealingOptions};
+/// use hatt_pauli::Complex64;
+///
+/// let mut h = MajoranaSum::new(3);
+/// h.add(Complex64::ONE, &[0, 5]);
+/// h.add(Complex64::ONE, &[1, 3]);
+/// let (mapping, stats) = anneal_search(&h, &AnnealingOptions::default());
+/// assert!(stats.best_weight <= 6);
+/// # let _ = mapping;
+/// ```
+pub fn anneal_search(h: &MajoranaSum, opts: &AnnealingOptions) -> (TreeMapping, SearchStats) {
+    let n = h.n_modes();
+    assert!(n > 0, "need at least one mode");
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut stats = SearchStats::default();
+
+    // Initial state: fully greedy completion from the start.
+    let (mut current_seq, mut current_w) =
+        complete_greedily(h, &[], &mut rng, 0.0, &mut stats);
+    let mut best_seq = current_seq.clone();
+    let mut best_w = current_w;
+
+    let mut temp = opts.t0;
+    for _ in 0..opts.iterations {
+        let cut = rng.gen_range(0..n);
+        let (cand_seq, cand_w) =
+            complete_greedily(h, &current_seq[..cut], &mut rng, 1.0, &mut stats);
+        stats.completions += 1;
+        let accept = cand_w <= current_w || {
+            let delta = (cand_w - current_w) as f64;
+            rng.gen::<f64>() < (-delta / temp.max(1e-9)).exp()
+        };
+        if accept {
+            current_seq = cand_seq;
+            current_w = cand_w;
+            if current_w < best_w {
+                best_w = current_w;
+                best_seq = current_seq.clone();
+            }
+        }
+        temp *= opts.cooling;
+    }
+
+    stats.best_weight = best_w;
+    stats.elapsed = start.elapsed();
+    let mut builder = TernaryTreeBuilder::new(n);
+    for triple in &best_seq {
+        builder.attach(*triple);
+    }
+    let mapping = TreeMapping::with_identity_assignment("FH*", builder.finish());
+    (mapping, stats)
+}
+
+/// Replays `prefix`, takes one random step when `randomize_first > 0`
+/// (probability of randomizing the first free step), then completes
+/// greedily. Returns the full sequence and its accumulated weight.
+fn complete_greedily(
+    h: &MajoranaSum,
+    prefix: &[[NodeId; 3]],
+    rng: &mut StdRng,
+    randomize_first: f64,
+    stats: &mut SearchStats,
+) -> (Vec<[NodeId; 3]>, usize) {
+    let n = h.n_modes();
+    let mut engine = TermEngine::new(h);
+    let mut u: Vec<NodeId> = (0..2 * n + 1).collect();
+    let mut seq: Vec<[NodeId; 3]> = Vec::with_capacity(n);
+    let mut acc = 0usize;
+
+    let apply = |engine: &mut TermEngine,
+                     u: &mut Vec<NodeId>,
+                     seq: &mut Vec<[NodeId; 3]>,
+                     step: usize,
+                     triple: [NodeId; 3]|
+     -> usize {
+        let parent = 2 * n + 1 + step;
+        let w = engine.weight_of_triple(triple[0], triple[1], triple[2]);
+        engine.reduce(parent, triple[0], triple[1], triple[2]);
+        u.retain(|v| !triple.contains(v));
+        u.push(parent);
+        seq.push(triple);
+        w
+    };
+
+    for (step, triple) in prefix.iter().enumerate() {
+        acc += apply(&mut engine, &mut u, &mut seq, step, *triple);
+    }
+    let mut first_free = true;
+    for step in prefix.len()..n {
+        let triple = if first_free && rng.gen::<f64>() < randomize_first {
+            // Uniform random unordered triple from U.
+            let mut picks = rand::seq::index::sample(rng, u.len(), 3).into_vec();
+            picks.sort_unstable();
+            [u[picks[0]], u[picks[1]], u[picks[2]]]
+        } else {
+            // Greedy: the minimum-weight triple (first found wins ties).
+            let mut best: ([NodeId; 3], usize) = ([0; 3], usize::MAX);
+            for ai in 0..u.len() {
+                for bi in (ai + 1)..u.len() {
+                    for ci in (bi + 1)..u.len() {
+                        stats.candidates += 1;
+                        let w = engine.weight_of_triple(u[ai], u[bi], u[ci]);
+                        if w < best.1 {
+                            best = ([u[ai], u[bi], u[ci]], w);
+                        }
+                    }
+                }
+            }
+            best.0
+        };
+        first_free = false;
+        acc += apply(&mut engine, &mut u, &mut seq, step, triple);
+    }
+    (seq, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive_optimal;
+    use crate::mapping::FermionMapping;
+    use crate::validate::validate;
+    use hatt_pauli::Complex64;
+
+    fn paper_example() -> MajoranaSum {
+        let mut h = MajoranaSum::new(3);
+        h.add(Complex64::new(0.0, 0.5), &[0, 1]);
+        h.add(Complex64::new(0.0, -0.5), &[2, 3]);
+        h.add(Complex64::new(0.0, -0.5), &[4, 5]);
+        h.add(Complex64::real(0.5), &[2, 3, 4, 5]);
+        h
+    }
+
+    #[test]
+    fn finds_valid_mapping_close_to_optimal() {
+        let h = paper_example();
+        let (fh, exact) = exhaustive_optimal(&h);
+        let (approx, stats) = anneal_search(&h, &AnnealingOptions::default());
+        assert!(validate(&approx).is_valid());
+        assert!(
+            stats.best_weight <= exact.best_weight + 2,
+            "annealing weight {} far from optimum {}",
+            stats.best_weight,
+            exact.best_weight
+        );
+        let _ = fh;
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let h = paper_example();
+        let opts = AnnealingOptions { iterations: 50, ..Default::default() };
+        let (_, a) = anneal_search(&h, &opts);
+        let (_, b) = anneal_search(&h, &opts);
+        assert_eq!(a.best_weight, b.best_weight);
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn objective_matches_mapped_weight() {
+        let h = paper_example();
+        let (mapping, stats) = anneal_search(&h, &AnnealingOptions::default());
+        let hq = mapping.map_majorana_sum(&h);
+        assert_eq!(hq.weight(), stats.best_weight);
+        assert_eq!(mapping.name(), "FH*");
+    }
+
+    #[test]
+    fn scales_past_the_exhaustive_limit() {
+        // 8 modes is beyond EXHAUSTIVE_MODE_LIMIT but fine for annealing.
+        let h = MajoranaSum::uniform_singles(8);
+        let opts = AnnealingOptions { iterations: 30, ..Default::default() };
+        let (mapping, _) = anneal_search(&h, &opts);
+        assert!(validate(&mapping).is_valid());
+    }
+}

@@ -1,0 +1,113 @@
+//! The Bravyi-Kitaev transformation (paper baseline `BK`, ref [5]),
+//! realized through the Fenwick tree of [`crate::FenwickTree`].
+//!
+//! With update set `U(j)`, parity set `P(j)`, flip set `F(j)` and
+//! remainder set `R(j) = P(j) \ F(j)`, the Majorana operators are
+//!
+//! ```text
+//!     M_2j   = X_{U(j)} · X_j · Z_{P(j)}
+//!     M_2j+1 = X_{U(j)} · Y_j · Z_{R(j)}
+//! ```
+//!
+//! giving `O(log N)` weight per operator.
+
+use hatt_pauli::{Pauli, PauliString};
+
+use crate::fenwick::FenwickTree;
+use crate::mapping::TableMapping;
+
+/// Builds the Bravyi-Kitaev mapping on `n_modes` modes.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_mappings::{bravyi_kitaev, FermionMapping};
+///
+/// let bk = bravyi_kitaev(4);
+/// // Weights are logarithmic rather than linear.
+/// assert!(bk.majorana(7).weight() <= 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `n_modes` is zero.
+pub fn bravyi_kitaev(n_modes: usize) -> TableMapping {
+    assert!(n_modes > 0, "need at least one mode");
+    let tree = FenwickTree::new(n_modes);
+    let mut strings = Vec::with_capacity(2 * n_modes);
+    for j in 0..n_modes {
+        let update = tree.update_set(j);
+        // M_2j
+        let mut even = PauliString::single(n_modes, j, Pauli::X);
+        for &u in &update {
+            even.mul_op(u, Pauli::X);
+        }
+        for p in tree.parity_set(j) {
+            even.mul_op(p, Pauli::Z);
+        }
+        strings.push(even);
+        // M_2j+1
+        let mut odd = PauliString::single(n_modes, j, Pauli::Y);
+        for &u in &update {
+            odd.mul_op(u, Pauli::X);
+        }
+        for r in tree.remainder_set(j) {
+            odd.mul_op(r, Pauli::Z);
+        }
+        strings.push(odd);
+    }
+    TableMapping::new("BK", n_modes, strings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::FermionMapping;
+    use crate::validate::validate;
+
+    #[test]
+    fn two_modes_explicit_strings() {
+        // U(0)={1}, P(0)={}, U(1)={}, P(1)={0}, F(1)={0}, R(1)={}.
+        let bk = bravyi_kitaev(2);
+        assert_eq!(bk.majorana(0).to_string(), "XX");
+        assert_eq!(bk.majorana(1).to_string(), "XY");
+        assert_eq!(bk.majorana(2).to_string(), "XZ");
+        assert_eq!(bk.majorana(3).to_string(), "YI");
+    }
+
+    #[test]
+    fn is_valid_and_vacuum_preserving_up_to_12_modes() {
+        for n in 1..=12 {
+            let report = validate(&bravyi_kitaev(n));
+            assert!(report.is_valid(), "BK({n}) invalid: {report:?}");
+            assert!(report.vacuum_preserving, "BK({n}) breaks vacuum");
+        }
+    }
+
+    #[test]
+    fn single_mode_matches_jw() {
+        use crate::jw::jordan_wigner;
+        let bk = bravyi_kitaev(1);
+        let jw = jordan_wigner(1);
+        assert_eq!(bk.majorana(0), jw.majorana(0));
+        assert_eq!(bk.majorana(1), jw.majorana(1));
+    }
+
+    #[test]
+    fn weights_are_logarithmic() {
+        let n = 16;
+        let bk = bravyi_kitaev(n);
+        let max_w = (0..2 * n).map(|k| bk.majorana(k).weight()).max().unwrap();
+        // U, P sets have size ≤ log2(n) each, plus the diagonal qubit.
+        assert!(
+            max_w <= 2 * (n as f64).log2().ceil() as usize + 1,
+            "BK weight {max_w} too large for n={n}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mode")]
+    fn zero_modes_rejected() {
+        bravyi_kitaev(0);
+    }
+}

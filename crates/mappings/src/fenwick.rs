@@ -1,0 +1,202 @@
+//! The Fenwick (binary indexed) tree underlying the Bravyi-Kitaev
+//! transformation, built for arbitrary (non-power-of-two) sizes via the
+//! classic recursive bisection:
+//!
+//! ```text
+//!     FENWICK(L, R):  if L ≠ R:  parent[mid] = R;  FENWICK(L, mid);
+//!                                FENWICK(mid+1, R)     (mid = ⌊(L+R)/2⌋)
+//! ```
+//!
+//! Node `mid` *covers* the index interval `[L, mid]`; the root `n-1`
+//! covers `[0, n-1]`. The Bravyi-Kitaev update/flip/parity/remainder sets
+//! are read off the parent pointers and coverage intervals.
+
+/// A Fenwick tree over `n` indices with parent pointers and coverage
+/// intervals.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_mappings::FenwickTree;
+///
+/// let t = FenwickTree::new(4);
+/// assert_eq!(t.update_set(0), vec![1, 3]);
+/// assert_eq!(t.parity_set(2), vec![1]);
+/// assert_eq!(t.flip_set(3), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FenwickTree {
+    n: usize,
+    parent: Vec<Option<usize>>,
+    /// Leftmost index covered by each node (`cover[v]..=v`).
+    cover_lo: Vec<usize>,
+    children: Vec<Vec<usize>>,
+}
+
+impl FenwickTree {
+    /// Builds the tree over `n` indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Fenwick tree needs at least one index");
+        let mut t = FenwickTree {
+            n,
+            parent: vec![None; n],
+            cover_lo: (0..n).collect(),
+            children: vec![Vec::new(); n],
+        };
+        t.cover_lo[n - 1] = 0;
+        t.build(0, n - 1);
+        for v in 0..n {
+            if let Some(p) = t.parent[v] {
+                t.children[p].push(v);
+            }
+        }
+        for c in &mut t.children {
+            c.sort_unstable();
+        }
+        t
+    }
+
+    fn build(&mut self, l: usize, r: usize) {
+        if l == r {
+            return;
+        }
+        let mid = (l + r) / 2;
+        self.parent[mid] = Some(r);
+        self.cover_lo[mid] = l;
+        self.build(l, mid);
+        self.build(mid + 1, r);
+    }
+
+    /// Number of indices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`; the tree has at least one index.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The parent of `j`, if any (the root `n-1` has none).
+    pub fn parent(&self, j: usize) -> Option<usize> {
+        self.parent[j]
+    }
+
+    /// **Update set** `U(j)`: all strict ancestors of `j` — the qubits
+    /// whose stored partial sums include occupation `j`.
+    pub fn update_set(&self, j: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut v = j;
+        while let Some(p) = self.parent[v] {
+            out.push(p);
+            v = p;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// **Flip set** `F(j)`: the children of `j` — qubits that determine
+    /// whether qubit `j`'s stored parity is flipped relative to mode `j`.
+    pub fn flip_set(&self, j: usize) -> Vec<usize> {
+        self.children[j].clone()
+    }
+
+    /// **Parity set** `P(j)`: a minimal set of qubits whose stored sums
+    /// add up to the occupation parity of modes `0..j` (the Fenwick
+    /// prefix-sum query).
+    pub fn parity_set(&self, j: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if j == 0 {
+            return out;
+        }
+        let mut t = j as isize - 1;
+        while t >= 0 {
+            let v = t as usize;
+            out.push(v);
+            t = self.cover_lo[v] as isize - 1;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// **Remainder set** `R(j) = P(j) \ F(j)`.
+    pub fn remainder_set(&self, j: usize) -> Vec<usize> {
+        let flips = self.flip_set(j);
+        self.parity_set(j)
+            .into_iter()
+            .filter(|v| !flips.contains(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_structure_matches_classic_bit() {
+        // n = 8: classic BIT parent chain (0-based): cover(j) = [j-lowbit(j)+1, j]
+        let t = FenwickTree::new(8);
+        assert_eq!(t.update_set(0), vec![1, 3, 7]);
+        assert_eq!(t.update_set(2), vec![3, 7]);
+        assert_eq!(t.update_set(4), vec![5, 7]);
+        assert_eq!(t.update_set(7), vec![]);
+        assert_eq!(t.flip_set(7), vec![3, 5, 6]);
+        assert_eq!(t.flip_set(3), vec![1, 2]);
+        assert_eq!(t.parity_set(4), vec![3]);
+        assert_eq!(t.parity_set(5), vec![3, 4]);
+        assert_eq!(t.parity_set(7), vec![3, 5, 6]);
+        assert_eq!(t.remainder_set(7), vec![]);
+        // P(5) = {3, 4}, F(5) = {4} ⇒ R(5) = {3}.
+        assert_eq!(t.remainder_set(5), vec![3]);
+    }
+
+    #[test]
+    fn parity_sets_cover_prefixes_exactly() {
+        // The coverage intervals of P(j) must tile [0, j-1] exactly.
+        for n in 1..=17 {
+            let t = FenwickTree::new(n);
+            for j in 0..n {
+                let mut covered: Vec<usize> = Vec::new();
+                for v in t.parity_set(j) {
+                    covered.extend(t.cover_lo[v]..=v);
+                }
+                covered.sort_unstable();
+                let expected: Vec<usize> = (0..j).collect();
+                assert_eq!(covered, expected, "P({j}) wrong for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_sets_are_ancestor_chains() {
+        let t = FenwickTree::new(7);
+        for j in 0..7 {
+            let u = t.update_set(j);
+            // Each element's coverage contains j.
+            for &v in &u {
+                assert!(t.cover_lo[v] <= j && j <= v, "U({j}) element {v} must cover j");
+            }
+        }
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        for n in [1, 2, 5, 9, 16] {
+            let t = FenwickTree::new(n);
+            assert_eq!(t.parent(n - 1), None);
+            assert!(t.update_set(n - 1).is_empty());
+            assert_eq!(t.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_size_rejected() {
+        FenwickTree::new(0);
+    }
+}

@@ -1,0 +1,84 @@
+//! The Jordan-Wigner transformation (paper baseline `JW`, ref [22]).
+
+use hatt_pauli::{Pauli, PauliString};
+
+use crate::mapping::TableMapping;
+
+/// Builds the Jordan-Wigner mapping on `n_modes` modes:
+///
+/// ```text
+///     M_2j   = Z_0 … Z_{j-1} X_j
+///     M_2j+1 = Z_0 … Z_{j-1} Y_j
+/// ```
+///
+/// The weight of each string grows linearly with the mode index, which is
+/// the O(N)-per-operator overhead HATT's trees avoid.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_mappings::{jordan_wigner, FermionMapping};
+///
+/// let jw = jordan_wigner(2);
+/// assert_eq!(jw.majorana(0).to_string(), "IX");
+/// assert_eq!(jw.majorana(1).to_string(), "IY");
+/// assert_eq!(jw.majorana(2).to_string(), "XZ");
+/// assert_eq!(jw.majorana(3).to_string(), "YZ");
+/// ```
+///
+/// # Panics
+///
+/// Panics when `n_modes` is zero.
+pub fn jordan_wigner(n_modes: usize) -> TableMapping {
+    assert!(n_modes > 0, "need at least one mode");
+    let mut strings = Vec::with_capacity(2 * n_modes);
+    for j in 0..n_modes {
+        for op in [Pauli::X, Pauli::Y] {
+            let mut s = PauliString::single(n_modes, j, op);
+            for k in 0..j {
+                s.mul_op(k, Pauli::Z);
+            }
+            strings.push(s);
+        }
+    }
+    TableMapping::new("JW", n_modes, strings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::FermionMapping;
+    use crate::validate::validate;
+
+    #[test]
+    fn matches_paper_section_2c_example() {
+        // Paper §II-C (2 modes): M0 = IX, M1 = IY, M2 = XZ, M3 = YZ.
+        let jw = jordan_wigner(2);
+        let got: Vec<String> = (0..4).map(|k| jw.majorana(k).to_string()).collect();
+        assert_eq!(got, vec!["IX", "IY", "XZ", "YZ"]);
+    }
+
+    #[test]
+    fn is_valid_and_vacuum_preserving_up_to_8_modes() {
+        for n in 1..=8 {
+            let report = validate(&jordan_wigner(n));
+            assert!(report.is_valid(), "JW({n}) invalid: {report:?}");
+            assert!(report.vacuum_preserving, "JW({n}) breaks vacuum");
+        }
+    }
+
+    #[test]
+    fn weights_grow_linearly() {
+        let jw = jordan_wigner(5);
+        for j in 0..5 {
+            assert_eq!(jw.majorana(2 * j).weight(), j + 1);
+            assert_eq!(jw.majorana(2 * j + 1).weight(), j + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mode")]
+    fn zero_modes_rejected() {
+        jordan_wigner(0);
+    }
+}

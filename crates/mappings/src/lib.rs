@@ -1,0 +1,59 @@
+//! # hatt-mappings
+//!
+//! Baseline fermion-to-qubit mappings and shared ternary-tree machinery
+//! for the HATT framework:
+//!
+//! * [`jordan_wigner`] — the Jordan-Wigner transformation (`JW`);
+//! * [`bravyi_kitaev`] — the Bravyi-Kitaev transformation (`BK`) via the
+//!   [`FenwickTree`];
+//! * [`parity`] — the parity transformation;
+//! * [`balanced_ternary_tree`] — the balanced ternary-tree mapping
+//!   (`BTT`) with vacuum-preserving pair assignment;
+//! * [`exhaustive_optimal`] / [`anneal_search`] — the Fermihedral (`FH`)
+//!   substitutes: provably exhaustive and annealed searches over the
+//!   tree-mapping space;
+//! * [`TernaryTree`] / [`TernaryTreeBuilder`] / [`TermEngine`] — the data
+//!   structures the HATT construction (crate `hatt-core`) builds on;
+//! * [`validate`] — Majorana-algebra and vacuum-preservation validators.
+//!
+//! # Example
+//!
+//! ```
+//! use hatt_fermion::models::FermiHubbard;
+//! use hatt_mappings::{balanced_ternary_tree, bravyi_kitaev, jordan_wigner, FermionMapping};
+//!
+//! let h = FermiHubbard::new(2, 2).hamiltonian();
+//! let jw = jordan_wigner(8).map_fermion(&h);
+//! let bk = bravyi_kitaev(8).map_fermion(&h);
+//! let btt = balanced_ternary_tree(8).map_fermion(&h);
+//! // All encode the same physics; their Pauli weights differ.
+//! assert!(jw.weight() > 0 && bk.weight() > 0 && btt.weight() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod annealing;
+mod bk;
+mod engine;
+mod exhaustive;
+mod fenwick;
+mod jw;
+mod mapping;
+mod parity;
+mod tree;
+pub mod validate;
+
+pub use annealing::{anneal_search, AnnealingOptions};
+pub use bk::bravyi_kitaev;
+pub use engine::TermEngine;
+pub use exhaustive::{exhaustive_optimal, SearchStats, EXHAUSTIVE_MODE_LIMIT};
+pub use fenwick::FenwickTree;
+pub use jw::jordan_wigner;
+pub use mapping::{FermionMapping, TableMapping};
+pub use parity::parity;
+pub use tree::{
+    balanced_tree, build_with_qubit_children, balanced_ternary_tree, Branch, NodeId, TernaryTree,
+    TernaryTreeBuilder, TreeMapping,
+};
+pub use validate::{check_vacuum, validate, MappingReport};

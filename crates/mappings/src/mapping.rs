@@ -1,0 +1,189 @@
+//! The [`FermionMapping`] trait: everything a fermion-to-qubit mapping must
+//! provide, plus the application of a mapping to Majorana / fermionic
+//! Hamiltonians.
+
+use hatt_fermion::{FermionOperator, MajoranaSum};
+use hatt_pauli::{PauliString, PauliSum};
+
+/// A fermion-to-qubit mapping for an `N`-mode system: an assignment of a
+/// Pauli string `S_k` to each of the `2N` Majorana operators `M_k`
+/// (paper §II-C).
+///
+/// Implementations must return Hermitian, mutually anticommuting strings on
+/// `n_qubits()` qubits; [`crate::validate`] can verify both properties.
+pub trait FermionMapping: std::fmt::Debug {
+    /// Number of fermionic modes `N`.
+    fn n_modes(&self) -> usize;
+
+    /// The Pauli string assigned to Majorana operator `M_k`, `k ∈ 0..2N`.
+    fn majorana(&self, k: usize) -> &PauliString;
+
+    /// Human-readable mapping name (used in benchmark tables).
+    fn name(&self) -> &str;
+
+    /// Number of qubits of the image system (equal to `N` for every
+    /// mapping in this workspace).
+    fn n_qubits(&self) -> usize {
+        self.n_modes()
+    }
+
+    /// Maps a preprocessed Majorana Hamiltonian to the qubit Hamiltonian
+    /// `H_Q` by substituting `M_k → S_k` and multiplying strings out with
+    /// exact phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Hamiltonian's mode count differs from the mapping's.
+    fn map_majorana_sum(&self, h: &MajoranaSum) -> PauliSum {
+        assert_eq!(
+            h.n_modes(),
+            self.n_modes(),
+            "Hamiltonian acts on {} modes but mapping covers {}",
+            h.n_modes(),
+            self.n_modes()
+        );
+        let mut sum = PauliSum::new(self.n_qubits());
+        for (indices, coeff) in h.iter() {
+            let mut prod = PauliString::identity(self.n_qubits());
+            for &k in indices {
+                prod.mul_assign_right(self.majorana(k as usize));
+            }
+            sum.add(coeff, prod);
+        }
+        sum.prune(hatt_pauli::COEFF_EPS);
+        sum
+    }
+
+    /// Maps a second-quantized operator (preprocesses to Majorana form,
+    /// then applies the mapping).
+    fn map_fermion(&self, h: &FermionOperator) -> PauliSum {
+        self.map_majorana_sum(&MajoranaSum::from_fermion(h))
+    }
+}
+
+/// A mapping stored as an explicit table of `2N` Majorana strings — the
+/// concrete type produced by the constructive baselines (Jordan-Wigner,
+/// Bravyi-Kitaev, parity).
+///
+/// # Examples
+///
+/// ```
+/// use hatt_mappings::{jordan_wigner, FermionMapping};
+///
+/// let jw = jordan_wigner(3);
+/// assert_eq!(jw.n_modes(), 3);
+/// assert_eq!(jw.majorana(0).to_string(), "IIX");
+/// assert_eq!(jw.majorana(5).to_string(), "YZZ");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMapping {
+    name: String,
+    n_modes: usize,
+    strings: Vec<PauliString>,
+}
+
+impl TableMapping {
+    /// Creates a mapping from an explicit string table.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly `2·n_modes` strings on `n_modes` qubits are
+    /// supplied.
+    pub fn new(name: impl Into<String>, n_modes: usize, strings: Vec<PauliString>) -> Self {
+        assert_eq!(
+            strings.len(),
+            2 * n_modes,
+            "a mapping for {n_modes} modes needs {} strings",
+            2 * n_modes
+        );
+        for s in &strings {
+            assert_eq!(
+                s.n_qubits(),
+                n_modes,
+                "every Majorana string must act on {n_modes} qubits"
+            );
+        }
+        TableMapping {
+            name: name.into(),
+            n_modes,
+            strings,
+        }
+    }
+
+    /// All `2N` Majorana strings in index order.
+    pub fn strings(&self) -> &[PauliString] {
+        &self.strings
+    }
+}
+
+impl FermionMapping for TableMapping {
+    fn n_modes(&self) -> usize {
+        self.n_modes
+    }
+
+    fn majorana(&self, k: usize) -> &PauliString {
+        &self.strings[k]
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_pauli::{Complex64, Pauli};
+
+    fn toy_mapping() -> TableMapping {
+        // 1 mode: M0 = X, M1 = Y.
+        TableMapping::new(
+            "toy",
+            1,
+            vec![
+                PauliString::single(1, 0, Pauli::X),
+                PauliString::single(1, 0, Pauli::Y),
+            ],
+        )
+    }
+
+    #[test]
+    fn table_mapping_accessors() {
+        let m = toy_mapping();
+        assert_eq!(m.name(), "toy");
+        assert_eq!(m.n_modes(), 1);
+        assert_eq!(m.n_qubits(), 1);
+        assert_eq!(m.strings().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 4 strings")]
+    fn wrong_string_count_rejected() {
+        TableMapping::new("bad", 2, vec![PauliString::identity(2)]);
+    }
+
+    #[test]
+    fn number_operator_maps_to_z() {
+        // n_0 = a†0 a0 = 1/2 + (i/2)M0M1 ↦ 1/2 (II) + (i/2)(XY) = 1/2 − 1/2·Z.
+        let m = toy_mapping();
+        let mut h = FermionOperator::new(1);
+        h.add_number(Complex64::ONE, 0);
+        let q = m.map_fermion(&h);
+        assert!(q
+            .coefficient_of(&PauliString::identity(1))
+            .approx_eq(Complex64::real(0.5), 1e-12));
+        assert!(q
+            .coefficient_of(&PauliString::single(1, 0, Pauli::Z))
+            .approx_eq(Complex64::real(-0.5), 1e-12));
+        assert_eq!(q.n_terms(), 2);
+        assert!(q.is_hermitian(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "modes")]
+    fn mode_mismatch_rejected() {
+        let m = toy_mapping();
+        let h = MajoranaSum::new(2);
+        let _ = m.map_majorana_sum(&h);
+    }
+}

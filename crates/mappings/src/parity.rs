@@ -1,0 +1,77 @@
+//! The parity transformation (paper related work, ref [4]): qubit `j`
+//! stores the parity of modes `0..=j`, dual to Jordan-Wigner.
+
+use hatt_pauli::{Pauli, PauliString};
+
+use crate::mapping::TableMapping;
+
+/// Builds the parity mapping on `n_modes` modes:
+///
+/// ```text
+///     M_2j   = Z_{j-1} X_j X_{j+1} … X_{N-1}
+///     M_2j+1 =         Y_j X_{j+1} … X_{N-1}
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use hatt_mappings::{parity, FermionMapping};
+///
+/// let p = parity(3);
+/// assert_eq!(p.majorana(0).to_string(), "XXX");
+/// assert_eq!(p.majorana(1).to_string(), "XXY");
+/// assert_eq!(p.majorana(2).to_string(), "XXZ");
+/// assert_eq!(p.majorana(3).to_string(), "XYI");
+/// ```
+///
+/// # Panics
+///
+/// Panics when `n_modes` is zero.
+pub fn parity(n_modes: usize) -> TableMapping {
+    assert!(n_modes > 0, "need at least one mode");
+    let mut strings = Vec::with_capacity(2 * n_modes);
+    for j in 0..n_modes {
+        for op in [Pauli::X, Pauli::Y] {
+            let mut s = PauliString::single(n_modes, j, op);
+            if op == Pauli::X && j > 0 {
+                s.mul_op(j - 1, Pauli::Z);
+            }
+            for k in (j + 1)..n_modes {
+                s.mul_op(k, Pauli::X);
+            }
+            strings.push(s);
+        }
+    }
+    TableMapping::new("Parity", n_modes, strings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn is_valid_and_vacuum_preserving_up_to_8_modes() {
+        for n in 1..=8 {
+            let report = validate(&parity(n));
+            assert!(report.is_valid(), "parity({n}) invalid: {report:?}");
+            assert!(report.vacuum_preserving, "parity({n}) breaks vacuum");
+        }
+    }
+
+    #[test]
+    fn single_mode_matches_jw() {
+        use crate::jw::jordan_wigner;
+        use crate::mapping::FermionMapping;
+        let p = parity(1);
+        let jw = jordan_wigner(1);
+        assert_eq!(p.majorana(0), jw.majorana(0));
+        assert_eq!(p.majorana(1), jw.majorana(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mode")]
+    fn zero_modes_rejected() {
+        parity(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Structural validators for fermion-to-qubit mappings.
+//!
+//! A valid mapping needs `2N` *Hermitian*, *mutually anticommuting* Pauli
+//! strings (the Clifford-algebra relations `{M_i, M_j} = 2δ_ij`). The
+//! *vacuum-state preservation* property of paper §IV additionally requires
+//! `a_j |0…0⟩_F ↦ 0`, i.e. `(S_2j + i·S_2j+1)|0⟩^⊗N = 0` for every mode.
+//! Both checks are symbolic and run in `O(N²)` / `O(N)` without any state
+//! vectors.
+
+use hatt_pauli::Phase;
+
+use crate::mapping::FermionMapping;
+
+/// The outcome of validating a mapping.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_mappings::{jordan_wigner, validate};
+///
+/// let report = validate(&jordan_wigner(4));
+/// assert!(report.is_valid());
+/// assert!(report.vacuum_preserving);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingReport {
+    /// Every Majorana string is Hermitian (squares to `+I`).
+    pub hermitian: bool,
+    /// Every distinct pair of Majorana strings anticommutes.
+    pub anticommuting: bool,
+    /// All `2N` strings are distinct operators.
+    pub distinct: bool,
+    /// The vacuum condition holds for every mode pair `(M_2j, M_2j+1)`.
+    pub vacuum_preserving: bool,
+    /// Pairs `(i, j)` that failed anticommutation (for diagnostics).
+    pub failing_pairs: Vec<(usize, usize)>,
+}
+
+impl MappingReport {
+    /// `true` when the mapping satisfies the Majorana algebra (vacuum
+    /// preservation is reported separately — it is desirable, not
+    /// mandatory).
+    pub fn is_valid(&self) -> bool {
+        self.hermitian && self.anticommuting && self.distinct
+    }
+}
+
+/// Validates the Majorana algebra and the vacuum condition of a mapping.
+pub fn validate<M: FermionMapping + ?Sized>(mapping: &M) -> MappingReport {
+    let m = 2 * mapping.n_modes();
+    let mut hermitian = true;
+    let mut distinct = true;
+    let mut failing = Vec::new();
+    for i in 0..m {
+        if !mapping.majorana(i).is_hermitian() || mapping.majorana(i).is_identity() {
+            hermitian = false;
+        }
+        for j in (i + 1)..m {
+            if mapping.majorana(i) == mapping.majorana(j) {
+                distinct = false;
+            }
+            if !mapping.majorana(i).anticommutes_with(mapping.majorana(j)) {
+                failing.push((i, j));
+            }
+        }
+    }
+    let vacuum = check_vacuum(mapping);
+    MappingReport {
+        hermitian,
+        anticommuting: failing.is_empty(),
+        distinct,
+        vacuum_preserving: vacuum,
+        failing_pairs: failing,
+    }
+}
+
+/// Checks vacuum-state preservation: for every mode `j`,
+/// `(S_2j + i·S_2j+1)|0…0⟩ = 0`.
+///
+/// Writing `S|0⟩ = amp·|flips⟩`, the condition is that both strings flip
+/// the same bits and `amp_2j + i·amp_2j+1 = 0`.
+pub fn check_vacuum<M: FermionMapping + ?Sized>(mapping: &M) -> bool {
+    for j in 0..mapping.n_modes() {
+        let (flips_a, amp_a) = mapping.majorana(2 * j).apply_to_zero_state();
+        let (flips_b, amp_b) = mapping.majorana(2 * j + 1).apply_to_zero_state();
+        if flips_a != flips_b {
+            return false;
+        }
+        // amp_a + i·amp_b = 0  ⇔  amp_a = i^2 · i · amp_b = i^(3+exp_b)
+        if amp_a != Phase::new(amp_b.exponent() + 3) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::TableMapping;
+    use hatt_pauli::{Pauli, PauliString};
+
+    fn single_mode(a: Pauli, b: Pauli) -> TableMapping {
+        TableMapping::new(
+            "test",
+            1,
+            vec![PauliString::single(1, 0, a), PauliString::single(1, 0, b)],
+        )
+    }
+
+    #[test]
+    fn xy_pair_is_valid_and_vacuum_preserving() {
+        let report = validate(&single_mode(Pauli::X, Pauli::Y));
+        assert!(report.is_valid());
+        assert!(report.vacuum_preserving);
+    }
+
+    #[test]
+    fn yx_pair_is_valid_but_not_vacuum_preserving() {
+        // (Y + iX)|0⟩ = i|1⟩ + i|1⟩ ≠ 0.
+        let report = validate(&single_mode(Pauli::Y, Pauli::X));
+        assert!(report.is_valid());
+        assert!(!report.vacuum_preserving);
+    }
+
+    #[test]
+    fn commuting_pair_is_invalid() {
+        let report = validate(&single_mode(Pauli::X, Pauli::X));
+        assert!(!report.anticommuting);
+        assert!(!report.distinct);
+        assert!(!report.is_valid());
+        assert_eq!(report.failing_pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn xz_flip_mismatch_fails_vacuum() {
+        // X flips, Z does not: flip masks differ.
+        let report = validate(&single_mode(Pauli::X, Pauli::Z));
+        assert!(report.is_valid());
+        assert!(!report.vacuum_preserving);
+    }
+
+    #[test]
+    fn identity_string_is_rejected() {
+        let m = TableMapping::new(
+            "bad",
+            1,
+            vec![PauliString::identity(1), PauliString::single(1, 0, Pauli::Y)],
+        );
+        let report = validate(&m);
+        assert!(!report.hermitian);
+        assert!(!report.is_valid());
+    }
+}

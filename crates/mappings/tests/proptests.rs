@@ -1,0 +1,148 @@
+//! Property tests for the mapping substrate: Fenwick-tree set identities,
+//! ternary-tree structural invariants, engine-weight consistency, and
+//! baseline-mapping validity at arbitrary sizes.
+
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::{
+    balanced_tree, balanced_ternary_tree, bravyi_kitaev, jordan_wigner, parity, validate,
+    FenwickTree, FermionMapping, TermEngine, TernaryTreeBuilder, TreeMapping,
+};
+use hatt_pauli::Complex64;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fenwick_parity_sets_tile_prefixes(n in 1usize..40, j_frac in 0.0f64..1.0) {
+        let t = FenwickTree::new(n);
+        let j = ((n as f64) * j_frac) as usize % n.max(1);
+        // P(j) covers exactly [0, j) via the coverage intervals, which we
+        // recover through the flip relation: summing stored parities of
+        // P(j) equals the occupation parity of modes < j for any filling.
+        let mut rng = StdRng::seed_from_u64((n * 1000 + j) as u64);
+        let occupation: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        // Stored value of Fenwick node v = parity of occupations it covers,
+        // reconstructed via flip sets: stored(v) = occ(v) ⊕ ⊕_{c∈F(v)} stored(c).
+        let mut stored = vec![false; n];
+        for v in 0..n {
+            // children have smaller indices, so ascending order works.
+            let mut s = occupation[v];
+            for c in t.flip_set(v) {
+                s ^= stored[c];
+            }
+            stored[v] = s;
+        }
+        let expected: bool = occupation[..j].iter().fold(false, |a, &b| a ^ b);
+        let got: bool = t.parity_set(j).into_iter().fold(false, |a, v| a ^ stored[v]);
+        prop_assert_eq!(got, expected, "parity set wrong for j={}, n={}", j, n);
+    }
+
+    #[test]
+    fn fenwick_update_sets_cover_membership(n in 2usize..40, j_frac in 0.0f64..1.0) {
+        let t = FenwickTree::new(n);
+        let j = ((n as f64) * j_frac) as usize % n;
+        // U(j) = exactly the nodes whose stored parity depends on mode j:
+        // flipping occupation j must flip stored(v) iff v ∈ U(j) ∪ {j}.
+        let mut rng = StdRng::seed_from_u64((n * 7 + j) as u64);
+        let base: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let mut flipped = base.clone();
+        flipped[j] = !flipped[j];
+        let stored = |occ: &[bool]| -> Vec<bool> {
+            let mut s = vec![false; n];
+            for v in 0..n {
+                let mut acc = occ[v];
+                for c in t.flip_set(v) {
+                    acc ^= s[c];
+                }
+                s[v] = acc;
+            }
+            s
+        };
+        let (a, b) = (stored(&base), stored(&flipped));
+        let mut affected: Vec<usize> = (0..n).filter(|&v| a[v] != b[v]).collect();
+        let mut expected = t.update_set(j);
+        expected.push(j);
+        expected.sort_unstable();
+        affected.sort_unstable();
+        prop_assert_eq!(affected, expected);
+    }
+
+    #[test]
+    fn balanced_trees_have_log_depth(n in 1usize..50) {
+        let tree = balanced_tree(n);
+        let max_depth = (0..tree.n_leaves()).map(|l| tree.depth(l)).max().unwrap();
+        let bound = ((2 * n + 1) as f64).log(3.0).ceil() as usize + 1;
+        prop_assert!(max_depth <= bound, "depth {max_depth} > {bound} for n={n}");
+        // Pairing covers 2N leaves + 1 unpaired.
+        let (pairs, unpaired) = tree.pair_leaves();
+        let mut seen: Vec<usize> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        seen.push(unpaired);
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..2 * n + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_trees_give_valid_mappings(n in 1usize..12, seed in 0u64..500) {
+        // Build a uniformly random merge sequence; identity assignment must
+        // always satisfy the Majorana algebra, and paired assignment must
+        // additionally preserve the vacuum.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = TernaryTreeBuilder::new(n);
+        for _ in 0..n {
+            let roots = builder.roots();
+            let picks = rand::seq::index::sample(&mut rng, roots.len(), 3).into_vec();
+            builder.attach([roots[picks[0]], roots[picks[1]], roots[picks[2]]]);
+        }
+        let tree = builder.finish();
+        let ident = TreeMapping::with_identity_assignment("T", tree.clone());
+        prop_assert!(validate(&ident).is_valid());
+        let paired = TreeMapping::with_paired_assignment("P", tree);
+        let report = validate(&paired);
+        prop_assert!(report.is_valid());
+        prop_assert!(report.vacuum_preserving, "paired assignment must preserve vacuum");
+    }
+
+    #[test]
+    fn engine_weight_matches_naive_on_random_terms(
+        n in 2usize..7,
+        n_terms in 1usize..24,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = MajoranaSum::new(n);
+        for t in 0..n_terms {
+            let k = rng.gen_range(1..=4.min(2 * n));
+            let idx = rand::seq::index::sample(&mut rng, 2 * n, k).into_vec();
+            let idx: Vec<u32> = idx.into_iter().map(|i| i as u32).collect();
+            h.add(Complex64::real(1.0 + t as f64), &idx);
+        }
+        let engine = TermEngine::new(&h);
+        let nodes = 2 * n + 1;
+        for _ in 0..16 {
+            let picks = rand::seq::index::sample(&mut rng, nodes, 3).into_vec();
+            let (a, b, c) = (picks[0], picks[1], picks[2]);
+            prop_assert_eq!(
+                engine.weight_of_triple(a, b, c),
+                engine.weight_of_triple_naive(a, b, c)
+            );
+        }
+    }
+
+    #[test]
+    fn baselines_stay_valid_at_odd_sizes(n in 1usize..34) {
+        // Exercises the non-power-of-two Fenwick paths and large trees.
+        for m in [
+            Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,
+            Box::new(parity(n)),
+            Box::new(bravyi_kitaev(n)),
+            Box::new(balanced_ternary_tree(n)),
+        ] {
+            let report = validate(&*m);
+            prop_assert!(report.is_valid(), "{} invalid at n={n}", m.name());
+            prop_assert!(report.vacuum_preserving);
+        }
+    }
+}

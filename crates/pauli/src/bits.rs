@@ -1,0 +1,350 @@
+//! A compact, hashable bit vector used as the symplectic (X/Z) component of
+//! Pauli strings and as term-incidence sets inside the HATT construction.
+//!
+//! The representation is a `Vec<u64>` of blocks; all bits beyond `len` are
+//! kept at zero so that `Eq`/`Hash`/`Ord` work structurally.
+
+use std::fmt;
+
+/// A fixed-length bit vector backed by 64-bit blocks.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_pauli::Bits;
+///
+/// let mut b = Bits::zeros(130);
+/// b.set(0, true);
+/// b.set(129, true);
+/// assert_eq!(b.count_ones(), 2);
+/// assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bits {
+    len: usize,
+    blocks: Vec<u64>,
+}
+
+impl Bits {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Bits {
+            len,
+            blocks: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a bit vector from the indices of set bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut b = Bits::zeros(len);
+        for &i in indices {
+            b.set(i, true);
+        }
+        b
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.blocks[i / 64] |= mask;
+        } else {
+            self.blocks[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `i`, returning the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn toggle(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        self.blocks[i / 64] ^= 1u64 << (i % 64);
+        self.get(i)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` when at least one bit is set.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.blocks.iter().any(|&b| b != 0)
+    }
+
+    /// In-place XOR with another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_with(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place OR with another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn or_with(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place AND with another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and_with(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// Popcount of `self & other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[inline]
+    pub fn and_count(&self, other: &Bits) -> usize {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Parity (popcount mod 2) of `self & other` — the workhorse of
+    /// symplectic-form evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[inline]
+    pub fn and_parity(&self, other: &Bits) -> bool {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        let mut acc = 0u64;
+        for (a, b) in self.blocks.iter().zip(&other.blocks) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// Popcount of `self | other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[inline]
+    pub fn or_count(&self, other: &Bits) -> usize {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            bits: self,
+            block: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Raw block access (read-only), for high-throughput kernels.
+    #[inline]
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Grows the vector to `new_len` bits, padding with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_len < len`.
+    pub fn grow(&mut self, new_len: usize) {
+        assert!(new_len >= self.len, "cannot shrink a Bits via grow");
+        self.len = new_len;
+        self.blocks.resize(new_len.div_ceil(64), 0);
+    }
+}
+
+/// Iterator over set-bit indices produced by [`Bits::iter_ones`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    bits: &'a Bits,
+    block: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block * 64 + tz);
+            }
+            self.block += 1;
+            if self.block >= self.bits.blocks.len() {
+                return None;
+            }
+            self.current = self.bits.blocks[self.block];
+        }
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits[{}; ", self.len)?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let b = Bits::zeros(70);
+        assert_eq!(b.len(), 70);
+        assert!(!b.any());
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.is_empty());
+        assert!(Bits::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn set_get_toggle() {
+        let mut b = Bits::zeros(100);
+        b.set(63, true);
+        b.set(64, true);
+        assert!(b.get(63) && b.get(64));
+        assert!(!b.get(62));
+        assert!(!b.toggle(63));
+        assert!(b.toggle(62));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bits::zeros(10).get(10);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = Bits::from_indices(130, &[0, 5, 64, 129]);
+        let b = Bits::from_indices(130, &[5, 64, 100]);
+        let mut x = a.clone();
+        x.xor_with(&b);
+        assert_eq!(x.iter_ones().collect::<Vec<_>>(), vec![0, 100, 129]);
+        let mut o = a.clone();
+        o.or_with(&b);
+        assert_eq!(o.count_ones(), 5);
+        let mut n = a.clone();
+        n.and_with(&b);
+        assert_eq!(n.iter_ones().collect::<Vec<_>>(), vec![5, 64]);
+        assert_eq!(a.and_count(&b), 2);
+        assert_eq!(a.or_count(&b), 5);
+        assert!(!a.and_parity(&b));
+        let c = Bits::from_indices(130, &[0]);
+        assert!(a.and_parity(&c));
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let b = Bits::from_indices(200, &[199, 0, 64, 65, 128]);
+        assert_eq!(
+            b.iter_ones().collect::<Vec<_>>(),
+            vec![0, 64, 65, 128, 199]
+        );
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let a = Bits::from_indices(10, &[1, 3]);
+        let b = Bits::from_indices(10, &[1, 3]);
+        let c = Bits::from_indices(10, &[1, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    fn grow_pads_with_zeros() {
+        let mut b = Bits::from_indices(3, &[2]);
+        b.grow(200);
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.count_ones(), 1);
+        assert!(b.get(2));
+        assert!(!b.get(199));
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let a = Bits::from_indices(10, &[0]);
+        let b = Bits::from_indices(10, &[1]);
+        assert!(a < b);
+    }
+}

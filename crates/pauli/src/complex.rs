@@ -1,0 +1,314 @@
+//! A minimal double-precision complex number type.
+//!
+//! The workspace deliberately avoids external numeric dependencies; this
+//! module provides the small slice of complex arithmetic the rest of the
+//! framework needs (coefficients of Pauli sums, state-vector amplitudes,
+//! dense Hermitian matrices).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_pauli::Complex64;
+///
+/// let z = Complex64::new(1.0, -2.0);
+/// assert_eq!(z * Complex64::I, Complex64::new(2.0, 1.0));
+/// assert_eq!(z.conj(), Complex64::new(1.0, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 ::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by the imaginary unit (cheaper than a full multiply).
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex64::new(-self.im, self.re)
+    }
+
+    /// Multiplies by `i^k` for `k mod 4`.
+    #[inline]
+    pub fn mul_i_pow(self, k: u8) -> Self {
+        match k & 3 {
+            0 => self,
+            1 => self.mul_i(),
+            2 => -self,
+            _ => -self.mul_i(),
+        }
+    }
+
+    /// `e^{i theta}` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64::new(theta.cos(), theta.sin())
+    }
+
+    /// Returns `true` when both parts are within `eps` of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// Returns `true` when the modulus is within `eps` of zero.
+    #[inline]
+    pub fn is_zero(self, eps: f64) -> bool {
+        self.norm_sqr() <= eps * eps
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `self` is exactly zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d != 0.0, "reciprocal of zero complex number");
+        Complex64::new(self.re / d, -self.im / d)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs * self
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex64::new(3.0, 4.0).re, 3.0);
+        assert_eq!(Complex64::real(2.5), Complex64::new(2.5, 0.0));
+        assert_eq!(Complex64::from(1.5), Complex64::new(1.5, 0.0));
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+        assert_eq!(Complex64::default(), Complex64::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+        c *= b;
+        assert_eq!(c, a * b);
+    }
+
+    #[test]
+    fn division_and_recip() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert!((a / b * b).approx_eq(a, 1e-12));
+        assert!((a * a.recip()).approx_eq(Complex64::ONE, 1e-12));
+        assert!((a / 2.0).approx_eq(Complex64::new(0.5, 1.0), 1e-15));
+    }
+
+    #[test]
+    fn modulus_and_conj() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!((z * z.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn i_powers() {
+        let z = Complex64::new(2.0, 1.0);
+        assert_eq!(z.mul_i_pow(0), z);
+        assert_eq!(z.mul_i_pow(1), z.mul_i());
+        assert_eq!(z.mul_i_pow(2), -z);
+        assert_eq!(z.mul_i_pow(3), -z.mul_i());
+        assert_eq!(z.mul_i_pow(4), z);
+        assert_eq!(z.mul_i(), z * Complex64::I);
+    }
+
+    #[test]
+    fn cis_on_unit_circle() {
+        let z = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!(z.approx_eq(Complex64::I, 1e-12));
+        assert!((Complex64::cis(1.0).abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_mul_and_sum() {
+        let z = Complex64::new(1.0, -1.0);
+        assert_eq!(2.0 * z, Complex64::new(2.0, -2.0));
+        assert_eq!(z * 2.0, Complex64::new(2.0, -2.0));
+        let s: Complex64 = [z, z, z].into_iter().sum();
+        assert_eq!(s, Complex64::new(3.0, -3.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn zero_tests() {
+        assert!(Complex64::new(1e-13, -1e-13).is_zero(1e-12));
+        assert!(!Complex64::new(1e-3, 0.0).is_zero(1e-12));
+    }
+}

@@ -1,0 +1,316 @@
+//! Single-qubit Pauli operators and the power-of-`i` phase group.
+
+use std::fmt;
+use std::ops::{Mul, MulAssign};
+
+use crate::complex::Complex64;
+
+/// A power of the imaginary unit, `i^k` with `k` mod 4.
+///
+/// Pauli-string multiplication only ever produces phases from this group,
+/// so tracking the exponent exactly (instead of a floating-point complex
+/// number) keeps the algebra lossless.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_pauli::Phase;
+///
+/// assert_eq!(Phase::I * Phase::I, Phase::MINUS_ONE);
+/// assert_eq!(Phase::MINUS_I.to_complex().im, -1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Phase(u8);
+
+impl Phase {
+    /// `i^0 = 1`.
+    pub const ONE: Phase = Phase(0);
+    /// `i^1 = i`.
+    pub const I: Phase = Phase(1);
+    /// `i^2 = -1`.
+    pub const MINUS_ONE: Phase = Phase(2);
+    /// `i^3 = -i`.
+    pub const MINUS_I: Phase = Phase(3);
+
+    /// Creates `i^k` (the exponent is reduced mod 4).
+    #[inline]
+    pub const fn new(k: u8) -> Self {
+        Phase(k & 3)
+    }
+
+    /// The exponent `k` in `i^k`, in `0..4`.
+    #[inline]
+    pub const fn exponent(self) -> u8 {
+        self.0
+    }
+
+    /// The phase as a complex number.
+    #[inline]
+    pub fn to_complex(self) -> Complex64 {
+        match self.0 {
+            0 => Complex64::ONE,
+            1 => Complex64::I,
+            2 => -Complex64::ONE,
+            _ => -Complex64::I,
+        }
+    }
+
+    /// Multiplicative inverse (`i^-k`).
+    #[inline]
+    pub const fn inverse(self) -> Phase {
+        Phase((4 - self.0) & 3)
+    }
+
+    /// Returns `true` for `1` and `-1` (real phases).
+    #[inline]
+    pub const fn is_real(self) -> bool {
+        self.0 & 1 == 0
+    }
+}
+
+impl Mul for Phase {
+    type Output = Phase;
+    #[inline]
+    fn mul(self, rhs: Phase) -> Phase {
+        Phase((self.0 + rhs.0) & 3)
+    }
+}
+
+impl MulAssign for Phase {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Phase) {
+        self.0 = (self.0 + rhs.0) & 3;
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self.0 {
+            0 => "+1",
+            1 => "+i",
+            2 => "-1",
+            _ => "-i",
+        })
+    }
+}
+
+/// A single-qubit Pauli operator.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_pauli::{Pauli, Phase};
+///
+/// let (phase, op) = Pauli::X.mul(Pauli::Y);
+/// assert_eq!((phase, op), (Phase::I, Pauli::Z));
+/// assert!(Pauli::X.anticommutes(Pauli::Z));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Pauli X (bit flip).
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z (phase flip).
+    Z,
+}
+
+impl Pauli {
+    /// All four operators in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Symplectic components `(x, z)` with `Y = (1, 1)`.
+    #[inline]
+    pub const fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Reconstructs an operator from symplectic components.
+    #[inline]
+    pub const fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Single-letter name.
+    #[inline]
+    pub const fn symbol(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+
+    /// Parses a single-letter name (case-insensitive).
+    pub fn from_symbol(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+
+    /// Operator product `self * rhs` as `(phase, operator)`.
+    ///
+    /// E.g. `X * Y = iZ`, `Y * X = -iZ`, `X * X = I`.
+    pub fn mul(self, rhs: Pauli) -> (Phase, Pauli) {
+        use Pauli::*;
+        match (self, rhs) {
+            (I, p) => (Phase::ONE, p),
+            (p, I) => (Phase::ONE, p),
+            (a, b) if a == b => (Phase::ONE, I),
+            (X, Y) => (Phase::I, Z),
+            (Y, X) => (Phase::MINUS_I, Z),
+            (Y, Z) => (Phase::I, X),
+            (Z, Y) => (Phase::MINUS_I, X),
+            (Z, X) => (Phase::I, Y),
+            (X, Z) => (Phase::MINUS_I, Y),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Returns `true` when `self` and `rhs` anticommute (both non-identity
+    /// and distinct).
+    #[inline]
+    pub fn anticommutes(self, rhs: Pauli) -> bool {
+        self != Pauli::I && rhs != Pauli::I && self != rhs
+    }
+
+    /// Returns `true` for the identity.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        self == Pauli::I
+    }
+
+    /// The 2x2 matrix in row-major order.
+    pub fn matrix(self) -> [[Complex64; 2]; 2] {
+        use Complex64 as C;
+        match self {
+            Pauli::I => [[C::ONE, C::ZERO], [C::ZERO, C::ONE]],
+            Pauli::X => [[C::ZERO, C::ONE], [C::ONE, C::ZERO]],
+            Pauli::Y => [[C::ZERO, -C::I], [C::I, C::ZERO]],
+            Pauli::Z => [[C::ONE, C::ZERO], [C::ZERO, -C::ONE]],
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_group() {
+        assert_eq!(Phase::new(5), Phase::I);
+        assert_eq!(Phase::I * Phase::MINUS_I, Phase::ONE);
+        assert_eq!(Phase::MINUS_ONE * Phase::MINUS_ONE, Phase::ONE);
+        assert_eq!(Phase::I.inverse(), Phase::MINUS_I);
+        assert!(Phase::ONE.is_real() && Phase::MINUS_ONE.is_real());
+        assert!(!Phase::I.is_real());
+        let mut p = Phase::I;
+        p *= Phase::I;
+        assert_eq!(p, Phase::MINUS_ONE);
+    }
+
+    #[test]
+    fn phase_to_complex() {
+        assert_eq!(Phase::ONE.to_complex(), Complex64::ONE);
+        assert_eq!(Phase::I.to_complex(), Complex64::I);
+        assert_eq!(Phase::MINUS_ONE.to_complex(), -Complex64::ONE);
+        assert_eq!(Phase::MINUS_I.to_complex(), -Complex64::I);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::ONE.to_string(), "+1");
+        assert_eq!(Phase::MINUS_I.to_string(), "-i");
+    }
+
+    #[test]
+    fn pauli_products_follow_levi_civita() {
+        use Pauli::*;
+        assert_eq!(X.mul(Y), (Phase::I, Z));
+        assert_eq!(Y.mul(Z), (Phase::I, X));
+        assert_eq!(Z.mul(X), (Phase::I, Y));
+        assert_eq!(Y.mul(X), (Phase::MINUS_I, Z));
+        assert_eq!(Z.mul(Y), (Phase::MINUS_I, X));
+        assert_eq!(X.mul(Z), (Phase::MINUS_I, Y));
+        for p in Pauli::ALL {
+            assert_eq!(p.mul(p), (Phase::ONE, I));
+            assert_eq!(I.mul(p), (Phase::ONE, p));
+            assert_eq!(p.mul(I), (Phase::ONE, p));
+        }
+    }
+
+    #[test]
+    fn products_match_matrices() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (phase, c) = a.mul(b);
+                let ma = a.matrix();
+                let mb = b.matrix();
+                let mc = c.matrix();
+                for r in 0..2 {
+                    for s in 0..2 {
+                        let mut acc = Complex64::ZERO;
+                        for k in 0..2 {
+                            acc += ma[r][k] * mb[k][s];
+                        }
+                        let expect = phase.to_complex() * mc[r][s];
+                        assert!(
+                            acc.approx_eq(expect, 1e-12),
+                            "{a}*{b} disagrees with matrices at ({r},{s})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xz_roundtrip() {
+        for p in Pauli::ALL {
+            let (x, z) = p.xz();
+            assert_eq!(Pauli::from_xz(x, z), p);
+        }
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_symbol(p.symbol()), Some(p));
+            assert_eq!(Pauli::from_symbol(p.symbol().to_ascii_lowercase()), Some(p));
+        }
+        assert_eq!(Pauli::from_symbol('Q'), None);
+    }
+
+    #[test]
+    fn anticommutation_table() {
+        use Pauli::*;
+        assert!(X.anticommutes(Y) && Y.anticommutes(Z) && X.anticommutes(Z));
+        assert!(!X.anticommutes(X));
+        assert!(!I.anticommutes(X));
+        assert!(!X.anticommutes(I));
+    }
+}

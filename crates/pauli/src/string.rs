@@ -1,0 +1,658 @@
+//! Pauli strings in symplectic form with exact phase tracking.
+//!
+//! A [`PauliString`] over `n` qubits is stored as two bit vectors `x`, `z`
+//! plus a phase exponent `k`, representing the operator
+//!
+//! ```text
+//!     P = i^k · ∏_q  X_q^{x_q} · Z_q^{z_q}
+//! ```
+//!
+//! A qubit with `x = z = 1` carries the letter `Y` (since `X·Z = -i·Y`,
+//! the letter form picks up a factor of `i` per `Y`). The representation
+//! makes multiplication, commutation checks and Clifford conjugation O(n/64)
+//! bit operations with *lossless* phases — no floating point is involved
+//! until a string is combined with a coefficient in a [`crate::PauliSum`].
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::bits::Bits;
+use crate::complex::Complex64;
+use crate::op::{Pauli, Phase};
+
+/// A phase-tracked Pauli string over a fixed number of qubits.
+///
+/// Display follows the paper's conventions: the *N-length* form prints
+/// letters from qubit `n-1` down to qubit `0` (`XYIZ`), and
+/// [`PauliString::compact`] prints the subscripted compact form (`X3Y2Z0`).
+///
+/// # Examples
+///
+/// ```
+/// use hatt_pauli::{Pauli, PauliString, Phase};
+///
+/// let a: PauliString = "XYIZ".parse()?;
+/// assert_eq!(a.n_qubits(), 4);
+/// assert_eq!(a.weight(), 3);
+/// assert_eq!(a.op(3), Pauli::X);
+/// assert_eq!(a.compact(), "X3Y2Z0");
+///
+/// let b: PauliString = "YXIZ".parse()?;
+/// let prod = a.mul(&b);
+/// // X·Y = iZ and Y·X = -iZ on the top two qubits; phases cancel.
+/// assert_eq!(prod.coefficient_phase(), Phase::ONE);
+/// assert_eq!(prod.to_string(), "ZZII");
+/// # Ok::<(), hatt_pauli::ParsePauliStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PauliString {
+    n: usize,
+    x: Bits,
+    z: Bits,
+    phase: Phase,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            n,
+            x: Bits::zeros(n),
+            z: Bits::zeros(n),
+            phase: Phase::ONE,
+        }
+    }
+
+    /// A single-qubit operator embedded in `n` qubits, with coefficient `+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn single(n: usize, qubit: usize, op: Pauli) -> Self {
+        let mut s = PauliString::identity(n);
+        s.set_op(qubit, op);
+        s
+    }
+
+    /// Builds a string from `(qubit, operator)` pairs with coefficient `+1`.
+    ///
+    /// Later entries on the same qubit *multiply* onto earlier ones, so
+    /// duplicates are legal and follow the Pauli product rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of range.
+    pub fn from_ops(n: usize, ops: &[(usize, Pauli)]) -> Self {
+        let mut s = PauliString::identity(n);
+        for &(q, op) in ops {
+            s.mul_op(q, op);
+        }
+        s
+    }
+
+    /// Creates a string from raw symplectic components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit vectors disagree in length.
+    pub fn from_parts(x: Bits, z: Bits, phase: Phase) -> Self {
+        assert_eq!(x.len(), z.len(), "x/z length mismatch");
+        PauliString {
+            n: x.len(),
+            x,
+            z,
+            phase,
+        }
+    }
+
+    /// Number of qubits the string is defined on.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The symplectic X component.
+    #[inline]
+    pub fn x_bits(&self) -> &Bits {
+        &self.x
+    }
+
+    /// The symplectic Z component.
+    #[inline]
+    pub fn z_bits(&self) -> &Bits {
+        &self.z
+    }
+
+    /// The raw phase exponent of the `i^k · X^x Z^z` form.
+    #[inline]
+    pub fn raw_phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The Pauli *letter* on `qubit` (ignoring the global coefficient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    #[inline]
+    pub fn op(&self, qubit: usize) -> Pauli {
+        Pauli::from_xz(self.x.get(qubit), self.z.get(qubit))
+    }
+
+    /// Overwrites the letter on `qubit`, keeping the coefficient at its
+    /// current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn set_op(&mut self, qubit: usize, op: Pauli) {
+        let coeff = self.coefficient_phase();
+        let (x, z) = op.xz();
+        self.x.set(qubit, x);
+        self.z.set(qubit, z);
+        self.set_coefficient_phase(coeff);
+    }
+
+    /// Multiplies `op` onto `qubit` *from the right* (`self <- self · op_q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn mul_op(&mut self, qubit: usize, op: Pauli) {
+        let (phase, prod) = self.op(qubit).mul(op);
+        let coeff = self.coefficient_phase() * phase;
+        let (x, z) = prod.xz();
+        self.x.set(qubit, x);
+        self.z.set(qubit, z);
+        self.set_coefficient_phase(coeff);
+    }
+
+    /// Number of `Y` letters, mod 4 (used in phase bookkeeping).
+    #[inline]
+    fn y_count_mod4(&self) -> u8 {
+        (self.x.and_count(&self.z) & 3) as u8
+    }
+
+    /// The scalar `c` with `self = c · (⊗ letters)`, as a phase.
+    ///
+    /// Strings constructed from letters have coefficient `+1`; products
+    /// pick up powers of `i`.
+    #[inline]
+    pub fn coefficient_phase(&self) -> Phase {
+        // i^k · X^x Z^z  =  i^k · (-i)^y · ⊗letters  =  i^(k - y) ⊗letters
+        Phase::new(self.phase.exponent().wrapping_sub(self.y_count_mod4()) & 3)
+    }
+
+    /// The scalar coefficient as a complex number.
+    #[inline]
+    pub fn coefficient(&self) -> Complex64 {
+        self.coefficient_phase().to_complex()
+    }
+
+    fn set_coefficient_phase(&mut self, coeff: Phase) {
+        self.phase = Phase::new(coeff.exponent() + self.y_count_mod4());
+    }
+
+    /// Returns a copy multiplied by an extra scalar phase.
+    pub fn times_phase(&self, extra: Phase) -> PauliString {
+        let mut s = self.clone();
+        s.phase = s.phase * extra;
+        s
+    }
+
+    /// Returns a copy with the coefficient reset to `+1` (the plain
+    /// tensor-product of the letters).
+    pub fn normalized(&self) -> PauliString {
+        let mut s = self.clone();
+        s.set_coefficient_phase(Phase::ONE);
+        s
+    }
+
+    /// Pauli weight: the number of non-identity letters.
+    #[inline]
+    pub fn weight(&self) -> usize {
+        self.x.or_count(&self.z)
+    }
+
+    /// Returns `true` when every letter is the identity (the coefficient
+    /// may still be any phase).
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        !self.x.any() && !self.z.any()
+    }
+
+    /// Returns `true` when the operator is Hermitian (real coefficient).
+    #[inline]
+    pub fn is_hermitian(&self) -> bool {
+        self.coefficient_phase().is_real()
+    }
+
+    /// Symplectic commutation test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings act on different qubit counts.
+    #[inline]
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        !(self.x.and_parity(&other.z) ^ self.z.and_parity(&other.x))
+    }
+
+    /// Returns `true` when the strings anticommute.
+    #[inline]
+    pub fn anticommutes_with(&self, other: &PauliString) -> bool {
+        !self.commutes_with(other)
+    }
+
+    /// Phase-exact product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings act on different qubit counts.
+    pub fn mul(&self, other: &PauliString) -> PauliString {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        // (i^k1 X^x1 Z^z1)(i^k2 X^x2 Z^z2)
+        //   = i^(k1+k2) (-1)^(z1·x2) X^(x1⊕x2) Z^(z1⊕z2)
+        let sign = if self.z.and_parity(&other.x) { 2 } else { 0 };
+        let mut x = self.x.clone();
+        x.xor_with(&other.x);
+        let mut z = self.z.clone();
+        z.xor_with(&other.z);
+        PauliString {
+            n: self.n,
+            x,
+            z,
+            phase: Phase::new(self.phase.exponent() + other.phase.exponent() + sign),
+        }
+    }
+
+    /// In-place right-multiplication, `self <- self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings act on different qubit counts.
+    pub fn mul_assign_right(&mut self, other: &PauliString) {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        let sign = if self.z.and_parity(&other.x) { 2 } else { 0 };
+        self.x.xor_with(&other.x);
+        self.z.xor_with(&other.z);
+        self.phase =
+            Phase::new(self.phase.exponent() + other.phase.exponent() + sign);
+    }
+
+    /// Hermitian adjoint (letters are unchanged; the coefficient conjugates).
+    pub fn adjoint(&self) -> PauliString {
+        // (i^k X^x Z^z)† = (-i)^k Z^z X^x = (-i)^k (-1)^(x·z) X^x Z^z
+        let sign = if self.x.and_parity(&self.z) { 2 } else { 0 };
+        let mut s = self.clone();
+        s.phase = Phase::new(self.phase.inverse().exponent() + sign);
+        s
+    }
+
+    /// Action on the all-zero state: `P|0…0⟩ = amp · |flips⟩`.
+    ///
+    /// Returns `(flips, amp)` where `flips` is the bit mask of qubits
+    /// excited to `|1⟩` (the X component) and `amp` the exact amplitude.
+    pub fn apply_to_zero_state(&self) -> (Bits, Phase) {
+        // Z^z |0⟩ = |0⟩, then X^x flips; the amplitude is i^k.
+        (self.x.clone(), self.phase)
+    }
+
+    /// Iterator over `(qubit, letter)` pairs for non-identity letters.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (usize, Pauli)> + '_ {
+        (0..self.n)
+            .map(|q| (q, self.op(q)))
+            .filter(|(_, p)| !p.is_identity())
+    }
+
+    /// Support of the string: qubits carrying a non-identity letter.
+    pub fn support(&self) -> Vec<usize> {
+        self.iter_ops().map(|(q, _)| q).collect()
+    }
+
+    /// The compact subscripted form used in the paper, e.g. `X3Y2Z0`.
+    /// Identity strings render as `I`.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        let mut ops: Vec<(usize, Pauli)> = self.iter_ops().collect();
+        ops.sort_by(|a, b| b.0.cmp(&a.0));
+        if ops.is_empty() {
+            return "I".to_string();
+        }
+        for (q, p) in ops {
+            out.push(p.symbol());
+            out.push_str(&q.to_string());
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Clifford conjugation (used by circuit synthesis): self <- U self U†.
+    //
+    // The sign rules are the Aaronson–Gottesman tableau updates, expressed
+    // on the letter+sign form and then translated back to the raw phase
+    // exponent (which also tracks the Y count change).
+    // ------------------------------------------------------------------
+
+    fn adjust_phase(&mut self, sign_flip: bool, y_before: u8, y_after: u8) {
+        let delta =
+            (if sign_flip { 2u8 } else { 0 }).wrapping_add(y_after.wrapping_sub(y_before) & 3);
+        self.phase = Phase::new(self.phase.exponent().wrapping_add(delta));
+    }
+
+    fn y_at(&self, q: usize) -> u8 {
+        u8::from(self.x.get(q) && self.z.get(q))
+    }
+
+    /// Conjugates by a Hadamard on `q`: `X↔Z`, `Y → -Y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub fn conjugate_h(&mut self, q: usize) {
+        let xq = self.x.get(q);
+        let zq = self.z.get(q);
+        let y0 = self.y_at(q);
+        self.x.set(q, zq);
+        self.z.set(q, xq);
+        let y1 = self.y_at(q);
+        self.adjust_phase(xq && zq, y0, y1);
+    }
+
+    /// Conjugates by the phase gate S on `q`: `X → Y`, `Y → -X`, `Z → Z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub fn conjugate_s(&mut self, q: usize) {
+        let xq = self.x.get(q);
+        let zq = self.z.get(q);
+        let y0 = self.y_at(q);
+        self.z.set(q, zq ^ xq);
+        let y1 = self.y_at(q);
+        self.adjust_phase(xq && zq, y0, y1);
+    }
+
+    /// Conjugates by S†: `X → -Y`, `Y → X`, `Z → Z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub fn conjugate_sdg(&mut self, q: usize) {
+        let xq = self.x.get(q);
+        let zq = self.z.get(q);
+        let y0 = self.y_at(q);
+        self.z.set(q, zq ^ xq);
+        let y1 = self.y_at(q);
+        self.adjust_phase(xq && !zq, y0, y1);
+    }
+
+    /// Conjugates by CNOT with control `c`, target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either index is out of range.
+    pub fn conjugate_cnot(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "CNOT control and target must differ");
+        let xc = self.x.get(c);
+        let zc = self.z.get(c);
+        let xt = self.x.get(t);
+        let zt = self.z.get(t);
+        let y0 = self.y_at(c) + self.y_at(t);
+        let flip = xc && zt && (xt == zc);
+        self.x.set(t, xt ^ xc);
+        self.z.set(c, zc ^ zt);
+        let y1 = self.y_at(c) + self.y_at(t);
+        self.adjust_phase(flip, y0, y1);
+    }
+}
+
+impl fmt::Display for PauliString {
+    /// N-length string form, most significant qubit first, with a phase
+    /// prefix when the coefficient is not `+1` (e.g. `-iXYIZ`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.coefficient_phase() {
+            Phase::ONE => {}
+            Phase::I => f.write_str("i")?,
+            Phase::MINUS_ONE => f.write_str("-")?,
+            _ => f.write_str("-i")?,
+        }
+        for q in (0..self.n).rev() {
+            write!(f, "{}", self.op(q))?;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when parsing a Pauli string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliStringError {
+    offending: char,
+}
+
+impl fmt::Display for ParsePauliStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid Pauli letter {:?}; expected I, X, Y or Z",
+            self.offending
+        )
+    }
+}
+
+impl Error for ParsePauliStringError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliStringError;
+
+    /// Parses the N-length form, most significant qubit first (`"XYIZ"` has
+    /// `X` on qubit 3). An empty string parses to the 0-qubit identity.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let n = s.chars().count();
+        let mut out = PauliString::identity(n);
+        for (idx, c) in s.chars().enumerate() {
+            let p = Pauli::from_symbol(c).ok_or(ParsePauliStringError { offending: c })?;
+            out.set_op(n - 1 - idx, p);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().expect("valid Pauli string")
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["XYIZ", "IIII", "ZZZZ", "XIYZ", "Y"] {
+            assert_eq!(ps(s).to_string(), s);
+        }
+        assert!("XQ".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn parse_letter_positions_follow_paper_convention() {
+        let s = ps("XYIZ");
+        assert_eq!(s.op(3), Pauli::X);
+        assert_eq!(s.op(2), Pauli::Y);
+        assert_eq!(s.op(1), Pauli::I);
+        assert_eq!(s.op(0), Pauli::Z);
+    }
+
+    #[test]
+    fn weight_and_compact() {
+        let s = ps("XYIZ");
+        assert_eq!(s.weight(), 3);
+        assert_eq!(s.compact(), "X3Y2Z0");
+        assert_eq!(PauliString::identity(4).compact(), "I");
+        assert_eq!(s.support(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn single_and_from_ops() {
+        let y = PauliString::single(3, 1, Pauli::Y);
+        assert_eq!(y.to_string(), "IYI");
+        assert_eq!(y.coefficient_phase(), Phase::ONE);
+        let s = PauliString::from_ops(2, &[(0, Pauli::X), (0, Pauli::Y)]);
+        // X·Y = iZ on qubit 0.
+        assert_eq!(s.coefficient_phase(), Phase::I);
+        assert_eq!(s.op(0), Pauli::Z);
+    }
+
+    #[test]
+    fn multiplication_matches_single_qubit_table() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let sa = PauliString::single(1, 0, a);
+                let sb = PauliString::single(1, 0, b);
+                let prod = sa.mul(&sb);
+                let (phase, c) = a.mul(b);
+                assert_eq!(prod.op(0), c, "{a}*{b} letter");
+                assert_eq!(prod.coefficient_phase(), phase, "{a}*{b} phase");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_is_phase_exact_on_multi_qubit_strings() {
+        let a = ps("XYIZ");
+        let b = ps("YXIZ");
+        let prod = a.mul(&b);
+        // (X·Y)(Y·X)(I·I)(Z·Z) = (iZ)(-iZ)(I)(I) = Z⊗Z⊗I⊗I
+        assert_eq!(prod.to_string(), "ZZII");
+        // Anticommutation: XY vs YX differ in two anticommuting slots → commute.
+        assert!(a.commutes_with(&b));
+    }
+
+    #[test]
+    fn mul_assign_right_agrees_with_mul() {
+        let a = ps("XYZI");
+        let b = ps("ZZXY");
+        let mut c = a.clone();
+        c.mul_assign_right(&b);
+        assert_eq!(c, a.mul(&b));
+    }
+
+    #[test]
+    fn squares_are_identity() {
+        for s in ["XYIZ", "YYYY", "XZXZ"] {
+            let p = ps(s);
+            let sq = p.mul(&p);
+            assert!(sq.is_identity());
+            assert_eq!(sq.coefficient_phase(), Phase::ONE, "P² = +I for {s}");
+        }
+    }
+
+    #[test]
+    fn commutation_examples() {
+        assert!(ps("XI").anticommutes_with(&ps("ZI")));
+        assert!(ps("XX").commutes_with(&ps("ZZ")));
+        assert!(ps("XYZ").commutes_with(&ps("XYZ")));
+        assert!(ps("IX").commutes_with(&ps("ZI")));
+    }
+
+    #[test]
+    fn adjoint_conjugates_coefficient() {
+        let b = PauliString::from_ops(1, &[(0, Pauli::X), (0, Pauli::Y)]); // iZ
+        let bd = b.adjoint(); // -iZ
+        assert_eq!(bd.coefficient_phase(), Phase::MINUS_I);
+        assert_eq!(bd.op(0), Pauli::Z);
+        // (AB)† = B†A†
+        let p = ps("XYIZ");
+        let q = ps("ZZXY");
+        assert_eq!(p.mul(&q).adjoint(), q.adjoint().mul(&p.adjoint()));
+    }
+
+    #[test]
+    fn zero_state_action() {
+        // Y|0⟩ = i|1⟩
+        let y = PauliString::single(2, 0, Pauli::Y);
+        let (flips, amp) = y.apply_to_zero_state();
+        assert_eq!(flips.iter_ones().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(amp, Phase::I);
+        // Z|0⟩ = |0⟩
+        let z = PauliString::single(2, 1, Pauli::Z);
+        let (flips, amp) = z.apply_to_zero_state();
+        assert_eq!(flips.count_ones(), 0);
+        assert_eq!(amp, Phase::ONE);
+    }
+
+    #[test]
+    fn hermiticity() {
+        assert!(ps("XYZ").is_hermitian());
+        let i_z = PauliString::from_ops(1, &[(0, Pauli::X), (0, Pauli::Y)]);
+        assert!(!i_z.is_hermitian());
+    }
+
+    #[test]
+    fn conjugate_h() {
+        let mut s = ps("X");
+        s.conjugate_h(0);
+        assert_eq!(s.to_string(), "Z");
+        let mut s = ps("Y");
+        s.conjugate_h(0);
+        assert_eq!(s.to_string(), "-Y");
+        let mut s = ps("Z");
+        s.conjugate_h(0);
+        assert_eq!(s.to_string(), "X");
+    }
+
+    #[test]
+    fn conjugate_s_and_sdg() {
+        let mut s = ps("X");
+        s.conjugate_s(0);
+        assert_eq!(s.to_string(), "Y");
+        let mut s = ps("Y");
+        s.conjugate_s(0);
+        assert_eq!(s.to_string(), "-X");
+        let mut s = ps("X");
+        s.conjugate_sdg(0);
+        assert_eq!(s.to_string(), "-Y");
+        let mut s = ps("Y");
+        s.conjugate_sdg(0);
+        assert_eq!(s.to_string(), "X");
+        // S† undoes S.
+        let mut s = ps("XY");
+        s.conjugate_s(1);
+        s.conjugate_sdg(1);
+        assert_eq!(s, ps("XY"));
+    }
+
+    #[test]
+    fn conjugate_cnot_spreads_operators() {
+        // Qubit 0 = control, qubit 1 = target. String letters print q1 q0.
+        let mut s = ps("IX"); // X on control
+        s.conjugate_cnot(0, 1);
+        assert_eq!(s.to_string(), "XX");
+        let mut s = ps("ZI"); // Z on target
+        s.conjugate_cnot(0, 1);
+        assert_eq!(s.to_string(), "ZZ");
+        let mut s = ps("XI"); // X on target: unchanged
+        s.conjugate_cnot(0, 1);
+        assert_eq!(s.to_string(), "XI");
+        let mut s = ps("ZX"); // X_c Z_t → -Y_c Y_t
+        s.conjugate_cnot(0, 1);
+        assert_eq!(s.to_string(), "-YY");
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn conjugate_cnot_rejects_equal_wires() {
+        ps("XX").conjugate_cnot(1, 1);
+    }
+
+    #[test]
+    fn cnot_conjugation_is_involutive() {
+        for s in ["XY", "YZ", "ZZ", "YY", "XI", "IY"] {
+            let mut p = ps(s);
+            p.conjugate_cnot(0, 1);
+            p.conjugate_cnot(0, 1);
+            assert_eq!(p, ps(s), "CNOT² = I on {s}");
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Weighted sums of Pauli strings — the representation of qubit
+//! Hamiltonians `H_Q = Σ c_j S_j` produced by fermion-to-qubit mappings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::bits::Bits;
+use crate::complex::Complex64;
+use crate::op::Phase;
+use crate::string::PauliString;
+
+/// Default magnitude below which coefficients are treated as zero.
+pub const COEFF_EPS: f64 = 1e-10;
+
+/// A canonicalized weighted sum of Pauli strings on `n` qubits.
+///
+/// Terms are keyed on the symplectic `(x, z)` pair; each inserted string's
+/// internal phase is folded into its coefficient so equal operators always
+/// merge. Iteration order is deterministic (lexicographic in the key).
+///
+/// # Examples
+///
+/// ```
+/// use hatt_pauli::{Complex64, PauliSum, PauliString};
+///
+/// let mut h = PauliSum::new(2);
+/// h.add(Complex64::real(0.5), "ZI".parse()?);
+/// h.add(Complex64::real(0.25), "ZI".parse()?);
+/// h.add(Complex64::real(1.0), "XX".parse()?);
+/// assert_eq!(h.n_terms(), 2);
+/// assert_eq!(h.weight(), 3); // ZI contributes 1, XX contributes 2
+/// # Ok::<(), hatt_pauli::ParsePauliStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PauliSum {
+    n: usize,
+    terms: BTreeMap<(Bits, Bits), Complex64>,
+}
+
+impl PauliSum {
+    /// Creates an empty sum on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        PauliSum {
+            n,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored terms (including any identity term).
+    #[inline]
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when the sum has no terms.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `coeff · string`, folding the string's internal phase into the
+    /// coefficient and merging with any equal term. Terms whose coefficient
+    /// cancels below [`COEFF_EPS`] are removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string's qubit count differs from the sum's.
+    pub fn add(&mut self, coeff: Complex64, string: PauliString) {
+        assert_eq!(string.n_qubits(), self.n, "qubit count mismatch");
+        let c = coeff * string.coefficient();
+        let key = (string.x_bits().clone(), string.z_bits().clone());
+        let entry = self.terms.entry(key).or_insert(Complex64::ZERO);
+        *entry += c;
+        if entry.is_zero(COEFF_EPS) {
+            let key = (string.x_bits().clone(), string.z_bits().clone());
+            self.terms.remove(&key);
+        }
+    }
+
+    /// Adds every term of `other`, scaled by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn add_scaled(&mut self, factor: Complex64, other: &PauliSum) {
+        assert_eq!(other.n, self.n, "qubit count mismatch");
+        for (coeff, string) in other.iter() {
+            self.add(factor * coeff, string);
+        }
+    }
+
+    /// Multiplies every coefficient by `factor`.
+    pub fn scale(&mut self, factor: Complex64) {
+        for c in self.terms.values_mut() {
+            *c = *c * factor;
+        }
+    }
+
+    /// Looks up the coefficient of an operator (zero when absent). The
+    /// string's own phase is accounted for, so `coefficient_of(iZ) = i·c(Z)`
+    /// holds consistently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn coefficient_of(&self, string: &PauliString) -> Complex64 {
+        assert_eq!(string.n_qubits(), self.n, "qubit count mismatch");
+        let key = (string.x_bits().clone(), string.z_bits().clone());
+        let stored = self.terms.get(&key).copied().unwrap_or(Complex64::ZERO);
+        // stored is the coefficient of the *plain* letter string; adjust for
+        // the query's own phase: query = phase · plain ⇒ c_query = c_plain / phase.
+        stored * string.coefficient_phase().inverse().to_complex()
+    }
+
+    /// The coefficient of the identity term (zero when absent).
+    pub fn identity_coefficient(&self) -> Complex64 {
+        let key = (Bits::zeros(self.n), Bits::zeros(self.n));
+        self.terms.get(&key).copied().unwrap_or(Complex64::ZERO)
+    }
+
+    /// Removes the identity term, returning its coefficient.
+    pub fn take_identity(&mut self) -> Complex64 {
+        let key = (Bits::zeros(self.n), Bits::zeros(self.n));
+        self.terms.remove(&key).unwrap_or(Complex64::ZERO)
+    }
+
+    /// Drops terms with `|c| <= eps`.
+    pub fn prune(&mut self, eps: f64) {
+        self.terms.retain(|_, c| !c.is_zero(eps));
+    }
+
+    /// Total Pauli weight: `Σ_j w(S_j)` over all stored (non-pruned) terms —
+    /// the paper's primary cost metric for a mapped Hamiltonian.
+    pub fn weight(&self) -> usize {
+        self.terms.keys().map(|(x, z)| x.or_count(z)).sum()
+    }
+
+    /// Largest single-term weight.
+    pub fn max_term_weight(&self) -> usize {
+        self.terms
+            .keys()
+            .map(|(x, z)| x.or_count(z))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` when all coefficients are real within `eps` — the
+    /// signature of a Hermitian operator in the Pauli basis.
+    pub fn is_hermitian(&self, eps: f64) -> bool {
+        self.terms.values().all(|c| c.im.abs() <= eps)
+    }
+
+    /// Iterator over `(coefficient, plain string)` pairs in deterministic
+    /// order. Reconstructed strings always carry coefficient `+1`.
+    pub fn iter(&self) -> impl Iterator<Item = (Complex64, PauliString)> + '_ {
+        self.terms.iter().map(move |((x, z), &c)| {
+            let mut s = PauliString::from_parts(x.clone(), z.clone(), Phase::ONE);
+            s = s.normalized();
+            (c, s)
+        })
+    }
+
+    /// Sum of coefficient magnitudes (useful for normalization and noise
+    /// estimates).
+    pub fn l1_norm(&self) -> f64 {
+        self.terms.values().map(|c| c.abs()).sum()
+    }
+}
+
+impl FromIterator<(Complex64, PauliString)> for PauliSum {
+    /// Collects terms; the qubit count is taken from the first string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if strings disagree on qubit count.
+    fn from_iter<T: IntoIterator<Item = (Complex64, PauliString)>>(iter: T) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let n = it.peek().map_or(0, |(_, s)| s.n_qubits());
+        let mut sum = PauliSum::new(n);
+        for (c, s) in it {
+            sum.add(c, s);
+        }
+        sum
+    }
+}
+
+impl Extend<(Complex64, PauliString)> for PauliSum {
+    fn extend<T: IntoIterator<Item = (Complex64, PauliString)>>(&mut self, iter: T) {
+        for (c, s) in iter {
+            self.add(c, s);
+        }
+    }
+}
+
+impl fmt::Display for PauliSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (c, s)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "({c})·{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().expect("valid Pauli string")
+    }
+
+    #[test]
+    fn terms_merge_and_cancel() {
+        let mut h = PauliSum::new(2);
+        h.add(Complex64::real(1.0), ps("XX"));
+        h.add(Complex64::real(2.0), ps("XX"));
+        assert_eq!(h.n_terms(), 1);
+        assert_eq!(h.coefficient_of(&ps("XX")), Complex64::real(3.0));
+        h.add(Complex64::real(-3.0), ps("XX"));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn phases_fold_into_coefficients() {
+        use crate::op::Pauli;
+        let mut h = PauliSum::new(1);
+        // iZ inserted with coefficient 1 ⇒ stored as Z with coefficient i.
+        let iz = PauliString::from_ops(1, &[(0, Pauli::X), (0, Pauli::Y)]);
+        h.add(Complex64::ONE, iz.clone());
+        assert!(h
+            .coefficient_of(&ps("Z"))
+            .approx_eq(Complex64::I, 1e-12));
+        // Querying with the phased string divides the phase back out.
+        assert!(h.coefficient_of(&iz).approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn weight_counts_all_terms() {
+        let mut h = PauliSum::new(4);
+        h.add(Complex64::real(0.5), ps("XYIZ")); // weight 3
+        h.add(Complex64::real(0.5), ps("IIZI")); // weight 1
+        h.add(Complex64::real(0.5), ps("IIII")); // weight 0
+        assert_eq!(h.weight(), 4);
+        assert_eq!(h.max_term_weight(), 3);
+        assert_eq!(h.n_terms(), 3);
+    }
+
+    #[test]
+    fn identity_handling() {
+        let mut h = PauliSum::new(2);
+        h.add(Complex64::real(1.5), PauliString::identity(2));
+        h.add(Complex64::real(0.5), ps("ZZ"));
+        assert_eq!(h.identity_coefficient(), Complex64::real(1.5));
+        assert_eq!(h.take_identity(), Complex64::real(1.5));
+        assert_eq!(h.identity_coefficient(), Complex64::ZERO);
+        assert_eq!(h.n_terms(), 1);
+    }
+
+    #[test]
+    fn prune_drops_small_terms() {
+        let mut h = PauliSum::new(1);
+        h.add(Complex64::real(1e-13), ps("X"));
+        h.add(Complex64::real(1.0), ps("Z"));
+        h.prune(1e-9);
+        assert_eq!(h.n_terms(), 1);
+    }
+
+    #[test]
+    fn hermiticity_detection() {
+        let mut h = PauliSum::new(1);
+        h.add(Complex64::real(1.0), ps("X"));
+        assert!(h.is_hermitian(1e-12));
+        h.add(Complex64::I, ps("Z"));
+        assert!(!h.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn scaled_addition_and_scaling() {
+        let mut a = PauliSum::new(1);
+        a.add(Complex64::real(1.0), ps("X"));
+        let mut b = PauliSum::new(1);
+        b.add(Complex64::real(2.0), ps("X"));
+        b.add(Complex64::real(1.0), ps("Z"));
+        a.add_scaled(Complex64::real(0.5), &b);
+        assert!(a.coefficient_of(&ps("X")).approx_eq(Complex64::real(2.0), 1e-12));
+        assert!(a.coefficient_of(&ps("Z")).approx_eq(Complex64::real(0.5), 1e-12));
+        a.scale(Complex64::real(2.0));
+        assert!(a.coefficient_of(&ps("X")).approx_eq(Complex64::real(4.0), 1e-12));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let h: PauliSum = vec![
+            (Complex64::real(1.0), ps("XY")),
+            (Complex64::real(2.0), ps("ZZ")),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(h.n_qubits(), 2);
+        assert_eq!(h.n_terms(), 2);
+        let mut h2 = h.clone();
+        h2.extend(vec![(Complex64::real(-1.0), ps("XY"))]);
+        assert_eq!(h2.n_terms(), 1);
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_normalized() {
+        let mut h = PauliSum::new(2);
+        h.add(Complex64::real(1.0), ps("XX"));
+        h.add(Complex64::real(1.0), ps("ZZ"));
+        let strings: Vec<String> = h.iter().map(|(_, s)| s.to_string()).collect();
+        let again: Vec<String> = h.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(strings, again);
+        for (_, s) in h.iter() {
+            assert_eq!(s.coefficient_phase(), Phase::ONE);
+        }
+    }
+
+    #[test]
+    fn l1_norm() {
+        let mut h = PauliSum::new(1);
+        h.add(Complex64::new(3.0, 4.0), ps("X"));
+        h.add(Complex64::real(-2.0), ps("Z"));
+        assert!((h.l1_norm() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let mut h = PauliSum::new(1);
+        assert_eq!(h.to_string(), "0");
+        h.add(Complex64::real(1.0), ps("X"));
+        assert!(h.to_string().contains("X"));
+    }
+}

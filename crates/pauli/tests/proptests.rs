@@ -1,0 +1,233 @@
+//! Property-based tests validating the symplectic Pauli algebra against
+//! literal dense-matrix computations on small qubit counts.
+
+use hatt_pauli::{Complex64, Pauli, PauliString, Phase};
+use proptest::prelude::*;
+
+type Matrix = Vec<Vec<Complex64>>;
+
+fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.len();
+    let mut out = vec![vec![Complex64::ZERO; n]; n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i][k];
+            if aik.is_zero(0.0) {
+                continue;
+            }
+            for j in 0..n {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+fn kron(a: &Matrix, b: &Matrix) -> Matrix {
+    let (na, nb) = (a.len(), b.len());
+    let n = na * nb;
+    let mut out = vec![vec![Complex64::ZERO; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            out[i][j] = a[i / nb][j / nb] * b[i % nb][j % nb];
+        }
+    }
+    out
+}
+
+fn scale(m: &Matrix, c: Complex64) -> Matrix {
+    m.iter()
+        .map(|row| row.iter().map(|&v| v * c).collect())
+        .collect()
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(ra, rb)| ra.iter().zip(rb).all(|(x, y)| x.approx_eq(*y, 1e-10)))
+}
+
+fn pauli_matrix(p: Pauli) -> Matrix {
+    let m = p.matrix();
+    vec![vec![m[0][0], m[0][1]], vec![m[1][0], m[1][1]]]
+}
+
+/// Dense matrix of a phase-tracked Pauli string (most significant qubit
+/// first in the Kronecker product, matching `Display`).
+fn string_matrix(s: &PauliString) -> Matrix {
+    let mut m = vec![vec![Complex64::ONE]];
+    for q in (0..s.n_qubits()).rev() {
+        m = kron(&m, &pauli_matrix(s.op(q)));
+    }
+    scale(&m, s.coefficient())
+}
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z)
+    ]
+}
+
+fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
+    (
+        proptest::collection::vec(arb_pauli(), n),
+        0u8..4,
+    )
+        .prop_map(move |(ops, k)| {
+            let pairs: Vec<(usize, Pauli)> =
+                ops.into_iter().enumerate().collect();
+            PauliString::from_ops(pairs.len(), &pairs).times_phase(Phase::new(k))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn product_matches_dense_matrices(
+        (a, b) in (1usize..4).prop_flat_map(|n| (arb_string(n), arb_string(n)))
+    ) {
+        let prod = a.mul(&b);
+        let dense = matmul(&string_matrix(&a), &string_matrix(&b));
+        prop_assert!(approx_eq(&string_matrix(&prod), &dense),
+            "symbolic {a} * {b} = {prod} disagrees with dense product");
+    }
+
+    #[test]
+    fn product_is_associative(
+        (a, b, c) in (1usize..6).prop_flat_map(|n| (arb_string(n), arb_string(n), arb_string(n)))
+    ) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn commutation_matches_dense(
+        (a, b) in (1usize..4).prop_flat_map(|n| (arb_string(n), arb_string(n)))
+    ) {
+        let ab = matmul(&string_matrix(&a), &string_matrix(&b));
+        let ba = matmul(&string_matrix(&b), &string_matrix(&a));
+        if a.commutes_with(&b) {
+            prop_assert!(approx_eq(&ab, &ba));
+        } else {
+            prop_assert!(approx_eq(&ab, &scale(&ba, -Complex64::ONE)));
+        }
+    }
+
+    #[test]
+    fn adjoint_reverses_products(
+        (a, b) in (1usize..5).prop_flat_map(|n| (arb_string(n), arb_string(n)))
+    ) {
+        prop_assert_eq!(a.mul(&b).adjoint(), b.adjoint().mul(&a.adjoint()));
+        prop_assert_eq!(a.adjoint().adjoint(), a.clone());
+    }
+
+    #[test]
+    fn weight_counts_non_identity_letters(s in (1usize..8).prop_flat_map(arb_string)) {
+        let expected = (0..s.n_qubits()).filter(|&q| s.op(q) != Pauli::I).count();
+        prop_assert_eq!(s.weight(), expected);
+    }
+
+    #[test]
+    fn parse_display_roundtrip(s in (1usize..8).prop_flat_map(arb_string)) {
+        let plain = s.normalized();
+        let reparsed: PauliString = plain.to_string().parse().unwrap();
+        prop_assert_eq!(plain, reparsed);
+    }
+
+    #[test]
+    fn clifford_conjugations_match_dense(
+        (s, which) in (2usize..4).prop_flat_map(|n| (arb_string(n), 0u8..4))
+    ) {
+        // U P U† computed symbolically must equal the dense version.
+        let n = s.n_qubits();
+        let mut conj = s.clone();
+        let u: Matrix = match which {
+            0 => { conj.conjugate_h(0); embed_1q(h_matrix(), 0, n) }
+            1 => { conj.conjugate_s(0); embed_1q(s_matrix(), 0, n) }
+            2 => { conj.conjugate_sdg(0); embed_1q(sdg_matrix(), 0, n) }
+            _ => { conj.conjugate_cnot(0, 1); cnot_matrix(0, 1, n) }
+        };
+        let udag = dagger(&u);
+        let lhs = string_matrix(&conj);
+        let rhs = matmul(&matmul(&u, &string_matrix(&s)), &udag);
+        prop_assert!(approx_eq(&lhs, &rhs), "conjugation {which} mismatch for {s}");
+    }
+
+    #[test]
+    fn zero_state_action_matches_dense(s in (1usize..4).prop_flat_map(arb_string)) {
+        let n = s.n_qubits();
+        let (flips, amp) = s.apply_to_zero_state();
+        let m = string_matrix(&s);
+        // Column 0 of the matrix is P|0…0⟩.
+        let mut index = 0usize;
+        for q in 0..n {
+            if flips.get(q) {
+                index |= 1 << q;
+            }
+        }
+        for row in 0..m.len() {
+            let expected = if row == index { amp.to_complex() } else { Complex64::ZERO };
+            prop_assert!(m[row][0].approx_eq(expected, 1e-12));
+        }
+    }
+}
+
+fn dagger(m: &Matrix) -> Matrix {
+    let n = m.len();
+    let mut out = vec![vec![Complex64::ZERO; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            out[i][j] = m[j][i].conj();
+        }
+    }
+    out
+}
+
+fn h_matrix() -> Matrix {
+    let s = 1.0 / 2f64.sqrt();
+    vec![
+        vec![Complex64::real(s), Complex64::real(s)],
+        vec![Complex64::real(s), Complex64::real(-s)],
+    ]
+}
+
+fn s_matrix() -> Matrix {
+    vec![
+        vec![Complex64::ONE, Complex64::ZERO],
+        vec![Complex64::ZERO, Complex64::I],
+    ]
+}
+
+fn sdg_matrix() -> Matrix {
+    vec![
+        vec![Complex64::ONE, Complex64::ZERO],
+        vec![Complex64::ZERO, -Complex64::I],
+    ]
+}
+
+fn embed_1q(u: Matrix, q: usize, n: usize) -> Matrix {
+    let dim = 1 << n;
+    let mut out = vec![vec![Complex64::ZERO; dim]; dim];
+    for i in 0..dim {
+        for j in 0..dim {
+            let (bi, bj) = ((i >> q) & 1, (j >> q) & 1);
+            if i & !(1 << q) == j & !(1 << q) {
+                out[i][j] = u[bi][bj];
+            }
+        }
+    }
+    out
+}
+
+fn cnot_matrix(c: usize, t: usize, n: usize) -> Matrix {
+    let dim = 1 << n;
+    let mut out = vec![vec![Complex64::ZERO; dim]; dim];
+    for j in 0..dim {
+        let i = if (j >> c) & 1 == 1 { j ^ (1 << t) } else { j };
+        out[i][j] = Complex64::ONE;
+    }
+    out
+}

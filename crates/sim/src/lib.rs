@@ -1,0 +1,42 @@
+//! # hatt-sim
+//!
+//! Simulation substrate for the HATT framework: a dense state-vector
+//! simulator for the circuit IR, Monte-Carlo depolarizing noise (the
+//! Qiskit Aer stand-in, §V-B.4), shot-based energy estimation with
+//! qubit-wise-commuting grouping, and dense Hermitian linear algebra
+//! (Jacobi eigensolver) for exact reference energies.
+//!
+//! # Example: exact ground energy and a noisy measurement of it
+//!
+//! ```
+//! use hatt_circuit::Circuit;
+//! use hatt_pauli::{Complex64, PauliSum};
+//! use hatt_sim::{estimate_energy, ground_state, NoiseModel};
+//! use rand::SeedableRng;
+//!
+//! let mut h = PauliSum::new(2);
+//! h.add(Complex64::real(1.0), "ZZ".parse()?);
+//! h.add(Complex64::real(0.5), "XI".parse()?);
+//!
+//! let (e0, psi0) = ground_state(&h);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let e = estimate_energy(&psi0, &Circuit::new(2), &h,
+//!                         &NoiseModel::noiseless(), 4000, &mut rng);
+//! assert!((e - e0).abs() < 0.15);
+//! # Ok::<(), hatt_pauli::ParsePauliStringError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod linalg;
+mod measure;
+mod noise;
+mod state;
+
+pub use linalg::{ground_state, spectrum, CMatrix};
+pub use measure::{
+    bias_variance, energy_samples, estimate_energy, qwc_groups, repeated_estimates, QwcGroup,
+};
+pub use noise::{run_shot, NoiseModel};
+pub use state::StateVector;

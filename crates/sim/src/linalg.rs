@@ -1,0 +1,365 @@
+//! Dense complex Hermitian linear algebra: matrix construction from Pauli
+//! sums and a Jacobi eigensolver — used for the exact reference energies
+//! of the paper's noisy-simulation studies (Figs. 10 and 11) and for the
+//! isospectrality tests across mappings.
+
+use hatt_pauli::{Complex64, PauliSum};
+
+use crate::state::StateVector;
+
+/// A dense square complex matrix (row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    dim: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// The zero matrix of the given dimension.
+    pub fn zeros(dim: usize) -> Self {
+        CMatrix {
+            dim,
+            data: vec![Complex64::ZERO; dim * dim],
+        }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Complex64 {
+        self.data[r * self.dim + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut Complex64 {
+        &mut self.data[r * self.dim + c]
+    }
+
+    /// Builds the dense matrix of a Pauli sum on `n` qubits
+    /// (`dim = 2^n`; practical for `n ≤ 12`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > 12` (the dense representation would be too big).
+    pub fn from_pauli_sum(h: &PauliSum) -> Self {
+        let n = h.n_qubits();
+        assert!(n <= 12, "dense matrices limited to 12 qubits, got {n}");
+        let dim = 1usize << n;
+        let mut m = CMatrix::zeros(dim);
+        for (coeff, p) in h.iter() {
+            let x_mask = mask_of(p.x_bits());
+            let z_mask = mask_of(p.z_bits());
+            let phase = p.raw_phase();
+            for j in 0..dim {
+                let sign = (j & z_mask).count_ones() % 2;
+                let mut v = coeff.mul_i_pow(phase.exponent());
+                if sign == 1 {
+                    v = -v;
+                }
+                *m.at_mut(j ^ x_mask, j) += v;
+            }
+        }
+        m
+    }
+
+    /// Returns `true` when the matrix is Hermitian within `eps`.
+    pub fn is_hermitian(&self, eps: f64) -> bool {
+        for r in 0..self.dim {
+            for c in r..self.dim {
+                if !self.at(r, c).approx_eq(self.at(c, r).conj(), eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Frobenius norm of the off-diagonal part.
+    pub fn offdiagonal_norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if r != c {
+                    acc += self.at(r, c).norm_sqr();
+                }
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Jacobi eigendecomposition of a Hermitian matrix: returns the
+    /// eigenvalues in ascending order and the matching eigenvectors (as
+    /// columns of the returned matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not Hermitian.
+    pub fn eigh(&self) -> (Vec<f64>, CMatrix) {
+        assert!(self.is_hermitian(1e-8), "eigh requires a Hermitian matrix");
+        let dim = self.dim;
+        let mut a = self.clone();
+        let mut v = CMatrix::zeros(dim);
+        for i in 0..dim {
+            *v.at_mut(i, i) = Complex64::ONE;
+        }
+        let tol = 1e-13 * (1.0 + self.frobenius_norm());
+        for _sweep in 0..200 {
+            if a.offdiagonal_norm() < tol {
+                break;
+            }
+            for p in 0..dim {
+                for q in (p + 1)..dim {
+                    let beta = a.at(p, q);
+                    let b = beta.abs();
+                    if b < 1e-15 {
+                        continue;
+                    }
+                    let alpha = a.at(p, p).re;
+                    let gamma = a.at(q, q).re;
+                    // Absorb the phase so the 2×2 block becomes real
+                    // symmetric, then rotate.
+                    let u = beta / b;
+                    let tau = (gamma - alpha) / (2.0 * b);
+                    let t = if tau >= 0.0 {
+                        1.0 / (tau + (1.0 + tau * tau).sqrt())
+                    } else {
+                        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // U = diag(1, ū)·R(θ) = [[c, s],[−ū·s, ū·c]] acting on
+                    // columns (p, q): the ū phase makes the (p, q) block
+                    // real so the real rotation annihilates it.
+                    let (upp, upq) = (Complex64::real(c), Complex64::real(s));
+                    let (uqp, uqq) = (-u.conj() * s, u.conj() * c);
+                    // A ← U† A U.
+                    for k in 0..dim {
+                        let (akp, akq) = (a.at(k, p), a.at(k, q));
+                        *a.at_mut(k, p) = akp * upp + akq * uqp;
+                        *a.at_mut(k, q) = akp * upq + akq * uqq;
+                    }
+                    for k in 0..dim {
+                        let (apk, aqk) = (a.at(p, k), a.at(q, k));
+                        *a.at_mut(p, k) = upp.conj() * apk + uqp.conj() * aqk;
+                        *a.at_mut(q, k) = upq.conj() * apk + uqq.conj() * aqk;
+                    }
+                    // V ← V U.
+                    for k in 0..dim {
+                        let (vkp, vkq) = (v.at(k, p), v.at(k, q));
+                        *v.at_mut(k, p) = vkp * upp + vkq * uqp;
+                        *v.at_mut(k, q) = vkp * upq + vkq * uqq;
+                    }
+                }
+            }
+        }
+        // Extract and sort.
+        let mut pairs: Vec<(f64, usize)> =
+            (0..dim).map(|i| (a.at(i, i).re, i)).collect();
+        pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+        let eigenvalues: Vec<f64> = pairs.iter().map(|&(e, _)| e).collect();
+        let mut vectors = CMatrix::zeros(dim);
+        for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+            for r in 0..dim {
+                *vectors.at_mut(r, new_col) = v.at(r, old_col);
+            }
+        }
+        (eigenvalues, vectors)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.dim];
+        for r in 0..self.dim {
+            let mut acc = Complex64::ZERO;
+            for c in 0..self.dim {
+                acc += self.at(r, c) * x[c];
+            }
+            out[r] = acc;
+        }
+        out
+    }
+}
+
+fn mask_of(b: &hatt_pauli::Bits) -> usize {
+    let mut out = 0usize;
+    for i in b.iter_ones() {
+        out |= 1 << i;
+    }
+    out
+}
+
+/// The exact ground-state energy and state of a Hermitian Pauli sum — the
+/// "theoretical" reference line of the paper's Figs. 10 and 11.
+pub fn ground_state(h: &PauliSum) -> (f64, StateVector) {
+    let m = CMatrix::from_pauli_sum(h);
+    let (eigs, vecs) = m.eigh();
+    let dim = m.dim();
+    let amps: Vec<Complex64> = (0..dim).map(|r| vecs.at(r, 0)).collect();
+    (eigs[0], StateVector::from_amplitudes(amps))
+}
+
+/// All eigenvalues of a Hermitian Pauli sum in ascending order
+/// (isospectrality checks across mappings).
+pub fn spectrum(h: &PauliSum) -> Vec<f64> {
+    CMatrix::from_pauli_sum(h).eigh().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_pauli::PauliString;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().expect("valid string")
+    }
+
+    #[test]
+    fn pauli_x_matrix() {
+        let mut h = PauliSum::new(1);
+        h.add(Complex64::real(1.0), ps("X"));
+        let m = CMatrix::from_pauli_sum(&h);
+        assert!(m.at(0, 1).approx_eq(Complex64::ONE, 1e-14));
+        assert!(m.at(1, 0).approx_eq(Complex64::ONE, 1e-14));
+        assert!(m.at(0, 0).approx_eq(Complex64::ZERO, 1e-14));
+        assert!(m.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn pauli_y_matrix_has_correct_phases() {
+        let mut h = PauliSum::new(1);
+        h.add(Complex64::real(1.0), ps("Y"));
+        let m = CMatrix::from_pauli_sum(&h);
+        assert!(m.at(0, 1).approx_eq(-Complex64::I, 1e-14));
+        assert!(m.at(1, 0).approx_eq(Complex64::I, 1e-14));
+    }
+
+    #[test]
+    fn eigenvalues_of_single_paulis() {
+        for s in ["X", "Y", "Z"] {
+            let mut h = PauliSum::new(1);
+            h.add(Complex64::real(1.0), ps(s));
+            let (eigs, _) = CMatrix::from_pauli_sum(&h).eigh();
+            assert!((eigs[0] + 1.0).abs() < 1e-10, "{s}: {eigs:?}");
+            assert!((eigs[1] - 1.0).abs() < 1e-10, "{s}: {eigs:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_tensor_sum() {
+        // H = Z0 + 2·Z1: eigenvalues {−3, −1, 1, 3}.
+        let mut h = PauliSum::new(2);
+        h.add(Complex64::real(1.0), ps("IZ"));
+        h.add(Complex64::real(2.0), ps("ZI"));
+        let (eigs, _) = CMatrix::from_pauli_sum(&h).eigh();
+        let expected = [-3.0, -1.0, 1.0, 3.0];
+        for (e, x) in eigs.iter().zip(expected) {
+            assert!((e - x).abs() < 1e-10, "got {eigs:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_eigen_equation() {
+        let mut h = PauliSum::new(2);
+        h.add(Complex64::real(0.7), ps("XZ"));
+        h.add(Complex64::real(-0.3), ps("YY"));
+        h.add(Complex64::real(0.5), ps("ZI"));
+        h.add(Complex64::real(0.2), ps("IX"));
+        let m = CMatrix::from_pauli_sum(&h);
+        let (eigs, vecs) = m.eigh();
+        for (col, &lambda) in eigs.iter().enumerate() {
+            let x: Vec<Complex64> = (0..m.dim()).map(|r| vecs.at(r, col)).collect();
+            let ax = m.matvec(&x);
+            for (a, v) in ax.iter().zip(&x) {
+                assert!(
+                    a.approx_eq(*v * lambda, 1e-8),
+                    "eigenpair {col} residual too large"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ground_state_minimizes_expectation() {
+        let mut h = PauliSum::new(2);
+        h.add(Complex64::real(1.0), ps("ZZ"));
+        h.add(Complex64::real(0.5), ps("XI"));
+        let (e0, psi) = ground_state(&h);
+        let exp = psi.expectation(&h);
+        assert!((exp - e0).abs() < 1e-8, "⟨H⟩ = {exp}, e0 = {e0}");
+        // Ground energy of ZZ + 0.5·XI is −√(1+0.25).
+        assert!((e0 + (1.25f64).sqrt()).abs() < 1e-8, "e0 = {e0}");
+    }
+
+    #[test]
+    fn spectrum_is_sorted() {
+        let mut h = PauliSum::new(3);
+        h.add(Complex64::real(1.0), ps("ZZI"));
+        h.add(Complex64::real(0.4), ps("IXX"));
+        h.add(Complex64::real(-0.2), ps("YIY"));
+        let eigs = spectrum(&h);
+        for w in eigs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // Traceless Hamiltonian: eigenvalues sum to ~0.
+        let sum: f64 = eigs.iter().sum();
+        assert!(sum.abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn eigh_rejects_non_hermitian() {
+        let mut m = CMatrix::zeros(2);
+        *m.at_mut(0, 1) = Complex64::ONE;
+        let _ = m.eigh();
+    }
+
+    #[test]
+    fn eigh_conserves_frobenius_mass_on_large_complex_matrices() {
+        // A dense 64-dim Hermitian matrix with many complex (Y-laden)
+        // terms: Σλ² must equal tr(A²) and every eigenpair must satisfy
+        // its equation. This guards the complex-phase handling of the
+        // Jacobi rotation (a wrong conjugation converges on small real
+        // matrices but stalls here).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut h = PauliSum::new(6);
+        for _ in 0..40 {
+            let mut s = PauliString::identity(6);
+            for q in 0..6 {
+                s.set_op(q, hatt_pauli::Pauli::ALL[rng.gen_range(0..4)]);
+            }
+            h.add(Complex64::real(rng.gen_range(-1.0..1.0)), s);
+        }
+        let m = CMatrix::from_pauli_sum(&h);
+        let (eigs, vecs) = m.eigh();
+        let sum_sq: f64 = eigs.iter().map(|e| e * e).sum();
+        let frob_sq = m.frobenius_norm().powi(2);
+        assert!(
+            (sum_sq - frob_sq).abs() < 1e-6 * frob_sq.max(1.0),
+            "Σλ² = {sum_sq} vs tr(A²) = {frob_sq}"
+        );
+        for col in [0usize, 31, 63] {
+            let x: Vec<Complex64> = (0..64).map(|r| vecs.at(r, col)).collect();
+            let ax = m.matvec(&x);
+            let res: f64 = ax
+                .iter()
+                .zip(&x)
+                .map(|(a, v)| (*a - *v * eigs[col]).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            assert!(res < 1e-7, "residual {res} for eigenpair {col}");
+        }
+    }
+}

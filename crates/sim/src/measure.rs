@@ -1,0 +1,337 @@
+//! Shot-based energy estimation: qubit-wise-commuting (QWC) grouping,
+//! measurement-basis rotations, and the bias/variance statistics of the
+//! paper's noisy-simulation studies (Figs. 10 and 11).
+
+use hatt_circuit::Circuit;
+use hatt_pauli::{Complex64, Pauli, PauliString, PauliSum};
+use rand::Rng;
+
+use crate::noise::NoiseModel;
+use crate::state::StateVector;
+
+/// A group of qubit-wise commuting Hamiltonian terms, measurable with one
+/// basis-rotation setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QwcGroup {
+    /// The terms `(coefficient, string)` of the group.
+    pub terms: Vec<(Complex64, PauliString)>,
+    /// The per-qubit measurement basis (`I` where no term acts).
+    pub basis: Vec<Pauli>,
+}
+
+impl QwcGroup {
+    /// The basis-rotation circuit mapping every group letter to `Z`.
+    pub fn rotation_circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.basis.len());
+        for (q, p) in self.basis.iter().enumerate() {
+            match p {
+                Pauli::X => {
+                    c.h(q);
+                }
+                Pauli::Y => {
+                    c.sdg(q);
+                    c.h(q);
+                }
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Evaluates every term on a measured bitstring (after rotation, each
+    /// letter reads `(−1)^bit`), returning `Σ c·value`.
+    pub fn energy_of_bits(&self, bits: usize) -> f64 {
+        self.terms
+            .iter()
+            .map(|(c, p)| {
+                let mut v = 1.0;
+                for (q, _) in p.iter_ops() {
+                    if bits >> q & 1 == 1 {
+                        v = -v;
+                    }
+                }
+                c.re * v
+            })
+            .sum()
+    }
+}
+
+/// Greedily partitions a Hamiltonian into QWC groups; the identity term
+/// (if any) is returned separately as a constant offset.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_pauli::{Complex64, PauliSum};
+/// use hatt_sim::qwc_groups;
+///
+/// let mut h = PauliSum::new(2);
+/// h.add(Complex64::real(1.0), "ZI".parse()?);
+/// h.add(Complex64::real(1.0), "ZZ".parse()?); // QWC with ZI
+/// h.add(Complex64::real(1.0), "XX".parse()?); // needs its own basis
+/// let (offset, groups) = qwc_groups(&h);
+/// assert_eq!(offset.re, 0.0);
+/// assert_eq!(groups.len(), 2);
+/// # Ok::<(), hatt_pauli::ParsePauliStringError>(())
+/// ```
+pub fn qwc_groups(h: &PauliSum) -> (Complex64, Vec<QwcGroup>) {
+    let n = h.n_qubits();
+    let mut offset = Complex64::ZERO;
+    let mut groups: Vec<QwcGroup> = Vec::new();
+    for (c, p) in h.iter() {
+        if p.is_identity() {
+            offset += c;
+            continue;
+        }
+        let mut placed = false;
+        for g in &mut groups {
+            let compatible = (0..n).all(|q| {
+                let (a, b) = (g.basis[q], p.op(q));
+                a == Pauli::I || b == Pauli::I || a == b
+            });
+            if compatible {
+                for q in 0..n {
+                    if g.basis[q] == Pauli::I {
+                        g.basis[q] = p.op(q);
+                    }
+                }
+                g.terms.push((c, p.clone()));
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            let basis: Vec<Pauli> = (0..n).map(|q| p.op(q)).collect();
+            groups.push(QwcGroup {
+                terms: vec![(c, p)],
+                basis,
+            });
+        }
+    }
+    (offset, groups)
+}
+
+/// Per-shot energy samples (the paper's 1000-shot protocol): the total
+/// shot budget is split evenly over the QWC groups; sample `k` combines
+/// the `k`-th measured bitstring of every group plus the constant offset,
+/// so the mean of the samples is the energy estimate and their spread is
+/// the paper's "variance across shots".
+pub fn energy_samples<R: Rng>(
+    prep: &StateVector,
+    evolution: &Circuit,
+    h: &PauliSum,
+    noise: &NoiseModel,
+    shots: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(shots > 0, "need at least one shot");
+    let (offset, groups) = qwc_groups(h);
+    if groups.is_empty() {
+        return vec![offset.re];
+    }
+    let shots_per_group = (shots / groups.len()).max(1);
+    let mut samples = vec![offset.re; shots_per_group];
+    for g in &groups {
+        let mut full = evolution.clone();
+        full.append(&g.rotation_circuit());
+        for sample in samples.iter_mut() {
+            let bits = crate::noise::run_shot(noise, prep, &full, rng);
+            *sample += g.energy_of_bits(bits);
+        }
+    }
+    samples
+}
+
+/// One complete shot-based energy estimation: the mean of
+/// [`energy_samples`].
+pub fn estimate_energy<R: Rng>(
+    prep: &StateVector,
+    evolution: &Circuit,
+    h: &PauliSum,
+    noise: &NoiseModel,
+    shots: usize,
+    rng: &mut R,
+) -> f64 {
+    let samples = energy_samples(prep, evolution, h, noise, shots, rng);
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Repeats the estimation `repetitions` times, returning all estimates
+/// (bias/variance statistics are computed by [`bias_variance`]).
+#[allow(clippy::too_many_arguments)]
+pub fn repeated_estimates<R: Rng>(
+    prep: &StateVector,
+    evolution: &Circuit,
+    h: &PauliSum,
+    noise: &NoiseModel,
+    shots: usize,
+    repetitions: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    (0..repetitions)
+        .map(|_| estimate_energy(prep, evolution, h, noise, shots, rng))
+        .collect()
+}
+
+/// Bias (mean deviation from `reference`) and variance of a set of
+/// estimates.
+pub fn bias_variance(estimates: &[f64], reference: f64) -> (f64, f64) {
+    assert!(!estimates.is_empty(), "no estimates");
+    let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+    let var = estimates
+        .iter()
+        .map(|e| (e - mean) * (e - mean))
+        .sum::<f64>()
+        / estimates.len() as f64;
+    (mean - reference, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().expect("valid string")
+    }
+
+    #[test]
+    fn grouping_separates_incompatible_bases() {
+        let mut h = PauliSum::new(2);
+        h.add(Complex64::real(1.0), ps("ZI"));
+        h.add(Complex64::real(1.0), ps("IZ"));
+        h.add(Complex64::real(1.0), ps("XX"));
+        h.add(Complex64::real(1.0), ps("XI"));
+        let (_, groups) = qwc_groups(&h);
+        assert_eq!(groups.len(), 2);
+        // ZI, IZ together; XX, XI together.
+        assert_eq!(groups[0].terms.len() + groups[1].terms.len(), 4);
+    }
+
+    #[test]
+    fn identity_becomes_offset() {
+        let mut h = PauliSum::new(1);
+        h.add(Complex64::real(2.5), PauliString::identity(1));
+        h.add(Complex64::real(1.0), ps("Z"));
+        let (offset, groups) = qwc_groups(&h);
+        assert!((offset.re - 2.5).abs() < 1e-12);
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn energy_of_bits_evaluates_parities() {
+        let g = QwcGroup {
+            terms: vec![
+                (Complex64::real(1.0), ps("ZZ")),
+                (Complex64::real(0.5), ps("IZ")),
+            ],
+            basis: vec![Pauli::Z, Pauli::Z],
+        };
+        // bits 0b00: ZZ=+1, IZ=+1 → 1.5; bits 0b01: ZZ=−1, IZ=−1 → −1.5.
+        assert!((g.energy_of_bits(0b00) - 1.5).abs() < 1e-12);
+        assert!((g.energy_of_bits(0b01) + 1.5).abs() < 1e-12);
+        // bits 0b11: ZZ=+1, IZ=−1 → 0.5.
+        assert!((g.energy_of_bits(0b11) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_estimation_converges_to_expectation() {
+        // H = Z on |+⟩ has ⟨H⟩ = 0; H = Z on |0⟩ has ⟨H⟩ = 1.
+        let mut h = PauliSum::new(1);
+        h.add(Complex64::real(1.0), ps("Z"));
+        let prep = StateVector::zero_state(1);
+        let id_circuit = Circuit::new(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = estimate_energy(
+            &prep,
+            &id_circuit,
+            &h,
+            &NoiseModel::noiseless(),
+            500,
+            &mut rng,
+        );
+        assert!((e - 1.0).abs() < 1e-12, "Z on |0⟩ must read exactly 1");
+    }
+
+    #[test]
+    fn x_basis_measurement_uses_rotation() {
+        // H = X on |+⟩: exact value 1 even shot-by-shot.
+        let mut h = PauliSum::new(1);
+        h.add(Complex64::real(1.0), ps("X"));
+        let mut plus_prep = Circuit::new(1);
+        plus_prep.h(0);
+        let mut prep = StateVector::zero_state(1);
+        prep.apply_circuit(&plus_prep);
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = estimate_energy(
+            &prep,
+            &Circuit::new(1),
+            &h,
+            &NoiseModel::noiseless(),
+            200,
+            &mut rng,
+        );
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_noise_shrinks_with_shots() {
+        // H = Z on |+⟩: each shot is ±1; variance across estimates falls
+        // roughly as 1/shots.
+        let mut h = PauliSum::new(1);
+        h.add(Complex64::real(1.0), ps("Z"));
+        let mut prep = StateVector::zero_state(1);
+        let mut pc = Circuit::new(1);
+        pc.h(0);
+        prep.apply_circuit(&pc);
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = repeated_estimates(
+            &prep,
+            &Circuit::new(1),
+            &h,
+            &NoiseModel::noiseless(),
+            16,
+            40,
+            &mut rng,
+        );
+        let large = repeated_estimates(
+            &prep,
+            &Circuit::new(1),
+            &h,
+            &NoiseModel::noiseless(),
+            1024,
+            40,
+            &mut rng,
+        );
+        let (_, var_small) = bias_variance(&small, 0.0);
+        let (_, var_large) = bias_variance(&large, 0.0);
+        assert!(
+            var_large < var_small / 4.0,
+            "variance did not shrink: {var_small} vs {var_large}"
+        );
+    }
+
+    #[test]
+    fn bias_variance_formulas() {
+        let (bias, var) = bias_variance(&[1.0, 3.0], 1.0);
+        assert!((bias - 1.0).abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn zero_shots_rejected() {
+        let h = PauliSum::new(1);
+        let prep = StateVector::zero_state(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = estimate_energy(
+            &prep,
+            &Circuit::new(1),
+            &h,
+            &NoiseModel::noiseless(),
+            0,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Depolarizing-noise trajectory simulation (the Qiskit Aer stand-in of
+//! paper §V-B.4) and the IonQ Forte 1 calibration point of §V-B.5.
+
+use hatt_circuit::Circuit;
+use hatt_pauli::{Pauli, PauliString};
+use rand::Rng;
+
+use crate::state::StateVector;
+
+/// A depolarizing noise model: after every single-qubit gate a uniform
+/// non-identity Pauli strikes the qubit with probability `p1`; after every
+/// CNOT a uniform non-identity two-qubit Pauli strikes the pair with
+/// probability `p2`; measured bits flip with probability `readout`.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_sim::NoiseModel;
+///
+/// let ionq = NoiseModel::ionq_forte1();
+/// assert!(ionq.p2 > ionq.p1);
+/// assert!(NoiseModel::noiseless().is_noiseless());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing probability after single-qubit gates.
+    pub p1: f64,
+    /// Depolarizing probability after two-qubit gates.
+    pub p2: f64,
+    /// Readout bit-flip probability.
+    pub readout: f64,
+}
+
+impl NoiseModel {
+    /// No noise at all.
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            p1: 0.0,
+            p2: 0.0,
+            readout: 0.0,
+        }
+    }
+
+    /// A pure depolarizing model without readout error.
+    pub fn depolarizing(p1: f64, p2: f64) -> Self {
+        NoiseModel {
+            p1,
+            p2,
+            readout: 0.0,
+        }
+    }
+
+    /// The IonQ Forte 1 calibration quoted in the paper (§V-B.5):
+    /// 99.98% single-qubit fidelity, 98.99% two-qubit fidelity, 99.02%
+    /// readout fidelity.
+    pub fn ionq_forte1() -> Self {
+        NoiseModel {
+            p1: 2.0e-4,
+            p2: 1.01e-2,
+            readout: 9.8e-3,
+        }
+    }
+
+    /// Returns `true` when every error probability is zero.
+    pub fn is_noiseless(&self) -> bool {
+        self.p1 == 0.0 && self.p2 == 0.0 && self.readout == 0.0
+    }
+
+    /// Runs one noisy trajectory of `circuit` on `state`: each gate is
+    /// applied, then a random Pauli error strikes with the corresponding
+    /// probability (Monte-Carlo unravelling of the depolarizing channel).
+    pub fn apply_trajectory<R: Rng>(
+        &self,
+        circuit: &Circuit,
+        state: &mut StateVector,
+        rng: &mut R,
+    ) {
+        for g in circuit.gates() {
+            state.apply_gate(g);
+            if g.is_two_qubit() {
+                if self.p2 > 0.0 && rng.gen::<f64>() < self.p2 {
+                    let qs = g.qubits();
+                    let k = rng.gen_range(1..16); // 15 non-identity 2q Paulis
+                    let (a, b) = (k / 4, k % 4);
+                    let mut err = PauliString::identity(state.n_qubits());
+                    if a > 0 {
+                        err.set_op(qs[0], Pauli::ALL[a]);
+                    }
+                    if b > 0 {
+                        err.set_op(qs[1], Pauli::ALL[b]);
+                    }
+                    state.apply_pauli(&err);
+                }
+            } else if self.p1 > 0.0 && rng.gen::<f64>() < self.p1 {
+                let q = g.qubits()[0];
+                let k = rng.gen_range(1..4);
+                state.apply_pauli(&PauliString::single(
+                    state.n_qubits(),
+                    q,
+                    Pauli::ALL[k],
+                ));
+            }
+        }
+    }
+
+    /// Samples one measured bitstring from a state, applying readout
+    /// errors.
+    pub fn sample_readout<R: Rng>(&self, state: &StateVector, rng: &mut R) -> usize {
+        let mut outcome = state.sample(rng);
+        if self.readout > 0.0 {
+            for q in 0..state.n_qubits() {
+                if rng.gen::<f64>() < self.readout {
+                    outcome ^= 1 << q;
+                }
+            }
+        }
+        outcome
+    }
+}
+
+/// A noisy gate applied mid-circuit never changes the qubit count; this
+/// free function runs a complete shot: trajectory + readout sample.
+pub fn run_shot<R: Rng>(
+    noise: &NoiseModel,
+    prep: &StateVector,
+    circuit: &Circuit,
+    rng: &mut R,
+) -> usize {
+    let mut state = prep.clone();
+    noise.apply_trajectory(circuit, &mut state, rng);
+    noise.sample_readout(&state, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_trajectory_matches_ideal() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let noise = NoiseModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = StateVector::zero_state(2);
+        noise.apply_trajectory(&c, &mut s, &mut rng);
+        let mut ideal = StateVector::zero_state(2);
+        ideal.apply_circuit(&c);
+        assert!(s.fidelity(&ideal) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn heavy_noise_decoheres() {
+        // With p2 = 1 every CNOT is followed by a random error; fidelity
+        // to the ideal Bell state should drop for most seeds.
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let noise = NoiseModel::depolarizing(0.0, 1.0);
+        let mut ideal = StateVector::zero_state(2);
+        ideal.apply_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut degraded = 0;
+        for _ in 0..50 {
+            let mut s = StateVector::zero_state(2);
+            noise.apply_trajectory(&c, &mut s, &mut rng);
+            if s.fidelity(&ideal) < 0.99 {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 25, "only {degraded}/50 trajectories degraded");
+    }
+
+    #[test]
+    fn readout_flips_bits() {
+        let noise = NoiseModel {
+            p1: 0.0,
+            p2: 0.0,
+            readout: 1.0,
+        };
+        let s = StateVector::zero_state(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Readout error 1.0 flips every bit: |000⟩ reads as 111.
+        assert_eq!(noise.sample_readout(&s, &mut rng), 0b111);
+    }
+
+    #[test]
+    fn run_shot_returns_basis_index() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let noise = NoiseModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(3);
+        let prep = StateVector::zero_state(2);
+        assert_eq!(run_shot(&noise, &prep, &c, &mut rng), 0b01);
+    }
+
+    #[test]
+    fn ionq_calibration_values() {
+        let m = NoiseModel::ionq_forte1();
+        assert!((m.p1 - 2.0e-4).abs() < 1e-12);
+        assert!((m.p2 - 1.01e-2).abs() < 1e-12);
+        assert!((m.readout - 9.8e-3).abs() < 1e-12);
+        assert!(!m.is_noiseless());
+    }
+}

@@ -1,0 +1,345 @@
+//! Dense state-vector simulation of the circuit IR.
+
+use hatt_pauli::{Bits, Complex64, PauliString, PauliSum};
+use hatt_circuit::{Circuit, Gate};
+use rand::Rng;
+
+/// A pure quantum state on `n` qubits (`2^n` amplitudes, little-endian:
+/// bit `q` of the index is qubit `q`).
+///
+/// # Examples
+///
+/// ```
+/// use hatt_circuit::Circuit;
+/// use hatt_sim::StateVector;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cnot(0, 1);
+/// let mut psi = StateVector::zero_state(2);
+/// psi.apply_circuit(&bell);
+/// assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zero computational basis state `|0…0⟩`.
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n <= 26, "state vector limited to 26 qubits ({n} requested)");
+        let mut amps = vec![Complex64::ZERO; 1 << n];
+        amps[0] = Complex64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// A computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn basis_state(n: usize, index: usize) -> Self {
+        let mut s = StateVector::zero_state(n);
+        assert!(index < s.amps.len(), "basis index out of range");
+        s.amps[0] = Complex64::ZERO;
+        s.amps[index] = Complex64::ONE;
+        s
+    }
+
+    /// Builds a state from raw amplitudes (normalizing them).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the length is a power of two matching some qubit
+    /// count, or if the vector has zero norm.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len > 0, "length must be 2^n");
+        let n = len.trailing_zeros() as usize;
+        let mut s = StateVector { n, amps };
+        s.normalize();
+        s
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Raw amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// ⟨ψ|ψ⟩.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Rescales to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        for a in &mut self.amps {
+            *a = *a / n;
+        }
+    }
+
+    /// Probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Inner product ⟨self|other⟩.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch.
+    pub fn inner_product(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Applies a single-qubit matrix to `q`.
+    pub fn apply_1q(&mut self, q: usize, m: &hatt_circuit::Mat2) {
+        let mask = 1usize << q;
+        for j in 0..self.amps.len() {
+            if j & mask == 0 {
+                let (a, b) = (self.amps[j], self.amps[j | mask]);
+                self.amps[j] = m[0][0] * a + m[0][1] * b;
+                self.amps[j | mask] = m[1][0] * a + m[1][1] * b;
+            }
+        }
+    }
+
+    /// Applies a CNOT.
+    pub fn apply_cnot(&mut self, control: usize, target: usize) {
+        let (cm, tm) = (1usize << control, 1usize << target);
+        for j in 0..self.amps.len() {
+            if j & cm != 0 && j & tm == 0 {
+                self.amps.swap(j, j | tm);
+            }
+        }
+    }
+
+    /// Applies one gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate exceeds the register.
+    pub fn apply_gate(&mut self, g: &Gate) {
+        match *g {
+            Gate::Cnot { control, target } => self.apply_cnot(control, target),
+            Gate::Swap(a, b) => {
+                self.apply_cnot(a, b);
+                self.apply_cnot(b, a);
+                self.apply_cnot(a, b);
+            }
+            _ => {
+                let m = g.matrix1q().expect("1q gate");
+                self.apply_1q(g.qubits()[0], &m);
+            }
+        }
+    }
+
+    /// Applies every gate of a circuit.
+    pub fn apply_circuit(&mut self, c: &Circuit) {
+        for g in c.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies a Pauli string exactly: `|ψ⟩ ← P|ψ⟩` with
+    /// `P|j⟩ = i^k (−1)^{|z∧j|} |j⊕x⟩`.
+    pub fn apply_pauli(&mut self, p: &PauliString) {
+        assert_eq!(p.n_qubits(), self.n, "qubit count mismatch");
+        let x_mask = bits_to_usize(p.x_bits());
+        let z_mask = bits_to_usize(p.z_bits());
+        let phase = p.raw_phase();
+        let mut out = vec![Complex64::ZERO; self.amps.len()];
+        for (j, &a) in self.amps.iter().enumerate() {
+            let sign = (j & z_mask).count_ones() % 2;
+            let mut v = a.mul_i_pow(phase.exponent());
+            if sign == 1 {
+                v = -v;
+            }
+            out[j ^ x_mask] = v;
+        }
+        self.amps = out;
+    }
+
+    /// Expectation ⟨ψ|P|ψ⟩ of a Pauli string (complex in general; real for
+    /// Hermitian strings).
+    pub fn expectation_pauli(&self, p: &PauliString) -> Complex64 {
+        assert_eq!(p.n_qubits(), self.n, "qubit count mismatch");
+        let x_mask = bits_to_usize(p.x_bits());
+        let z_mask = bits_to_usize(p.z_bits());
+        let phase = p.raw_phase();
+        let mut acc = Complex64::ZERO;
+        for (j, &a) in self.amps.iter().enumerate() {
+            let sign = (j & z_mask).count_ones() % 2;
+            let mut v = a.mul_i_pow(phase.exponent());
+            if sign == 1 {
+                v = -v;
+            }
+            acc += self.amps[j ^ x_mask].conj() * v;
+        }
+        acc
+    }
+
+    /// Expectation ⟨ψ|H|ψ⟩ of a Hermitian Pauli sum.
+    pub fn expectation(&self, h: &PauliSum) -> f64 {
+        h.iter()
+            .map(|(c, p)| (c * self.expectation_pauli(&p)).re)
+            .sum()
+    }
+
+    /// Samples one measurement outcome (a basis-state index) in the
+    /// computational basis.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.gen::<f64>() * self.norm_sqr();
+        let mut acc = 0.0;
+        for (j, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return j;
+            }
+        }
+        self.amps.len() - 1
+    }
+}
+
+fn bits_to_usize(b: &Bits) -> usize {
+    let mut out = 0usize;
+    for i in b.iter_ones() {
+        out |= 1 << i;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_pauli::Pauli;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero_state(3);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(s.probability(0), 1.0);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let mut s = StateVector::zero_state(2);
+        s.apply_circuit(&c);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(3) - 0.5).abs() < 1e-12);
+        assert!(s.probability(1) < 1e-12);
+    }
+
+    #[test]
+    fn pauli_application_matches_gates() {
+        // X on qubit 1 of |00⟩ → |10⟩ (index 2).
+        let mut s = StateVector::zero_state(2);
+        s.apply_pauli(&PauliString::single(2, 1, Pauli::X));
+        assert_eq!(s.probability(2), 1.0);
+        // Y|0⟩ = i|1⟩.
+        let mut s = StateVector::zero_state(1);
+        s.apply_pauli(&PauliString::single(1, 0, Pauli::Y));
+        assert!(s.amplitudes()[1].approx_eq(Complex64::I, 1e-12));
+    }
+
+    #[test]
+    fn pauli_squares_to_identity_on_states() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let amps: Vec<Complex64> = (0..8)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let s0 = StateVector::from_amplitudes(amps);
+        let p: PauliString = "XYZ".parse().unwrap();
+        let mut s = s0.clone();
+        s.apply_pauli(&p);
+        s.apply_pauli(&p);
+        assert!(s.fidelity(&s0) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn expectations_of_basis_states() {
+        let s = StateVector::zero_state(1);
+        let z = PauliString::single(1, 0, Pauli::Z);
+        let x = PauliString::single(1, 0, Pauli::X);
+        assert!((s.expectation_pauli(&z).re - 1.0).abs() < 1e-12);
+        assert!(s.expectation_pauli(&x).re.abs() < 1e-12);
+        let one = StateVector::basis_state(1, 1);
+        assert!((one.expectation_pauli(&z).re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_sum() {
+        let mut h = PauliSum::new(2);
+        h.add(Complex64::real(0.5), "ZI".parse().unwrap());
+        h.add(Complex64::real(0.25), "IZ".parse().unwrap());
+        h.add(Complex64::real(2.0), "XX".parse().unwrap());
+        let s = StateVector::zero_state(2);
+        assert!((s.expectation(&h) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut s = StateVector::zero_state(1);
+        s.apply_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(11);
+        let ones: usize = (0..2000).map(|_| s.sample(&mut rng)).sum();
+        assert!(
+            (800..1200).contains(&ones),
+            "biased sampling: {ones}/2000 ones"
+        );
+    }
+
+    #[test]
+    fn swap_gate_exchanges_qubits() {
+        let mut s = StateVector::basis_state(2, 0b01);
+        s.apply_gate(&Gate::Swap(0, 1));
+        assert_eq!(s.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn u3_gate_acts_like_its_matrix() {
+        let g = Gate::U3 { q: 0, theta: 0.7, phi: 0.3, lambda: -0.2 };
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(&g);
+        let m = g.matrix1q().unwrap();
+        assert!(s.amplitudes()[0].approx_eq(m[0][0], 1e-12));
+        assert!(s.amplitudes()[1].approx_eq(m[1][0], 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "basis index out of range")]
+    fn bad_basis_index_rejected() {
+        StateVector::basis_state(2, 4);
+    }
+}

@@ -1,0 +1,224 @@
+//! Cross-substrate equivalence tests: every circuit-synthesis path must
+//! agree with the closed-form algebra `exp(-i(θ/2)P) = cos(θ/2)·I −
+//! i·sin(θ/2)·P`, and every optimization/routing pass must preserve
+//! circuit semantics.
+
+use hatt_circuit::{
+    optimize, pauli_evolution, route_sabre, synthesize_pauli_network, trotter_circuit,
+    CouplingMap, RouterOptions, RustiqOptions, TermOrder,
+};
+use hatt_pauli::{Complex64, PauliString, PauliSum};
+use hatt_sim::StateVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ps(s: &str) -> PauliString {
+    s.parse().expect("valid string")
+}
+
+fn random_state(n: usize, seed: u64) -> StateVector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let amps: Vec<Complex64> = (0..1usize << n)
+        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    StateVector::from_amplitudes(amps)
+}
+
+/// Applies the closed form `exp(-i(θ/2)P)|ψ⟩` exactly.
+fn closed_form_evolution(psi: &StateVector, p: &PauliString, theta: f64) -> StateVector {
+    let mut p_psi = psi.clone();
+    p_psi.apply_pauli(p);
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    let amps: Vec<Complex64> = psi
+        .amplitudes()
+        .iter()
+        .zip(p_psi.amplitudes())
+        .map(|(&a, &pa)| a * c - pa.mul_i() * s)
+        .collect();
+    StateVector::from_amplitudes(amps)
+}
+
+fn fidelity_after(circuit: &hatt_circuit::Circuit, reference: &StateVector, start: &StateVector) -> f64 {
+    let mut out = start.clone();
+    out.apply_circuit(circuit);
+    out.fidelity(reference)
+}
+
+#[test]
+fn pauli_evolution_matches_closed_form() {
+    let cases = ["ZZ", "XI", "XY", "YZ", "XYZ", "ZIZ", "YYX"];
+    for (i, s) in cases.iter().enumerate() {
+        let p = ps(s);
+        let n = p.n_qubits();
+        let theta = 0.3 + 0.2 * i as f64;
+        let psi = random_state(n, 42 + i as u64);
+        let expect = closed_form_evolution(&psi, &p, theta);
+        let circuit = pauli_evolution(&p, theta);
+        let f = fidelity_after(&circuit, &expect, &psi);
+        assert!(f > 1.0 - 1e-10, "{s}: fidelity {f}");
+    }
+}
+
+#[test]
+fn trotter_circuit_matches_sequential_closed_form() {
+    let mut h = PauliSum::new(3);
+    h.add(Complex64::real(0.5), ps("ZZI"));
+    h.add(Complex64::real(-0.3), ps("IXX"));
+    h.add(Complex64::real(0.2), ps("YIY"));
+    let t = 0.7;
+    let circuit = trotter_circuit(&h, t, 1, TermOrder::Given);
+    // Closed form, same (deterministic) term order.
+    let psi = random_state(3, 9);
+    let mut expect = psi.clone();
+    for (c, p) in h.iter() {
+        expect = closed_form_evolution(&expect, &p, 2.0 * c.re * t);
+    }
+    let f = fidelity_after(&circuit, &expect, &psi);
+    assert!(f > 1.0 - 1e-10, "fidelity {f}");
+}
+
+#[test]
+fn term_order_does_not_change_commuting_evolutions() {
+    // All-Z terms commute: any ordering gives the same unitary.
+    let mut h = PauliSum::new(3);
+    h.add(Complex64::real(0.4), ps("ZZI"));
+    h.add(Complex64::real(0.3), ps("IZZ"));
+    h.add(Complex64::real(0.2), ps("ZIZ"));
+    let psi = random_state(3, 4);
+    let a = trotter_circuit(&h, 1.0, 1, TermOrder::Given);
+    let b = trotter_circuit(&h, 1.0, 1, TermOrder::Lexicographic);
+    let c = trotter_circuit(&h, 1.0, 1, TermOrder::GreedyOverlap);
+    let mut sa = psi.clone();
+    sa.apply_circuit(&a);
+    let mut sb = psi.clone();
+    sb.apply_circuit(&b);
+    let mut sc = psi.clone();
+    sc.apply_circuit(&c);
+    assert!(sa.fidelity(&sb) > 1.0 - 1e-10);
+    assert!(sa.fidelity(&sc) > 1.0 - 1e-10);
+}
+
+#[test]
+fn optimizer_preserves_semantics() {
+    let mut h = PauliSum::new(4);
+    h.add(Complex64::real(0.5), ps("ZZII"));
+    h.add(Complex64::real(0.4), ps("IZZI"));
+    h.add(Complex64::real(0.3), ps("IIZZ"));
+    h.add(Complex64::real(0.2), ps("XXII"));
+    h.add(Complex64::real(0.1), ps("IYYI"));
+    let raw = trotter_circuit(&h, 0.9, 1, TermOrder::Lexicographic);
+    let opt = optimize(&raw);
+    assert!(opt.metrics().total <= raw.metrics().total);
+    let psi = random_state(4, 17);
+    let mut a = psi.clone();
+    a.apply_circuit(&raw);
+    let mut b = psi.clone();
+    b.apply_circuit(&opt);
+    assert!(a.fidelity(&b) > 1.0 - 1e-9, "optimizer broke the circuit");
+}
+
+#[test]
+fn pauli_network_matches_naive_synthesis() {
+    let rotations = vec![
+        (ps("ZZI"), 0.3),
+        (ps("IXX"), -0.4),
+        (ps("YIY"), 0.5),
+        (ps("ZZZ"), 0.2),
+        (ps("XYZ"), -0.1),
+    ];
+    let psi = random_state(3, 23);
+    let mut expect = psi.clone();
+    for (p, theta) in &rotations {
+        expect = closed_form_evolution(&expect, p, *theta);
+    }
+    let net = synthesize_pauli_network(3, &rotations, &RustiqOptions::default());
+    let f = fidelity_after(&net, &expect, &psi);
+    assert!(f > 1.0 - 1e-9, "network fidelity {f}");
+}
+
+#[test]
+fn pauli_network_handles_long_sequences() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let letters = ["I", "X", "Y", "Z"];
+    let mut rotations = Vec::new();
+    for _ in 0..25 {
+        let s: String = (0..3).map(|_| letters[rng.gen_range(0..4)]).collect();
+        let p = ps(&s);
+        if p.is_identity() {
+            continue;
+        }
+        rotations.push((p, rng.gen_range(-1.0..1.0)));
+    }
+    let psi = random_state(3, 37);
+    let mut expect = psi.clone();
+    for (p, theta) in &rotations {
+        expect = closed_form_evolution(&expect, p, *theta);
+    }
+    let net = synthesize_pauli_network(3, &rotations, &RustiqOptions::default());
+    let f = fidelity_after(&net, &expect, &psi);
+    assert!(f > 1.0 - 1e-8, "long-sequence fidelity {f}");
+}
+
+#[test]
+fn routing_preserves_semantics_up_to_layout() {
+    // A 4-qubit Trotter circuit routed onto a 6-qubit line.
+    let mut h = PauliSum::new(4);
+    h.add(Complex64::real(0.5), ps("ZIIZ"));
+    h.add(Complex64::real(0.4), ps("IXXI"));
+    h.add(Complex64::real(0.3), ps("YIIY"));
+    let circuit = trotter_circuit(&h, 0.8, 1, TermOrder::Given);
+    let arch = CouplingMap::line(6);
+    let routed = route_sabre(&circuit, &arch, &RouterOptions::default());
+
+    // Reference: logical state, embedded at the final layout.
+    let psi_l = random_state(4, 5);
+    let mut evolved = psi_l.clone();
+    evolved.apply_circuit(&circuit);
+
+    // Physical start: logical qubit q at initial_layout[q] (trivial), rest |0⟩.
+    let n_phys = arch.n_qubits();
+    let mut start_amps = vec![Complex64::ZERO; 1 << n_phys];
+    for (j, &a) in psi_l.amplitudes().iter().enumerate() {
+        let mut phys = 0usize;
+        for q in 0..4 {
+            if j >> q & 1 == 1 {
+                phys |= 1 << routed.initial_layout[q];
+            }
+        }
+        start_amps[phys] = a;
+    }
+    let mut phys_state = StateVector::from_amplitudes(start_amps);
+    phys_state.apply_circuit(&routed.circuit);
+
+    // Expected: evolved amplitudes at the *final* layout.
+    let mut expect_amps = vec![Complex64::ZERO; 1 << n_phys];
+    for (j, &a) in evolved.amplitudes().iter().enumerate() {
+        let mut phys = 0usize;
+        for q in 0..4 {
+            if j >> q & 1 == 1 {
+                phys |= 1 << routed.final_layout[q];
+            }
+        }
+        expect_amps[phys] = a;
+    }
+    let expect = StateVector::from_amplitudes(expect_amps);
+    let f = phys_state.fidelity(&expect);
+    assert!(f > 1.0 - 1e-9, "routing broke the circuit: fidelity {f}");
+}
+
+#[test]
+fn optimizing_routed_circuits_is_still_correct() {
+    let mut h = PauliSum::new(3);
+    h.add(Complex64::real(0.5), ps("ZIZ"));
+    h.add(Complex64::real(0.4), ps("XXI"));
+    let circuit = trotter_circuit(&h, 1.0, 2, TermOrder::Lexicographic);
+    let arch = CouplingMap::line(3);
+    let routed = route_sabre(&circuit, &arch, &RouterOptions::default());
+    let opt = optimize(&routed.circuit);
+    let psi = random_state(3, 77);
+    let mut a = psi.clone();
+    a.apply_circuit(&routed.circuit);
+    let mut b = psi.clone();
+    b.apply_circuit(&opt);
+    assert!(a.fidelity(&b) > 1.0 - 1e-9);
+}

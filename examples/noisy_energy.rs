@@ -1,0 +1,50 @@
+//! Measure the H2 ground-state energy on a simulated noisy device
+//! (IonQ-Forte-1-like calibration) under different fermion-to-qubit
+//! mappings — the paper's Figure 11 experiment as a library workflow.
+//!
+//! ```sh
+//! cargo run --release --example noisy_energy
+//! ```
+
+use hatt::circuit::{optimize, trotter_circuit, TermOrder};
+use hatt::core::hatt;
+use hatt::fermion::models::MolecularIntegrals;
+use hatt::fermion::MajoranaSum;
+use hatt::mappings::{jordan_wigner, FermionMapping};
+use hatt::sim::{bias_variance, energy_samples, ground_state, NoiseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let h = MajoranaSum::from_fermion(&MolecularIntegrals::h2_sto3g().to_fermion_operator());
+    let n = h.n_modes();
+    let noise = NoiseModel::ionq_forte1();
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    println!("H2/STO-3G energy measurement, IonQ-Forte-1-like noise");
+    println!("p1 = {:.1e}, p2 = {:.1e}, readout = {:.1e}\n", noise.p1, noise.p2, noise.readout);
+
+    for mapping in [
+        Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,
+        Box::new(hatt(&h)),
+    ] {
+        let hq = mapping.map_majorana_sum(&h);
+        // The exact ground state is the preparation (stand-in for VQE).
+        let (e0, psi0) = ground_state(&hq);
+        // One Trotter step of e^{-iHt}: ideally energy-preserving, so all
+        // bias comes from noise acting on the mapping-dependent circuit.
+        let circuit = optimize(&trotter_circuit(&hq, 1.0, 1, TermOrder::Lexicographic));
+        let samples = energy_samples(&psi0, &circuit, &hq, &noise, 1000, &mut rng);
+        let (bias, variance) = bias_variance(&samples, e0);
+        println!(
+            "{:<6} ({} CNOTs): E = {:+.4} ± {:.4}  (exact {:+.4}, bias {:+.4})",
+            mapping.name(),
+            circuit.metrics().cnot,
+            e0 + bias,
+            variance.sqrt(),
+            e0,
+            bias
+        );
+    }
+    println!("\nfewer gates → less depolarizing damage → smaller bias");
+}

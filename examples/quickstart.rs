@@ -1,0 +1,56 @@
+//! Quickstart: compile a Hamiltonian-adaptive fermion-to-qubit mapping
+//! for the H2 molecule and compare it against Jordan-Wigner.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hatt::circuit::{optimize, trotter_circuit, TermOrder};
+use hatt::core::hatt;
+use hatt::fermion::models::MolecularIntegrals;
+use hatt::fermion::MajoranaSum;
+use hatt::mappings::{jordan_wigner, validate, FermionMapping};
+
+fn main() {
+    // 1. Build the fermionic Hamiltonian (published H2/STO-3G integrals).
+    let molecule = MolecularIntegrals::h2_sto3g();
+    let hf = molecule.to_fermion_operator();
+    println!("H2/STO-3G: {} fermionic terms on {} modes", hf.n_terms(), hf.n_modes());
+
+    // 2. Preprocess to Majorana form (the input of every mapping).
+    let mut h = MajoranaSum::from_fermion(&hf);
+    let constant = h.take_identity();
+    println!("Majorana form: {} terms (constant {:.6})", h.n_terms(), constant.re);
+
+    // 3. Compile the Hamiltonian-adaptive mapping.
+    let mapping = hatt(&h);
+    println!("\nHATT Majorana strings:");
+    for k in 0..2 * h.n_modes() {
+        println!("  M{k:<2} = {}  (compact: {})", mapping.majorana(k), mapping.majorana(k).compact());
+    }
+    let report = validate(&mapping);
+    println!(
+        "valid mapping: {}, vacuum preserving: {}",
+        report.is_valid(),
+        report.vacuum_preserving
+    );
+
+    // 4. Map the Hamiltonian and compare Pauli weight with Jordan-Wigner.
+    let hq_hatt = mapping.map_majorana_sum(&h);
+    let hq_jw = jordan_wigner(h.n_modes()).map_majorana_sum(&h);
+    println!(
+        "\nPauli weight: HATT {} vs JW {}",
+        hq_hatt.weight(),
+        hq_jw.weight()
+    );
+
+    // 5. Synthesize and optimize one Trotter step.
+    for (name, hq) in [("HATT", &hq_hatt), ("JW", &hq_jw)] {
+        let circuit = optimize(&trotter_circuit(hq, 1.0, 1, TermOrder::Lexicographic));
+        let m = circuit.metrics();
+        println!(
+            "{name}: {} CNOTs, {} single-qubit gates, depth {}",
+            m.cnot, m.single_qubit, m.depth
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # hatt — Hamiltonian-Adaptive Ternary Tree fermion-to-qubit mapping
+//!
+//! Facade crate re-exporting the full HATT workspace (a Rust reproduction
+//! of *HATT: Hamiltonian Adaptive Ternary Tree for Optimizing
+//! Fermion-to-Qubit Mapping*, HPCA 2025).
+//!
+//! See the [`prelude`] for the commonly used types.
+
+#![warn(missing_docs)]
+
+pub use hatt_circuit as circuit;
+pub use hatt_core as core;
+pub use hatt_fermion as fermion;
+pub use hatt_mappings as mappings;
+pub use hatt_pauli as pauli;
+pub use hatt_sim as sim;
+
+/// Commonly used items, re-exported for `use hatt::prelude::*`.
+pub mod prelude {
+    pub use hatt_pauli::{Complex64, Pauli, PauliString, PauliSum, Phase};
+}

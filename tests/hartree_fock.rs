@@ -1,0 +1,127 @@
+//! Occupied-state integration tests: applying mapped creation operators
+//! to the qubit vacuum must reproduce fermionic occupation physics — the
+//! Hartree-Fock energy of H2 and particle-number bookkeeping — for every
+//! vacuum-preserving mapping.
+
+use hatt::core::hatt;
+use hatt::fermion::models::MolecularIntegrals;
+use hatt::fermion::MajoranaSum;
+use hatt::mappings::{
+    balanced_ternary_tree, bravyi_kitaev, jordan_wigner, parity, FermionMapping,
+};
+use hatt::pauli::Complex64;
+use hatt::sim::StateVector;
+
+/// Applies the mapped creation operator `a†_j = (M_2j − i·M_2j+1)/2` to a
+/// state.
+fn apply_creation<M: FermionMapping + ?Sized>(
+    mapping: &M,
+    j: usize,
+    state: &StateVector,
+) -> StateVector {
+    let mut even = state.clone();
+    even.apply_pauli(mapping.majorana(2 * j));
+    let mut odd = state.clone();
+    odd.apply_pauli(mapping.majorana(2 * j + 1));
+    let amps: Vec<Complex64> = even
+        .amplitudes()
+        .iter()
+        .zip(odd.amplitudes())
+        .map(|(&e, &o)| (e - o.mul_i()) * 0.5)
+        .collect();
+    StateVector::from_amplitudes(amps)
+}
+
+fn mappings_under_test(h: &MajoranaSum) -> Vec<Box<dyn FermionMapping>> {
+    let n = h.n_modes();
+    vec![
+        Box::new(jordan_wigner(n)),
+        Box::new(parity(n)),
+        Box::new(bravyi_kitaev(n)),
+        Box::new(balanced_ternary_tree(n)),
+        Box::new(hatt(h)),
+    ]
+}
+
+#[test]
+fn hartree_fock_energy_of_h2() {
+    // |HF⟩ = a†_{g↑} a†_{g↓} |vac⟩ with E_HF = 2·h_gg + (gg|gg).
+    let integrals = MolecularIntegrals::h2_sto3g();
+    let e_hf = 2.0 * integrals.h1(0, 0) + integrals.eri(0, 0, 0, 0);
+    let op = integrals.to_fermion_operator();
+    let h = MajoranaSum::from_fermion(&op);
+    for mapping in mappings_under_test(&h) {
+        let hq = mapping.map_majorana_sum(&h);
+        // Block ordering: g↑ = mode 0, g↓ = mode 2.
+        let vacuum = StateVector::zero_state(4);
+        let psi = apply_creation(&*mapping, 2, &apply_creation(&*mapping, 0, &vacuum));
+        let e = psi.expectation(&hq);
+        assert!(
+            (e - e_hf).abs() < 1e-8,
+            "{}: ⟨HF|H|HF⟩ = {e}, expected {e_hf}",
+            mapping.name()
+        );
+    }
+}
+
+#[test]
+fn vacuum_energy_is_zero_body_constant() {
+    // ⟨vac|H|vac⟩ must equal the constant term of the Majorana form.
+    let op = MolecularIntegrals::h2_sto3g().to_fermion_operator();
+    let h = MajoranaSum::from_fermion(&op);
+    for mapping in mappings_under_test(&h) {
+        let hq = mapping.map_majorana_sum(&h);
+        let vacuum = StateVector::zero_state(4);
+        let e = vacuum.expectation(&hq);
+        assert!(
+            e.abs() < 1e-8,
+            "{}: vacuum energy {e} should vanish for a normal-ordered H",
+            mapping.name()
+        );
+    }
+}
+
+#[test]
+fn creation_operators_anticommute_via_states() {
+    // a†_0 a†_1 |vac⟩ = −a†_1 a†_0 |vac⟩.
+    let op = MolecularIntegrals::h2_sto3g().to_fermion_operator();
+    let h = MajoranaSum::from_fermion(&op);
+    for mapping in mappings_under_test(&h) {
+        let vacuum = StateVector::zero_state(4);
+        let ab = apply_creation(&*mapping, 1, &apply_creation(&*mapping, 0, &vacuum));
+        let ba = apply_creation(&*mapping, 0, &apply_creation(&*mapping, 1, &vacuum));
+        let overlap = ab.inner_product(&ba);
+        assert!(
+            overlap.approx_eq(-Complex64::ONE, 1e-9),
+            "{}: ⟨01|10⟩ = {overlap}, expected −1",
+            mapping.name()
+        );
+    }
+}
+
+#[test]
+fn double_creation_annihilates() {
+    // (a†_0)² |vac⟩ = 0: the resulting (unnormalized) amplitudes vanish.
+    let op = MolecularIntegrals::h2_sto3g().to_fermion_operator();
+    let h = MajoranaSum::from_fermion(&op);
+    for mapping in mappings_under_test(&h) {
+        let vacuum = StateVector::zero_state(4);
+        let once = apply_creation(&*mapping, 0, &vacuum);
+        // Repeat without normalization to observe the zero vector.
+        let mut even = once.clone();
+        even.apply_pauli(mapping.majorana(0));
+        let mut odd = once.clone();
+        odd.apply_pauli(mapping.majorana(1));
+        let norm: f64 = even
+            .amplitudes()
+            .iter()
+            .zip(odd.amplitudes())
+            .map(|(&e, &o)| ((e - o.mul_i()) * 0.5).norm_sqr())
+            .sum();
+        assert!(
+            norm < 1e-18,
+            "{}: (a†)²|vac⟩ has norm² {norm}, expected 0",
+            mapping.name()
+        );
+    }
+}

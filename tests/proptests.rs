@@ -1,0 +1,83 @@
+//! Workspace-level property tests: mapping validity invariants and
+//! cross-mapping isospectrality on randomly generated fermionic
+//! Hamiltonians.
+
+use hatt::core::{hatt_with, HattOptions, Variant};
+use hatt::fermion::models::random_hermitian;
+use hatt::fermion::MajoranaSum;
+use hatt::mappings::{
+    balanced_ternary_tree, bravyi_kitaev, jordan_wigner, parity, validate, FermionMapping,
+};
+use hatt::sim::spectrum;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn constructive_mappings_are_always_valid(n in 1usize..16) {
+        for m in [
+            Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,
+            Box::new(parity(n)),
+            Box::new(bravyi_kitaev(n)),
+            Box::new(balanced_ternary_tree(n)),
+        ] {
+            let report = validate(&*m);
+            prop_assert!(report.is_valid(), "{} invalid at n={n}", m.name());
+            prop_assert!(report.vacuum_preserving, "{} breaks vacuum at n={n}", m.name());
+        }
+    }
+
+    #[test]
+    fn hatt_is_valid_on_random_hamiltonians(
+        n in 3usize..8,
+        one in 2usize..8,
+        two in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let op = random_hermitian(n, one, two, seed);
+        let h = MajoranaSum::from_fermion(&op);
+        for variant in [Variant::Unopt, Variant::Cached] {
+            let m = hatt_with(&h, &HattOptions { variant, naive_weight: false });
+            let report = validate(&m);
+            prop_assert!(report.is_valid(), "{variant:?} invalid: {report:?}");
+            if variant == Variant::Cached {
+                prop_assert!(report.vacuum_preserving, "{variant:?} broke vacuum");
+            }
+        }
+    }
+
+    #[test]
+    fn hatt_weight_objective_matches_mapped_weight(
+        n in 3usize..7,
+        seed in 0u64..100,
+    ) {
+        let op = random_hermitian(n, 5, 3, seed);
+        let mut h = MajoranaSum::from_fermion(&op);
+        let _ = h.take_identity();
+        let m = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: false });
+        let mut hq = m.map_majorana_sum(&h);
+        let _ = hq.take_identity();
+        // The greedy objective counts per-term weights without merging;
+        // merging can only reduce the realized weight.
+        prop_assert!(hq.weight() <= m.stats().total_weight());
+    }
+
+    #[test]
+    fn mappings_are_isospectral_on_random_hamiltonians(seed in 0u64..40) {
+        let op = random_hermitian(3, 4, 2, seed);
+        let h = MajoranaSum::from_fermion(&op);
+        let reference = spectrum(&jordan_wigner(3).map_majorana_sum(&h));
+        for m in [
+            Box::new(bravyi_kitaev(3)) as Box<dyn FermionMapping>,
+            Box::new(balanced_ternary_tree(3)),
+            Box::new(hatt_with(&h, &HattOptions::default())),
+        ] {
+            let s = spectrum(&m.map_majorana_sum(&h));
+            for (a, b) in reference.iter().zip(&s) {
+                prop_assert!((a - b).abs() < 1e-7,
+                    "{} spectrum deviates at seed {seed}", m.name());
+            }
+        }
+    }
+}
