@@ -39,7 +39,10 @@ fn bench_cache_ablation(c: &mut Criterion) {
             b.iter(|| {
                 std::hint::black_box(hatt_with(
                     &h,
-                    &HattOptions { variant, naive_weight: false },
+                    &HattOptions {
+                        variant,
+                        naive_weight: false,
+                    },
                 ))
             })
         });

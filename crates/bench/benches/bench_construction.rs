@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hatt_core::{hatt_with, HattOptions, Variant};
 use hatt_fermion::models::FermiHubbard;
 use hatt_fermion::MajoranaSum;
-use hatt_mappings::{
-    balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner,
-};
+use hatt_mappings::{balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner};
 
 fn bench_variants_on_uniform(c: &mut Criterion) {
     for n in [8usize, 16, 32] {
@@ -23,7 +21,10 @@ fn bench_variants_on_uniform(c: &mut Criterion) {
                 b.iter(|| {
                     std::hint::black_box(hatt_with(
                         &h,
-                        &HattOptions { variant, naive_weight: false },
+                        &HattOptions {
+                            variant,
+                            naive_weight: false,
+                        },
                     ))
                 })
             });
@@ -34,12 +35,19 @@ fn bench_variants_on_uniform(c: &mut Criterion) {
 fn bench_variants_on_hubbard(c: &mut Criterion) {
     let h = MajoranaSum::from_fermion(&FermiHubbard::new(2, 4).hamiltonian());
     for variant in [Variant::Unopt, Variant::Cached] {
-        let label = if variant == Variant::Unopt { "unopt" } else { "cached" };
+        let label = if variant == Variant::Unopt {
+            "unopt"
+        } else {
+            "cached"
+        };
         c.bench_function(&format!("construct/hubbard_2x4/{label}"), |b| {
             b.iter(|| {
                 std::hint::black_box(hatt_with(
                     &h,
-                    &HattOptions { variant, naive_weight: false },
+                    &HattOptions {
+                        variant,
+                        naive_weight: false,
+                    },
                 ))
             })
         });

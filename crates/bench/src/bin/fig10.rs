@@ -26,8 +26,10 @@ fn logspace(lo: f64, hi: f64, k: usize) -> Vec<f64> {
 
 fn main() {
     println!("== Figure 10: noisy-simulation bias/variance (paper §V-D.1) ==");
-    for (mol_name, shots, reps, grid) in [("H2 sto3g", 1000usize, 8usize, 4usize), ("LiH sto3g frz", 300, 3, 2)]
-    {
+    for (mol_name, shots, reps, grid) in [
+        ("H2 sto3g", 1000usize, 8usize, 4usize),
+        ("LiH sto3g frz", 300, 3, 2),
+    ] {
         let spec = molecule_catalog()
             .into_iter()
             .find(|m| m.name == mol_name)
@@ -63,8 +65,11 @@ fn main() {
                 m.depth,
                 e0
             );
-            println!("    {:>9} {:>9} {:>10} {:>10}", "p1", "p2", "bias", "variance");
-            let mut rng = StdRng::seed_from_u64(0xF16_0 + n as u64);
+            println!(
+                "    {:>9} {:>9} {:>10} {:>10}",
+                "p1", "p2", "bias", "variance"
+            );
+            let mut rng = StdRng::seed_from_u64(0xF160 + n as u64);
             for &p1 in &p1s {
                 for &p2 in &p2s {
                     let noise = NoiseModel::depolarizing(p1, p2);
@@ -73,10 +78,7 @@ fn main() {
                         samples.extend(energy_samples(&psi0, &circ, &hq, &noise, shots, &mut rng));
                     }
                     let (bias, var) = bias_variance(&samples, e0);
-                    println!(
-                        "    {:>9.1e} {:>9.1e} {:>10.4} {:>10.5}",
-                        p1, p2, bias, var
-                    );
+                    println!("    {:>9.1e} {:>9.1e} {:>10.4} {:>10.5}", p1, p2, bias, var);
                 }
             }
         }

@@ -16,7 +16,13 @@ fn time_variant(h: &MajoranaSum, variant: Variant, repeats: usize) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..repeats {
         let t0 = Instant::now();
-        let m = hatt_with(h, &HattOptions { variant, naive_weight: false });
+        let m = hatt_with(
+            h,
+            &HattOptions {
+                variant,
+                naive_weight: false,
+            },
+        );
         let dt = t0.elapsed().as_secs_f64();
         std::hint::black_box(m);
         best = best.min(dt);
@@ -79,9 +85,18 @@ fn main() {
         pts.iter().copied().filter(|&(n, _)| n >= 16).collect()
     };
     println!("\nlog-log slope fits (N ≥ 16):");
-    println!("  HATT (unopt)  ~ N^{:.2}   (paper: O(N^4))", loglog_slope(&tail(&unopt_pts)));
-    println!("  HATT (paired) ~ N^{:.2}   (uncached Algorithm 2)", loglog_slope(&tail(&paired_pts)));
-    println!("  HATT          ~ N^{:.2}   (paper: O(N^3))", loglog_slope(&tail(&cached_pts)));
+    println!(
+        "  HATT (unopt)  ~ N^{:.2}   (paper: O(N^4))",
+        loglog_slope(&tail(&unopt_pts))
+    );
+    println!(
+        "  HATT (paired) ~ N^{:.2}   (uncached Algorithm 2)",
+        loglog_slope(&tail(&paired_pts))
+    );
+    println!(
+        "  HATT          ~ N^{:.2}   (paper: O(N^3))",
+        loglog_slope(&tail(&cached_pts))
+    );
     if fh_pts.len() >= 2 {
         let (n0, t0) = fh_pts[fh_pts.len() - 2];
         let (n1, t1) = fh_pts[fh_pts.len() - 1];

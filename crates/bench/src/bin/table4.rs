@@ -5,9 +5,7 @@
 //! `cargo run --release -p hatt-bench --bin table4`
 
 use hatt_bench::{preprocess, reduction_pct};
-use hatt_circuit::{
-    optimize, route_sabre, trotter_circuit, CouplingMap, RouterOptions, TermOrder,
-};
+use hatt_circuit::{optimize, route_sabre, trotter_circuit, CouplingMap, RouterOptions, TermOrder};
 use hatt_core::hatt;
 use hatt_fermion::models::molecule_catalog;
 use hatt_mappings::{jordan_wigner, FermionMapping};
@@ -26,7 +24,11 @@ fn main() {
         .collect();
 
     for arch in &archs {
-        println!("\n--- architecture: {} ({} qubits) ---", arch.name(), arch.n_qubits());
+        println!(
+            "\n--- architecture: {} ({} qubits) ---",
+            arch.name(),
+            arch.n_qubits()
+        );
         println!(
             "  {:<16} {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8}",
             "case", "JW cx", "JW u3", "JW d", "HATT cx", "HATT u3", "HATT d"

@@ -54,5 +54,7 @@ fn main() {
         mean(&cx_red),
         mean(&u3_red)
     );
-    println!("paper reference: HATT+Rustiq beats JW+Rustiq by up to 18.2% CNOT / 21.8% U3 / 13.5% depth");
+    println!(
+        "paper reference: HATT+Rustiq beats JW+Rustiq by up to 18.2% CNOT / 21.8% U3 / 13.5% depth"
+    );
 }

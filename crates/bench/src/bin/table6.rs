@@ -11,7 +11,13 @@ use hatt_fermion::MajoranaSum;
 use hatt_mappings::FermionMapping;
 
 fn weight_of(h: &MajoranaSum, variant: Variant) -> usize {
-    let m = hatt_with(h, &HattOptions { variant, naive_weight: false });
+    let m = hatt_with(
+        h,
+        &HattOptions {
+            variant,
+            naive_weight: false,
+        },
+    );
     let mut hq = m.map_majorana_sum(h);
     let _ = hq.take_identity();
     hq.weight()
@@ -19,7 +25,10 @@ fn weight_of(h: &MajoranaSum, variant: Variant) -> usize {
 
 fn main() {
     println!("== Table VI: HATT (unopt) vs HATT Pauli weight, ≤ 24 modes (paper §V-F) ==");
-    println!("  {:<16} {:>6} {:>14} {:>10} {:>9}", "case", "modes", "HATT(unopt)", "HATT", "Δ%");
+    println!(
+        "  {:<16} {:>6} {:>14} {:>10} {:>9}",
+        "case", "modes", "HATT(unopt)", "HATT", "Δ%"
+    );
     let mut cases: Vec<(String, MajoranaSum)> = Vec::new();
     for spec in molecule_catalog() {
         if spec.n_modes <= 24 {

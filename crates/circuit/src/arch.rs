@@ -40,7 +40,10 @@ impl CouplingMap {
         let mut adjacency = vec![Vec::new(); n];
         let mut edges = Vec::new();
         for &(a, b) in edge_list {
-            assert!(a < n && b < n && a != b, "bad edge ({a}, {b}) for {n} qubits");
+            assert!(
+                a < n && b < n && a != b,
+                "bad edge ({a}, {b}) for {n} qubits"
+            );
             if !adjacency[a].contains(&b) {
                 adjacency[a].push(b);
                 adjacency[b].push(a);
@@ -147,7 +150,10 @@ impl CouplingMap {
     /// `spacing` columns. With `stagger` set, successive gaps offset their
     /// connector columns by half a spacing (the hexagonal pattern).
     pub fn heavy_hex(name: &str, rails: usize, cols: usize, spacing: usize, stagger: bool) -> Self {
-        assert!(rails >= 2 && cols >= 2 && spacing >= 2, "degenerate heavy-hex");
+        assert!(
+            rails >= 2 && cols >= 2 && spacing >= 2,
+            "degenerate heavy-hex"
+        );
         let rail_q = |r: usize, c: usize| r * cols + c;
         let mut n = rails * cols;
         let mut edges = Vec::new();
@@ -157,7 +163,11 @@ impl CouplingMap {
             }
         }
         for gap in 0..rails - 1 {
-            let offset = if stagger { (gap % 2) * (spacing / 2) } else { 0 };
+            let offset = if stagger {
+                (gap % 2) * (spacing / 2)
+            } else {
+                0
+            };
             let mut c = offset;
             while c < cols {
                 let connector = n;
@@ -253,7 +263,7 @@ mod tests {
     fn sycamore_has_diagonal_degree() {
         let m = CouplingMap::sycamore54();
         let max_deg = (0..54).map(|q| m.neighbors(q).len()).max().unwrap();
-        assert!(max_deg >= 3 && max_deg <= 4, "unexpected degree {max_deg}");
+        assert!((3..=4).contains(&max_deg), "unexpected degree {max_deg}");
     }
 
     #[test]

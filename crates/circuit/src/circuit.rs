@@ -152,9 +152,18 @@ impl Circuit {
         let mut out = Vec::with_capacity(self.gates.len());
         for g in self.gates.drain(..) {
             if let Gate::Swap(a, b) = g {
-                out.push(Gate::Cnot { control: a, target: b });
-                out.push(Gate::Cnot { control: b, target: a });
-                out.push(Gate::Cnot { control: a, target: b });
+                out.push(Gate::Cnot {
+                    control: a,
+                    target: b,
+                });
+                out.push(Gate::Cnot {
+                    control: b,
+                    target: a,
+                });
+                out.push(Gate::Cnot {
+                    control: a,
+                    target: b,
+                });
             } else {
                 out.push(g);
             }
@@ -212,7 +221,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} gates)", self.n_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} gates)",
+            self.n_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -261,7 +275,13 @@ mod tests {
         let inv = c.inverse();
         assert_eq!(inv.gates()[0], Gate::Rz(1, -0.5));
         assert_eq!(inv.gates()[3], Gate::H(0));
-        assert_eq!(inv.gates()[1], Gate::Cnot { control: 0, target: 1 });
+        assert_eq!(
+            inv.gates()[1],
+            Gate::Cnot {
+                control: 0,
+                target: 1
+            }
+        );
         assert_eq!(inv.gates()[2], Gate::Sdg(1));
     }
 

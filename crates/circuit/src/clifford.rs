@@ -44,8 +44,12 @@ impl CliffordTableau {
     pub fn identity(n: usize) -> Self {
         CliffordTableau {
             n,
-            x_image: (0..n).map(|q| PauliString::single(n, q, Pauli::X)).collect(),
-            z_image: (0..n).map(|q| PauliString::single(n, q, Pauli::Z)).collect(),
+            x_image: (0..n)
+                .map(|q| PauliString::single(n, q, Pauli::X))
+                .collect(),
+            z_image: (0..n)
+                .map(|q| PauliString::single(n, q, Pauli::Z))
+                .collect(),
         }
     }
 
@@ -207,7 +211,14 @@ fn reduce_row_to_x(
     let r = row(t);
     for j in (q + 1)..n {
         if r.x_bits().get(j) {
-            emit(t, c, Gate::Cnot { control: q, target: j });
+            emit(
+                t,
+                c,
+                Gate::Cnot {
+                    control: q,
+                    target: j,
+                },
+            );
         }
     }
     // Clear the z-bit at the pivot (letter Y → X).
@@ -220,7 +231,14 @@ fn reduce_row_to_x(
     for j in (q + 1)..n {
         if r.z_bits().get(j) {
             emit(t, c, Gate::H(j));
-            emit(t, c, Gate::Cnot { control: q, target: j });
+            emit(
+                t,
+                c,
+                Gate::Cnot {
+                    control: q,
+                    target: j,
+                },
+            );
         }
     }
     debug_assert_eq!(row(t).weight(), 1, "row reduced to a single letter");
@@ -250,9 +268,15 @@ mod tests {
         let gates = vec![
             Gate::H(0),
             Gate::S(1),
-            Gate::Cnot { control: 0, target: 2 },
+            Gate::Cnot {
+                control: 0,
+                target: 2,
+            },
             Gate::Sdg(2),
-            Gate::Cnot { control: 2, target: 1 },
+            Gate::Cnot {
+                control: 2,
+                target: 1,
+            },
             Gate::H(1),
             Gate::Swap(0, 1),
         ];
@@ -284,7 +308,10 @@ mod tests {
     fn image_is_an_algebra_homomorphism() {
         let mut t = CliffordTableau::identity(2);
         t.apply_gate(&Gate::H(0));
-        t.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+        t.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         t.apply_gate(&Gate::S(1));
         for (a, b) in [("XY", "ZZ"), ("YI", "IZ"), ("XX", "YY")] {
             let (pa, pb) = (ps(a), ps(b));
@@ -303,19 +330,34 @@ mod tests {
             vec![Gate::S(0), Gate::H(1)],
             vec![
                 Gate::H(0),
-                Gate::Cnot { control: 0, target: 1 },
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
                 Gate::S(1),
-                Gate::Cnot { control: 1, target: 2 },
+                Gate::Cnot {
+                    control: 1,
+                    target: 2,
+                },
                 Gate::Sdg(0),
                 Gate::Swap(1, 2),
             ],
             vec![
-                Gate::Cnot { control: 2, target: 0 },
+                Gate::Cnot {
+                    control: 2,
+                    target: 0,
+                },
                 Gate::H(2),
-                Gate::Cnot { control: 0, target: 1 },
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
                 Gate::H(1),
                 Gate::S(2),
-                Gate::Cnot { control: 1, target: 2 },
+                Gate::Cnot {
+                    control: 1,
+                    target: 2,
+                },
             ],
         ];
         for gates in frames {

@@ -138,26 +138,17 @@ impl Gate {
             Gate::Z(_) => [[C::ONE, C::ZERO], [C::ZERO, -C::ONE]],
             Gate::S(_) => [[C::ONE, C::ZERO], [C::ZERO, C::I]],
             Gate::Sdg(_) => [[C::ONE, C::ZERO], [C::ZERO, -C::I]],
-            Gate::Rz(_, a) => [
-                [C::cis(-a / 2.0), C::ZERO],
-                [C::ZERO, C::cis(a / 2.0)],
-            ],
+            Gate::Rz(_, a) => [[C::cis(-a / 2.0), C::ZERO], [C::ZERO, C::cis(a / 2.0)]],
             Gate::Rx(_, a) => {
                 let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
-                [
-                    [C::real(c), C::new(0.0, -s)],
-                    [C::new(0.0, -s), C::real(c)],
-                ]
+                [[C::real(c), C::new(0.0, -s)], [C::new(0.0, -s), C::real(c)]]
             }
             Gate::Ry(_, a) => {
                 let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
                 [[C::real(c), C::real(-s)], [C::real(s), C::real(c)]]
             }
             Gate::U3 {
-                theta,
-                phi,
-                lambda,
-                ..
+                theta, phi, lambda, ..
             } => {
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
                 [
@@ -242,7 +233,7 @@ mod tests {
         let mut out = *m;
         for row in &mut out {
             for v in row.iter_mut() {
-                *v = *v * c;
+                *v *= c;
             }
         }
         out
@@ -266,7 +257,11 @@ mod tests {
         assert_eq!(Gate::Rz(3, 0.5).qubits(), vec![3]);
         assert_eq!(Gate::Swap(1, 4).qubits(), vec![1, 4]);
         assert!(!Gate::H(0).is_two_qubit());
-        assert!(Gate::Cnot { control: 0, target: 1 }.is_two_qubit());
+        assert!(Gate::Cnot {
+            control: 0,
+            target: 1
+        }
+        .is_two_qubit());
     }
 
     #[test]
@@ -279,7 +274,12 @@ mod tests {
             Gate::Rz(0, 0.7),
             Gate::Rx(0, -1.1),
             Gate::Ry(0, 2.3),
-            Gate::U3 { q: 0, theta: 0.3, phi: 1.0, lambda: -0.4 },
+            Gate::U3 {
+                q: 0,
+                theta: 0.3,
+                phi: 1.0,
+                lambda: -0.4,
+            },
         ];
         for g in gates {
             let m = g.matrix1q().unwrap();
@@ -322,7 +322,14 @@ mod tests {
             acc = mat2_mul(&g.matrix1q().unwrap(), &acc);
         }
         let (theta, phi, lambda) = Gate::u3_params(&acc).expect("non-identity");
-        let rebuilt = Gate::U3 { q: 0, theta, phi, lambda }.matrix1q().unwrap();
+        let rebuilt = Gate::U3 {
+            q: 0,
+            theta,
+            phi,
+            lambda,
+        }
+        .matrix1q()
+        .unwrap();
         assert!(
             equal_up_to_phase(&rebuilt, &acc),
             "U3 decomposition mismatch"
@@ -357,13 +364,27 @@ mod tests {
         let rz = Gate::Rz(0, 1.3).matrix1q().unwrap();
         let (theta, phi, lambda) = Gate::u3_params(&rz).unwrap();
         assert!(theta.abs() < 1e-12);
-        let rebuilt = Gate::U3 { q: 0, theta, phi, lambda }.matrix1q().unwrap();
+        let rebuilt = Gate::U3 {
+            q: 0,
+            theta,
+            phi,
+            lambda,
+        }
+        .matrix1q()
+        .unwrap();
         assert!(equal_up_to_phase(&rebuilt, &rz));
     }
 
     #[test]
     fn display_smoke() {
-        assert_eq!(Gate::Cnot { control: 1, target: 0 }.to_string(), "cx q1,q0");
+        assert_eq!(
+            Gate::Cnot {
+                control: 1,
+                target: 0
+            }
+            .to_string(),
+            "cx q1,q0"
+        );
         assert!(Gate::Rz(2, 0.5).to_string().starts_with("rz(0.5"));
     }
 }

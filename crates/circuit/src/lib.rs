@@ -44,4 +44,6 @@ pub use passes::{
 };
 pub use route::{route_sabre, RouterOptions, RoutingResult};
 pub use rustiq::{rustiq_trotter, synthesize_pauli_network, RustiqOptions};
-pub use trotter::{order_terms, pauli_evolution, trotter_circuit, trotter_circuit_order2, TermOrder};
+pub use trotter::{
+    order_terms, pauli_evolution, trotter_circuit, trotter_circuit_order2, TermOrder,
+};

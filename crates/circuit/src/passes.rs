@@ -141,10 +141,10 @@ pub fn dist_up_to_phase(a: &Mat2, b: &Mat2) -> f64 {
     // Align the phases on the largest entry of b.
     let mut best = (0, 0);
     let mut mag = -1.0;
-    for i in 0..2 {
-        for j in 0..2 {
-            if b[i][j].abs() > mag {
-                mag = b[i][j].abs();
+    for (i, row) in b.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            if v.abs() > mag {
+                mag = v.abs();
                 best = (i, j);
             }
         }

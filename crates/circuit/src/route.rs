@@ -101,7 +101,12 @@ pub fn route_sabre(circuit: &Circuit, arch: &CouplingMap, opts: &RouterOptions) 
             Gate::Rz(q, a) => Gate::Rz(phys_of[q], a),
             Gate::Rx(q, a) => Gate::Rx(phys_of[q], a),
             Gate::Ry(q, a) => Gate::Ry(phys_of[q], a),
-            Gate::U3 { q, theta, phi, lambda } => Gate::U3 {
+            Gate::U3 {
+                q,
+                theta,
+                phi,
+                lambda,
+            } => Gate::U3 {
                 q: phys_of[q],
                 theta,
                 phi,
@@ -122,8 +127,7 @@ pub fn route_sabre(circuit: &Circuit, arch: &CouplingMap, opts: &RouterOptions) 
         for &i in &front {
             let g = &gates[i];
             let qs = g.qubits();
-            let executable = !g.is_two_qubit()
-                || arch.are_adjacent(phys_of[qs[0]], phys_of[qs[1]]);
+            let executable = !g.is_two_qubit() || arch.are_adjacent(phys_of[qs[0]], phys_of[qs[1]]);
             if executable {
                 out.push(remap(g, &phys_of));
                 executed_any = true;
@@ -164,16 +168,11 @@ pub fn route_sabre(circuit: &Circuit, arch: &CouplingMap, opts: &RouterOptions) 
                 (phys_of[qs[0]], phys_of[qs[1]])
             })
             .collect();
-        let lookahead: Vec<(usize, usize)> = collect_lookahead(
-            gates,
-            &front,
-            &succs,
-            &preds_left,
-            opts.lookahead_depth,
-        )
-        .into_iter()
-        .map(|(a, b)| (phys_of[a], phys_of[b]))
-        .collect();
+        let lookahead: Vec<(usize, usize)> =
+            collect_lookahead(gates, &front, &succs, &preds_left, opts.lookahead_depth)
+                .into_iter()
+                .map(|(a, b)| (phys_of[a], phys_of[b]))
+                .collect();
 
         let mut candidates: Vec<(usize, usize)> = Vec::new();
         if stall_rounds > 12 {
@@ -267,8 +266,7 @@ fn collect_lookahead(
     let mut out = Vec::new();
     let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
     let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
-    let mut decremented: std::collections::HashMap<usize, usize> =
-        std::collections::HashMap::new();
+    let mut decremented: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
     let mut budget = 16 * depth.max(1);
     while let Some(i) = queue.pop_front() {
         if out.len() >= depth || budget == 0 {
@@ -364,13 +362,29 @@ mod tests {
             .circuit
             .gates()
             .iter()
-            .position(|g| matches!(g, Gate::Cnot { control: 0, target: 1 }))
+            .position(|g| {
+                matches!(
+                    g,
+                    Gate::Cnot {
+                        control: 0,
+                        target: 1
+                    }
+                )
+            })
             .unwrap();
         let pos_cx12 = r
             .circuit
             .gates()
             .iter()
-            .position(|g| matches!(g, Gate::Cnot { control: 1, target: 2 }))
+            .position(|g| {
+                matches!(
+                    g,
+                    Gate::Cnot {
+                        control: 1,
+                        target: 2
+                    }
+                )
+            })
             .unwrap();
         assert!(pos_cx01 < pos_cx12);
     }

@@ -10,7 +10,7 @@
 //! greedy), and the final frame is restored in `O(n²)` gates from the
 //! tableau rather than by replaying history.
 
-use hatt_pauli::{Pauli, PauliString, Phase, PauliSum};
+use hatt_pauli::{Pauli, PauliString, PauliSum, Phase};
 
 use crate::circuit::Circuit;
 use crate::clifford::CliffordTableau;
@@ -69,9 +69,9 @@ pub fn synthesize_pauli_network(
     let mut window: Vec<PauliString> = Vec::new();
 
     let emit = |circuit: &mut Circuit,
-                    frame: &mut CliffordTableau,
-                    window: &mut Vec<PauliString>,
-                    g: Gate| {
+                frame: &mut CliffordTableau,
+                window: &mut Vec<PauliString>,
+                g: Gate| {
         frame.apply_gate(&g);
         for s in window.iter_mut() {
             conjugate_by_gate(s, &g);
@@ -132,7 +132,10 @@ pub fn synthesize_pauli_network(
                 &mut circuit,
                 &mut frame,
                 &mut window,
-                Gate::Cnot { control: a, target: b },
+                Gate::Cnot {
+                    control: a,
+                    target: b,
+                },
             );
         }
 
@@ -198,7 +201,6 @@ fn conjugate_by_gate(s: &mut PauliString, g: &Gate) {
 mod tests {
     use super::*;
 
-
     fn ps(s: &str) -> PauliString {
         s.parse().expect("valid string")
     }
@@ -207,7 +209,13 @@ mod tests {
     fn single_z_rotation_is_bare_rz() {
         let c = synthesize_pauli_network(2, &[(ps("IZ"), 0.4)], &RustiqOptions::default());
         assert_eq!(c.metrics().cnot, 0);
-        assert_eq!(c.gates().iter().filter(|g| matches!(g, Gate::Rz(..))).count(), 1);
+        assert_eq!(
+            c.gates()
+                .iter()
+                .filter(|g| matches!(g, Gate::Rz(..)))
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -229,10 +237,7 @@ mod tests {
             (ps("IIZZ"), 0.7),
             (ps("ZZZZ"), 0.1),
         ];
-        let naive_cnots: usize = rotations
-            .iter()
-            .map(|(p, _)| 2 * (p.weight() - 1))
-            .sum();
+        let naive_cnots: usize = rotations.iter().map(|(p, _)| 2 * (p.weight() - 1)).sum();
         let net = synthesize_pauli_network(4, &rotations, &RustiqOptions::default());
         assert!(
             net.metrics().cnot < naive_cnots,
@@ -251,7 +256,11 @@ mod tests {
             (ps("XYZ"), 0.4),
         ];
         let c = synthesize_pauli_network(3, &rotations, &RustiqOptions::default());
-        let rz_count = c.gates().iter().filter(|g| matches!(g, Gate::Rz(..))).count();
+        let rz_count = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Rz(..)))
+            .count();
         assert_eq!(rz_count, 4);
     }
 
@@ -259,7 +268,11 @@ mod tests {
     fn identity_rotations_are_skipped() {
         let rotations = vec![(PauliString::identity(2), 0.5), (ps("ZI"), 0.1)];
         let c = synthesize_pauli_network(2, &rotations, &RustiqOptions::default());
-        let rz_count = c.gates().iter().filter(|g| matches!(g, Gate::Rz(..))).count();
+        let rz_count = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Rz(..)))
+            .count();
         assert_eq!(rz_count, 1);
     }
 

@@ -101,10 +101,7 @@ pub fn pauli_evolution(p: &PauliString, angle: f64) -> Circuit {
 
 /// Orders the terms of a Hamiltonian according to `order`, returning
 /// `(coefficient, string)` pairs.
-pub fn order_terms(
-    h: &PauliSum,
-    order: TermOrder,
-) -> Vec<(hatt_pauli::Complex64, PauliString)> {
+pub fn order_terms(h: &PauliSum, order: TermOrder) -> Vec<(hatt_pauli::Complex64, PauliString)> {
     let mut terms: Vec<(hatt_pauli::Complex64, PauliString)> = h.iter().collect();
     match order {
         TermOrder::Given => {}
@@ -195,12 +192,7 @@ pub fn trotter_circuit(h: &PauliSum, time: f64, steps: usize, order: TermOrder) 
 /// # Panics
 ///
 /// Panics when `steps == 0` or the Hamiltonian is not Hermitian.
-pub fn trotter_circuit_order2(
-    h: &PauliSum,
-    time: f64,
-    steps: usize,
-    order: TermOrder,
-) -> Circuit {
+pub fn trotter_circuit_order2(h: &PauliSum, time: f64, steps: usize, order: TermOrder) -> Circuit {
     assert!(steps > 0, "need at least one Trotter step");
     assert!(
         h.is_hermitian(1e-8),
@@ -247,7 +239,7 @@ mod tests {
         let c = pauli_evolution(&ps("XYIZ"), 1.0);
         let m = c.metrics();
         assert_eq!(m.cnot, 4); // 2 ladder + 2 unladder
-        // 1 H + 2 (S†,H) before, mirrored after, plus rz = 7 singles.
+                               // 1 H + 2 (S†,H) before, mirrored after, plus rz = 7 singles.
         assert_eq!(m.single_qubit, 7);
     }
 

@@ -15,7 +15,10 @@ fn arb_clifford_gate(n: usize) -> impl Strategy<Value = Gate> {
             0 => Gate::H(a),
             1 => Gate::S(a),
             2 => Gate::Sdg(a),
-            3 => Gate::Cnot { control: a, target: b },
+            3 => Gate::Cnot {
+                control: a,
+                target: b,
+            },
             _ => Gate::Swap(a, b),
         }
     })

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use hatt_fermion::{FermionOperator, MajoranaSum};
 use hatt_mappings::{
-    FermionMapping, NodeId, TermEngine, TernaryTreeBuilder, TernaryTree, TreeMapping,
+    FermionMapping, NodeId, TermEngine, TernaryTree, TernaryTreeBuilder, TreeMapping,
 };
 use hatt_pauli::{PauliString, PauliSum};
 
@@ -203,13 +203,7 @@ struct Selection {
     weight: usize,
 }
 
-fn weight_of(
-    engine: &TermEngine,
-    options: &HattOptions,
-    a: NodeId,
-    b: NodeId,
-    c: NodeId,
-) -> usize {
+fn weight_of(engine: &TermEngine, options: &HattOptions, a: NodeId, b: NodeId, c: NodeId) -> usize {
     if options.naive_weight {
         engine.weight_of_triple_naive(a, b, c)
     } else {
@@ -424,7 +418,13 @@ mod tests {
     fn all_variants_are_valid() {
         let h = paper_example();
         for variant in [Variant::Unopt, Variant::Paired, Variant::Cached] {
-            let m = hatt_with(&h, &HattOptions { variant, naive_weight: false });
+            let m = hatt_with(
+                &h,
+                &HattOptions {
+                    variant,
+                    naive_weight: false,
+                },
+            );
             let report = validate(&m);
             assert!(report.is_valid(), "{variant:?} invalid: {report:?}");
             if variant != Variant::Unopt {
@@ -441,8 +441,20 @@ mod tests {
         for seed in 0..4 {
             let op = hatt_fermion::models::random_hermitian(5, 6, 5, seed);
             let h = MajoranaSum::from_fermion(&op);
-            let a = hatt_with(&h, &HattOptions { variant: Variant::Paired, naive_weight: false });
-            let b = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: false });
+            let a = hatt_with(
+                &h,
+                &HattOptions {
+                    variant: Variant::Paired,
+                    naive_weight: false,
+                },
+            );
+            let b = hatt_with(
+                &h,
+                &HattOptions {
+                    variant: Variant::Cached,
+                    naive_weight: false,
+                },
+            );
             for k in 0..2 * h.n_modes() {
                 assert_eq!(a.majorana(k), b.majorana(k), "seed {seed}, M{k}");
             }
@@ -455,8 +467,20 @@ mod tests {
     #[test]
     fn naive_weight_ablation_matches() {
         let h = paper_example();
-        let fast = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: false });
-        let slow = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: true });
+        let fast = hatt_with(
+            &h,
+            &HattOptions {
+                variant: Variant::Cached,
+                naive_weight: false,
+            },
+        );
+        let slow = hatt_with(
+            &h,
+            &HattOptions {
+                variant: Variant::Cached,
+                naive_weight: true,
+            },
+        );
         for k in 0..6 {
             assert_eq!(fast.majorana(k), slow.majorana(k));
         }
@@ -495,7 +519,13 @@ mod tests {
     fn unopt_candidate_counts_are_cubic_per_step() {
         // Step 0 of an N-mode system evaluates C(2N+1, 3) triples.
         let h = MajoranaSum::uniform_singles(4);
-        let m = hatt_with(&h, &HattOptions { variant: Variant::Unopt, naive_weight: false });
+        let m = hatt_with(
+            &h,
+            &HattOptions {
+                variant: Variant::Unopt,
+                naive_weight: false,
+            },
+        );
         let first = &m.stats().iterations[0];
         assert_eq!(first.candidates, 9 * 8 * 7 / 6);
     }

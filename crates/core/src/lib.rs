@@ -37,5 +37,7 @@
 mod algorithm;
 mod stats;
 
-pub use algorithm::{compile, hatt, hatt_for_fermion, hatt_with, HattMapping, HattOptions, Variant};
+pub use algorithm::{
+    compile, hatt, hatt_for_fermion, hatt_with, HattMapping, HattOptions, Variant,
+};
 pub use stats::{ConstructionStats, IterationStats};

@@ -268,9 +268,7 @@ mod tests {
         let mut h = FermionOperator::new(1);
         h.add_one_body(Complex64::ONE, 0, 0);
         let m = MajoranaSum::from_fermion(&h);
-        assert!(m
-            .coefficient_of(&[])
-            .approx_eq(Complex64::real(0.5), 1e-12));
+        assert!(m.coefficient_of(&[]).approx_eq(Complex64::real(0.5), 1e-12));
         assert!(m
             .coefficient_of(&[0, 1])
             .approx_eq(Complex64::new(0.0, 0.5), 1e-12));
@@ -331,9 +329,7 @@ mod tests {
         m.add(Complex64::ONE, &[1, 0]); // = -M0M1, cancels
         assert!(m.is_empty());
         m.add(Complex64::ONE, &[2, 3, 2]); // M2M3M2 = -M3
-        assert!(m
-            .coefficient_of(&[3])
-            .approx_eq(-Complex64::ONE, 1e-12));
+        assert!(m.coefficient_of(&[3]).approx_eq(-Complex64::ONE, 1e-12));
     }
 
     #[test]

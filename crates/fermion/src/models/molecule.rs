@@ -206,12 +206,8 @@ impl MolecularIntegrals {
                         }
                         for sigma in 0..2 {
                             for tau in 0..2 {
-                                let (i, j, k, l) = (
-                                    mode(p, sigma),
-                                    mode(r, tau),
-                                    mode(s, tau),
-                                    mode(q, sigma),
-                                );
+                                let (i, j, k, l) =
+                                    (mode(p, sigma), mode(r, tau), mode(s, tau), mode(q, sigma));
                                 // a†_i a†_j a_k a_l vanishes when i == j or
                                 // k == l (Pauli exclusion).
                                 if i == j || k == l {
@@ -267,14 +263,46 @@ impl MoleculeSpec {
 /// The Table I molecule roster with the paper's mode counts.
 pub fn molecule_catalog() -> Vec<MoleculeSpec> {
     vec![
-        MoleculeSpec { name: "H2 sto3g", n_modes: 4, seed: 2 },
-        MoleculeSpec { name: "LiH sto3g frz", n_modes: 6, seed: 3 },
-        MoleculeSpec { name: "LiH sto3g", n_modes: 12, seed: 5 },
-        MoleculeSpec { name: "H2O sto3g", n_modes: 14, seed: 7 },
-        MoleculeSpec { name: "CH4 sto3g", n_modes: 18, seed: 11 },
-        MoleculeSpec { name: "O2 sto3g", n_modes: 20, seed: 13 },
-        MoleculeSpec { name: "NaF sto3g", n_modes: 28, seed: 17 },
-        MoleculeSpec { name: "CO2 sto3g", n_modes: 30, seed: 19 },
+        MoleculeSpec {
+            name: "H2 sto3g",
+            n_modes: 4,
+            seed: 2,
+        },
+        MoleculeSpec {
+            name: "LiH sto3g frz",
+            n_modes: 6,
+            seed: 3,
+        },
+        MoleculeSpec {
+            name: "LiH sto3g",
+            n_modes: 12,
+            seed: 5,
+        },
+        MoleculeSpec {
+            name: "H2O sto3g",
+            n_modes: 14,
+            seed: 7,
+        },
+        MoleculeSpec {
+            name: "CH4 sto3g",
+            n_modes: 18,
+            seed: 11,
+        },
+        MoleculeSpec {
+            name: "O2 sto3g",
+            n_modes: 20,
+            seed: 13,
+        },
+        MoleculeSpec {
+            name: "NaF sto3g",
+            n_modes: 28,
+            seed: 17,
+        },
+        MoleculeSpec {
+            name: "CO2 sto3g",
+            n_modes: 30,
+            seed: 19,
+        },
     ]
 }
 

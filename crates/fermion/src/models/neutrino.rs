@@ -50,7 +50,10 @@ impl NeutrinoModel {
     ///
     /// Panics when `sites` or `flavors` is zero.
     pub fn new(sites: usize, flavors: usize) -> Self {
-        assert!(sites > 0 && flavors > 0, "sites and flavors must be positive");
+        assert!(
+            sites > 0 && flavors > 0,
+            "sites and flavors must be positive"
+        );
         NeutrinoModel {
             sites,
             flavors,

@@ -71,8 +71,7 @@ pub fn anneal_search(h: &MajoranaSum, opts: &AnnealingOptions) -> (TreeMapping, 
     let mut stats = SearchStats::default();
 
     // Initial state: fully greedy completion from the start.
-    let (mut current_seq, mut current_w) =
-        complete_greedily(h, &[], &mut rng, 0.0, &mut stats);
+    let (mut current_seq, mut current_w) = complete_greedily(h, &[], &mut rng, 0.0, &mut stats);
     let mut best_seq = current_seq.clone();
     let mut best_w = current_w;
 
@@ -124,10 +123,10 @@ fn complete_greedily(
     let mut acc = 0usize;
 
     let apply = |engine: &mut TermEngine,
-                     u: &mut Vec<NodeId>,
-                     seq: &mut Vec<[NodeId; 3]>,
-                     step: usize,
-                     triple: [NodeId; 3]|
+                 u: &mut Vec<NodeId>,
+                 seq: &mut Vec<[NodeId; 3]>,
+                 step: usize,
+                 triple: [NodeId; 3]|
      -> usize {
         let parent = 2 * n + 1 + step;
         let w = engine.weight_of_triple(triple[0], triple[1], triple[2]);
@@ -205,7 +204,10 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let h = paper_example();
-        let opts = AnnealingOptions { iterations: 50, ..Default::default() };
+        let opts = AnnealingOptions {
+            iterations: 50,
+            ..Default::default()
+        };
         let (_, a) = anneal_search(&h, &opts);
         let (_, b) = anneal_search(&h, &opts);
         assert_eq!(a.best_weight, b.best_weight);
@@ -225,7 +227,10 @@ mod tests {
     fn scales_past_the_exhaustive_limit() {
         // 8 modes is beyond EXHAUSTIVE_MODE_LIMIT but fine for annealing.
         let h = MajoranaSum::uniform_singles(8);
-        let opts = AnnealingOptions { iterations: 30, ..Default::default() };
+        let opts = AnnealingOptions {
+            iterations: 30,
+            ..Default::default()
+        };
         let (mapping, _) = anneal_search(&h, &opts);
         assert!(validate(&mapping).is_valid());
     }

@@ -69,7 +69,7 @@ pub fn exhaustive_optimal(h: &MajoranaSum) -> (TreeMapping, SearchStats) {
     );
     let start = Instant::now();
     let mut engine = TermEngine::new(h);
-    let mut u: Vec<NodeId> = (0..2 * n + 1).collect();
+    let u: Vec<NodeId> = (0..2 * n + 1).collect();
     let mut best = Best {
         weight: usize::MAX,
         sequence: Vec::new(),
@@ -80,7 +80,7 @@ pub fn exhaustive_optimal(h: &MajoranaSum) -> (TreeMapping, SearchStats) {
         n,
         0,
         0,
-        &mut u,
+        &u,
         &mut engine,
         &mut current,
         &mut best,
@@ -107,7 +107,7 @@ fn dfs(
     n: usize,
     step: usize,
     acc: usize,
-    u: &mut Vec<NodeId>,
+    u: &[NodeId],
     engine: &mut TermEngine,
     current: &mut Vec<[NodeId; 3]>,
     best: &mut Best,
@@ -144,7 +144,7 @@ fn dfs(
                 }
                 next_u.push(parent);
                 current.push([a, b, c]);
-                dfs(n, step + 1, acc + w, &mut next_u, engine, current, best, stats);
+                dfs(n, step + 1, acc + w, &next_u, engine, current, best, stats);
                 current.pop();
             }
         }
@@ -188,7 +188,11 @@ mod tests {
         h.add(Complex64::ONE, &[0, 5]);
         h.add(Complex64::ONE, &[1, 3]);
         let (mapping, stats) = exhaustive_optimal(&h);
-        assert!(stats.best_weight <= 3, "exhaustive found {}", stats.best_weight);
+        assert!(
+            stats.best_weight <= 3,
+            "exhaustive found {}",
+            stats.best_weight
+        );
         let hq = mapping.map_majorana_sum(&h);
         assert_eq!(hq.weight(), stats.best_weight);
         assert!(validate(&mapping).is_valid());

@@ -179,7 +179,10 @@ mod tests {
             let u = t.update_set(j);
             // Each element's coverage contains j.
             for &v in &u {
-                assert!(t.cover_lo[v] <= j && j <= v, "U({j}) element {v} must cover j");
+                assert!(
+                    t.cover_lo[v] <= j && j <= v,
+                    "U({j}) element {v} must cover j"
+                );
             }
         }
     }

@@ -53,7 +53,7 @@ pub use jw::jordan_wigner;
 pub use mapping::{FermionMapping, TableMapping};
 pub use parity::parity;
 pub use tree::{
-    balanced_tree, build_with_qubit_children, balanced_ternary_tree, Branch, NodeId, TernaryTree,
+    balanced_ternary_tree, balanced_tree, build_with_qubit_children, Branch, NodeId, TernaryTree,
     TernaryTreeBuilder, TreeMapping,
 };
 pub use validate::{check_vacuum, validate, MappingReport};

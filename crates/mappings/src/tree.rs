@@ -303,10 +303,7 @@ impl TernaryTreeBuilder {
         let node = self.n_leaves() + self.attached_internals;
         for (slot, &c) in ch.iter().enumerate() {
             assert!(c < node, "child {c} does not exist yet");
-            assert!(
-                self.parent[c].is_none(),
-                "child {c} already has a parent"
-            );
+            assert!(self.parent[c].is_none(), "child {c} already has a parent");
             self.parent[c] = Some((node, Branch::ALL[slot]));
         }
         self.children[node] = Some(ch);
@@ -317,9 +314,7 @@ impl TernaryTreeBuilder {
     /// Current roots (the paper's node set `U`), in ascending id order.
     pub fn roots(&self) -> Vec<NodeId> {
         let created = self.n_leaves() + self.attached_internals;
-        (0..created)
-            .filter(|&v| self.parent[v].is_none())
-            .collect()
+        (0..created).filter(|&v| self.parent[v].is_none()).collect()
     }
 
     /// Z-descendant of a node under the current partial structure
@@ -408,11 +403,12 @@ pub fn balanced_tree(n_modes: usize) -> TernaryTree {
 /// # Panics
 ///
 /// Panics if the table does not describe a valid complete ternary tree.
-pub fn build_with_qubit_children(
-    n_modes: usize,
-    children_of_qubit: &[[NodeId; 3]],
-) -> TernaryTree {
-    assert_eq!(children_of_qubit.len(), n_modes, "one child triple per qubit");
+pub fn build_with_qubit_children(n_modes: usize, children_of_qubit: &[[NodeId; 3]]) -> TernaryTree {
+    assert_eq!(
+        children_of_qubit.len(),
+        n_modes,
+        "one child triple per qubit"
+    );
     let n_leaves = 2 * n_modes + 1;
     // Topological attach order: a qubit can attach once its internal
     // children are attached.
@@ -433,10 +429,7 @@ pub fn build_with_qubit_children(
             }
             let node = n_leaves + q;
             for (slot, &c) in ch.iter().enumerate() {
-                assert!(
-                    tree_parent[c].is_none(),
-                    "node {c} assigned two parents"
-                );
+                assert!(tree_parent[c].is_none(), "node {c} assigned two parents");
                 tree_parent[c] = Some((node, Branch::ALL[slot]));
             }
             tree_children[node] = Some(ch);

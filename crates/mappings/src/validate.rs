@@ -145,7 +145,10 @@ mod tests {
         let m = TableMapping::new(
             "bad",
             1,
-            vec![PauliString::identity(1), PauliString::single(1, 0, Pauli::Y)],
+            vec![
+                PauliString::identity(1),
+                PauliString::single(1, 0, Pauli::Y),
+            ],
         );
         let report = validate(&m);
         assert!(!report.hermitian);

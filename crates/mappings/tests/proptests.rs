@@ -4,7 +4,7 @@
 
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{
-    balanced_tree, balanced_ternary_tree, bravyi_kitaev, jordan_wigner, parity, validate,
+    balanced_ternary_tree, balanced_tree, bravyi_kitaev, jordan_wigner, parity, validate,
     FenwickTree, FermionMapping, TermEngine, TernaryTreeBuilder, TreeMapping,
 };
 use hatt_pauli::Complex64;

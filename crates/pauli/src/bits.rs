@@ -311,10 +311,7 @@ mod tests {
     #[test]
     fn iter_ones_order() {
         let b = Bits::from_indices(200, &[199, 0, 64, 65, 128]);
-        assert_eq!(
-            b.iter_ones().collect::<Vec<_>>(),
-            vec![0, 64, 65, 128, 199]
-        );
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 64, 65, 128, 199]);
     }
 
     #[test]

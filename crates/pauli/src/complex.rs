@@ -51,7 +51,7 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex64 ::new(self.re, -self.im)
+        Complex64::new(self.re, -self.im)
     }
 
     /// Squared modulus `|z|^2`.
@@ -189,6 +189,7 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z * w^-1
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }

@@ -169,6 +169,7 @@ impl Pauli {
     /// Operator product `self * rhs` as `(phase, operator)`.
     ///
     /// E.g. `X * Y = iZ`, `Y * X = -iZ`, `X * X = I`.
+    #[allow(clippy::should_implement_trait)] // returns (Phase, Pauli), not Self
     pub fn mul(self, rhs: Pauli) -> (Phase, Pauli) {
         use Pauli::*;
         match (self, rhs) {

@@ -197,7 +197,7 @@ impl PauliString {
     /// Returns a copy multiplied by an extra scalar phase.
     pub fn times_phase(&self, extra: Phase) -> PauliString {
         let mut s = self.clone();
-        s.phase = s.phase * extra;
+        s.phase *= extra;
         s
     }
 
@@ -277,8 +277,7 @@ impl PauliString {
         let sign = if self.z.and_parity(&other.x) { 2 } else { 0 };
         self.x.xor_with(&other.x);
         self.z.xor_with(&other.z);
-        self.phase =
-            Phase::new(self.phase.exponent() + other.phase.exponent() + sign);
+        self.phase = Phase::new(self.phase.exponent() + other.phase.exponent() + sign);
     }
 
     /// Hermitian adjoint (letters are unchanged; the coefficient conjugates).
@@ -316,7 +315,7 @@ impl PauliString {
     pub fn compact(&self) -> String {
         let mut out = String::new();
         let mut ops: Vec<(usize, Pauli)> = self.iter_ops().collect();
-        ops.sort_by(|a, b| b.0.cmp(&a.0));
+        ops.sort_by_key(|&(q, _)| std::cmp::Reverse(q));
         if ops.is_empty() {
             return "I".to_string();
         }

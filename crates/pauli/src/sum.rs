@@ -98,7 +98,7 @@ impl PauliSum {
     /// Multiplies every coefficient by `factor`.
     pub fn scale(&mut self, factor: Complex64) {
         for c in self.terms.values_mut() {
-            *c = *c * factor;
+            *c *= factor;
         }
     }
 
@@ -239,9 +239,7 @@ mod tests {
         // iZ inserted with coefficient 1 ⇒ stored as Z with coefficient i.
         let iz = PauliString::from_ops(1, &[(0, Pauli::X), (0, Pauli::Y)]);
         h.add(Complex64::ONE, iz.clone());
-        assert!(h
-            .coefficient_of(&ps("Z"))
-            .approx_eq(Complex64::I, 1e-12));
+        assert!(h.coefficient_of(&ps("Z")).approx_eq(Complex64::I, 1e-12));
         // Querying with the phased string divides the phase back out.
         assert!(h.coefficient_of(&iz).approx_eq(Complex64::ONE, 1e-12));
     }
@@ -294,10 +292,16 @@ mod tests {
         b.add(Complex64::real(2.0), ps("X"));
         b.add(Complex64::real(1.0), ps("Z"));
         a.add_scaled(Complex64::real(0.5), &b);
-        assert!(a.coefficient_of(&ps("X")).approx_eq(Complex64::real(2.0), 1e-12));
-        assert!(a.coefficient_of(&ps("Z")).approx_eq(Complex64::real(0.5), 1e-12));
+        assert!(a
+            .coefficient_of(&ps("X"))
+            .approx_eq(Complex64::real(2.0), 1e-12));
+        assert!(a
+            .coefficient_of(&ps("Z"))
+            .approx_eq(Complex64::real(0.5), 1e-12));
         a.scale(Complex64::real(2.0));
-        assert!(a.coefficient_of(&ps("X")).approx_eq(Complex64::real(4.0), 1e-12));
+        assert!(a
+            .coefficient_of(&ps("X"))
+            .approx_eq(Complex64::real(4.0), 1e-12));
     }
 
     #[test]

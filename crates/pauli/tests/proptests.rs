@@ -72,15 +72,10 @@ fn arb_pauli() -> impl Strategy<Value = Pauli> {
 }
 
 fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
-    (
-        proptest::collection::vec(arb_pauli(), n),
-        0u8..4,
-    )
-        .prop_map(move |(ops, k)| {
-            let pairs: Vec<(usize, Pauli)> =
-                ops.into_iter().enumerate().collect();
-            PauliString::from_ops(pairs.len(), &pairs).times_phase(Phase::new(k))
-        })
+    (proptest::collection::vec(arb_pauli(), n), 0u8..4).prop_map(move |(ops, k)| {
+        let pairs: Vec<(usize, Pauli)> = ops.into_iter().enumerate().collect();
+        PauliString::from_ops(pairs.len(), &pairs).times_phase(Phase::new(k))
+    })
 }
 
 proptest! {
@@ -168,9 +163,9 @@ proptest! {
                 index |= 1 << q;
             }
         }
-        for row in 0..m.len() {
+        for (row, r) in m.iter().enumerate() {
             let expected = if row == index { amp.to_complex() } else { Complex64::ZERO };
-            prop_assert!(m[row][0].approx_eq(expected, 1e-12));
+            prop_assert!(r[0].approx_eq(expected, 1e-12));
         }
     }
 }
@@ -211,11 +206,11 @@ fn sdg_matrix() -> Matrix {
 fn embed_1q(u: Matrix, q: usize, n: usize) -> Matrix {
     let dim = 1 << n;
     let mut out = vec![vec![Complex64::ZERO; dim]; dim];
-    for i in 0..dim {
-        for j in 0..dim {
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
             let (bi, bj) = ((i >> q) & 1, (j >> q) & 1);
             if i & !(1 << q) == j & !(1 << q) {
-                out[i][j] = u[bi][bj];
+                *v = u[bi][bj];
             }
         }
     }
@@ -225,9 +220,9 @@ fn embed_1q(u: Matrix, q: usize, n: usize) -> Matrix {
 fn cnot_matrix(c: usize, t: usize, n: usize) -> Matrix {
     let dim = 1 << n;
     let mut out = vec![vec![Complex64::ZERO; dim]; dim];
-    for j in 0..dim {
-        let i = if (j >> c) & 1 == 1 { j ^ (1 << t) } else { j };
-        out[i][j] = Complex64::ONE;
+    for (i, row) in out.iter_mut().enumerate() {
+        let j = if (i >> c) & 1 == 1 { i ^ (1 << t) } else { i };
+        row[j] = Complex64::ONE;
     }
     out
 }

@@ -159,8 +159,7 @@ impl CMatrix {
             }
         }
         // Extract and sort.
-        let mut pairs: Vec<(f64, usize)> =
-            (0..dim).map(|i| (a.at(i, i).re, i)).collect();
+        let mut pairs: Vec<(f64, usize)> = (0..dim).map(|i| (a.at(i, i).re, i)).collect();
         pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
         let eigenvalues: Vec<f64> = pairs.iter().map(|&(e, _)| e).collect();
         let mut vectors = CMatrix::zeros(dim);
@@ -179,15 +178,13 @@ impl CMatrix {
 
     /// Matrix-vector product.
     pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
-        let mut out = vec![Complex64::ZERO; self.dim];
-        for r in 0..self.dim {
-            let mut acc = Complex64::ZERO;
-            for c in 0..self.dim {
-                acc += self.at(r, c) * x[c];
-            }
-            out[r] = acc;
-        }
-        out
+        (0..self.dim)
+            .map(|r| {
+                x.iter()
+                    .enumerate()
+                    .fold(Complex64::ZERO, |acc, (c, &xc)| acc + self.at(r, c) * xc)
+            })
+            .collect()
     }
 }
 

@@ -94,11 +94,7 @@ impl NoiseModel {
             } else if self.p1 > 0.0 && rng.gen::<f64>() < self.p1 {
                 let q = g.qubits()[0];
                 let k = rng.gen_range(1..4);
-                state.apply_pauli(&PauliString::single(
-                    state.n_qubits(),
-                    q,
-                    Pauli::ALL[k],
-                ));
+                state.apply_pauli(&PauliString::single(state.n_qubits(), q, Pauli::ALL[k]));
             }
         }
     }

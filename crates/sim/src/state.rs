@@ -1,7 +1,7 @@
 //! Dense state-vector simulation of the circuit IR.
 
-use hatt_pauli::{Bits, Complex64, PauliString, PauliSum};
 use hatt_circuit::{Circuit, Gate};
+use hatt_pauli::{Bits, Complex64, PauliString, PauliSum};
 use rand::Rng;
 
 /// A pure quantum state on `n` qubits (`2^n` amplitudes, little-endian:
@@ -329,7 +329,12 @@ mod tests {
 
     #[test]
     fn u3_gate_acts_like_its_matrix() {
-        let g = Gate::U3 { q: 0, theta: 0.7, phi: 0.3, lambda: -0.2 };
+        let g = Gate::U3 {
+            q: 0,
+            theta: 0.7,
+            phi: 0.3,
+            lambda: -0.2,
+        };
         let mut s = StateVector::zero_state(1);
         s.apply_gate(&g);
         let m = g.matrix1q().unwrap();

@@ -4,8 +4,8 @@
 //! circuit semantics.
 
 use hatt_circuit::{
-    optimize, pauli_evolution, route_sabre, synthesize_pauli_network, trotter_circuit,
-    CouplingMap, RouterOptions, RustiqOptions, TermOrder,
+    optimize, pauli_evolution, route_sabre, synthesize_pauli_network, trotter_circuit, CouplingMap,
+    RouterOptions, RustiqOptions, TermOrder,
 };
 use hatt_pauli::{Complex64, PauliString, PauliSum};
 use hatt_sim::StateVector;
@@ -38,7 +38,11 @@ fn closed_form_evolution(psi: &StateVector, p: &PauliString, theta: f64) -> Stat
     StateVector::from_amplitudes(amps)
 }
 
-fn fidelity_after(circuit: &hatt_circuit::Circuit, reference: &StateVector, start: &StateVector) -> f64 {
+fn fidelity_after(
+    circuit: &hatt_circuit::Circuit,
+    reference: &StateVector,
+    start: &StateVector,
+) -> f64 {
     let mut out = start.clone();
     out.apply_circuit(circuit);
     out.fidelity(reference)

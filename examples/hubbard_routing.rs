@@ -12,9 +12,7 @@ use hatt::circuit::{
 use hatt::core::hatt;
 use hatt::fermion::models::FermiHubbard;
 use hatt::fermion::MajoranaSum;
-use hatt::mappings::{
-    balanced_ternary_tree, bravyi_kitaev, jordan_wigner, FermionMapping,
-};
+use hatt::mappings::{balanced_ternary_tree, bravyi_kitaev, jordan_wigner, FermionMapping};
 
 fn main() {
     let lattice = FermiHubbard::new(2, 3);

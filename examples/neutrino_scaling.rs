@@ -51,7 +51,10 @@ fn main() {
     let mut h = MajoranaSum::from_fermion(&model.hamiltonian());
     let _ = h.take_identity();
     let mapping = hatt_with(&h, &HattOptions::default());
-    println!("\nper-qubit settled weight for {} (first 8 iterations):", model.label());
+    println!(
+        "\nper-qubit settled weight for {} (first 8 iterations):",
+        model.label()
+    );
     for it in mapping.stats().iterations.iter().take(8) {
         println!(
             "  qubit {:>2}: weight {:>5}  ({} candidate selections)",

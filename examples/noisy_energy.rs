@@ -22,7 +22,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2026);
 
     println!("H2/STO-3G energy measurement, IonQ-Forte-1-like noise");
-    println!("p1 = {:.1e}, p2 = {:.1e}, readout = {:.1e}\n", noise.p1, noise.p2, noise.readout);
+    println!(
+        "p1 = {:.1e}, p2 = {:.1e}, readout = {:.1e}\n",
+        noise.p1, noise.p2, noise.readout
+    );
 
     for mapping in [
         Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,

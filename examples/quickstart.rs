@@ -15,18 +15,30 @@ fn main() {
     // 1. Build the fermionic Hamiltonian (published H2/STO-3G integrals).
     let molecule = MolecularIntegrals::h2_sto3g();
     let hf = molecule.to_fermion_operator();
-    println!("H2/STO-3G: {} fermionic terms on {} modes", hf.n_terms(), hf.n_modes());
+    println!(
+        "H2/STO-3G: {} fermionic terms on {} modes",
+        hf.n_terms(),
+        hf.n_modes()
+    );
 
     // 2. Preprocess to Majorana form (the input of every mapping).
     let mut h = MajoranaSum::from_fermion(&hf);
     let constant = h.take_identity();
-    println!("Majorana form: {} terms (constant {:.6})", h.n_terms(), constant.re);
+    println!(
+        "Majorana form: {} terms (constant {:.6})",
+        h.n_terms(),
+        constant.re
+    );
 
     // 3. Compile the Hamiltonian-adaptive mapping.
     let mapping = hatt(&h);
     println!("\nHATT Majorana strings:");
     for k in 0..2 * h.n_modes() {
-        println!("  M{k:<2} = {}  (compact: {})", mapping.majorana(k), mapping.majorana(k).compact());
+        println!(
+            "  M{k:<2} = {}  (compact: {})",
+            mapping.majorana(k),
+            mapping.majorana(k).compact()
+        );
     }
     let report = validate(&mapping);
     println!(

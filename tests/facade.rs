@@ -1,0 +1,59 @@
+//! Facade-crate coverage: the examples must keep building, and the
+//! `hatt::prelude` surface must round-trip the core pipeline.
+
+use hatt::core::{hatt_with, HattOptions};
+use hatt::fermion::FermionOperator;
+use hatt::fermion::MajoranaSum;
+use hatt::mappings::FermionMapping;
+use hatt::prelude::*;
+
+/// Builds every example in `examples/` (`cargo build --examples`), so a
+/// drifting facade API is caught by `cargo test` rather than by a user.
+#[test]
+fn examples_build() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let cargo = env!("CARGO");
+    let status = std::process::Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(manifest_dir)
+        .status()
+        .expect("failed to spawn cargo");
+    assert!(
+        status.success(),
+        "`cargo build --examples` failed: {status}"
+    );
+}
+
+/// Parse → display round-trip through the prelude's `PauliString`.
+#[test]
+fn prelude_pauli_string_round_trip() {
+    let s: PauliString = "XYZI".parse().expect("valid Pauli string");
+    assert_eq!(s.to_string(), "XYZI");
+    assert_eq!(s.weight(), 3);
+    let reparsed: PauliString = s.to_string().parse().expect("display is parseable");
+    assert_eq!(s, reparsed);
+}
+
+/// Maps a small 4-mode Hamiltonian through `hatt_core::hatt_with` and
+/// checks the mapped Pauli weight is positive and bounded.
+#[test]
+fn prelude_four_mode_hatt_round_trip() {
+    // H = Σ_p n_p + 0.5·Σ_p (a†_p a_{p+1} + h.c.) on 4 modes.
+    let mut h = FermionOperator::new(4);
+    for p in 0..4 {
+        h.add_number(Complex64::ONE, p);
+    }
+    for p in 0..3 {
+        h.add_hopping(Complex64::real(0.5), p, p + 1);
+    }
+    let majorana = MajoranaSum::from_fermion(&h);
+    let mapping = hatt_with(&majorana, &HattOptions::default());
+    let mapped: PauliSum = mapping.map_majorana_sum(&majorana);
+    let weight = mapped.weight();
+    assert!(weight > 0, "mapped Hamiltonian must have positive weight");
+    // 4 modes → 9 qubits; a crude upper bound on total weight.
+    assert!(
+        weight < mapped.n_terms() * mapped.n_qubits().max(1) + 1,
+        "weight {weight} exceeds terms×qubits bound"
+    );
+}

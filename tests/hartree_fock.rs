@@ -6,9 +6,7 @@
 use hatt::core::hatt;
 use hatt::fermion::models::MolecularIntegrals;
 use hatt::fermion::MajoranaSum;
-use hatt::mappings::{
-    balanced_ternary_tree, bravyi_kitaev, jordan_wigner, parity, FermionMapping,
-};
+use hatt::mappings::{balanced_ternary_tree, bravyi_kitaev, jordan_wigner, parity, FermionMapping};
 use hatt::pauli::Complex64;
 use hatt::sim::StateVector;
 

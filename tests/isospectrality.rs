@@ -6,8 +6,7 @@ use hatt::core::{hatt_with, HattOptions, Variant};
 use hatt::fermion::models::{random_hermitian, FermiHubbard, MolecularIntegrals};
 use hatt::fermion::{FermionOperator, MajoranaSum};
 use hatt::mappings::{
-    balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner, parity,
-    FermionMapping,
+    balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner, parity, FermionMapping,
 };
 use hatt::sim::spectrum;
 
@@ -23,8 +22,20 @@ fn all_mappings(h: &MajoranaSum) -> Vec<Box<dyn FermionMapping>> {
         Box::new(bravyi_kitaev(n)),
         Box::new(balanced_ternary_tree(n)),
         Box::new(exhaustive_optimal(h).0),
-        Box::new(hatt_with(h, &HattOptions { variant: Variant::Unopt, naive_weight: false })),
-        Box::new(hatt_with(h, &HattOptions { variant: Variant::Cached, naive_weight: false })),
+        Box::new(hatt_with(
+            h,
+            &HattOptions {
+                variant: Variant::Unopt,
+                naive_weight: false,
+            },
+        )),
+        Box::new(hatt_with(
+            h,
+            &HattOptions {
+                variant: Variant::Cached,
+                naive_weight: false,
+            },
+        )),
     ]
 }
 

@@ -121,8 +121,20 @@ fn unopt_and_optimized_hatt_agree_closely_on_weight() {
         MajoranaSum::from_fermion(&MolecularIntegrals::h2_sto3g().to_fermion_operator()),
     ];
     for h in &cases {
-        let unopt = hatt_with(h, &HattOptions { variant: Variant::Unopt, naive_weight: false });
-        let opt = hatt_with(h, &HattOptions { variant: Variant::Cached, naive_weight: false });
+        let unopt = hatt_with(
+            h,
+            &HattOptions {
+                variant: Variant::Unopt,
+                naive_weight: false,
+            },
+        );
+        let opt = hatt_with(
+            h,
+            &HattOptions {
+                variant: Variant::Cached,
+                naive_weight: false,
+            },
+        );
         let wu = unopt.map_majorana_sum(h).weight() as f64;
         let wo = opt.map_majorana_sum(h).weight() as f64;
         assert!(

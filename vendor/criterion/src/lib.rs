@@ -1,0 +1,180 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses. The container image has no crates-io access, so the workspace
+//! vendors a minimal wall-clock benchmark harness with the same surface:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurements are a simple mean over `sample_size` timed samples —
+//! good enough for relative comparisons while the real statistical
+//! engine is unavailable offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// stand-in always rebuilds the input per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Prevents the optimizer from eliding a value (re-export of
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `bench_function` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark registry / runner (the `criterion::Criterion` analogue).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass: find an iteration count that runs long
+        // enough to time meaningfully but keeps total cost bounded.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(8);
+        }
+        // Measurement passes.
+        let mut total = 0.0;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed.as_secs_f64() / iters as f64;
+        }
+        let mean = total / self.sample_size as f64;
+        println!("{name:<48} {:>12} / iter", format_time(mean));
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group (both the positional and the
+/// `name/config/targets` forms of the real macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_returns_self() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)))
+            .bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+            });
+        count += 1;
+        assert_eq!(count, 1);
+    }
+}
