@@ -1,0 +1,131 @@
+//! Machine-readable perf harness: sweeps the three HATT variants on the
+//! paper's scalability workload and writes `BENCH_perf.json`
+//! (per-variant wall-clock stats, fitted log-log slopes, Pauli-weight
+//! totals) so successive PRs can compare perf trajectories.
+//!
+//! `cargo run --release -p hatt-bench --bin perf -- [--smoke]
+//!     [--out PATH] [--budget SECONDS] [--samples K] [--max-n N]`
+//!
+//! * `--smoke` — quick CI configuration (N ≤ 24, tight budget).
+//! * `--out PATH` — output path (default `BENCH_perf.json`).
+//! * `--budget SECONDS` — per-point budget; a variant stops at the
+//!   first N whose construction exceeds it (default 10, smoke 2).
+//! * `--samples K` — timed samples per point (default 3).
+//! * `--max-n N` — drop sweep points above N.
+//!
+//! See the README "Perf harness" section for the JSON schema.
+
+use std::process::ExitCode;
+
+use hatt_bench::perf::{
+    paper_complexity, sweep_variant, sweeps_to_json, SweepConfig, VariantSweep,
+};
+use hatt_core::Variant;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    budget: Option<f64>,
+    samples: Option<usize>,
+    max_n: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_perf.json".to_string(),
+        budget: None,
+        samples: None,
+        max_n: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = value("--out")?,
+            "--budget" => {
+                args.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?,
+                )
+            }
+            "--samples" => {
+                args.samples = Some(
+                    value("--samples")?
+                        .parse()
+                        .map_err(|e| format!("--samples: {e}"))?,
+                )
+            }
+            "--max-n" => {
+                args.max_n = Some(
+                    value("--max-n")?
+                        .parse()
+                        .map_err(|e| format!("--max-n: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = if args.smoke {
+        SweepConfig::smoke()
+    } else {
+        SweepConfig::default()
+    };
+    if let Some(b) = args.budget {
+        cfg.budget_per_point = b;
+    }
+    if let Some(k) = args.samples {
+        cfg.samples = k.max(1);
+    }
+    if let Some(cap) = args.max_n {
+        cfg.ns.retain(|&n| n <= cap);
+    }
+    if cfg.ns.is_empty() {
+        eprintln!("perf: no sweep points left (check --max-n)");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "== perf harness: H_F = Σ M_i, N ∈ {:?}, {} samples/point, budget {} s ==",
+        cfg.ns, cfg.samples, cfg.budget_per_point
+    );
+    let sweeps: Vec<VariantSweep> = [Variant::Unopt, Variant::Paired, Variant::Cached]
+        .iter()
+        .map(|&v| {
+            let sweep = sweep_variant(&cfg, v);
+            let slope = sweep
+                .slope
+                .map_or_else(|| "n/a".to_string(), |s| format!("{s:.2}"));
+            let last = sweep.points.last().expect("ns is non-empty");
+            println!(
+                "  {:<24} reached N={:<4} median {:.4} s  slope ~ N^{slope}  ({})",
+                sweep.variant.label(),
+                last.n,
+                last.stats.median,
+                paper_complexity(v),
+            );
+            sweep
+        })
+        .collect();
+
+    let doc = sweeps_to_json(&cfg, args.smoke, &sweeps);
+    if let Err(e) = std::fs::write(&args.out, doc.render_pretty()) {
+        eprintln!("perf: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,9 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod perf;
+
 use std::time::Instant;
 
 use hatt_circuit::{optimize, trotter_circuit, CircuitMetrics, TermOrder};

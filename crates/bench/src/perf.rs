@@ -1,0 +1,290 @@
+//! The scalability/perf sweep behind `fig12` and the `perf` harness:
+//! timed HATT constructions on the paper's `H_F = Σ_i M_i` workload
+//! (§V-E) across N, with summary statistics per point and least-squares
+//! log-log slope fits against the paper's complexity claims
+//! (Algorithm 1 `O(N⁴)`, Algorithm 3 `O(N³)`).
+
+use std::time::Instant;
+
+use criterion::{summarize, Stats};
+use hatt_core::{hatt_with, HattMapping, HattOptions, Variant};
+use hatt_fermion::MajoranaSum;
+
+use crate::json::Json;
+
+/// Sweep configuration shared by `fig12` and `perf`.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Mode counts to visit, ascending.
+    pub ns: Vec<usize>,
+    /// Timed construction samples per (variant, N) point.
+    pub samples: usize,
+    /// Per-point wall-clock budget in seconds: once a point's *first*
+    /// sample exceeds it, the variant stops at that N (the point is
+    /// still recorded from that single sample).
+    pub budget_per_point: f64,
+    /// Smallest N included in the slope fit (asymptotics need the tail).
+    pub slope_min_n: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            ns: vec![8, 12, 16, 20, 24, 32, 40, 48, 64, 80, 96, 100],
+            samples: 3,
+            budget_per_point: 10.0,
+            slope_min_n: 32,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The quick configuration used by `perf --smoke` and CI.
+    pub fn smoke() -> Self {
+        SweepConfig {
+            ns: vec![8, 12, 16, 20, 24],
+            samples: 3,
+            budget_per_point: 2.0,
+            slope_min_n: 12,
+        }
+    }
+}
+
+/// One timed (variant, N) sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Mode count.
+    pub n: usize,
+    /// Wall-clock statistics over the samples, in seconds.
+    pub stats: Stats,
+    /// Total settled Pauli weight (the construction objective) —
+    /// golden-checked so perf work cannot silently change results.
+    pub pauli_weight: usize,
+    /// Candidate triples evaluated across the construction.
+    pub candidates: u64,
+    /// Pairwise-memo hits inside the selection kernel.
+    pub memo_hits: u64,
+    /// Pairwise-memo misses.
+    pub memo_misses: u64,
+}
+
+/// A completed per-variant sweep.
+#[derive(Debug, Clone)]
+pub struct VariantSweep {
+    /// The algorithm variant swept.
+    pub variant: Variant,
+    /// Points actually completed (the budget may truncate the tail).
+    pub points: Vec<SweepPoint>,
+    /// Fitted log-log slope over points with `n ≥ slope_min_n`
+    /// (`None` with fewer than two such points).
+    pub slope: Option<f64>,
+}
+
+/// The paper's complexity claim for a variant, for reports.
+pub fn paper_complexity(variant: Variant) -> &'static str {
+    match variant {
+        Variant::Unopt => "O(N^4)",
+        Variant::Paired => "O(N^4) worst-case traversals",
+        Variant::Cached => "O(N^3)",
+    }
+}
+
+/// Short machine-readable variant key (`unopt` / `paired` / `cached`).
+pub fn variant_key(variant: Variant) -> &'static str {
+    match variant {
+        Variant::Unopt => "unopt",
+        Variant::Paired => "paired",
+        Variant::Cached => "cached",
+    }
+}
+
+/// Runs one timed construction, returning `(seconds, mapping)`.
+pub fn time_construction(h: &MajoranaSum, variant: Variant) -> (f64, HattMapping) {
+    let t0 = Instant::now();
+    let m = hatt_with(
+        h,
+        &HattOptions {
+            variant,
+            naive_weight: false,
+        },
+    );
+    let dt = t0.elapsed().as_secs_f64();
+    (dt, m)
+}
+
+/// Sweeps one variant over the configured Ns on `H_F = Σ_i M_i`,
+/// stopping early when a point blows the per-point budget.
+pub fn sweep_variant(cfg: &SweepConfig, variant: Variant) -> VariantSweep {
+    let mut points = Vec::new();
+    for &n in &cfg.ns {
+        let h = MajoranaSum::uniform_singles(n);
+        let (first, mapping) = time_construction(&h, variant);
+        let mut samples = vec![first];
+        let over_budget = first > cfg.budget_per_point;
+        if !over_budget {
+            for _ in 1..cfg.samples {
+                samples.push(time_construction(&h, variant).0);
+            }
+        }
+        let stats = mapping.stats();
+        points.push(SweepPoint {
+            n,
+            stats: summarize(&samples),
+            pauli_weight: stats.total_weight(),
+            candidates: stats.total_candidates(),
+            memo_hits: stats.memo_hits,
+            memo_misses: stats.memo_misses,
+        });
+        if over_budget {
+            break;
+        }
+    }
+    let slope = loglog_slope(
+        &points
+            .iter()
+            .filter(|p| p.n >= cfg.slope_min_n)
+            .map(|p| (p.n, p.stats.median))
+            .collect::<Vec<_>>(),
+    );
+    VariantSweep {
+        variant,
+        points,
+        slope,
+    }
+}
+
+/// Least-squares slope of `ln t` against `ln n`; `None` with fewer than
+/// two usable (positive-time) points.
+pub fn loglog_slope(points: &[(usize, f64)]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(_, t)| t > 0.0)
+        .map(|&(n, t)| ((n as f64).ln(), t.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom == 0.0 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Serializes a sweep set to the `BENCH_perf.json` document
+/// (`schema: "hatt-perf/1"`; see README "Perf harness" for the schema).
+pub fn sweeps_to_json(cfg: &SweepConfig, smoke: bool, sweeps: &[VariantSweep]) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::str("hatt-perf/1")),
+        ("workload".into(), Json::str("uniform_singles")),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("samples_per_point".into(), Json::int(cfg.samples as u64)),
+        ("budget_per_point_s".into(), Json::Num(cfg.budget_per_point)),
+        ("slope_fit_min_n".into(), Json::int(cfg.slope_min_n as u64)),
+        (
+            "variants".into(),
+            Json::Arr(sweeps.iter().map(sweep_to_json).collect()),
+        ),
+    ])
+}
+
+fn sweep_to_json(sweep: &VariantSweep) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::str(variant_key(sweep.variant))),
+        ("label".into(), Json::str(sweep.variant.label())),
+        (
+            "paper_complexity".into(),
+            Json::str(paper_complexity(sweep.variant)),
+        ),
+        (
+            "loglog_slope".into(),
+            sweep.slope.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "points".into(),
+            Json::Arr(sweep.points.iter().map(point_to_json).collect()),
+        ),
+    ])
+}
+
+fn point_to_json(p: &SweepPoint) -> Json {
+    Json::Obj(vec![
+        ("n".into(), Json::int(p.n as u64)),
+        ("mean_s".into(), Json::Num(p.stats.mean)),
+        ("median_s".into(), Json::Num(p.stats.median)),
+        ("stddev_s".into(), Json::Num(p.stats.stddev)),
+        ("min_s".into(), Json::Num(p.stats.min)),
+        ("max_s".into(), Json::Num(p.stats.max)),
+        ("samples".into(), Json::int(p.stats.n as u64)),
+        ("pauli_weight".into(), Json::int(p.pauli_weight as u64)),
+        ("candidates".into(), Json::int(p.candidates)),
+        ("memo_hits".into(), Json::int(p.memo_hits)),
+        ("memo_misses".into(), Json::int(p.memo_misses)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_perfect_cubic_is_three() {
+        let pts: Vec<(usize, f64)> = [8usize, 16, 32, 64]
+            .iter()
+            .map(|&n| (n, (n as f64).powi(3)))
+            .collect();
+        let s = loglog_slope(&pts).unwrap();
+        assert!((s - 3.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn slope_needs_two_points() {
+        assert!(loglog_slope(&[]).is_none());
+        assert!(loglog_slope(&[(8, 1.0)]).is_none());
+        assert!(loglog_slope(&[(8, 0.0), (16, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn smoke_sweep_produces_points_and_json() {
+        let cfg = SweepConfig {
+            ns: vec![4, 6, 8],
+            samples: 2,
+            budget_per_point: 5.0,
+            slope_min_n: 4,
+        };
+        let sweeps: Vec<VariantSweep> = [Variant::Cached, Variant::Unopt]
+            .iter()
+            .map(|&v| sweep_variant(&cfg, v))
+            .collect();
+        assert_eq!(sweeps[0].points.len(), 3);
+        for p in &sweeps[0].points {
+            assert!(p.pauli_weight > 0);
+            assert!(p.candidates > 0);
+            assert_eq!(p.stats.n, 2);
+        }
+        // The cached variant's selection loop must actually hit the memo.
+        assert!(sweeps[0].points[0].memo_hits > 0);
+        let doc = sweeps_to_json(&cfg, true, &sweeps).render();
+        assert!(doc.starts_with(r#"{"schema":"hatt-perf/1""#));
+        assert!(doc.contains(r#""name":"cached""#));
+        assert!(doc.contains(r#""pauli_weight":"#));
+    }
+
+    #[test]
+    fn budget_truncates_the_tail() {
+        let cfg = SweepConfig {
+            ns: vec![4, 8, 12],
+            samples: 2,
+            budget_per_point: 0.0, // everything is over budget
+            slope_min_n: 4,
+        };
+        let sweep = sweep_variant(&cfg, Variant::Cached);
+        assert_eq!(sweep.points.len(), 1, "must stop after the first point");
+        assert_eq!(sweep.points[0].stats.n, 1, "no extra samples when over");
+    }
+}

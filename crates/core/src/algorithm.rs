@@ -161,12 +161,12 @@ pub fn hatt_with(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
         };
         let u = builder.roots();
         let selection = match options.variant {
-            Variant::Unopt => select_unopt(&engine, &u, options, &mut iter_stats),
+            Variant::Unopt => select_unopt(&mut engine, &u, options, &mut iter_stats),
             Variant::Paired => {
-                select_paired(&engine, &builder, &u, n, options, &mut iter_stats, None)
+                select_paired(&mut engine, &builder, &u, n, options, &mut iter_stats, None)
             }
             Variant::Cached => select_paired(
-                &engine,
+                &mut engine,
                 &builder,
                 &u,
                 n,
@@ -183,10 +183,13 @@ pub fn hatt_with(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
         iterations.push(iter_stats);
     }
 
+    let (memo_hits, memo_misses) = engine.memo_stats();
     let stats = ConstructionStats {
         iterations,
         n_terms: engine.n_terms(),
         elapsed: start.elapsed(),
+        memo_hits,
+        memo_misses,
     };
     let tree = builder.finish();
     let mapping = TreeMapping::with_identity_assignment(options.variant.label(), tree);
@@ -203,11 +206,17 @@ struct Selection {
     weight: usize,
 }
 
-fn weight_of(engine: &TermEngine, options: &HattOptions, a: NodeId, b: NodeId, c: NodeId) -> usize {
+fn weight_of(
+    engine: &mut TermEngine,
+    options: &HattOptions,
+    a: NodeId,
+    b: NodeId,
+    c: NodeId,
+) -> usize {
     if options.naive_weight {
         engine.weight_of_triple_naive(a, b, c)
     } else {
-        engine.weight_of_triple(a, b, c)
+        engine.weight_of_triple_memo(a, b, c)
     }
 }
 
@@ -215,7 +224,7 @@ fn weight_of(engine: &TermEngine, options: &HattOptions, a: NodeId, b: NodeId, c
 /// not affect weight, so combinations suffice — see `hatt-mappings`
 /// engine docs).
 fn select_unopt(
-    engine: &TermEngine,
+    engine: &mut TermEngine,
     u: &[NodeId],
     options: &HattOptions,
     stats: &mut IterationStats,
@@ -248,7 +257,7 @@ fn select_unopt(
 /// the selection loop, exactly as Algorithm 2's pseudocode does.
 #[allow(clippy::too_many_arguments)]
 fn select_paired(
-    engine: &TermEngine,
+    engine: &mut TermEngine,
     builder: &TernaryTreeBuilder,
     u: &[NodeId],
     n: usize,

@@ -29,6 +29,11 @@ pub struct ConstructionStats {
     pub n_terms: usize,
     /// Total wall-clock construction time.
     pub elapsed: Duration,
+    /// Pairwise-intersection memo hits inside the selection kernel
+    /// (0 when the naive ablation path was used).
+    pub memo_hits: u64,
+    /// Pairwise-intersection memo misses (fresh popcounts computed).
+    pub memo_misses: u64,
 }
 
 impl ConstructionStats {
@@ -72,10 +77,13 @@ mod tests {
             ],
             n_terms: 4,
             elapsed: Duration::from_millis(1),
+            memo_hits: 7,
+            memo_misses: 2,
         };
         assert_eq!(stats.total_weight(), 3);
         assert_eq!(stats.total_candidates(), 13);
         assert_eq!(stats.total_traversal_steps(), 4);
+        assert_eq!(stats.memo_hits, 7);
     }
 
     #[test]

@@ -26,6 +26,27 @@
 //! paper — same asymptotics in `N`, a ~64× constant-factor win — and the
 //! per-term scan is kept as [`TermEngine::weight_of_triple_naive`] for the
 //! ablation benchmark.
+//!
+//! ## The incremental selection kernel
+//!
+//! By inclusion–exclusion the triple-intersection terms cancel:
+//!
+//! ```text
+//!     weight(a,b,c) = |A ∪ B ∪ C| − |A ∩ B ∩ C|
+//!                   = |A| + |B| + |C| − |A∩B| − |A∩C| − |B∩C|
+//! ```
+//!
+//! so a candidate's weight only needs per-node popcounts and *pairwise*
+//! intersection counts. The engine maintains the popcounts eagerly and a
+//! pairwise-count memo invalidated per node (each `reduce` /
+//! [`TermEngine::set_incidence`] bumps that node's epoch, so only pairs
+//! touching the mutated node are recomputed). Inside a selection loop
+//! evaluating `Ω(|U|²)` candidates over `|U|` stable nodes, every
+//! evaluation after the first visit of a pair is O(1) instead of
+//! O(T/64) — this is what pushes the Figure 12 sweep to the paper's
+//! N≈100 regime. [`TermEngine::weight_of_triple_memo`] is the memoized
+//! entry point; the allocation-free one-pass kernel stays available as
+//! [`TermEngine::weight_of_triple`].
 
 use hatt_fermion::MajoranaSum;
 use hatt_pauli::Bits;
@@ -57,6 +78,41 @@ pub struct TermEngine {
     n_modes: usize,
     n_terms: usize,
     incidence: Vec<Bits>,
+    /// Popcount of each node's incidence, maintained on every mutation.
+    count: Vec<u32>,
+    /// Per-node mutation epoch; a memo entry is valid only while both of
+    /// its nodes' epochs are unchanged. (A stale hit would need 2³²
+    /// mutations of one node between two reads of the same pair —
+    /// unreachable in practice.)
+    epoch: Vec<u32>,
+    /// Lazily allocated pairwise-intersection memo.
+    memo: Option<PairMemo>,
+    /// Scratch buffer for allocation-free `reduce`.
+    scratch: Bits,
+}
+
+/// Above this node count the pairwise memo (an upper-triangular
+/// `n_nodes·(n_nodes+1)/2` table, 12 bytes per entry) is not allocated
+/// and the memoized path falls back to the direct kernel. 2048 nodes
+/// ≈ 25 MB, covering N ≈ 680 modes.
+const PAIR_MEMO_NODE_LIMIT: usize = 2048;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PairEntry {
+    /// Epoch of the lower node id at computation time (0 = never valid,
+    /// node epochs start at 1).
+    epoch_lo: u32,
+    /// Epoch of the higher node id at computation time.
+    epoch_hi: u32,
+    count: u32,
+}
+
+#[derive(Debug, Clone)]
+struct PairMemo {
+    n_nodes: usize,
+    entries: Vec<PairEntry>,
+    hits: u64,
+    misses: u64,
 }
 
 impl TermEngine {
@@ -73,16 +129,25 @@ impl TermEngine {
             .filter(|idx| !idx.is_empty())
             .collect();
         let n_terms = monomials.len();
+        assert!(
+            u32::try_from(n_terms).is_ok(),
+            "term count {n_terms} exceeds the engine's u32 counters"
+        );
         let mut incidence = vec![Bits::zeros(n_terms); n_nodes];
         for (t, idx) in monomials.iter().enumerate() {
             for &k in *idx {
                 incidence[k as usize].set(t, true);
             }
         }
+        let count = incidence.iter().map(|b| b.count_ones() as u32).collect();
         TermEngine {
             n_modes,
             n_terms,
             incidence,
+            count,
+            epoch: vec![1; n_nodes],
+            memo: None,
+            scratch: Bits::zeros(n_terms),
         }
     }
 
@@ -107,29 +172,88 @@ impl TermEngine {
 
     /// Pauli weight settled on one qubit if `(a, b, c)` become the
     /// `X, Y, Z` children of a new parent (symmetric in the triple).
+    ///
+    /// One fused word-level pass over the three incidence bitsets; see
+    /// [`TermEngine::weight_of_triple_memo`] for the O(1) amortized
+    /// variant used by the selection loops.
     pub fn weight_of_triple(&self, a: NodeId, b: NodeId, c: NodeId) -> usize {
-        let (ab, bb, cb) = (
-            self.incidence[a].blocks(),
-            self.incidence[b].blocks(),
-            self.incidence[c].blocks(),
-        );
-        let n_blocks = ab.len();
-        if n_blocks == 0 {
-            return 0;
-        }
-        let mut none = 0usize;
-        let mut all = 0usize;
-        for i in 0..n_blocks {
-            let (x, y, z) = (ab[i], bb[i], cb[i]);
-            let mask = if i + 1 == n_blocks {
-                last_block_mask(self.n_terms)
-            } else {
-                u64::MAX
-            };
-            none += (!(x | y | z) & mask).count_ones() as usize;
-            all += (x & y & z).count_ones() as usize;
-        }
+        let (none, all) =
+            Bits::triple_none_all(&self.incidence[a], &self.incidence[b], &self.incidence[c]);
         self.n_terms - none - all
+    }
+
+    /// Memoized weight evaluation via the pairwise identity
+    /// `w = |A| + |B| + |C| − |A∩B| − |A∩C| − |B∩C|` (the module docs
+    /// derive it). Returns exactly the same value as
+    /// [`TermEngine::weight_of_triple`]; after the first visit of each
+    /// pair the evaluation is O(1) until one of its nodes is mutated by
+    /// [`TermEngine::reduce`] / [`TermEngine::set_incidence`].
+    pub fn weight_of_triple_memo(&mut self, a: NodeId, b: NodeId, c: NodeId) -> usize {
+        if !self.ensure_memo() {
+            return self.weight_of_triple(a, b, c);
+        }
+        let singles = self.count[a] as usize + self.count[b] as usize + self.count[c] as usize;
+        singles - self.pair_count(a, b) - self.pair_count(a, c) - self.pair_count(b, c)
+    }
+
+    /// Popcount of `incidence(a) ∩ incidence(b)`, memoized per node-pair
+    /// and invalidated when either node mutates.
+    pub fn pair_count(&mut self, a: NodeId, b: NodeId) -> usize {
+        if !self.ensure_memo() {
+            return self.incidence[a].and_count(&self.incidence[b]);
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (elo, ehi) = (self.epoch[lo], self.epoch[hi]);
+        let memo = self.memo.as_mut().expect("memo just ensured");
+        // Upper-triangular (diagonal included) row-major slot: row `lo`
+        // starts after the Σ_{k<lo}(n_nodes − k) = lo·(2n − lo + 1)/2
+        // earlier entries.
+        let slot = lo * (2 * memo.n_nodes - lo + 1) / 2 + (hi - lo);
+        let entry = &mut memo.entries[slot];
+        if entry.epoch_lo == elo && entry.epoch_hi == ehi {
+            memo.hits += 1;
+            return entry.count as usize;
+        }
+        let count = self.incidence[lo].and_count(&self.incidence[hi]);
+        *entry = PairEntry {
+            epoch_lo: elo,
+            epoch_hi: ehi,
+            count: count as u32,
+        };
+        memo.misses += 1;
+        count
+    }
+
+    /// `(hits, misses)` of the pairwise memo so far — instrumentation for
+    /// the perf harness; `(0, 0)` before the memo is first used.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        self.memo.as_ref().map_or((0, 0), |m| (m.hits, m.misses))
+    }
+
+    /// Number of terms currently containing `node`'s symbol (maintained
+    /// popcount of its incidence bitset).
+    #[inline]
+    pub fn node_count(&self, node: NodeId) -> usize {
+        self.count[node] as usize
+    }
+
+    /// Allocates the pairwise memo on first use; `false` when the node
+    /// count exceeds [`PAIR_MEMO_NODE_LIMIT`] and memoization is skipped.
+    fn ensure_memo(&mut self) -> bool {
+        if self.memo.is_some() {
+            return true;
+        }
+        let n_nodes = self.incidence.len();
+        if n_nodes > PAIR_MEMO_NODE_LIMIT {
+            return false;
+        }
+        self.memo = Some(PairMemo {
+            n_nodes,
+            entries: vec![PairEntry::default(); n_nodes * (n_nodes + 1) / 2],
+            hits: 0,
+            misses: 0,
+        });
+        true
     }
 
     /// The paper's per-term weight evaluation (scan every term, count
@@ -150,27 +274,28 @@ impl TermEngine {
 
     /// Applies the paper's `reduce` step: the parent symbol replaces the
     /// children (`incidence(parent) = A ⊕ B ⊕ C`), settling the parent's
-    /// qubit for every term.
+    /// qubit for every term. Allocation-free (scratch buffer + fused
+    /// three-way XOR); invalidates only the parent's memoized pairs.
     pub fn reduce(&mut self, parent: NodeId, a: NodeId, b: NodeId, c: NodeId) {
-        let mut acc = self.incidence[a].clone();
-        acc.xor_with(&self.incidence[b]);
-        acc.xor_with(&self.incidence[c]);
-        self.incidence[parent] = acc;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.copy_from(&self.incidence[a]);
+        scratch.xor3_assign(&self.incidence[b], &self.incidence[c]);
+        std::mem::swap(&mut self.incidence[parent], &mut scratch);
+        self.scratch = scratch;
+        self.touch(parent);
     }
 
     /// Restores a node's incidence (used by backtracking searches).
     pub fn set_incidence(&mut self, node: NodeId, bits: Bits) {
         self.incidence[node] = bits;
+        self.touch(node);
     }
-}
 
-#[inline]
-fn last_block_mask(n_bits: usize) -> u64 {
-    let rem = n_bits % 64;
-    if rem == 0 {
-        u64::MAX
-    } else {
-        (1u64 << rem) - 1
+    /// Recomputes a node's maintained popcount and bumps its epoch,
+    /// invalidating every memoized pair involving it.
+    fn touch(&mut self, node: NodeId) {
+        self.count[node] = self.incidence[node].count_ones() as u32;
+        self.epoch[node] = self.epoch[node].wrapping_add(1);
     }
 }
 
@@ -248,6 +373,77 @@ mod tests {
         // but reduce(6, 2, 3, 4) with only node 2 present → odd → present.
         engine.reduce(6, 2, 3, 4);
         assert_eq!(engine.incidence(6).count_ones(), 1);
+    }
+
+    #[test]
+    fn memo_weight_matches_direct_kernel() {
+        let mut engine = TermEngine::new(&paper_example());
+        for a in 0..7 {
+            for b in 0..7 {
+                for c in 0..7 {
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    assert_eq!(
+                        engine.weight_of_triple(a, b, c),
+                        engine.weight_of_triple_memo(a, b, c),
+                        "memo mismatch at ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+        let (hits, misses) = engine.memo_stats();
+        assert!(hits > 0, "repeated pairs must hit the memo");
+        assert!(misses > 0);
+    }
+
+    #[test]
+    fn memo_invalidates_on_reduce_and_set_incidence() {
+        let mut engine = TermEngine::new(&paper_example());
+        // Warm the memo on pairs involving node 7 (all-zero incidence):
+        // only S0S1 contributes, via its single member O0 or O1.
+        assert_eq!(engine.weight_of_triple_memo(0, 1, 7), 1);
+        // O7 ← (O2, O3, O4): odd membership in S4S5 (one of the triple)
+        // and in S2S3S4S5 (three of the triple), so O7 now sits in those
+        // two terms and the same triple gains weight 2.
+        engine.reduce(7, 2, 3, 4);
+        assert_eq!(engine.node_count(7), 2);
+        assert_eq!(engine.weight_of_triple_memo(0, 1, 7), 3);
+        assert_eq!(
+            engine.weight_of_triple_memo(0, 1, 7),
+            engine.weight_of_triple(0, 1, 7)
+        );
+        // Backtracking path: restore an arbitrary incidence and re-check.
+        let restored = Bits::from_indices(engine.n_terms(), &[0, 3]);
+        engine.set_incidence(7, restored);
+        assert_eq!(engine.node_count(7), 2);
+        assert_eq!(
+            engine.weight_of_triple_memo(0, 1, 7),
+            engine.weight_of_triple(0, 1, 7)
+        );
+    }
+
+    #[test]
+    fn maintained_counts_track_incidence() {
+        let mut engine = TermEngine::new(&paper_example());
+        for node in 0..7 {
+            assert_eq!(engine.node_count(node), engine.incidence(node).count_ones());
+        }
+        engine.reduce(7, 2, 3, 4);
+        assert_eq!(engine.node_count(7), engine.incidence(7).count_ones());
+    }
+
+    #[test]
+    fn pair_count_matches_and_count() {
+        let mut engine = TermEngine::new(&paper_example());
+        for a in 0..7 {
+            for b in 0..7 {
+                let direct = engine.incidence(a).and_count(engine.incidence(b));
+                assert_eq!(engine.pair_count(a, b), direct);
+                // Second read must hit the memo and agree.
+                assert_eq!(engine.pair_count(b, a), direct);
+            }
+        }
     }
 
     #[test]

@@ -132,6 +132,99 @@ proptest! {
     }
 
     #[test]
+    fn engine_memo_matches_naive_after_reduce_sequences(
+        n in 2usize..8,
+        n_terms in 1usize..28,
+        seed in 0u64..200,
+    ) {
+        // Drive the engine through a full random bottom-up construction
+        // (arbitrary reduce sequences) and, at every intermediate state,
+        // require the three weight kernels to agree on random triples of
+        // current roots. This guards the incremental per-node counts and
+        // the epoch-invalidated pairwise memo behind
+        // `weight_of_triple_memo`.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        let mut h = MajoranaSum::new(n);
+        for t in 0..n_terms {
+            let k = rng.gen_range(1..=4.min(2 * n));
+            let idx = rand::seq::index::sample(&mut rng, 2 * n, k).into_vec();
+            let idx: Vec<u32> = idx.into_iter().map(|i| i as u32).collect();
+            h.add(Complex64::real(1.0 + t as f64), &idx);
+        }
+        let mut engine = TermEngine::new(&h);
+        let mut roots: Vec<usize> = (0..2 * n + 1).collect();
+        for step in 0..n {
+            for _ in 0..12 {
+                let picks = rand::seq::index::sample(&mut rng, roots.len(), 3).into_vec();
+                let (a, b, c) = (roots[picks[0]], roots[picks[1]], roots[picks[2]]);
+                let direct = engine.weight_of_triple(a, b, c);
+                prop_assert_eq!(direct, engine.weight_of_triple_naive(a, b, c));
+                prop_assert_eq!(direct, engine.weight_of_triple_memo(a, b, c));
+                prop_assert_eq!(
+                    engine.pair_count(a, b),
+                    engine.incidence(a).and_count(engine.incidence(b))
+                );
+            }
+            // Random reduce: attach a parent over three random roots.
+            let parent = 2 * n + 1 + step;
+            let picks = rand::seq::index::sample(&mut rng, roots.len(), 3).into_vec();
+            let mut triple = [roots[picks[0]], roots[picks[1]], roots[picks[2]]];
+            triple.sort_unstable();
+            engine.reduce(parent, triple[0], triple[1], triple[2]);
+            prop_assert_eq!(
+                engine.node_count(parent),
+                engine.incidence(parent).count_ones()
+            );
+            roots.retain(|r| !triple.contains(r));
+            roots.push(parent);
+        }
+        let (hits, _misses) = engine.memo_stats();
+        prop_assert!(hits > 0, "repeated queries must hit the memo");
+    }
+
+    #[test]
+    fn engine_memo_survives_set_incidence_backtracking(
+        n in 2usize..6,
+        seed in 0u64..120,
+    ) {
+        // The backtracking searches snapshot a node's incidence, reduce
+        // over it, then restore it via `set_incidence`. The memoized
+        // kernel must stay exact across arbitrary such cycles.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBAC2);
+        let mut h = MajoranaSum::new(n);
+        for t in 0..2 * n {
+            let k = rng.gen_range(1..=3.min(2 * n));
+            let idx = rand::seq::index::sample(&mut rng, 2 * n, k).into_vec();
+            let idx: Vec<u32> = idx.into_iter().map(|i| i as u32).collect();
+            h.add(Complex64::real(1.0 + t as f64), &idx);
+        }
+        let mut engine = TermEngine::new(&h);
+        let nodes = 2 * n + 1;
+        for _ in 0..8 {
+            let picks = rand::seq::index::sample(&mut rng, nodes, 3).into_vec();
+            let (a, b, c) = (picks[0], picks[1], picks[2]);
+            let parent = nodes + rng.gen_range(0..n);
+            let before = engine.incidence(parent).clone();
+            // Warm the memo on the parent's pairs, mutate, check, restore.
+            let _ = engine.weight_of_triple_memo(a, b, parent);
+            engine.reduce(parent, a, b, c);
+            prop_assert_eq!(
+                engine.weight_of_triple_memo(a, b, parent),
+                engine.weight_of_triple_naive(a, b, parent)
+            );
+            engine.set_incidence(parent, before);
+            prop_assert_eq!(
+                engine.weight_of_triple_memo(a, b, parent),
+                engine.weight_of_triple_naive(a, b, parent)
+            );
+            prop_assert_eq!(
+                engine.weight_of_triple_memo(a, c, parent),
+                engine.weight_of_triple_naive(a, c, parent)
+            );
+        }
+    }
+
+    #[test]
     fn baselines_stay_valid_at_odd_sizes(n in 1usize..34) {
         // Exercises the non-power-of-two Fenwick paths and large trees.
         for m in [

@@ -5,6 +5,7 @@
 //! kept at zero so that `Eq`/`Hash`/`Ord` work structurally.
 
 use std::fmt;
+use std::ops::{BitAndAssign, BitOrAssign, BitXorAssign};
 
 /// A fixed-length bit vector backed by 64-bit blocks.
 ///
@@ -146,6 +147,31 @@ impl Bits {
         }
     }
 
+    /// Overwrites `self` with a copy of `other`, reusing the existing
+    /// block allocation (unlike the derived `clone_from`, which
+    /// reallocates). Used by scratch buffers in hot loops.
+    pub fn copy_from(&mut self, other: &Bits) {
+        self.len = other.len;
+        self.blocks.clear();
+        self.blocks.extend_from_slice(&other.blocks);
+    }
+
+    /// In-place three-way XOR: `self ^= b ^ c` in a single word-level
+    /// pass. This is the `reduce` kernel of the HATT construction
+    /// (`incidence(parent) = A ⊕ B ⊕ C`) without an intermediate
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor3_assign(&mut self, b: &Bits, c: &Bits) {
+        assert_eq!(self.len, b.len, "bit vector length mismatch");
+        assert_eq!(self.len, c.len, "bit vector length mismatch");
+        for ((a, b), c) in self.blocks.iter_mut().zip(&b.blocks).zip(&c.blocks) {
+            *a ^= b ^ c;
+        }
+    }
+
     /// Popcount of `self & other` without allocating.
     ///
     /// # Panics
@@ -216,6 +242,67 @@ impl Bits {
         assert!(new_len >= self.len, "cannot shrink a Bits via grow");
         self.len = new_len;
         self.blocks.resize(new_len.div_ceil(64), 0);
+    }
+
+    /// Fused incidence kernel over a triple: one word-level pass
+    /// returning `(none, all)` where `none` counts positions set in
+    /// *none* of `a, b, c` and `all` counts positions set in all three.
+    ///
+    /// This is the hot loop of the HATT weight evaluation
+    /// (`weight = len − none − all`); fusing the AND/OR popcounts into a
+    /// single traversal keeps all three operand blocks in registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn triple_none_all(a: &Bits, b: &Bits, c: &Bits) -> (usize, usize) {
+        assert_eq!(a.len, b.len, "bit vector length mismatch");
+        assert_eq!(a.len, c.len, "bit vector length mismatch");
+        let n_blocks = a.blocks.len();
+        let (mut none, mut all) = (0usize, 0usize);
+        for i in 0..n_blocks {
+            let (x, y, z) = (a.blocks[i], b.blocks[i], c.blocks[i]);
+            let mask = if i + 1 == n_blocks {
+                last_block_mask(a.len)
+            } else {
+                u64::MAX
+            };
+            none += (!(x | y | z) & mask).count_ones() as usize;
+            all += (x & y & z).count_ones() as usize;
+        }
+        (none, all)
+    }
+}
+
+/// Mask selecting the valid bits of the last block of an `n_bits` vector.
+#[inline]
+fn last_block_mask(n_bits: usize) -> u64 {
+    let rem = n_bits % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+impl BitAndAssign<&Bits> for Bits {
+    /// In-place AND (`a &= &b`); equivalent to [`Bits::and_with`].
+    fn bitand_assign(&mut self, rhs: &Bits) {
+        self.and_with(rhs);
+    }
+}
+
+impl BitOrAssign<&Bits> for Bits {
+    /// In-place OR (`a |= &b`); equivalent to [`Bits::or_with`].
+    fn bitor_assign(&mut self, rhs: &Bits) {
+        self.or_with(rhs);
+    }
+}
+
+impl BitXorAssign<&Bits> for Bits {
+    /// In-place XOR (`a ^= &b`); equivalent to [`Bits::xor_with`].
+    fn bitxor_assign(&mut self, rhs: &Bits) {
+        self.xor_with(rhs);
     }
 }
 
@@ -343,5 +430,84 @@ mod tests {
         let a = Bits::from_indices(10, &[0]);
         let b = Bits::from_indices(10, &[1]);
         assert!(a < b);
+    }
+
+    #[test]
+    fn assign_operators_match_methods() {
+        let a = Bits::from_indices(130, &[0, 5, 64, 129]);
+        let b = Bits::from_indices(130, &[5, 64, 100]);
+        let mut x = a.clone();
+        x &= &b;
+        assert_eq!(x.iter_ones().collect::<Vec<_>>(), vec![5, 64]);
+        let mut y = a.clone();
+        y |= &b;
+        assert_eq!(y.count_ones(), 5);
+        let mut z = a.clone();
+        z ^= &b;
+        assert_eq!(z.iter_ones().collect::<Vec<_>>(), vec![0, 100, 129]);
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation_and_matches_clone() {
+        let src = Bits::from_indices(130, &[0, 64, 129]);
+        let mut dst = Bits::from_indices(200, &[5, 199]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let mut small = Bits::zeros(3);
+        small.copy_from(&src);
+        assert_eq!(small, src);
+    }
+
+    #[test]
+    fn xor3_assign_is_three_way_xor() {
+        let a = Bits::from_indices(200, &[0, 64, 128, 199]);
+        let b = Bits::from_indices(200, &[0, 64, 100]);
+        let c = Bits::from_indices(200, &[64, 100, 199]);
+        let mut fused = a.clone();
+        fused.xor3_assign(&b, &c);
+        let mut twostep = a.clone();
+        twostep.xor_with(&b);
+        twostep.xor_with(&c);
+        assert_eq!(fused, twostep);
+        assert_eq!(fused.iter_ones().collect::<Vec<_>>(), vec![64, 128]);
+    }
+
+    #[test]
+    fn triple_none_all_counts() {
+        // 130 bits exercises the partial last block.
+        let a = Bits::from_indices(130, &[0, 1, 2, 129]);
+        let b = Bits::from_indices(130, &[1, 2, 64]);
+        let c = Bits::from_indices(130, &[2, 64, 129]);
+        let (none, all) = Bits::triple_none_all(&a, &b, &c);
+        // Positions touched by at least one: {0, 1, 2, 64, 129} → 125 none.
+        assert_eq!(none, 125);
+        // Only position 2 is in all three.
+        assert_eq!(all, 1);
+        // Exhaustive cross-check against per-bit evaluation.
+        let (mut none_ref, mut all_ref) = (0, 0);
+        for i in 0..130 {
+            let k = usize::from(a.get(i)) + usize::from(b.get(i)) + usize::from(c.get(i));
+            if k == 0 {
+                none_ref += 1;
+            }
+            if k == 3 {
+                all_ref += 1;
+            }
+        }
+        assert_eq!((none, all), (none_ref, all_ref));
+    }
+
+    #[test]
+    fn triple_none_all_on_empty_vectors() {
+        let z = Bits::zeros(0);
+        assert_eq!(Bits::triple_none_all(&z, &z, &z), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn triple_none_all_length_mismatch_panics() {
+        let a = Bits::zeros(10);
+        let b = Bits::zeros(11);
+        Bits::triple_none_all(&a, &a, &b);
     }
 }

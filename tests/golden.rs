@@ -1,0 +1,240 @@
+//! Golden-output regression suite: the table1–table6 pipelines as
+//! library calls at small N, asserted against checked-in expected
+//! numbers (Pauli weights, gate counts, qubit counts).
+//!
+//! Every value here was produced by the corresponding
+//! `cargo run -p hatt-bench --bin tableN` binary at the time the suite
+//! was recorded. The constructions, the Trotter/optimizer pipeline and
+//! the SABRE-lite router are all deterministic, so any drift in these
+//! numbers means an optimization PR changed *results*, not just speed —
+//! exactly what this suite exists to catch.
+
+use hatt_bench::{evaluate_case, preprocess, EvalCell, MappingRoster};
+use hatt_circuit::{
+    optimize, route_sabre, rustiq_trotter, trotter_circuit, CouplingMap, RouterOptions,
+    RustiqOptions, TermOrder,
+};
+use hatt_core::{hatt, hatt_with, HattOptions, Variant};
+use hatt_fermion::models::{FermiHubbard, NeutrinoModel};
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::{jordan_wigner, FermionMapping};
+
+/// `(mapping, pauli_weight, cnot, depth, single_qubit)` golden rows.
+type GoldenRow = (&'static str, usize, usize, usize, usize);
+
+fn assert_rows(case: &str, cells: &[EvalCell], expected: &[GoldenRow]) {
+    assert_eq!(
+        cells.len(),
+        expected.len(),
+        "{case}: mapping roster changed ({:?})",
+        cells.iter().map(|c| c.mapping.as_str()).collect::<Vec<_>>()
+    );
+    for (cell, exp) in cells.iter().zip(expected) {
+        assert_eq!(cell.mapping, exp.0, "{case}: mapping order changed");
+        assert_eq!(
+            (
+                cell.pauli_weight,
+                cell.metrics.cnot,
+                cell.metrics.depth,
+                cell.metrics.single_qubit
+            ),
+            (exp.1, exp.2, exp.3, exp.4),
+            "{case}/{}: golden metrics drifted",
+            exp.0
+        );
+    }
+}
+
+fn molecule(name: &str) -> MajoranaSum {
+    let spec = hatt_fermion::models::molecule_catalog()
+        .into_iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("molecule {name} missing from catalog"));
+    preprocess(&spec.hamiltonian())
+}
+
+#[test]
+fn table1_h2_sto3g_golden() {
+    // Table I, H2/STO-3G (4 modes): exhaustive FH is in reach.
+    let h = molecule("H2 sto3g");
+    assert_eq!(h.n_modes(), 4);
+    let cells = evaluate_case(&h, &MappingRoster::default());
+    assert_rows(
+        "H2 sto3g",
+        &cells,
+        &[
+            ("JW", 32, 36, 52, 29),
+            ("BK", 34, 40, 54, 21),
+            ("BTT", 36, 42, 58, 27),
+            ("FH", 32, 36, 51, 23),
+            ("HATT", 32, 36, 52, 29),
+        ],
+    );
+    let hq = hatt(&h).map_majorana_sum(&h);
+    assert_eq!(hq.n_qubits(), 4, "HATT must use N qubits");
+}
+
+#[test]
+fn table1_lih_frozen_golden() {
+    // Table I, LiH/STO-3G frozen-core (6 modes), FH excluded (annealed
+    // fallback is stochastic-ish in cost, not needed for the net).
+    let h = molecule("LiH sto3g frz");
+    assert_eq!(h.n_modes(), 6);
+    let cells = evaluate_case(
+        &h,
+        &MappingRoster {
+            include_fh: false,
+            fh_anneal_limit: 0,
+        },
+    );
+    assert_rows(
+        "LiH sto3g frz",
+        &cells,
+        &[
+            ("JW", 264, 350, 490, 221),
+            ("BK", 287, 396, 526, 185),
+            ("BTT", 328, 462, 589, 217),
+            ("HATT", 264, 350, 490, 221),
+        ],
+    );
+}
+
+#[test]
+fn table2_hubbard_2x2_golden() {
+    // Table II, Fermi-Hubbard 2×2 (8 modes).
+    let h = preprocess(&FermiHubbard::new(2, 2).hamiltonian());
+    assert_eq!(h.n_modes(), 8);
+    let cells = evaluate_case(
+        &h,
+        &MappingRoster {
+            include_fh: false,
+            fh_anneal_limit: 0,
+        },
+    );
+    assert_rows(
+        "Hubbard 2x2",
+        &cells,
+        &[
+            ("JW", 80, 104, 127, 65),
+            ("BK", 80, 102, 129, 66),
+            ("BTT", 84, 110, 143, 67),
+            ("HATT", 76, 96, 131, 67),
+        ],
+    );
+}
+
+#[test]
+fn table3_neutrino_3x2f_golden() {
+    // Table III, collective neutrino oscillation 3×2F (12 modes).
+    let h = preprocess(&NeutrinoModel::new(3, 2).hamiltonian());
+    assert_eq!(h.n_modes(), 12);
+    let cells = evaluate_case(
+        &h,
+        &MappingRoster {
+            include_fh: false,
+            fh_anneal_limit: 0,
+        },
+    );
+    assert_rows(
+        "neutrino 3x2F",
+        &cells,
+        &[
+            ("JW", 252, 336, 207, 208),
+            ("BK", 303, 432, 375, 168),
+            ("BTT", 432, 602, 684, 219),
+            ("HATT", 252, 336, 207, 208),
+        ],
+    );
+}
+
+#[test]
+fn table4_routed_h2_golden() {
+    // Table IV logic: H2 through Trotter → optimize → SABRE-lite on the
+    // Manhattan coupling map → re-optimize.
+    let h = molecule("H2 sto3g");
+    let arch = CouplingMap::manhattan65();
+    let mut got = Vec::new();
+    let n = h.n_modes();
+    for mapping in [
+        Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,
+        Box::new(hatt(&h).as_tree_mapping().clone()),
+    ] {
+        let hq = mapping.map_majorana_sum(&h);
+        let circ = optimize(&trotter_circuit(&hq, 1.0, 1, TermOrder::Lexicographic));
+        let routed = route_sabre(&circ, &arch, &RouterOptions::default());
+        let m = optimize(&routed.circuit).metrics();
+        got.push((m.cnot, m.single_qubit, m.depth));
+    }
+    assert_eq!(got[0], (49, 29, 63), "JW routed metrics drifted");
+    assert_eq!(got[1], (49, 29, 63), "HATT routed metrics drifted");
+}
+
+#[test]
+fn table5_rustiq_h2_golden() {
+    // Table V logic: H2 through the Rustiq-lite greedy synthesizer.
+    let h = molecule("H2 sto3g");
+    let opts = RustiqOptions::default();
+    let n = h.n_modes();
+    let mut got = Vec::new();
+    for mapping in [
+        Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,
+        Box::new(hatt(&h).as_tree_mapping().clone()),
+    ] {
+        let hq = mapping.map_majorana_sum(&h);
+        let circ = optimize(&rustiq_trotter(&hq, 1.0, 1, &opts));
+        let m = circ.metrics();
+        got.push((m.cnot, m.single_qubit, m.depth));
+    }
+    assert_eq!(got[0], (20, 23, 27), "JW rustiq metrics drifted");
+    assert_eq!(got[1], (20, 23, 27), "HATT rustiq metrics drifted");
+}
+
+#[test]
+fn table6_unopt_vs_cached_golden() {
+    // Table VI logic: Algorithm 1 vs Algorithms 2+3 settled weight.
+    let weight = |h: &MajoranaSum, variant: Variant| -> usize {
+        let m = hatt_with(
+            h,
+            &HattOptions {
+                variant,
+                naive_weight: false,
+            },
+        );
+        let mut hq = m.map_majorana_sum(h);
+        let _ = hq.take_identity();
+        hq.weight()
+    };
+    let h2 = molecule("H2 sto3g");
+    assert_eq!(weight(&h2, Variant::Unopt), 32);
+    assert_eq!(weight(&h2, Variant::Cached), 32);
+    let hub = preprocess(&FermiHubbard::new(2, 2).hamiltonian());
+    assert_eq!(weight(&hub, Variant::Unopt), 82);
+    assert_eq!(weight(&hub, Variant::Cached), 76);
+}
+
+#[test]
+fn construction_stats_match_mapped_weight_golden() {
+    // The settled-weight objective equals the mapped Hamiltonian weight
+    // for every catalog case used above — the invariant that lets the
+    // perf harness report weights without re-mapping.
+    for (name, h) in [
+        ("H2 sto3g", molecule("H2 sto3g")),
+        (
+            "hubbard 2x2",
+            preprocess(&FermiHubbard::new(2, 2).hamiltonian()),
+        ),
+        (
+            "neutrino 3x2F",
+            preprocess(&NeutrinoModel::new(3, 2).hamiltonian()),
+        ),
+    ] {
+        let m = hatt(&h);
+        let hq = m.map_majorana_sum(&h);
+        assert_eq!(
+            m.stats().total_weight(),
+            hq.weight(),
+            "{name}: objective / mapped weight mismatch"
+        );
+        assert_eq!(hq.n_qubits(), h.n_modes(), "{name}: qubit count");
+    }
+}

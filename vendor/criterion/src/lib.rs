@@ -5,9 +5,10 @@
 //! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
-//! Measurements are a simple mean over `sample_size` timed samples —
-//! good enough for relative comparisons while the real statistical
-//! engine is unavailable offline.
+//! Measurements report mean, median and sample standard deviation over
+//! `sample_size` timed samples ([`summarize`] / [`Stats`]) — good enough
+//! for relative comparisons while the real statistical engine is
+//! unavailable offline.
 
 #![warn(missing_docs)]
 
@@ -86,7 +87,8 @@ impl Criterion {
         self
     }
 
-    /// Runs one named benchmark and prints its mean time per iteration.
+    /// Runs one named benchmark and prints mean, median and standard
+    /// deviation of the per-iteration time across the samples.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -106,18 +108,72 @@ impl Criterion {
             iters = iters.saturating_mul(8);
         }
         // Measurement passes.
-        let mut total = 0.0;
+        let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let mut b = Bencher {
                 iters,
                 elapsed: Duration::ZERO,
             };
             f(&mut b);
-            total += b.elapsed.as_secs_f64() / iters as f64;
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
         }
-        let mean = total / self.sample_size as f64;
-        println!("{name:<48} {:>12} / iter", format_time(mean));
+        let stats = summarize(&samples);
+        println!(
+            "{name:<48} {:>12} / iter  (median {}, σ {})",
+            format_time(stats.mean),
+            format_time(stats.median),
+            format_time(stats.stddev),
+        );
         self
+    }
+}
+
+/// Summary statistics of a sample set (seconds, or any unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (mean of the two central samples for even counts).
+    pub median: f64,
+    /// Sample standard deviation (`n − 1` denominator; 0 for one sample).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+/// Computes [`Stats`] over a sample set.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn summarize(samples: &[f64]) -> Stats {
+    assert!(!samples.is_empty(), "summarize needs at least one sample");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    };
+    let stddev = if n < 2 {
+        0.0
+    } else {
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    };
+    Stats {
+        mean,
+        median,
+        stddev,
+        min: sorted[0],
+        max: sorted[n - 1],
+        n,
     }
 }
 
@@ -165,6 +221,38 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summarize_even_count() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        // Sample variance = (2.25 + 0.25 + 0.25 + 2.25) / 3 = 5/3.
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!((s.min, s.max, s.n), (1.0, 4.0, 4));
+    }
+
+    #[test]
+    fn summarize_odd_count_and_unsorted_input() {
+        let s = summarize(&[3.0, 1.0, 2.0]);
+        assert!((s.median - 2.0).abs() < 1e-12);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_single_sample_has_zero_stddev() {
+        let s = summarize(&[7.5]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn summarize_empty_panics() {
+        summarize(&[]);
+    }
 
     #[test]
     fn bench_function_runs_and_returns_self() {
