@@ -25,6 +25,7 @@ fn bench_weight_kernel(c: &mut Criterion) {
                     &HattOptions {
                         variant: Variant::Cached,
                         naive_weight: naive,
+                        ..Default::default()
                     },
                 ))
             })
@@ -42,6 +43,7 @@ fn bench_cache_ablation(c: &mut Criterion) {
                     &HattOptions {
                         variant,
                         naive_weight: false,
+                        ..Default::default()
                     },
                 ))
             })

@@ -24,6 +24,7 @@ fn bench_variants_on_uniform(c: &mut Criterion) {
                         &HattOptions {
                             variant,
                             naive_weight: false,
+                            ..Default::default()
                         },
                     ))
                 })
@@ -47,6 +48,7 @@ fn bench_variants_on_hubbard(c: &mut Criterion) {
                     &HattOptions {
                         variant,
                         naive_weight: false,
+                        ..Default::default()
                     },
                 ))
             })

@@ -8,8 +8,9 @@
 //! `cargo run --release -p hatt-bench --bin fig10`
 
 use hatt_bench::preprocess_keep_constant;
+use hatt_bench::MappingRoster;
 use hatt_circuit::{optimize, trotter_circuit, TermOrder};
-use hatt_core::hatt;
+use hatt_core::{hatt_with, HattOptions};
 use hatt_fermion::models::molecule_catalog;
 use hatt_mappings::{
     balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner, FermionMapping,
@@ -47,7 +48,14 @@ fn main() {
             if n <= 5 {
                 v.push(Box::new(exhaustive_optimal(&h).0));
             }
-            v.push(Box::new(hatt(&h).as_tree_mapping().clone()));
+            v.push(Box::new(
+                hatt_with(
+                    &h,
+                    &HattOptions::with_policy(MappingRoster::from_env().hatt_policy),
+                )
+                .as_tree_mapping()
+                .clone(),
+            ));
             v
         };
 

@@ -7,8 +7,9 @@
 //! `cargo run --release -p hatt-bench --bin fig11`
 
 use hatt_bench::preprocess_keep_constant;
+use hatt_bench::MappingRoster;
 use hatt_circuit::{optimize, trotter_circuit, TermOrder};
-use hatt_core::hatt;
+use hatt_core::{hatt_with, HattOptions};
 use hatt_fermion::models::MolecularIntegrals;
 use hatt_mappings::{
     balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner, FermionMapping,
@@ -30,7 +31,14 @@ fn main() {
         Box::new(bravyi_kitaev(n)),
         Box::new(balanced_ternary_tree(n)),
         Box::new(exhaustive_optimal(&h).0),
-        Box::new(hatt(&h).as_tree_mapping().clone()),
+        Box::new(
+            hatt_with(
+                &h,
+                &HattOptions::with_policy(MappingRoster::from_env().hatt_policy),
+            )
+            .as_tree_mapping()
+            .clone(),
+        ),
     ];
 
     println!(

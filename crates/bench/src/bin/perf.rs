@@ -18,7 +18,7 @@
 use std::process::ExitCode;
 
 use hatt_bench::perf::{
-    paper_complexity, sweep_variant, sweeps_to_json, SweepConfig, VariantSweep,
+    paper_complexity, policy_tradeoff, sweep_variant, sweeps_to_json, SweepConfig, VariantSweep,
 };
 use hatt_core::Variant;
 
@@ -121,7 +121,25 @@ fn main() -> ExitCode {
         })
         .collect();
 
-    let doc = sweeps_to_json(&cfg, args.smoke, &sweeps);
+    println!("\n== selection-policy quality vs time (neutrino family) ==");
+    let policies = policy_tradeoff(args.smoke);
+    for p in &policies {
+        let marker = if p.pauli_weight > p.jw_weight {
+            "  (worse than JW)"
+        } else {
+            ""
+        };
+        println!(
+            "  {:<16} {:<12} weight {:>6} (JW {:>6})  {:>8.2} ms{marker}",
+            p.case,
+            p.policy.label(),
+            p.pauli_weight,
+            p.jw_weight,
+            p.seconds * 1e3,
+        );
+    }
+
+    let doc = sweeps_to_json(&cfg, args.smoke, &sweeps, &policies);
     if let Err(e) = std::fs::write(&args.out, doc.render_pretty()) {
         eprintln!("perf: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

@@ -13,7 +13,7 @@ fn main() {
     if quick {
         println!("(HATT_QUICK set: molecules ≤ 20 modes only)");
     }
-    let roster = MappingRoster::default();
+    let roster = MappingRoster::from_env();
     let mut rows = Vec::new();
     for spec in molecule_catalog() {
         if quick && spec.n_modes > 20 {

@@ -8,7 +8,7 @@ use hatt_fermion::models::hubbard_catalog;
 
 fn main() {
     println!("== Table II: Fermi-Hubbard model (paper §V-C.2) ==");
-    let roster = MappingRoster::default();
+    let roster = MappingRoster::from_env();
     let mut rows = Vec::new();
     for lattice in hubbard_catalog() {
         let h = preprocess(&lattice.hamiltonian());

@@ -14,6 +14,7 @@ fn main() {
     let roster = MappingRoster {
         include_fh: false,
         fh_anneal_limit: 0,
+        ..MappingRoster::from_env()
     };
     let mut rows = Vec::new();
     for model in neutrino_catalog() {

@@ -4,9 +4,10 @@
 //!
 //! `cargo run --release -p hatt-bench --bin table4`
 
+use hatt_bench::MappingRoster;
 use hatt_bench::{preprocess, reduction_pct};
 use hatt_circuit::{optimize, route_sabre, trotter_circuit, CouplingMap, RouterOptions, TermOrder};
-use hatt_core::hatt;
+use hatt_core::{hatt_with, HattOptions};
 use hatt_fermion::models::molecule_catalog;
 use hatt_mappings::{jordan_wigner, FermionMapping};
 
@@ -43,7 +44,14 @@ fn main() {
             let mut row = Vec::new();
             for mapping in [
                 Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,
-                Box::new(hatt(&h).as_tree_mapping().clone()),
+                Box::new(
+                    hatt_with(
+                        &h,
+                        &HattOptions::with_policy(MappingRoster::from_env().hatt_policy),
+                    )
+                    .as_tree_mapping()
+                    .clone(),
+                ),
             ] {
                 let hq = mapping.map_majorana_sum(&h);
                 let circ = optimize(&trotter_circuit(&hq, 1.0, 1, TermOrder::Lexicographic));

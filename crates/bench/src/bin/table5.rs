@@ -4,9 +4,10 @@
 //!
 //! `cargo run --release -p hatt-bench --bin table5`
 
+use hatt_bench::MappingRoster;
 use hatt_bench::{preprocess, reduction_pct};
 use hatt_circuit::{optimize, rustiq_trotter, RustiqOptions};
-use hatt_core::hatt;
+use hatt_core::{hatt_with, HattOptions};
 use hatt_fermion::models::molecule_catalog;
 use hatt_mappings::{jordan_wigner, FermionMapping};
 
@@ -29,7 +30,14 @@ fn main() {
         let mut row = Vec::new();
         for mapping in [
             Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,
-            Box::new(hatt(&h).as_tree_mapping().clone()),
+            Box::new(
+                hatt_with(
+                    &h,
+                    &HattOptions::with_policy(MappingRoster::from_env().hatt_policy),
+                )
+                .as_tree_mapping()
+                .clone(),
+            ),
         ] {
             let hq = mapping.map_majorana_sum(&h);
             let circ = optimize(&rustiq_trotter(&hq, 1.0, 1, &opts));

@@ -16,6 +16,7 @@ fn weight_of(h: &MajoranaSum, variant: Variant) -> usize {
         &HattOptions {
             variant,
             naive_weight: false,
+            ..Default::default()
         },
     );
     let mut hq = m.map_majorana_sum(h);

@@ -2,13 +2,18 @@
 //! timed HATT constructions on the paper's `H_F = Σ_i M_i` workload
 //! (§V-E) across N, with summary statistics per point and least-squares
 //! log-log slope fits against the paper's complexity claims
-//! (Algorithm 1 `O(N⁴)`, Algorithm 3 `O(N³)`).
+//! (Algorithm 1 `O(N⁴)`, Algorithm 3 `O(N³)`) — plus the
+//! quality-vs-time study of the [`SelectionPolicy`] ladder
+//! ([`policy_tradeoff`]), so `BENCH_perf.json` records both how fast the
+//! kernel is *and* what each extra millisecond of search buys.
 
 use std::time::Instant;
 
 use criterion::{summarize, Stats};
 use hatt_core::{hatt_with, HattMapping, HattOptions, Variant};
+use hatt_fermion::models::NeutrinoModel;
 use hatt_fermion::MajoranaSum;
+use hatt_mappings::{jordan_wigner, FermionMapping, SelectionPolicy};
 
 use crate::json::Json;
 
@@ -106,6 +111,7 @@ pub fn time_construction(h: &MajoranaSum, variant: Variant) -> (f64, HattMapping
         &HattOptions {
             variant,
             naive_weight: false,
+            ..Default::default()
         },
     );
     let dt = t0.elapsed().as_secs_f64();
@@ -153,6 +159,72 @@ pub fn sweep_variant(cfg: &SweepConfig, variant: Variant) -> VariantSweep {
     }
 }
 
+/// One (case, policy) cell of the quality-vs-time study.
+#[derive(Debug, Clone)]
+pub struct PolicyPoint {
+    /// Benchmark case name.
+    pub case: String,
+    /// Mode count of the case.
+    pub n_modes: usize,
+    /// The selection policy measured.
+    pub policy: SelectionPolicy,
+    /// Mapped Pauli weight under this policy.
+    pub pauli_weight: usize,
+    /// Jordan-Wigner Pauli weight on the same case (the quality bar).
+    pub jw_weight: usize,
+    /// Construction wall time in seconds (single run — quality, not
+    /// timing noise, is the signal here).
+    pub seconds: f64,
+}
+
+/// The policy ladder measured by the perf harness.
+pub fn policy_ladder() -> Vec<SelectionPolicy> {
+    vec![
+        SelectionPolicy::Vanilla,
+        SelectionPolicy::Greedy,
+        SelectionPolicy::Lookahead { width: 8 },
+        SelectionPolicy::Beam { width: 8 },
+        SelectionPolicy::Restarts,
+    ]
+}
+
+/// Measures the policy ladder on a fixed set of tie-heavy benchmark
+/// cases (the neutrino family — the workload where the myopic objective
+/// used to lose to Jordan-Wigner). `smoke` keeps only the smallest case.
+pub fn policy_tradeoff(smoke: bool) -> Vec<PolicyPoint> {
+    let mut cases: Vec<(String, MajoranaSum)> = Vec::new();
+    let sizes: &[(usize, usize)] = if smoke {
+        &[(3, 2)]
+    } else {
+        &[(3, 2), (4, 2), (5, 2)]
+    };
+    for &(sites, flavors) in sizes {
+        let model = NeutrinoModel::new(sites, flavors);
+        let mut h = MajoranaSum::from_fermion(&model.hamiltonian());
+        let _ = h.take_identity();
+        cases.push((format!("neutrino {}", model.label()), h));
+    }
+    let mut points = Vec::new();
+    for (case, h) in &cases {
+        let n = h.n_modes();
+        let jw_weight = jordan_wigner(n).map_majorana_sum(h).weight();
+        for policy in policy_ladder() {
+            let t0 = Instant::now();
+            let m = hatt_with(h, &HattOptions::with_policy(policy));
+            let seconds = t0.elapsed().as_secs_f64();
+            points.push(PolicyPoint {
+                case: case.clone(),
+                n_modes: n,
+                policy,
+                pauli_weight: m.map_majorana_sum(h).weight(),
+                jw_weight,
+                seconds,
+            });
+        }
+    }
+    points
+}
+
 /// Least-squares slope of `ln t` against `ln n`; `None` with fewer than
 /// two usable (positive-time) points.
 pub fn loglog_slope(points: &[(usize, f64)]) -> Option<f64> {
@@ -177,8 +249,16 @@ pub fn loglog_slope(points: &[(usize, f64)]) -> Option<f64> {
 }
 
 /// Serializes a sweep set to the `BENCH_perf.json` document
-/// (`schema: "hatt-perf/1"`; see README "Perf harness" for the schema).
-pub fn sweeps_to_json(cfg: &SweepConfig, smoke: bool, sweeps: &[VariantSweep]) -> Json {
+/// (`schema: "hatt-perf/1"`; see README "Perf harness" and
+/// docs/REPRODUCTION.md for the schema). `policies` is the
+/// quality-vs-time study from [`policy_tradeoff`] (additive field; older
+/// documents simply lack it).
+pub fn sweeps_to_json(
+    cfg: &SweepConfig,
+    smoke: bool,
+    sweeps: &[VariantSweep],
+    policies: &[PolicyPoint],
+) -> Json {
     Json::Obj(vec![
         ("schema".into(), Json::str("hatt-perf/1")),
         ("workload".into(), Json::str("uniform_singles")),
@@ -190,6 +270,21 @@ pub fn sweeps_to_json(cfg: &SweepConfig, smoke: bool, sweeps: &[VariantSweep]) -
             "variants".into(),
             Json::Arr(sweeps.iter().map(sweep_to_json).collect()),
         ),
+        (
+            "policies".into(),
+            Json::Arr(policies.iter().map(policy_point_to_json).collect()),
+        ),
+    ])
+}
+
+fn policy_point_to_json(p: &PolicyPoint) -> Json {
+    Json::Obj(vec![
+        ("case".into(), Json::str(&p.case)),
+        ("n_modes".into(), Json::int(p.n_modes as u64)),
+        ("policy".into(), Json::str(p.policy.label())),
+        ("pauli_weight".into(), Json::int(p.pauli_weight as u64)),
+        ("jw_weight".into(), Json::int(p.jw_weight as u64)),
+        ("seconds".into(), Json::Num(p.seconds)),
     ])
 }
 
@@ -269,10 +364,22 @@ mod tests {
         }
         // The cached variant's selection loop must actually hit the memo.
         assert!(sweeps[0].points[0].memo_hits > 0);
-        let doc = sweeps_to_json(&cfg, true, &sweeps).render();
+        let policies = policy_tradeoff(true);
+        assert_eq!(policies.len(), policy_ladder().len());
+        for p in &policies {
+            assert!(p.pauli_weight > 0);
+            if p.policy == SelectionPolicy::Restarts {
+                assert!(
+                    p.pauli_weight <= p.jw_weight,
+                    "restarts must not lose to JW"
+                );
+            }
+        }
+        let doc = sweeps_to_json(&cfg, true, &sweeps, &policies).render();
         assert!(doc.starts_with(r#"{"schema":"hatt-perf/1""#));
         assert!(doc.contains(r#""name":"cached""#));
         assert!(doc.contains(r#""pauli_weight":"#));
+        assert!(doc.contains(r#""policy":"restarts""#));
     }
 
     #[test]

@@ -16,12 +16,51 @@
 //! * [`Variant::Cached`] — Algorithm 3 (the default): Algorithm 2 with
 //!   the `mdown : O → descZ(O)` and `mup : descZ(O) → O` maps replacing
 //!   both traversals with O(1) lookups, for `O(N³)` total.
+//!
+//! Orthogonally to the variant, a [`SelectionPolicy`] decides *which* of
+//! the candidate triples wins each step:
+//!
+//! * [`SelectionPolicy::Greedy`] (default) — minimum [`TripleScore`]
+//!   (amortized key, then post-reduce residual, then node index); one
+//!   pass, O(1) amortized per candidate via the memoized kernel.
+//! * [`SelectionPolicy::Lookahead`] — the best-`width` shortlist is
+//!   re-ranked by simulating each candidate and adding the best
+//!   amortized key the next step could then achieve.
+//! * [`SelectionPolicy::Beam`] — the `width` best merge-sequence
+//!   prefixes survive each step ([`hatt_with`] drives the whole
+//!   construction as a beam). `Beam { width: 1 }` coincides with
+//!   `Greedy`.
+//!
+//! The lookahead simulation and the beam always use the Algorithm 3 maps
+//! for operator pairing, whatever the variant — pairing is
+//! variant-independent (Algorithms 2 and 3 build identical trees), so
+//! this changes no result, only bounds the simulation cost.
+//!
+//! # Examples
+//!
+//! Stronger policies can only improve the objective; the `Restarts`
+//! portfolio additionally never loses to Jordan-Wigner (it contains a
+//! JW-structured restart):
+//!
+//! ```
+//! use hatt_core::{hatt_with, HattOptions};
+//! use hatt_fermion::models::FermiHubbard;
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_mappings::{jordan_wigner, FermionMapping, SelectionPolicy};
+//!
+//! let h = MajoranaSum::from_fermion(&FermiHubbard::new(2, 2).hamiltonian());
+//! let opts = HattOptions::with_policy(SelectionPolicy::quality());
+//! let w_hatt = hatt_with(&h, &opts).map_majorana_sum(&h).weight();
+//! let w_jw = jordan_wigner(8).map_majorana_sum(&h).weight();
+//! assert!(w_hatt <= w_jw);
+//! ```
 
 use std::time::Instant;
 
 use hatt_fermion::{FermionOperator, MajoranaSum};
 use hatt_mappings::{
-    FermionMapping, NodeId, TermEngine, TernaryTree, TernaryTreeBuilder, TreeMapping,
+    select_free_triple, Blend, FermionMapping, NodeId, SelectionPolicy, TermEngine, TernaryTree,
+    TernaryTreeBuilder, TreeMapping, TripleScore,
 };
 use hatt_pauli::{PauliString, PauliSum};
 
@@ -58,6 +97,20 @@ pub struct HattOptions {
     /// Use the paper's per-term weight scan instead of the block-bitset
     /// kernel (ablation; identical results, slower).
     pub naive_weight: bool,
+    /// How to choose among candidate triples (tie-breaking, lookahead or
+    /// beam search). [`SelectionPolicy::Greedy`] preserves the O(1)
+    /// memoized fast path.
+    pub policy: SelectionPolicy,
+}
+
+impl HattOptions {
+    /// Default options with an explicit selection policy.
+    pub fn with_policy(policy: SelectionPolicy) -> Self {
+        HattOptions {
+            policy,
+            ..Default::default()
+        }
+    }
 }
 
 /// The result of a HATT construction: a tree-backed fermion-to-qubit
@@ -148,6 +201,16 @@ pub fn hatt_for_fermion(op: &FermionOperator) -> HattMapping {
 pub fn hatt_with(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
     let n = h.n_modes();
     assert!(n > 0, "need at least one mode");
+    match options.policy {
+        SelectionPolicy::Beam { width } => hatt_beam(h, options, width.max(1), Blend::UNIT),
+        SelectionPolicy::Restarts => hatt_restarts(h, options),
+        _ => hatt_single(h, options, options.policy.blend()),
+    }
+}
+
+/// One policy-driven greedy/lookahead construction pass under `blend`.
+fn hatt_single(h: &MajoranaSum, options: &HattOptions, blend: Blend) -> HattMapping {
+    let n = h.n_modes();
     let start = Instant::now();
     let mut engine = TermEngine::new(h);
     let mut builder = TernaryTreeBuilder::new(n);
@@ -160,26 +223,52 @@ pub fn hatt_with(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
             ..Default::default()
         };
         let u = builder.roots();
+        let next_parent: NodeId = 2 * n + 1 + qubit;
         let selection = match options.variant {
-            Variant::Unopt => select_unopt(&mut engine, &u, options, &mut iter_stats),
-            Variant::Paired => {
-                select_paired(&mut engine, &builder, &u, n, options, &mut iter_stats, None)
+            Variant::Unopt => {
+                let sel = select_free_triple(
+                    &mut engine,
+                    &u,
+                    options.policy,
+                    blend,
+                    options.naive_weight,
+                    next_parent,
+                );
+                iter_stats.candidates = sel.candidates;
+                Selection {
+                    children: sel.children,
+                    weight: sel.score.weight,
+                }
             }
-            Variant::Cached => select_paired(
+            Variant::Paired => select_paired(
                 &mut engine,
-                &builder,
+                Some(&builder),
                 &u,
                 n,
                 options,
+                blend,
+                next_parent,
                 &mut iter_stats,
-                Some(&state),
+                &mut state,
+            ),
+            Variant::Cached => select_paired(
+                &mut engine,
+                None,
+                &u,
+                n,
+                options,
+                blend,
+                next_parent,
+                &mut iter_stats,
+                &mut state,
             ),
         };
         let [ox, oy, oz] = selection.children;
         iter_stats.settled_weight = selection.weight;
         let parent = builder.attach([ox, oy, oz]);
+        debug_assert_eq!(parent, next_parent);
         engine.reduce(parent, ox, oy, oz);
-        state.record_attach(&builder, parent, ox, oy, oz);
+        state.record_attach(parent, oz);
         iterations.push(iter_stats);
     }
 
@@ -206,67 +295,47 @@ struct Selection {
     weight: usize,
 }
 
-fn weight_of(
+fn score_of(
     engine: &mut TermEngine,
     options: &HattOptions,
+    blend: Blend,
     a: NodeId,
     b: NodeId,
     c: NodeId,
-) -> usize {
-    if options.naive_weight {
-        engine.weight_of_triple_naive(a, b, c)
+) -> TripleScore {
+    let counts = if options.naive_weight {
+        engine.counts_of_triple_naive(a, b, c)
     } else {
-        engine.weight_of_triple_memo(a, b, c)
-    }
-}
-
-/// Algorithm 1 selection: all unordered triples of `U` (branch labels do
-/// not affect weight, so combinations suffice — see `hatt-mappings`
-/// engine docs).
-fn select_unopt(
-    engine: &mut TermEngine,
-    u: &[NodeId],
-    options: &HattOptions,
-    stats: &mut IterationStats,
-) -> Selection {
-    let mut best = Selection {
-        children: [u[0], u[1], u[2]],
-        weight: usize::MAX,
+        engine.counts_of_triple_memo(a, b, c)
     };
-    for ai in 0..u.len() {
-        for bi in (ai + 1)..u.len() {
-            for ci in (bi + 1)..u.len() {
-                stats.candidates += 1;
-                let w = weight_of(engine, options, u[ai], u[bi], u[ci]);
-                if w < best.weight {
-                    best = Selection {
-                        children: [u[ai], u[bi], u[ci]],
-                        weight: w,
-                    };
-                }
-            }
-        }
-    }
-    best
+    counts.score(blend)
 }
 
 /// Algorithm 2/3 selection: free `(O_X, O_Z)`, derived `O_Y`.
 ///
-/// When `cache` is `Some`, `descZ` / `traverse_up` are O(1) map lookups
-/// (Algorithm 3); otherwise they literally walk the partial tree inside
-/// the selection loop, exactly as Algorithm 2's pseudocode does.
+/// When `walk` is `Some`, `descZ` / `traverse_up` literally walk the
+/// partial tree inside the selection loop, exactly as Algorithm 2's
+/// pseudocode does; otherwise they are O(1) lookups in the Algorithm 3
+/// maps. Either way the maps in `state` are kept current, so the
+/// lookahead simulation can use them.
 #[allow(clippy::too_many_arguments)]
 fn select_paired(
     engine: &mut TermEngine,
-    builder: &TernaryTreeBuilder,
+    walk: Option<&TernaryTreeBuilder>,
     u: &[NodeId],
     n: usize,
     options: &HattOptions,
+    blend: Blend,
+    next_parent: NodeId,
     stats: &mut IterationStats,
-    cache: Option<&PairingState>,
+    state: &mut PairingState,
 ) -> Selection {
-    let rightmost_leaf: NodeId = 2 * n; // O_2N never pairs (paper §IV-B)
-    let mut best: Option<Selection> = None;
+    let width = match options.policy {
+        SelectionPolicy::Lookahead { width } => width,
+        _ => 0,
+    };
+    let mut shortlist: Vec<(TripleScore, [NodeId; 3])> = Vec::new();
+    let mut best: Option<(TripleScore, [NodeId; 3])> = None;
 
     for &ox in u {
         for &oz in u {
@@ -274,16 +343,16 @@ fn select_paired(
                 continue;
             }
             // descZ(O_X): the only unpaired leaf of O_X's subtree.
-            let x_leaf = match cache {
-                Some(state) => state.mdown[ox],
-                None => {
+            let x_leaf = match walk {
+                None => state.mdown[ox],
+                Some(builder) => {
                     let (leaf, steps) = walk_desc_z(builder, ox);
                     stats.traversal_steps += steps;
                     leaf
                 }
             };
-            if x_leaf == rightmost_leaf {
-                continue; // discard: S_2N is the dropped string
+            if x_leaf == 2 * n {
+                continue; // O_2N never pairs (paper §IV-B)
             }
             // Partner leaf: even x pairs with x+1, odd with x−1.
             let (y_leaf, swapped) = if x_leaf % 2 == 0 {
@@ -292,9 +361,9 @@ fn select_paired(
                 (x_leaf - 1, true)
             };
             // traverse_up(O_y, U).
-            let oy = match cache {
-                Some(state) => state.mup[y_leaf],
-                None => {
+            let oy = match walk {
+                None => state.mup[y_leaf],
+                Some(builder) => {
                     let (root, steps) = walk_up(builder, y_leaf);
                     stats.traversal_steps += steps;
                     root
@@ -305,19 +374,146 @@ fn select_paired(
             }
             debug_assert!(u.contains(&oy), "derived O_Y must be a current root");
             stats.candidates += 1;
-            let w = weight_of(engine, options, ox, oy, oz);
-            if best.as_ref().is_none_or(|b| w < b.weight) {
-                // Ensure the even leaf sits on the X branch so the pair
-                // carries (X, Y) and not (Y, X) (Algorithm 2 line 15).
-                let children = if swapped { [oy, ox, oz] } else { [ox, oy, oz] };
-                best = Some(Selection {
-                    children,
-                    weight: w,
-                });
+            let score = score_of(engine, options, blend, ox, oy, oz);
+            // Ensure the even leaf sits on the X branch so the pair
+            // carries (X, Y) and not (Y, X) (Algorithm 2 line 15).
+            let children = if swapped { [oy, ox, oz] } else { [ox, oy, oz] };
+            if best.as_ref().is_none_or(|b| score < b.0) {
+                best = Some((score, children));
+            }
+            if width > 0 {
+                offer(&mut shortlist, width, score, children);
             }
         }
     }
-    best.expect("a valid paired selection always exists for |U| >= 3")
+    let (score, children) = best.expect("a valid paired selection always exists for |U| >= 3");
+    let (score, children) = if width > 0 && u.len() > 3 {
+        rank_paired_by_lookahead(
+            engine,
+            u,
+            n,
+            options,
+            blend,
+            next_parent,
+            stats,
+            state,
+            shortlist,
+        )
+    } else {
+        (score, children)
+    };
+    Selection {
+        children,
+        weight: score.weight,
+    }
+}
+
+/// Re-ranks the shortlisted paired candidates by
+/// `amortized key + best next-step key` (ties: residual, then shortlist
+/// order), simulating each candidate's reduce and map update and undoing
+/// both before returning.
+#[allow(clippy::too_many_arguments)]
+fn rank_paired_by_lookahead(
+    engine: &mut TermEngine,
+    u: &[NodeId],
+    n: usize,
+    options: &HattOptions,
+    blend: Blend,
+    next_parent: NodeId,
+    stats: &mut IterationStats,
+    state: &mut PairingState,
+    shortlist: Vec<(TripleScore, [NodeId; 3])>,
+) -> (TripleScore, [NodeId; 3]) {
+    let saved = engine.incidence(next_parent).clone();
+    let mut best_idx = 0usize;
+    let mut best_key = (i64::MAX, usize::MAX);
+    for (idx, &(score, children)) in shortlist.iter().enumerate() {
+        let [ox, oy, oz] = children;
+        engine.reduce(next_parent, ox, oy, oz);
+        let undo = state.record_attach(next_parent, oz);
+        let next_u: Vec<NodeId> = u
+            .iter()
+            .copied()
+            .filter(|v| !children.contains(v))
+            .chain(std::iter::once(next_parent))
+            .collect();
+        let mut next_best = 0i64;
+        if next_u.len() >= 3 {
+            next_best = i64::MAX;
+            for_each_paired_candidate(state, &next_u, n, |cx, cy, cz| {
+                stats.candidates += 1;
+                let s = score_of(engine, options, blend, cx, cy, cz);
+                next_best = next_best.min(s.key);
+            });
+            debug_assert_ne!(next_best, i64::MAX, "paired candidates must exist");
+        }
+        state.undo_attach(undo);
+        engine.set_incidence(next_parent, saved.clone());
+        let key = (score.key + next_best, score.residual);
+        if key < best_key {
+            best_key = key;
+            best_idx = idx;
+        }
+    }
+    shortlist[best_idx]
+}
+
+/// Enumerates the valid paired candidates of a node set via the
+/// Algorithm 3 maps, yielding ordered `[X, Y, Z]` children.
+fn for_each_paired_candidate(
+    state: &PairingState,
+    u: &[NodeId],
+    n: usize,
+    mut visit: impl FnMut(NodeId, NodeId, NodeId),
+) {
+    for &ox in u {
+        for &oz in u {
+            if oz == ox {
+                continue;
+            }
+            let x_leaf = state.mdown[ox];
+            if x_leaf == 2 * n {
+                continue;
+            }
+            let (y_leaf, swapped) = if x_leaf % 2 == 0 {
+                (x_leaf + 1, false)
+            } else {
+                (x_leaf - 1, true)
+            };
+            let oy = state.mup[y_leaf];
+            if oy == oz || oy == ox {
+                continue;
+            }
+            if swapped {
+                visit(oy, ox, oz);
+            } else {
+                visit(ox, oy, oz);
+            }
+        }
+    }
+}
+
+/// Bounded best-`k` insert ordered by score then insertion order.
+/// Duplicate candidates are dropped: the paired enumeration visits each
+/// unordered pair once from each partner (as `O_X`), yielding the same
+/// ordered children twice — without the check those duplicates would
+/// halve the effective shortlist/beam width and double the lookahead
+/// simulation work.
+fn offer(
+    shortlist: &mut Vec<(TripleScore, [NodeId; 3])>,
+    width: usize,
+    score: TripleScore,
+    children: [NodeId; 3],
+) {
+    if shortlist.len() == width && score >= shortlist[width - 1].0 {
+        return;
+    }
+    if shortlist.iter().any(|&(_, ch)| ch == children) {
+        return;
+    }
+    let pos = shortlist.partition_point(|&(s, _)| s <= score);
+    shortlist.insert(pos, (score, children));
+    shortlist.truncate(width);
 }
 
 fn walk_desc_z(builder: &TernaryTreeBuilder, node: NodeId) -> (NodeId, u64) {
@@ -349,6 +545,14 @@ struct PairingState {
     mup: Vec<NodeId>,
 }
 
+/// Saved map entries to reverse one [`PairingState::record_attach`].
+struct PairingUndo {
+    parent: NodeId,
+    zdesc: NodeId,
+    old_mdown: NodeId,
+    old_mup: NodeId,
+}
+
 impl PairingState {
     fn new(n: usize) -> Self {
         let n_nodes = 3 * n + 1;
@@ -361,18 +565,260 @@ impl PairingState {
 
     /// Algorithm 3 lines 8–11: after attaching `parent` over
     /// `(O_X, O_Y, O_Z)`, the parent's Z-descendant is `descZ(O_Z)`.
-    fn record_attach(
-        &mut self,
-        _builder: &TernaryTreeBuilder,
-        parent: NodeId,
-        _ox: NodeId,
-        _oy: NodeId,
-        oz: NodeId,
-    ) {
+    /// Returns the overwritten entries so a simulation can undo itself.
+    fn record_attach(&mut self, parent: NodeId, oz: NodeId) -> PairingUndo {
         let zdesc = self.mdown[oz];
+        let undo = PairingUndo {
+            parent,
+            zdesc,
+            old_mdown: self.mdown[parent],
+            old_mup: self.mup[zdesc],
+        };
         self.mdown[parent] = zdesc;
         self.mup[zdesc] = parent;
+        undo
     }
+
+    /// Reverses a simulated [`PairingState::record_attach`].
+    fn undo_attach(&mut self, undo: PairingUndo) {
+        self.mdown[undo.parent] = undo.old_mdown;
+        self.mup[undo.zdesc] = undo.old_mup;
+    }
+}
+
+/// One beam-pool entry: `(total key, residual, state idx, local rank,
+/// (score, children))`. Local rank preserves candidate-enumeration
+/// order among ties, so `Beam { width: 1 }` reproduces the greedy
+/// first-wins choice.
+type BeamEntry = (i64, usize, usize, usize, (TripleScore, [NodeId; 3]));
+
+/// One surviving merge-sequence prefix of the beam search.
+#[derive(Debug, Clone)]
+struct BeamState {
+    engine: TermEngine,
+    u: Vec<NodeId>,
+    pairing: PairingState,
+    seq: Vec<[NodeId; 3]>,
+    step_weights: Vec<usize>,
+    /// Accumulated true weight (the objective reported in stats).
+    acc_weight: usize,
+    /// Accumulated amortized key (what the beam ranks by).
+    acc_key: i64,
+}
+
+/// Beam-search construction: keep the `width` best partial merge
+/// sequences per step, ranked by accumulated amortized key then the
+/// candidate's residual. `width = 1` coincides with the greedy policy.
+/// Pairing uses the Algorithm 3 maps for every variant (the pairing
+/// constraint itself is variant-independent), so `Paired`/`Cached` beams
+/// preserve the vacuum state and `Unopt` beams search the free-triple
+/// space.
+fn hatt_beam(h: &MajoranaSum, options: &HattOptions, width: usize, blend: Blend) -> HattMapping {
+    let n = h.n_modes();
+    let start = Instant::now();
+    let mut states = vec![BeamState {
+        engine: TermEngine::new(h),
+        u: (0..2 * n + 1).collect(),
+        pairing: PairingState::new(n),
+        seq: Vec::with_capacity(n),
+        step_weights: Vec::with_capacity(n),
+        acc_weight: 0,
+        acc_key: 0,
+    }];
+    let mut iterations = Vec::with_capacity(n);
+
+    for qubit in 0..n {
+        let next_parent: NodeId = 2 * n + 1 + qubit;
+        let mut iter_stats = IterationStats {
+            qubit,
+            ..Default::default()
+        };
+        let mut pool: Vec<BeamEntry> = Vec::new();
+        for (si, st) in states.iter_mut().enumerate() {
+            let mut local: Vec<(TripleScore, [NodeId; 3])> = Vec::new();
+            let mut candidates = 0u64;
+            match options.variant {
+                Variant::Unopt => {
+                    let u = &st.u;
+                    for ai in 0..u.len() {
+                        for bi in (ai + 1)..u.len() {
+                            for ci in (bi + 1)..u.len() {
+                                candidates += 1;
+                                let score =
+                                    score_of(&mut st.engine, options, blend, u[ai], u[bi], u[ci]);
+                                offer(&mut local, width, score, [u[ai], u[bi], u[ci]]);
+                            }
+                        }
+                    }
+                }
+                Variant::Paired | Variant::Cached => {
+                    let engine = &mut st.engine;
+                    let u = st.u.clone();
+                    for_each_paired_candidate(&st.pairing, &u, n, |cx, cy, cz| {
+                        candidates += 1;
+                        let score = score_of(engine, options, blend, cx, cy, cz);
+                        offer(&mut local, width, score, [cx, cy, cz]);
+                    });
+                }
+            }
+            iter_stats.candidates += candidates;
+            for (rank, (score, children)) in local.into_iter().enumerate() {
+                pool.push((
+                    st.acc_key + score.key,
+                    score.residual,
+                    si,
+                    rank,
+                    (score, children),
+                ));
+            }
+        }
+        pool.sort_unstable_by_key(|&(total, residual, si, rank, _)| (total, residual, si, rank));
+        pool.truncate(width);
+        assert!(!pool.is_empty(), "beam must always have a candidate");
+
+        let mut next_states = Vec::with_capacity(pool.len());
+        for &(total_key, _residual, si, _rank, (score, children)) in &pool {
+            let mut st = states[si].clone();
+            let [ox, oy, oz] = children;
+            st.engine.reduce(next_parent, ox, oy, oz);
+            let _ = st.pairing.record_attach(next_parent, oz);
+            st.u.retain(|v| !children.contains(v));
+            st.u.push(next_parent);
+            st.step_weights.push(score.weight);
+            st.acc_weight += score.weight;
+            st.acc_key = total_key;
+            st.seq.push(children);
+            next_states.push(st);
+        }
+        states = next_states;
+        iterations.push(iter_stats);
+    }
+
+    // The final ranking is by *true* accumulated weight: the amortized
+    // key guided the search, the objective decides the winner.
+    let best = states
+        .into_iter()
+        .min_by_key(|st| st.acc_weight)
+        .expect("beam is non-empty");
+    for (it, &w) in iterations.iter_mut().zip(&best.step_weights) {
+        it.settled_weight = w;
+    }
+    let mut builder = TernaryTreeBuilder::new(n);
+    for &triple in &best.seq {
+        builder.attach(triple);
+    }
+    let (memo_hits, memo_misses) = best.engine.memo_stats();
+    let stats = ConstructionStats {
+        iterations,
+        n_terms: best.engine.n_terms(),
+        elapsed: start.elapsed(),
+        memo_hits,
+        memo_misses,
+    };
+    let mapping = TreeMapping::with_identity_assignment(options.variant.label(), builder.finish());
+    HattMapping {
+        mapping,
+        stats,
+        options: *options,
+    }
+}
+
+/// The merge sequence whose tree is the Jordan-Wigner caterpillar
+/// (bottom-up: deepest internal node first, leaf pairs `(2m, 2m+1)` on
+/// the X/Y branches, the growing chain on Z). Under the identity leaf
+/// assignment this reproduces the JW strings up to qubit relabeling, so
+/// replaying it scores exactly the Jordan-Wigner Pauli weight.
+fn jw_sequence(n: usize) -> Vec<[NodeId; 3]> {
+    let mut seq = Vec::with_capacity(n);
+    seq.push([2 * n - 2, 2 * n - 1, 2 * n]);
+    for j in 1..n {
+        let m = n - 1 - j;
+        seq.push([2 * m, 2 * m + 1, 2 * n + j]);
+    }
+    seq
+}
+
+/// Replays a fixed merge sequence, recording per-step weights (no
+/// candidate evaluations — `stats.candidates` stays 0).
+fn hatt_replay(h: &MajoranaSum, options: &HattOptions, seq: &[[NodeId; 3]]) -> HattMapping {
+    let n = h.n_modes();
+    let start = Instant::now();
+    let mut engine = TermEngine::new(h);
+    let mut builder = TernaryTreeBuilder::new(n);
+    let mut iterations = Vec::with_capacity(n);
+    for (qubit, &[a, b, c]) in seq.iter().enumerate() {
+        let settled_weight = engine.weight_of_triple(a, b, c);
+        let parent = builder.attach([a, b, c]);
+        engine.reduce(parent, a, b, c);
+        iterations.push(IterationStats {
+            qubit,
+            settled_weight,
+            ..Default::default()
+        });
+    }
+    let (memo_hits, memo_misses) = engine.memo_stats();
+    let stats = ConstructionStats {
+        iterations,
+        n_terms: engine.n_terms(),
+        elapsed: start.elapsed(),
+        memo_hits,
+        memo_misses,
+    };
+    let mapping = TreeMapping::with_identity_assignment(options.variant.label(), builder.finish());
+    HattMapping {
+        mapping,
+        stats,
+        options: *options,
+    }
+}
+
+/// The bounded multi-restart portfolio behind
+/// [`SelectionPolicy::Restarts`]: greedy passes at `λ ∈ {½, 1, 2}`, one
+/// `Beam { width: 8 }` pass at `λ = 1`, and the Jordan-Wigner merge
+/// sequence. The best final tree (by total settled weight; earlier
+/// member on ties) wins. The JW member makes "HATT never loses to
+/// Jordan-Wigner" hold by construction; in practice one of the adaptive
+/// members usually beats it outright.
+fn hatt_restarts(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
+    let start = Instant::now();
+    let single = |blend: Blend| -> HattMapping {
+        hatt_single(
+            h,
+            &HattOptions {
+                policy: SelectionPolicy::Greedy,
+                ..*options
+            },
+            blend,
+        )
+    };
+    let candidates = [
+        single(Blend::HALF),
+        single(Blend::UNIT),
+        single(Blend::DOUBLE),
+        hatt_beam(
+            h,
+            &HattOptions {
+                policy: SelectionPolicy::Beam { width: 8 },
+                ..*options
+            },
+            8,
+            Blend::UNIT,
+        ),
+        hatt_replay(h, options, &jw_sequence(h.n_modes())),
+    ];
+    let mut best: Option<HattMapping> = None;
+    for m in candidates {
+        let better = best
+            .as_ref()
+            .is_none_or(|b| m.stats.total_weight() < b.stats.total_weight());
+        if better {
+            best = Some(m);
+        }
+    }
+    let mut best = best.expect("portfolio is non-empty");
+    best.stats.elapsed = start.elapsed();
+    best.options = *options;
+    best
 }
 
 /// Convenience: compiles HATT and applies it to the same Hamiltonian,
@@ -396,6 +842,13 @@ mod tests {
         let mut m = MajoranaSum::from_fermion(&hf);
         let _ = m.take_identity();
         m
+    }
+
+    fn opts(variant: Variant) -> HattOptions {
+        HattOptions {
+            variant,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -427,13 +880,7 @@ mod tests {
     fn all_variants_are_valid() {
         let h = paper_example();
         for variant in [Variant::Unopt, Variant::Paired, Variant::Cached] {
-            let m = hatt_with(
-                &h,
-                &HattOptions {
-                    variant,
-                    naive_weight: false,
-                },
-            );
+            let m = hatt_with(&h, &opts(variant));
             let report = validate(&m);
             assert!(report.is_valid(), "{variant:?} invalid: {report:?}");
             if variant != Variant::Unopt {
@@ -446,24 +893,56 @@ mod tests {
     }
 
     #[test]
+    fn all_policies_are_valid_and_vacuum_preserving() {
+        for seed in 0..3 {
+            let op = hatt_fermion::models::random_hermitian(5, 6, 5, seed);
+            let h = MajoranaSum::from_fermion(&op);
+            let greedy_w = hatt(&h).stats().total_weight();
+            for policy in [
+                SelectionPolicy::Greedy,
+                SelectionPolicy::Lookahead { width: 6 },
+                SelectionPolicy::Beam { width: 4 },
+            ] {
+                let m = hatt_with(&h, &HattOptions::with_policy(policy));
+                let report = validate(&m);
+                assert!(report.is_valid(), "{policy}/{seed}: {report:?}");
+                assert!(report.vacuum_preserving, "{policy}/{seed}: vacuum");
+                // Objective still equals the mapped weight.
+                assert_eq!(
+                    m.stats().total_weight(),
+                    m.map_majorana_sum(&h).weight(),
+                    "{policy}/{seed}: objective drift"
+                );
+                // Smarter policies must not lose to plain greedy.
+                assert!(
+                    m.stats().total_weight() <= greedy_w,
+                    "{policy}/{seed}: worse than greedy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beam_width_one_matches_greedy() {
+        for seed in 0..3 {
+            let op = hatt_fermion::models::random_hermitian(5, 6, 5, seed);
+            let h = MajoranaSum::from_fermion(&op);
+            let greedy = hatt(&h);
+            let beam = hatt_with(
+                &h,
+                &HattOptions::with_policy(SelectionPolicy::Beam { width: 1 }),
+            );
+            assert_eq!(greedy.tree(), beam.tree(), "seed {seed}");
+        }
+    }
+
+    #[test]
     fn cached_and_paired_agree_exactly() {
         for seed in 0..4 {
             let op = hatt_fermion::models::random_hermitian(5, 6, 5, seed);
             let h = MajoranaSum::from_fermion(&op);
-            let a = hatt_with(
-                &h,
-                &HattOptions {
-                    variant: Variant::Paired,
-                    naive_weight: false,
-                },
-            );
-            let b = hatt_with(
-                &h,
-                &HattOptions {
-                    variant: Variant::Cached,
-                    naive_weight: false,
-                },
-            );
+            let a = hatt_with(&h, &opts(Variant::Paired));
+            let b = hatt_with(&h, &opts(Variant::Cached));
             for k in 0..2 * h.n_modes() {
                 assert_eq!(a.majorana(k), b.majorana(k), "seed {seed}, M{k}");
             }
@@ -476,18 +955,13 @@ mod tests {
     #[test]
     fn naive_weight_ablation_matches() {
         let h = paper_example();
-        let fast = hatt_with(
-            &h,
-            &HattOptions {
-                variant: Variant::Cached,
-                naive_weight: false,
-            },
-        );
+        let fast = hatt_with(&h, &opts(Variant::Cached));
         let slow = hatt_with(
             &h,
             &HattOptions {
                 variant: Variant::Cached,
                 naive_weight: true,
+                policy: SelectionPolicy::Greedy,
             },
         );
         for k in 0..6 {
@@ -528,13 +1002,7 @@ mod tests {
     fn unopt_candidate_counts_are_cubic_per_step() {
         // Step 0 of an N-mode system evaluates C(2N+1, 3) triples.
         let h = MajoranaSum::uniform_singles(4);
-        let m = hatt_with(
-            &h,
-            &HattOptions {
-                variant: Variant::Unopt,
-                naive_weight: false,
-            },
-        );
+        let m = hatt_with(&h, &opts(Variant::Unopt));
         let first = &m.stats().iterations[0];
         assert_eq!(first.candidates, 9 * 8 * 7 / 6);
     }

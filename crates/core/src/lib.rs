@@ -14,6 +14,13 @@
 //! * **Algorithm 3** (`Cached`, default): the `mdown`/`mup` maps reduce
 //!   pairing traversals to O(1), for `O(N³)` total.
 //!
+//! Orthogonally, a [`hatt_mappings::SelectionPolicy`] (field
+//! `HattOptions::policy`) decides *which* candidate triple wins each
+//! step — the default amortized greedy, a shortlist lookahead, a beam,
+//! or the `restarts` portfolio that never loses to Jordan-Wigner; see
+//! the [`algorithm`-module docs](crate::hatt_with) and
+//! `docs/ARCHITECTURE.md`.
+//!
 //! # Quickstart
 //!
 //! ```

@@ -1,6 +1,24 @@
 //! Construction instrumentation: per-iteration candidate counts, settled
 //! weights and timings, powering the paper's Figure 12 scalability study
 //! and Table VI weight comparison.
+//!
+//! # Examples
+//!
+//! Every HATT construction carries its stats; the per-step settled
+//! weights sum to the mapped Hamiltonian's Pauli weight:
+//!
+//! ```
+//! use hatt_core::hatt;
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_mappings::FermionMapping;
+//! use hatt_pauli::Complex64;
+//!
+//! let mut h = MajoranaSum::new(2);
+//! h.add(Complex64::ONE, &[0, 3]);
+//! let m = hatt(&h);
+//! assert_eq!(m.stats().iterations.len(), 2);
+//! assert_eq!(m.stats().total_weight(), m.map_majorana_sum(&h).weight());
+//! ```
 
 use std::time::Duration;
 

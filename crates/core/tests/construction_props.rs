@@ -52,7 +52,7 @@ proptest! {
         // Algorithm 2 discards S_2N; the construction must leave leaf 2N
         // as the unpaired Z-descendant of the root.
         let h = random_majorana_sum(n, 4, 3, seed);
-        let m = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: false });
+        let m = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: false, ..Default::default() });
         let tree = m.tree();
         prop_assert_eq!(tree.desc_z(tree.root()), 2 * n);
     }
@@ -101,7 +101,7 @@ proptest! {
     ) {
         let h = random_majorana_sum(n, 5, 4, seed);
         for variant in [Variant::Unopt, Variant::Paired, Variant::Cached] {
-            let m = hatt_with(&h, &HattOptions { variant, naive_weight: false });
+            let m = hatt_with(&h, &HattOptions { variant, naive_weight: false, ..Default::default() });
             let hq = m.map_majorana_sum(&h);
             prop_assert!(hq.is_hermitian(1e-8), "{variant:?} broke Hermiticity");
         }
@@ -133,7 +133,7 @@ proptest! {
             h.add(hatt_pauli::Complex64::ONE, &[0, (2 * n - 1) as u32]);
         }
         for variant in [Variant::Unopt, Variant::Cached] {
-            let m = hatt_with(&h, &HattOptions { variant, naive_weight: false });
+            let m = hatt_with(&h, &HattOptions { variant, naive_weight: false, ..Default::default() });
             prop_assert!(validate(&m).is_valid(), "{variant:?} invalid");
         }
     }

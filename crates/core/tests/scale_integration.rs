@@ -38,6 +38,7 @@ fn build(h: &MajoranaSum, variant: Variant) -> hatt_core::HattMapping {
         &HattOptions {
             variant,
             naive_weight: false,
+            ..Default::default()
         },
     )
 }
@@ -76,6 +77,26 @@ fn paired_and_cached_agree_exactly_at_n32() {
             "{name}: memo should mostly hit ({} hits / {} misses)",
             cached.stats().memo_hits,
             cached.stats().memo_misses
+        );
+    }
+}
+
+#[test]
+fn hatt_savings_vs_jw_are_non_negative_at_n32() {
+    // The tentpole guarantee at scale: on the 32-mode neutrino model both
+    // the default greedy (amortized objective) and the quality portfolio
+    // save Pauli weight over Jordan-Wigner — `neutrino_scaling` reports
+    // the same quantity as a signed percentage.
+    use hatt_mappings::{jordan_wigner, SelectionPolicy};
+    let h = preprocess(&NeutrinoModel::new(8, 2).hamiltonian());
+    assert_eq!(h.n_modes(), 32);
+    let w_jw = jordan_wigner(32).map_majorana_sum(&h).weight();
+    for policy in [SelectionPolicy::Greedy, SelectionPolicy::quality()] {
+        let m = hatt_with(&h, &HattOptions::with_policy(policy));
+        let w = m.map_majorana_sum(&h).weight();
+        assert!(
+            w <= w_jw,
+            "neutrino 8x2F/{policy}: HATT ({w}) must not lose to JW ({w_jw})"
         );
     }
 }

@@ -5,8 +5,26 @@
 //! The state is a complete merge sequence (the triple chosen at every
 //! construction step). A neighbour truncates the sequence at a random
 //! step, substitutes a random triple there, and completes the remainder
-//! greedily. Acceptance follows the Metropolis rule on the accumulated
-//! per-qubit weight objective.
+//! greedily (under the configured [`SelectionPolicy`]). Acceptance
+//! follows the Metropolis rule on the accumulated per-qubit weight
+//! objective.
+//!
+//! # Examples
+//!
+//! The search is deterministic in its seed and returns a valid mapping:
+//!
+//! ```
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_mappings::{anneal_search, validate, AnnealingOptions};
+//! use hatt_pauli::Complex64;
+//!
+//! let mut h = MajoranaSum::new(2);
+//! h.add(Complex64::ONE, &[0, 1]);
+//! let opts = AnnealingOptions { iterations: 25, ..Default::default() };
+//! let (mapping, stats) = anneal_search(&h, &opts);
+//! assert!(validate(&mapping).is_valid());
+//! assert_eq!(stats.best_weight, 1); // M0·M1 settles on one qubit
+//! ```
 
 use std::time::Instant;
 
@@ -16,6 +34,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::engine::TermEngine;
 use crate::exhaustive::SearchStats;
+use crate::policy::SelectionPolicy;
+use crate::select::select_free_triple;
 use crate::tree::{NodeId, TernaryTreeBuilder, TreeMapping};
 
 /// Configuration for the annealing search.
@@ -29,6 +49,12 @@ pub struct AnnealingOptions {
     pub cooling: f64,
     /// RNG seed (the search is deterministic in this seed).
     pub seed: u64,
+    /// Selection policy for the greedy completions (tie-breaking /
+    /// lookahead). Whole-construction policies (beam, restarts) degrade
+    /// to the tie-broken greedy inside a completion — the annealer
+    /// explores sequence space itself, so widening each completion as
+    /// well is redundant work.
+    pub policy: SelectionPolicy,
 }
 
 impl Default for AnnealingOptions {
@@ -38,6 +64,7 @@ impl Default for AnnealingOptions {
             t0: 8.0,
             cooling: 0.99,
             seed: 7,
+            policy: SelectionPolicy::Greedy,
         }
     }
 }
@@ -71,15 +98,22 @@ pub fn anneal_search(h: &MajoranaSum, opts: &AnnealingOptions) -> (TreeMapping, 
     let mut stats = SearchStats::default();
 
     // Initial state: fully greedy completion from the start.
-    let (mut current_seq, mut current_w) = complete_greedily(h, &[], &mut rng, 0.0, &mut stats);
+    let (mut current_seq, mut current_w) =
+        complete_greedily(h, &[], &mut rng, 0.0, opts.policy, &mut stats);
     let mut best_seq = current_seq.clone();
     let mut best_w = current_w;
 
     let mut temp = opts.t0;
     for _ in 0..opts.iterations {
         let cut = rng.gen_range(0..n);
-        let (cand_seq, cand_w) =
-            complete_greedily(h, &current_seq[..cut], &mut rng, 1.0, &mut stats);
+        let (cand_seq, cand_w) = complete_greedily(
+            h,
+            &current_seq[..cut],
+            &mut rng,
+            1.0,
+            opts.policy,
+            &mut stats,
+        );
         stats.completions += 1;
         let accept = cand_w <= current_w || {
             let delta = (cand_w - current_w) as f64;
@@ -114,6 +148,7 @@ fn complete_greedily(
     prefix: &[[NodeId; 3]],
     rng: &mut StdRng,
     randomize_first: f64,
+    policy: SelectionPolicy,
     stats: &mut SearchStats,
 ) -> (Vec<[NodeId; 3]>, usize) {
     let n = h.n_modes();
@@ -148,20 +183,17 @@ fn complete_greedily(
             picks.sort_unstable();
             [u[picks[0]], u[picks[1]], u[picks[2]]]
         } else {
-            // Greedy: the minimum-weight triple (first found wins ties).
-            let mut best: ([NodeId; 3], usize) = ([0; 3], usize::MAX);
-            for ai in 0..u.len() {
-                for bi in (ai + 1)..u.len() {
-                    for ci in (bi + 1)..u.len() {
-                        stats.candidates += 1;
-                        let w = engine.weight_of_triple(u[ai], u[bi], u[ci]);
-                        if w < best.1 {
-                            best = ([u[ai], u[bi], u[ci]], w);
-                        }
-                    }
-                }
-            }
-            best.0
+            // Policy-driven greedy step (tie-broken, optional lookahead).
+            let sel = select_free_triple(
+                &mut engine,
+                &u,
+                policy,
+                policy.blend(),
+                false,
+                2 * n + 1 + step,
+            );
+            stats.candidates += sel.candidates;
+            sel.children
         };
         first_free = false;
         acc += apply(&mut engine, &mut u, &mut seq, step, triple);

@@ -51,6 +51,7 @@
 use hatt_fermion::MajoranaSum;
 use hatt_pauli::Bits;
 
+use crate::policy::TripleCounts;
 use crate::tree::NodeId;
 
 /// Per-node term-incidence bitsets for a Majorana Hamiltonian being
@@ -222,6 +223,71 @@ impl TermEngine {
         };
         memo.misses += 1;
         count
+    }
+
+    /// Number of terms with *odd* membership in the triple — the popcount
+    /// of the parent's post-reduce incidence `A ⊕ B ⊕ C`, i.e. the terms
+    /// that will keep paying weight on ancestor qubits. One fused
+    /// word-level pass.
+    pub fn residual_of_triple(&self, a: NodeId, b: NodeId, c: NodeId) -> usize {
+        Bits::xor3_count(&self.incidence[a], &self.incidence[b], &self.incidence[c])
+    }
+
+    /// The per-candidate membership counts `(n₁, n₂, n₃)` of a triple,
+    /// sharing the memoized pairwise counts with
+    /// [`TermEngine::weight_of_triple_memo`].
+    ///
+    /// Let `S = |A| + |B| + |C|`, `P = |A∩B| + |A∩C| + |B∩C|` and
+    /// `n₃ = |A∩B∩C|`. With `n_k` the number of terms containing exactly
+    /// `k` of the triple, `S = n₁ + 2n₂ + 3n₃` and `P = n₂ + 3n₃`, so
+    /// `n₂ = P − 3n₃` and `n₁ = S − 2P + 3n₃`. Only `n₃` can need a
+    /// bitset pass — and only when every pairwise intersection is
+    /// non-empty (`n₃ ≤ min` of the three), so on sparse workloads the
+    /// whole evaluation stays O(1) amortized.
+    pub fn counts_of_triple_memo(&mut self, a: NodeId, b: NodeId, c: NodeId) -> TripleCounts {
+        if self.memo.is_none() && self.incidence.len() > PAIR_MEMO_NODE_LIMIT {
+            // Word-level fallback (not the per-bit scan): two fused
+            // passes recover all three counts.
+            let n3 = Bits::and3_count(&self.incidence[a], &self.incidence[b], &self.incidence[c]);
+            let n1 = self.residual_of_triple(a, b, c) - n3;
+            let n2 = self.weight_of_triple(a, b, c) - n1;
+            return TripleCounts { n1, n2, n3 };
+        }
+        let s = self.count[a] as usize + self.count[b] as usize + self.count[c] as usize;
+        let (pab, pac, pbc) = (
+            self.pair_count(a, b),
+            self.pair_count(a, c),
+            self.pair_count(b, c),
+        );
+        let p = pab + pac + pbc;
+        let n3 = if pab.min(pac).min(pbc) == 0 {
+            0
+        } else {
+            Bits::and3_count(&self.incidence[a], &self.incidence[b], &self.incidence[c])
+        };
+        TripleCounts {
+            n1: s + 3 * n3 - 2 * p,
+            n2: p - 3 * n3,
+            n3,
+        }
+    }
+
+    /// [`TermEngine::counts_of_triple_memo`] via the paper's per-term
+    /// scan — the ablation path; must agree with the memoized kernel.
+    pub fn counts_of_triple_naive(&self, a: NodeId, b: NodeId, c: NodeId) -> TripleCounts {
+        let mut counts = TripleCounts::default();
+        for t in 0..self.n_terms {
+            let k = usize::from(self.incidence[a].get(t))
+                + usize::from(self.incidence[b].get(t))
+                + usize::from(self.incidence[c].get(t));
+            match k {
+                1 => counts.n1 += 1,
+                2 => counts.n2 += 1,
+                3 => counts.n3 += 1,
+                _ => {}
+            }
+        }
+        counts
     }
 
     /// `(hits, misses)` of the pairwise memo so far — instrumentation for
@@ -444,6 +510,60 @@ mod tests {
                 assert_eq!(engine.pair_count(b, a), direct);
             }
         }
+    }
+
+    #[test]
+    fn counts_match_direct_kernels() {
+        let mut engine = TermEngine::new(&paper_example());
+        for a in 0..7 {
+            for b in 0..7 {
+                for c in 0..7 {
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    let counts = engine.counts_of_triple_memo(a, b, c);
+                    assert_eq!(
+                        counts,
+                        engine.counts_of_triple_naive(a, b, c),
+                        "memo/naive count mismatch at ({a},{b},{c})"
+                    );
+                    assert_eq!(
+                        counts.weight(),
+                        engine.weight_of_triple(a, b, c),
+                        "weight mismatch at ({a},{b},{c})"
+                    );
+                    assert_eq!(
+                        counts.residual(),
+                        engine.residual_of_triple(a, b, c),
+                        "residual mismatch at ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_counts_odd_membership() {
+        let engine = TermEngine::new(&paper_example());
+        // Triple (2, 3, 4): S2S3 contributes 0 (two members, even),
+        // S4S5 contributes 1 (one member), S2S3S4S5 contributes 1
+        // (three members) → residual 2.
+        assert_eq!(engine.residual_of_triple(2, 3, 4), 2);
+        // Triple (0, 1, 6): S0S1 has both members → even → residual 0.
+        assert_eq!(engine.residual_of_triple(0, 1, 6), 0);
+    }
+
+    #[test]
+    fn counts_survive_reduce() {
+        let mut engine = TermEngine::new(&paper_example());
+        let before = engine.counts_of_triple_memo(2, 3, 7);
+        engine.reduce(7, 0, 1, 6);
+        let after = engine.counts_of_triple_memo(2, 3, 7);
+        // Node 7 stays empty after this reduce, so the counts are stable…
+        assert_eq!(before, after);
+        // …and still match the direct kernels.
+        assert_eq!(after.weight(), engine.weight_of_triple(2, 3, 7));
+        assert_eq!(after.residual(), engine.residual_of_triple(2, 3, 7));
     }
 
     #[test]

@@ -1,4 +1,17 @@
 //! The Jordan-Wigner transformation (paper baseline `JW`, ref [22]).
+//!
+//! # Examples
+//!
+//! JW string weight grows linearly with the mode index — the overhead
+//! adaptive ternary trees avoid:
+//!
+//! ```
+//! use hatt_mappings::{jordan_wigner, FermionMapping};
+//!
+//! let jw = jordan_wigner(8);
+//! assert_eq!(jw.majorana(0).weight(), 1);  // X_0
+//! assert_eq!(jw.majorana(14).weight(), 8); // Z_0…Z_6 X_7
+//! ```
 
 use hatt_pauli::{Pauli, PauliString};
 

@@ -14,7 +14,10 @@
 //!   tree-mapping space;
 //! * [`TernaryTree`] / [`TernaryTreeBuilder`] / [`TermEngine`] — the data
 //!   structures the HATT construction (crate `hatt-core`) builds on;
-//! * [`validate`] — Majorana-algebra and vacuum-preservation validators.
+//! * [`SelectionPolicy`] / [`select_free_triple`] — the policy-aware
+//!   triple-selection machinery (amortized objective, tie-breaking,
+//!   lookahead) shared by the construction and the searches;
+//! * [`validate()`] — Majorana-algebra and vacuum-preservation validators.
 //!
 //! # Example
 //!
@@ -41,17 +44,23 @@ mod fenwick;
 mod jw;
 mod mapping;
 mod parity;
+pub mod policy;
+mod select;
 mod tree;
 pub mod validate;
 
 pub use annealing::{anneal_search, AnnealingOptions};
 pub use bk::bravyi_kitaev;
 pub use engine::TermEngine;
-pub use exhaustive::{exhaustive_optimal, SearchStats, EXHAUSTIVE_MODE_LIMIT};
+pub use exhaustive::{
+    exhaustive_optimal, exhaustive_optimal_with, SearchStats, EXHAUSTIVE_MODE_LIMIT,
+};
 pub use fenwick::FenwickTree;
 pub use jw::jordan_wigner;
 pub use mapping::{FermionMapping, TableMapping};
 pub use parity::parity;
+pub use policy::{Blend, ParsePolicyError, SelectionPolicy, TripleCounts, TripleScore};
+pub use select::{select_free_triple, FreeSelection};
 pub use tree::{
     balanced_ternary_tree, balanced_tree, build_with_qubit_children, Branch, NodeId, TernaryTree,
     TernaryTreeBuilder, TreeMapping,

@@ -1,6 +1,22 @@
 //! The [`FermionMapping`] trait: everything a fermion-to-qubit mapping must
 //! provide, plus the application of a mapping to Majorana / fermionic
 //! Hamiltonians.
+//!
+//! # Examples
+//!
+//! Applying a mapping turns a Majorana Hamiltonian into a qubit
+//! Hamiltonian whose Pauli weight is the paper's cost metric:
+//!
+//! ```
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_mappings::{jordan_wigner, FermionMapping};
+//! use hatt_pauli::Complex64;
+//!
+//! let mut h = MajoranaSum::new(2);
+//! h.add(Complex64::new(0.0, 1.0), &[0, 1]); // i·M0M1 = -Z_0
+//! let hq = jordan_wigner(2).map_majorana_sum(&h);
+//! assert_eq!(hq.weight(), 1);
+//! ```
 
 use hatt_fermion::{FermionOperator, MajoranaSum};
 use hatt_pauli::{PauliString, PauliSum};
@@ -10,7 +26,7 @@ use hatt_pauli::{PauliString, PauliSum};
 /// (paper §II-C).
 ///
 /// Implementations must return Hermitian, mutually anticommuting strings on
-/// `n_qubits()` qubits; [`crate::validate`] can verify both properties.
+/// `n_qubits()` qubits; [`crate::validate()`] can verify both properties.
 pub trait FermionMapping: std::fmt::Debug {
     /// Number of fermionic modes `N`.
     fn n_modes(&self) -> usize;

@@ -1,5 +1,18 @@
 //! The parity transformation (paper related work, ref [4]): qubit `j`
 //! stores the parity of modes `0..=j`, dual to Jordan-Wigner.
+//!
+//! # Examples
+//!
+//! Where JW strings grow toward *high* mode indices, parity strings grow
+//! toward *low* ones:
+//!
+//! ```
+//! use hatt_mappings::{parity, FermionMapping};
+//!
+//! let p = parity(4);
+//! assert_eq!(p.majorana(0).weight(), 4); // X_0 X_1 X_2 X_3
+//! assert_eq!(p.majorana(7).weight(), 1); // Y_3
+//! ```
 
 use hatt_pauli::{Pauli, PauliString};
 

@@ -1,0 +1,325 @@
+//! Shared greedy triple selection over a free node set — the
+//! policy-aware core of Algorithm 1 style selection, reused by the HATT
+//! construction (`hatt-core`), the annealing completions and the
+//! exhaustive search's initial bound.
+//!
+//! The *paired* selection of Algorithms 2/3 (free `(O_X, O_Z)`, derived
+//! `O_Y`) lives in `hatt-core` next to the `mdown`/`mup` caches; this
+//! module handles the unconstrained case where any three current roots
+//! may merge.
+//!
+//! # Examples
+//!
+//! ```
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_mappings::{select_free_triple, Blend, SelectionPolicy, TermEngine};
+//! use hatt_pauli::Complex64;
+//!
+//! // H = M0 M1 + M2 M3 on 2 modes: merging (0, 1, x) settles weight 1.
+//! let mut h = MajoranaSum::new(2);
+//! h.add(Complex64::ONE, &[0, 1]);
+//! h.add(Complex64::ONE, &[2, 3]);
+//! let mut engine = TermEngine::new(&h);
+//! let u: Vec<usize> = (0..5).collect();
+//! let sel = select_free_triple(
+//!     &mut engine, &u, SelectionPolicy::Greedy, Blend::UNIT, false, 5,
+//! );
+//! assert_eq!(sel.score.weight, 1);
+//! // Tie-breaking prefers the pair that fully cancels (residual 0).
+//! assert_eq!(sel.score.residual, 0);
+//! ```
+
+use crate::engine::TermEngine;
+use crate::policy::{Blend, SelectionPolicy, TripleScore};
+use crate::tree::NodeId;
+
+/// The outcome of one free-triple selection step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeSelection {
+    /// The chosen children (unordered semantics; stored ascending).
+    pub children: [NodeId; 3],
+    /// The chosen triple's greedy score.
+    pub score: TripleScore,
+    /// Number of candidate evaluations performed (instrumentation).
+    pub candidates: u64,
+}
+
+/// Scores one triple under `blend`, honouring the naive-kernel ablation
+/// flag.
+#[inline]
+pub(crate) fn score_triple(
+    engine: &mut TermEngine,
+    naive_weight: bool,
+    blend: Blend,
+    a: NodeId,
+    b: NodeId,
+    c: NodeId,
+) -> TripleScore {
+    let counts = if naive_weight {
+        engine.counts_of_triple_naive(a, b, c)
+    } else {
+        engine.counts_of_triple_memo(a, b, c)
+    };
+    counts.score(blend)
+}
+
+/// Picks the best unordered triple from `u` under `policy` / `blend`.
+///
+/// * [`SelectionPolicy::Greedy`] / [`SelectionPolicy::Vanilla`] — one
+///   pass, minimum [`TripleScore`], first (lowest node ids) on full
+///   ties. (The blend is taken from the `blend` argument, so `Greedy`
+///   with [`Blend::PAPER`] behaves like `Vanilla`.)
+/// * [`SelectionPolicy::Lookahead`] — the `width` best-scoring candidates
+///   are re-ranked by simulating their reduce into `next_parent` and
+///   adding the best score the following step could achieve.
+/// * [`SelectionPolicy::Beam`] / [`SelectionPolicy::Restarts`] — whole-
+///   construction strategies, not per-step choices; callers drive them
+///   themselves (see `hatt-core`). Inside a single step they degrade to
+///   `Greedy`.
+///
+/// `next_parent` is the node id the caller will `reduce` the winner
+/// into; lookahead simulation temporarily borrows it and restores its
+/// incidence before returning.
+///
+/// # Panics
+///
+/// Panics when `u` has fewer than three nodes.
+pub fn select_free_triple(
+    engine: &mut TermEngine,
+    u: &[NodeId],
+    policy: SelectionPolicy,
+    blend: Blend,
+    naive_weight: bool,
+    next_parent: NodeId,
+) -> FreeSelection {
+    assert!(u.len() >= 3, "need at least three free nodes");
+    let width = match policy {
+        SelectionPolicy::Lookahead { width } => width,
+        _ => 0,
+    };
+    let mut shortlist = Shortlist::new(width);
+    let mut best = FreeSelection {
+        children: [u[0], u[1], u[2]],
+        score: TripleScore::MAX,
+        candidates: 0,
+    };
+    for ai in 0..u.len() {
+        for bi in (ai + 1)..u.len() {
+            for ci in (bi + 1)..u.len() {
+                let (a, b, c) = (u[ai], u[bi], u[ci]);
+                best.candidates += 1;
+                let score = score_triple(engine, naive_weight, blend, a, b, c);
+                if score < best.score {
+                    best.score = score;
+                    best.children = [a, b, c];
+                }
+                shortlist.offer(score, [a, b, c]);
+            }
+        }
+    }
+    if width > 0 && u.len() > 3 {
+        let (children, score, extra) = rank_by_lookahead(
+            engine,
+            u,
+            naive_weight,
+            blend,
+            next_parent,
+            shortlist.into_vec(),
+        );
+        best.children = children;
+        best.score = score;
+        best.candidates += extra;
+    }
+    best
+}
+
+/// Re-ranks shortlisted candidates by `key + best next-step key` (ties:
+/// residual, then shortlist order). Returns the winner plus the number
+/// of extra candidate evaluations spent looking ahead.
+fn rank_by_lookahead(
+    engine: &mut TermEngine,
+    u: &[NodeId],
+    naive_weight: bool,
+    blend: Blend,
+    next_parent: NodeId,
+    shortlist: Vec<(TripleScore, [NodeId; 3])>,
+) -> ([NodeId; 3], TripleScore, u64) {
+    let saved = engine.incidence(next_parent).clone();
+    let mut extra = 0u64;
+    let mut best_idx = 0usize;
+    let mut best_key = (i64::MAX, usize::MAX);
+    for (idx, &(score, children)) in shortlist.iter().enumerate() {
+        engine.reduce(next_parent, children[0], children[1], children[2]);
+        let next_u: Vec<NodeId> = u
+            .iter()
+            .copied()
+            .filter(|v| !children.contains(v))
+            .chain(std::iter::once(next_parent))
+            .collect();
+        let mut next_best = 0i64;
+        if next_u.len() >= 3 {
+            next_best = i64::MAX;
+            for ai in 0..next_u.len() {
+                for bi in (ai + 1)..next_u.len() {
+                    for ci in (bi + 1)..next_u.len() {
+                        extra += 1;
+                        let s = score_triple(
+                            engine,
+                            naive_weight,
+                            blend,
+                            next_u[ai],
+                            next_u[bi],
+                            next_u[ci],
+                        );
+                        next_best = next_best.min(s.key);
+                    }
+                }
+            }
+        }
+        engine.set_incidence(next_parent, saved.clone());
+        let key = (score.key + next_best, score.residual);
+        if key < best_key {
+            best_key = key;
+            best_idx = idx;
+        }
+    }
+    let (score, children) = shortlist[best_idx];
+    (children, score, extra)
+}
+
+/// A bounded best-`k` accumulator ordered by [`TripleScore`] then
+/// insertion order (so equal scores keep ascending node ids).
+#[derive(Debug)]
+pub(crate) struct Shortlist {
+    width: usize,
+    entries: Vec<(TripleScore, [NodeId; 3])>,
+}
+
+impl Shortlist {
+    pub(crate) fn new(width: usize) -> Self {
+        Shortlist {
+            width,
+            entries: Vec::with_capacity(width.saturating_add(1)),
+        }
+    }
+
+    /// Offers a candidate; keeps only the `width` best.
+    pub(crate) fn offer(&mut self, score: TripleScore, children: [NodeId; 3]) {
+        if self.width == 0 {
+            return;
+        }
+        if self.entries.len() == self.width
+            && score >= self.entries.last().expect("non-empty at capacity").0
+        {
+            return;
+        }
+        // Insert before the first strictly-worse entry: stable for ties.
+        let pos = self.entries.partition_point(|&(s, _)| s <= score);
+        self.entries.insert(pos, (score, children));
+        self.entries.truncate(self.width);
+    }
+
+    pub(crate) fn into_vec(self) -> Vec<(TripleScore, [NodeId; 3])> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_fermion::MajoranaSum;
+    use hatt_pauli::Complex64;
+
+    fn paper_example() -> MajoranaSum {
+        let mut h = MajoranaSum::new(3);
+        h.add(Complex64::new(0.0, 0.5), &[0, 1]);
+        h.add(Complex64::new(0.0, -0.5), &[2, 3]);
+        h.add(Complex64::new(0.0, -0.5), &[4, 5]);
+        h.add(Complex64::real(0.5), &[2, 3, 4, 5]);
+        h
+    }
+
+    #[test]
+    fn greedy_picks_minimum_score() {
+        let mut engine = TermEngine::new(&paper_example());
+        let u: Vec<NodeId> = (0..7).collect();
+        let sel = select_free_triple(
+            &mut engine,
+            &u,
+            SelectionPolicy::Greedy,
+            Blend::UNIT,
+            false,
+            7,
+        );
+        // The paper's first step settles weight 1 (triple 0, 1, 6) — and
+        // that triple also has residual 0, so the amortized objective
+        // (key = w − n₂ − n₃ = 0) keeps it.
+        assert_eq!(sel.score.weight, 1);
+        assert_eq!(sel.score.residual, 0);
+        assert_eq!(sel.score.key, 0);
+        assert_eq!(sel.children, [0, 1, 6]);
+        assert_eq!(sel.candidates, 35);
+    }
+
+    #[test]
+    fn naive_and_memo_scoring_agree() {
+        let u: Vec<NodeId> = (0..7).collect();
+        let mut fast = TermEngine::new(&paper_example());
+        let mut slow = TermEngine::new(&paper_example());
+        for blend in [Blend::PAPER, Blend::HALF, Blend::UNIT, Blend::DOUBLE] {
+            let a = select_free_triple(&mut fast, &u, SelectionPolicy::Greedy, blend, false, 7);
+            let b = select_free_triple(&mut slow, &u, SelectionPolicy::Greedy, blend, true, 7);
+            assert_eq!(a, b, "blend {blend:?}");
+        }
+    }
+
+    #[test]
+    fn lookahead_restores_the_parent_node() {
+        let mut engine = TermEngine::new(&paper_example());
+        let u: Vec<NodeId> = (0..7).collect();
+        let before = engine.incidence(7).clone();
+        let sel = select_free_triple(
+            &mut engine,
+            &u,
+            SelectionPolicy::Lookahead { width: 4 },
+            Blend::UNIT,
+            false,
+            7,
+        );
+        assert_eq!(engine.incidence(7), &before, "lookahead must be pure");
+        assert!(sel.candidates > 35, "lookahead evaluates extra candidates");
+        assert_eq!(sel.score.weight, 1, "lookahead keeps an optimal step here");
+    }
+
+    #[test]
+    fn shortlist_keeps_best_k_stable() {
+        let mut s = Shortlist::new(2);
+        let sc = |k: i64, r: usize| TripleScore {
+            key: k,
+            weight: 0,
+            residual: r,
+        };
+        s.offer(sc(3, 0), [0, 1, 2]);
+        s.offer(sc(1, 5), [3, 4, 5]);
+        s.offer(sc(1, 5), [6, 7, 8]); // tie → keeps earlier first
+        s.offer(sc(0, 9), [9, 10, 11]);
+        let v = s.into_vec();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].1, [9, 10, 11]);
+        assert_eq!(v[1].1, [3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "three free nodes")]
+    fn rejects_tiny_node_sets() {
+        let mut engine = TermEngine::new(&paper_example());
+        let _ = select_free_triple(
+            &mut engine,
+            &[0, 1],
+            SelectionPolicy::Greedy,
+            Blend::UNIT,
+            false,
+            7,
+        );
+    }
+}

@@ -5,6 +5,23 @@
 //! Node identifiers follow the paper's `O_i` convention: leaves are
 //! `O_0 … O_2N`, internal nodes are `O_{2N+1} … O_{3N}` with internal node
 //! `O_{2N+1+q}` carrying qubit `q`.
+//!
+//! # Examples
+//!
+//! Build the paper's Figure 4(b) caterpillar bottom-up and read off a
+//! leaf string (each ancestor contributes its branch letter):
+//!
+//! ```
+//! use hatt_mappings::TernaryTreeBuilder;
+//!
+//! let mut b = TernaryTreeBuilder::new(3);
+//! let i0 = b.attach([0, 1, 2]);      // qubit 0 over leaves 0, 1, 2
+//! let i1 = b.attach([3, 4, i0]);     // qubit 1, chain on the Z branch
+//! let _root = b.attach([5, 6, i1]);  // qubit 2
+//! let tree = b.finish();
+//! assert_eq!(tree.string_for_leaf(0).to_string(), "ZZX");
+//! assert_eq!(tree.desc_z(tree.root()), 2);
+//! ```
 
 use hatt_pauli::{Pauli, PauliString};
 
@@ -371,7 +388,7 @@ impl TernaryTreeBuilder {
 }
 
 /// Builds the *balanced* ternary tree of `n_modes` modes (paper baseline
-/// `BTT`, ref [20]): internal nodes fill level by level in BFS order, so
+/// `BTT`, paper ref. 20): internal nodes fill level by level in BFS order, so
 /// string weights are `⌈log3(2N+1)⌉` on average.
 pub fn balanced_tree(n_modes: usize) -> TernaryTree {
     assert!(n_modes > 0, "need at least one mode");

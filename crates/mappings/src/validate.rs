@@ -6,6 +6,25 @@
 //! `a_j |0…0⟩_F ↦ 0`, i.e. `(S_2j + i·S_2j+1)|0⟩^⊗N = 0` for every mode.
 //! Both checks are symbolic and run in `O(N²)` / `O(N)` without any state
 //! vectors.
+//!
+//! # Examples
+//!
+//! Every baseline in this workspace validates; a deliberately broken
+//! "mapping" (two equal strings cannot anticommute) does not:
+//!
+//! ```
+//! use hatt_mappings::{validate, FermionMapping, TableMapping};
+//!
+//! let good = hatt_mappings::bravyi_kitaev(3);
+//! assert!(validate(&good).is_valid());
+//!
+//! let bad = TableMapping::new(
+//!     "broken", 1,
+//!     vec!["X".parse()?, "X".parse()?],
+//! );
+//! assert!(!validate(&bad).is_valid());
+//! # Ok::<(), hatt_pauli::ParsePauliStringError>(())
+//! ```
 
 use hatt_pauli::Phase;
 

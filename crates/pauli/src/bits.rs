@@ -272,6 +272,43 @@ impl Bits {
         }
         (none, all)
     }
+
+    /// Popcount of the three-way intersection `a ∧ b ∧ c` in one fused
+    /// word-level pass (no temporaries).
+    ///
+    /// The HATT tie-break kernel needs only this count — and only when
+    /// every pairwise intersection is non-empty — so it is kept separate
+    /// from [`Bits::triple_none_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and3_count(a: &Bits, b: &Bits, c: &Bits) -> usize {
+        assert_eq!(a.len, b.len, "bit vector length mismatch");
+        assert_eq!(a.len, c.len, "bit vector length mismatch");
+        let mut count = 0usize;
+        for i in 0..a.blocks.len() {
+            count += (a.blocks[i] & b.blocks[i] & c.blocks[i]).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Popcount of the three-way symmetric difference `a ⊕ b ⊕ c` in one
+    /// fused word-level pass — the *residual* of a HATT reduce step: the
+    /// number of positions that survive into the parent's incidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor3_count(a: &Bits, b: &Bits, c: &Bits) -> usize {
+        assert_eq!(a.len, b.len, "bit vector length mismatch");
+        assert_eq!(a.len, c.len, "bit vector length mismatch");
+        let mut count = 0usize;
+        for i in 0..a.blocks.len() {
+            count += (a.blocks[i] ^ b.blocks[i] ^ c.blocks[i]).count_ones() as usize;
+        }
+        count
+    }
 }
 
 /// Mask selecting the valid bits of the last block of an `n_bits` vector.
@@ -509,5 +546,38 @@ mod tests {
         let a = Bits::zeros(10);
         let b = Bits::zeros(11);
         Bits::triple_none_all(&a, &a, &b);
+    }
+
+    #[test]
+    fn and3_and_xor3_counts() {
+        let a = Bits::from_indices(130, &[0, 1, 2, 129]);
+        let b = Bits::from_indices(130, &[1, 2, 64]);
+        let c = Bits::from_indices(130, &[2, 64, 129]);
+        // Only position 2 is in all three.
+        assert_eq!(Bits::and3_count(&a, &b, &c), 1);
+        // Odd membership: 0 (a only), 1 (a, b), 2 (all), 64 (b, c),
+        // 129 (a, c) → positions {0, 2} → 2.
+        assert_eq!(Bits::xor3_count(&a, &b, &c), 2);
+        // Cross-check against per-bit evaluation.
+        let (mut and3_ref, mut xor3_ref) = (0, 0);
+        for i in 0..130 {
+            let k = usize::from(a.get(i)) + usize::from(b.get(i)) + usize::from(c.get(i));
+            if k == 3 {
+                and3_ref += 1;
+            }
+            if k % 2 == 1 {
+                xor3_ref += 1;
+            }
+        }
+        assert_eq!(Bits::and3_count(&a, &b, &c), and3_ref);
+        assert_eq!(Bits::xor3_count(&a, &b, &c), xor3_ref);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and3_count_length_mismatch_panics() {
+        let a = Bits::zeros(10);
+        let b = Bits::zeros(11);
+        Bits::and3_count(&a, &a, &b);
     }
 }

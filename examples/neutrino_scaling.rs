@@ -2,46 +2,57 @@
 //! neutrino oscillation models (the paper's astroparticle workload,
 //! Table III) and inspect the construction instrumentation.
 //!
+//! Savings are *signed*: a negative value means HATT lost to
+//! Jordan-Wigner on that case and is flagged explicitly — the greedy
+//! default should not lose anywhere ≥ 24 modes, and the `restarts`
+//! quality policy should never lose at all.
+//!
 //! ```sh
 //! cargo run --release --example neutrino_scaling
 //! ```
 
-use hatt::core::{hatt_with, HattOptions, Variant};
+use hatt::core::{hatt_with, HattOptions};
 use hatt::fermion::models::NeutrinoModel;
 use hatt::fermion::MajoranaSum;
-use hatt::mappings::{jordan_wigner, FermionMapping};
+use hatt::mappings::{jordan_wigner, FermionMapping, SelectionPolicy};
+
+/// Renders a signed saving vs JW, flagging regressions loudly.
+fn saving(w_jw: usize, w_hatt: usize) -> String {
+    let pct = 100.0 * (w_jw as f64 - w_hatt as f64) / w_jw as f64;
+    if w_hatt > w_jw {
+        format!("{pct:+.1}% (HATT worse)")
+    } else {
+        format!("{pct:+.1}%")
+    }
+}
 
 fn main() {
     println!(
-        "{:<8} {:>6} {:>8} | {:>10} {:>10} {:>9} | {:>12} {:>12}",
-        "case", "modes", "terms", "JW weight", "HATT", "saving", "candidates", "time(ms)"
+        "{:<8} {:>6} {:>8} | {:>10} {:>10} {:>20} | {:>10} {:>20} | {:>10}",
+        "case", "modes", "terms", "JW", "greedy", "saving", "restarts", "saving", "time(ms)"
     );
     for (sites, flavors) in [(2, 2), (3, 2), (4, 2), (3, 3), (5, 2), (4, 3)] {
         let model = NeutrinoModel::new(sites, flavors);
         let mut h = MajoranaSum::from_fermion(&model.hamiltonian());
         let _ = h.take_identity();
         let n = h.n_modes();
-
-        let mapping = hatt_with(
-            &h,
-            &HattOptions {
-                variant: Variant::Cached,
-                naive_weight: false,
-            },
-        );
-        let stats = mapping.stats();
-        let w_hatt = mapping.map_majorana_sum(&h).weight();
         let w_jw = jordan_wigner(n).map_majorana_sum(&h).weight();
+
+        let greedy = hatt_with(&h, &HattOptions::default());
+        let w_greedy = greedy.map_majorana_sum(&h).weight();
+        let quality = hatt_with(&h, &HattOptions::with_policy(SelectionPolicy::quality()));
+        let w_quality = quality.map_majorana_sum(&h).weight();
         println!(
-            "{:<8} {:>6} {:>8} | {:>10} {:>10} {:>8.1}% | {:>12} {:>12.2}",
+            "{:<8} {:>6} {:>8} | {:>10} {:>10} {:>20} | {:>10} {:>20} | {:>10.2}",
             model.label(),
             n,
             h.n_terms(),
             w_jw,
-            w_hatt,
-            100.0 * (w_jw as f64 - w_hatt as f64) / w_jw as f64,
-            stats.total_candidates(),
-            stats.elapsed.as_secs_f64() * 1e3,
+            w_greedy,
+            saving(w_jw, w_greedy),
+            w_quality,
+            saving(w_jw, w_quality),
+            quality.stats().elapsed.as_secs_f64() * 1e3,
         );
     }
 

@@ -27,6 +27,7 @@ fn all_mappings(h: &MajoranaSum) -> Vec<Box<dyn FermionMapping>> {
             &HattOptions {
                 variant: Variant::Unopt,
                 naive_weight: false,
+                ..Default::default()
             },
         )),
         Box::new(hatt_with(
@@ -34,6 +35,7 @@ fn all_mappings(h: &MajoranaSum) -> Vec<Box<dyn FermionMapping>> {
             &HattOptions {
                 variant: Variant::Cached,
                 naive_weight: false,
+                ..Default::default()
             },
         )),
     ]

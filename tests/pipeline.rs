@@ -99,7 +99,9 @@ fn golden_pauli_weights_are_stable() {
     assert_eq!(weight(&balanced_ternary_tree(4), &h2), 36);
     assert_eq!(weight(&hatt(&h2), &h2), 32);
 
-    // Paper Table II (Hubbard 2×2): JW 80, BK 80, HATT 76.
+    // Paper Table II (Hubbard 2×2): JW 80, BK 80, HATT 76 — the
+    // amortized default objective beats the paper's HATT here (56,
+    // which is the Fermihedral optimum).
     let hub = {
         let mut m = MajoranaSum::from_fermion(&FermiHubbard::new(2, 2).hamiltonian());
         let _ = m.take_identity();
@@ -108,7 +110,7 @@ fn golden_pauli_weights_are_stable() {
     assert_eq!(weight(&jordan_wigner(8), &hub), 80);
     assert_eq!(weight(&bravyi_kitaev(8), &hub), 80);
     assert_eq!(weight(&balanced_ternary_tree(8), &hub), 84);
-    assert_eq!(weight(&hatt(&hub), &hub), 76);
+    assert_eq!(weight(&hatt(&hub), &hub), 56);
 }
 
 #[test]
@@ -126,6 +128,7 @@ fn unopt_and_optimized_hatt_agree_closely_on_weight() {
             &HattOptions {
                 variant: Variant::Unopt,
                 naive_weight: false,
+                ..Default::default()
             },
         );
         let opt = hatt_with(
@@ -133,6 +136,7 @@ fn unopt_and_optimized_hatt_agree_closely_on_weight() {
             &HattOptions {
                 variant: Variant::Cached,
                 naive_weight: false,
+                ..Default::default()
             },
         );
         let wu = unopt.map_majorana_sum(h).weight() as f64;

@@ -38,7 +38,7 @@ proptest! {
         let op = random_hermitian(n, one, two, seed);
         let h = MajoranaSum::from_fermion(&op);
         for variant in [Variant::Unopt, Variant::Cached] {
-            let m = hatt_with(&h, &HattOptions { variant, naive_weight: false });
+            let m = hatt_with(&h, &HattOptions { variant, naive_weight: false, ..Default::default() });
             let report = validate(&m);
             prop_assert!(report.is_valid(), "{variant:?} invalid: {report:?}");
             if variant == Variant::Cached {
@@ -55,7 +55,7 @@ proptest! {
         let op = random_hermitian(n, 5, 3, seed);
         let mut h = MajoranaSum::from_fermion(&op);
         let _ = h.take_identity();
-        let m = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: false });
+        let m = hatt_with(&h, &HattOptions { variant: Variant::Cached, naive_weight: false, ..Default::default() });
         let mut hq = m.map_majorana_sum(&h);
         let _ = hq.take_identity();
         // The greedy objective counts per-term weights without merging;
