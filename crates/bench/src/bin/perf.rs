@@ -1,7 +1,8 @@
 //! Machine-readable perf harness: sweeps the three HATT variants on the
-//! paper's scalability workload and writes `BENCH_perf.json`
-//! (per-variant wall-clock stats, fitted log-log slopes, Pauli-weight
-//! totals) so successive PRs can compare perf trajectories.
+//! paper's scalability workload, the policy quality-vs-time ladder, and
+//! the parallel engine (threaded `restarts`, batched `map_many`), then
+//! writes `BENCH_perf.json` (schema `hatt-perf/2`) so successive PRs can
+//! compare perf trajectories.
 //!
 //! `cargo run --release -p hatt-bench --bin perf -- [--smoke]
 //!     [--out PATH] [--budget SECONDS] [--samples K] [--max-n N]`
@@ -18,7 +19,8 @@
 use std::process::ExitCode;
 
 use hatt_bench::perf::{
-    paper_complexity, policy_tradeoff, sweep_variant, sweeps_to_json, SweepConfig, VariantSweep,
+    paper_complexity, parallel_study, policy_tradeoff, sweep_variant, sweeps_to_json, SweepConfig,
+    VariantSweep,
 };
 use hatt_core::Variant;
 
@@ -139,7 +141,42 @@ fn main() -> ExitCode {
         );
     }
 
-    let doc = sweeps_to_json(&cfg, args.smoke, &sweeps, &policies);
+    println!("\n== parallel engine: threaded restarts & batched map_many ==");
+    let parallel = parallel_study(args.smoke);
+    println!(
+        "  workers: {} (hardware: {})",
+        parallel.workers, parallel.available_workers
+    );
+    for c in &parallel.restarts {
+        println!(
+            "  restarts {:<16} ({:>2} modes)  seq {:>8.2} ms  threaded {:>8.2} ms  ×{:.2}",
+            c.case,
+            c.n_modes,
+            c.seq_s * 1e3,
+            c.threaded_s * 1e3,
+            c.speedup(),
+        );
+    }
+    println!(
+        "  restarts roster total: seq {:.2} ms, threaded {:.2} ms (×{:.2})",
+        parallel.restarts_seq_total_s() * 1e3,
+        parallel.restarts_threaded_total_s() * 1e3,
+        parallel.restarts_speedup(),
+    );
+    let b = &parallel.batch;
+    println!(
+        "  batch sweep: {} Hamiltonians / {} structures  seq {:.2} ms  map_many {:.2} ms (×{:.2}, {:.1} mappings/s, {} hits / {} misses)",
+        b.batch_size,
+        b.distinct_structures,
+        b.seq_s * 1e3,
+        b.threaded_s * 1e3,
+        b.speedup(),
+        b.throughput_per_s(),
+        b.cache_hits,
+        b.cache_misses,
+    );
+
+    let doc = sweeps_to_json(&cfg, args.smoke, &sweeps, &policies, &parallel);
     if let Err(e) = std::fs::write(&args.out, doc.render_pretty()) {
         eprintln!("perf: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

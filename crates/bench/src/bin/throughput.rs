@@ -1,0 +1,165 @@
+//! Batched-construction throughput harness: how many fermion-to-qubit
+//! mappings per second the engine serves on a coefficient-sweep
+//! workload, sequentially vs through `map_many` (threads + the
+//! structure-keyed cache), plus the warm-cache service ceiling.
+//!
+//! `cargo run --release -p hatt-bench --bin throughput --
+//!     [--smoke] [--reps K] [--threads N]`
+//!
+//! * `--smoke` — one neutrino structure, 8 instances (the CI shape).
+//! * `--reps K` — instances per structure (default 12, smoke 8).
+//! * `--threads N` — worker override (default: `HATT_THREADS` /
+//!   hardware, like every other entry point).
+//!
+//! Three measurements per roster:
+//!
+//! 1. `sequential` — one-by-one `hatt_with`, 1 worker, no cache;
+//! 2. `map_many (cold)` — batched, fresh cache (thread fan-out + the
+//!    in-flight structure dedup);
+//! 3. `map_many (warm)` — the same batch again against the now-warm
+//!    cache: every probe hits and only replays, the service ceiling.
+//!
+//! All three produce bit-identical mappings (cross-checked here), so
+//! the only thing being traded is wall time.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hatt_core::{hatt_with, map_many_cached, HattOptions, MappingCache};
+use hatt_fermion::models::NeutrinoModel;
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::SelectionPolicy;
+
+struct Args {
+    smoke: bool,
+    reps: Option<usize>,
+    threads: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        reps: None,
+        threads: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--reps" => {
+                args.reps = Some(
+                    value("--reps")?
+                        .parse()
+                        .map_err(|e| format!("--reps: {e}"))?,
+                )
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sizes: &[(usize, usize)] = if args.smoke {
+        &[(3, 2)]
+    } else {
+        &[(3, 2), (4, 2), (3, 3)]
+    };
+    let reps = args.reps.unwrap_or(if args.smoke { 8 } else { 12 }).max(1);
+    let workers = args.threads.unwrap_or_else(parallel::max_threads);
+
+    let mut batch: Vec<MajoranaSum> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for &(sites, flavors) in sizes {
+        let model = NeutrinoModel::new(sites, flavors);
+        let base = hatt_bench::preprocess(&model.hamiltonian());
+        labels.push(format!("neutrino {}", model.label()));
+        for r in 0..reps {
+            batch.push(base.scaled(1.0 + 0.0625 * r as f64));
+        }
+    }
+    println!(
+        "== map_many throughput: {} Hamiltonians ({} structures × {} instances), {} workers ==",
+        batch.len(),
+        sizes.len(),
+        reps,
+        workers,
+    );
+    println!("   structures: {}", labels.join(", "));
+
+    let policy = SelectionPolicy::Restarts;
+    let seq_opts = HattOptions {
+        policy,
+        threads: Some(1),
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let seq_maps: Vec<_> = batch.iter().map(|h| hatt_with(h, &seq_opts)).collect();
+    let seq_s = t0.elapsed().as_secs_f64();
+
+    let batched_opts = HattOptions {
+        policy,
+        threads: Some(workers),
+        ..Default::default()
+    };
+    let cache = MappingCache::new();
+    let t0 = Instant::now();
+    let cold_maps = map_many_cached(&batch, &batched_opts, &cache);
+    let cold_s = t0.elapsed().as_secs_f64();
+    let (cold_hits, cold_misses) = (cache.hits(), cache.misses());
+
+    let t0 = Instant::now();
+    let warm_maps = map_many_cached(&batch, &batched_opts, &cache);
+    let warm_s = t0.elapsed().as_secs_f64();
+
+    // Throughput must never buy different results.
+    for (i, seq) in seq_maps.iter().enumerate() {
+        assert_eq!(cold_maps[i].tree(), seq.tree(), "cold batch drifted at {i}");
+        assert_eq!(warm_maps[i].tree(), seq.tree(), "warm batch drifted at {i}");
+    }
+
+    let row = |name: &str, secs: f64, extra: String| {
+        println!(
+            "  {:<16} {:>10.2} ms  {:>10.1} mappings/s{}",
+            name,
+            secs * 1e3,
+            batch.len() as f64 / secs.max(1e-12),
+            extra,
+        );
+    };
+    row("sequential", seq_s, String::new());
+    row(
+        "map_many cold",
+        cold_s,
+        format!(
+            "  (×{:.2}; {cold_hits} hits / {cold_misses} misses)",
+            seq_s / cold_s.max(1e-12)
+        ),
+    );
+    row(
+        "map_many warm",
+        warm_s,
+        format!("  (×{:.2}; all hits)", seq_s / warm_s.max(1e-12)),
+    );
+    println!(
+        "  cache: {} entries after {} lookups",
+        cache.len(),
+        cache.hits() + cache.misses(),
+    );
+    ExitCode::SUCCESS
+}

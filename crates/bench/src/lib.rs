@@ -150,6 +150,7 @@ pub fn evaluate_case(h: &MajoranaSum, roster: &MappingRoster) -> Vec<EvalCell> {
             variant: Variant::Cached,
             naive_weight: false,
             policy: roster.hatt_policy,
+            ..Default::default()
         },
     );
     cells.push(evaluate_mapping(&hatt, h, t0.elapsed().as_secs_f64()));

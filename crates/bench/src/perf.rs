@@ -4,14 +4,18 @@
 //! log-log slope fits against the paper's complexity claims
 //! (Algorithm 1 `O(N⁴)`, Algorithm 3 `O(N³)`) — plus the
 //! quality-vs-time study of the [`SelectionPolicy`] ladder
-//! ([`policy_tradeoff`]), so `BENCH_perf.json` records both how fast the
-//! kernel is *and* what each extra millisecond of search buys.
+//! ([`policy_tradeoff`]) and the parallel-engine study
+//! ([`parallel_study`]: threaded `restarts` vs sequential, and batched
+//! `map_many` sweeps with the structure-keyed cache), so
+//! `BENCH_perf.json` records how fast the kernel is, what each extra
+//! millisecond of search buys, *and* what threads/batching buy on this
+//! host.
 
 use std::time::Instant;
 
 use criterion::{summarize, Stats};
-use hatt_core::{hatt_with, HattMapping, HattOptions, Variant};
-use hatt_fermion::models::NeutrinoModel;
+use hatt_core::{hatt_with, map_many_cached, HattMapping, HattOptions, MappingCache, Variant};
+use hatt_fermion::models::{molecule_catalog, FermiHubbard, NeutrinoModel};
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{jordan_wigner, FermionMapping, SelectionPolicy};
 
@@ -225,6 +229,233 @@ pub fn policy_tradeoff(smoke: bool) -> Vec<PolicyPoint> {
     points
 }
 
+/// One case of the threaded-`restarts` study: the quality portfolio
+/// built sequentially (1 worker) and with the study's worker count.
+#[derive(Debug, Clone)]
+pub struct ParallelCase {
+    /// Benchmark case name.
+    pub case: String,
+    /// Mode count of the case.
+    pub n_modes: usize,
+    /// Best-of-samples wall time with 1 worker, seconds.
+    pub seq_s: f64,
+    /// Best-of-samples wall time with [`ParallelReport::workers`]
+    /// workers, seconds.
+    pub threaded_s: f64,
+}
+
+impl ParallelCase {
+    /// Sequential / threaded wall-time ratio (> 1 means threads won).
+    pub fn speedup(&self) -> f64 {
+        if self.threaded_s > 0.0 {
+            self.seq_s / self.threaded_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The batched-sweep study: `batch_size` Hamiltonians spanning
+/// `distinct_structures` term structures (a coefficient sweep, the
+/// service workload), mapped one-by-one sequentially vs through
+/// [`map_many_cached`] — so the speedup combines thread fan-out *and*
+/// structure-cache hits.
+#[derive(Debug, Clone)]
+pub struct BatchStudy {
+    /// Total Hamiltonians in the batch.
+    pub batch_size: usize,
+    /// Distinct term structures in the batch.
+    pub distinct_structures: usize,
+    /// Sequential per-element loop wall time, seconds (best of samples).
+    pub seq_s: f64,
+    /// `map_many_cached` wall time with the study's workers, seconds.
+    pub threaded_s: f64,
+    /// Structure-cache hits during the batched run.
+    pub cache_hits: u64,
+    /// Structure-cache misses (full constructions) during the batch.
+    pub cache_misses: u64,
+}
+
+impl BatchStudy {
+    /// Sequential / batched wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.threaded_s > 0.0 {
+            self.seq_s / self.threaded_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Mappings per second through the batched path — the headline
+    /// throughput bin.
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.threaded_s > 0.0 {
+            self.batch_size as f64 / self.threaded_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The parallel-engine study serialized under `"parallel"` in
+/// `BENCH_perf.json` (schema `hatt-perf/2`).
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Workers the threaded runs used (`HATT_THREADS` or hardware).
+    pub workers: usize,
+    /// Hardware parallelism of the measuring host. Speedups are only
+    /// meaningful when this is > 1 — on a single-core container the
+    /// threaded engine can at best tie sequential, and consumers (CI)
+    /// must gate wall-time assertions on this field.
+    pub available_workers: usize,
+    /// Per-case threaded-`restarts` rows.
+    pub restarts: Vec<ParallelCase>,
+    /// The batched neutrino sweep.
+    pub batch: BatchStudy,
+}
+
+impl ParallelReport {
+    /// Total sequential restarts wall time over the roster.
+    pub fn restarts_seq_total_s(&self) -> f64 {
+        self.restarts.iter().map(|c| c.seq_s).sum()
+    }
+
+    /// Total threaded restarts wall time over the roster.
+    pub fn restarts_threaded_total_s(&self) -> f64 {
+        self.restarts.iter().map(|c| c.threaded_s).sum()
+    }
+
+    /// Roster-level speedup of the threaded portfolio.
+    pub fn restarts_speedup(&self) -> f64 {
+        let threaded = self.restarts_threaded_total_s();
+        if threaded > 0.0 {
+            self.restarts_seq_total_s() / threaded
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The roster the threaded-`restarts` study times: the Table I
+/// molecules (full), or a medium-sized subset where thread fan-out
+/// clearly dominates spawn overhead (smoke — this is what the CI
+/// wall-time gate runs).
+pub fn parallel_roster(smoke: bool) -> Vec<(String, MajoranaSum)> {
+    let mut cases = Vec::new();
+    if smoke {
+        let name = "LiH sto3g frz";
+        let spec = molecule_catalog()
+            .into_iter()
+            .find(|m| m.name == name)
+            .expect("catalog molecule");
+        cases.push((name.to_string(), crate::preprocess(&spec.hamiltonian())));
+        cases.push((
+            "Hubbard 2x2".to_string(),
+            crate::preprocess(&FermiHubbard::new(2, 2).hamiltonian()),
+        ));
+        cases.push((
+            "neutrino 3x2F".to_string(),
+            crate::preprocess(&NeutrinoModel::new(3, 2).hamiltonian()),
+        ));
+    } else {
+        for spec in molecule_catalog() {
+            cases.push((
+                spec.name.to_string(),
+                crate::preprocess(&spec.hamiltonian()),
+            ));
+        }
+    }
+    cases
+}
+
+/// Best-of-`samples` wall time of one restarts construction at the
+/// given worker cap.
+fn time_restarts(h: &MajoranaSum, workers: usize, samples: usize) -> f64 {
+    let opts = HattOptions {
+        policy: SelectionPolicy::Restarts,
+        threads: Some(workers),
+        ..Default::default()
+    };
+    (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let m = hatt_with(h, &opts);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(m.stats().total_weight());
+            dt
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures the parallel engine: threaded `restarts` vs 1 worker on the
+/// [`parallel_roster`], and a batched neutrino coefficient sweep
+/// (`map_many_cached` vs a sequential loop). Worker count comes from
+/// [`parallel::max_threads`] (so `HATT_THREADS` steers CI runs); all
+/// constructions are result-identical, only wall time differs.
+pub fn parallel_study(smoke: bool) -> ParallelReport {
+    let workers = parallel::max_threads();
+    let samples = 3;
+    let restarts = parallel_roster(smoke)
+        .into_iter()
+        .map(|(case, h)| ParallelCase {
+            n_modes: h.n_modes(),
+            seq_s: time_restarts(&h, 1, samples),
+            threaded_s: time_restarts(&h, workers, samples),
+            case,
+        })
+        .collect();
+
+    // Batched sweep: `reps` coefficient-rescaled instances per neutrino
+    // structure, under the quality policy (the service configuration).
+    let sizes: &[(usize, usize)] = if smoke { &[(3, 2)] } else { &[(3, 2), (4, 2)] };
+    let reps = if smoke { 8 } else { 12 };
+    let mut batch: Vec<MajoranaSum> = Vec::new();
+    for &(sites, flavors) in sizes {
+        let base = crate::preprocess(&NeutrinoModel::new(sites, flavors).hamiltonian());
+        for r in 0..reps {
+            batch.push(base.scaled(1.0 + 0.125 * r as f64));
+        }
+    }
+    let opts = HattOptions {
+        policy: SelectionPolicy::Restarts,
+        ..Default::default()
+    };
+    let seq_s = {
+        let solo = HattOptions {
+            threads: Some(1),
+            ..opts
+        };
+        let t0 = Instant::now();
+        for h in &batch {
+            std::hint::black_box(hatt_with(h, &solo).stats().total_weight());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let cache = MappingCache::new();
+    let batched = HattOptions {
+        threads: Some(workers),
+        ..opts
+    };
+    let t0 = Instant::now();
+    let maps = map_many_cached(&batch, &batched, &cache);
+    let threaded_s = t0.elapsed().as_secs_f64();
+    std::hint::black_box(maps.len());
+
+    ParallelReport {
+        workers,
+        available_workers: parallel::available_workers(),
+        restarts,
+        batch: BatchStudy {
+            batch_size: batch.len(),
+            distinct_structures: sizes.len(),
+            seq_s,
+            threaded_s,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        },
+    }
+}
+
 /// Least-squares slope of `ln t` against `ln n`; `None` with fewer than
 /// two usable (positive-time) points.
 pub fn loglog_slope(points: &[(usize, f64)]) -> Option<f64> {
@@ -249,18 +480,20 @@ pub fn loglog_slope(points: &[(usize, f64)]) -> Option<f64> {
 }
 
 /// Serializes a sweep set to the `BENCH_perf.json` document
-/// (`schema: "hatt-perf/1"`; see README "Perf harness" and
+/// (`schema: "hatt-perf/2"`; see README "Perf harness" and
 /// docs/REPRODUCTION.md for the schema). `policies` is the
-/// quality-vs-time study from [`policy_tradeoff`] (additive field; older
-/// documents simply lack it).
+/// quality-vs-time study from [`policy_tradeoff`]; `parallel` is the
+/// parallel-engine study from [`parallel_study`]. Both sections are
+/// additive over hatt-perf/1 — older documents simply lack them.
 pub fn sweeps_to_json(
     cfg: &SweepConfig,
     smoke: bool,
     sweeps: &[VariantSweep],
     policies: &[PolicyPoint],
+    parallel: &ParallelReport,
 ) -> Json {
     Json::Obj(vec![
-        ("schema".into(), Json::str("hatt-perf/1")),
+        ("schema".into(), Json::str("hatt-perf/2")),
         ("workload".into(), Json::str("uniform_singles")),
         ("smoke".into(), Json::Bool(smoke)),
         ("samples_per_point".into(), Json::int(cfg.samples as u64)),
@@ -273,6 +506,70 @@ pub fn sweeps_to_json(
         (
             "policies".into(),
             Json::Arr(policies.iter().map(policy_point_to_json).collect()),
+        ),
+        ("parallel".into(), parallel_to_json(parallel)),
+    ])
+}
+
+/// The `"parallel"` section of the hatt-perf/2 document.
+fn parallel_to_json(report: &ParallelReport) -> Json {
+    Json::Obj(vec![
+        ("workers".into(), Json::int(report.workers as u64)),
+        (
+            "available_workers".into(),
+            Json::int(report.available_workers as u64),
+        ),
+        (
+            "restarts".into(),
+            Json::Arr(
+                report
+                    .restarts
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("case".into(), Json::str(&c.case)),
+                            ("n_modes".into(), Json::int(c.n_modes as u64)),
+                            ("seq_s".into(), Json::Num(c.seq_s)),
+                            ("threaded_s".into(), Json::Num(c.threaded_s)),
+                            ("speedup".into(), Json::Num(c.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "restarts_seq_total_s".into(),
+            Json::Num(report.restarts_seq_total_s()),
+        ),
+        (
+            "restarts_threaded_total_s".into(),
+            Json::Num(report.restarts_threaded_total_s()),
+        ),
+        (
+            "restarts_speedup".into(),
+            Json::Num(report.restarts_speedup()),
+        ),
+        (
+            "throughput".into(),
+            Json::Obj(vec![
+                (
+                    "batch_size".into(),
+                    Json::int(report.batch.batch_size as u64),
+                ),
+                (
+                    "distinct_structures".into(),
+                    Json::int(report.batch.distinct_structures as u64),
+                ),
+                ("seq_s".into(), Json::Num(report.batch.seq_s)),
+                ("threaded_s".into(), Json::Num(report.batch.threaded_s)),
+                ("speedup".into(), Json::Num(report.batch.speedup())),
+                (
+                    "mappings_per_s".into(),
+                    Json::Num(report.batch.throughput_per_s()),
+                ),
+                ("cache_hits".into(), Json::int(report.batch.cache_hits)),
+                ("cache_misses".into(), Json::int(report.batch.cache_misses)),
+            ]),
         ),
     ])
 }
@@ -375,11 +672,70 @@ mod tests {
                 );
             }
         }
-        let doc = sweeps_to_json(&cfg, true, &sweeps, &policies).render();
-        assert!(doc.starts_with(r#"{"schema":"hatt-perf/1""#));
+        let report = tiny_parallel_report();
+        let doc = sweeps_to_json(&cfg, true, &sweeps, &policies, &report).render();
+        assert!(doc.starts_with(r#"{"schema":"hatt-perf/2""#));
         assert!(doc.contains(r#""name":"cached""#));
         assert!(doc.contains(r#""pauli_weight":"#));
         assert!(doc.contains(r#""policy":"restarts""#));
+        assert!(doc.contains(r#""parallel":{"workers":"#));
+        assert!(doc.contains(r#""throughput":{"batch_size":"#));
+        assert!(doc.contains(r#""cache_hits":"#));
+    }
+
+    fn tiny_parallel_report() -> ParallelReport {
+        ParallelReport {
+            workers: 4,
+            available_workers: 4,
+            restarts: vec![ParallelCase {
+                case: "t".into(),
+                n_modes: 4,
+                seq_s: 0.4,
+                threaded_s: 0.1,
+            }],
+            batch: BatchStudy {
+                batch_size: 8,
+                distinct_structures: 1,
+                seq_s: 2.0,
+                threaded_s: 0.5,
+                cache_hits: 7,
+                cache_misses: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn parallel_report_arithmetic() {
+        let r = tiny_parallel_report();
+        assert!((r.restarts[0].speedup() - 4.0).abs() < 1e-12);
+        assert!((r.restarts_speedup() - 4.0).abs() < 1e-12);
+        assert!((r.batch.speedup() - 4.0).abs() < 1e-12);
+        assert!((r.batch.throughput_per_s() - 16.0).abs() < 1e-12);
+        // Division-by-zero guards.
+        let zero = ParallelCase {
+            case: "z".into(),
+            n_modes: 1,
+            seq_s: 1.0,
+            threaded_s: 0.0,
+        };
+        assert_eq!(zero.speedup(), 0.0);
+    }
+
+    #[test]
+    fn parallel_study_smoke_is_result_identical_and_counts_cache() {
+        let report = parallel_study(true);
+        assert!(report.workers >= 1);
+        assert!(report.available_workers >= 1);
+        assert_eq!(report.restarts.len(), 3, "smoke roster size");
+        for c in &report.restarts {
+            assert!(c.seq_s > 0.0 && c.threaded_s > 0.0, "{}: timed", c.case);
+        }
+        // One distinct structure, 8 instances: exactly one construction.
+        assert_eq!(report.batch.batch_size, 8);
+        assert_eq!(report.batch.distinct_structures, 1);
+        assert_eq!(report.batch.cache_misses, 1);
+        assert_eq!(report.batch.cache_hits, 7);
+        assert!(report.batch.throughput_per_s() > 0.0);
     }
 
     #[test]

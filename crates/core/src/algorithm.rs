@@ -36,6 +36,19 @@
 //! variant-independent (Algorithms 2 and 3 build identical trees), so
 //! this changes no result, only bounds the simulation cost.
 //!
+//! ## Threading
+//!
+//! Two execution paths fan out over scoped worker threads (worker count
+//! from [`HattOptions::workers`], i.e. `HATT_THREADS` or the hardware
+//! count): the [`SelectionPolicy::Restarts`] portfolio runs its members
+//! concurrently, and a multi-state beam scans its states concurrently.
+//! Both reduce their results in a fixed order (member index / state
+//! index), so parallel output is **bit-identical** to sequential — see
+//! `docs/ARCHITECTURE.md` ("Threading model") and
+//! `tests/parallel_determinism.rs`. Batch workloads go through
+//! [`crate::map_many`], which additionally caches constructions by
+//! Hamiltonian structure.
+//!
 //! # Examples
 //!
 //! Stronger policies can only improve the objective; the `Restarts`
@@ -59,12 +72,21 @@ use std::time::Instant;
 
 use hatt_fermion::{FermionOperator, MajoranaSum};
 use hatt_mappings::{
-    select_free_triple, Blend, FermionMapping, NodeId, SelectionPolicy, TermEngine, TernaryTree,
-    TernaryTreeBuilder, TreeMapping, TripleScore,
+    select_free_triple, Blend, FermionMapping, NodeId, PortfolioMember, SelectionPolicy,
+    TermEngine, TernaryTree, TernaryTreeBuilder, TreeMapping, TripleScore,
 };
 use hatt_pauli::{PauliString, PauliSum};
 
 use crate::stats::{ConstructionStats, IterationStats};
+
+// The threaded portfolio and `map_many` move these across scoped worker
+// threads; keep them plain owned data.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MajoranaSum>();
+    assert_send_sync::<HattMapping>();
+    assert_send_sync::<HattOptions>();
+};
 
 /// Which of the paper's algorithms to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -101,6 +123,15 @@ pub struct HattOptions {
     /// beam search). [`SelectionPolicy::Greedy`] preserves the O(1)
     /// memoized fast path.
     pub policy: SelectionPolicy,
+    /// Worker-thread cap for the parallel execution paths (the
+    /// [`SelectionPolicy::Restarts`] member fan-out and the beam's
+    /// per-state candidate scans). `None` defers to the `HATT_THREADS`
+    /// environment variable / hardware count via
+    /// [`parallel::max_threads`]; `Some(1)` forces the fully sequential
+    /// engine. **Never affects results** — parallel output is
+    /// bit-identical to sequential (pinned by
+    /// `tests/parallel_determinism.rs`), only wall time changes.
+    pub threads: Option<usize>,
 }
 
 impl HattOptions {
@@ -110,6 +141,22 @@ impl HattOptions {
             policy,
             ..Default::default()
         }
+    }
+
+    /// Default options with an explicit worker-thread cap.
+    pub fn with_threads(threads: usize) -> Self {
+        HattOptions {
+            threads: Some(threads),
+            ..Default::default()
+        }
+    }
+
+    /// The resolved worker count this construction may use
+    /// (`threads`, else `HATT_THREADS`, else the hardware count).
+    pub fn workers(&self) -> usize {
+        self.threads
+            .map(|t| t.max(1))
+            .unwrap_or_else(parallel::max_threads)
     }
 }
 
@@ -606,6 +653,53 @@ struct BeamState {
     acc_key: i64,
 }
 
+/// One beam state's scan result: its best-`width` local shortlist plus
+/// the number of candidates evaluated.
+type BeamScan = (Vec<(TripleScore, [NodeId; 3])>, u64);
+
+/// One beam state's candidate scan for the next step. Touches only the
+/// state's own engine/memo, so scans of distinct states are
+/// embarrassingly parallel (see [`hatt_beam`]).
+fn scan_beam_state(
+    st: &mut BeamState,
+    options: &HattOptions,
+    blend: Blend,
+    width: usize,
+    n: usize,
+) -> BeamScan {
+    let mut local: Vec<(TripleScore, [NodeId; 3])> = Vec::new();
+    let mut candidates = 0u64;
+    match options.variant {
+        Variant::Unopt => {
+            let u = &st.u;
+            for ai in 0..u.len() {
+                for bi in (ai + 1)..u.len() {
+                    for ci in (bi + 1)..u.len() {
+                        candidates += 1;
+                        let score = score_of(&mut st.engine, options, blend, u[ai], u[bi], u[ci]);
+                        offer(&mut local, width, score, [u[ai], u[bi], u[ci]]);
+                    }
+                }
+            }
+        }
+        Variant::Paired | Variant::Cached => {
+            let engine = &mut st.engine;
+            let u = st.u.clone();
+            for_each_paired_candidate(&st.pairing, &u, n, |cx, cy, cz| {
+                candidates += 1;
+                let score = score_of(engine, options, blend, cx, cy, cz);
+                offer(&mut local, width, score, [cx, cy, cz]);
+            });
+        }
+    }
+    (local, candidates)
+}
+
+/// Below this many free nodes a beam step's candidate scan stays on the
+/// calling thread: the quadratic scan is only microseconds there and the
+/// fork/join would cost more than it saves.
+const PAR_BEAM_MIN_FREE_NODES: usize = 16;
+
 /// Beam-search construction: keep the `width` best partial merge
 /// sequences per step, ranked by accumulated amortized key then the
 /// candidate's residual. `width = 1` coincides with the greedy policy.
@@ -613,9 +707,16 @@ struct BeamState {
 /// constraint itself is variant-independent), so `Paired`/`Cached` beams
 /// preserve the vacuum state and `Unopt` beams search the free-triple
 /// space.
+///
+/// With more than one worker available, each step's per-state candidate
+/// scans fan out over scoped threads (each state owns its engine, so the
+/// scans share nothing); the surviving pool is then merged and ranked on
+/// the calling thread in state order, keeping results bit-identical to
+/// the sequential schedule.
 fn hatt_beam(h: &MajoranaSum, options: &HattOptions, width: usize, blend: Blend) -> HattMapping {
     let n = h.n_modes();
     let start = Instant::now();
+    let workers = options.workers();
     let mut states = vec![BeamState {
         engine: TermEngine::new(h),
         u: (0..2 * n + 1).collect(),
@@ -633,38 +734,24 @@ fn hatt_beam(h: &MajoranaSum, options: &HattOptions, width: usize, blend: Blend)
             qubit,
             ..Default::default()
         };
+        let par_scan =
+            workers > 1 && states.len() > 1 && states[0].u.len() >= PAR_BEAM_MIN_FREE_NODES;
+        let scans: Vec<BeamScan> = if par_scan {
+            parallel::par_map_mut_with(workers, &mut states, |_, st| {
+                scan_beam_state(st, options, blend, width, n)
+            })
+        } else {
+            states
+                .iter_mut()
+                .map(|st| scan_beam_state(st, options, blend, width, n))
+                .collect()
+        };
         let mut pool: Vec<BeamEntry> = Vec::new();
-        for (si, st) in states.iter_mut().enumerate() {
-            let mut local: Vec<(TripleScore, [NodeId; 3])> = Vec::new();
-            let mut candidates = 0u64;
-            match options.variant {
-                Variant::Unopt => {
-                    let u = &st.u;
-                    for ai in 0..u.len() {
-                        for bi in (ai + 1)..u.len() {
-                            for ci in (bi + 1)..u.len() {
-                                candidates += 1;
-                                let score =
-                                    score_of(&mut st.engine, options, blend, u[ai], u[bi], u[ci]);
-                                offer(&mut local, width, score, [u[ai], u[bi], u[ci]]);
-                            }
-                        }
-                    }
-                }
-                Variant::Paired | Variant::Cached => {
-                    let engine = &mut st.engine;
-                    let u = st.u.clone();
-                    for_each_paired_candidate(&st.pairing, &u, n, |cx, cy, cz| {
-                        candidates += 1;
-                        let score = score_of(engine, options, blend, cx, cy, cz);
-                        offer(&mut local, width, score, [cx, cy, cz]);
-                    });
-                }
-            }
+        for (si, (local, candidates)) in scans.into_iter().enumerate() {
             iter_stats.candidates += candidates;
             for (rank, (score, children)) in local.into_iter().enumerate() {
                 pool.push((
-                    st.acc_key + score.key,
+                    states[si].acc_key + score.key,
                     score.residual,
                     si,
                     rank,
@@ -739,8 +826,15 @@ fn jw_sequence(n: usize) -> Vec<[NodeId; 3]> {
 }
 
 /// Replays a fixed merge sequence, recording per-step weights (no
-/// candidate evaluations — `stats.candidates` stays 0).
-fn hatt_replay(h: &MajoranaSum, options: &HattOptions, seq: &[[NodeId; 3]]) -> HattMapping {
+/// candidate evaluations — `stats.candidates` stays 0). Besides the JW
+/// portfolio member, this is the mapping-cache hit path (`crate::batch`):
+/// replaying a cached sequence against a new same-structure Hamiltonian
+/// skips all selection work yet yields exact per-step stats.
+pub(crate) fn hatt_replay(
+    h: &MajoranaSum,
+    options: &HattOptions,
+    seq: &[[NodeId; 3]],
+) -> HattMapping {
     let n = h.n_modes();
     let start = Instant::now();
     let mut engine = TermEngine::new(h);
@@ -772,40 +866,65 @@ fn hatt_replay(h: &MajoranaSum, options: &HattOptions, seq: &[[NodeId; 3]]) -> H
     }
 }
 
-/// The bounded multi-restart portfolio behind
-/// [`SelectionPolicy::Restarts`]: greedy passes at `λ ∈ {½, 1, 2}`, one
-/// `Beam { width: 8 }` pass at `λ = 1`, and the Jordan-Wigner merge
-/// sequence. The best final tree (by total settled weight; earlier
-/// member on ties) wins. The JW member makes "HATT never loses to
-/// Jordan-Wigner" hold by construction; in practice one of the adaptive
-/// members usually beats it outright.
-fn hatt_restarts(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
-    let start = Instant::now();
-    let single = |blend: Blend| -> HattMapping {
-        hatt_single(
+/// Runs one [`PortfolioMember`] of the restarts portfolio as a complete,
+/// independent construction — the unit of work the threaded portfolio
+/// fans out.
+fn run_portfolio_member(
+    h: &MajoranaSum,
+    options: &HattOptions,
+    member: PortfolioMember,
+) -> HattMapping {
+    match member {
+        PortfolioMember::Greedy(blend) => hatt_single(
             h,
             &HattOptions {
                 policy: SelectionPolicy::Greedy,
                 ..*options
             },
             blend,
-        )
-    };
-    let candidates = [
-        single(Blend::HALF),
-        single(Blend::UNIT),
-        single(Blend::DOUBLE),
-        hatt_beam(
+        ),
+        PortfolioMember::Beam { width } => hatt_beam(
             h,
             &HattOptions {
-                policy: SelectionPolicy::Beam { width: 8 },
+                policy: SelectionPolicy::Beam { width },
                 ..*options
             },
-            8,
+            width,
             Blend::UNIT,
         ),
-        hatt_replay(h, options, &jw_sequence(h.n_modes())),
-    ];
+        PortfolioMember::JwCaterpillar => hatt_replay(h, options, &jw_sequence(h.n_modes())),
+    }
+}
+
+/// The bounded multi-restart portfolio behind
+/// [`SelectionPolicy::Restarts`]: the members named by
+/// [`SelectionPolicy::restarts_members`] (greedy passes at
+/// `λ ∈ {½, 1, 2}`, one `Beam { width: 8 }` pass at `λ = 1`, and the
+/// Jordan-Wigner merge sequence). The best final tree (by total settled
+/// weight; earlier member on ties) wins. The JW member makes "HATT never
+/// loses to Jordan-Wigner" hold by construction; in practice one of the
+/// adaptive members usually beats it outright.
+///
+/// The members are fully independent constructions, so they run on
+/// scoped worker threads (up to [`HattOptions::workers`]). Results come
+/// back in member order and the winner rule ties-breaks by member index,
+/// so the output is bit-identical to the sequential loop regardless of
+/// scheduling — `tests/parallel_determinism.rs` pins exactly this.
+///
+/// The beam member keeps the *full* thread budget for its own per-state
+/// scans, which transiently oversubscribes the host while the greedy
+/// members are still running. That is deliberate: each greedy pass is
+/// roughly an eighth of the beam's work, so the contention window is
+/// short, while capping the beam at `workers − 4` would idle most cores
+/// for the long beam-only tail that dominates wall time. (The batch
+/// layer is different — concurrent *constructions* are peers there, so
+/// `map_many` does divide the budget; see `crate::batch`.)
+fn hatt_restarts(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
+    let start = Instant::now();
+    let members = SelectionPolicy::restarts_members();
+    let candidates = parallel::par_map_with(options.workers(), &members, |&member| {
+        run_portfolio_member(h, options, member)
+    });
     let mut best: Option<HattMapping> = None;
     for m in candidates {
         let better = best
@@ -962,6 +1081,7 @@ mod tests {
                 variant: Variant::Cached,
                 naive_weight: true,
                 policy: SelectionPolicy::Greedy,
+                ..Default::default()
             },
         );
         for k in 0..6 {

@@ -1,0 +1,584 @@
+//! Batched construction: [`map_many`] maps a slice of Hamiltonians
+//! concurrently, consulting a structure-keyed [`MappingCache`] so
+//! repeated structures skip the `O(N³)` selection work entirely.
+//!
+//! ## Why structure, not value
+//!
+//! The HATT construction never looks at a coefficient: the
+//! [`TermEngine`](hatt_mappings::TermEngine) is built from each term's
+//! Majorana *support* (its canonical index set), and every selection,
+//! tie-break and reduce is a pure function of those supports. Two
+//! Hamiltonians with the same term supports therefore build the *same
+//! tree*, whatever their coefficients — which is exactly the common case
+//! for a service sweeping molecular geometries or coupling constants:
+//! the integrals change every query, the term structure almost never.
+//!
+//! The cache key is the canonical hash ([`structure_key`]) of the term
+//! multiset `(n_modes, {sorted index sets})`. [`MajoranaSum`] already
+//! canonicalizes on insert (terms are sorted, squares cancelled,
+//! duplicates merged, stored in a `BTreeMap`), so the key is invariant
+//! under term reordering and duplicate-term insertion by construction —
+//! `crates/core/tests/cache_props.rs` pins both. The hash is only the
+//! fast path: every hit is confirmed by comparing the **full** structure
+//! (and the construction options), so distinct structures can never
+//! alias through a 64-bit collision.
+//!
+//! ## What a hit returns
+//!
+//! A hit replays the cached merge sequence against the *new* operator
+//! (no candidate selection — the `O(N³)` part — just `N` reduces), so
+//! the returned [`HattMapping`] carries exact per-step settled weights
+//! for the new Hamiltonian and the tree is re-validated against it in
+//! the process: replay re-attaches every internal node and re-reduces
+//! the new engine, which would panic on any structural mismatch.
+//!
+//! Probes also dedupe **in flight**: a structure is claimed at first
+//! probe, so when a concurrent batch contains the same structure many
+//! times, exactly one worker constructs it and the rest block briefly
+//! on its slot and replay — the cache never does the same `O(N³)` work
+//! twice, even within one [`map_many`] call.
+//!
+//! # Examples
+//!
+//! ```
+//! use hatt_core::{map_many_cached, HattOptions, MappingCache};
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_mappings::FermionMapping;
+//! use hatt_pauli::Complex64;
+//!
+//! // Two Hamiltonians with identical structure, different coefficients.
+//! let mut a = MajoranaSum::new(2);
+//! a.add(Complex64::ONE, &[0, 1]);
+//! a.add(Complex64::ONE, &[2, 3]);
+//! let mut b = MajoranaSum::new(2);
+//! b.add(Complex64::real(0.25), &[0, 1]);
+//! b.add(Complex64::real(4.0), &[2, 3]);
+//!
+//! let cache = MappingCache::new();
+//! let maps = map_many_cached(&[a, b], &HattOptions::default(), &cache);
+//! assert_eq!(maps.len(), 2);
+//! // Output order matches input order; same structure → same tree.
+//! assert_eq!(maps[0].tree(), maps[1].tree());
+//! assert_eq!(cache.hits(), 1);
+//! assert_eq!(cache.misses(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::{NodeId, TernaryTree};
+
+use crate::algorithm::{hatt_replay, hatt_with, HattMapping, HattOptions};
+
+/// The canonical structure of a Hamiltonian: mode count plus every
+/// term's support, in the deterministic (sorted) order [`MajoranaSum`]
+/// stores them. Coefficients are deliberately excluded — see the
+/// [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Structure {
+    n_modes: usize,
+    terms: Vec<Vec<u32>>,
+}
+
+impl Structure {
+    fn of(h: &MajoranaSum) -> Self {
+        Structure {
+            n_modes: h.n_modes(),
+            terms: h.iter().map(|(support, _)| support.to_vec()).collect(),
+        }
+    }
+
+    /// FNV-1a over the structure, with per-term length prefixes so term
+    /// boundaries cannot alias (`{0,1},{2}` vs `{0},{1,2}`).
+    fn hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut acc = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                acc ^= u64::from(byte);
+                acc = acc.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.n_modes as u64);
+        eat(self.terms.len() as u64);
+        for term in &self.terms {
+            eat(term.len() as u64);
+            for &idx in term {
+                eat(u64::from(idx));
+            }
+        }
+        acc
+    }
+}
+
+/// The canonical structure hash of a Hamiltonian — the [`MappingCache`]
+/// fast-path key. Invariant under term reordering and duplicate-term
+/// insertion (both are canonicalized away by [`MajoranaSum::add`]);
+/// independent of coefficients and of process/run (plain FNV-1a, no
+/// randomized state).
+///
+/// # Examples
+///
+/// ```
+/// use hatt_core::structure_key;
+/// use hatt_fermion::MajoranaSum;
+/// use hatt_pauli::Complex64;
+///
+/// let mut a = MajoranaSum::new(2);
+/// a.add(Complex64::ONE, &[0, 1]);
+/// a.add(Complex64::ONE, &[2, 3]);
+/// let mut b = MajoranaSum::new(2);
+/// b.add(Complex64::real(2.0), &[2, 3]); // different order, coefficients
+/// b.add(Complex64::real(0.5), &[1, 0]); // and index permutation
+/// assert_eq!(structure_key(&a), structure_key(&b));
+/// ```
+pub fn structure_key(h: &MajoranaSum) -> u64 {
+    Structure::of(h).hash()
+}
+
+/// The merge sequence that rebuilds `tree` bottom-up: each internal
+/// node's `[X, Y, Z]` children in qubit (attach) order. Children always
+/// have smaller node ids than their parent, so replaying in this order
+/// is valid.
+fn merge_sequence(tree: &TernaryTree) -> Vec<[NodeId; 3]> {
+    (0..tree.n_modes())
+        .map(|q| {
+            tree.children(tree.internal_of(q))
+                .expect("internal nodes have children")
+        })
+        .collect()
+}
+
+/// The lifecycle of one cached construction. A structure is *claimed*
+/// at first probe (state `Pending`), so concurrent workers mapping the
+/// same structure dedupe the work: one owner constructs, followers
+/// block on the slot and replay — "repeated structures skip
+/// construction" holds even inside a single concurrent batch.
+#[derive(Debug)]
+enum SlotState {
+    /// The claiming worker is still constructing.
+    Pending,
+    /// The winning merge sequence is available.
+    Ready(Vec<[NodeId; 3]>),
+    /// The owner unwound without filling the slot; followers fall back
+    /// to their own construction (and presumably hit the same panic).
+    Failed,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fill(&self, seq: Vec<[NodeId; 3]>) {
+        *self.lock() = SlotState::Ready(seq);
+        self.ready.notify_all();
+    }
+
+    /// Marks the slot failed — but only while still pending, so the
+    /// owner's unwind guard cannot clobber a filled slot.
+    fn fail(&self) {
+        let mut state = self.lock();
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Failed;
+            self.ready.notify_all();
+        }
+    }
+
+    /// Blocks until the owner resolves the slot; `None` means the owner
+    /// failed and the caller should construct for itself.
+    fn wait(&self) -> Option<Vec<[NodeId; 3]>> {
+        let mut state = self.lock();
+        loop {
+            match &*state {
+                SlotState::Pending => {
+                    state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                SlotState::Ready(seq) => return Some(seq.clone()),
+                SlotState::Failed => return None,
+            }
+        }
+    }
+}
+
+/// One cache entry: the full structure + options (collision guard) and
+/// the shared construction slot.
+#[derive(Debug)]
+struct CacheEntry {
+    options: HattOptions,
+    structure: Structure,
+    slot: Arc<Slot>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Hash buckets; every probe compares the full structure + options.
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    entries: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheInner {
+    /// Finds or claims the entry for `(structure, options)`: returns the
+    /// slot plus whether the caller just became its owner (and must
+    /// construct and fill it). Runs under the cache lock, so exactly one
+    /// prober per structure ever owns.
+    fn probe(
+        &mut self,
+        hash: u64,
+        structure: &Structure,
+        options: &HattOptions,
+    ) -> (Arc<Slot>, bool) {
+        let bucket = self.buckets.entry(hash).or_default();
+        if let Some(entry) = bucket
+            .iter()
+            .find(|e| e.options == *options && e.structure == *structure)
+        {
+            self.hits += 1;
+            return (Arc::clone(&entry.slot), false);
+        }
+        self.misses += 1;
+        let slot = Slot::new();
+        bucket.push(CacheEntry {
+            options: *options,
+            structure: structure.clone(),
+            slot: Arc::clone(&slot),
+        });
+        self.entries += 1;
+        (slot, true)
+    }
+}
+
+/// Cleans up after an owner that unwinds before filling its slot: the
+/// slot is marked `Failed` so blocked followers never deadlock, and the
+/// entry is **removed** from the cache so the *next* probe of that
+/// structure claims a fresh slot and retries the construction — a
+/// one-off panic must not poison the structure forever (nor inflate the
+/// hit counter with probes that then do full uncached work).
+struct FailOnUnwind<'a> {
+    cache: &'a MappingCache,
+    hash: u64,
+    slot: &'a Arc<Slot>,
+}
+
+impl Drop for FailOnUnwind<'_> {
+    fn drop(&mut self) {
+        self.slot.fail();
+        let inner = &mut *self.cache.lock();
+        if let Some(bucket) = inner.buckets.get_mut(&self.hash) {
+            let before = bucket.len();
+            bucket.retain(|e| !Arc::ptr_eq(&e.slot, self.slot));
+            inner.entries -= before - bucket.len();
+        }
+    }
+}
+
+/// A thread-safe cache of HATT constructions keyed by Hamiltonian
+/// *structure* (see the [module docs](self)). Share one cache across
+/// [`map_many_cached`] batches to carry warm entries between calls.
+///
+/// Entries are never evicted — a production service would bound this,
+/// but the structures of interest (one per model family/size) number in
+/// the dozens, and each entry is just a merge sequence (`24·N` bytes).
+#[derive(Debug, Default)]
+pub struct MappingCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl MappingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached constructions.
+    pub fn len(&self) -> usize {
+        self.lock().entries
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probes that found the structure already claimed or built (their
+    /// construction work was skipped or deduplicated).
+    pub fn hits(&self) -> u64 {
+        self.lock().hits
+    }
+
+    /// Probes that claimed a fresh structure (and ran a construction).
+    pub fn misses(&self) -> u64 {
+        self.lock().misses
+    }
+
+    /// Maps one Hamiltonian through the cache: on a structure hit the
+    /// cached merge sequence is replayed against `h` (no selection
+    /// work); on a miss a full construction runs and fills the entry.
+    /// Concurrent probes of the *same* structure dedupe — the first
+    /// claims and constructs, the rest block until the sequence is
+    /// ready, then replay. Either way the result is bit-identical to
+    /// [`hatt_with`]`(h, options)` — construction is a pure function of
+    /// structure, which is what makes the cache sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `h` has zero modes (as [`hatt_with`] does).
+    pub fn get_or_build(&self, h: &MajoranaSum, options: &HattOptions) -> HattMapping {
+        // The worker cap changes scheduling, never results: normalize it
+        // out of the cache identity.
+        let norm = HattOptions {
+            threads: None,
+            ..*options
+        };
+        let structure = Structure::of(h);
+        let hash = structure.hash();
+        let (slot, owner) = self.lock().probe(hash, &structure, &norm);
+        if owner {
+            let guard = FailOnUnwind {
+                cache: self,
+                hash,
+                slot: &slot,
+            };
+            let mapping = hatt_with(h, options);
+            slot.fill(merge_sequence(mapping.tree()));
+            // fill() resolved the slot, so the guard's cleanup must not
+            // run — the entry stays cached.
+            std::mem::forget(guard);
+            return mapping;
+        }
+        match slot.wait() {
+            Some(seq) => hatt_replay(h, options, &seq),
+            // The owner unwound; reproduce its outcome independently.
+            None => hatt_with(h, options),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Maps every Hamiltonian in `hs`, fanning out over scoped worker
+/// threads (worker count from [`HattOptions::workers`]) and deduplicating
+/// construction work through a fresh per-call [`MappingCache`]. Results
+/// come back **in input order**, bit-identical to mapping each element
+/// sequentially (`tests/parallel_determinism.rs` pins this).
+///
+/// The batch level owns the fan-out and splits the worker budget by the
+/// number of **distinct structures** (duplicates dedupe onto one
+/// in-flight construction, so only distinct structures can make
+/// progress concurrently): a batch of `D ≥ workers` distinct structures
+/// runs its per-element constructions with `threads = 1` (the batch
+/// uses `workers` threads total, not `workers × portfolio members`),
+/// while a duplicate-heavy or small batch hands the surplus down —
+/// `map_many` of 24 copies of one Hamiltonian at 8 workers gives its
+/// single real construction all 8 threads, never silently running it
+/// sequentially. Use a shared [`map_many_cached`] cache to keep entries
+/// warm across batches.
+///
+/// # Panics
+///
+/// Panics when any Hamiltonian has zero modes.
+pub fn map_many(hs: &[MajoranaSum], options: &HattOptions) -> Vec<HattMapping> {
+    map_many_cached(hs, options, &MappingCache::new())
+}
+
+/// [`map_many`] against a caller-owned cache (hits survive across
+/// batches — the service pattern).
+pub fn map_many_cached(
+    hs: &[MajoranaSum],
+    options: &HattOptions,
+    cache: &MappingCache,
+) -> Vec<HattMapping> {
+    let workers = options.workers();
+    // Only distinct structures can construct concurrently (duplicates
+    // block on the in-flight slot), so surplus budget is divided by the
+    // distinct count, not the batch size, and flows down into the
+    // element constructions. Thread counts never affect results, so a
+    // hash collision under-counting `distinct` is a scheduling nit, not
+    // a correctness issue.
+    let distinct = {
+        let mut keys: Vec<u64> = hs.iter().map(structure_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    };
+    let inner = HattOptions {
+        threads: Some((workers / distinct.max(1)).max(1)),
+        ..*options
+    };
+    parallel::par_map_with(workers, hs, |h| cache.get_or_build(h, &inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_mappings::{validate, FermionMapping, SelectionPolicy};
+    use hatt_pauli::Complex64;
+
+    fn ham(terms: &[&[u32]]) -> MajoranaSum {
+        let modes = terms
+            .iter()
+            .flat_map(|t| t.iter())
+            .max()
+            .map_or(1, |&m| m as usize / 2 + 1);
+        let mut h = MajoranaSum::new(modes);
+        for (i, t) in terms.iter().enumerate() {
+            h.add(Complex64::real(1.0 + i as f64), t);
+        }
+        h
+    }
+
+    #[test]
+    fn structure_hash_separates_term_boundaries() {
+        // Same flattened index stream, different term split.
+        let a = ham(&[&[0, 1], &[2]]);
+        let b = ham(&[&[0], &[1, 2]]);
+        assert_ne!(structure_key(&a), structure_key(&b));
+        // Same supports, different n_modes.
+        let mut wide = MajoranaSum::new(4);
+        wide.add(Complex64::ONE, &[0, 1]);
+        let narrow = ham(&[&[0, 1]]);
+        assert_ne!(structure_key(&wide), structure_key(&narrow));
+    }
+
+    #[test]
+    fn full_key_comparison_disambiguates_forced_hash_collisions() {
+        // Force two *different* structures into the same bucket: the
+        // full-key comparison, not the hash, must decide hits.
+        let a = Structure::of(&ham(&[&[0, 1]]));
+        let b = Structure::of(&ham(&[&[2, 3]]));
+        let opts = HattOptions::default();
+        let mut inner = CacheInner::default();
+        let (slot_a, owner_a) = inner.probe(42, &a, &opts);
+        assert!(owner_a);
+        slot_a.fill(vec![[0, 1, 2]]);
+        let (slot_b, owner_b) = inner.probe(42, &b, &opts);
+        assert!(owner_b, "same hash, different structure → distinct entry");
+        slot_b.fill(vec![[2, 3, 4]]);
+        assert_eq!(inner.entries, 2);
+        let (again, owner) = inner.probe(42, &a, &opts);
+        assert!(!owner);
+        assert_eq!(again.wait(), Some(vec![[0, 1, 2]]));
+        let (again, owner) = inner.probe(42, &b, &opts);
+        assert!(!owner);
+        assert_eq!(again.wait(), Some(vec![[2, 3, 4]]));
+        let c = Structure::of(&ham(&[&[4, 5]]));
+        let (_, owner_c) = inner.probe(42, &c, &opts);
+        assert!(owner_c, "third structure must not alias the bucket");
+        assert_eq!((inner.hits, inner.misses), (2, 3));
+    }
+
+    #[test]
+    fn failed_owner_does_not_wedge_followers() {
+        // A construction that panics (zero modes) must mark its slot
+        // failed so later probes re-raise instead of deadlocking.
+        let h = MajoranaSum::new(0);
+        let cache = MappingCache::new();
+        let opts = HattOptions::default();
+        for attempt in 0..2 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cache.get_or_build(&h, &opts)
+            }));
+            assert!(r.is_err(), "attempt {attempt}: must panic, not hang");
+        }
+        // The failed entry is removed each time, so the structure is not
+        // poisoned: both attempts were fresh claims, nothing is cached.
+        assert_eq!(cache.len(), 0, "failed entries must be evicted");
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
+    fn cache_identity_includes_options_but_not_threads() {
+        let h = ham(&[&[0, 1], &[2, 3], &[0, 1, 2, 3]]);
+        let cache = MappingCache::new();
+        let greedy = HattOptions::default();
+        let _ = cache.get_or_build(&h, &greedy);
+        // Different policy → different entry (a beam tree may differ).
+        let beam = HattOptions::with_policy(SelectionPolicy::Beam { width: 4 });
+        let _ = cache.get_or_build(&h, &beam);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        // Same policy, different worker cap → hit (threads normalized).
+        let greedy_4t = HattOptions {
+            threads: Some(4),
+            ..greedy
+        };
+        let m = cache.get_or_build(&h, &greedy_4t);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(m.tree(), hatt_with(&h, &greedy).tree());
+    }
+
+    #[test]
+    fn hit_replays_exact_stats_for_the_new_operator() {
+        let a = ham(&[&[0, 1], &[2, 3], &[4, 5], &[2, 3, 4, 5]]);
+        let mut b = a.clone();
+        // Same structure, different coefficients.
+        b.add(Complex64::real(0.125), &[2, 3]);
+        let cache = MappingCache::new();
+        let opts = HattOptions::default();
+        let _ = cache.get_or_build(&a, &opts);
+        let hit = cache.get_or_build(&b, &opts);
+        let fresh = hatt_with(&b, &opts);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(hit.tree(), fresh.tree());
+        assert_eq!(hit.stats().total_weight(), fresh.stats().total_weight());
+        // The replay evaluates no candidates — selection was skipped.
+        assert_eq!(hit.stats().total_candidates(), 0);
+        assert!(validate(&hit).is_valid());
+    }
+
+    #[test]
+    fn map_many_matches_sequential_in_input_order() {
+        let hs: Vec<MajoranaSum> = vec![
+            ham(&[&[0, 1], &[2, 3]]),
+            ham(&[&[0, 3], &[1, 2], &[0, 1, 2, 3]]),
+            ham(&[&[0, 1], &[2, 3]]), // repeat of the first structure
+        ];
+        for workers in [1, 2, 4] {
+            let opts = HattOptions {
+                threads: Some(workers),
+                ..Default::default()
+            };
+            let maps = map_many(&hs, &opts);
+            assert_eq!(maps.len(), hs.len());
+            for (h, m) in hs.iter().zip(&maps) {
+                let solo = hatt_with(h, &HattOptions::default());
+                assert_eq!(m.tree(), solo.tree(), "workers = {workers}");
+                assert_eq!(m.majorana(0), solo.majorana(0));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cache_carries_hits_across_batches() {
+        let hs = vec![ham(&[&[0, 1], &[2, 3]]); 3];
+        let cache = MappingCache::new();
+        let opts = HattOptions::with_threads(2);
+        let _ = map_many_cached(&hs, &opts, &cache);
+        assert_eq!(cache.len(), 1);
+        // In-flight dedup makes this deterministic even concurrently:
+        // exactly one probe claims the structure, the other two follow.
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        let _ = map_many_cached(&hs, &opts, &cache);
+        assert_eq!(cache.hits(), 2 + 3, "second batch is all hits");
+        assert_eq!(cache.len(), 1);
+    }
+}

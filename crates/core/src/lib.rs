@@ -21,6 +21,15 @@
 //! the [`algorithm`-module docs](crate::hatt_with) and
 //! `docs/ARCHITECTURE.md`.
 //!
+//! The construction engine is parallel where the work is independent —
+//! the `restarts` portfolio members and the beam's per-state scans fan
+//! out over scoped threads (`HATT_THREADS` / `HattOptions::threads`
+//! bound the workers) with output bit-identical to sequential — and
+//! batched: [`map_many`] maps a slice of Hamiltonians concurrently
+//! through a structure-keyed [`MappingCache`], so repeated term
+//! structures (a service sweeping geometries) skip construction
+//! entirely. See the [`batch`-module docs](crate::map_many).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -42,9 +51,11 @@
 #![warn(missing_debug_implementations)]
 
 mod algorithm;
+pub mod batch;
 mod stats;
 
 pub use algorithm::{
     compile, hatt, hatt_for_fermion, hatt_with, HattMapping, HattOptions, Variant,
 };
+pub use batch::{map_many, map_many_cached, structure_key, MappingCache};
 pub use stats::{ConstructionStats, IterationStats};

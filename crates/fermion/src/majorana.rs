@@ -194,6 +194,28 @@ impl MajoranaSum {
         self.terms.retain(|_, c| !c.is_zero(eps));
     }
 
+    /// A copy with every coefficient multiplied by `factor` — one step
+    /// of a coupling/geometry sweep. With `factor != 0` the term
+    /// *structure* is preserved exactly, which is what makes sweeps the
+    /// ideal workload for the structure-keyed mapping cache
+    /// (`hatt-core`'s `map_many`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor == 0` (every term would vanish, silently
+    /// changing the structure).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor != 0.0, "scaling by zero destroys the structure");
+        MajoranaSum {
+            n_modes: self.n_modes,
+            terms: self
+                .terms
+                .iter()
+                .map(|(k, &c)| (k.clone(), c * factor))
+                .collect(),
+        }
+    }
+
     /// Iterator over `(index set, coefficient)` in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = (&[u32], Complex64)> + '_ {
         self.terms.iter().map(|(k, &c)| (k.as_slice(), c))
@@ -358,6 +380,30 @@ mod tests {
             let m = MajoranaSum::from_fermion(&h);
             assert!(m.is_empty(), "anticommutator failed for p={p}, q={q}: {m}");
         }
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let mut m = MajoranaSum::new(2);
+        m.add(Complex64::ONE, &[0, 1]);
+        m.add(Complex64::new(0.0, -0.5), &[2, 3]);
+        let s = m.scaled(4.0);
+        assert_eq!(s.n_terms(), 2);
+        assert!(s
+            .coefficient_of(&[0, 1])
+            .approx_eq(Complex64::real(4.0), 1e-12));
+        assert!(s
+            .coefficient_of(&[2, 3])
+            .approx_eq(Complex64::new(0.0, -2.0), 1e-12));
+        let keys_a: Vec<Vec<u32>> = m.iter().map(|(k, _)| k.to_vec()).collect();
+        let keys_b: Vec<Vec<u32>> = s.iter().map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys_a, keys_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "destroys the structure")]
+    fn scaled_rejects_zero() {
+        let _ = MajoranaSum::uniform_singles(1).scaled(0.0);
     }
 
     #[test]

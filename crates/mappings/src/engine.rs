@@ -47,12 +47,31 @@
 //! N≈100 regime. [`TermEngine::weight_of_triple_memo`] is the memoized
 //! entry point; the allocation-free one-pass kernel stays available as
 //! [`TermEngine::weight_of_triple`].
+//!
+//! ## Threading
+//!
+//! A `TermEngine` is plain owned data (bitsets, popcounts, the memo
+//! tables), so it is `Send` — asserted below — and the parallel beam
+//! search in `hatt-core` relies on that: every surviving beam state owns
+//! its engine, and per-step candidate scans run on scoped worker threads
+//! with exclusive `&mut` access. Nothing in the engine is shared between
+//! threads; cross-thread determinism is inherited from the engine being
+//! a pure function of its construction and mutation history.
 
 use hatt_fermion::MajoranaSum;
 use hatt_pauli::Bits;
 
 use crate::policy::TripleCounts;
 use crate::tree::NodeId;
+
+// The parallel construction engine moves owned engines and trees across
+// scoped worker threads (see the module docs' Threading section).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TermEngine>();
+    assert_send_sync::<crate::tree::TernaryTree>();
+    assert_send_sync::<crate::tree::TreeMapping>();
+};
 
 /// Per-node term-incidence bitsets for a Majorana Hamiltonian being
 /// compiled onto a ternary tree.

@@ -59,7 +59,9 @@ pub use fenwick::FenwickTree;
 pub use jw::jordan_wigner;
 pub use mapping::{FermionMapping, TableMapping};
 pub use parity::parity;
-pub use policy::{Blend, ParsePolicyError, SelectionPolicy, TripleCounts, TripleScore};
+pub use policy::{
+    Blend, ParsePolicyError, PortfolioMember, SelectionPolicy, TripleCounts, TripleScore,
+};
 pub use select::{select_free_triple, FreeSelection};
 pub use tree::{
     balanced_ternary_tree, balanced_tree, build_with_qubit_children, Branch, NodeId, TernaryTree,

@@ -97,6 +97,38 @@ impl SelectionPolicy {
         SelectionPolicy::Restarts
     }
 
+    /// The fixed, ordered member list of the [`SelectionPolicy::Restarts`]
+    /// portfolio: the λ-ladder greedy passes, one `beam:8` pass, and the
+    /// Jordan-Wigner caterpillar replay.
+    ///
+    /// **The order is part of the portfolio's contract.** The winner rule
+    /// is *best final settled weight, earliest member on ties*, so the
+    /// result is a pure function of this array — which is what lets the
+    /// construction engine run the members on separate threads (they are
+    /// fully independent) and still produce output bit-identical to the
+    /// sequential loop: workers fill a slot per member and the reduction
+    /// walks the slots in this order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hatt_mappings::{Blend, PortfolioMember, SelectionPolicy};
+    ///
+    /// let members = SelectionPolicy::restarts_members();
+    /// assert_eq!(members.len(), 5);
+    /// assert_eq!(members[0], PortfolioMember::Greedy(Blend::HALF));
+    /// assert_eq!(members[4], PortfolioMember::JwCaterpillar);
+    /// ```
+    pub fn restarts_members() -> [PortfolioMember; 5] {
+        [
+            PortfolioMember::Greedy(Blend::HALF),
+            PortfolioMember::Greedy(Blend::UNIT),
+            PortfolioMember::Greedy(Blend::DOUBLE),
+            PortfolioMember::Beam { width: 8 },
+            PortfolioMember::JwCaterpillar,
+        ]
+    }
+
     /// Short display label for tables and perf artifacts.
     pub fn label(self) -> String {
         self.to_string()
@@ -121,6 +153,34 @@ impl fmt::Display for SelectionPolicy {
             SelectionPolicy::Lookahead { width } => write!(f, "lookahead:{width}"),
             SelectionPolicy::Beam { width } => write!(f, "beam:{width}"),
             SelectionPolicy::Restarts => write!(f, "restarts"),
+        }
+    }
+}
+
+/// One member of the [`SelectionPolicy::Restarts`] portfolio — a whole
+/// independent construction, suitable for running on its own thread (see
+/// [`SelectionPolicy::restarts_members`] for the order contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortfolioMember {
+    /// One greedy pass under the given amortized blend.
+    Greedy(Blend),
+    /// One beam-search pass at `λ = 1`.
+    Beam {
+        /// Number of partial constructions kept per step.
+        width: usize,
+    },
+    /// Replay of the Jordan-Wigner caterpillar merge sequence (the
+    /// member that guarantees HATT never loses to Jordan-Wigner).
+    JwCaterpillar,
+}
+
+impl fmt::Display for PortfolioMember {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortfolioMember::Greedy(Blend { num, den: 1 }) => write!(f, "greedy(λ={num})"),
+            PortfolioMember::Greedy(Blend { num, den }) => write!(f, "greedy(λ={num}/{den})"),
+            PortfolioMember::Beam { width } => write!(f, "beam:{width}"),
+            PortfolioMember::JwCaterpillar => write!(f, "jw-caterpillar"),
         }
     }
 }
@@ -365,5 +425,34 @@ mod tests {
     #[test]
     fn quality_policy_is_the_portfolio() {
         assert_eq!(SelectionPolicy::quality(), SelectionPolicy::Restarts);
+    }
+
+    #[test]
+    fn portfolio_members_are_fixed_and_ordered() {
+        // The member list and its order are golden-pinned: the winner
+        // rule ties-breaks by member index, so any change here changes
+        // table results (see tests/golden.rs).
+        let members = SelectionPolicy::restarts_members();
+        assert_eq!(
+            members,
+            [
+                PortfolioMember::Greedy(Blend::HALF),
+                PortfolioMember::Greedy(Blend::UNIT),
+                PortfolioMember::Greedy(Blend::DOUBLE),
+                PortfolioMember::Beam { width: 8 },
+                PortfolioMember::JwCaterpillar,
+            ]
+        );
+        let labels: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+        assert_eq!(
+            labels,
+            [
+                "greedy(λ=1/2)",
+                "greedy(λ=1)",
+                "greedy(λ=2)",
+                "beam:8",
+                "jw-caterpillar"
+            ]
+        );
     }
 }

@@ -47,3 +47,20 @@ pub use complex::Complex64;
 pub use op::{Pauli, Phase};
 pub use string::{ParsePauliStringError, PauliString};
 pub use sum::{PauliSum, COEFF_EPS};
+
+// The parallel construction engine (`hatt-core::map_many`, the threaded
+// `restarts` portfolio) shares Hamiltonians across `std::thread::scope`
+// workers and moves built mappings back to the caller, so every algebra
+// type must stay `Send + Sync` (plain owned data — no `Rc`, `RefCell`,
+// or raw pointers). Asserted at compile time so a refactor that breaks
+// thread-safety fails here, next to the types, rather than deep inside
+// the engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Bits>();
+    assert_send_sync::<Complex64>();
+    assert_send_sync::<Pauli>();
+    assert_send_sync::<Phase>();
+    assert_send_sync::<PauliString>();
+    assert_send_sync::<PauliSum>();
+};

@@ -1,0 +1,267 @@
+//! Hand-rolled scoped-thread fan-out — the std-only stand-in for a
+//! rayon-style thread pool used by the HATT parallel construction
+//! engine (the container has no crates-io access, so `rayon` itself is
+//! out of reach; like `vendor/{rand,proptest,criterion}` this crate
+//! covers exactly the subset the workspace needs).
+//!
+//! The model is deliberately tiny: every call is one fork/join over
+//! [`std::thread::scope`]. Workers pull item indices from a shared
+//! queue, each worker accumulates `(index, result)` pairs locally, and
+//! the caller reassembles results **in input order** — so the output of
+//! [`par_map`] is bit-identical to the sequential `iter().map()`
+//! whatever the thread interleaving, which is what the determinism
+//! harness (`tests/parallel_determinism.rs`) pins.
+//!
+//! The worker count comes from [`max_threads`]: the `HATT_THREADS`
+//! environment variable when it parses to a positive integer, otherwise
+//! [`std::thread::available_parallelism`]. A resolved count of 1 (or a
+//! single-item input) short-circuits to a plain sequential loop on the
+//! calling thread — no threads are spawned, so `HATT_THREADS=1` really
+//! is the sequential engine, not a one-worker pool.
+//!
+//! A panic inside a worker is re-raised on the caller via
+//! [`std::panic::resume_unwind`] after the scope joins, matching the
+//! sequential behaviour closely enough for `#[should_panic]` tests.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = parallel::par_map_with(4, &[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Results always come back in input order, not completion order.
+//! let labelled = parallel::par_map_indexed_with(2, &["a", "b"], |i, s| format!("{i}:{s}"));
+//! assert_eq!(labelled, vec!["0:a", "1:b"]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::panic::resume_unwind;
+use std::sync::Mutex;
+use std::thread;
+
+/// Hardware parallelism of the host (at least 1); the fallback worker
+/// count when `HATT_THREADS` is unset.
+pub fn available_workers() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses a `HATT_THREADS`-style override: a positive integer wins,
+/// anything else (unset, empty, `0`, `auto`, garbage) falls back to the
+/// hardware count. Split out so the policy is unit-testable without
+/// mutating process environment.
+pub fn threads_from_override(raw: Option<&str>, fallback: usize) -> usize {
+    match raw.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => fallback.max(1),
+    }
+}
+
+/// The worker count every `par_*` entry point defaults to:
+/// `HATT_THREADS` when set to a positive integer, else
+/// [`available_workers`]. Read on every call (cheap), so tests and
+/// harnesses may flip the variable between constructions.
+pub fn max_threads() -> usize {
+    threads_from_override(
+        std::env::var("HATT_THREADS").ok().as_deref(),
+        available_workers(),
+    )
+}
+
+/// Maps `f` over `items` on up to [`max_threads`] scoped workers,
+/// returning results in input order.
+pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    par_map_with(max_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker cap (a cap of 1 runs inline on
+/// the calling thread).
+pub fn par_map_with<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    workers: usize,
+    items: &[T],
+    f: F,
+) -> Vec<R> {
+    par_map_indexed_with(workers, items, |_, item| f(item))
+}
+
+/// Maps `f(index, &item)` over `items` on up to [`max_threads`] scoped
+/// workers, returning results in input order.
+pub fn par_map_indexed<T: Sync, R: Send, F: Fn(usize, &T) -> R + Sync>(
+    items: &[T],
+    f: F,
+) -> Vec<R> {
+    par_map_indexed_with(max_threads(), items, f)
+}
+
+/// [`par_map_indexed`] with an explicit worker cap.
+pub fn par_map_indexed_with<T: Sync, R: Send, F: Fn(usize, &T) -> R + Sync>(
+    workers: usize,
+    items: &[T],
+    f: F,
+) -> Vec<R> {
+    let n = items.len();
+    if effective_workers(workers, n) <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let queue = Mutex::new(items.iter().enumerate());
+    fan_out(effective_workers(workers, n), n, &queue, &f)
+}
+
+/// Like [`par_map_indexed_with`] but hands each worker *exclusive
+/// mutable* access to its item — the shape the beam search needs, where
+/// every surviving beam state owns a `TermEngine` whose memo tables the
+/// candidate scan mutates.
+pub fn par_map_mut_with<T: Send, R: Send, F: Fn(usize, &mut T) -> R + Sync>(
+    workers: usize,
+    items: &mut [T],
+    f: F,
+) -> Vec<R> {
+    let n = items.len();
+    if effective_workers(workers, n) <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // `IterMut` yields `&'a mut T` borrowed from the slice (not from the
+    // mutex guard), so handing items out through a locked iterator is a
+    // safe, std-only work queue with exclusive element access.
+    let queue = Mutex::new(items.iter_mut().enumerate());
+    fan_out(effective_workers(workers, n), n, &queue, &|i, t: &mut T| {
+        f(i, t)
+    })
+}
+
+fn effective_workers(requested: usize, items: usize) -> usize {
+    requested.min(items).max(1)
+}
+
+/// The shared fork/join core: `workers` scoped threads drain `queue`,
+/// stash `(index, result)` pairs locally, and the caller reassembles
+/// them by index. Worker panics are re-raised after the scope joins.
+fn fan_out<I, T, R, F>(workers: usize, n: usize, queue: &Mutex<I>, f: &F) -> Vec<R>
+where
+    I: Iterator<Item = (usize, T)> + Send,
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let chunks = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // Take the next item while holding the lock only
+                        // for the pop, never during `f`.
+                        let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                        match next {
+                            Some((i, item)) => out.push((i, f(i, item))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut chunks = Vec::with_capacity(workers);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(chunk) => chunks.push(chunk),
+                Err(e) => panic = Some(e),
+            }
+        }
+        if let Some(e) = panic {
+            resume_unwind(e);
+        }
+        chunks
+    });
+    for (i, r) in chunks.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 4, 8, 200] {
+            let got = par_map_with(workers, &items, |x| x * 3 + 1);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn indexed_variant_sees_true_indices() {
+        let items = ["x", "y", "z"];
+        let got = par_map_indexed_with(3, &items, |i, s| (i, s.to_string()));
+        assert_eq!(got, vec![(0, "x".into()), (1, "y".into()), (2, "z".into())]);
+    }
+
+    #[test]
+    fn mut_variant_mutates_every_item_exactly_once() {
+        let mut items: Vec<u64> = vec![0; 64];
+        let visits = AtomicUsize::new(0);
+        let got = par_map_mut_with(4, &mut items, |i, slot| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            *slot += i as u64;
+            *slot
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 64);
+        assert_eq!(got, (0..64).collect::<Vec<u64>>());
+        assert_eq!(items, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline_without_spawning() {
+        let caller = std::thread::current().id();
+        let ids = par_map_with(1, &[(); 5], |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map_with(8, &empty, |x| *x).is_empty());
+        assert_eq!(par_map_with(8, &[7u8], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn override_parsing_policy() {
+        assert_eq!(threads_from_override(Some("4"), 8), 4);
+        assert_eq!(threads_from_override(Some(" 2 "), 8), 2);
+        assert_eq!(threads_from_override(Some("1"), 8), 1);
+        // Everything non-positive or non-numeric falls back.
+        assert_eq!(threads_from_override(Some("0"), 8), 8);
+        assert_eq!(threads_from_override(Some("auto"), 8), 8);
+        assert_eq!(threads_from_override(Some(""), 8), 8);
+        assert_eq!(threads_from_override(None, 8), 8);
+        // The fallback itself is clamped to at least one worker.
+        assert_eq!(threads_from_override(None, 0), 1);
+        assert!(max_threads() >= 1);
+        assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(4, &(0..16).collect::<Vec<_>>(), |&x| {
+                if x == 11 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "the worker panic must reach the caller");
+    }
+}
