@@ -8,11 +8,19 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hatt_circuit::{optimize, trotter_circuit, TermOrder};
-use hatt_core::{hatt_with, HattOptions, Variant};
+use hatt_core::{HattOptions, Mapper, Variant};
 use hatt_fermion::models::{FermiHubbard, NeutrinoModel};
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::FermionMapping;
 use hatt_sim::qwc_groups;
+
+/// One cold construction through the `Mapper` handle (fresh, uncached —
+/// benches must never hit a warm cache).
+fn hatt_with(h: &hatt_fermion::MajoranaSum, opts: &HattOptions) -> hatt_core::HattMapping {
+    Mapper::with_options(*opts)
+        .map(h)
+        .expect("bench Hamiltonians are non-empty")
+}
 
 fn bench_weight_kernel(c: &mut Criterion) {
     // The engine ablation: identical output, different inner loop.

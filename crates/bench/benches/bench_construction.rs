@@ -3,10 +3,18 @@
 //! baselines and the exhaustive search at its small-N limit.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hatt_core::{hatt_with, HattOptions, Variant};
+use hatt_core::{HattOptions, Mapper, Variant};
 use hatt_fermion::models::FermiHubbard;
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner};
+
+/// One cold construction through the `Mapper` handle (fresh, uncached —
+/// benches must never hit a warm cache).
+fn hatt_with(h: &hatt_fermion::MajoranaSum, opts: &HattOptions) -> hatt_core::HattMapping {
+    Mapper::with_options(*opts)
+        .map(h)
+        .expect("bench Hamiltonians are non-empty")
+}
 
 fn bench_variants_on_uniform(c: &mut Criterion) {
     for n in [8usize, 16, 32] {

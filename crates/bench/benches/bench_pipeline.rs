@@ -7,7 +7,7 @@ use hatt_circuit::{
     optimize, route_sabre, rustiq_trotter, trotter_circuit, CouplingMap, RouterOptions,
     RustiqOptions, TermOrder,
 };
-use hatt_core::hatt;
+use hatt_core::Mapper;
 use hatt_fermion::models::FermiHubbard;
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::FermionMapping;
@@ -15,7 +15,7 @@ use hatt_mappings::FermionMapping;
 fn workload() -> (MajoranaSum, hatt_pauli::PauliSum) {
     let mut h = MajoranaSum::from_fermion(&FermiHubbard::new(2, 3).hamiltonian());
     let _ = h.take_identity();
-    let mapping = hatt(&h);
+    let mapping = Mapper::new().map(&h).expect("bench Hamiltonian");
     let hq = mapping.map_majorana_sum(&h);
     (h, hq)
 }

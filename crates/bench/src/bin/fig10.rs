@@ -10,7 +10,7 @@
 use hatt_bench::preprocess_keep_constant;
 use hatt_bench::MappingRoster;
 use hatt_circuit::{optimize, trotter_circuit, TermOrder};
-use hatt_core::{hatt_with, HattOptions};
+
 use hatt_fermion::models::molecule_catalog;
 use hatt_mappings::{
     balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner, FermionMapping,
@@ -49,12 +49,11 @@ fn main() {
                 v.push(Box::new(exhaustive_optimal(&h).0));
             }
             v.push(Box::new(
-                hatt_with(
-                    &h,
-                    &HattOptions::with_policy(MappingRoster::from_env().hatt_policy),
-                )
-                .as_tree_mapping()
-                .clone(),
+                hatt_bench::cold_mapper(MappingRoster::from_env().hatt_policy)
+                    .map(&h)
+                    .expect("benchmark Hamiltonians are non-empty")
+                    .as_tree_mapping()
+                    .clone(),
             ));
             v
         };

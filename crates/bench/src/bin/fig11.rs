@@ -9,7 +9,7 @@
 use hatt_bench::preprocess_keep_constant;
 use hatt_bench::MappingRoster;
 use hatt_circuit::{optimize, trotter_circuit, TermOrder};
-use hatt_core::{hatt_with, HattOptions};
+
 use hatt_fermion::models::MolecularIntegrals;
 use hatt_mappings::{
     balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner, FermionMapping,
@@ -32,12 +32,11 @@ fn main() {
         Box::new(balanced_ternary_tree(n)),
         Box::new(exhaustive_optimal(&h).0),
         Box::new(
-            hatt_with(
-                &h,
-                &HattOptions::with_policy(MappingRoster::from_env().hatt_policy),
-            )
-            .as_tree_mapping()
-            .clone(),
+            hatt_bench::cold_mapper(MappingRoster::from_env().hatt_policy)
+                .map(&h)
+                .expect("benchmark Hamiltonians are non-empty")
+                .as_tree_mapping()
+                .clone(),
         ),
     ];
 

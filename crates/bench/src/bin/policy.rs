@@ -11,7 +11,6 @@
 use std::time::Instant;
 
 use hatt_bench::preprocess;
-use hatt_core::{hatt_with, HattOptions};
 use hatt_fermion::models::{molecule_catalog, neutrino_catalog, FermiHubbard};
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{
@@ -77,8 +76,11 @@ fn main() {
         let w_btt = balanced_ternary_tree(n).map_majorana_sum(&h).weight();
         print!("{name:<18} {n:>5} {w_jw:>8} {w_btt:>8} |");
         for &policy in &policies {
+            let mapper = hatt_bench::cold_mapper(policy);
             let t0 = Instant::now();
-            let m = hatt_with(&h, &HattOptions::with_policy(policy));
+            let m = mapper
+                .map(&h)
+                .expect("benchmark Hamiltonians are non-empty");
             let dt = t0.elapsed().as_secs_f64() * 1e3;
             let w = m.map_majorana_sum(&h).weight();
             let marker = if w > w_jw { "!" } else { " " };

@@ -7,7 +7,7 @@
 use hatt_bench::MappingRoster;
 use hatt_bench::{preprocess, reduction_pct};
 use hatt_circuit::{optimize, rustiq_trotter, RustiqOptions};
-use hatt_core::{hatt_with, HattOptions};
+
 use hatt_fermion::models::molecule_catalog;
 use hatt_mappings::{jordan_wigner, FermionMapping};
 
@@ -31,12 +31,11 @@ fn main() {
         for mapping in [
             Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,
             Box::new(
-                hatt_with(
-                    &h,
-                    &HattOptions::with_policy(MappingRoster::from_env().hatt_policy),
-                )
-                .as_tree_mapping()
-                .clone(),
+                hatt_bench::cold_mapper(MappingRoster::from_env().hatt_policy)
+                    .map(&h)
+                    .expect("benchmark Hamiltonians are non-empty")
+                    .as_tree_mapping()
+                    .clone(),
             ),
         ] {
             let hq = mapping.map_majorana_sum(&h);

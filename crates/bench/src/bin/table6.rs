@@ -5,20 +5,19 @@
 //! `cargo run --release -p hatt-bench --bin table6`
 
 use hatt_bench::preprocess;
-use hatt_core::{hatt_with, HattOptions, Variant};
+use hatt_core::{Mapper, Variant};
 use hatt_fermion::models::{hubbard_catalog, molecule_catalog, neutrino_catalog};
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::FermionMapping;
 
 fn weight_of(h: &MajoranaSum, variant: Variant) -> usize {
-    let m = hatt_with(
-        h,
-        &HattOptions {
-            variant,
-            naive_weight: false,
-            ..Default::default()
-        },
-    );
+    let m = Mapper::builder()
+        .variant(variant)
+        .cache_capacity(0)
+        .build()
+        .expect("static mapper configuration")
+        .map(h)
+        .expect("benchmark Hamiltonians are non-empty");
     let mut hq = m.map_majorana_sum(h);
     let _ = hq.take_identity();
     hq.weight()

@@ -25,7 +25,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use hatt_core::{hatt_with, map_many_cached, HattOptions, MappingCache};
+use hatt_core::Mapper;
 use hatt_fermion::models::NeutrinoModel;
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::SelectionPolicy;
@@ -103,28 +103,33 @@ fn main() -> ExitCode {
     println!("   structures: {}", labels.join(", "));
 
     let policy = SelectionPolicy::Restarts;
-    let seq_opts = HattOptions {
-        policy,
-        threads: Some(1),
-        ..Default::default()
-    };
+    // Sequential baseline: uncached handle, 1 worker, cold every time.
+    let seq_mapper = Mapper::builder()
+        .policy(policy)
+        .threads(1)
+        .cache_capacity(0)
+        .build()
+        .expect("static mapper configuration");
     let t0 = Instant::now();
-    let seq_maps: Vec<_> = batch.iter().map(|h| hatt_with(h, &seq_opts)).collect();
+    let seq_maps: Vec<_> = batch
+        .iter()
+        .map(|h| seq_mapper.map(h).expect("sweep Hamiltonians are non-empty"))
+        .collect();
     let seq_s = t0.elapsed().as_secs_f64();
 
-    let batched_opts = HattOptions {
-        policy,
-        threads: Some(workers),
-        ..Default::default()
-    };
-    let cache = MappingCache::new();
+    // Batched handle: threads + the structure cache (the service shape).
+    let batched = Mapper::builder()
+        .policy(policy)
+        .threads(workers)
+        .build()
+        .expect("static mapper configuration");
     let t0 = Instant::now();
-    let cold_maps = map_many_cached(&batch, &batched_opts, &cache);
+    let cold_maps = batched.map_batch(&batch).expect("sweep batch maps");
     let cold_s = t0.elapsed().as_secs_f64();
-    let (cold_hits, cold_misses) = (cache.hits(), cache.misses());
+    let (cold_hits, cold_misses) = (batched.cache().hits(), batched.cache().misses());
 
     let t0 = Instant::now();
-    let warm_maps = map_many_cached(&batch, &batched_opts, &cache);
+    let warm_maps = batched.map_batch(&batch).expect("sweep batch maps");
     let warm_s = t0.elapsed().as_secs_f64();
 
     // Throughput must never buy different results.
@@ -158,8 +163,8 @@ fn main() -> ExitCode {
     );
     println!(
         "  cache: {} entries after {} lookups",
-        cache.len(),
-        cache.hits() + cache.misses(),
+        batched.cache().len(),
+        batched.cache().hits() + batched.cache().misses(),
     );
     ExitCode::SUCCESS
 }

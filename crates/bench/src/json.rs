@@ -1,176 +1,7 @@
-//! A minimal JSON value/writer, enough for the perf harness to emit
-//! `BENCH_perf.json` without a serde dependency (the container vendors
-//! no registry crates). Strings are escaped per RFC 8259; non-finite
-//! floats render as `null` so the output always parses.
+//! JSON writer/parser re-export. The implementation moved to
+//! [`hatt_pauli::json`] so the `hatt-wire/1` codecs (which live below
+//! this crate in the dependency graph) can share it; this alias keeps
+//! the historical `hatt_bench::json::Json` path working for the perf
+//! harness and external scripts.
 
-use std::fmt::Write as _;
-
-/// A JSON value tree.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A floating-point number (`NaN`/`±∞` render as `null`).
-    Num(f64),
-    /// An integer, rendered without a decimal point.
-    Int(i64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An ordered array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience string constructor.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Convenience integer constructor from any unsigned count.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the value exceeds `i64::MAX` (no such counter exists
-    /// in this workspace).
-    pub fn int(v: u64) -> Json {
-        Json::Int(i64::try_from(v).expect("count fits i64"))
-    }
-
-    /// Renders the value as compact JSON.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    /// Renders the value as pretty-printed JSON (two-space indent).
-    pub fn render_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 1);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        // depth == 0 means compact mode; otherwise depth counts the
-        // current indentation level (starting at 1 for the root).
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(x) => {
-                if x.is_finite() {
-                    let _ = write!(out, "{x}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Int(v) => {
-                let _ = write!(out, "{v}");
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                write_seq(out, depth, '[', ']', items.len(), |out, i, d| {
-                    items[i].write(out, d);
-                });
-            }
-            Json::Obj(pairs) => {
-                write_seq(out, depth, '{', '}', pairs.len(), |out, i, d| {
-                    write_escaped(out, &pairs[i].0);
-                    out.push(':');
-                    if depth > 0 {
-                        out.push(' ');
-                    }
-                    pairs[i].1.write(out, d);
-                });
-            }
-        }
-    }
-}
-
-fn write_seq(
-    out: &mut String,
-    depth: usize,
-    open: char,
-    close: char,
-    len: usize,
-    mut item: impl FnMut(&mut String, usize, usize),
-) {
-    out.push(open);
-    for i in 0..len {
-        if i > 0 {
-            out.push(',');
-        }
-        if depth > 0 {
-            out.push('\n');
-            out.push_str(&"  ".repeat(depth));
-        }
-        item(out, i, if depth > 0 { depth + 1 } else { 0 });
-    }
-    if depth > 0 && len > 0 {
-        out.push('\n');
-        out.push_str(&"  ".repeat(depth - 1));
-    }
-    out.push(close);
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_render() {
-        assert_eq!(Json::Null.render(), "null");
-        assert_eq!(Json::Bool(true).render(), "true");
-        assert_eq!(Json::Int(-3).render(), "-3");
-        assert_eq!(Json::int(42).render(), "42");
-        assert_eq!(Json::Num(2.5).render(), "2.5");
-        assert_eq!(Json::Num(f64::NAN).render(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        assert_eq!(
-            Json::str("a\"b\\c\nd\u{1}").render(),
-            "\"a\\\"b\\\\c\\nd\\u0001\""
-        );
-    }
-
-    #[test]
-    fn compound_values_render_compact() {
-        let v = Json::Obj(vec![
-            ("xs".into(), Json::Arr(vec![Json::Int(1), Json::Int(2)])),
-            ("name".into(), Json::str("hatt")),
-        ]);
-        assert_eq!(v.render(), r#"{"xs":[1,2],"name":"hatt"}"#);
-    }
-
-    #[test]
-    fn pretty_rendering_is_indented_and_ends_with_newline() {
-        let v = Json::Obj(vec![("a".into(), Json::Arr(vec![Json::Int(1)]))]);
-        assert_eq!(v.render_pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
-        assert_eq!(Json::Arr(vec![]).render_pretty(), "[]\n");
-    }
-}
+pub use hatt_pauli::json::{Json, JsonParseError, MAX_DEPTH};

@@ -20,7 +20,7 @@ pub mod perf;
 use std::time::Instant;
 
 use hatt_circuit::{optimize, trotter_circuit, CircuitMetrics, TermOrder};
-use hatt_core::{hatt_with, HattOptions, Variant};
+use hatt_core::Mapper;
 use hatt_fermion::{FermionOperator, MajoranaSum};
 use hatt_mappings::{
     anneal_search, balanced_ternary_tree, bravyi_kitaev, exhaustive_optimal, jordan_wigner,
@@ -68,6 +68,18 @@ impl MappingRoster {
         }
         roster
     }
+}
+
+/// An uncached [`Mapper`] under the given policy — cold constructions
+/// only, which is what every table/figure binary and timing loop in
+/// this harness must measure. (A warm structure cache would silently
+/// turn repeat constructions into replays.)
+pub fn cold_mapper(policy: SelectionPolicy) -> Mapper {
+    Mapper::builder()
+        .policy(policy)
+        .cache_capacity(0)
+        .build()
+        .expect("static mapper configuration")
 }
 
 /// One evaluated (case, mapping) cell: the paper's three metrics.
@@ -143,16 +155,9 @@ pub fn evaluate_case(h: &MajoranaSum, roster: &MappingRoster) -> Vec<EvalCell> {
         }
     }
 
+    let mapper = cold_mapper(roster.hatt_policy);
     let t0 = Instant::now();
-    let hatt = hatt_with(
-        h,
-        &HattOptions {
-            variant: Variant::Cached,
-            naive_weight: false,
-            policy: roster.hatt_policy,
-            ..Default::default()
-        },
-    );
+    let hatt = mapper.map(h).expect("benchmark Hamiltonians are non-empty");
     cells.push(evaluate_mapping(&hatt, h, t0.elapsed().as_secs_f64()));
     cells
 }

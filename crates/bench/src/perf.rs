@@ -14,7 +14,7 @@
 use std::time::Instant;
 
 use criterion::{summarize, Stats};
-use hatt_core::{hatt_with, map_many_cached, HattMapping, HattOptions, MappingCache, Variant};
+use hatt_core::{HattMapping, Mapper, Variant};
 use hatt_fermion::models::{molecule_catalog, FermiHubbard, NeutrinoModel};
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{jordan_wigner, FermionMapping, SelectionPolicy};
@@ -107,17 +107,21 @@ pub fn variant_key(variant: Variant) -> &'static str {
     }
 }
 
+/// A mapper with caching disabled — every call is a cold construction,
+/// which is what a timing harness must measure.
+fn uncached_mapper(
+    configure: impl FnOnce(hatt_core::MapperBuilder) -> hatt_core::MapperBuilder,
+) -> Mapper {
+    configure(Mapper::builder().cache_capacity(0))
+        .build()
+        .expect("static mapper configuration")
+}
+
 /// Runs one timed construction, returning `(seconds, mapping)`.
 pub fn time_construction(h: &MajoranaSum, variant: Variant) -> (f64, HattMapping) {
+    let mapper = uncached_mapper(|b| b.variant(variant));
     let t0 = Instant::now();
-    let m = hatt_with(
-        h,
-        &HattOptions {
-            variant,
-            naive_weight: false,
-            ..Default::default()
-        },
-    );
+    let m = mapper.map(h).expect("sweep Hamiltonians are non-empty");
     let dt = t0.elapsed().as_secs_f64();
     (dt, m)
 }
@@ -213,8 +217,9 @@ pub fn policy_tradeoff(smoke: bool) -> Vec<PolicyPoint> {
         let n = h.n_modes();
         let jw_weight = jordan_wigner(n).map_majorana_sum(h).weight();
         for policy in policy_ladder() {
+            let mapper = uncached_mapper(|b| b.policy(policy));
             let t0 = Instant::now();
-            let m = hatt_with(h, &HattOptions::with_policy(policy));
+            let m = mapper.map(h).expect("policy cases are non-empty");
             let seconds = t0.elapsed().as_secs_f64();
             points.push(PolicyPoint {
                 case: case.clone(),
@@ -258,7 +263,7 @@ impl ParallelCase {
 /// The batched-sweep study: `batch_size` Hamiltonians spanning
 /// `distinct_structures` term structures (a coefficient sweep, the
 /// service workload), mapped one-by-one sequentially vs through
-/// [`map_many_cached`] — so the speedup combines thread fan-out *and*
+/// `Mapper::map_batch` — so the speedup combines thread fan-out *and*
 /// structure-cache hits.
 #[derive(Debug, Clone)]
 pub struct BatchStudy {
@@ -371,15 +376,11 @@ pub fn parallel_roster(smoke: bool) -> Vec<(String, MajoranaSum)> {
 /// Best-of-`samples` wall time of one restarts construction at the
 /// given worker cap.
 fn time_restarts(h: &MajoranaSum, workers: usize, samples: usize) -> f64 {
-    let opts = HattOptions {
-        policy: SelectionPolicy::Restarts,
-        threads: Some(workers),
-        ..Default::default()
-    };
+    let mapper = uncached_mapper(|b| b.policy(SelectionPolicy::Restarts).threads(workers));
     (0..samples.max(1))
         .map(|_| {
             let t0 = Instant::now();
-            let m = hatt_with(h, &opts);
+            let m = mapper.map(h).expect("roster cases are non-empty");
             let dt = t0.elapsed().as_secs_f64();
             std::hint::black_box(m.stats().total_weight());
             dt
@@ -416,28 +417,22 @@ pub fn parallel_study(smoke: bool) -> ParallelReport {
             batch.push(base.scaled(1.0 + 0.125 * r as f64));
         }
     }
-    let opts = HattOptions {
-        policy: SelectionPolicy::Restarts,
-        ..Default::default()
-    };
     let seq_s = {
-        let solo = HattOptions {
-            threads: Some(1),
-            ..opts
-        };
+        let solo = uncached_mapper(|b| b.policy(SelectionPolicy::Restarts).threads(1));
         let t0 = Instant::now();
         for h in &batch {
-            std::hint::black_box(hatt_with(h, &solo).stats().total_weight());
+            let m = solo.map(h).expect("sweep Hamiltonians are non-empty");
+            std::hint::black_box(m.stats().total_weight());
         }
         t0.elapsed().as_secs_f64()
     };
-    let cache = MappingCache::new();
-    let batched = HattOptions {
-        threads: Some(workers),
-        ..opts
-    };
+    let batched = Mapper::builder()
+        .policy(SelectionPolicy::Restarts)
+        .threads(workers)
+        .build()
+        .expect("static mapper configuration");
     let t0 = Instant::now();
-    let maps = map_many_cached(&batch, &batched, &cache);
+    let maps = batched.map_batch(&batch).expect("sweep batch maps");
     let threaded_s = t0.elapsed().as_secs_f64();
     std::hint::black_box(maps.len());
 
@@ -450,8 +445,8 @@ pub fn parallel_study(smoke: bool) -> ParallelReport {
             distinct_structures: sizes.len(),
             seq_s,
             threaded_s,
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
+            cache_hits: batched.cache().hits(),
+            cache_misses: batched.cache().misses(),
         },
     }
 }

@@ -56,16 +56,19 @@
 //! JW-structured restart):
 //!
 //! ```
-//! use hatt_core::{hatt_with, HattOptions};
+//! use hatt_core::Mapper;
 //! use hatt_fermion::models::FermiHubbard;
 //! use hatt_fermion::MajoranaSum;
 //! use hatt_mappings::{jordan_wigner, FermionMapping, SelectionPolicy};
 //!
 //! let h = MajoranaSum::from_fermion(&FermiHubbard::new(2, 2).hamiltonian());
-//! let opts = HattOptions::with_policy(SelectionPolicy::quality());
-//! let w_hatt = hatt_with(&h, &opts).map_majorana_sum(&h).weight();
+//! let mapper = Mapper::builder()
+//!     .policy(SelectionPolicy::quality())
+//!     .build()?;
+//! let w_hatt = mapper.map(&h)?.map_majorana_sum(&h).weight();
 //! let w_jw = jordan_wigner(8).map_majorana_sum(&h).weight();
 //! assert!(w_hatt <= w_jw);
+//! # Ok::<(), hatt_core::HattError>(())
 //! ```
 
 use std::time::Instant;
@@ -77,6 +80,7 @@ use hatt_mappings::{
 };
 use hatt_pauli::{PauliString, PauliSum};
 
+use crate::error::HattError;
 use crate::stats::{ConstructionStats, IterationStats};
 
 // The threaded portfolio and `map_many` move these across scoped worker
@@ -107,6 +111,26 @@ impl Variant {
             Variant::Unopt => "HATT (unopt)",
             Variant::Paired => "HATT (paired, uncached)",
             Variant::Cached => "HATT",
+        }
+    }
+
+    /// Short machine-readable key (`unopt` / `paired` / `cached`) — the
+    /// form the wire format and perf artifacts use.
+    pub fn key(self) -> &'static str {
+        match self {
+            Variant::Unopt => "unopt",
+            Variant::Paired => "paired",
+            Variant::Cached => "cached",
+        }
+    }
+
+    /// Parses a [`Variant::key`] back (`None` for anything else).
+    pub fn from_key(s: &str) -> Option<Variant> {
+        match s {
+            "unopt" => Some(Variant::Unopt),
+            "paired" => Some(Variant::Paired),
+            "cached" => Some(Variant::Cached),
+            _ => None,
         }
     }
 }
@@ -166,7 +190,7 @@ impl HattOptions {
 /// # Examples
 ///
 /// ```
-/// use hatt_core::hatt;
+/// use hatt_core::Mapper;
 /// use hatt_fermion::{FermionOperator, MajoranaSum};
 /// use hatt_mappings::{validate, FermionMapping};
 /// use hatt_pauli::Complex64;
@@ -177,11 +201,12 @@ impl HattOptions {
 /// hf.add_two_body(Complex64::real(2.0), 1, 2, 1, 2);
 /// let h = MajoranaSum::from_fermion(&hf);
 ///
-/// let mapping = hatt(&h);
+/// let mapping = Mapper::new().map(&h)?;
 /// let report = validate(&mapping);
 /// assert!(report.is_valid());
 /// assert!(report.vacuum_preserving);
 /// assert_eq!(mapping.stats().total_weight(), 5); // 1 + 2 + 2, as in §IV-B
+/// # Ok::<(), hatt_core::HattError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct HattMapping {
@@ -191,6 +216,20 @@ pub struct HattMapping {
 }
 
 impl HattMapping {
+    /// Reassembles a mapping from its parts — the wire decoder's
+    /// constructor (`crate::wire`).
+    pub(crate) fn from_parts(
+        mapping: TreeMapping,
+        stats: ConstructionStats,
+        options: HattOptions,
+    ) -> Self {
+        HattMapping {
+            mapping,
+            stats,
+            options,
+        }
+    }
+
     /// The underlying ternary tree.
     pub fn tree(&self) -> &TernaryTree {
         self.mapping.tree()
@@ -228,26 +267,49 @@ impl FermionMapping for HattMapping {
 
 /// Compiles a HATT mapping with default options (Algorithm 3).
 ///
-/// # Panics
-///
-/// Panics when the Hamiltonian has zero modes.
+/// Deprecated shim kept so pre-`Mapper` code compiles unchanged; it
+/// panics on zero-mode input exactly as it always did.
+#[deprecated(note = "use `Mapper::new().map(&h)` and handle the `HattError` instead")]
 pub fn hatt(h: &MajoranaSum) -> HattMapping {
-    hatt_with(h, &HattOptions::default())
+    expect_mapping(hatt_with_impl(h, &HattOptions::default()))
 }
 
 /// Compiles a HATT mapping directly from a second-quantized operator.
+///
+/// Deprecated shim; see [`crate::Mapper::map_fermion`].
+#[deprecated(note = "use `Mapper::new().map_fermion(&op)` instead")]
 pub fn hatt_for_fermion(op: &FermionOperator) -> HattMapping {
-    hatt(&MajoranaSum::from_fermion(op))
+    expect_mapping(hatt_with_impl(
+        &MajoranaSum::from_fermion(op),
+        &HattOptions::default(),
+    ))
 }
 
 /// Compiles a HATT mapping with explicit options.
 ///
-/// # Panics
-///
-/// Panics when the Hamiltonian has zero modes.
+/// Deprecated shim kept so pre-`Mapper` code compiles unchanged; it
+/// panics on zero-mode input exactly as it always did.
+#[deprecated(note = "use `Mapper::with_options(opts).map(&h)` instead")]
 pub fn hatt_with(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
-    let n = h.n_modes();
-    assert!(n > 0, "need at least one mode");
+    expect_mapping(hatt_with_impl(h, options))
+}
+
+/// Unwraps a construction result with the historic panic wording — the
+/// deprecated shims' behaviour contract.
+fn expect_mapping(r: Result<HattMapping, HattError>) -> HattMapping {
+    r.unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The fallible construction entry point behind [`crate::Mapper::map`]
+/// and the deprecated free functions: validates the input, then runs the
+/// selected policy.
+pub(crate) fn hatt_with_impl(
+    h: &MajoranaSum,
+    options: &HattOptions,
+) -> Result<HattMapping, HattError> {
+    if h.n_modes() == 0 {
+        return Err(HattError::EmptyHamiltonian);
+    }
     match options.policy {
         SelectionPolicy::Beam { width } => hatt_beam(h, options, width.max(1), Blend::UNIT),
         SelectionPolicy::Restarts => hatt_restarts(h, options),
@@ -256,7 +318,11 @@ pub fn hatt_with(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
 }
 
 /// One policy-driven greedy/lookahead construction pass under `blend`.
-fn hatt_single(h: &MajoranaSum, options: &HattOptions, blend: Blend) -> HattMapping {
+fn hatt_single(
+    h: &MajoranaSum,
+    options: &HattOptions,
+    blend: Blend,
+) -> Result<HattMapping, HattError> {
     let n = h.n_modes();
     let start = Instant::now();
     let mut engine = TermEngine::new(h);
@@ -297,7 +363,7 @@ fn hatt_single(h: &MajoranaSum, options: &HattOptions, blend: Blend) -> HattMapp
                 next_parent,
                 &mut iter_stats,
                 &mut state,
-            ),
+            )?,
             Variant::Cached => select_paired(
                 &mut engine,
                 None,
@@ -308,7 +374,7 @@ fn hatt_single(h: &MajoranaSum, options: &HattOptions, blend: Blend) -> HattMapp
                 next_parent,
                 &mut iter_stats,
                 &mut state,
-            ),
+            )?,
         };
         let [ox, oy, oz] = selection.children;
         iter_stats.settled_weight = selection.weight;
@@ -329,11 +395,11 @@ fn hatt_single(h: &MajoranaSum, options: &HattOptions, blend: Blend) -> HattMapp
     };
     let tree = builder.finish();
     let mapping = TreeMapping::with_identity_assignment(options.variant.label(), tree);
-    HattMapping {
+    Ok(HattMapping {
         mapping,
         stats,
         options: *options,
-    }
+    })
 }
 
 /// A chosen `[X, Y, Z]` child triple and its settled weight.
@@ -376,7 +442,7 @@ fn select_paired(
     next_parent: NodeId,
     stats: &mut IterationStats,
     state: &mut PairingState,
-) -> Selection {
+) -> Result<Selection, HattError> {
     let width = match options.policy {
         SelectionPolicy::Lookahead { width } => width,
         _ => 0,
@@ -433,7 +499,15 @@ fn select_paired(
             }
         }
     }
-    let (score, children) = best.expect("a valid paired selection always exists for |U| >= 3");
+    // Infallible for every reachable input: `n >= 1` guarantees `|U| >=
+    // 3`, and a node set of three or more current roots always admits a
+    // paired candidate (the one leaf that never pairs, `O_2N`, excludes
+    // at most one `O_X` choice). Kept on the `Result` path anyway so the
+    // invariant can never become a user-facing panic.
+    debug_assert!(best.is_some(), "paired selection must find a candidate");
+    let (score, children) = best.ok_or(HattError::Internal(
+        "paired selection found no candidate although |U| >= 3",
+    ))?;
     let (score, children) = if width > 0 && u.len() > 3 {
         rank_paired_by_lookahead(
             engine,
@@ -449,10 +523,10 @@ fn select_paired(
     } else {
         (score, children)
     };
-    Selection {
+    Ok(Selection {
         children,
         weight: score.weight,
-    }
+    })
 }
 
 /// Re-ranks the shortlisted paired candidates by
@@ -713,7 +787,12 @@ const PAR_BEAM_MIN_FREE_NODES: usize = 16;
 /// scans share nothing); the surviving pool is then merged and ranked on
 /// the calling thread in state order, keeping results bit-identical to
 /// the sequential schedule.
-fn hatt_beam(h: &MajoranaSum, options: &HattOptions, width: usize, blend: Blend) -> HattMapping {
+fn hatt_beam(
+    h: &MajoranaSum,
+    options: &HattOptions,
+    width: usize,
+    blend: Blend,
+) -> Result<HattMapping, HattError> {
     let n = h.n_modes();
     let start = Instant::now();
     let workers = options.workers();
@@ -761,7 +840,13 @@ fn hatt_beam(h: &MajoranaSum, options: &HattOptions, width: usize, blend: Blend)
         }
         pool.sort_unstable_by_key(|&(total, residual, si, rank, _)| (total, residual, si, rank));
         pool.truncate(width);
-        assert!(!pool.is_empty(), "beam must always have a candidate");
+        // Infallible: every surviving state scans the same non-empty
+        // paired candidate space, so the pool can only be empty if the
+        // beam itself is — and it starts with one state.
+        debug_assert!(!pool.is_empty(), "beam must always have a candidate");
+        if pool.is_empty() {
+            return Err(HattError::Internal("beam step produced no candidates"));
+        }
 
         let mut next_states = Vec::with_capacity(pool.len());
         for &(total_key, _residual, si, _rank, (score, children)) in &pool {
@@ -786,7 +871,9 @@ fn hatt_beam(h: &MajoranaSum, options: &HattOptions, width: usize, blend: Blend)
     let best = states
         .into_iter()
         .min_by_key(|st| st.acc_weight)
-        .expect("beam is non-empty");
+        // Infallible: the pool-emptiness guard above keeps ≥ 1 state
+        // alive through every step.
+        .ok_or(HattError::Internal("beam ended with no surviving state"))?;
     for (it, &w) in iterations.iter_mut().zip(&best.step_weights) {
         it.settled_weight = w;
     }
@@ -803,11 +890,11 @@ fn hatt_beam(h: &MajoranaSum, options: &HattOptions, width: usize, blend: Blend)
         memo_misses,
     };
     let mapping = TreeMapping::with_identity_assignment(options.variant.label(), builder.finish());
-    HattMapping {
+    Ok(HattMapping {
         mapping,
         stats,
         options: *options,
-    }
+    })
 }
 
 /// The merge sequence whose tree is the Jordan-Wigner caterpillar
@@ -873,7 +960,7 @@ fn run_portfolio_member(
     h: &MajoranaSum,
     options: &HattOptions,
     member: PortfolioMember,
-) -> HattMapping {
+) -> Result<HattMapping, HattError> {
     match member {
         PortfolioMember::Greedy(blend) => hatt_single(
             h,
@@ -892,7 +979,7 @@ fn run_portfolio_member(
             width,
             Blend::UNIT,
         ),
-        PortfolioMember::JwCaterpillar => hatt_replay(h, options, &jw_sequence(h.n_modes())),
+        PortfolioMember::JwCaterpillar => Ok(hatt_replay(h, options, &jw_sequence(h.n_modes()))),
     }
 }
 
@@ -919,7 +1006,7 @@ fn run_portfolio_member(
 /// for the long beam-only tail that dominates wall time. (The batch
 /// layer is different — concurrent *constructions* are peers there, so
 /// `map_many` does divide the budget; see `crate::batch`.)
-fn hatt_restarts(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
+fn hatt_restarts(h: &MajoranaSum, options: &HattOptions) -> Result<HattMapping, HattError> {
     let start = Instant::now();
     let members = SelectionPolicy::restarts_members();
     let candidates = parallel::par_map_with(options.workers(), &members, |&member| {
@@ -927,6 +1014,7 @@ fn hatt_restarts(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
     });
     let mut best: Option<HattMapping> = None;
     for m in candidates {
+        let m = m?;
         let better = best
             .as_ref()
             .is_none_or(|b| m.stats.total_weight() < b.stats.total_weight());
@@ -934,20 +1022,28 @@ fn hatt_restarts(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
             best = Some(m);
         }
     }
-    let mut best = best.expect("portfolio is non-empty");
+    // Infallible: `restarts_members()` is a non-empty const array.
+    debug_assert!(best.is_some(), "portfolio is non-empty");
+    let mut best = best.ok_or(HattError::Internal("restart portfolio ran no members"))?;
     best.stats.elapsed = start.elapsed();
     best.options = *options;
-    best
+    Ok(best)
 }
 
 /// Convenience: compiles HATT and applies it to the same Hamiltonian,
 /// returning the mapped qubit Hamiltonian alongside the mapping.
+///
+/// Deprecated shim; see [`crate::Mapper::compile`].
+#[deprecated(note = "use `Mapper::new().compile(&h)` instead")]
 pub fn compile(h: &MajoranaSum) -> (HattMapping, PauliSum) {
-    let mapping = hatt(h);
+    let mapping = expect_mapping(hatt_with_impl(h, &HattOptions::default()));
     let hq = mapping.map_majorana_sum(h);
     (mapping, hq)
 }
 
+// The unit tests exercise the deprecated shims on purpose — they are
+// the behaviour contract the shims must keep (including panic wording).
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,10 +38,22 @@
 //! on its slot and replay — the cache never does the same `O(N³)` work
 //! twice, even within one [`map_many`] call.
 //!
+//! ## Eviction
+//!
+//! A cache built with [`MappingCache::with_capacity`] bounds the number
+//! of stored constructions with LRU eviction (probing an entry marks it
+//! used; the least-recently-used *resolved* entry is evicted first —
+//! in-flight constructions are never evicted). The default
+//! [`MappingCache::new`] stays unbounded, preserving the pre-eviction
+//! behaviour; capacity `0` disables caching (and with it the in-flight
+//! dedup) entirely, which the perf harness uses to keep timing loops
+//! honest. Evicting never changes results: a re-probed structure simply
+//! reconstructs, and construction is a pure function of structure.
+//!
 //! # Examples
 //!
 //! ```
-//! use hatt_core::{map_many_cached, HattOptions, MappingCache};
+//! use hatt_core::Mapper;
 //! use hatt_fermion::MajoranaSum;
 //! use hatt_mappings::FermionMapping;
 //! use hatt_pauli::Complex64;
@@ -54,13 +66,14 @@
 //! b.add(Complex64::real(0.25), &[0, 1]);
 //! b.add(Complex64::real(4.0), &[2, 3]);
 //!
-//! let cache = MappingCache::new();
-//! let maps = map_many_cached(&[a, b], &HattOptions::default(), &cache);
+//! let mapper = Mapper::new(); // owns an unbounded MappingCache
+//! let maps = mapper.map_batch(&[a, b])?;
 //! assert_eq!(maps.len(), 2);
 //! // Output order matches input order; same structure → same tree.
 //! assert_eq!(maps[0].tree(), maps[1].tree());
-//! assert_eq!(cache.hits(), 1);
-//! assert_eq!(cache.misses(), 1);
+//! assert_eq!(mapper.cache().hits(), 1);
+//! assert_eq!(mapper.cache().misses(), 1);
+//! # Ok::<(), hatt_core::HattError>(())
 //! ```
 
 use std::collections::HashMap;
@@ -69,7 +82,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{NodeId, TernaryTree};
 
-use crate::algorithm::{hatt_replay, hatt_with, HattMapping, HattOptions};
+use crate::algorithm::{hatt_replay, hatt_with_impl, HattMapping, HattOptions};
+use crate::error::HattError;
 
 /// The canonical structure of a Hamiltonian: mode count plus every
 /// term's support, in the deterministic (sorted) order [`MajoranaSum`]
@@ -216,19 +230,24 @@ impl Slot {
     }
 }
 
-/// One cache entry: the full structure + options (collision guard) and
-/// the shared construction slot.
+/// One cache entry: the full structure + options (collision guard), the
+/// shared construction slot, and the LRU clock stamp of its last probe.
 #[derive(Debug)]
 struct CacheEntry {
     options: HattOptions,
     structure: Structure,
     slot: Arc<Slot>,
+    last_used: u64,
 }
 
 #[derive(Debug, Default)]
 struct CacheInner {
     /// Hash buckets; every probe compares the full structure + options.
     buckets: HashMap<u64, Vec<CacheEntry>>,
+    /// LRU bound: `None` = unbounded, `Some(0)` = caching disabled.
+    capacity: Option<usize>,
+    /// Monotonic probe clock stamping `CacheEntry::last_used`.
+    tick: u64,
     entries: usize,
     hits: u64,
     misses: u64,
@@ -238,18 +257,22 @@ impl CacheInner {
     /// Finds or claims the entry for `(structure, options)`: returns the
     /// slot plus whether the caller just became its owner (and must
     /// construct and fill it). Runs under the cache lock, so exactly one
-    /// prober per structure ever owns.
+    /// prober per structure ever owns. A bounded cache evicts its
+    /// least-recently-used resolved entry when the insert overflows.
     fn probe(
         &mut self,
         hash: u64,
         structure: &Structure,
         options: &HattOptions,
     ) -> (Arc<Slot>, bool) {
+        let tick = self.tick;
+        self.tick += 1;
         let bucket = self.buckets.entry(hash).or_default();
         if let Some(entry) = bucket
-            .iter()
+            .iter_mut()
             .find(|e| e.options == *options && e.structure == *structure)
         {
+            entry.last_used = tick;
             self.hits += 1;
             return (Arc::clone(&entry.slot), false);
         }
@@ -259,9 +282,47 @@ impl CacheInner {
             options: *options,
             structure: structure.clone(),
             slot: Arc::clone(&slot),
+            last_used: tick,
         });
         self.entries += 1;
+        self.evict_to_capacity();
         (slot, true)
+    }
+
+    /// Evicts least-recently-used *resolved* entries until the bound
+    /// holds. Pending entries (a worker is constructing; followers may
+    /// be blocked on the slot) are never evicted, so the cache can
+    /// transiently exceed its bound by the number of in-flight
+    /// constructions.
+    fn evict_to_capacity(&mut self) {
+        let Some(cap) = self.capacity else { return };
+        while self.entries > cap {
+            let mut victim: Option<(u64, u64)> = None; // (last_used, hash)
+            for (&hash, bucket) in &self.buckets {
+                for e in bucket {
+                    if matches!(*e.slot.lock(), SlotState::Pending) {
+                        continue;
+                    }
+                    if victim.is_none_or(|(lu, _)| e.last_used < lu) {
+                        victim = Some((e.last_used, hash));
+                    }
+                }
+            }
+            let Some((lu, hash)) = victim else {
+                break; // everything in flight; nothing evictable yet
+            };
+            if let Some(bucket) = self.buckets.get_mut(&hash) {
+                let before = bucket.len();
+                bucket.retain(|e| e.last_used != lu);
+                self.entries -= before - bucket.len();
+                // Drop emptied buckets too: a bounded cache in a
+                // long-running service must not leak one map key per
+                // structure ever seen.
+                if bucket.is_empty() {
+                    self.buckets.remove(&hash);
+                }
+            }
+        }
     }
 }
 
@@ -285,26 +346,66 @@ impl Drop for FailOnUnwind<'_> {
             let before = bucket.len();
             bucket.retain(|e| !Arc::ptr_eq(&e.slot, self.slot));
             inner.entries -= before - bucket.len();
+            if bucket.is_empty() {
+                inner.buckets.remove(&self.hash);
+            }
         }
     }
 }
 
 /// A thread-safe cache of HATT constructions keyed by Hamiltonian
-/// *structure* (see the [module docs](self)). Share one cache across
-/// [`map_many_cached`] batches to carry warm entries between calls.
+/// *structure* (see the [module docs](self)). A
+/// [`Mapper`](crate::Mapper) owns one; share the mapper across batches
+/// to carry warm entries between calls.
 ///
-/// Entries are never evicted — a production service would bound this,
-/// but the structures of interest (one per model family/size) number in
-/// the dozens, and each entry is just a merge sequence (`24·N` bytes).
+/// [`MappingCache::new`] is unbounded (each entry is just a merge
+/// sequence, `24·N` bytes); [`MappingCache::with_capacity`] bounds the
+/// entry count with LRU eviction — the service configuration.
 #[derive(Debug, Default)]
 pub struct MappingCache {
     inner: Mutex<CacheInner>,
 }
 
 impl MappingCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache bounded to `capacity` entries with LRU eviction.
+    /// `capacity == 0` disables caching (and in-flight dedup) entirely:
+    /// every map is a fresh construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hatt_core::{HattOptions, MappingCache};
+    /// use hatt_fermion::MajoranaSum;
+    ///
+    /// let cache = MappingCache::with_capacity(1);
+    /// let opts = HattOptions::default();
+    /// let a = MajoranaSum::uniform_singles(2);
+    /// let b = MajoranaSum::uniform_singles(3);
+    /// let first = cache.try_get_or_build(&a, &opts)?;
+    /// cache.try_get_or_build(&b, &opts)?; // evicts `a`'s entry
+    /// assert_eq!(cache.len(), 1);
+    /// // Evict-then-recompute is invisible in the results.
+    /// let again = cache.try_get_or_build(&a, &opts)?;
+    /// assert_eq!(again.tree(), first.tree());
+    /// # Ok::<(), hatt_core::HattError>(())
+    /// ```
+    pub fn with_capacity(capacity: usize) -> Self {
+        MappingCache {
+            inner: Mutex::new(CacheInner {
+                capacity: Some(capacity),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// The configured entry bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.lock().capacity
     }
 
     /// Number of cached constructions.
@@ -333,20 +434,30 @@ impl MappingCache {
     /// work); on a miss a full construction runs and fills the entry.
     /// Concurrent probes of the *same* structure dedupe — the first
     /// claims and constructs, the rest block until the sequence is
-    /// ready, then replay. Either way the result is bit-identical to
-    /// [`hatt_with`]`(h, options)` — construction is a pure function of
+    /// ready, then replay. Either way the result is bit-identical to an
+    /// uncached construction — construction is a pure function of
     /// structure, which is what makes the cache sound.
     ///
-    /// # Panics
-    ///
-    /// Panics when `h` has zero modes (as [`hatt_with`] does).
-    pub fn get_or_build(&self, h: &MajoranaSum, options: &HattOptions) -> HattMapping {
+    /// Invalid input (zero modes) comes back as a typed [`HattError`];
+    /// the claimed entry is removed again so the structure is not
+    /// poisoned.
+    pub fn try_get_or_build(
+        &self,
+        h: &MajoranaSum,
+        options: &HattOptions,
+    ) -> Result<HattMapping, HattError> {
         // The worker cap changes scheduling, never results: normalize it
         // out of the cache identity.
         let norm = HattOptions {
             threads: None,
             ..*options
         };
+        if self.capacity() == Some(0) {
+            // Caching disabled: construct directly (still counted as a
+            // miss for observability).
+            self.lock().misses += 1;
+            return hatt_with_impl(h, options);
+        }
         let structure = Structure::of(h);
         let hash = structure.hash();
         let (slot, owner) = self.lock().probe(hash, &structure, &norm);
@@ -356,18 +467,35 @@ impl MappingCache {
                 hash,
                 slot: &slot,
             };
-            let mapping = hatt_with(h, options);
-            slot.fill(merge_sequence(mapping.tree()));
-            // fill() resolved the slot, so the guard's cleanup must not
-            // run — the entry stays cached.
-            std::mem::forget(guard);
-            return mapping;
+            match hatt_with_impl(h, options) {
+                Ok(mapping) => {
+                    slot.fill(merge_sequence(mapping.tree()));
+                    // fill() resolved the slot, so the guard's cleanup
+                    // must not run — the entry stays cached.
+                    std::mem::forget(guard);
+                    Ok(mapping)
+                }
+                // Dropping the guard fails the slot and removes the
+                // entry, exactly as an unwind would.
+                Err(e) => Err(e),
+            }
+        } else {
+            match slot.wait() {
+                Some(seq) => Ok(hatt_replay(h, options, &seq)),
+                // The owner failed; reproduce its outcome independently.
+                None => hatt_with_impl(h, options),
+            }
         }
-        match slot.wait() {
-            Some(seq) => hatt_replay(h, options, &seq),
-            // The owner unwound; reproduce its outcome independently.
-            None => hatt_with(h, options),
-        }
+    }
+
+    /// Panicking convenience over [`MappingCache::try_get_or_build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `h` has zero modes.
+    pub fn get_or_build(&self, h: &MajoranaSum, options: &HattOptions) -> HattMapping {
+        self.try_get_or_build(h, options)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
@@ -375,11 +503,13 @@ impl MappingCache {
     }
 }
 
-/// Maps every Hamiltonian in `hs`, fanning out over scoped worker
-/// threads (worker count from [`HattOptions::workers`]) and deduplicating
-/// construction work through a fresh per-call [`MappingCache`]. Results
-/// come back **in input order**, bit-identical to mapping each element
-/// sequentially (`tests/parallel_determinism.rs` pins this).
+/// The batch engine behind [`crate::Mapper::map_batch`] and the
+/// deprecated `map_many*` shims: maps every Hamiltonian in `hs`,
+/// fanning out over scoped worker threads (worker count from
+/// [`HattOptions::workers`]) and deduplicating construction work
+/// through `cache`. Results come back **in input order**, bit-identical
+/// to mapping each element sequentially
+/// (`tests/parallel_determinism.rs` pins this).
 ///
 /// The batch level owns the fan-out and splits the worker budget by the
 /// number of **distinct structures** (duplicates dedupe onto one
@@ -387,26 +517,18 @@ impl MappingCache {
 /// progress concurrently): a batch of `D ≥ workers` distinct structures
 /// runs its per-element constructions with `threads = 1` (the batch
 /// uses `workers` threads total, not `workers × portfolio members`),
-/// while a duplicate-heavy or small batch hands the surplus down —
-/// `map_many` of 24 copies of one Hamiltonian at 8 workers gives its
-/// single real construction all 8 threads, never silently running it
-/// sequentially. Use a shared [`map_many_cached`] cache to keep entries
-/// warm across batches.
+/// while a duplicate-heavy or small batch hands the surplus down — a
+/// batch of 24 copies of one Hamiltonian at 8 workers gives its single
+/// real construction all 8 threads, never silently running it
+/// sequentially.
 ///
-/// # Panics
-///
-/// Panics when any Hamiltonian has zero modes.
-pub fn map_many(hs: &[MajoranaSum], options: &HattOptions) -> Vec<HattMapping> {
-    map_many_cached(hs, options, &MappingCache::new())
-}
-
-/// [`map_many`] against a caller-owned cache (hits survive across
-/// batches — the service pattern).
-pub fn map_many_cached(
+/// A failing element aborts the batch with
+/// [`HattError::BatchItem`] naming the first failing input index.
+pub(crate) fn map_many_impl(
     hs: &[MajoranaSum],
     options: &HattOptions,
     cache: &MappingCache,
-) -> Vec<HattMapping> {
+) -> Result<Vec<HattMapping>, HattError> {
     let workers = options.workers();
     // Only distinct structures can construct concurrently (duplicates
     // block on the in-flight slot), so surplus budget is divided by the
@@ -424,12 +546,51 @@ pub fn map_many_cached(
         threads: Some((workers / distinct.max(1)).max(1)),
         ..*options
     };
-    parallel::par_map_with(workers, hs, |h| cache.get_or_build(h, &inner))
+    let results = parallel::par_map_with(workers, hs, |h| cache.try_get_or_build(h, &inner));
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(index, r)| r.map_err(|e| e.at_index(index)))
+        .collect()
 }
 
+/// Maps every Hamiltonian in `hs` through a fresh per-call cache.
+///
+/// Deprecated shim; see [`crate::Mapper::map_batch`].
+///
+/// # Panics
+///
+/// Panics when any Hamiltonian has zero modes.
+#[deprecated(note = "use `Mapper::with_options(opts).map_batch(&hs)` instead")]
+pub fn map_many(hs: &[MajoranaSum], options: &HattOptions) -> Vec<HattMapping> {
+    map_many_impl(hs, options, &MappingCache::new()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// `map_many` against a caller-owned cache (hits survive across
+/// batches).
+///
+/// Deprecated shim; see [`crate::Mapper::map_batch`], whose `Mapper`
+/// owns the long-lived cache.
+///
+/// # Panics
+///
+/// Panics when any Hamiltonian has zero modes.
+#[deprecated(note = "use `Mapper::with_options(opts).map_batch(&hs)` instead")]
+pub fn map_many_cached(
+    hs: &[MajoranaSum],
+    options: &HattOptions,
+    cache: &MappingCache,
+) -> Vec<HattMapping> {
+    map_many_impl(hs, options, cache).unwrap_or_else(|e| panic!("{e}"))
+}
+
+// The unit tests exercise the deprecated `map_many*` shims on purpose —
+// they are the behaviour contract the shims must keep.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algorithm::hatt_with;
     use hatt_mappings::{validate, FermionMapping, SelectionPolicy};
     use hatt_pauli::Complex64;
 
@@ -565,6 +726,75 @@ mod tests {
                 assert_eq!(m.majorana(0), solo.majorana(0));
             }
         }
+    }
+
+    #[test]
+    fn lru_eviction_bounds_entries_and_preserves_results() {
+        let cache = MappingCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let opts = HattOptions::default();
+        let hams: Vec<MajoranaSum> = vec![
+            ham(&[&[0, 1], &[2, 3]]),
+            ham(&[&[0, 2], &[1, 3]]),
+            ham(&[&[0, 3], &[1, 2]]),
+        ];
+        let fresh: Vec<_> = hams
+            .iter()
+            .map(|h| cache.try_get_or_build(h, &opts).unwrap())
+            .collect();
+        // Three distinct structures through a 2-entry cache: the first
+        // (least recently used) was evicted.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 3);
+        // Re-probing the evicted structure recomputes — identically.
+        let again = cache.try_get_or_build(&hams[0], &opts).unwrap();
+        assert_eq!(again.tree(), fresh[0].tree());
+        assert_eq!(
+            again.stats().total_weight(),
+            fresh[0].stats().total_weight()
+        );
+        assert_eq!(cache.misses(), 4, "evicted entry is a fresh miss");
+        assert_eq!(cache.len(), 2, "bound still holds");
+        // The survivors are still warm.
+        let warm = cache.try_get_or_build(&hams[2], &opts).unwrap();
+        assert_eq!(warm.tree(), fresh[2].tree());
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_of_probes() {
+        let cache = MappingCache::with_capacity(2);
+        let opts = HattOptions::default();
+        let a = ham(&[&[0, 1], &[2, 3]]);
+        let b = ham(&[&[0, 2], &[1, 3]]);
+        let c = ham(&[&[0, 3], &[1, 2]]);
+        let _ = cache.try_get_or_build(&a, &opts).unwrap();
+        let _ = cache.try_get_or_build(&b, &opts).unwrap();
+        // Touch `a` so `b` becomes the LRU entry, then insert `c`.
+        let _ = cache.try_get_or_build(&a, &opts).unwrap();
+        let _ = cache.try_get_or_build(&c, &opts).unwrap();
+        assert_eq!(cache.len(), 2);
+        // `a` must still be warm (hit), `b` must be gone (miss).
+        let before = cache.hits();
+        let _ = cache.try_get_or_build(&a, &opts).unwrap();
+        assert_eq!(cache.hits(), before + 1, "recently-used entry survived");
+        let misses = cache.misses();
+        let _ = cache.try_get_or_build(&b, &opts).unwrap();
+        assert_eq!(cache.misses(), misses + 1, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = MappingCache::new();
+        assert_eq!(cache.capacity(), None);
+        let opts = HattOptions::default();
+        for k in 0..6u32 {
+            let mut h = MajoranaSum::new(4);
+            h.add(Complex64::ONE, &[0, 1]);
+            h.add(Complex64::ONE, &[k % 8, (k + 1) % 8]);
+            let _ = cache.try_get_or_build(&h, &opts);
+        }
+        assert!(cache.len() >= 5, "distinct structures all retained");
     }
 
     #[test]

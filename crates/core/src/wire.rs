@@ -1,0 +1,235 @@
+//! `hatt-wire/1` codec for complete HATT mappings (tree + options +
+//! construction stats) — the payload a `hatt-service` response line
+//! carries per batch item.
+//!
+//! ```json
+//! {"format":"hatt-wire/1","kind":"hatt_mapping","payload":{
+//!   "variant": "cached",
+//!   "policy": "restarts",
+//!   "naive_weight": false,
+//!   "tree": {"n_modes": 3, "children": [[0,1,2],[3,4,7],[5,6,8]]},
+//!   "stats": {"n_terms": 4, "elapsed_ns": 12345,
+//!             "memo_hits": 10, "memo_misses": 2,
+//!             "iterations": [{"qubit":0,"candidates":35,
+//!                             "traversal_steps":0,"settled_weight":1}]}
+//! }}
+//! ```
+//!
+//! Elapsed time travels as integer nanoseconds so the round trip is
+//! exact. The decoder validates the tree structure (via
+//! `hatt_mappings::wire`) and the stats shape; a decoded mapping always
+//! carries `threads: None` (worker caps are a runtime concern, not part
+//! of a result).
+//!
+//! # Examples
+//!
+//! ```
+//! use hatt_core::wire::{decode_hatt_mapping, encode_hatt_mapping};
+//! use hatt_core::Mapper;
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_pauli::json::Json;
+//!
+//! let h = MajoranaSum::uniform_singles(3);
+//! let mapping = Mapper::new().map(&h)?;
+//! let text = encode_hatt_mapping(&mapping).render();
+//! let back = decode_hatt_mapping(&Json::parse(&text).unwrap())?;
+//! assert_eq!(back.tree(), mapping.tree());
+//! assert_eq!(back.stats().total_weight(), mapping.stats().total_weight());
+//! # Ok::<(), hatt_core::HattError>(())
+//! ```
+
+use std::time::Duration;
+
+use hatt_mappings::wire::{decode_ternary_tree_payload, ternary_tree_payload};
+use hatt_mappings::{SelectionPolicy, TreeMapping};
+use hatt_pauli::json::Json;
+use hatt_pauli::wire::{
+    as_arr, as_bool, as_obj, as_str, as_u64, as_usize, envelope, field, get, open_envelope,
+    WireError,
+};
+
+use crate::algorithm::{HattMapping, HattOptions, Variant};
+use crate::error::HattError;
+use crate::stats::{ConstructionStats, IterationStats};
+
+const KIND: &str = "hatt_mapping";
+
+/// Encodes a [`HattMapping`] as a `hatt-wire/1` envelope.
+pub fn encode_hatt_mapping(m: &HattMapping) -> Json {
+    envelope(KIND, hatt_mapping_payload(m))
+}
+
+/// The bare (un-enveloped) mapping payload — composed into response
+/// lines by `hatt-service`.
+pub fn hatt_mapping_payload(m: &HattMapping) -> Json {
+    let options = m.options();
+    let stats = m.stats();
+    let iterations = stats
+        .iterations
+        .iter()
+        .map(|it| {
+            Json::Obj(vec![
+                ("qubit".into(), Json::int(it.qubit as u64)),
+                ("candidates".into(), Json::int(it.candidates)),
+                ("traversal_steps".into(), Json::int(it.traversal_steps)),
+                ("settled_weight".into(), Json::int(it.settled_weight as u64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("variant".into(), Json::str(options.variant.key())),
+        ("policy".into(), Json::str(options.policy.to_string())),
+        ("naive_weight".into(), Json::Bool(options.naive_weight)),
+        ("tree".into(), ternary_tree_payload(m.tree())),
+        (
+            "stats".into(),
+            Json::Obj(vec![
+                ("n_terms".into(), Json::int(stats.n_terms as u64)),
+                (
+                    "elapsed_ns".into(),
+                    // Saturate at i64::MAX (~292 years): Json::int
+                    // panics above it, so the clamp must land below.
+                    Json::Int(i64::try_from(stats.elapsed.as_nanos()).unwrap_or(i64::MAX)),
+                ),
+                ("memo_hits".into(), Json::int(stats.memo_hits)),
+                ("memo_misses".into(), Json::int(stats.memo_misses)),
+                ("iterations".into(), Json::Arr(iterations)),
+            ]),
+        ),
+    ])
+}
+
+/// Decodes a [`HattMapping`] envelope.
+pub fn decode_hatt_mapping(v: &Json) -> Result<HattMapping, HattError> {
+    Ok(decode_hatt_mapping_payload(open_envelope(v, KIND)?)?)
+}
+
+/// Decodes a bare mapping payload (see [`hatt_mapping_payload`]).
+pub fn decode_hatt_mapping_payload(payload: &Json) -> Result<HattMapping, WireError> {
+    const CTX: &str = "hatt_mapping payload";
+    let pairs = as_obj(payload, CTX)?;
+    let variant_key = as_str(field(pairs, "variant", CTX)?, CTX)?;
+    let variant = Variant::from_key(variant_key)
+        .ok_or_else(|| WireError::schema(CTX, format!("unknown variant {variant_key:?}")))?;
+    let policy_text = as_str(field(pairs, "policy", CTX)?, CTX)?;
+    let policy: SelectionPolicy = policy_text
+        .parse()
+        .map_err(|e| WireError::schema(CTX, format!("{e}")))?;
+    let naive_weight = match get(pairs, "naive_weight") {
+        Some(v) => as_bool(v, CTX)?,
+        None => false,
+    };
+    let tree = decode_ternary_tree_payload(field(pairs, "tree", CTX)?)?;
+    let n = tree.n_modes();
+
+    const SCTX: &str = "hatt_mapping stats";
+    let sp = as_obj(field(pairs, "stats", CTX)?, SCTX)?;
+    let mut iterations = Vec::new();
+    for it in as_arr(field(sp, "iterations", SCTX)?, SCTX)? {
+        const ICTX: &str = "hatt_mapping iteration";
+        let ip = as_obj(it, ICTX)?;
+        iterations.push(IterationStats {
+            qubit: as_usize(field(ip, "qubit", ICTX)?, ICTX)?,
+            candidates: as_u64(field(ip, "candidates", ICTX)?, ICTX)?,
+            traversal_steps: as_u64(field(ip, "traversal_steps", ICTX)?, ICTX)?,
+            settled_weight: as_usize(field(ip, "settled_weight", ICTX)?, ICTX)?,
+        });
+    }
+    if iterations.len() != n {
+        return Err(WireError::ModeMismatch {
+            context: "hatt_mapping stats iterations",
+            declared: n,
+            required: iterations.len(),
+        });
+    }
+    let stats = ConstructionStats {
+        iterations,
+        n_terms: as_usize(field(sp, "n_terms", SCTX)?, SCTX)?,
+        elapsed: Duration::from_nanos(as_u64(field(sp, "elapsed_ns", SCTX)?, SCTX)?),
+        memo_hits: as_u64(field(sp, "memo_hits", SCTX)?, SCTX)?,
+        memo_misses: as_u64(field(sp, "memo_misses", SCTX)?, SCTX)?,
+    };
+    let options = HattOptions {
+        variant,
+        naive_weight,
+        policy,
+        threads: None,
+    };
+    let mapping = TreeMapping::with_identity_assignment(variant.label(), tree);
+    Ok(HattMapping::from_parts(mapping, stats, options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::Mapper;
+    use hatt_fermion::models::NeutrinoModel;
+    use hatt_fermion::MajoranaSum;
+    use hatt_mappings::{validate, FermionMapping};
+
+    #[test]
+    fn mapping_round_trips_bit_identically() {
+        let mut h = MajoranaSum::from_fermion(&NeutrinoModel::new(3, 2).hamiltonian());
+        let _ = h.take_identity();
+        for mapper in [
+            Mapper::new(),
+            Mapper::builder().policy_str("beam:4").build().unwrap(),
+        ] {
+            let m = mapper.map(&h).unwrap();
+            let back = decode_hatt_mapping(&encode_hatt_mapping(&m)).unwrap();
+            assert_eq!(back.tree(), m.tree());
+            assert_eq!(back.stats(), m.stats());
+            assert_eq!(back.options().policy, m.options().policy);
+            assert_eq!(back.options().variant, m.options().variant);
+            for k in 0..2 * h.n_modes() {
+                assert_eq!(back.majorana(k), m.majorana(k));
+            }
+            assert!(validate(&back).is_valid());
+        }
+    }
+
+    #[test]
+    fn iteration_count_must_match_the_tree() {
+        let m = Mapper::new().map(&MajoranaSum::uniform_singles(2)).unwrap();
+        let doc = encode_hatt_mapping(&m);
+        // Strip one iteration record out of the rendered payload.
+        let text = doc.render();
+        let truncated = text.replacen(
+            r#"{"qubit":0,"candidates""#,
+            r#"{"qubit":9,"candidates""#,
+            1,
+        );
+        assert_ne!(text, truncated);
+        // Still decodes (qubit index is data, not an invariant)…
+        let v = Json::parse(&truncated).unwrap();
+        assert!(decode_hatt_mapping(&v).is_ok());
+        // …but dropping the whole array breaks the mode invariant.
+        let v = Json::parse(
+            &text.replace(
+                r#""iterations":["#,
+                r#""unused":[],"iterations":[{"qubit":0,"candidates":0,"traversal_steps":0,"settled_weight":0},"#,
+            ),
+        )
+        .unwrap();
+        match decode_hatt_mapping(&v) {
+            Err(HattError::Wire(WireError::ModeMismatch { .. })) => {}
+            other => panic!("expected ModeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_mapping_documents_fail_typed() {
+        for payload in [
+            r#"{"variant":"warp","policy":"greedy","tree":{"n_modes":1,"children":[[0,1,2]]},"stats":{"n_terms":0,"elapsed_ns":0,"memo_hits":0,"memo_misses":0,"iterations":[]}}"#,
+            r#"{"variant":"cached","policy":"warp","tree":{"n_modes":1,"children":[[0,1,2]]},"stats":{"n_terms":0,"elapsed_ns":0,"memo_hits":0,"memo_misses":0,"iterations":[]}}"#,
+            r#"{"variant":"cached","policy":"greedy","tree":{"n_modes":1,"children":[[0,0,2]]},"stats":{"n_terms":0,"elapsed_ns":0,"memo_hits":0,"memo_misses":0,"iterations":[]}}"#,
+            r#"{"variant":"cached","policy":"greedy","tree":{"n_modes":1,"children":[[0,1,2]]}}"#,
+        ] {
+            let doc = Json::parse(&format!(
+                r#"{{"format":"hatt-wire/1","kind":"hatt_mapping","payload":{payload}}}"#
+            ))
+            .unwrap();
+            assert!(decode_hatt_mapping(&doc).is_err(), "{payload}");
+        }
+    }
+}

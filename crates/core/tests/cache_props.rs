@@ -4,7 +4,7 @@
 //! coefficients), and a cache hit must be indistinguishable from a
 //! fresh construction on the new operator.
 
-use hatt_core::{map_many, structure_key, HattOptions, MappingCache};
+use hatt_core::{structure_key, HattOptions, Mapper, MappingCache};
 use hatt_fermion::models::random_hermitian;
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{validate, FermionMapping};
@@ -87,7 +87,7 @@ proptest! {
         let hit = cache.get_or_build(&query, &opts);
         prop_assert_eq!(cache.hits(), 1, "second lookup must hit");
 
-        let fresh = hatt_core::hatt_with(&query, &opts);
+        let fresh = Mapper::with_options(opts).map(&query).unwrap();
         prop_assert_eq!(hit.tree(), fresh.tree(), "hit tree drifted");
         prop_assert_eq!(
             hit.stats().total_weight(),
@@ -117,10 +117,10 @@ proptest! {
         let b = random_majorana_sum(n, seed + 500);
         let batch = vec![a.clone(), b.clone(), a.scaled(2.0), b.scaled(0.25), a.clone()];
         let opts = HattOptions { threads: Some(workers), ..Default::default() };
-        let maps = map_many(&batch, &opts);
+        let maps = Mapper::with_options(opts).map_batch(&batch).unwrap();
         prop_assert_eq!(maps.len(), batch.len());
         for (i, (h, m)) in batch.iter().zip(&maps).enumerate() {
-            let solo = hatt_core::hatt_with(h, &HattOptions::default());
+            let solo = Mapper::new().map(h).unwrap();
             prop_assert_eq!(m.tree(), solo.tree(), "slot {} tree drifted", i);
             prop_assert_eq!(
                 m.stats().total_weight(),

@@ -2,7 +2,16 @@
 //! pairing guarantees, and greedy-objective consistency on random
 //! Hamiltonians.
 
-use hatt_core::{hatt_with, HattOptions, Variant};
+use hatt_core::{HattOptions, Mapper, Variant};
+/// One construction through the `Mapper` handle (fresh handle per
+/// call, so every construction is cold — same results and stats as
+/// the old `hatt_with` free function).
+fn hatt_with(h: &hatt_fermion::MajoranaSum, opts: &HattOptions) -> hatt_core::HattMapping {
+    Mapper::with_options(*opts)
+        .map(h)
+        .expect("valid Hamiltonian")
+}
+
 use hatt_fermion::models::random_hermitian;
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{validate, Branch, FermionMapping};

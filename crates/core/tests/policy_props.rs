@@ -18,7 +18,16 @@
 //!   preservation, and the quality portfolio's never-worse-than-JW
 //!   guarantee (JW is evaluated in the *same* labeling).
 
-use hatt_core::{hatt_with, HattOptions};
+use hatt_core::{HattOptions, Mapper};
+/// One construction through the `Mapper` handle (fresh handle per
+/// call, so every construction is cold — same results and stats as
+/// the old `hatt_with` free function).
+fn hatt_with(h: &hatt_fermion::MajoranaSum, opts: &HattOptions) -> hatt_core::HattMapping {
+    Mapper::with_options(*opts)
+        .map(h)
+        .expect("valid Hamiltonian")
+}
+
 use hatt_fermion::models::random_hermitian;
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{jordan_wigner, validate, FermionMapping, SelectionPolicy};

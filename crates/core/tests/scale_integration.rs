@@ -5,7 +5,16 @@
 //! (Majorana algebra ⇒ isospectral mapped Hamiltonian, plus vacuum
 //! preservation for the paired variants).
 
-use hatt_core::{hatt_with, HattOptions, Variant};
+use hatt_core::{HattOptions, Mapper, Variant};
+/// One construction through the `Mapper` handle (fresh handle per
+/// call, so every construction is cold — same results and stats as
+/// the old `hatt_with` free function).
+fn hatt_with(h: &hatt_fermion::MajoranaSum, opts: &HattOptions) -> hatt_core::HattMapping {
+    Mapper::with_options(*opts)
+        .map(h)
+        .expect("valid Hamiltonian")
+}
+
 use hatt_fermion::models::{MolecularIntegrals, NeutrinoModel};
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{validate, FermionMapping};

@@ -1,0 +1,47 @@
+//! Wire-format property tests for complete mappings: a constructed
+//! `HattMapping` must survive `encode → render → parse → decode` with
+//! tree, stats and options intact, under every selection policy.
+
+use hatt_core::wire::{decode_hatt_mapping, encode_hatt_mapping};
+use hatt_core::Mapper;
+use hatt_fermion::models::random_hermitian;
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::{FermionMapping, SelectionPolicy};
+use hatt_pauli::json::Json;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn constructed_mappings_roundtrip(
+        n in 2usize..6,
+        seed in 0u64..300,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            SelectionPolicy::Greedy,
+            SelectionPolicy::Vanilla,
+            SelectionPolicy::Beam { width: 3 },
+        ][policy_idx];
+        let mut h = MajoranaSum::from_fermion(&random_hermitian(n, 4, 3, seed));
+        let _ = h.take_identity();
+        let mapper = Mapper::builder().policy(policy).build().unwrap();
+        let m = mapper.map(&h).unwrap();
+        let text = encode_hatt_mapping(&m).render();
+        let back = decode_hatt_mapping(&Json::parse(&text).unwrap()).expect("decode");
+        prop_assert_eq!(back.tree(), m.tree());
+        prop_assert_eq!(back.stats(), m.stats());
+        prop_assert_eq!(back.options().policy, m.options().policy);
+        prop_assert_eq!(back.options().variant, m.options().variant);
+        for k in 0..2 * h.n_modes() {
+            prop_assert_eq!(back.majorana(k), m.majorana(k), "M{} drifted", k);
+        }
+        // The decoded mapping maps the original Hamiltonian to the same
+        // qubit operator.
+        prop_assert_eq!(
+            back.map_majorana_sum(&h).weight(),
+            m.map_majorana_sum(&h).weight()
+        );
+    }
+}

@@ -26,6 +26,7 @@
 mod ladder;
 mod majorana;
 pub mod models;
+pub mod wire;
 
 pub use ladder::{FermionOperator, LadderOp};
 pub use majorana::{MajoranaSum, MAJORANA_EPS};

@@ -1,0 +1,173 @@
+//! `hatt-wire/1` codec for Majorana Hamiltonians — the payload every
+//! `hatt-service` `MapRequest` item carries over the socket.
+//!
+//! A [`MajoranaSum`] is encoded as its canonical term list (sorted index
+//! sets with exact complex coefficients):
+//!
+//! ```json
+//! {"format":"hatt-wire/1","kind":"majorana_sum","payload":{
+//!   "n_modes": 2,
+//!   "terms": [{"re":1.0,"im":0.0,"idx":[0,1]}]
+//! }}
+//! ```
+//!
+//! Decoding validates every index against the declared mode count and
+//! returns a typed [`WireError`] on any malformed document — no panic is
+//! reachable from wire input.
+//!
+//! # Examples
+//!
+//! ```
+//! use hatt_fermion::wire::{decode_majorana_sum, encode_majorana_sum};
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_pauli::json::Json;
+//! use hatt_pauli::Complex64;
+//!
+//! let mut h = MajoranaSum::new(2);
+//! h.add(Complex64::new(0.0, 0.5), &[0, 1]);
+//! h.add(Complex64::real(0.25), &[0, 1, 2, 3]);
+//!
+//! let text = encode_majorana_sum(&h).render();
+//! let back = decode_majorana_sum(&Json::parse(&text)?)?;
+//! assert_eq!(back, h);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use hatt_pauli::json::Json;
+use hatt_pauli::wire::{
+    as_arr, as_obj, as_usize, checked_modes, coeff_fields, decode_coeff, envelope, field,
+    open_envelope, WireError,
+};
+
+use crate::MajoranaSum;
+
+const KIND: &str = "majorana_sum";
+
+/// Encodes a [`MajoranaSum`] as a `hatt-wire/1` envelope.
+pub fn encode_majorana_sum(h: &MajoranaSum) -> Json {
+    envelope(KIND, majorana_sum_payload(h))
+}
+
+/// The bare (un-enveloped) payload of a Hamiltonian — composed into
+/// larger documents by `hatt-service` request lines.
+pub fn majorana_sum_payload(h: &MajoranaSum) -> Json {
+    let terms = h
+        .iter()
+        .map(|(idx, c)| {
+            let mut pairs = coeff_fields(c).to_vec();
+            pairs.push((
+                "idx".into(),
+                Json::Arr(idx.iter().map(|&i| Json::int(u64::from(i))).collect()),
+            ));
+            Json::Obj(pairs)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("n_modes".into(), Json::int(h.n_modes() as u64)),
+        ("terms".into(), Json::Arr(terms)),
+    ])
+}
+
+/// Decodes a [`MajoranaSum`] envelope, validating every Majorana index
+/// against the declared mode count.
+pub fn decode_majorana_sum(v: &Json) -> Result<MajoranaSum, WireError> {
+    decode_majorana_sum_payload(open_envelope(v, KIND)?)
+}
+
+/// Decodes a bare Hamiltonian payload (see [`majorana_sum_payload`]).
+pub fn decode_majorana_sum_payload(v: &Json) -> Result<MajoranaSum, WireError> {
+    const CTX: &str = "majorana_sum payload";
+    let pairs = as_obj(v, CTX)?;
+    let n = checked_modes(as_usize(field(pairs, "n_modes", CTX)?, CTX)?, CTX)?;
+    let mut sum = MajoranaSum::new(n);
+    for term in as_arr(field(pairs, "terms", CTX)?, CTX)? {
+        const TCTX: &str = "majorana_sum term";
+        let tp = as_obj(term, TCTX)?;
+        let coeff = decode_coeff(tp, TCTX)?;
+        let mut indices = Vec::new();
+        for idx in as_arr(field(tp, "idx", TCTX)?, TCTX)? {
+            let i = as_usize(idx, TCTX)?;
+            if i >= 2 * n {
+                return Err(WireError::ModeMismatch {
+                    context: "majorana_sum term index",
+                    declared: n,
+                    required: i / 2 + 1,
+                });
+            }
+            indices.push(i as u32);
+        }
+        sum.add(coeff, &indices);
+    }
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_pauli::Complex64;
+
+    fn sample() -> MajoranaSum {
+        let mut h = MajoranaSum::new(3);
+        h.add(Complex64::new(0.0, 0.5), &[0, 1]);
+        h.add(Complex64::new(-0.5, 0.0), &[2, 3]);
+        h.add(Complex64::real(0.125), &[2, 3, 4, 5]);
+        h
+    }
+
+    #[test]
+    fn round_trip_preserves_terms_and_structure() {
+        let h = sample();
+        let back = decode_majorana_sum(&encode_majorana_sum(&h)).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.n_modes(), 3);
+    }
+
+    #[test]
+    fn out_of_range_index_is_a_mode_mismatch() {
+        let doc = Json::parse(
+            r#"{"format":"hatt-wire/1","kind":"majorana_sum","payload":
+                {"n_modes":1,"terms":[{"re":1,"im":0,"idx":[0,2]}]}}"#,
+        )
+        .unwrap();
+        match decode_majorana_sum(&doc) {
+            Err(WireError::ModeMismatch {
+                declared, required, ..
+            }) => {
+                assert_eq!(declared, 1);
+                assert_eq!(required, 2);
+            }
+            other => panic!("expected ModeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_canonical_wire_terms_are_canonicalized_on_decode() {
+        // M1 M0 = -M0 M1: legal on the wire, folded on decode.
+        let doc = Json::parse(
+            r#"{"format":"hatt-wire/1","kind":"majorana_sum","payload":
+                {"n_modes":1,"terms":[{"re":1,"im":0,"idx":[1,0]}]}}"#,
+        )
+        .unwrap();
+        let h = decode_majorana_sum(&doc).unwrap();
+        assert!(h
+            .coefficient_of(&[0, 1])
+            .approx_eq(Complex64::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn malformed_documents_fail_with_typed_errors() {
+        for payload in [
+            r#"{"terms":[]}"#,
+            r#"{"n_modes":"two","terms":[]}"#,
+            r#"{"n_modes":1,"terms":[{"re":1,"im":0}]}"#,
+            r#"{"n_modes":1,"terms":[{"re":1,"im":0,"idx":[-1]}]}"#,
+            r#"{"n_modes":1,"terms":[{"re":1,"im":0,"idx":"01"}]}"#,
+        ] {
+            let doc = Json::parse(&format!(
+                r#"{{"format":"hatt-wire/1","kind":"majorana_sum","payload":{payload}}}"#
+            ))
+            .unwrap();
+            assert!(decode_majorana_sum(&doc).is_err(), "{payload}");
+        }
+    }
+}

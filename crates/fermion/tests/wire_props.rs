@@ -1,0 +1,52 @@
+//! Wire-format property tests: `decode ∘ encode = id` for random
+//! Majorana Hamiltonians — both physical ones (from random Hermitian
+//! second-quantized operators) and arbitrary term soups.
+
+use hatt_fermion::models::random_hermitian;
+use hatt_fermion::wire::{decode_majorana_sum, encode_majorana_sum};
+use hatt_fermion::MajoranaSum;
+use hatt_pauli::json::Json;
+use hatt_pauli::Complex64;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn physical_hamiltonians_roundtrip(
+        n in 2usize..7,
+        one in 1usize..6,
+        two in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let h = MajoranaSum::from_fermion(&random_hermitian(n, one, two, seed));
+        let text = encode_majorana_sum(&h).render();
+        let back = decode_majorana_sum(&Json::parse(&text).unwrap()).expect("decode");
+        prop_assert_eq!(back, h);
+    }
+
+    #[test]
+    fn arbitrary_term_soups_roundtrip(
+        n in 1usize..7,
+        terms in 0usize..14,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = MajoranaSum::new(n);
+        for _ in 0..terms {
+            let k = rng.gen_range(0usize..5);
+            let idx: Vec<u32> = (0..k)
+                .map(|_| rng.gen_range(0u32..(2 * n) as u32))
+                .collect();
+            let c = Complex64::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0));
+            if !c.is_zero(1e-9) {
+                h.add(c, &idx);
+            }
+        }
+        let back = decode_majorana_sum(&encode_majorana_sum(&h)).expect("decode");
+        prop_assert_eq!(&back, &h);
+        prop_assert_eq!(back.n_modes(), h.n_modes());
+    }
+}

@@ -48,6 +48,7 @@ pub mod policy;
 mod select;
 mod tree;
 pub mod validate;
+pub mod wire;
 
 pub use annealing::{anneal_search, AnnealingOptions};
 pub use bk::bravyi_kitaev;

@@ -1,0 +1,242 @@
+//! `hatt-wire/1` codec for ternary trees.
+//!
+//! A [`TernaryTree`] is fully determined by its `qubit → [X, Y, Z]
+//! children` table, so that is what goes on the wire:
+//!
+//! ```json
+//! {"format":"hatt-wire/1","kind":"ternary_tree","payload":{
+//!   "n_modes": 3,
+//!   "children": [[0,1,2],[3,4,7],[5,6,8]]
+//! }}
+//! ```
+//!
+//! Decoding rebuilds the tree through [`try_build_with_qubit_children`],
+//! a fully validated (panic-free) version of
+//! [`build_with_qubit_children`]: out
+//! of range ids, duplicate children, doubly-parented nodes, cycles and
+//! forests all come back as typed [`WireError`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use hatt_mappings::wire::{decode_ternary_tree, encode_ternary_tree};
+//! use hatt_mappings::TernaryTreeBuilder;
+//! use hatt_pauli::json::Json;
+//!
+//! let mut b = TernaryTreeBuilder::new(2);
+//! let i0 = b.attach([0, 1, 2]);
+//! b.attach([3, 4, i0]);
+//! let tree = b.finish();
+//!
+//! let text = encode_ternary_tree(&tree).render();
+//! let back = decode_ternary_tree(&Json::parse(&text)?)?;
+//! assert_eq!(back, tree);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use hatt_pauli::json::Json;
+use hatt_pauli::wire::{
+    as_arr, as_obj, as_usize, checked_modes, envelope, field, open_envelope, WireError,
+};
+
+use crate::tree::{build_with_qubit_children, NodeId, TernaryTree};
+
+const KIND: &str = "ternary_tree";
+
+/// Encodes a [`TernaryTree`] as a `hatt-wire/1` envelope.
+pub fn encode_ternary_tree(tree: &TernaryTree) -> Json {
+    envelope(KIND, ternary_tree_payload(tree))
+}
+
+/// The bare (un-enveloped) payload of a tree — composed into larger
+/// documents by `hatt-core::wire` and `hatt-service`.
+pub fn ternary_tree_payload(tree: &TernaryTree) -> Json {
+    let children = (0..tree.n_modes())
+        .map(|q| {
+            let ch = tree.children(tree.internal_of(q)).unwrap_or([0, 0, 0]); // internal nodes always have children
+            Json::Arr(ch.iter().map(|&c| Json::int(c as u64)).collect())
+        })
+        .collect();
+    Json::Obj(vec![
+        ("n_modes".into(), Json::int(tree.n_modes() as u64)),
+        ("children".into(), Json::Arr(children)),
+    ])
+}
+
+/// Decodes a [`TernaryTree`] envelope.
+pub fn decode_ternary_tree(v: &Json) -> Result<TernaryTree, WireError> {
+    decode_ternary_tree_payload(open_envelope(v, KIND)?)
+}
+
+/// Decodes a bare tree payload (see [`ternary_tree_payload`]).
+pub fn decode_ternary_tree_payload(payload: &Json) -> Result<TernaryTree, WireError> {
+    const CTX: &str = "ternary_tree payload";
+    let pairs = as_obj(payload, CTX)?;
+    let n = checked_modes(as_usize(field(pairs, "n_modes", CTX)?, CTX)?, CTX)?;
+    let rows = as_arr(field(pairs, "children", CTX)?, CTX)?;
+    if rows.len() != n {
+        return Err(WireError::schema(
+            CTX,
+            format!("expected {n} child triples, got {}", rows.len()),
+        ));
+    }
+    let mut table: Vec<[NodeId; 3]> = Vec::with_capacity(n);
+    for row in rows {
+        const RCTX: &str = "ternary_tree child triple";
+        let items = as_arr(row, RCTX)?;
+        if items.len() != 3 {
+            return Err(WireError::schema(RCTX, "expected exactly three children"));
+        }
+        let mut ch = [0usize; 3];
+        for (slot, item) in items.iter().enumerate() {
+            ch[slot] = as_usize(item, RCTX)?;
+        }
+        table.push(ch);
+    }
+    try_build_with_qubit_children(n, &table)
+}
+
+/// Validated tree reconstruction: the fallible counterpart of
+/// [`build_with_qubit_children`],
+/// returning a [`WireError`] instead of panicking on malformed tables.
+pub fn try_build_with_qubit_children(
+    n_modes: usize,
+    children_of_qubit: &[[NodeId; 3]],
+) -> Result<TernaryTree, WireError> {
+    const CTX: &str = "ternary_tree structure";
+    if n_modes == 0 {
+        return Err(WireError::schema(CTX, "a tree needs at least one mode"));
+    }
+    if children_of_qubit.len() != n_modes {
+        return Err(WireError::schema(CTX, "one child triple per qubit"));
+    }
+    let n_nodes = 3 * n_modes + 1;
+    let mut parent_seen = vec![false; n_nodes];
+    for (q, ch) in children_of_qubit.iter().enumerate() {
+        if ch[0] == ch[1] || ch[1] == ch[2] || ch[0] == ch[2] {
+            return Err(WireError::schema(
+                CTX,
+                format!("qubit {q} lists duplicate children {ch:?}"),
+            ));
+        }
+        for &c in ch {
+            if c >= n_nodes {
+                return Err(WireError::schema(
+                    CTX,
+                    format!("qubit {q} references node {c} outside 0..{n_nodes}"),
+                ));
+            }
+            if c == 2 * n_modes + 1 + q {
+                return Err(WireError::schema(
+                    CTX,
+                    format!("qubit {q} lists itself as a child"),
+                ));
+            }
+            if parent_seen[c] {
+                return Err(WireError::schema(
+                    CTX,
+                    format!("node {c} is assigned two parents"),
+                ));
+            }
+            parent_seen[c] = true;
+        }
+    }
+    // Exactly 3N of the 3N+1 nodes gained a parent ⇔ a single root
+    // remains; cycles surface as qubits that never become "ready" in the
+    // same topological loop `build_with_qubit_children` runs.
+    let n_leaves = 2 * n_modes + 1;
+    let mut attached = vec![false; n_modes];
+    let mut remaining = n_modes;
+    loop {
+        let mut progressed = false;
+        for q in 0..n_modes {
+            if attached[q] {
+                continue;
+            }
+            let ready = children_of_qubit[q]
+                .iter()
+                .all(|&c| c < n_leaves || attached[c - n_leaves]);
+            if ready {
+                attached[q] = true;
+                remaining -= 1;
+                progressed = true;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        if !progressed {
+            return Err(WireError::schema(CTX, "cyclic child table"));
+        }
+    }
+    let roots = parent_seen.iter().filter(|&&p| !p).count();
+    if roots != 1 {
+        return Err(WireError::schema(
+            CTX,
+            format!("expected a single root, found {roots}"),
+        ));
+    }
+    // All preconditions hold; the panicking builder cannot fire now.
+    Ok(build_with_qubit_children(n_modes, children_of_qubit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{balanced_tree, TernaryTreeBuilder};
+
+    #[test]
+    fn balanced_trees_round_trip() {
+        for n in 1..=9 {
+            let tree = balanced_tree(n);
+            let back = decode_ternary_tree(&encode_ternary_tree(&tree)).unwrap();
+            assert_eq!(back, tree, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn caterpillar_round_trips() {
+        let mut b = TernaryTreeBuilder::new(3);
+        let i0 = b.attach([0, 1, 2]);
+        let i1 = b.attach([3, 4, i0]);
+        b.attach([5, 6, i1]);
+        let tree = b.finish();
+        let back = decode_ternary_tree(&encode_ternary_tree(&tree)).unwrap();
+        assert_eq!(back, tree);
+        assert_eq!(back.string_for_leaf(0), tree.string_for_leaf(0));
+    }
+
+    #[test]
+    fn malformed_structures_are_errors_not_panics() {
+        // Out-of-range node id.
+        assert!(try_build_with_qubit_children(1, &[[0, 1, 9]]).is_err());
+        // Duplicate child.
+        assert!(try_build_with_qubit_children(2, &[[0, 0, 1], [2, 3, 4]]).is_err());
+        // Doubly-parented node.
+        assert!(try_build_with_qubit_children(2, &[[0, 1, 2], [0, 3, 4]]).is_err());
+        // Self-referential (cyclic) qubit.
+        assert!(try_build_with_qubit_children(2, &[[0, 1, 2], [3, 4, 6]]).is_err());
+        // A qubit listing its own internal node as a child.
+        assert!(try_build_with_qubit_children(1, &[[0, 1, 3]]).is_err());
+        // Zero modes.
+        assert!(try_build_with_qubit_children(0, &[]).is_err());
+        // Wrong table length.
+        assert!(try_build_with_qubit_children(2, &[[0, 1, 2]]).is_err());
+    }
+
+    #[test]
+    fn malformed_wire_documents_are_errors() {
+        for payload in [
+            r#"{"n_modes":1}"#,
+            r#"{"n_modes":1,"children":[[0,1]]}"#,
+            r#"{"n_modes":2,"children":[[0,1,2]]}"#,
+            r#"{"n_modes":1,"children":[[0,1,"z"]]}"#,
+        ] {
+            let doc = Json::parse(&format!(
+                r#"{{"format":"hatt-wire/1","kind":"ternary_tree","payload":{payload}}}"#
+            ))
+            .unwrap();
+            assert!(decode_ternary_tree(&doc).is_err(), "{payload}");
+        }
+    }
+}

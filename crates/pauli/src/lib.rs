@@ -38,9 +38,11 @@
 
 mod bits;
 mod complex;
+pub mod json;
 mod op;
 mod string;
 mod sum;
+pub mod wire;
 
 pub use bits::{Bits, IterOnes};
 pub use complex::Complex64;

@@ -1,0 +1,116 @@
+//! Wire-format property tests: `decode ∘ encode = id` for random
+//! `PauliSum`s and `PauliString`s, and the parser/renderer pair of the
+//! JSON substrate itself.
+
+use hatt_pauli::json::Json;
+use hatt_pauli::wire::{
+    decode_pauli_string, decode_pauli_sum, encode_pauli_string, encode_pauli_sum,
+};
+use hatt_pauli::{Complex64, Pauli, PauliString, PauliSum, Phase};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_string(n: usize, rng: &mut StdRng) -> PauliString {
+    let mut s = PauliString::identity(n);
+    for q in 0..n {
+        let p = match rng.gen_range(0u8..4) {
+            0 => Pauli::I,
+            1 => Pauli::X,
+            2 => Pauli::Y,
+            _ => Pauli::Z,
+        };
+        s.set_op(q, p);
+    }
+    s.times_phase(Phase::new(rng.gen_range(0u8..4)))
+}
+
+fn random_sum(n: usize, terms: usize, rng: &mut StdRng) -> PauliSum {
+    let mut h = PauliSum::new(n);
+    for _ in 0..terms {
+        let c = Complex64::new(rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0));
+        if !c.is_zero(1e-9) {
+            h.add(c, random_string(n, rng).normalized());
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pauli_sum_roundtrips_through_rendered_text(
+        n in 1usize..9,
+        terms in 0usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random_sum(n, terms, &mut rng);
+        // Through the value tree…
+        let back = decode_pauli_sum(&encode_pauli_sum(&h)).expect("decode value");
+        prop_assert_eq!(&back, &h);
+        // …and through actual bytes (the socket path).
+        let text = encode_pauli_sum(&h).render();
+        let parsed = Json::parse(&text).expect("rendered JSON parses");
+        let back = decode_pauli_sum(&parsed).expect("decode text");
+        prop_assert_eq!(back, h);
+    }
+
+    #[test]
+    fn pauli_string_roundtrips_with_phase(
+        n in 0usize..9,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = random_string(n, &mut rng);
+        let text = encode_pauli_string(&s).render();
+        let back = decode_pauli_string(&Json::parse(&text).unwrap()).expect("decode");
+        prop_assert_eq!(&back, &s);
+        prop_assert_eq!(back.coefficient_phase(), s.coefficient_phase());
+    }
+
+    #[test]
+    fn json_render_parse_is_stable(
+        seed in 0u64..500,
+    ) {
+        // Random value trees: parse(render(v)) must be a fixpoint after
+        // one round (Int/Num normalization happens in the first round).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = random_json(&mut rng, 0);
+        let once = Json::parse(&v.render()).expect("first parse");
+        let twice = Json::parse(&once.render()).expect("second parse");
+        prop_assert_eq!(once, twice);
+    }
+}
+
+fn random_json(rng: &mut StdRng, depth: usize) -> Json {
+    let pick = if depth > 3 {
+        rng.gen_range(0u8..5) // leaves only
+    } else {
+        rng.gen_range(0u8..7)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0u8..2) == 0),
+        2 => Json::Int(rng.gen_range(-1_000_000i64..1_000_000)),
+        3 => Json::Num(rng.gen_range(-1e6..1e6)),
+        4 => {
+            let len = rng.gen_range(0usize..8);
+            let s: String = (0..len)
+                .map(|_| char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap_or('?'))
+                .collect();
+            Json::Str(s + "λ\"\\\n")
+        }
+        5 => Json::Arr(
+            (0..rng.gen_range(0usize..4))
+                .map(|_| random_json(rng, depth + 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.gen_range(0usize..4))
+                .map(|i| (format!("k{i}"), random_json(rng, depth + 1)))
+                .collect(),
+        ),
+    }
+}

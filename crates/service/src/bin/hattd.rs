@@ -1,0 +1,241 @@
+//! `hattd` — the HATT mapping daemon: JSON lines over TCP
+//! (`hatt-wire/1` protocol, see `hatt_service::proto`).
+//!
+//! ```sh
+//! hattd [--addr 127.0.0.1:7878] [--threads N] [--queue N] [--cache N]
+//!       [--policy greedy|vanilla|restarts|lookahead:<w>|beam:<w>]
+//!       [--variant cached|paired|unopt] [--self-check]
+//! ```
+//!
+//! * `--addr` — listen address (`:0` picks an ephemeral port; the bound
+//!   address is printed either way as `hattd listening on <addr>`).
+//! * `--threads` — worker cap for the scheduler and constructions
+//!   (default: `HATT_THREADS` / hardware count).
+//! * `--queue` — bounded scheduler queue capacity (default 256).
+//! * `--cache` — LRU bound on the structure cache (default unbounded;
+//!   `0` disables caching).
+//! * `--policy` / `--variant` — the server mapper's defaults; requests
+//!   may override per call.
+//! * `--self-check` — boot on an ephemeral port, round-trip a sample
+//!   request through a real socket, verify the responses against
+//!   in-process mappings, and exit (the CI smoke mode).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use hatt_core::Mapper;
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::FermionMapping;
+use hatt_pauli::Complex64;
+use hatt_service::{client, MapRequest, Scheduler, SchedulerConfig, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    threads: Option<usize>,
+    queue: usize,
+    cache: Option<usize>,
+    policy: Option<String>,
+    variant: Option<String>,
+    self_check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        threads: None,
+        queue: 256,
+        cache: None,
+        policy: None,
+        variant: None,
+        self_check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--cache" => {
+                args.cache = Some(
+                    value("--cache")?
+                        .parse()
+                        .map_err(|e| format!("--cache: {e}"))?,
+                )
+            }
+            "--policy" => args.policy = Some(value("--policy")?),
+            "--variant" => args.variant = Some(value("--variant")?),
+            "--self-check" => args.self_check = true,
+            "--help" | "-h" => {
+                println!(
+                    "hattd [--addr IP:PORT] [--threads N] [--queue N] [--cache N] \
+                     [--policy P] [--variant V] [--self-check]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_mapper(args: &Args) -> Result<Mapper, String> {
+    let mut builder = Mapper::builder();
+    if let Some(policy) = &args.policy {
+        builder = builder.policy_str(policy);
+    }
+    if let Some(variant) = &args.variant {
+        let v = hatt_core::Variant::from_key(variant)
+            .ok_or_else(|| format!("--variant: unknown variant {variant:?}"))?;
+        builder = builder.variant(v);
+    }
+    if let Some(threads) = args.threads {
+        builder = builder.threads(threads);
+    }
+    if let Some(cache) = args.cache {
+        builder = builder.cache_capacity(cache);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn scheduler_config(args: &Args) -> SchedulerConfig {
+    SchedulerConfig {
+        workers: args.threads.unwrap_or_else(parallel::max_threads),
+        queue_capacity: args.queue,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hattd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.self_check {
+        return match self_check(&args) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("hattd self-check FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mapper = match build_mapper(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("hattd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        scheduler: scheduler_config(&args),
+    };
+    match Server::bind(args.addr.as_str(), mapper, config) {
+        Ok(server) => {
+            println!("hattd listening on {}", server.local_addr());
+            server.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hattd: bind {}: {e}", args.addr);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Boots an ephemeral server, round-trips a request through a real
+/// socket, and verifies every response equals the in-process mapping.
+fn self_check(args: &Args) -> Result<String, String> {
+    let mapper = build_mapper(args)?;
+    let reference = build_mapper(args)?;
+    let config = ServerConfig {
+        scheduler: scheduler_config(args),
+    };
+    let server = Server::bind("127.0.0.1:0", mapper, config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+
+    // Sample workload: the paper's Eq. (3) example, a coefficient
+    // rescale of it (must cache-hit server-side), and a uniform-singles
+    // chain. One zero-mode item checks the typed error path.
+    let mut eq3 = MajoranaSum::new(3);
+    eq3.add(Complex64::new(0.0, 0.5), &[0, 1]);
+    eq3.add(Complex64::new(0.0, -0.5), &[2, 3]);
+    eq3.add(Complex64::new(0.0, -0.5), &[4, 5]);
+    eq3.add(Complex64::real(0.5), &[2, 3, 4, 5]);
+    let hams = vec![
+        eq3.clone(),
+        eq3.scaled(2.0),
+        MajoranaSum::uniform_singles(4),
+    ];
+    let req = MapRequest::new("self-check", hams.clone());
+    let reply = client::request(addr, &req).map_err(|e| format!("request: {e}"))?;
+    if reply.done.errors != 0 {
+        return Err(format!("unexpected errors: {:?}", reply.done));
+    }
+    let items = reply.into_ordered();
+    if items.len() != hams.len() {
+        return Err(format!(
+            "expected {} items, got {}",
+            hams.len(),
+            items.len()
+        ));
+    }
+    for (i, (item, h)) in items.iter().zip(&hams).enumerate() {
+        let mapping = item
+            .mapping()
+            .ok_or_else(|| format!("item {i} is an error: {:?}", item.error()))?;
+        let local = reference
+            .map(h)
+            .map_err(|e| format!("local map {i}: {e}"))?;
+        if mapping.tree() != local.tree() {
+            return Err(format!(
+                "item {i}: socket tree differs from in-process tree"
+            ));
+        }
+        let weight = mapping.map_majorana_sum(h).weight();
+        if weight != local.map_majorana_sum(h).weight() {
+            return Err(format!("item {i}: weight mismatch"));
+        }
+    }
+
+    // The typed error path: a zero-mode item fails alone, the rest map.
+    let req = MapRequest::new("self-check-err", vec![MajoranaSum::new(0), eq3]);
+    let items = client::request(addr, &req)
+        .map_err(|e| format!("error-path request: {e}"))?
+        .into_ordered();
+    if items[0].error().map(|e| e.code.as_str()) != Some("empty_hamiltonian") {
+        return Err(format!("expected empty_hamiltonian, got {:?}", items[0]));
+    }
+    if !items[1].is_ok() {
+        return Err("valid item failed alongside an invalid one".into());
+    }
+
+    // A scheduler smoke directly (no socket) for the bounded queue.
+    let sched = Scheduler::new(Arc::new(build_mapper(args)?), scheduler_config(args));
+    let rx = sched
+        .submit(&MapRequest::new("q", vec![MajoranaSum::uniform_singles(2)]))
+        .map_err(|e| format!("scheduler submit: {e}"))?;
+    rx.recv().map_err(|e| format!("scheduler recv: {e}"))?;
+
+    server.shutdown();
+    Ok(format!(
+        "hattd self-check ok: {} items round-tripped on {addr}, trees bit-identical, \
+         typed errors intact",
+        hams.len()
+    ))
+}

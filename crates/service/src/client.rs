@@ -1,0 +1,87 @@
+//! Client helper for the `hattd` line protocol: write one request,
+//! stream the per-item response lines, return everything once the
+//! `map_done` marker arrives.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::ServiceError;
+use crate::proto::{MapDone, MapItem, MapRequest, ResponseLine};
+
+/// A complete response to one request.
+#[derive(Debug)]
+pub struct MapReply {
+    /// The per-item results, in **arrival (completion) order** — use
+    /// [`MapReply::into_ordered`] for request order.
+    pub items: Vec<MapItem>,
+    /// The terminal marker.
+    pub done: MapDone,
+}
+
+impl MapReply {
+    /// The items sorted back into request order (request-level errors,
+    /// which carry no index, come first).
+    pub fn into_ordered(mut self) -> Vec<MapItem> {
+        self.items.sort_by_key(|i| i.index);
+        self.items
+    }
+}
+
+/// Sends `req` to a `hattd` server and collects the streamed response.
+///
+/// # Examples
+///
+/// See [`crate::Server`] — the doctest there round-trips a request
+/// through a real socket.
+pub fn request(addr: impl ToSocketAddrs, req: &MapRequest) -> Result<MapReply, ServiceError> {
+    request_streaming(addr, req, |_| {})
+}
+
+/// Like [`request`], additionally invoking `on_item` for every item
+/// line **as it arrives** — the streaming consumer hook (progress bars,
+/// incremental pipelines).
+pub fn request_streaming(
+    addr: impl ToSocketAddrs,
+    req: &MapRequest,
+    mut on_item: impl FnMut(&MapItem),
+) -> Result<MapReply, ServiceError> {
+    let stream = TcpStream::connect(addr)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writer.write_all(req.to_line().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+
+    let mut items = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match ResponseLine::from_line(&line)? {
+            ResponseLine::Item(item) => {
+                if item.id != req.id && !item.id.is_empty() {
+                    return Err(ServiceError::Protocol(format!(
+                        "response for request {:?} while waiting on {:?}",
+                        item.id, req.id
+                    )));
+                }
+                on_item(&item);
+                items.push(item);
+            }
+            ResponseLine::Done(done) => {
+                if done.items != items.len() {
+                    return Err(ServiceError::Protocol(format!(
+                        "done marker counts {} items, received {}",
+                        done.items,
+                        items.len()
+                    )));
+                }
+                return Ok(MapReply { items, done });
+            }
+        }
+    }
+    Err(ServiceError::Protocol(
+        "connection closed before map_done".into(),
+    ))
+}

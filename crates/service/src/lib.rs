@@ -1,0 +1,59 @@
+//! # hatt-service
+//!
+//! The production service surface of the HATT mapping engine: a typed
+//! request/response protocol over the `hatt-wire/1` JSON format, a
+//! bounded-queue [`Scheduler`] fanning work onto scoped worker threads
+//! through the shared [`Mapper`](hatt_core::Mapper) cache, and a
+//! std-only JSON-lines-over-TCP daemon ([`Server`], shipped as the
+//! `hattd` binary) with a matching [`client`] helper.
+//!
+//! ```text
+//! client ──(map_request line)──▶ hattd ──▶ Scheduler (bounded queue)
+//!                                              │ par_map over workers
+//!                                              ▼
+//!                                     Mapper + MappingCache
+//!                                              │
+//! client ◀─(map_item line per item, streamed)──┘
+//!        ◀─(map_done line)
+//! ```
+//!
+//! Responses stream **one line per batch item as it completes**, so a
+//! large batch's fast items arrive while slow ones still construct.
+//! Every failure mode of a malformed or oversized request is a typed
+//! error line — no panic in this crate is reachable from wire input.
+//!
+//! # Examples
+//!
+//! ```
+//! use hatt_core::Mapper;
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_service::{client, MapRequest, Server, ServerConfig};
+//!
+//! // Boot a daemon on an ephemeral port.
+//! let server = Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default())?;
+//!
+//! // Map two Hamiltonians over the socket.
+//! let req = MapRequest::new(
+//!     "demo",
+//!     vec![MajoranaSum::uniform_singles(2), MajoranaSum::uniform_singles(3)],
+//! );
+//! let items = client::request(server.local_addr(), &req)?.into_ordered();
+//! assert!(items.iter().all(|i| i.is_ok()));
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+mod error;
+mod proto;
+mod scheduler;
+mod server;
+
+pub use client::MapReply;
+pub use error::ServiceError;
+pub use proto::{ItemError, ItemPayload, MapDone, MapItem, MapRequest, ResponseLine};
+pub use scheduler::{Scheduler, SchedulerConfig};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,490 @@
+//! The `hatt-wire/1` request/response protocol spoken over the `hattd`
+//! socket (JSON lines: one request per line in, one response line per
+//! batch item out, closed by a `map_done` line).
+//!
+//! ## Request line
+//!
+//! ```json
+//! {"format":"hatt-wire/1","kind":"map_request","payload":{
+//!   "id": "req-1",
+//!   "options": {"variant":"cached","policy":"restarts","naive_weight":false},
+//!   "n_modes": 8,
+//!   "hamiltonians": [ {"n_modes":8,"terms":[...]}, ... ]
+//! }}
+//! ```
+//!
+//! `options` and `n_modes` are optional: missing options fall back to
+//! the server mapper's configuration; a present `n_modes` pins every
+//! item to that size (mismatching items fail individually with
+//! `mode_mismatch`, the rest of the batch still maps).
+//!
+//! ## Response lines
+//!
+//! One `map_item` line per Hamiltonian **as it completes** (so a slow
+//! item does not block a fast one), then one `map_done` line:
+//!
+//! ```json
+//! {"format":"hatt-wire/1","kind":"map_item","payload":{
+//!   "id":"req-1","index":0,"ok":true,"n_modes":8,"pauli_weight":123,
+//!   "mapping":{ ...hatt_mapping payload... }}}
+//! {"format":"hatt-wire/1","kind":"map_item","payload":{
+//!   "id":"req-1","index":1,"ok":false,
+//!   "error":{"code":"empty_hamiltonian","message":"..."}}}
+//! {"format":"hatt-wire/1","kind":"map_done","payload":{"id":"req-1","items":2,"errors":1}}
+//! ```
+//!
+//! A line that fails to parse as a request at all produces a single
+//! `map_item` with `index: null` and code `invalid_request`, then
+//! `map_done` — the connection stays usable.
+
+use hatt_core::wire::{decode_hatt_mapping_payload, hatt_mapping_payload};
+use hatt_core::{HattError, HattMapping, HattOptions, Variant};
+use hatt_fermion::wire::{decode_majorana_sum_payload, majorana_sum_payload};
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::{FermionMapping, SelectionPolicy};
+use hatt_pauli::json::Json;
+use hatt_pauli::wire::{
+    as_arr, as_bool, as_obj, as_str, as_usize, envelope, field, get, open_envelope, WireError,
+};
+
+const KIND_REQUEST: &str = "map_request";
+const KIND_ITEM: &str = "map_item";
+const KIND_DONE: &str = "map_done";
+
+/// A batch mapping request: one or more Majorana Hamiltonians to map
+/// under one option set.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_fermion::MajoranaSum;
+/// use hatt_service::MapRequest;
+///
+/// let req = MapRequest::new("sweep-7", vec![MajoranaSum::uniform_singles(3)]);
+/// let line = req.to_line();
+/// let back = MapRequest::from_line(&line)?;
+/// assert_eq!(back.id, "sweep-7");
+/// assert_eq!(back.hamiltonians.len(), 1);
+/// # Ok::<(), hatt_pauli::wire::WireError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MapRequest {
+    /// Caller-chosen identifier, echoed on every response line.
+    pub id: String,
+    /// Construction options (`None` = use the server mapper's
+    /// configuration). The worker-thread cap is *not* part of the wire
+    /// protocol — scheduling is the server's concern.
+    pub options: Option<HattOptions>,
+    /// Optional mode-count pin: items of any other size fail
+    /// individually with `mode_mismatch`.
+    pub n_modes: Option<usize>,
+    /// The Hamiltonians to map, in order.
+    pub hamiltonians: Vec<MajoranaSum>,
+}
+
+impl MapRequest {
+    /// A request with default (server-side) options and no mode pin.
+    pub fn new(id: impl Into<String>, hamiltonians: Vec<MajoranaSum>) -> Self {
+        MapRequest {
+            id: id.into(),
+            options: None,
+            n_modes: None,
+            hamiltonians,
+        }
+    }
+
+    /// Encodes the request envelope.
+    pub fn encode(&self) -> Json {
+        let mut payload = vec![("id".into(), Json::str(&self.id))];
+        if let Some(options) = &self.options {
+            payload.push((
+                "options".into(),
+                Json::Obj(vec![
+                    ("variant".into(), Json::str(options.variant.key())),
+                    ("policy".into(), Json::str(options.policy.to_string())),
+                    ("naive_weight".into(), Json::Bool(options.naive_weight)),
+                ]),
+            ));
+        }
+        if let Some(n) = self.n_modes {
+            payload.push(("n_modes".into(), Json::int(n as u64)));
+        }
+        payload.push((
+            "hamiltonians".into(),
+            Json::Arr(self.hamiltonians.iter().map(majorana_sum_payload).collect()),
+        ));
+        envelope(KIND_REQUEST, Json::Obj(payload))
+    }
+
+    /// Decodes a request envelope.
+    pub fn decode(v: &Json) -> Result<Self, WireError> {
+        const CTX: &str = "map_request payload";
+        let pairs = as_obj(open_envelope(v, KIND_REQUEST)?, CTX)?;
+        let id = as_str(field(pairs, "id", CTX)?, CTX)?.to_string();
+        let options = match get(pairs, "options") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(decode_options(v)?),
+        };
+        let n_modes = match get(pairs, "n_modes") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(as_usize(v, CTX)?),
+        };
+        let hamiltonians = as_arr(field(pairs, "hamiltonians", CTX)?, CTX)?
+            .iter()
+            .map(decode_majorana_sum_payload)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MapRequest {
+            id,
+            options,
+            n_modes,
+            hamiltonians,
+        })
+    }
+
+    /// Renders the request as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.encode().render()
+    }
+
+    /// Parses a request line.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        Self::decode(&Json::parse(line)?)
+    }
+}
+
+fn decode_options(v: &Json) -> Result<HattOptions, WireError> {
+    const CTX: &str = "map_request options";
+    let pairs = as_obj(v, CTX)?;
+    let variant = match get(pairs, "variant") {
+        None => Variant::default(),
+        Some(v) => {
+            let key = as_str(v, CTX)?;
+            Variant::from_key(key)
+                .ok_or_else(|| WireError::schema(CTX, format!("unknown variant {key:?}")))?
+        }
+    };
+    let policy = match get(pairs, "policy") {
+        None => SelectionPolicy::default(),
+        Some(v) => as_str(v, CTX)?
+            .parse::<SelectionPolicy>()
+            .map_err(|e| WireError::schema(CTX, format!("{e}")))?,
+    };
+    let naive_weight = match get(pairs, "naive_weight") {
+        None => false,
+        Some(v) => as_bool(v, CTX)?,
+    };
+    Ok(HattOptions {
+        variant,
+        policy,
+        naive_weight,
+        threads: None,
+    })
+}
+
+/// The error object of a failed item: a stable machine-readable code
+/// (see [`HattError::code`]) plus the human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemError {
+    /// Stable error code (`empty_hamiltonian`, `mode_mismatch`,
+    /// `invalid_policy`, `wire`, `invalid_request`, …).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ItemError {
+    /// Builds the wire error object for a mapping failure.
+    pub fn from_hatt(e: &HattError) -> Self {
+        ItemError {
+            code: e.code().to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    /// The request-level error for an unparsable request line.
+    pub fn invalid_request(message: impl Into<String>) -> Self {
+        ItemError {
+            code: "invalid_request".into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// One per-item response: either the finished mapping or a typed error.
+#[derive(Debug, Clone)]
+pub enum ItemPayload {
+    /// The item mapped successfully.
+    Ok {
+        /// The constructed mapping (tree + options + stats).
+        mapping: HattMapping,
+        /// Pauli weight of the mapped Hamiltonian (after term merging).
+        pauli_weight: usize,
+    },
+    /// The item failed.
+    Err(ItemError),
+}
+
+/// One streamed response line (`kind: "map_item"`).
+#[derive(Debug, Clone)]
+pub struct MapItem {
+    /// Echo of the request id.
+    pub id: String,
+    /// Position of this item in the request's Hamiltonian list
+    /// (`None` for request-level failures).
+    pub index: Option<usize>,
+    /// The result.
+    pub payload: ItemPayload,
+}
+
+impl MapItem {
+    /// Whether the item succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.payload, ItemPayload::Ok { .. })
+    }
+
+    /// The mapping of a successful item.
+    pub fn mapping(&self) -> Option<&HattMapping> {
+        match &self.payload {
+            ItemPayload::Ok { mapping, .. } => Some(mapping),
+            ItemPayload::Err(_) => None,
+        }
+    }
+
+    /// The error of a failed item.
+    pub fn error(&self) -> Option<&ItemError> {
+        match &self.payload {
+            ItemPayload::Ok { .. } => None,
+            ItemPayload::Err(e) => Some(e),
+        }
+    }
+
+    /// Encodes the item envelope.
+    pub fn encode(&self) -> Json {
+        let mut payload = vec![
+            ("id".into(), Json::str(&self.id)),
+            (
+                "index".into(),
+                self.index.map_or(Json::Null, |i| Json::int(i as u64)),
+            ),
+            ("ok".into(), Json::Bool(self.is_ok())),
+        ];
+        match &self.payload {
+            ItemPayload::Ok {
+                mapping,
+                pauli_weight,
+            } => {
+                payload.push(("n_modes".into(), Json::int(mapping.n_modes() as u64)));
+                payload.push(("pauli_weight".into(), Json::int(*pauli_weight as u64)));
+                payload.push(("mapping".into(), hatt_mapping_payload(mapping)));
+            }
+            ItemPayload::Err(e) => {
+                payload.push((
+                    "error".into(),
+                    Json::Obj(vec![
+                        ("code".into(), Json::str(&e.code)),
+                        ("message".into(), Json::str(&e.message)),
+                    ]),
+                ));
+            }
+        }
+        envelope(KIND_ITEM, Json::Obj(payload))
+    }
+
+    /// Decodes an item envelope.
+    pub fn decode(v: &Json) -> Result<Self, WireError> {
+        const CTX: &str = "map_item payload";
+        let pairs = as_obj(open_envelope(v, KIND_ITEM)?, CTX)?;
+        let id = as_str(field(pairs, "id", CTX)?, CTX)?.to_string();
+        let index = match field(pairs, "index", CTX)? {
+            Json::Null => None,
+            v => Some(as_usize(v, CTX)?),
+        };
+        let ok = as_bool(field(pairs, "ok", CTX)?, CTX)?;
+        let payload = if ok {
+            let mapping = decode_hatt_mapping_payload(field(pairs, "mapping", CTX)?)?;
+            let pauli_weight = as_usize(field(pairs, "pauli_weight", CTX)?, CTX)?;
+            ItemPayload::Ok {
+                mapping,
+                pauli_weight,
+            }
+        } else {
+            const ECTX: &str = "map_item error";
+            let ep = as_obj(field(pairs, "error", CTX)?, ECTX)?;
+            ItemPayload::Err(ItemError {
+                code: as_str(field(ep, "code", ECTX)?, ECTX)?.to_string(),
+                message: as_str(field(ep, "message", ECTX)?, ECTX)?.to_string(),
+            })
+        };
+        Ok(MapItem { id, index, payload })
+    }
+
+    /// Renders the item as one JSON line.
+    pub fn to_line(&self) -> String {
+        self.encode().render()
+    }
+}
+
+/// The terminal line of a response stream (`kind: "map_done"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapDone {
+    /// Echo of the request id.
+    pub id: String,
+    /// Number of `map_item` lines that preceded this one.
+    pub items: usize,
+    /// How many of them carried errors.
+    pub errors: usize,
+}
+
+impl MapDone {
+    /// Encodes the done envelope.
+    pub fn encode(&self) -> Json {
+        envelope(
+            KIND_DONE,
+            Json::Obj(vec![
+                ("id".into(), Json::str(&self.id)),
+                ("items".into(), Json::int(self.items as u64)),
+                ("errors".into(), Json::int(self.errors as u64)),
+            ]),
+        )
+    }
+
+    /// Decodes a done envelope.
+    pub fn decode(v: &Json) -> Result<Self, WireError> {
+        const CTX: &str = "map_done payload";
+        let pairs = as_obj(open_envelope(v, KIND_DONE)?, CTX)?;
+        Ok(MapDone {
+            id: as_str(field(pairs, "id", CTX)?, CTX)?.to_string(),
+            items: as_usize(field(pairs, "items", CTX)?, CTX)?,
+            errors: as_usize(field(pairs, "errors", CTX)?, CTX)?,
+        })
+    }
+
+    /// Renders the done marker as one JSON line.
+    pub fn to_line(&self) -> String {
+        self.encode().render()
+    }
+}
+
+/// One parsed response line: an item or the done marker.
+// The size difference between the variants is fine: response lines are
+// transient parse results, never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum ResponseLine {
+    /// A per-item result.
+    Item(MapItem),
+    /// The end-of-response marker.
+    Done(MapDone),
+}
+
+impl ResponseLine {
+    /// Parses one response line, dispatching on the envelope kind.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        let v = Json::parse(line)?;
+        let pairs = as_obj(&v, "response envelope")?;
+        let kind = get(pairs, "kind")
+            .and_then(|k| match k {
+                Json::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        match kind {
+            KIND_ITEM => Ok(ResponseLine::Item(MapItem::decode(&v)?)),
+            KIND_DONE => Ok(ResponseLine::Done(MapDone::decode(&v)?)),
+            other => Err(WireError::Kind {
+                expected: "map_item | map_done",
+                found: other.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_core::Mapper;
+    use hatt_pauli::Complex64;
+
+    fn sample_hams() -> Vec<MajoranaSum> {
+        let mut a = MajoranaSum::new(2);
+        a.add(Complex64::ONE, &[0, 1]);
+        a.add(Complex64::real(0.5), &[0, 1, 2, 3]);
+        vec![a, MajoranaSum::uniform_singles(3)]
+    }
+
+    #[test]
+    fn request_round_trips_with_options_and_pin() {
+        let mut req = MapRequest::new("r1", sample_hams());
+        req.options = Some(HattOptions {
+            policy: SelectionPolicy::Beam { width: 4 },
+            ..Default::default()
+        });
+        req.n_modes = Some(2);
+        let back = MapRequest::from_line(&req.to_line()).unwrap();
+        assert_eq!(back.id, "r1");
+        assert_eq!(
+            back.options.unwrap().policy,
+            SelectionPolicy::Beam { width: 4 }
+        );
+        assert_eq!(back.n_modes, Some(2));
+        assert_eq!(back.hamiltonians.len(), 2);
+        assert_eq!(back.hamiltonians[0], req.hamiltonians[0]);
+    }
+
+    #[test]
+    fn item_round_trips_both_arms() {
+        let h = sample_hams().remove(0);
+        let mapping = Mapper::new().map(&h).unwrap();
+        let weight = mapping.map_majorana_sum(&h).weight();
+        let item = MapItem {
+            id: "r1".into(),
+            index: Some(0),
+            payload: ItemPayload::Ok {
+                mapping: mapping.clone(),
+                pauli_weight: weight,
+            },
+        };
+        match ResponseLine::from_line(&item.to_line()).unwrap() {
+            ResponseLine::Item(back) => {
+                assert_eq!(back.index, Some(0));
+                assert_eq!(back.mapping().unwrap().tree(), mapping.tree());
+            }
+            other => panic!("{other:?}"),
+        }
+        let err_item = MapItem {
+            id: "r1".into(),
+            index: None,
+            payload: ItemPayload::Err(ItemError::invalid_request("nope")),
+        };
+        match ResponseLine::from_line(&err_item.to_line()).unwrap() {
+            ResponseLine::Item(back) => {
+                assert_eq!(back.index, None);
+                assert_eq!(back.error().unwrap().code, "invalid_request");
+            }
+            other => panic!("{other:?}"),
+        }
+        let done = MapDone {
+            id: "r1".into(),
+            items: 2,
+            errors: 1,
+        };
+        match ResponseLine::from_line(&done.to_line()).unwrap() {
+            ResponseLine::Done(back) => assert_eq!(back, done),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_fail_typed() {
+        for line in [
+            "",
+            "not json",
+            r#"{"format":"hatt-wire/1","kind":"map_request","payload":{}}"#,
+            r#"{"format":"hatt-wire/1","kind":"map_request","payload":{"id":"x"}}"#,
+            r#"{"format":"hatt-wire/1","kind":"map_request","payload":{"id":"x","options":{"policy":"bogus"},"hamiltonians":[]}}"#,
+            r#"{"format":"hatt-wire/0","kind":"map_request","payload":{"id":"x","hamiltonians":[]}}"#,
+        ] {
+            assert!(MapRequest::from_line(line).is_err(), "{line:?}");
+        }
+    }
+}

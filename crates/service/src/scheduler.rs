@@ -1,0 +1,391 @@
+//! The bounded-queue request scheduler: accepts [`MapRequest`]s, fans
+//! their items onto `vendor/parallel` scoped workers through the shared
+//! [`Mapper`] cache, and streams one [`MapItem`] per Hamiltonian **as it
+//! completes** over a per-request channel.
+//!
+//! ## Design
+//!
+//! * **Bounded queue.** [`Scheduler::submit`] blocks while the job
+//!   queue is at capacity (backpressure toward the socket);
+//!   [`Scheduler::try_submit`] instead fails fast with
+//!   [`ServiceError::Overloaded`] — the knob a front-end uses to shed
+//!   load.
+//! * **Fan-out.** A single dispatcher thread drains the queue in
+//!   batches and runs each batch through [`parallel::par_map_with`] —
+//!   the same scoped-thread fan-out the construction engine itself
+//!   uses — with the per-job thread budget split evenly so a batch
+//!   never oversubscribes the host.
+//! * **Shared cache.** Every job probes the mapper's structure-keyed
+//!   [`MappingCache`](hatt_core::MappingCache), so repeated structures
+//!   across requests and connections dedupe onto one construction.
+//! * **Typed failures.** A job that fails maps to an error
+//!   [`MapItem`] (`empty_hamiltonian`, `mode_mismatch`, …) — one bad
+//!   item never poisons its batch, and no panic is reachable from
+//!   request data.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hatt_core::Mapper;
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_service::{MapRequest, Scheduler, SchedulerConfig};
+//!
+//! let scheduler = Scheduler::new(Arc::new(Mapper::new()), SchedulerConfig::default());
+//! let req = MapRequest::new("r", vec![MajoranaSum::uniform_singles(2)]);
+//! let rx = scheduler.submit(&req)?;
+//! let item = rx.recv().unwrap();
+//! assert!(item.is_ok());
+//! # Ok::<(), hatt_service::ServiceError>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use hatt_core::{HattError, HattOptions, Mapper};
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::FermionMapping;
+
+use crate::error::ServiceError;
+use crate::proto::{ItemError, ItemPayload, MapItem, MapRequest};
+
+/// Scheduler sizing.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Concurrent mapping workers per dispatched batch (default:
+    /// [`parallel::max_threads`], i.e. `HATT_THREADS` or the hardware
+    /// count).
+    pub workers: usize,
+    /// Maximum queued (not yet dispatched) jobs before `submit` blocks
+    /// and `try_submit` sheds load.
+    pub queue_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: parallel::max_threads(),
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// One queued unit of work: a single Hamiltonian of some request.
+struct Job {
+    id: String,
+    index: usize,
+    h: MajoranaSum,
+    options: HattOptions,
+    expected_modes: Option<usize>,
+    tx: Sender<MapItem>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    mapper: Arc<Mapper>,
+    workers: usize,
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The bounded-queue scheduler (see the crate docs for the design).
+#[derive(Debug)]
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("workers", &self.workers)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scheduler {
+    /// Starts a scheduler over `mapper` (shared with the caller — e.g.
+    /// the server also answering in-process queries).
+    pub fn new(mapper: Arc<Mapper>, config: SchedulerConfig) -> Scheduler {
+        let shared = Arc::new(Shared {
+            mapper,
+            workers: config.workers.max(1),
+            capacity: config.queue_capacity.max(1),
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hatt-sched".into())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("spawn scheduler dispatcher")
+        };
+        Scheduler {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Jobs currently queued (not yet dispatched).
+    pub fn queue_len(&self) -> usize {
+        self.shared.lock().jobs.len()
+    }
+
+    /// Enqueues every item of `req`, blocking while the queue is full
+    /// (backpressure). Returns the channel on which one [`MapItem`] per
+    /// Hamiltonian arrives in completion order; the channel disconnects
+    /// after the last item.
+    pub fn submit(&self, req: &MapRequest) -> Result<Receiver<MapItem>, ServiceError> {
+        self.enqueue(req, true)
+    }
+
+    /// Like [`Scheduler::submit`] but fails fast with
+    /// [`ServiceError::Overloaded`] when the queue cannot take the whole
+    /// request right now.
+    pub fn try_submit(&self, req: &MapRequest) -> Result<Receiver<MapItem>, ServiceError> {
+        self.enqueue(req, false)
+    }
+
+    fn enqueue(&self, req: &MapRequest, block: bool) -> Result<Receiver<MapItem>, ServiceError> {
+        let (tx, rx) = channel();
+        let options = req.options.unwrap_or(*self.shared.mapper.options());
+        let mut state = self.shared.lock();
+        if !block && state.jobs.len() + req.hamiltonians.len() > self.shared.capacity {
+            return Err(ServiceError::Overloaded);
+        }
+        for (index, h) in req.hamiltonians.iter().enumerate() {
+            while state.jobs.len() >= self.shared.capacity {
+                if state.shutdown {
+                    return Err(ServiceError::ShuttingDown);
+                }
+                state = self
+                    .shared
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            if state.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            state.jobs.push_back(Job {
+                id: req.id.clone(),
+                index,
+                h: h.clone(),
+                options,
+                expected_modes: req.n_modes,
+                tx: tx.clone(),
+            });
+            self.shared.not_empty.notify_all();
+        }
+        Ok(rx)
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The dispatcher: drain a batch, fan it out, repeat. Exits once
+/// shutdown is signalled *and* the queue is drained (submitted work is
+/// always answered).
+fn dispatch_loop(shared: &Shared) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut state = shared.lock();
+            loop {
+                if !state.jobs.is_empty() {
+                    break;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            // Dispatch up to 2× the worker count per round: enough to
+            // keep every worker busy while leaving later arrivals the
+            // chance to ride the next (soon) round.
+            let take = state.jobs.len().min(shared.workers * 2);
+            let batch = state.jobs.drain(..take).collect();
+            shared.not_full.notify_all();
+            batch
+        };
+        // Split the thread budget so one round never oversubscribes:
+        // concurrent jobs are peers, exactly like `Mapper::map_batch`.
+        let inner_threads = (shared.workers / batch.len().min(shared.workers)).max(1);
+        parallel::par_map_with(shared.workers, &batch, |job| {
+            let item = run_job(&shared.mapper, job, inner_threads);
+            // A dropped receiver (client went away) is not an error —
+            // the work is already done and cached.
+            let _ = job.tx.send(item);
+        });
+    }
+}
+
+/// Runs one job to a response item. Infallible by construction: every
+/// failure mode becomes a typed error payload.
+fn run_job(mapper: &Mapper, job: &Job, inner_threads: usize) -> MapItem {
+    let result = check_modes(job).and_then(|()| {
+        let options = HattOptions {
+            threads: Some(inner_threads),
+            ..job.options
+        };
+        mapper.cache().try_get_or_build(&job.h, &options)
+    });
+    let payload = match result {
+        Ok(mapping) => {
+            let pauli_weight = mapping.map_majorana_sum(&job.h).weight();
+            ItemPayload::Ok {
+                mapping,
+                pauli_weight,
+            }
+        }
+        Err(e) => ItemPayload::Err(ItemError::from_hatt(&e)),
+    };
+    MapItem {
+        id: job.id.clone(),
+        index: Some(job.index),
+        payload,
+    }
+}
+
+fn check_modes(job: &Job) -> Result<(), HattError> {
+    match job.expected_modes {
+        Some(expected) if job.h.n_modes() != expected => Err(HattError::ModeMismatch {
+            expected,
+            got: job.h.n_modes(),
+        }),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_pauli::Complex64;
+
+    fn collect(rx: Receiver<MapItem>, n: usize) -> Vec<MapItem> {
+        let mut items: Vec<MapItem> = (0..n).map(|_| rx.recv().expect("item")).collect();
+        assert!(rx.recv().is_err(), "channel must close after the batch");
+        items.sort_by_key(|i| i.index);
+        items
+    }
+
+    #[test]
+    fn maps_a_batch_and_streams_every_item() {
+        let mapper = Arc::new(Mapper::new());
+        let scheduler = Scheduler::new(Arc::clone(&mapper), SchedulerConfig::default());
+        let hams: Vec<MajoranaSum> = (2..6).map(MajoranaSum::uniform_singles).collect();
+        let rx = scheduler
+            .submit(&MapRequest::new("r", hams.clone()))
+            .unwrap();
+        let items = collect(rx, hams.len());
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item.index, Some(i));
+            assert_eq!(item.id, "r");
+            let expect = mapper.map(&hams[i]).unwrap();
+            assert_eq!(item.mapping().unwrap().tree(), expect.tree());
+        }
+    }
+
+    #[test]
+    fn bad_items_fail_individually_not_the_batch() {
+        let scheduler = Scheduler::new(Arc::new(Mapper::new()), SchedulerConfig::default());
+        let mut pinned = MapRequest::new(
+            "r",
+            vec![
+                MajoranaSum::uniform_singles(3),
+                MajoranaSum::new(0),
+                MajoranaSum::uniform_singles(2),
+            ],
+        );
+        pinned.n_modes = Some(3);
+        let rx = scheduler.submit(&pinned).unwrap();
+        let items = collect(rx, 3);
+        assert!(items[0].is_ok());
+        assert_eq!(items[1].error().unwrap().code, "mode_mismatch");
+        assert_eq!(items[2].error().unwrap().code, "mode_mismatch");
+        // Without the pin, the zero-mode item gets its own typed error.
+        let unpinned = MapRequest::new(
+            "r2",
+            vec![MajoranaSum::new(0), MajoranaSum::uniform_singles(2)],
+        );
+        let rx = scheduler.submit(&unpinned).unwrap();
+        let items = collect(rx, 2);
+        assert_eq!(items[0].error().unwrap().code, "empty_hamiltonian");
+        assert!(items[1].is_ok());
+    }
+
+    #[test]
+    fn requests_share_the_mapper_cache() {
+        let mapper = Arc::new(Mapper::new());
+        let scheduler = Scheduler::new(Arc::clone(&mapper), SchedulerConfig::default());
+        let mut h = MajoranaSum::new(2);
+        h.add(Complex64::ONE, &[0, 1]);
+        h.add(Complex64::ONE, &[2, 3]);
+        let rx = scheduler
+            .submit(&MapRequest::new("a", vec![h.clone()]))
+            .unwrap();
+        let _ = collect(rx, 1);
+        let rx = scheduler
+            .submit(&MapRequest::new("b", vec![h.scaled(2.0)]))
+            .unwrap();
+        let _ = collect(rx, 1);
+        assert_eq!(mapper.cache().hits(), 1, "second request replayed");
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_full() {
+        // One-slot queue: a multi-item request cannot fit atomically.
+        let scheduler = Scheduler::new(
+            Arc::new(Mapper::new()),
+            SchedulerConfig {
+                workers: 1,
+                queue_capacity: 1,
+            },
+        );
+        let big = MapRequest::new(
+            "big",
+            (0..64).map(|_| MajoranaSum::uniform_singles(2)).collect(),
+        );
+        match scheduler.try_submit(&big) {
+            Err(ServiceError::Overloaded) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Blocking submit still completes (backpressure, not failure).
+        let rx = scheduler.submit(&big).unwrap();
+        assert_eq!(collect(rx, 64).len(), 64);
+    }
+}

@@ -1,0 +1,212 @@
+//! The `hattd` JSON-lines-over-TCP server: one [`MapRequest`] per
+//! line in, one [`MapItem`] line **per batch item as it completes**
+//! out, closed by a [`MapDone`] line.
+//!
+//! The server is std-only: an accept thread hands each connection to
+//! its own handler thread; all handlers share one [`Scheduler`] (and
+//! through it one [`Mapper`] + structure cache). A connection can issue
+//! any number of requests back to back; an unparsable line yields a
+//! single `invalid_request` item plus `map_done` and the connection
+//! stays usable.
+//!
+//! # Examples
+//!
+//! ```
+//! use hatt_core::Mapper;
+//! use hatt_fermion::MajoranaSum;
+//! use hatt_service::{client, MapRequest, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default())?;
+//! let req = MapRequest::new("r", vec![MajoranaSum::uniform_singles(2)]);
+//! let reply = client::request(server.local_addr(), &req)?;
+//! assert_eq!(reply.done.items, 1);
+//! assert!(reply.items[0].is_ok());
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use hatt_core::Mapper;
+
+use crate::proto::{ItemError, ItemPayload, MapDone, MapItem, MapRequest};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+
+/// Server sizing (passed through to the [`Scheduler`]).
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Scheduler sizing.
+    pub scheduler: SchedulerConfig,
+}
+
+/// A running `hattd` server. Dropping (or calling
+/// [`Server::shutdown`]) stops accepting and tears the scheduler down;
+/// in-flight requests are still answered.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    scheduler: Option<Arc<Scheduler>>,
+}
+
+impl Server {
+    /// Binds and starts serving on `addr` (use port `0` for an
+    /// ephemeral port; read it back with [`Server::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        mapper: Mapper,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let scheduler = Arc::new(Scheduler::new(Arc::new(mapper), config.scheduler));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let scheduler = Arc::clone(&scheduler);
+            std::thread::Builder::new()
+                .name("hattd-accept".into())
+                .spawn(move || accept_loop(&listener, &stop, &scheduler))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks the calling thread until the server shuts down — the
+    /// daemon (`hattd`) foreground mode.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    fn signal_stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Dropping the last scheduler handle joins the dispatcher.
+        self.scheduler.take();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.signal_stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, scheduler: &Arc<Scheduler>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let scheduler = Arc::clone(scheduler);
+                let _ = std::thread::Builder::new()
+                    .name("hattd-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &scheduler);
+                    });
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Back off instead of busy-spinning: persistent accept
+                // errors (fd exhaustion, EMFILE) would otherwise peg a
+                // core while contributing nothing.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Serves one connection: request lines in, streamed item lines out.
+fn handle_connection(stream: TcpStream, scheduler: &Scheduler) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (items, errors, id) = match MapRequest::from_line(&line) {
+            Ok(req) => {
+                let expected = req.hamiltonians.len();
+                match scheduler.submit(&req) {
+                    Ok(rx) => {
+                        let mut errors = 0usize;
+                        let mut received = 0usize;
+                        // Stream items in completion order; the channel
+                        // closes once every job answered.
+                        while received < expected {
+                            let Ok(item) = rx.recv() else { break };
+                            received += 1;
+                            if !item.is_ok() {
+                                errors += 1;
+                            }
+                            write_line(&mut writer, &item.to_line())?;
+                        }
+                        (received, errors, req.id)
+                    }
+                    Err(e) => {
+                        let item = MapItem {
+                            id: req.id.clone(),
+                            index: None,
+                            payload: ItemPayload::Err(ItemError {
+                                code: e.code().to_string(),
+                                message: e.to_string(),
+                            }),
+                        };
+                        write_line(&mut writer, &item.to_line())?;
+                        (1, 1, req.id)
+                    }
+                }
+            }
+            Err(e) => {
+                let item = MapItem {
+                    id: String::new(),
+                    index: None,
+                    payload: ItemPayload::Err(ItemError::invalid_request(e.to_string())),
+                };
+                write_line(&mut writer, &item.to_line())?;
+                (1, 1, String::new())
+            }
+        };
+        let done = MapDone { id, items, errors };
+        write_line(&mut writer, &done.to_line())?;
+    }
+    Ok(())
+}
+
+fn write_line(writer: &mut impl Write, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    // Flush per line: responses must *stream*, not arrive as one blob
+    // when the batch finishes.
+    writer.flush()
+}

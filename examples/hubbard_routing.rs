@@ -9,7 +9,7 @@
 use hatt::circuit::{
     optimize, route_sabre, trotter_circuit, CouplingMap, RouterOptions, TermOrder,
 };
-use hatt::core::hatt;
+use hatt::core::Mapper;
 use hatt::fermion::models::FermiHubbard;
 use hatt::fermion::MajoranaSum;
 use hatt::mappings::{balanced_ternary_tree, bravyi_kitaev, jordan_wigner, FermionMapping};
@@ -32,7 +32,7 @@ fn main() {
         Box::new(jordan_wigner(n)),
         Box::new(bravyi_kitaev(n)),
         Box::new(balanced_ternary_tree(n)),
-        Box::new(hatt(&h)),
+        Box::new(Mapper::new().map(&h).expect("non-empty Hamiltonian")),
     ];
 
     let device = CouplingMap::montreal27();

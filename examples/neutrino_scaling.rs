@@ -11,7 +11,7 @@
 //! cargo run --release --example neutrino_scaling
 //! ```
 
-use hatt::core::{hatt_with, HattOptions};
+use hatt::core::Mapper;
 use hatt::fermion::models::NeutrinoModel;
 use hatt::fermion::MajoranaSum;
 use hatt::mappings::{jordan_wigner, FermionMapping, SelectionPolicy};
@@ -38,9 +38,14 @@ fn main() {
         let n = h.n_modes();
         let w_jw = jordan_wigner(n).map_majorana_sum(&h).weight();
 
-        let greedy = hatt_with(&h, &HattOptions::default());
+        let greedy = Mapper::new().map(&h).expect("neutrino model maps");
         let w_greedy = greedy.map_majorana_sum(&h).weight();
-        let quality = hatt_with(&h, &HattOptions::with_policy(SelectionPolicy::quality()));
+        let quality = Mapper::builder()
+            .policy(SelectionPolicy::quality())
+            .build()
+            .expect("static mapper configuration")
+            .map(&h)
+            .expect("neutrino model maps");
         let w_quality = quality.map_majorana_sum(&h).weight();
         println!(
             "{:<8} {:>6} {:>8} | {:>10} {:>10} {:>20} | {:>10} {:>20} | {:>10.2}",
@@ -61,7 +66,7 @@ fn main() {
     let model = NeutrinoModel::new(3, 2);
     let mut h = MajoranaSum::from_fermion(&model.hamiltonian());
     let _ = h.take_identity();
-    let mapping = hatt_with(&h, &HattOptions::default());
+    let mapping = Mapper::new().map(&h).expect("neutrino model maps");
     println!(
         "\nper-qubit settled weight for {} (first 8 iterations):",
         model.label()

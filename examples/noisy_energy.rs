@@ -7,7 +7,7 @@
 //! ```
 
 use hatt::circuit::{optimize, trotter_circuit, TermOrder};
-use hatt::core::hatt;
+use hatt::core::Mapper;
 use hatt::fermion::models::MolecularIntegrals;
 use hatt::fermion::MajoranaSum;
 use hatt::mappings::{jordan_wigner, FermionMapping};
@@ -29,7 +29,7 @@ fn main() {
 
     for mapping in [
         Box::new(jordan_wigner(n)) as Box<dyn FermionMapping>,
-        Box::new(hatt(&h)),
+        Box::new(Mapper::new().map(&h).expect("non-empty Hamiltonian")),
     ] {
         let hq = mapping.map_majorana_sum(&h);
         // The exact ground state is the preparation (stand-in for VQE).

@@ -6,7 +6,7 @@
 //! ```
 
 use hatt::circuit::{optimize, trotter_circuit, TermOrder};
-use hatt::core::hatt;
+use hatt::core::Mapper;
 use hatt::fermion::models::MolecularIntegrals;
 use hatt::fermion::MajoranaSum;
 use hatt::mappings::{jordan_wigner, validate, FermionMapping};
@@ -30,8 +30,10 @@ fn main() {
         constant.re
     );
 
-    // 3. Compile the Hamiltonian-adaptive mapping.
-    let mapping = hatt(&h);
+    // 3. Compile the Hamiltonian-adaptive mapping through a reusable
+    //    handle (`Mapper` validates inputs and returns typed errors).
+    let mapper = Mapper::new();
+    let mapping = mapper.map(&h).expect("H2 has modes to map");
     println!("\nHATT Majorana strings:");
     for k in 0..2 * h.n_modes() {
         println!(

@@ -13,9 +13,11 @@ pub use hatt_core as core;
 pub use hatt_fermion as fermion;
 pub use hatt_mappings as mappings;
 pub use hatt_pauli as pauli;
+pub use hatt_service as service;
 pub use hatt_sim as sim;
 
 /// Commonly used items, re-exported for `use hatt::prelude::*`.
 pub mod prelude {
+    pub use hatt_core::{HattError, Mapper};
     pub use hatt_pauli::{Complex64, Pauli, PauliString, PauliSum, Phase};
 }

@@ -1,0 +1,102 @@
+//! Shim-coverage suite: the deprecated free functions must stay exact
+//! aliases of the `Mapper` handle API — same trees, same stats, same
+//! panic behaviour. This is the one test target where deprecation
+//! warnings are silenced on purpose; everything else in the workspace
+//! builds warning-free against the new API.
+#![allow(deprecated)]
+
+use hatt::core::{
+    compile, hatt, hatt_for_fermion, hatt_with, map_many, map_many_cached, HattOptions, Mapper,
+    MappingCache,
+};
+use hatt::fermion::models::{FermiHubbard, NeutrinoModel};
+use hatt::fermion::{FermionOperator, MajoranaSum};
+use hatt::mappings::SelectionPolicy;
+use hatt::prelude::Complex64;
+
+fn cases() -> Vec<MajoranaSum> {
+    let mut v = vec![
+        MajoranaSum::from_fermion(&FermiHubbard::new(2, 2).hamiltonian()),
+        MajoranaSum::from_fermion(&NeutrinoModel::new(3, 2).hamiltonian()),
+    ];
+    for h in &mut v {
+        let _ = h.take_identity();
+    }
+    v
+}
+
+#[test]
+fn hatt_shim_equals_mapper_map() {
+    for h in cases() {
+        let old = hatt(&h);
+        let new = Mapper::new().map(&h).unwrap();
+        assert_eq!(old.tree(), new.tree());
+        assert_eq!(old.stats().total_weight(), new.stats().total_weight());
+        assert_eq!(
+            old.stats().total_candidates(),
+            new.stats().total_candidates()
+        );
+    }
+}
+
+#[test]
+fn hatt_with_shim_equals_mapper_with_options() {
+    for policy in [
+        SelectionPolicy::Greedy,
+        SelectionPolicy::Beam { width: 4 },
+        SelectionPolicy::Restarts,
+    ] {
+        for h in cases() {
+            let opts = HattOptions::with_policy(policy);
+            let old = hatt_with(&h, &opts);
+            let new = Mapper::with_options(opts).map(&h).unwrap();
+            assert_eq!(old.tree(), new.tree(), "{policy}");
+            assert_eq!(
+                old.stats().total_weight(),
+                new.stats().total_weight(),
+                "{policy}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hatt_for_fermion_and_compile_shims_agree() {
+    let mut op = FermionOperator::new(3);
+    op.add_number(Complex64::ONE, 0);
+    op.add_hopping(Complex64::real(0.5), 0, 2);
+    let old = hatt_for_fermion(&op);
+    let new = Mapper::new().map_fermion(&op).unwrap();
+    assert_eq!(old.tree(), new.tree());
+
+    let h = MajoranaSum::from_fermion(&op);
+    let (old_m, old_hq) = compile(&h);
+    let (new_m, new_hq) = Mapper::new().compile(&h).unwrap();
+    assert_eq!(old_m.tree(), new_m.tree());
+    assert_eq!(old_hq, new_hq);
+}
+
+#[test]
+fn map_many_shims_equal_map_batch() {
+    let base = cases().remove(0);
+    let batch = vec![base.clone(), base.scaled(2.0), cases().remove(1)];
+    let opts = HattOptions::default();
+    let old = map_many(&batch, &opts);
+    let cache = MappingCache::new();
+    let old_cached = map_many_cached(&batch, &opts, &cache);
+    let mapper = Mapper::new();
+    let new = mapper.map_batch(&batch).unwrap();
+    assert_eq!(old.len(), new.len());
+    for i in 0..new.len() {
+        assert_eq!(old[i].tree(), new[i].tree(), "slot {i}");
+        assert_eq!(old_cached[i].tree(), new[i].tree(), "slot {i} cached");
+    }
+    assert_eq!(cache.hits(), mapper.cache().hits());
+    assert_eq!(cache.misses(), mapper.cache().misses());
+}
+
+#[test]
+#[should_panic(expected = "at least one mode")]
+fn shims_keep_the_historic_panic_on_zero_modes() {
+    let _ = hatt(&MajoranaSum::new(0));
+}

@@ -1,7 +1,6 @@
 //! Facade-crate coverage: the examples must keep building, and the
 //! `hatt::prelude` surface must round-trip the core pipeline.
 
-use hatt::core::{hatt_with, HattOptions};
 use hatt::fermion::FermionOperator;
 use hatt::fermion::MajoranaSum;
 use hatt::mappings::FermionMapping;
@@ -34,7 +33,7 @@ fn prelude_pauli_string_round_trip() {
     assert_eq!(s, reparsed);
 }
 
-/// Maps a small 4-mode Hamiltonian through `hatt_core::hatt_with` and
+/// Maps a small 4-mode Hamiltonian through the prelude's `Mapper` and
 /// checks the mapped Pauli weight is positive and bounded.
 #[test]
 fn prelude_four_mode_hatt_round_trip() {
@@ -47,7 +46,7 @@ fn prelude_four_mode_hatt_round_trip() {
         h.add_hopping(Complex64::real(0.5), p, p + 1);
     }
     let majorana = MajoranaSum::from_fermion(&h);
-    let mapping = hatt_with(&majorana, &HattOptions::default());
+    let mapping = Mapper::new().map(&majorana).expect("non-empty Hamiltonian");
     let mapped: PauliSum = mapping.map_majorana_sum(&majorana);
     let weight = mapped.weight();
     assert!(weight > 0, "mapped Hamiltonian must have positive weight");

@@ -2,6 +2,12 @@
 //! library calls at small N, asserted against checked-in expected
 //! numbers (Pauli weights, gate counts, qubit counts).
 //!
+//! Deliberately exercises the deprecated `hatt`/`hatt_with` shims (see
+//! `tests/deprecated_shims.rs` for the shim ≡ `Mapper` equivalence):
+//! the golden numbers pin that the API redesign changed no result, on
+//! the exact entry points pre-redesign callers used.
+#![allow(deprecated)]
+//!
 //! Every value here was produced by the corresponding
 //! `cargo run -p hatt-bench --bin tableN` binary at the time the suite
 //! was recorded. The constructions, the Trotter/optimizer pipeline and

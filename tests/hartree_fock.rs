@@ -3,7 +3,7 @@
 //! Hartree-Fock energy of H2 and particle-number bookkeeping — for every
 //! vacuum-preserving mapping.
 
-use hatt::core::hatt;
+use hatt::core::Mapper;
 use hatt::fermion::models::MolecularIntegrals;
 use hatt::fermion::MajoranaSum;
 use hatt::mappings::{balanced_ternary_tree, bravyi_kitaev, jordan_wigner, parity, FermionMapping};
@@ -37,7 +37,7 @@ fn mappings_under_test(h: &MajoranaSum) -> Vec<Box<dyn FermionMapping>> {
         Box::new(parity(n)),
         Box::new(bravyi_kitaev(n)),
         Box::new(balanced_ternary_tree(n)),
-        Box::new(hatt(h)),
+        Box::new(Mapper::new().map(h).expect("non-empty Hamiltonian")),
     ]
 }
 

@@ -2,7 +2,7 @@
 //! of the same Hamiltonian must produce an *isospectral* qubit
 //! Hamiltonian — the strongest cross-mapping correctness check available.
 
-use hatt::core::{hatt_with, HattOptions, Variant};
+use hatt::core::{HattOptions, Mapper, Variant};
 use hatt::fermion::models::{random_hermitian, FermiHubbard, MolecularIntegrals};
 use hatt::fermion::{FermionOperator, MajoranaSum};
 use hatt::mappings::{
@@ -56,6 +56,14 @@ fn check_isospectral(op: &FermionOperator, label: &str) {
             &s[..4.min(s.len())]
         );
     }
+}
+
+/// One construction through the `Mapper` handle (fresh handle per call —
+/// identical results and stats to the old `hatt_with` free function).
+fn hatt_with(h: &MajoranaSum, opts: &HattOptions) -> hatt::core::HattMapping {
+    Mapper::with_options(*opts)
+        .map(h)
+        .expect("valid Hamiltonian")
 }
 
 #[test]

@@ -16,6 +16,11 @@
 //! once at the hardware default. Mutating the variable *here* would race
 //! against the concurrent test harness.
 
+// Deliberately exercises the deprecated free-function shims: the
+// determinism pins must hold on the exact entry points pre-redesign
+// callers used (Mapper equivalence is pinned in tests/deprecated_shims.rs).
+#![allow(deprecated)]
+
 use hatt_bench::{evaluate_mapping, preprocess};
 use hatt_core::{hatt_with, map_many, map_many_cached, HattOptions, MappingCache};
 use hatt_fermion::models::{molecule_catalog, NeutrinoModel};

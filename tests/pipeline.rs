@@ -3,13 +3,26 @@
 //! and golden-weight regression pins.
 
 use hatt::circuit::{optimize, trotter_circuit, TermOrder};
-use hatt::core::{hatt, hatt_with, HattOptions, Variant};
+use hatt::core::{HattOptions, Mapper, Variant};
 use hatt::fermion::models::{FermiHubbard, MolecularIntegrals, NeutrinoModel};
 use hatt::fermion::MajoranaSum;
 use hatt::mappings::{
     balanced_ternary_tree, bravyi_kitaev, jordan_wigner, validate, FermionMapping,
 };
 use hatt::sim::{ground_state, StateVector};
+
+/// One construction through the `Mapper` handle (fresh handle per call —
+/// identical results and stats to the old `hatt_with` free function).
+fn hatt_with(h: &MajoranaSum, opts: &HattOptions) -> hatt::core::HattMapping {
+    Mapper::with_options(*opts)
+        .map(h)
+        .expect("valid Hamiltonian")
+}
+
+/// Default-options construction (the old `hatt` free function).
+fn hatt(h: &MajoranaSum) -> hatt::core::HattMapping {
+    hatt_with(h, &HattOptions::default())
+}
 
 #[test]
 fn ideal_trotter_circuit_approximately_conserves_energy() {

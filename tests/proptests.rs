@@ -2,7 +2,7 @@
 //! cross-mapping isospectrality on randomly generated fermionic
 //! Hamiltonians.
 
-use hatt::core::{hatt_with, HattOptions, Variant};
+use hatt::core::{HattOptions, Mapper, Variant};
 use hatt::fermion::models::random_hermitian;
 use hatt::fermion::MajoranaSum;
 use hatt::mappings::{
@@ -10,6 +10,14 @@ use hatt::mappings::{
 };
 use hatt::sim::spectrum;
 use proptest::prelude::*;
+
+/// One construction through the `Mapper` handle (fresh handle per call —
+/// identical results and stats to the old `hatt_with` free function).
+fn hatt_with(h: &MajoranaSum, opts: &HattOptions) -> hatt::core::HattMapping {
+    Mapper::with_options(*opts)
+        .map(h)
+        .expect("valid Hamiltonian")
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

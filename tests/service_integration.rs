@@ -1,0 +1,233 @@
+//! Service-layer integration: boot `hattd` (the library server the
+//! binary wraps) on an ephemeral port, map the Table I roster over the
+//! socket, and assert every streamed response is **bit-identical** to
+//! the in-process `Mapper` result. Also pins the typed-error paths: a
+//! malformed line, a zero-mode item and a mode-pin violation each come
+//! back as error lines without wedging the connection or the batch.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use hatt::core::{HattOptions, Mapper};
+use hatt::fermion::models::{molecule_catalog, NeutrinoModel};
+use hatt::fermion::MajoranaSum;
+use hatt::mappings::{validate, FermionMapping, SelectionPolicy};
+use hatt::service::{client, MapRequest, ResponseLine, Server, ServerConfig};
+
+fn preprocess(h: &hatt::fermion::FermionOperator) -> MajoranaSum {
+    let mut m = MajoranaSum::from_fermion(h);
+    let _ = m.take_identity();
+    m.prune(1e-10);
+    m
+}
+
+/// The Table I roster: every catalog molecule (4–30 modes) plus two
+/// neutrino models.
+fn roster() -> Vec<(String, MajoranaSum)> {
+    let mut cases: Vec<(String, MajoranaSum)> = molecule_catalog()
+        .into_iter()
+        .map(|spec| (spec.name.to_string(), preprocess(&spec.hamiltonian())))
+        .collect();
+    for (s, f) in [(3usize, 2usize), (4, 2)] {
+        let model = NeutrinoModel::new(s, f);
+        cases.push((
+            format!("neutrino {}", model.label()),
+            preprocess(&model.hamiltonian()),
+        ));
+    }
+    cases
+}
+
+fn boot(mapper: Mapper) -> Server {
+    Server::bind("127.0.0.1:0", mapper, ServerConfig::default()).expect("bind ephemeral port")
+}
+
+#[test]
+fn table1_roster_over_tcp_is_bit_identical_to_in_process() {
+    let server = boot(Mapper::new());
+    let cases = roster();
+    let hams: Vec<MajoranaSum> = cases.iter().map(|(_, h)| h.clone()).collect();
+
+    let req = MapRequest::new("table1", hams.clone());
+    let reply = client::request(server.local_addr(), &req).expect("socket round trip");
+    assert_eq!(reply.done.items, hams.len());
+    assert_eq!(reply.done.errors, 0);
+    let items = reply.into_ordered();
+
+    // The reference mapper runs the identical configuration in-process.
+    let reference = Mapper::new();
+    for (i, ((name, h), item)) in cases.iter().zip(&items).enumerate() {
+        assert_eq!(item.index, Some(i), "{name}: stream index");
+        let remote = item.mapping().unwrap_or_else(|| {
+            panic!("{name}: error item {:?}", item.error());
+        });
+        let local = reference.map(h).expect("roster maps");
+        assert_eq!(remote.tree(), local.tree(), "{name}: tree drifted over TCP");
+        assert_eq!(
+            remote.stats().total_weight(),
+            local.stats().total_weight(),
+            "{name}: settled weight drifted"
+        );
+        assert_eq!(
+            remote.map_majorana_sum(h).weight(),
+            local.map_majorana_sum(h).weight(),
+            "{name}: mapped weight drifted"
+        );
+        let report = validate(remote);
+        assert!(report.is_valid(), "{name}: invalid over the wire");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn responses_stream_one_line_per_item() {
+    let server = boot(Mapper::new());
+    let hams: Vec<MajoranaSum> = (2..7).map(MajoranaSum::uniform_singles).collect();
+    let req = MapRequest::new("stream", hams.clone());
+
+    // Raw socket: count the lines ourselves.
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .expect("send");
+    writer.flush().expect("flush");
+    let reader = BufReader::new(stream);
+    let mut item_lines = 0usize;
+    let mut done = false;
+    for line in reader.lines() {
+        let line = line.expect("read line");
+        match ResponseLine::from_line(&line).expect("parse response") {
+            ResponseLine::Item(item) => {
+                assert!(item.is_ok());
+                item_lines += 1;
+            }
+            ResponseLine::Done(d) => {
+                assert_eq!(d.items, hams.len());
+                done = true;
+                break;
+            }
+        }
+    }
+    assert!(done, "missing map_done line");
+    assert_eq!(item_lines, hams.len(), "one line per batch item");
+    server.shutdown();
+}
+
+#[test]
+fn request_options_override_the_server_default() {
+    let server = boot(Mapper::new()); // greedy default
+    let mut h = MajoranaSum::from_fermion(&NeutrinoModel::new(3, 2).hamiltonian());
+    let _ = h.take_identity();
+
+    let mut req = MapRequest::new("quality", vec![h.clone()]);
+    req.options = Some(HattOptions::with_policy(SelectionPolicy::Restarts));
+    let items = client::request(server.local_addr(), &req)
+        .expect("round trip")
+        .into_ordered();
+    let remote = items[0].mapping().expect("ok item");
+
+    let local = Mapper::builder()
+        .policy(SelectionPolicy::Restarts)
+        .build()
+        .unwrap()
+        .map(&h)
+        .unwrap();
+    assert_eq!(remote.tree(), local.tree(), "per-request policy honoured");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_invalid_inputs_come_back_as_typed_error_lines() {
+    let server = boot(Mapper::new());
+    let addr = server.local_addr();
+
+    // 1. Garbage line → invalid_request item + done; connection stays up.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"this is not a request\n").expect("send");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error line");
+    match ResponseLine::from_line(&line).expect("parse") {
+        ResponseLine::Item(item) => {
+            assert!(!item.is_ok());
+            assert_eq!(item.index, None);
+            assert_eq!(item.error().unwrap().code, "invalid_request");
+        }
+        other => panic!("{other:?}"),
+    }
+    line.clear();
+    reader.read_line(&mut line).expect("done line");
+    assert!(matches!(
+        ResponseLine::from_line(&line).expect("parse"),
+        ResponseLine::Done(_)
+    ));
+
+    // 2. Same connection, now a valid request: still served.
+    let req = MapRequest::new("after-error", vec![MajoranaSum::uniform_singles(2)]);
+    writer
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .expect("send valid");
+    writer.flush().expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("item line");
+    match ResponseLine::from_line(&line).expect("parse") {
+        ResponseLine::Item(item) => assert!(item.is_ok(), "connection wedged after error"),
+        other => panic!("{other:?}"),
+    }
+
+    // 3. Zero-mode and mode-pinned items fail individually via the
+    //    client helper; valid siblings still map.
+    let mut req = MapRequest::new(
+        "mixed",
+        vec![
+            MajoranaSum::uniform_singles(3),
+            MajoranaSum::new(0),
+            MajoranaSum::uniform_singles(2),
+        ],
+    );
+    let items = client::request(addr, &req)
+        .expect("round trip")
+        .into_ordered();
+    assert!(items[0].is_ok());
+    assert_eq!(items[1].error().unwrap().code, "empty_hamiltonian");
+    assert!(items[2].is_ok());
+
+    req.id = "pinned".into();
+    req.n_modes = Some(3);
+    let items = client::request(addr, &req)
+        .expect("round trip")
+        .into_ordered();
+    assert!(items[0].is_ok());
+    assert_eq!(items[1].error().unwrap().code, "mode_mismatch");
+    assert_eq!(items[2].error().unwrap().code, "mode_mismatch");
+    server.shutdown();
+}
+
+#[test]
+fn repeated_structures_cache_hit_across_the_socket() {
+    let server = boot(Mapper::new());
+    let mut h = MajoranaSum::from_fermion(&NeutrinoModel::new(3, 2).hamiltonian());
+    let _ = h.take_identity();
+    // A coefficient sweep: one structure, five instances.
+    let sweep: Vec<MajoranaSum> = (0..5).map(|k| h.scaled(1.0 + 0.25 * k as f64)).collect();
+    let req = MapRequest::new("sweep", sweep.clone());
+    let items = client::request(server.local_addr(), &req)
+        .expect("round trip")
+        .into_ordered();
+    let reference = Mapper::new();
+    let base_tree = reference.map(&h).unwrap();
+    for (k, item) in items.iter().enumerate() {
+        let m = item.mapping().expect("ok item");
+        assert_eq!(m.tree(), base_tree.tree(), "instance {k}");
+        // Exact per-instance stats despite the shared structure.
+        assert_eq!(
+            m.stats().total_weight(),
+            reference.map(&sweep[k]).unwrap().stats().total_weight(),
+            "instance {k} stats"
+        );
+    }
+    server.shutdown();
+}
