@@ -1,0 +1,79 @@
+//! `hatt-lint` — run the workspace invariant rules and report.
+//!
+//! ```text
+//! hatt-lint [--root <dir>] [--deny all] [--quiet]
+//! ```
+//!
+//! Default severities: structural rules (`registry`, `unsafe`,
+//! `forbid-unsafe`, `allow-syntax`) are errors; `panic` and
+//! `determinism` are warnings. `--deny all` promotes every finding to
+//! an error — the CI configuration. Exit code 1 when any error is
+//! found, 2 on usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hatt_analysis::walk::{run, Options};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--deny" => match args.next().as_deref() {
+                Some("all") => deny_all = true,
+                _ => return usage("--deny only supports `all`"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: hatt-lint [--root <dir>] [--deny all] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let outcome = match run(&Options { root }) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hatt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for f in &outcome.findings {
+        let denied = deny_all || f.denied_by_default();
+        let severity = if denied { "error" } else { "warning" };
+        if denied {
+            errors += 1;
+        } else {
+            warnings += 1;
+        }
+        if !quiet {
+            println!("{severity}{f}");
+        }
+    }
+    println!(
+        "hatt-lint: {} files, {errors} errors, {warnings} warnings{}",
+        outcome.files_checked,
+        if deny_all { " (--deny all)" } else { "" }
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("hatt-lint: {msg}\nusage: hatt-lint [--root <dir>] [--deny all] [--quiet]");
+    ExitCode::from(2)
+}

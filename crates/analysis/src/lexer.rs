@@ -1,0 +1,473 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for
+//! the lint rules, with exact handling of the places naive text search
+//! goes wrong: comments (line, block, nested block, doc), string
+//! literals (cooked, raw with any `#` depth, byte), char literals vs
+//! lifetimes, and raw identifiers (`r#ident`).
+//!
+//! The lexer never fails: unterminated comments/strings consume to end
+//! of input (the compiler will reject such a file anyway; the linter
+//! still classifies the prefix correctly). Tokens carry byte spans into
+//! the source; [`Lexed`] resolves spans to 1-based line/column.
+
+/// Classification of one source token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, `r#match`).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Numeric literal (loosely scanned; rules never inspect these).
+    Number,
+    /// Comment of any flavour, doc comments included.
+    Comment,
+}
+
+/// One token: a [`TokenKind`] plus its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// A lexed source file: the token stream plus a line table.
+#[derive(Debug)]
+pub struct Lexed<'a> {
+    /// The source the spans index into.
+    pub src: &'a str,
+    /// All tokens in source order (whitespace dropped).
+    pub tokens: Vec<Token>,
+    line_starts: Vec<usize>,
+}
+
+impl Lexed<'_> {
+    /// The source text of `token`.
+    pub fn text(&self, token: &Token) -> &str {
+        &self.src[token.start..token.end]
+    }
+
+    /// 1-based `(line, column)` of a byte offset (column counts bytes).
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let col = offset - self.line_starts[line] + 1;
+        (line as u32 + 1, col as u32)
+    }
+
+    /// 1-based line of a byte offset.
+    pub fn line_of(&self, offset: usize) -> u32 {
+        self.line_col(offset).0
+    }
+}
+
+/// Lexes `src` into a token stream. Infallible; see the [module
+/// docs](self) for how malformed input degrades.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let mut line_starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let mut tokens = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let start = i;
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Comment,
+                    start,
+                    end: i,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Comment,
+                    start,
+                    end: i,
+                });
+            }
+            b'"' => {
+                i = scan_cooked_string(b, i);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    start,
+                    end: i,
+                });
+            }
+            b'\'' => {
+                let (end, kind) = scan_quote(src, b, i);
+                i = end;
+                tokens.push(Token {
+                    kind,
+                    start,
+                    end: i,
+                });
+            }
+            b'r' | b'b' => {
+                if let Some((end, kind)) = scan_prefixed(b, i) {
+                    i = end;
+                    tokens.push(Token {
+                        kind,
+                        start,
+                        end: i,
+                    });
+                } else {
+                    i = scan_ident(src, i);
+                    tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        start,
+                        end: i,
+                    });
+                }
+            }
+            _ if is_ident_start(src, i) => {
+                i = scan_ident(src, i);
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    start,
+                    end: i,
+                });
+            }
+            b'0'..=b'9' => {
+                i = scan_number(b, i);
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    start,
+                    end: i,
+                });
+            }
+            _ => {
+                // One punctuation character (or one non-ASCII char that
+                // can only legally appear inside literals/comments —
+                // classified as punct, which no rule matches on).
+                i += char_width(src, i);
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    start,
+                    end: i,
+                });
+            }
+        }
+    }
+    Lexed {
+        src,
+        tokens,
+        line_starts,
+    }
+}
+
+/// Scans a cooked (escape-processing) string starting at the opening
+/// quote `b[i]`; returns the offset one past the closing quote.
+fn scan_cooked_string(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Scans from a `'`: char literal or lifetime (see the disambiguation
+/// note in the module docs).
+fn scan_quote(src: &str, b: &[u8], i: usize) -> (usize, TokenKind) {
+    // Escape ⇒ always a char literal: '\n', '\'', '\\', '\u{..}'.
+    if b.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 2;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'\'' => return (j + 1, TokenKind::Char),
+                _ => j += 1,
+            }
+        }
+        return (b.len(), TokenKind::Char);
+    }
+    // `'x'` (x may be any single char) is a char literal; `'ident` not
+    // followed by a closing quote is a lifetime.
+    if i + 1 < b.len() {
+        let w = char_width(src, i + 1);
+        if b.get(i + 1 + w) == Some(&b'\'') {
+            return (i + 2 + w, TokenKind::Char);
+        }
+        if is_ident_start(src, i + 1) {
+            let mut j = i + 1;
+            while j < b.len() && is_ident_continue(src, j) {
+                j += char_width(src, j);
+            }
+            return (j, TokenKind::Lifetime);
+        }
+    }
+    // Stray quote (invalid Rust): classify as punct and move on.
+    (i + 1, TokenKind::Punct)
+}
+
+/// Scans the `r`/`b`/`br` literal prefixes: raw strings (any `#`
+/// depth), byte strings, byte chars and raw identifiers. Returns `None`
+/// when position `i` starts a plain identifier instead (including raw
+/// identifiers like `r#match`, which [`scan_ident`] handles).
+fn scan_prefixed(b: &[u8], i: usize) -> Option<(usize, TokenKind)> {
+    match (b[i], b.get(i + 1).copied()) {
+        (b'b', Some(b'\'')) => {
+            // Byte char b'x' / b'\n'.
+            let mut k = i + 2;
+            while k < b.len() {
+                match b[k] {
+                    b'\\' => k += 2,
+                    b'\'' => return Some((k + 1, TokenKind::Char)),
+                    _ => k += 1,
+                }
+            }
+            Some((b.len(), TokenKind::Char))
+        }
+        // b"…" processes escapes like a cooked string.
+        (b'b', Some(b'"')) => Some((scan_cooked_string(b, i + 1), TokenKind::Str)),
+        (b'b', Some(b'r')) => scan_raw_string(b, i + 2),
+        (b'r', _) => scan_raw_string(b, i + 1),
+        _ => None,
+    }
+}
+
+/// Scans a raw-string body starting at the `#`s/quote after the
+/// `r`/`br` prefix: `#`* then `"`, ending at `"` followed by the same
+/// number of `#`s. `None` when this is not a raw string after all.
+fn scan_raw_string(b: &[u8], mut j: usize) -> Option<(usize, TokenKind)> {
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut h = 0usize;
+            while h < hashes && b.get(k) == Some(&b'#') {
+                h += 1;
+                k += 1;
+            }
+            if h == hashes {
+                return Some((k, TokenKind::Str));
+            }
+        }
+        j += 1;
+    }
+    Some((b.len(), TokenKind::Str))
+}
+
+/// Scans an identifier (including a leading `r#`).
+fn scan_ident(src: &str, mut i: usize) -> usize {
+    let b = src.as_bytes();
+    if b[i] == b'r' && b.get(i + 1) == Some(&b'#') {
+        i += 2;
+    }
+    while i < b.len() && is_ident_continue(src, i) {
+        i += char_width(src, i);
+    }
+    i
+}
+
+/// Scans a numeric literal loosely: digits, `_`, alphanumeric suffixes
+/// and `.` when followed by a digit (so `x.0.unwrap()` keeps `.unwrap`
+/// as separate tokens while `1.25` stays one number).
+fn scan_number(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_' => i += 1,
+            b'.' if matches!(b.get(i + 1), Some(b'0'..=b'9')) => i += 2,
+            _ => break,
+        }
+    }
+    i
+}
+
+fn is_ident_start(src: &str, i: usize) -> bool {
+    matches!(src.as_bytes()[i], b'a'..=b'z' | b'A'..=b'Z' | b'_')
+}
+
+fn is_ident_continue(src: &str, i: usize) -> bool {
+    matches!(src.as_bytes()[i], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+}
+
+fn char_width(src: &str, i: usize) -> usize {
+    let b = src.as_bytes()[i];
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// The unquoted content of a string-literal token's text, or `None`
+/// when `text` is not a string literal. Simple escapes (`\"`, `\\`,
+/// `\n`, `\t`, `\r`, `\0`, `\'`) are processed in cooked strings; raw
+/// strings are returned verbatim.
+pub fn str_content(text: &str) -> Option<String> {
+    let t = text.strip_prefix('b').unwrap_or(text);
+    if let Some(rest) = t.strip_prefix('r') {
+        let depth = rest.len() - rest.trim_start_matches('#').len();
+        let body = rest[depth..]
+            .strip_prefix('"')?
+            .strip_suffix(&"#".repeat(depth))?
+            .strip_suffix('"')?;
+        return Some(body.to_string());
+    }
+    let body = t.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let lx = lex(src);
+        lx.tokens
+            .iter()
+            .map(|t| (t.kind, lx.text(t).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_chars_are_single_tokens() {
+        let got = kinds("a.unwrap(); // .unwrap() in comment\n\"x.unwrap()\" '\"' 'a'");
+        let texts: Vec<&str> = got.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"// .unwrap() in comment"));
+        assert!(texts.contains(&"\"x.unwrap()\""));
+        let unwraps = got
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Ident && t == "unwrap")
+            .count();
+        assert_eq!(unwraps, 1, "only the real call site lexes as an ident");
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_matching_depth() {
+        let got = kinds("/* a /* b */ c */ after");
+        assert_eq!(got[0].0, TokenKind::Comment);
+        assert_eq!(got[0].1, "/* a /* b */ c */");
+        assert_eq!(got[1], (TokenKind::Ident, "after".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_at_any_hash_depth() {
+        let got = kinds(r####"r#"inner "quote" panic!()"# tail"####);
+        assert_eq!(got[0].0, TokenKind::Str);
+        assert_eq!(got[1], (TokenKind::Ident, "tail".to_string()));
+        let two = kinds("r##\"has \"# inside\"## x");
+        assert_eq!(two[0].0, TokenKind::Str);
+        assert_eq!(two[1], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let got = kinds("fn f<'a>(x: &'a str) -> &'static str { 'x'; '\\n'; x }");
+        let lifetimes: Vec<&str> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<&str> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let got = kinds("let r#match = r#fn; r#\"raw str\"#;");
+        assert_eq!(got[1], (TokenKind::Ident, "r#match".to_string()));
+        assert_eq!(got[3], (TokenKind::Ident, "r#fn".to_string()));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("r#\"")));
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_method_idents_separate() {
+        let got = kinds("x.0.unwrap()");
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let lx = lex("ab\ncde\nf");
+        assert_eq!(lx.line_col(0), (1, 1));
+        assert_eq!(lx.line_col(3), (2, 1));
+        assert_eq!(lx.line_col(5), (2, 3));
+        assert_eq!(lx.line_col(7), (3, 1));
+    }
+
+    #[test]
+    fn str_content_unquotes_every_flavour() {
+        assert_eq!(str_content("\"abc\""), Some("abc".to_string()));
+        assert_eq!(str_content("\"a\\\"b\""), Some("a\"b".to_string()));
+        assert_eq!(str_content("r\"abc\""), Some("abc".to_string()));
+        assert_eq!(str_content("r#\"a\"b\"#"), Some("a\"b".to_string()));
+        assert_eq!(str_content("b\"abc\""), Some("abc".to_string()));
+        assert_eq!(str_content("not a string"), None);
+    }
+}

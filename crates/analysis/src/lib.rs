@@ -1,0 +1,92 @@
+//! `hatt-analysis` — the workspace invariant linter behind the
+//! `hatt-lint` binary.
+//!
+//! The HATT workspace makes promises no general-purpose tool checks
+//! for it: library code returns typed [`HattError`]s instead of
+//! panicking, result paths iterate deterministically, `unsafe` is
+//! forbidden outright, and the wire/service protocol tags are stable
+//! registered strings. This crate enforces those promises with a
+//! hand-rolled Rust [`lexer`] (the container has no crates-io access,
+//! so `syn` is out of reach — and token-level rules are all these
+//! invariants need) and a small [`rules`] engine:
+//!
+//! | rule | what it forbids | where |
+//! |------|-----------------|-------|
+//! | `panic` | `.unwrap()` / `.expect(…)` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in non-test code | library crates (not `bench`, not `src/bin`) |
+//! | `determinism` | `HashMap` / `HashSet` | `core`, `mappings`, `pauli`, `circuit` |
+//! | `unsafe` | `unsafe` without `// SAFETY:` | everywhere walked |
+//! | `forbid-unsafe` | `lib.rs` missing `#![forbid(unsafe_code)]` | every `crates/*` + the facade |
+//! | `registry` | wire/error tag drift vs `wire_registry.txt` | registered files |
+//! | `allow-syntax` | malformed `hatt-lint:` directives | everywhere walked |
+//!
+//! Suppression is per-site and must carry a reason:
+//! `// hatt-lint: allow(panic) -- <why>`. See `docs/ANALYSIS.md` for
+//! the full catalogue and CLI usage.
+//!
+//! [`HattError`]: https://docs.rs/hatt-core
+//!
+//! # Examples
+//!
+//! ```
+//! use std::path::Path;
+//! use hatt_analysis::rules::{lint_source, FileChecks};
+//!
+//! let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+//! let findings = lint_source(Path::new("demo.rs"), src, &FileChecks::all());
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "panic");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+pub mod lexer;
+pub mod registry;
+pub mod rules;
+pub mod walk;
+
+/// One lint finding: a rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (`panic`, `determinism`, `unsafe`,
+    /// `forbid-unsafe`, `registry`, `allow-syntax`).
+    pub rule: &'static str,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based (byte) column.
+    pub col: u32,
+}
+
+impl Finding {
+    /// Whether this rule fails the lint run even without `--deny all`.
+    /// Structural rules (hygiene, registry, directive syntax) are
+    /// always errors; `panic`/`determinism` findings are warnings by
+    /// default so the burn-down can land incrementally, and CI runs
+    /// with `--deny all`.
+    pub fn denied_by_default(&self) -> bool {
+        matches!(
+            self.rule,
+            "registry" | "allow-syntax" | "unsafe" | "forbid-unsafe"
+        )
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}\n  --> {}:{}:{}",
+            self.rule,
+            self.message,
+            self.file.display(),
+            self.line,
+            self.col
+        )
+    }
+}

@@ -1,0 +1,322 @@
+//! Wire-code stability: every stable identifier the wire format and
+//! service protocol expose — `HattError` codes, `hatt-wire/1` envelope
+//! kind tags and the format tag itself — is listed in
+//! `crates/analysis/wire_registry.txt`, and this checker enforces that
+//! the registry and the code agree:
+//!
+//! * each registered literal appears **exactly once** as a non-test
+//!   string literal in its defining file (a second occurrence means a
+//!   tag was re-typed instead of referencing the const — the classic
+//!   way codes drift apart);
+//! * the set of literals returned by `HattError::code` equals the
+//!   registered `error_code` set (nothing unregistered, nothing stale);
+//! * every `const KIND*`/`WIRE_FORMAT` string constant in a registered
+//!   wire file is itself registered.
+//!
+//! Renaming a wire code therefore forces a matching registry edit — a
+//! loud, reviewable diff — and accidental duplication or drift fails CI.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, str_content, Lexed, Token, TokenKind};
+use crate::Finding;
+
+/// Registry path relative to the workspace root.
+pub const REGISTRY_PATH: &str = "crates/analysis/wire_registry.txt";
+
+/// One parsed registry line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// `error_code`, `wire_kind` or `wire_format`.
+    pub kind: String,
+    /// The stable literal.
+    pub literal: String,
+    /// Defining file, relative to the workspace root.
+    pub file: PathBuf,
+}
+
+/// Runs every registry check against the workspace at `root`.
+pub fn check(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let reg_path = root.join(REGISTRY_PATH);
+    let text = match std::fs::read_to_string(&reg_path) {
+        Ok(t) => t,
+        Err(e) => {
+            findings.push(Finding {
+                rule: "registry",
+                message: format!("cannot read {REGISTRY_PATH}: {e}"),
+                file: reg_path,
+                line: 1,
+                col: 1,
+            });
+            return findings;
+        }
+    };
+    let entries = parse(&text, &reg_path, &mut findings);
+    check_entries(root, &entries, &mut findings);
+    findings
+}
+
+/// Parses the registry text; malformed lines become findings.
+pub fn parse(text: &str, reg_path: &Path, findings: &mut Vec<Finding>) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(kind), Some(literal), Some(file), None)
+                if matches!(kind, "error_code" | "wire_kind" | "wire_format") =>
+            {
+                entries.push(Entry {
+                    kind: kind.to_string(),
+                    literal: literal.to_string(),
+                    file: PathBuf::from(file),
+                });
+            }
+            _ => findings.push(Finding {
+                rule: "registry",
+                message: format!(
+                    "malformed registry line `{line}`; expected \
+                     `<error_code|wire_kind|wire_format> <literal> <file>`"
+                ),
+                file: reg_path.to_path_buf(),
+                line: idx as u32 + 1,
+                col: 1,
+            }),
+        }
+    }
+    entries
+}
+
+/// Verifies `entries` against the source files under `root`.
+pub fn check_entries(root: &Path, entries: &[Entry], findings: &mut Vec<Finding>) {
+    // Group by file so each file is read and lexed once.
+    let mut by_file: BTreeMap<&Path, Vec<&Entry>> = BTreeMap::new();
+    for e in entries {
+        by_file.entry(&e.file).or_default().push(e);
+    }
+    for (rel, file_entries) in by_file {
+        let path = root.join(rel);
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                findings.push(Finding {
+                    rule: "registry",
+                    message: format!("registry references unreadable file: {e}"),
+                    file: path,
+                    line: 1,
+                    col: 1,
+                });
+                continue;
+            }
+        };
+        let lx = lex(&src);
+        let strings = non_test_strings(&lx);
+        for entry in &file_entries {
+            let n = strings.iter().filter(|(s, _)| *s == entry.literal).count();
+            if n != 1 {
+                findings.push(Finding {
+                    rule: "registry",
+                    message: format!(
+                        "registered {} `{}` appears {n} times as a non-test string \
+                         literal (must be exactly once — reference the const instead \
+                         of re-typing the tag)",
+                        entry.kind, entry.literal
+                    ),
+                    file: path.clone(),
+                    line: 1,
+                    col: 1,
+                });
+            }
+        }
+        if rel.ends_with("error.rs") {
+            check_error_codes(&lx, &path, file_entries.as_slice(), findings);
+        } else {
+            check_wire_consts(&lx, &path, file_entries.as_slice(), findings);
+        }
+    }
+}
+
+/// All non-test string literals in the file, with their byte offsets.
+fn non_test_strings(lx: &Lexed) -> Vec<(String, usize)> {
+    let tests = super::rules::test_ranges(lx);
+    lx.tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .filter(|t| !tests.iter().any(|&(s, e)| t.start >= s && t.start < e))
+        .filter_map(|t| str_content(lx.text(t)).map(|s| (s, t.start)))
+        .collect()
+}
+
+/// Set-compares the literals inside `fn code(…) { … }` with the
+/// registered `error_code` entries.
+fn check_error_codes(lx: &Lexed, path: &Path, entries: &[&Entry], findings: &mut Vec<Finding>) {
+    let registered: Vec<&str> = entries
+        .iter()
+        .filter(|e| e.kind == "error_code")
+        .map(|e| e.literal.as_str())
+        .collect();
+    let Some(body) = fn_body(lx, "code") else {
+        findings.push(Finding {
+            rule: "registry",
+            message: "no `fn code` found to check error codes against".to_string(),
+            file: path.to_path_buf(),
+            line: 1,
+            col: 1,
+        });
+        return;
+    };
+    let returned: Vec<(String, usize)> = lx
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str && t.start >= body.0 && t.start < body.1)
+        .filter_map(|t| str_content(lx.text(t)).map(|s| (s, t.start)))
+        .collect();
+    for (code, offset) in &returned {
+        if !registered.contains(&code.as_str()) {
+            let (line, col) = lx.line_col(*offset);
+            findings.push(Finding {
+                rule: "registry",
+                message: format!(
+                    "error code `{code}` is returned by `HattError::code` but not \
+                     listed in {REGISTRY_PATH}"
+                ),
+                file: path.to_path_buf(),
+                line,
+                col,
+            });
+        }
+    }
+    for code in &registered {
+        if !returned.iter().any(|(c, _)| c == code) {
+            findings.push(Finding {
+                rule: "registry",
+                message: format!(
+                    "registered error code `{code}` is not returned by `HattError::code` \
+                     (stale registry entry?)"
+                ),
+                file: path.to_path_buf(),
+                line: 1,
+                col: 1,
+            });
+        }
+    }
+}
+
+/// Every `const KIND*` / `const WIRE_FORMAT` string constant in a wire
+/// file must be a registered literal.
+fn check_wire_consts(lx: &Lexed, path: &Path, entries: &[&Entry], findings: &mut Vec<Finding>) {
+    let registered: Vec<&str> = entries.iter().map(|e| e.literal.as_str()).collect();
+    let code: Vec<&Token> = lx
+        .tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || lx.text(tok) != "const" {
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1) else {
+            continue;
+        };
+        let name = lx.text(name_tok);
+        if !(name == "KIND" || name.starts_with("KIND_") || name == "WIRE_FORMAT") {
+            continue;
+        }
+        // Scan to the terminating `;`, collecting string literals.
+        for t in &code[i + 2..] {
+            if t.kind == TokenKind::Punct && lx.text(t) == ";" {
+                break;
+            }
+            if t.kind != TokenKind::Str {
+                continue;
+            }
+            if let Some(content) = str_content(lx.text(t)) {
+                if !registered.contains(&content.as_str()) {
+                    let (line, col) = lx.line_col(t.start);
+                    findings.push(Finding {
+                        rule: "registry",
+                        message: format!(
+                            "wire constant `{name}` defines unregistered tag \
+                             `{content}`; add it to {REGISTRY_PATH}"
+                        ),
+                        file: path.to_path_buf(),
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Byte range of the brace body of the first `fn <name>` in the file.
+fn fn_body(lx: &Lexed, name: &str) -> Option<(usize, usize)> {
+    let code: Vec<&Token> = lx
+        .tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && lx.text(t) == "fn"
+            && code.get(i + 1).is_some_and(|n| lx.text(n) == name)
+        {
+            let mut j = i + 2;
+            while j < code.len() {
+                let tx = lx.text(code[j]);
+                if code[j].kind == TokenKind::Punct && tx == "{" {
+                    let mut depth = 0usize;
+                    for k in &code[j..] {
+                        let kx = lx.text(k);
+                        if k.kind == TokenKind::Punct && kx == "{" {
+                            depth += 1;
+                        } else if k.kind == TokenKind::Punct && kx == "}" {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((code[j].end, k.start));
+                            }
+                        }
+                    }
+                    return Some((code[j].end, lx.src.len()));
+                }
+                if code[j].kind == TokenKind::Punct && tx == ";" {
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_comments_and_blanks_and_rejects_junk() {
+        let mut findings = Vec::new();
+        let entries = parse(
+            "# header\n\nerror_code wire crates/core/src/error.rs\nbogus line here extra word\n",
+            &PathBuf::from("reg.txt"),
+            &mut findings,
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].literal, "wire");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "registry");
+    }
+
+    #[test]
+    fn fn_body_finds_the_match_block() {
+        let src = "impl E { pub fn code(&self) -> &str { match self { _ => \"x\" } } }";
+        let lx = lex(src);
+        let (s, e) = fn_body(&lx, "code").expect("body found");
+        assert!(src[s..e].contains("\"x\""));
+    }
+}

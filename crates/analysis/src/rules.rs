@@ -1,0 +1,493 @@
+//! The token-level lint rules: panic surface, determinism and unsafe
+//! hygiene, plus the `hatt-lint: allow(...)` directive machinery they
+//! share. Rules operate on the [`lexer`](crate::lexer) token stream, so
+//! occurrences inside strings, comments and doc text never count, and
+//! code inside `#[cfg(test)]` / `#[test]` / `#[should_panic]` items is
+//! exempt (tests are *supposed* to assert on panics).
+
+use std::path::Path;
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::Finding;
+
+/// Which rules apply to one file (the walker decides per path; see
+/// `docs/ANALYSIS.md` for the scoping table).
+#[derive(Debug, Clone, Copy)]
+pub struct FileChecks {
+    /// Forbid `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`,
+    /// `todo!`, `unimplemented!` outside tests.
+    pub panic: bool,
+    /// Forbid `HashMap`/`HashSet` (iteration order leaks into results).
+    pub determinism: bool,
+    /// Require a `// SAFETY:` comment above any `unsafe`.
+    pub unsafe_code: bool,
+}
+
+impl FileChecks {
+    /// Every token rule enabled (the fixture-test configuration).
+    pub fn all() -> Self {
+        FileChecks {
+            panic: true,
+            determinism: true,
+            unsafe_code: true,
+        }
+    }
+}
+
+/// The macro names the panic rule forbids (each match requires a
+/// following `!`).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+/// The method names the panic rule forbids (each match requires a
+/// preceding `.`).
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+/// The nondeterministically-iterating collections the determinism rule
+/// forbids in result-path crates.
+const NONDET_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Lints one file's source under `checks`, returning all findings.
+/// Never touches the filesystem; the walker hands in the content.
+pub fn lint_source(file: &Path, src: &str, checks: &FileChecks) -> Vec<Finding> {
+    let lx = lex(src);
+    let tests = test_ranges(&lx);
+    let mut allows = collect_allows(&lx, file);
+    let mut findings = std::mem::take(&mut allows.malformed);
+    let in_test = |offset: usize| tests.iter().any(|&(s, e)| offset >= s && offset < e);
+
+    let code: Vec<&Token> = lx
+        .tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || in_test(tok.start) {
+            continue;
+        }
+        let name = lx.text(tok).trim_start_matches("r#");
+        let line = lx.line_of(tok.start);
+        if checks.panic {
+            let method = PANIC_METHODS.contains(&name) && i > 0 && is_punct(&lx, code[i - 1], '.');
+            let mac = PANIC_MACROS.contains(&name)
+                && code.get(i + 1).is_some_and(|n| is_punct(&lx, n, '!'));
+            if (method || mac) && !allows.covers("panic", line) {
+                let what = if method {
+                    format!(".{name}()")
+                } else {
+                    format!("{name}!")
+                };
+                findings.push(finding(
+                    "panic",
+                    file,
+                    &lx,
+                    tok,
+                    format!(
+                        "`{what}` in non-test library code; return a typed error or \
+                         annotate `// hatt-lint: allow(panic) -- <why>`"
+                    ),
+                ));
+            }
+        }
+        if checks.determinism && NONDET_TYPES.contains(&name) && !allows.covers("determinism", line)
+        {
+            findings.push(finding(
+                "determinism",
+                file,
+                &lx,
+                tok,
+                format!(
+                    "`{name}` in a result-path crate: iteration order is \
+                     nondeterministic; use BTreeMap/BTreeSet or a sorted \
+                     traversal (or annotate \
+                     `// hatt-lint: allow(determinism) -- <why>`)"
+                ),
+            ));
+        }
+        if checks.unsafe_code && name == "unsafe" && !has_safety_comment(&lx, line) {
+            findings.push(finding(
+                "unsafe",
+                file,
+                &lx,
+                tok,
+                "`unsafe` without a `// SAFETY:` comment on the same or the \
+                 preceding two lines"
+                    .to_string(),
+            ));
+        }
+    }
+    findings
+}
+
+/// Whether the token-sequence `#![forbid(unsafe_code)]` appears in
+/// `src` (comment- and string-proof; used by the walker's per-crate
+/// hygiene check on `lib.rs`).
+pub fn has_forbid_unsafe(src: &str) -> bool {
+    let lx = lex(src);
+    let code: Vec<&Token> = lx
+        .tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    code.windows(8).any(|w| {
+        is_punct(&lx, w[0], '#')
+            && is_punct(&lx, w[1], '!')
+            && is_punct(&lx, w[2], '[')
+            && lx.text(w[3]) == "forbid"
+            && is_punct(&lx, w[4], '(')
+            && lx.text(w[5]) == "unsafe_code"
+            && is_punct(&lx, w[6], ')')
+            && is_punct(&lx, w[7], ']')
+    })
+}
+
+fn finding(rule: &'static str, file: &Path, lx: &Lexed, tok: &Token, message: String) -> Finding {
+    let (line, col) = lx.line_col(tok.start);
+    Finding {
+        rule,
+        message,
+        file: file.to_path_buf(),
+        line,
+        col,
+    }
+}
+
+fn is_punct(lx: &Lexed, tok: &Token, c: char) -> bool {
+    tok.kind == TokenKind::Punct && lx.text(tok).starts_with(c)
+}
+
+/// Allow directives found in one file: for each rule, the set of lines
+/// a directive covers (its own line and the next — a trailing comment
+/// annotates its own line, a standalone comment annotates the line
+/// below).
+struct Allows {
+    covered: Vec<(String, u32)>,
+    malformed: Vec<Finding>,
+}
+
+impl Allows {
+    fn covers(&self, rule: &str, line: u32) -> bool {
+        self.covered
+            .iter()
+            .any(|(r, l)| r == rule && (line == *l || line == *l + 1))
+    }
+}
+
+/// Rules an allow directive may name. `unsafe` is deliberately absent:
+/// its annotation is the `// SAFETY:` comment itself.
+const ALLOWABLE: [&str; 2] = ["panic", "determinism"];
+
+fn collect_allows(lx: &Lexed, file: &Path) -> Allows {
+    let mut covered = Vec::new();
+    let mut malformed = Vec::new();
+    for tok in lx.tokens.iter().filter(|t| t.kind == TokenKind::Comment) {
+        let text = lx.text(tok);
+        // A directive is a plain (non-doc) comment whose content
+        // *starts* with the marker — prose that merely mentions
+        // `hatt-lint:` (docs, this very file) is not a directive.
+        let body = text
+            .strip_prefix("//")
+            .or_else(|| text.strip_prefix("/*"))
+            .unwrap_or(text);
+        if body.starts_with('/') || body.starts_with('!') || body.starts_with('*') {
+            continue; // doc comment
+        }
+        let Some(directive) = body.trim().strip_prefix("hatt-lint:") else {
+            continue;
+        };
+        let line = lx.line_of(tok.start);
+        let directive = directive.trim();
+        match parse_allow(directive) {
+            Ok(rule) => covered.push((rule.to_string(), line)),
+            Err(why) => {
+                let (line, col) = lx.line_col(tok.start);
+                malformed.push(Finding {
+                    rule: "allow-syntax",
+                    message: format!(
+                        "malformed hatt-lint directive ({why}); expected \
+                         `hatt-lint: allow(<rule>) -- <reason>`"
+                    ),
+                    file: file.to_path_buf(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    Allows { covered, malformed }
+}
+
+/// Parses `allow(<rule>) -- <reason>`, returning the rule name.
+fn parse_allow(directive: &str) -> Result<&str, String> {
+    let rest = directive
+        .strip_prefix("allow(")
+        .ok_or_else(|| "missing `allow(`".to_string())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "missing closing `)`".to_string())?;
+    let rule = rest[..close].trim();
+    if !ALLOWABLE.contains(&rule) {
+        return Err(format!(
+            "unknown rule `{rule}` (allowed: {})",
+            ALLOWABLE.join(", ")
+        ));
+    }
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail.strip_prefix("--").map(str::trim).unwrap_or_default();
+    if reason.is_empty() {
+        return Err("missing ` -- <reason>`".to_string());
+    }
+    Ok(rule)
+}
+
+/// Whether a comment containing `SAFETY:` sits on `line` or the two
+/// lines above it.
+fn has_safety_comment(lx: &Lexed, line: u32) -> bool {
+    lx.tokens.iter().any(|t| {
+        t.kind == TokenKind::Comment && lx.text(t).contains("SAFETY:") && {
+            let l = lx.line_of(t.start);
+            l <= line && line <= l + 2
+        }
+    })
+}
+
+/// Byte ranges of test-only items: any item annotated `#[test]`,
+/// `#[should_panic]` or `#[cfg(test)]` (the whole following
+/// brace-delimited body). `#[cfg(not(test))]` and `#[cfg_attr(test,
+/// …)]` do **not** exempt — that code is compiled into the library.
+pub(crate) fn test_ranges(lx: &Lexed) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = lx
+        .tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(is_punct(lx, code[i], '#') && code.get(i + 1).is_some_and(|t| is_punct(lx, t, '['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = code[i].start;
+        let Some(after) = skip_attr(lx, &code, i) else {
+            break;
+        };
+        if !attr_is_test(lx, &code[i..after]) {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes between the test marker and the
+        // item (e.g. `#[test] #[ignore] fn …`).
+        let mut j = after;
+        while code.get(j).is_some_and(|t| is_punct(lx, t, '#'))
+            && code.get(j + 1).is_some_and(|t| is_punct(lx, t, '['))
+        {
+            match skip_attr(lx, &code, j) {
+                Some(next) => j = next,
+                None => return ranges,
+            }
+        }
+        // The item body is the next `{ … }` before any `;` (a `;`
+        // first means a bodyless item — nothing to exempt).
+        while j < code.len() && !is_punct(lx, code[j], '{') && !is_punct(lx, code[j], ';') {
+            j += 1;
+        }
+        if j < code.len() && is_punct(lx, code[j], '{') {
+            let end = match_brace(lx, &code, j);
+            ranges.push((attr_start, end));
+            // Resume after the body: nested test attrs are already
+            // covered by this range.
+            while i < code.len() && code[i].start < end {
+                i += 1;
+            }
+            continue;
+        }
+        i = j;
+    }
+    ranges
+}
+
+/// Skips the attribute starting at `code[i] == '#'`; returns the index
+/// after the matching `]`, or `None` at end of input.
+fn skip_attr(lx: &Lexed, code: &[&Token], i: usize) -> Option<usize> {
+    let mut j = i + 1; // at '['
+    let mut depth = 0usize;
+    while j < code.len() {
+        if is_punct(lx, code[j], '[') {
+            depth += 1;
+        } else if is_punct(lx, code[j], ']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Whether the attribute tokens (from `#` through `]`) mark a test-only
+/// item.
+fn attr_is_test(lx: &Lexed, attr: &[&Token]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| lx.text(t))
+        .collect();
+    match idents.first() {
+        Some(&"test") | Some(&"should_panic") => true,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// Byte offset one past the `}` matching the `{` at `code[open]` (or
+/// end of input when unbalanced).
+fn match_brace(lx: &Lexed, code: &[&Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for t in &code[open..] {
+        if is_punct(lx, t, '{') {
+            depth += 1;
+        } else if is_punct(lx, t, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return t.end;
+            }
+        }
+    }
+    lx.src.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(src: &str) -> Vec<Finding> {
+        lint_source(&PathBuf::from("x.rs"), src, &FileChecks::all())
+    }
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        check(src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_the_whole_panic_family() {
+        assert_eq!(rules("fn f(x: Option<u8>) -> u8 { x.unwrap() }"), ["panic"]);
+        assert_eq!(rules("fn f() { q.expect(\"msg\"); }"), ["panic"]);
+        assert_eq!(rules("fn f() { panic!(\"boom\"); }"), ["panic"]);
+        assert_eq!(rules("fn f() { unreachable!() }"), ["panic"]);
+        assert_eq!(rules("fn f() { todo!() }"), ["panic"]);
+        assert_eq!(rules("fn f() { unimplemented!() }"), ["panic"]);
+    }
+
+    #[test]
+    fn ignores_lookalikes() {
+        // unwrap_or_else is one identifier, not `.unwrap`.
+        assert!(rules("fn f() { x.unwrap_or_else(|| 1); }").is_empty());
+        assert!(rules("fn f() { x.unwrap_or(1).unwrap_or_default(); }").is_empty());
+        // A fn named panic without `!`, an expect without `.`.
+        assert!(rules("fn panic_free() { let expect = 1; }").is_empty());
+        // Inside strings and comments: never flagged.
+        assert!(rules("fn f() { \"x.unwrap()\"; } // .unwrap() panic!()").is_empty());
+        assert!(rules("/* panic!() */ fn f() {}").is_empty());
+        assert!(rules("fn f() { r#\"panic!() .unwrap()\"#; }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(rules("#[test]\nfn t() { x.unwrap(); }").is_empty());
+        assert!(rules("#[should_panic]\nfn t() { panic!(); }").is_empty());
+        assert!(rules("#[cfg(test)]\nmod tests { fn helper() { x.unwrap(); } }").is_empty());
+        // #[cfg(not(test))] is library code and stays linted.
+        assert_eq!(
+            rules("#[cfg(not(test))]\nfn f() { x.unwrap(); }"),
+            ["panic"]
+        );
+        // Code after a test item is linted again.
+        assert_eq!(
+            rules("#[test]\nfn t() { x.unwrap(); }\nfn f() { y.unwrap(); }"),
+            ["panic"]
+        );
+    }
+
+    #[test]
+    fn allow_directive_with_reason_suppresses() {
+        assert!(rules(
+            "fn f() {\n    // hatt-lint: allow(panic) -- invariant: never empty\n    x.unwrap();\n}"
+        )
+        .is_empty());
+        assert!(rules(
+            "fn f() { x.unwrap(); // hatt-lint: allow(panic) -- documented invariant\n}"
+        )
+        .is_empty());
+        // The directive is line-scoped: two lines below is too far.
+        assert_eq!(
+            rules("// hatt-lint: allow(panic) -- reason\n\nfn f() { x.unwrap(); }"),
+            ["panic"]
+        );
+    }
+
+    #[test]
+    fn prose_mentions_of_the_marker_are_not_directives() {
+        // Doc comments and mid-comment mentions never parse as
+        // directives (so they cannot be malformed either).
+        assert!(rules("/// the `hatt-lint: allow(...)` directive\nfn f() {}").is_empty());
+        assert!(rules("//! see hatt-lint: allow rules table\nfn f() {}").is_empty());
+        assert!(rules("// about hatt-lint: allow(panic) semantics\nfn f() {}").is_empty());
+        // And a doc comment cannot suppress a real finding.
+        assert_eq!(
+            rules("/// hatt-lint: allow(panic) -- nope\nfn f() { x.unwrap() }"),
+            ["panic"]
+        );
+    }
+
+    #[test]
+    fn allow_directive_without_reason_is_itself_a_finding() {
+        assert_eq!(
+            rules("// hatt-lint: allow(panic)\nfn f() { x.unwrap(); }"),
+            ["allow-syntax", "panic"]
+        );
+        assert_eq!(
+            rules("// hatt-lint: allow(nonsense) -- why\nfn f() {}"),
+            ["allow-syntax"]
+        );
+    }
+
+    #[test]
+    fn determinism_rule_flags_hash_collections() {
+        assert_eq!(
+            rules("use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) {}"),
+            ["determinism", "determinism"]
+        );
+        assert!(rules("use std::collections::BTreeMap;").is_empty());
+        assert!(rules(
+            "// hatt-lint: allow(determinism) -- keyed output is re-sorted\nuse std::collections::HashSet;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_a_safety_comment() {
+        assert_eq!(rules("fn f() { unsafe { g() } }"), ["unsafe"]);
+        assert!(
+            rules("fn f() {\n    // SAFETY: g has no preconditions\n    unsafe { g() }\n}")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn forbid_unsafe_detection_is_token_exact() {
+        assert!(has_forbid_unsafe("#![forbid(unsafe_code)]\nfn f() {}"));
+        assert!(has_forbid_unsafe("#! [ forbid ( unsafe_code ) ]"));
+        assert!(!has_forbid_unsafe("// #![forbid(unsafe_code)]"));
+        assert!(!has_forbid_unsafe(
+            "const X: &str = \"#![forbid(unsafe_code)]\";"
+        ));
+        assert!(!has_forbid_unsafe("#![deny(unsafe_code)]"));
+    }
+
+    #[test]
+    fn findings_carry_position() {
+        let f = check("fn f() {\n    x.unwrap();\n}");
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].col), (2, 7));
+    }
+}

@@ -1,0 +1,133 @@
+//! The workspace walker: decides which rules apply to which files
+//! (the scoping table in the [crate docs](crate)), runs them, and
+//! aggregates findings.
+//!
+//! Scoping rationale:
+//!
+//! * `crates/bench` and every `src/bin/**` file are fail-fast CLI /
+//!   harness code where `panic!` on bad input is the intended
+//!   contract — the panic rule skips them.
+//! * `vendor/*` crates emulate external APIs (`proptest`'s macros
+//!   must panic to fail a test, `parallel` re-raises worker panics),
+//!   so only the unsafe-hygiene rule applies there.
+//! * `tests/`, `benches/` and `examples/` trees are test code.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::registry;
+use crate::rules::{has_forbid_unsafe, lint_source, FileChecks};
+use crate::Finding;
+
+/// Crates whose result paths must iterate deterministically.
+const DETERMINISM_CRATES: [&str; 4] = ["core", "mappings", "pauli", "circuit"];
+
+/// Lint run configuration.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root (the directory holding `Cargo.toml`, `crates/`,
+    /// `vendor/`).
+    pub root: PathBuf,
+}
+
+/// Result of a lint run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// All findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files linted.
+    pub files_checked: usize,
+}
+
+/// Runs every rule over the workspace at `opts.root`.
+pub fn run(opts: &Options) -> io::Result<Outcome> {
+    let root = &opts.root;
+    let mut findings = Vec::new();
+    let mut files_checked = 0usize;
+
+    for (crate_dir, crate_name, is_vendor) in workspace_crates(root)? {
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let in_bin = file
+                .strip_prefix(&src_dir)
+                .ok()
+                .is_some_and(|rel| rel.starts_with("bin"));
+            let checks = FileChecks {
+                panic: !is_vendor && crate_name != "bench" && !in_bin,
+                determinism: !is_vendor && DETERMINISM_CRATES.contains(&crate_name.as_str()),
+                unsafe_code: true,
+            };
+            let src = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            findings.extend(lint_source(&rel, &src, &checks));
+            files_checked += 1;
+        }
+        // Unsafe hygiene: every first-party crate root forbids unsafe.
+        if !is_vendor {
+            let lib = src_dir.join("lib.rs");
+            if let Ok(src) = std::fs::read_to_string(&lib) {
+                if !has_forbid_unsafe(&src) {
+                    findings.push(Finding {
+                        rule: "forbid-unsafe",
+                        message: "library crate root is missing `#![forbid(unsafe_code)]`"
+                            .to_string(),
+                        file: lib.strip_prefix(root).unwrap_or(&lib).to_path_buf(),
+                        line: 1,
+                        col: 1,
+                    });
+                }
+            }
+        }
+    }
+
+    findings.extend(registry::check(root));
+    findings.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(Outcome {
+        findings,
+        files_checked,
+    })
+}
+
+/// Enumerates `(dir, name, is_vendor)` for every workspace crate: the
+/// root facade, `crates/*` and `vendor/*`.
+fn workspace_crates(root: &Path) -> io::Result<Vec<(PathBuf, String, bool)>> {
+    let mut out = vec![(root.to_path_buf(), "hatt".to_string(), false)];
+    for (sub, vendor) in [("crates", false), ("vendor", true)] {
+        let dir = root.join(sub);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            out.push((path, name, vendor));
+        }
+    }
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

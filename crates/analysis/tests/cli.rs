@@ -1,0 +1,114 @@
+//! End-to-end tests for the `hatt-lint` binary: the real workspace
+//! must pass `--deny all` clean, and a seeded-bad workspace must fail
+//! it with every rule represented — the CI acceptance pair.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("../.."))
+}
+
+fn run_lint(root: &Path, deny_all: bool) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hatt-lint"));
+    cmd.arg("--root").arg(root);
+    if deny_all {
+        cmd.arg("--deny").arg("all");
+    }
+    cmd.output()
+        .unwrap_or_else(|e| panic!("spawn hatt-lint: {e}"))
+}
+
+#[test]
+fn the_workspace_passes_deny_all() {
+    let out = run_lint(&repo_root(), true);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace lint failed:\n{stdout}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains(" 0 errors"), "summary missing: {stdout}");
+}
+
+#[test]
+fn a_seeded_bad_workspace_fails_deny_all_with_every_rule() {
+    let dir = std::env::temp_dir().join(format!("hatt-lint-seeded-bad-{}", std::process::id()));
+    let core_src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&core_src).expect("mkdir");
+    std::fs::create_dir_all(dir.join("crates/analysis")).expect("mkdir");
+    std::fs::create_dir_all(dir.join("src")).expect("mkdir");
+
+    // The facade root stays clean so failures are attributable.
+    std::fs::write(
+        dir.join("src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn ok() {}\n",
+    )
+    .expect("write facade");
+
+    // One library file violating every token rule at once. The missing
+    // `#![forbid(unsafe_code)]` also trips the crate-root check.
+    std::fs::write(
+        core_src.join("lib.rs"),
+        r#"use std::collections::HashMap;
+
+pub fn bad(v: Option<u32>) -> u32 {
+    let _m: HashMap<u32, u32> = HashMap::new();
+    // hatt-lint: allow(panic)
+    v.unwrap()
+}
+
+pub fn raw(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}
+
+pub fn code(&self) -> &'static str {
+    "duplicated_code"
+}
+
+pub fn other() -> &'static str {
+    "duplicated_code"
+}
+"#,
+    )
+    .expect("write bad lib");
+
+    // A registry whose literal appears twice in the file above — the
+    // exactly-once stability contract must flag it.
+    std::fs::write(
+        dir.join("crates/analysis/wire_registry.txt"),
+        "error_code duplicated_code crates/core/src/lib.rs\n",
+    )
+    .expect("write registry");
+
+    let out = run_lint(&dir, true);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "seeded-bad lint passed:\n{stdout}");
+    assert_eq!(out.status.code(), Some(1), "wrong exit code:\n{stdout}");
+    for rule in [
+        "[panic]",
+        "[determinism]",
+        "[unsafe]",
+        "[forbid-unsafe]",
+        "[allow-syntax]",
+        "[registry]",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hatt-lint"))
+        .arg("--deny")
+        .arg("some")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn hatt-lint: {e}"));
+    assert_eq!(out.status.code(), Some(2));
+}

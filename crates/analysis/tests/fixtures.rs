@@ -1,0 +1,100 @@
+//! Golden-fixture tests: each seeded-bad fixture under
+//! `tests/fixtures/` must produce exactly the findings its markers
+//! promise, and the clean fixture none. The fixtures are data, not
+//! compiled test targets — the walker never visits `tests/`, so they
+//! cannot pollute the self-lint of the real workspace.
+
+use std::path::Path;
+
+use hatt_analysis::rules::{lint_source, FileChecks};
+use hatt_analysis::Finding;
+
+fn lint_fixture(name: &str, src: &str) -> Vec<Finding> {
+    lint_source(Path::new(name), src, &FileChecks::all())
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn bad_panic_fixture_flags_every_site() {
+    let findings = lint_fixture("bad_panic.rs", include_str!("fixtures/bad_panic.rs"));
+    assert_eq!(count(&findings, "panic"), 6, "findings: {findings:#?}");
+    assert_eq!(findings.len(), 6, "no other rule may fire: {findings:#?}");
+}
+
+#[test]
+fn bad_determinism_fixture_flags_every_hash_token() {
+    let findings = lint_fixture(
+        "bad_determinism.rs",
+        include_str!("fixtures/bad_determinism.rs"),
+    );
+    assert_eq!(
+        count(&findings, "determinism"),
+        6,
+        "findings: {findings:#?}"
+    );
+    assert_eq!(
+        findings.len(),
+        6,
+        "test module tokens are exempt: {findings:#?}"
+    );
+}
+
+#[test]
+fn bad_allow_fixture_reports_syntax_and_keeps_the_panics() {
+    let findings = lint_fixture("bad_allow.rs", include_str!("fixtures/bad_allow.rs"));
+    assert_eq!(
+        count(&findings, "allow-syntax"),
+        2,
+        "findings: {findings:#?}"
+    );
+    assert_eq!(
+        count(&findings, "panic"),
+        2,
+        "broken directives must not suppress: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 4);
+}
+
+#[test]
+fn bad_unsafe_fixture_flags_only_the_undocumented_block() {
+    let findings = lint_fixture("bad_unsafe.rs", include_str!("fixtures/bad_unsafe.rs"));
+    assert_eq!(count(&findings, "unsafe"), 1, "findings: {findings:#?}");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].line, 5, "the `// SAFETY:` block must pass");
+}
+
+#[test]
+fn good_fixture_is_finding_free() {
+    let findings = lint_fixture("good.rs", include_str!("fixtures/good.rs"));
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn every_bad_fixture_finding_is_position_addressable() {
+    for (name, src) in [
+        ("bad_panic.rs", include_str!("fixtures/bad_panic.rs")),
+        (
+            "bad_determinism.rs",
+            include_str!("fixtures/bad_determinism.rs"),
+        ),
+        ("bad_allow.rs", include_str!("fixtures/bad_allow.rs")),
+        ("bad_unsafe.rs", include_str!("fixtures/bad_unsafe.rs")),
+    ] {
+        for f in lint_fixture(name, src) {
+            assert!(f.line >= 1 && f.col >= 1, "{name}: {f}");
+            let line = src
+                .lines()
+                .nth(f.line as usize - 1)
+                .unwrap_or_else(|| panic!("{name}: finding line {} out of range", f.line));
+            assert!(
+                f.col as usize <= line.len() + 1,
+                "{name}: col {} beyond line {:?}",
+                f.col,
+                line
+            );
+        }
+    }
+}

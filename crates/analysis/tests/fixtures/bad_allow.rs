@@ -1,0 +1,13 @@
+//! Seeded-bad fixture: malformed allow directives. Each broken
+//! directive is one `allow-syntax` finding AND fails to suppress the
+//! site it sits above, so the panic findings surface too.
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // hatt-lint: allow(panic)
+    v.unwrap()
+}
+
+pub fn unknown_rule() {
+    // hatt-lint: allow(everything) -- not a rule hatt-lint knows
+    panic!("x");
+}

@@ -1,0 +1,20 @@
+//! Seeded-bad fixture: each `HashMap` / `HashSet` token outside tests
+//! is one `determinism` finding — 6 in total here.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    let _s: HashSet<u32> = HashSet::new();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_containers_are_fine_in_tests() {
+        let _m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    }
+}

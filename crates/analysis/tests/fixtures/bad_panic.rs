@@ -1,0 +1,22 @@
+//! Seeded-bad fixture: every marked line must produce one `panic`
+//! finding — `tests/fixtures.rs` pins the exact count (6).
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap() // finding 1
+}
+
+pub fn second(v: Option<u32>) -> u32 {
+    v.expect("present") // finding 2
+}
+
+pub fn third() {
+    panic!("boom"); // finding 3
+}
+
+pub fn fourth(n: u32) -> u32 {
+    match n {
+        0 => todo!(),          // finding 4
+        1 => unimplemented!(), // finding 5
+        _ => unreachable!(),   // finding 6
+    }
+}

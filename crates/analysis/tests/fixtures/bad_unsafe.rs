@@ -1,0 +1,11 @@
+//! Seeded-bad fixture: one `unsafe` block without a `// SAFETY:`
+//! comment (1 finding) and one properly documented block (clean).
+
+pub fn undocumented(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}
+
+pub fn documented(v: &[u32]) -> u32 {
+    // SAFETY: the caller guarantees `v` is non-empty.
+    unsafe { *v.as_ptr() }
+}

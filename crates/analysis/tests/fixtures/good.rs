@@ -1,0 +1,37 @@
+//! Clean fixture: zero findings expected under every rule. Exercises
+//! the suppression and exemption paths — annotated allows, test
+//! modules, and marker words buried in literals and comments.
+
+use std::collections::BTreeMap;
+
+/// Library code with an annotated, justified panic.
+pub fn checked(v: Option<u32>) -> u32 {
+    // hatt-lint: allow(panic) -- fixture: the invariant is documented right here
+    v.expect("fixture invariant")
+}
+
+pub fn literals() -> &'static str {
+    // Marker words inside comments must not trip the rules:
+    // .unwrap() panic!() HashMap todo!() unsafe
+    let _raw = r#"call .unwrap() then panic!("x") on a HashMap"#;
+    let _cooked = "escaped \" .expect(\"y\") quote";
+    let _bytes = b"bytes with .unwrap() and a HashSet";
+    let _char = 'u';
+    let _lifetime: &'static str = "lifetime then .unwrap() in a string";
+    let _map: BTreeMap<u32, u32> = BTreeMap::new();
+    /* block comment: unreachable!() inside /* a nested block */ stays a comment .expect( */
+    "r#unwrap"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_and_hash() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let _m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        if v.is_none() {
+            panic!("asserting in tests is fine");
+        }
+    }
+}

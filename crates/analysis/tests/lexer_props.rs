@@ -1,0 +1,122 @@
+//! Lexer property tests: randomized interleavings of "literal soup"
+//! (marker words buried in strings, raw strings, byte strings, chars
+//! and comments) with real panic sites. The panic rule must flag
+//! exactly the real sites — zero false positives from literals or
+//! comments, zero false negatives — and every directive-suppressed
+//! mix must lint clean.
+
+use std::path::Path;
+
+use hatt_analysis::lexer::lex;
+use hatt_analysis::rules::{lint_source, FileChecks};
+use proptest::prelude::*;
+
+/// Fragments that must never produce a finding: every panic/hash
+/// marker is inside a literal or a comment.
+const SAFE: &[&str] = &[
+    r#"let a = "call .unwrap() inside";"#,
+    r#"let b = "escaped \" .expect(\"x\") quote";"#,
+    r#"let c = r"raw panic!(now)";"#,
+    r##"let d = r#"raw # "quoted" .unwrap() "#;"##,
+    r#"let e = b"bytes .expect(1)";"#,
+    "// line comment with .unwrap() and panic!",
+    "/* block with todo!() */",
+    "/* nested /* unreachable!() */ still comment .expect( */",
+    "let f = 'x';",
+    r#"let g: &'static str = "lifetime then .unwrap() in string";"#,
+    "let h = x.0;",
+    r##"let i = br#"raw bytes .unwrap()"#;"##,
+];
+
+/// Fragments with real panic sites, paired with how many findings
+/// each must produce.
+const HOT: &[(&str, usize)] = &[
+    ("maybe.unwrap();", 1),
+    (r#"maybe.expect("reason");"#, 1),
+    (r#"panic!("boom");"#, 1),
+    ("todo!();", 1),
+    (r#"unreachable!("state");"#, 1),
+    (r#"opt.unwrap().field.expect("two");"#, 2),
+];
+
+/// Assembles a source file by picking `picks` fragments via an LCG
+/// from `seed`; returns the source and the expected finding count.
+fn assemble(seed: u64, picks: usize, suppress: bool) -> (String, usize) {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move |n: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % n
+    };
+    let mut src = String::from("fn soup() {\n");
+    let mut expected = 0;
+    for _ in 0..picks {
+        if next(2) == 0 {
+            src.push_str("    ");
+            src.push_str(SAFE[next(SAFE.len())]);
+            src.push('\n');
+        } else {
+            let (frag, hits) = HOT[next(HOT.len())];
+            if suppress {
+                src.push_str("    // hatt-lint: allow(panic) -- proptest: suppressed on purpose\n");
+            } else {
+                expected += hits;
+            }
+            src.push_str("    ");
+            src.push_str(frag);
+            src.push('\n');
+        }
+    }
+    src.push_str("}\n");
+    (src, expected)
+}
+
+fn panic_findings(src: &str) -> usize {
+    let checks = FileChecks {
+        panic: true,
+        determinism: false,
+        unsafe_code: false,
+    };
+    let findings = lint_source(Path::new("soup.rs"), src, &checks);
+    for f in &findings {
+        assert_eq!(f.rule, "panic", "unexpected rule: {f}");
+    }
+    findings.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly the real call sites are flagged — literals and comments
+    /// contribute nothing, real sites are never missed.
+    #[test]
+    fn literal_soup_yields_exactly_the_real_sites(seed in 0u64..10_000, picks in 1usize..24) {
+        let (src, expected) = assemble(seed, picks, false);
+        prop_assert_eq!(panic_findings(&src), expected, "source:\n{}", src);
+    }
+
+    /// A well-formed directive above every hot line suppresses all of
+    /// them, regardless of the surrounding soup.
+    #[test]
+    fn directives_suppress_every_hot_line(seed in 0u64..10_000, picks in 1usize..24) {
+        let (src, expected) = assemble(seed, picks, true);
+        prop_assert_eq!(expected, 0);
+        prop_assert_eq!(panic_findings(&src), 0, "source:\n{}", src);
+    }
+
+    /// Token spans tile the source: in-bounds, non-overlapping,
+    /// strictly ordered — no matter how the fragments interleave.
+    #[test]
+    fn token_spans_are_ordered_and_in_bounds(seed in 0u64..10_000, picks in 1usize..24) {
+        let (src, _) = assemble(seed, picks, false);
+        let lx = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &lx.tokens {
+            prop_assert!(t.start >= prev_end, "overlap at {}..{}", t.start, t.end);
+            prop_assert!(t.end > t.start, "empty token at {}", t.start);
+            prop_assert!(t.end <= src.len(), "token past EOF");
+            prev_end = t.end;
+        }
+    }
+}

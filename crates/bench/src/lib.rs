@@ -12,6 +12,7 @@
 //!
 //! Run e.g. `cargo run --release -p hatt-bench --bin table1`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;

@@ -99,6 +99,7 @@ impl CliffordTableau {
                 s.conjugate_cnot(b, a);
                 s.conjugate_cnot(a, b);
             }
+            // hatt-lint: allow(panic) -- documented caller contract: only Clifford gates enter the tableau
             ref g => panic!("non-Clifford gate {g} cannot enter the tableau"),
         };
         for s in self.x_image.iter_mut().chain(self.z_image.iter_mut()) {
@@ -191,16 +192,20 @@ fn reduce_row_to_x(
         // Ensure an x-bit exists at some column ≥ q.
         let r = row(t);
         if !(q..n).any(|j| r.x_bits().get(j)) {
+            #[allow(clippy::expect_used)]
             let j = (q..n)
                 .find(|&j| r.z_bits().get(j))
+                // hatt-lint: allow(panic) -- tableau rows are full-rank: the pivot row has support at column >= q
                 .expect("row must be supported on columns >= q");
             emit(t, c, Gate::H(j));
         }
         // Bring the x-bit to column q.
         let r = row(t);
         if !r.x_bits().get(q) {
+            #[allow(clippy::expect_used)]
             let j = (q..n)
                 .find(|&j| r.x_bits().get(j))
+                // hatt-lint: allow(panic) -- the branch above just emitted H to create this x-bit
                 .expect("an x-bit exists by construction");
             emit(t, c, Gate::Swap(q, j));
         }

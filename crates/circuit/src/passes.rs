@@ -66,6 +66,8 @@ pub fn cancel_adjacent_pairs(c: &Circuit) -> Circuit {
             .reduce(|a, b| if a == b { a } else { None })
             .flatten();
         if let Some(idx) = pred {
+            #[allow(clippy::expect_used)]
+            // hatt-lint: allow(panic) -- `last` only ever points at slots still occupied in `out`
             let prev = out[idx].clone().expect("live gate");
             if prev.qubits() == qs {
                 // Exact inverse pair?

@@ -180,11 +180,13 @@ pub fn route_sabre(circuit: &Circuit, arch: &CouplingMap, opts: &RouterOptions) 
             // guaranteed progress by marching the first blocked pair
             // together along a shortest path.
             let (pa, pb) = blocked[0];
+            #[allow(clippy::expect_used)]
             let step = arch
                 .neighbors(pa)
                 .iter()
                 .copied()
                 .min_by_key(|&nb| arch.distance(nb, pb))
+                // hatt-lint: allow(panic) -- CouplingMap::new validates connectivity, so every qubit has a neighbor
                 .expect("connected graph");
             candidates.push((pa.min(step), pa.max(step)));
         } else {
@@ -221,10 +223,12 @@ pub fn route_sabre(circuit: &Circuit, arch: &CouplingMap, opts: &RouterOptions) 
             d * (front_cost + opts.lookahead_weight * look_cost)
         };
 
+        #[allow(clippy::expect_used)]
         let best = candidates
             .iter()
             .copied()
             .min_by(|&a, &b| score(a).total_cmp(&score(b)))
+            // hatt-lint: allow(panic) -- `blocked` is non-empty here and each blocked qubit contributes neighbors
             .expect("blocked gates have swap candidates");
 
         // Apply the SWAP to the layout and the output circuit.
@@ -265,8 +269,12 @@ fn collect_lookahead(
 ) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
-    let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
-    let mut decremented: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    // BTree containers: the walk itself is queue-ordered, but keeping the
+    // whole result path hash-free pins lookahead (and thus SWAP choice)
+    // to the same sequence on every run and platform.
+    let mut seen: std::collections::BTreeSet<usize> = front.iter().copied().collect();
+    let mut decremented: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
     let mut budget = 16 * depth.max(1);
     while let Some(i) = queue.pop_front() {
         if out.len() >= depth || budget == 0 {
@@ -336,6 +344,29 @@ mod tests {
         c.h(0).h(1).h(2).cnot(0, 2);
         let r = routed_ok(&c, &CouplingMap::line(3));
         assert_eq!(r.circuit.metrics().single_qubit, 3);
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_repeated_runs() {
+        // A congested instance: distant pairs on a line force swaps and
+        // give the lookahead many candidates to rank. Any hash-ordered
+        // container on the SWAP-choice path would let the tie-breaking
+        // (and thus the output) drift between otherwise identical runs.
+        let mut c = Circuit::new(6);
+        for d in 1..6 {
+            for a in 0..(6 - d) {
+                c.cnot(a, a + d);
+            }
+        }
+        let arch = CouplingMap::line(6);
+        let first = routed_ok(&c, &arch);
+        assert!(first.swaps_inserted > 0, "instance must exercise routing");
+        for _ in 0..3 {
+            let again = routed_ok(&c, &arch);
+            assert_eq!(again.circuit.gates(), first.circuit.gates());
+            assert_eq!(again.final_layout, first.final_layout);
+            assert_eq!(again.swaps_inserted, first.swaps_inserted);
+        }
     }
 
     #[test]

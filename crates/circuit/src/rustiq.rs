@@ -127,6 +127,8 @@ pub fn synthesize_pauli_network(
                     }
                 }
             }
+            #[allow(clippy::expect_used)]
+            // hatt-lint: allow(panic) -- the loop guard keeps synthesizing only while support > 1, so a pair exists
             let (a, b, _) = best.expect("support has at least two qubits");
             emit(
                 &mut circuit,
@@ -193,6 +195,7 @@ fn conjugate_by_gate(s: &mut PauliString, g: &Gate) {
         Gate::S(q) => s.conjugate_s(q),
         Gate::Sdg(q) => s.conjugate_sdg(q),
         Gate::Cnot { control, target } => s.conjugate_cnot(control, target),
+        // hatt-lint: allow(panic) -- private helper; the synthesizer above emits only these four gates
         _ => unreachable!("synthesizer only emits H/S/S†/CNOT conjugations"),
     }
 }

@@ -78,6 +78,8 @@ pub fn pauli_evolution(p: &PauliString, angle: f64) -> Circuit {
     for w in support.windows(2) {
         c.cnot(w[0], w[1]);
     }
+    #[allow(clippy::expect_used)]
+    // hatt-lint: allow(panic) -- identity strings returned early above, so support is non-empty
     let target = *support.last().expect("non-empty support");
     c.rz(target, sign * angle);
     // Un-ladder and undo basis changes.
@@ -114,12 +116,16 @@ pub fn order_terms(h: &PauliSum, order: TermOrder) -> Vec<(hatt_pauli::Complex64
                     Vec::with_capacity(terms.len());
                 chained.push(terms.remove(0));
                 while !terms.is_empty() {
+                    #[allow(clippy::expect_used)]
+                    // hatt-lint: allow(panic) -- `chained` is seeded with one term before this loop
                     let prev = &chained.last().expect("non-empty").1;
+                    #[allow(clippy::expect_used)]
                     let (best_idx, _) = terms
                         .iter()
                         .enumerate()
                         .map(|(i, (_, s))| (i, same_letter_overlap(prev, s)))
                         .max_by_key(|&(_, o)| o)
+                        // hatt-lint: allow(panic) -- the `while !terms.is_empty()` guard holds here
                         .expect("non-empty");
                     chained.push(terms.remove(best_idx));
                 }

@@ -297,6 +297,7 @@ pub fn hatt_with(h: &MajoranaSum, options: &HattOptions) -> HattMapping {
 /// Unwraps a construction result with the historic panic wording — the
 /// deprecated shims' behaviour contract.
 fn expect_mapping(r: Result<HattMapping, HattError>) -> HattMapping {
+    // hatt-lint: allow(panic) -- the deprecated shims' documented `# Panics` contract; new code uses Mapper
     r.unwrap_or_else(|e| panic!("{e}"))
 }
 

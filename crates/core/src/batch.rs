@@ -76,8 +76,19 @@
 //! # Ok::<(), hatt_core::HattError>(())
 //! ```
 
-use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// Under `--cfg interleave` (the model-checking CI job) the slot and
+// cache locks come from the instrumented `vendor/interleave` shims, so
+// the explorer can enumerate every schedule of the in-flight-dedup
+// protocol (`interleave_models` below). The shims pass through to
+// `std` when no model is active, so ordinary tests are unaffected even
+// in an interleave build.
+#[cfg(interleave)]
+use interleave::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(interleave))]
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{NodeId, TernaryTree};
@@ -156,10 +167,12 @@ pub fn structure_key(h: &MajoranaSum) -> u64 {
 /// node's `[X, Y, Z]` children in qubit (attach) order. Children always
 /// have smaller node ids than their parent, so replaying in this order
 /// is valid.
+#[allow(clippy::expect_used)]
 fn merge_sequence(tree: &TernaryTree) -> Vec<[NodeId; 3]> {
     (0..tree.n_modes())
         .map(|q| {
             tree.children(tree.internal_of(q))
+                // hatt-lint: allow(panic) -- internal_of(q) returns an internal node, which always has children
                 .expect("internal nodes have children")
         })
         .collect()
@@ -195,7 +208,7 @@ impl Slot {
         })
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, SlotState> {
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -243,7 +256,10 @@ struct CacheEntry {
 #[derive(Debug, Default)]
 struct CacheInner {
     /// Hash buckets; every probe compares the full structure + options.
-    buckets: HashMap<u64, Vec<CacheEntry>>,
+    /// A `BTreeMap` so eviction scans the buckets in a deterministic
+    /// (ascending-hash) order — no `HashMap` iteration anywhere on the
+    /// result path (`hatt-lint`'s determinism rule pins this).
+    buckets: BTreeMap<u64, Vec<CacheEntry>>,
     /// LRU bound: `None` = unbounded, `Some(0)` = caching disabled.
     capacity: Option<usize>,
     /// Monotonic probe clock stamping `CacheEntry::last_used`.
@@ -495,10 +511,11 @@ impl MappingCache {
     /// Panics when `h` has zero modes.
     pub fn get_or_build(&self, h: &MajoranaSum, options: &HattOptions) -> HattMapping {
         self.try_get_or_build(h, options)
+            // hatt-lint: allow(panic) -- documented `# Panics` convenience; try_get_or_build is the typed path
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -563,6 +580,7 @@ pub(crate) fn map_many_impl(
 /// Panics when any Hamiltonian has zero modes.
 #[deprecated(note = "use `Mapper::with_options(opts).map_batch(&hs)` instead")]
 pub fn map_many(hs: &[MajoranaSum], options: &HattOptions) -> Vec<HattMapping> {
+    // hatt-lint: allow(panic) -- the deprecated shim's documented `# Panics` contract; new code uses Mapper
     map_many_impl(hs, options, &MappingCache::new()).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -581,6 +599,7 @@ pub fn map_many_cached(
     options: &HattOptions,
     cache: &MappingCache,
 ) -> Vec<HattMapping> {
+    // hatt-lint: allow(panic) -- the deprecated shim's documented `# Panics` contract; new code uses Mapper
     map_many_impl(hs, options, cache).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -810,5 +829,143 @@ mod tests {
         let _ = map_many_cached(&hs, &opts, &cache);
         assert_eq!(cache.hits(), 2 + 3, "second batch is all hits");
         assert_eq!(cache.len(), 1);
+    }
+}
+
+/// Exhaustive interleaving models of the slot protocol, compiled only
+/// under `RUSTFLAGS="--cfg interleave"` (the CI `interleave` job).
+/// Each [`interleave::model`] re-runs its body under *every* schedule
+/// of the instrumented lock/condvar operations, so the invariants here
+/// hold against the full schedule tree of 2–3 threads, not one run.
+#[cfg(all(test, interleave))]
+mod interleave_models {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use hatt_mappings::FermionMapping;
+    use interleave::thread;
+
+    use super::*;
+
+    fn tiny() -> MajoranaSum {
+        MajoranaSum::uniform_singles(2)
+    }
+
+    /// `threads: Some(1)` keeps each construction inline on its model
+    /// thread — the schedule space stays the protocol's, not the
+    /// engine's.
+    fn seq() -> HattOptions {
+        HattOptions {
+            threads: Some(1),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn owner_constructs_and_followers_replay_under_every_schedule() {
+        let report = interleave::model(|| {
+            let cache = Arc::new(MappingCache::new());
+            let expect = hatt_with_impl(&tiny(), &seq()).unwrap();
+            let other = {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || cache.try_get_or_build(&tiny(), &seq()).unwrap())
+            };
+            let mine = cache.try_get_or_build(&tiny(), &seq()).unwrap();
+            let theirs = other.join().unwrap();
+            assert_eq!(mine.tree(), expect.tree());
+            assert_eq!(theirs.tree(), expect.tree());
+            // Whichever thread probed first owns; the other deduped
+            // onto its slot — in every schedule.
+            assert_eq!(cache.len(), 1);
+            assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        });
+        assert!(report.iterations > 1, "explored {}", report.iterations);
+    }
+
+    #[test]
+    fn fail_guard_unblocks_followers_and_removes_the_entry() {
+        interleave::model(|| {
+            let cache = MappingCache::new();
+            let structure = Structure::of(&tiny());
+            let hash = structure.hash();
+            let norm = HattOptions {
+                threads: None,
+                ..seq()
+            };
+            let (slot, owner) = cache.lock().probe(hash, &structure, &norm);
+            assert!(owner);
+            let follower = {
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || slot.wait())
+            };
+            // The owner unwinds before filling: the guard must fail
+            // the slot (so the follower never deadlocks) and remove
+            // the claimed entry (so the structure is not poisoned).
+            let unwound = catch_unwind(AssertUnwindSafe(|| {
+                let _guard = FailOnUnwind {
+                    cache: &cache,
+                    hash,
+                    slot: &slot,
+                };
+                panic!("construction blew up");
+            }));
+            assert!(unwound.is_err());
+            let observed = follower.join().unwrap();
+            assert!(observed.is_none(), "follower observes the failure");
+            assert_eq!(cache.len(), 0, "failed entry is removed");
+            let (_fresh, owner_again) = cache.lock().probe(hash, &structure, &norm);
+            assert!(owner_again, "the next probe re-claims and retries");
+        });
+    }
+
+    #[test]
+    fn lru_eviction_under_contention_stays_bounded_and_correct() {
+        interleave::model(|| {
+            let cache = Arc::new(MappingCache::with_capacity(1));
+            let big = MajoranaSum::uniform_singles(3);
+            let other = {
+                let (cache, big) = (Arc::clone(&cache), big.clone());
+                thread::spawn(move || cache.try_get_or_build(&big, &seq()).unwrap())
+            };
+            let a = cache.try_get_or_build(&tiny(), &seq()).unwrap();
+            let b = other.join().unwrap();
+            assert_eq!(a.tree(), hatt_with_impl(&tiny(), &seq()).unwrap().tree());
+            assert_eq!(b.tree(), hatt_with_impl(&big, &seq()).unwrap().tree());
+            // In-flight entries are never evicted, so the bound may be
+            // exceeded by the number of concurrent constructions...
+            assert!(cache.len() <= 2, "overshoot is bounded by in-flight count");
+            // ...but the next insert, with everything resolved, evicts
+            // back down to capacity.
+            let c = cache
+                .try_get_or_build(&MajoranaSum::uniform_singles(4), &seq())
+                .unwrap();
+            assert_eq!(c.n_modes(), 4);
+            assert_eq!(cache.len(), 1, "resolved entries evict to the bound");
+        });
+    }
+
+    #[test]
+    fn map_many_dedupes_in_flight_under_every_schedule() {
+        // Two duplicate items on two workers keeps the exhaustive
+        // schedule tree tractable (three threads × the full
+        // queue/cache/slot protocol blows past the iteration bound)
+        // while still covering the full stack: fan-out, probe race,
+        // owner construct, follower wait/replay.
+        let report = interleave::model(|| {
+            let cache = MappingCache::new();
+            let hs = vec![tiny(), tiny()];
+            let opts = HattOptions {
+                threads: Some(2),
+                ..Default::default()
+            };
+            let got = map_many_impl(&hs, &opts, &cache).unwrap();
+            assert_eq!(got.len(), 2);
+            assert_eq!(got[0].tree(), got[1].tree());
+            // However the two workers interleave, exactly one probe
+            // claims the structure and constructs; the other follows
+            // its slot (in flight or after the fill).
+            assert_eq!((cache.hits(), cache.misses()), (1, 1));
+            assert_eq!(cache.len(), 1);
+        });
+        assert!(report.iterations > 1, "explored {}", report.iterations);
     }
 }

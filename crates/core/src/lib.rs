@@ -65,6 +65,7 @@
 //! `hatt_fermion::wire` / `hatt_mappings::wire` codecs — the payloads
 //! the `hatt-service` request/response layer streams over TCP.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

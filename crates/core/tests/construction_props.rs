@@ -2,6 +2,9 @@
 //! pairing guarantees, and greedy-objective consistency on random
 //! Hamiltonians.
 
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt_core::{HattOptions, Mapper, Variant};
 /// One construction through the `Mapper` handle (fresh handle per
 /// call, so every construction is cold — same results and stats as

@@ -18,6 +18,9 @@
 //!   preservation, and the quality portfolio's never-worse-than-JW
 //!   guarantee (JW is evaluated in the *same* labeling).
 
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt_core::{HattOptions, Mapper};
 /// One construction through the `Mapper` handle (fresh handle per
 /// call, so every construction is cold — same results and stats as

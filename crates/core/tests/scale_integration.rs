@@ -5,6 +5,9 @@
 //! (Majorana algebra ⇒ isospectral mapped Hamiltonian, plus vacuum
 //! preservation for the paired variants).
 
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt_core::{HattOptions, Mapper, Variant};
 /// One construction through the `Mapper` handle (fresh handle per
 /// call, so every construction is cold — same results and stats as

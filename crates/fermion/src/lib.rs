@@ -20,6 +20,7 @@
 //! assert!(majorana.is_hermitian(1e-12));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -224,6 +224,8 @@ impl TermEngine {
         }
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let (elo, ehi) = (self.epoch[lo], self.epoch[hi]);
+        #[allow(clippy::expect_used)]
+        // hatt-lint: allow(panic) -- ensure_memo() returning true guarantees the memo is populated
         let memo = self.memo.as_mut().expect("memo just ensured");
         // Upper-triangular (diagonal included) row-major slot: row `lo`
         // starts after the Σ_{k<lo}(n_nodes − k) = lo·(2n − lo + 1)/2

@@ -33,6 +33,7 @@
 //! assert!(jw.weight() > 0 && bk.weight() > 0 && btt.weight() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -208,7 +208,9 @@ impl Shortlist {
         if self.width == 0 {
             return;
         }
+        #[allow(clippy::expect_used)]
         if self.entries.len() == self.width
+            // hatt-lint: allow(panic) -- len == width and width > 0 was checked above, so entries is non-empty
             && score >= self.entries.last().expect("non-empty at capacity").0
         {
             return;

@@ -235,6 +235,8 @@ impl TernaryTree {
         } else {
             format!("{indent}     ")
         };
+        #[allow(clippy::expect_used)]
+        // hatt-lint: allow(panic) -- render_node recurses only into internal nodes, which always have children
         let ch = self.children[node].expect("internal node has children");
         for b in Branch::ALL {
             self.render_node(ch[b.index()], &child_indent, Some(b), out);
@@ -251,6 +253,8 @@ impl TernaryTree {
         let mut pairs = Vec::with_capacity(self.n_modes);
         for q in 0..self.n_modes {
             let v = self.internal_of(q);
+            #[allow(clippy::expect_used)]
+            // hatt-lint: allow(panic) -- internal_of(q) returns an internal node, which always has children
             let ch = self.children[v].expect("internal node has children");
             pairs.push((
                 self.desc_z(ch[Branch::X.index()]),

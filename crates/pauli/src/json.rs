@@ -61,7 +61,9 @@ impl Json {
     ///
     /// Panics when the value exceeds `i64::MAX` (no such counter exists
     /// in this workspace).
+    #[allow(clippy::expect_used)]
     pub fn int(v: u64) -> Json {
+        // hatt-lint: allow(panic) -- documented `# Panics` contract; no workspace counter exceeds i64::MAX
         Json::Int(i64::try_from(v).expect("count fits i64"))
     }
 

@@ -182,6 +182,7 @@ impl Pauli {
             (Z, Y) => (Phase::MINUS_I, X),
             (Z, X) => (Phase::I, Y),
             (X, Z) => (Phase::MINUS_I, Y),
+            // hatt-lint: allow(panic) -- the arms above cover every distinct non-identity pair
             _ => unreachable!(),
         }
     }

@@ -226,7 +226,8 @@ fn self_check(args: &Args) -> Result<String, String> {
     }
 
     // A scheduler smoke directly (no socket) for the bounded queue.
-    let sched = Scheduler::new(Arc::new(build_mapper(args)?), scheduler_config(args));
+    let sched = Scheduler::new(Arc::new(build_mapper(args)?), scheduler_config(args))
+        .map_err(|e| format!("scheduler start: {e}"))?;
     let rx = sched
         .submit(&MapRequest::new("q", vec![MajoranaSum::uniform_singles(2)]))
         .map_err(|e| format!("scheduler submit: {e}"))?;

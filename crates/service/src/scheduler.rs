@@ -31,7 +31,7 @@
 //! use hatt_fermion::MajoranaSum;
 //! use hatt_service::{MapRequest, Scheduler, SchedulerConfig};
 //!
-//! let scheduler = Scheduler::new(Arc::new(Mapper::new()), SchedulerConfig::default());
+//! let scheduler = Scheduler::new(Arc::new(Mapper::new()), SchedulerConfig::default())?;
 //! let req = MapRequest::new("r", vec![MajoranaSum::uniform_singles(2)]);
 //! let rx = scheduler.submit(&req)?;
 //! let item = rx.recv().unwrap();
@@ -121,7 +121,12 @@ impl std::fmt::Debug for Shared {
 impl Scheduler {
     /// Starts a scheduler over `mapper` (shared with the caller — e.g.
     /// the server also answering in-process queries).
-    pub fn new(mapper: Arc<Mapper>, config: SchedulerConfig) -> Scheduler {
+    ///
+    /// # Errors
+    ///
+    /// Fails when the dispatcher thread cannot be spawned (resource
+    /// exhaustion).
+    pub fn new(mapper: Arc<Mapper>, config: SchedulerConfig) -> std::io::Result<Scheduler> {
         let shared = Arc::new(Shared {
             mapper,
             workers: config.workers.max(1),
@@ -137,13 +142,12 @@ impl Scheduler {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("hatt-sched".into())
-                .spawn(move || dispatch_loop(&shared))
-                .expect("spawn scheduler dispatcher")
+                .spawn(move || dispatch_loop(&shared))?
         };
-        Scheduler {
+        Ok(Scheduler {
             shared,
             dispatcher: Some(dispatcher),
-        }
+        })
     }
 
     /// Jobs currently queued (not yet dispatched).
@@ -306,7 +310,8 @@ mod tests {
     #[test]
     fn maps_a_batch_and_streams_every_item() {
         let mapper = Arc::new(Mapper::new());
-        let scheduler = Scheduler::new(Arc::clone(&mapper), SchedulerConfig::default());
+        let scheduler =
+            Scheduler::new(Arc::clone(&mapper), SchedulerConfig::default()).expect("scheduler");
         let hams: Vec<MajoranaSum> = (2..6).map(MajoranaSum::uniform_singles).collect();
         let rx = scheduler
             .submit(&MapRequest::new("r", hams.clone()))
@@ -322,7 +327,8 @@ mod tests {
 
     #[test]
     fn bad_items_fail_individually_not_the_batch() {
-        let scheduler = Scheduler::new(Arc::new(Mapper::new()), SchedulerConfig::default());
+        let scheduler =
+            Scheduler::new(Arc::new(Mapper::new()), SchedulerConfig::default()).expect("scheduler");
         let mut pinned = MapRequest::new(
             "r",
             vec![
@@ -351,7 +357,8 @@ mod tests {
     #[test]
     fn requests_share_the_mapper_cache() {
         let mapper = Arc::new(Mapper::new());
-        let scheduler = Scheduler::new(Arc::clone(&mapper), SchedulerConfig::default());
+        let scheduler =
+            Scheduler::new(Arc::clone(&mapper), SchedulerConfig::default()).expect("scheduler");
         let mut h = MajoranaSum::new(2);
         h.add(Complex64::ONE, &[0, 1]);
         h.add(Complex64::ONE, &[2, 3]);
@@ -375,7 +382,8 @@ mod tests {
                 workers: 1,
                 queue_capacity: 1,
             },
-        );
+        )
+        .expect("scheduler");
         let big = MapRequest::new(
             "big",
             (0..64).map(|_| MajoranaSum::uniform_singles(2)).collect(),

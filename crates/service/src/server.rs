@@ -64,15 +64,14 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let scheduler = Arc::new(Scheduler::new(Arc::new(mapper), config.scheduler));
+        let scheduler = Arc::new(Scheduler::new(Arc::new(mapper), config.scheduler)?);
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let stop = Arc::clone(&stop);
             let scheduler = Arc::clone(&scheduler);
             std::thread::Builder::new()
                 .name("hattd-accept".into())
-                .spawn(move || accept_loop(&listener, &stop, &scheduler))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(&listener, &stop, &scheduler))?
         };
         Ok(Server {
             local_addr,

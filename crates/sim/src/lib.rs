@@ -26,6 +26,7 @@
 //! # Ok::<(), hatt_pauli::ParsePauliStringError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -153,6 +153,8 @@ impl StateVector {
                 self.apply_cnot(a, b);
             }
             _ => {
+                #[allow(clippy::expect_used)]
+                // hatt-lint: allow(panic) -- every Gate other than Cnot/Swap is single-qubit and has a matrix
                 let m = g.matrix1q().expect("1q gate");
                 self.apply_1q(g.qubits()[0], &m);
             }

@@ -3,6 +3,9 @@
 //! i·sin(θ/2)·P`, and every optimization/routing pass must preserve
 //! circuit semantics.
 
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt_circuit::{
     optimize, pauli_evolution, route_sabre, synthesize_pauli_network, trotter_circuit, CouplingMap,
     RouterOptions, RustiqOptions, TermOrder,

@@ -6,6 +6,9 @@
 //! cargo run --release --example hubbard_routing
 //! ```
 
+// Example code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt::circuit::{
     optimize, route_sabre, trotter_circuit, CouplingMap, RouterOptions, TermOrder,
 };

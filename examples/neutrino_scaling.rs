@@ -11,6 +11,9 @@
 //! cargo run --release --example neutrino_scaling
 //! ```
 
+// Example code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt::core::Mapper;
 use hatt::fermion::models::NeutrinoModel;
 use hatt::fermion::MajoranaSum;

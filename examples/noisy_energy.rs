@@ -6,6 +6,9 @@
 //! cargo run --release --example noisy_energy
 //! ```
 
+// Example code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt::circuit::{optimize, trotter_circuit, TermOrder};
 use hatt::core::Mapper;
 use hatt::fermion::models::MolecularIntegrals;

@@ -6,6 +6,7 @@
 //!
 //! See the [`prelude`] for the commonly used types.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use hatt_circuit as circuit;

@@ -3,6 +3,9 @@
 //! Hartree-Fock energy of H2 and particle-number bookkeeping — for every
 //! vacuum-preserving mapping.
 
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt::core::Mapper;
 use hatt::fermion::models::MolecularIntegrals;
 use hatt::fermion::MajoranaSum;

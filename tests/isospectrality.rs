@@ -2,6 +2,9 @@
 //! of the same Hamiltonian must produce an *isospectral* qubit
 //! Hamiltonian — the strongest cross-mapping correctness check available.
 
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt::core::{HattOptions, Mapper, Variant};
 use hatt::fermion::models::{random_hermitian, FermiHubbard, MolecularIntegrals};
 use hatt::fermion::{FermionOperator, MajoranaSum};

@@ -2,6 +2,9 @@
 //! Trotter circuit → optimization → simulation, with energy conservation
 //! and golden-weight regression pins.
 
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt::circuit::{optimize, trotter_circuit, TermOrder};
 use hatt::core::{HattOptions, Mapper, Variant};
 use hatt::fermion::models::{FermiHubbard, MolecularIntegrals, NeutrinoModel};

@@ -2,6 +2,9 @@
 //! cross-mapping isospectrality on randomly generated fermionic
 //! Hamiltonians.
 
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hatt::core::{HattOptions, Mapper, Variant};
 use hatt::fermion::models::random_hermitian;
 use hatt::fermion::MajoranaSum;

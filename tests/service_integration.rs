@@ -5,6 +5,9 @@
 //! malformed line, a zero-mode item and a mode-pin violation each come
 //! back as error lines without wedging the connection or the batch.
 
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 

@@ -1,0 +1,78 @@
+//! Deterministic-interleaving model checker — a hand-rolled, std-only
+//! stand-in for the subset of [`loom`](https://docs.rs/loom) the HATT
+//! workspace needs (the container has no crates-io access, so like
+//! `vendor/{rand,proptest,criterion,parallel}` this crate covers
+//! exactly what the repo uses).
+//!
+//! ## What it does
+//!
+//! [`model`] runs a closure over **every** schedule of the threads it
+//! spawns, where a "schedule" is the order in which threads pass the
+//! instrumented synchronization points ([`sync::Mutex`],
+//! [`sync::Condvar`], [`sync::atomic`], [`thread::spawn`] /
+//! [`thread::scope`], joins). Execution is fully serialized: exactly
+//! one model thread runs at a time, and at every sync operation the
+//! scheduler picks which runnable thread goes next. A depth-first
+//! search over those pick points enumerates all interleavings, so an
+//! assertion that holds for a [`model`] run holds for *every* ordering
+//! the real primitives could produce at mutex/condvar granularity —
+//! which is exactly the granularity the `MappingCache` slot protocol
+//! and the `vendor/parallel` work queue synchronize at.
+//!
+//! Deadlocks are detected (no runnable thread while some thread still
+//! waits) and reported with the schedule that produced them; so are
+//! panics on any model thread, with the schedule attached for replay.
+//!
+//! ## Passthrough outside a model
+//!
+//! The shims delegate to the real `std::sync` / `std::thread`
+//! primitives whenever no model is active on the calling thread. That
+//! lets production types (the cache, the work queue) be compiled
+//! against these shims under `--cfg interleave` and still behave
+//! normally in ordinary tests — only code that runs *inside* a
+//! [`model`] closure is explored.
+//!
+//! ## Bounds
+//!
+//! Exploration is exhaustive but bounded: [`Builder::max_iterations`]
+//! caps the number of schedules and [`Builder::max_depth`] the number
+//! of scheduling decisions per schedule. Exceeding either bound panics
+//! — a model that trips the bound must be shrunk explicitly, never
+//! silently truncated.
+//!
+//! # Examples
+//!
+//! ```
+//! use interleave::sync::Mutex;
+//! use std::sync::Arc;
+//!
+//! // Two threads increment a shared counter under a mutex: the total
+//! // is 2 under *every* interleaving.
+//! let report = interleave::model(|| {
+//!     let counter = Arc::new(Mutex::new(0u32));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = Arc::clone(&counter);
+//!             interleave::thread::spawn(move || {
+//!                 let mut c = counter.lock().unwrap();
+//!                 *c += 1;
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(*counter.lock().unwrap(), 2);
+//! });
+//! assert!(report.iterations >= 2, "both acquisition orders explored");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{model, Builder, Report};

@@ -1,0 +1,624 @@
+//! The DFS schedule explorer behind [`model`] and the shims' logical
+//! state (who owns which mutex, who waits on which condvar).
+//!
+//! One iteration = one schedule: every model thread is a real OS
+//! thread, but only the thread the scheduler marked *active* makes
+//! progress; everyone else parks on the scheduler condvar. At each
+//! instrumented operation the active thread re-enters the scheduler,
+//! which consults the current schedule prefix (replay) or extends it
+//! (exploration) to pick the next runnable thread. After the iteration
+//! finishes, the deepest decision with untried alternatives is advanced
+//! and the model is rerun — classic depth-first enumeration.
+
+use std::cell::RefCell;
+use std::panic::resume_unwind;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Sentinel for "no active thread" (iteration finished or aborted).
+const NONE: usize = usize::MAX;
+
+/// Panic payload used to tear down parked threads when an iteration
+/// aborts (deadlock or bound exceeded). Carried through `panic_any`, so
+/// the thread wrappers can tell it apart from user assertion failures.
+struct ModelAbort;
+
+thread_local! {
+    static CURRENT: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// The per-thread handle into the active model: which model, which
+/// thread id. `None` on threads outside any model — the shims then
+/// pass straight through to `std`.
+#[derive(Clone, Debug)]
+pub(crate) struct ThreadCtx {
+    pub(crate) model: Arc<ModelCtx>,
+    pub(crate) tid: usize,
+}
+
+/// The model context the calling thread belongs to, if any.
+pub(crate) fn current() -> Option<ThreadCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<ThreadCtx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// What a model thread is doing, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Can be scheduled.
+    Runnable,
+    /// Blocked acquiring the mutex with this logical id.
+    BlockedMutex(usize),
+    /// Parked on the condvar with this logical id (awaiting a notify).
+    WaitingCv(usize),
+    /// Blocked joining the thread with this id.
+    BlockedJoin(usize),
+    /// Ran to completion (or unwound).
+    Finished,
+}
+
+/// One scheduling decision: which of `choices` runnable threads was
+/// picked. Only recorded when there was an actual choice (≥ 2).
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    choices: usize,
+}
+
+#[derive(Debug, Default)]
+struct Sched {
+    threads: Vec<TState>,
+    /// Whether the thread unwound with a user panic (not [`ModelAbort`]).
+    panicked: Vec<bool>,
+    /// Whether some `join` observed the thread's outcome.
+    observed: Vec<bool>,
+    active: usize,
+    /// Decision indices to replay this iteration (DFS prefix).
+    prefix: Vec<usize>,
+    /// Decisions actually taken this iteration.
+    decisions: Vec<Decision>,
+    /// How many prefix entries have been consumed.
+    cursor: usize,
+    /// Set when the iteration is torn down early; the reason survives
+    /// for the report.
+    abort: Option<String>,
+    mutex_owner: Vec<Option<usize>>,
+    cv_waiters: Vec<Vec<usize>>,
+    max_depth: usize,
+}
+
+impl Sched {
+    /// Picks the next thread to run. Must be called with the caller's
+    /// own state already updated (blocked / finished / still runnable).
+    fn schedule_next(&mut self) {
+        if self.abort.is_some() {
+            self.active = NONE;
+            return;
+        }
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TState::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if !self.threads.iter().all(|t| matches!(t, TState::Finished)) {
+                self.abort = Some(self.describe_deadlock());
+            }
+            self.active = NONE;
+            return;
+        }
+        let k = if runnable.len() == 1 {
+            0
+        } else {
+            if self.decisions.len() >= self.max_depth {
+                self.abort = Some(format!(
+                    "schedule exceeded max_depth = {} decisions",
+                    self.max_depth
+                ));
+                self.active = NONE;
+                return;
+            }
+            let k = if self.cursor < self.prefix.len() {
+                self.prefix[self.cursor]
+            } else {
+                0
+            };
+            self.cursor += 1;
+            self.decisions.push(Decision {
+                chosen: k,
+                choices: runnable.len(),
+            });
+            k
+        };
+        self.active = runnable[k];
+    }
+
+    fn describe_deadlock(&self) -> String {
+        let stuck: Vec<String> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t, TState::Finished))
+            .map(|(i, t)| match t {
+                TState::BlockedMutex(m) => format!("thread {i} blocked on mutex {m}"),
+                TState::WaitingCv(c) => format!("thread {i} waiting on condvar {c}"),
+                TState::BlockedJoin(j) => format!("thread {i} joining thread {j}"),
+                other => format!("thread {i} in state {other:?}"),
+            })
+            .collect();
+        format!("deadlock: {}", stuck.join(", "))
+    }
+
+    fn chosen(&self) -> Vec<usize> {
+        self.decisions.iter().map(|d| d.chosen).collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| matches!(t, TState::Finished))
+    }
+}
+
+/// One model run's shared state: the logical scheduler plus the condvar
+/// every parked model thread sleeps on.
+#[derive(Debug)]
+pub(crate) struct ModelCtx {
+    /// Globally unique per iteration; shim objects use it to detect
+    /// stale logical ids from earlier iterations.
+    pub(crate) epoch: u64,
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+impl ModelCtx {
+    fn lock(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Parks until the scheduler marks `me` active. Returns the guard
+    /// and `true` on success; `(guard, false)` when the iteration
+    /// aborted and the caller is already unwinding (degrade to no-op).
+    /// A non-unwinding caller is torn down with a [`ModelAbort`] panic.
+    fn wait_until_active<'a>(
+        &'a self,
+        mut guard: MutexGuard<'a, Sched>,
+        me: usize,
+    ) -> (MutexGuard<'a, Sched>, bool) {
+        loop {
+            if guard.abort.is_some() {
+                if std::thread::panicking() {
+                    return (guard, false);
+                }
+                drop(guard);
+                std::panic::panic_any(ModelAbort);
+            }
+            if guard.active == me {
+                return (guard, true);
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A plain scheduling point: the caller stays runnable, the
+    /// scheduler picks who goes next (possibly the caller again).
+    /// Returns `false` when the iteration aborted mid-unwind.
+    pub(crate) fn yield_op(&self, me: usize) -> bool {
+        let mut s = self.lock();
+        if s.abort.is_some() && std::thread::panicking() {
+            return false;
+        }
+        s.schedule_next();
+        self.cv.notify_all();
+        let (_s, ok) = self.wait_until_active(s, me);
+        ok
+    }
+
+    /// Registers a fresh logical mutex, returning its id.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut s = self.lock();
+        s.mutex_owner.push(None);
+        s.mutex_owner.len() - 1
+    }
+
+    /// Registers a fresh logical condvar, returning its id.
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut s = self.lock();
+        s.cv_waiters.push(Vec::new());
+        s.cv_waiters.len() - 1
+    }
+
+    /// Logically acquires mutex `id` for `me`, scheduling through
+    /// contention. Returns `false` when the iteration aborted and no
+    /// logical acquisition happened (caller falls back to raw `std`).
+    pub(crate) fn mutex_lock(&self, me: usize, id: usize) -> bool {
+        if !self.yield_op(me) {
+            return false;
+        }
+        let mut s = self.lock();
+        loop {
+            if s.abort.is_some() && std::thread::panicking() {
+                return false;
+            }
+            if s.mutex_owner[id].is_none() {
+                s.mutex_owner[id] = Some(me);
+                return true;
+            }
+            s.threads[me] = TState::BlockedMutex(id);
+            s.schedule_next();
+            self.cv.notify_all();
+            let (g, ok) = self.wait_until_active(s, me);
+            if !ok {
+                return false;
+            }
+            s = g;
+        }
+    }
+
+    /// Logically releases mutex `id`, unblocking its waiters. Never a
+    /// scheduling point (the releaser's next instrumented op is), and
+    /// safe to call during unwinds and aborts.
+    pub(crate) fn mutex_unlock(&self, me: usize, id: usize) {
+        let mut s = self.lock();
+        debug_assert_eq!(s.mutex_owner[id], Some(me), "unlock by non-owner");
+        s.mutex_owner[id] = None;
+        for t in &mut s.threads {
+            if *t == TState::BlockedMutex(id) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    /// Condvar wait: logically releases mutex `mx`, parks on condvar
+    /// `cv` until notified, then reacquires `mx`. Returns `false` on
+    /// abort (no logical state held).
+    pub(crate) fn condvar_wait(&self, me: usize, cv: usize, mx: usize) -> bool {
+        {
+            let mut s = self.lock();
+            if s.abort.is_some() {
+                if std::thread::panicking() {
+                    return false;
+                }
+                drop(s);
+                std::panic::panic_any(ModelAbort);
+            }
+            debug_assert_eq!(s.mutex_owner[mx], Some(me), "wait without the lock");
+            s.mutex_owner[mx] = None;
+            for t in &mut s.threads {
+                if *t == TState::BlockedMutex(mx) {
+                    *t = TState::Runnable;
+                }
+            }
+            s.cv_waiters[cv].push(me);
+            s.threads[me] = TState::WaitingCv(cv);
+            s.schedule_next();
+            self.cv.notify_all();
+            let (_g, ok) = self.wait_until_active(s, me);
+            if !ok {
+                return false;
+            }
+        }
+        // Notified and scheduled: reacquire the mutex (its own
+        // scheduling point, racing any other acquirer — explored).
+        self.mutex_lock(me, mx)
+    }
+
+    /// Wakes every waiter of condvar `cv`. A scheduling point.
+    pub(crate) fn condvar_notify_all(&self, me: usize, cv: usize) -> bool {
+        if !self.yield_op(me) {
+            return false;
+        }
+        let mut s = self.lock();
+        let waiters = std::mem::take(&mut s.cv_waiters[cv]);
+        for w in waiters {
+            if s.threads[w] == TState::WaitingCv(cv) {
+                s.threads[w] = TState::Runnable;
+            }
+        }
+        true
+    }
+
+    /// Wakes the longest-waiting waiter of condvar `cv` (FIFO — the
+    /// *choice* of waiter is not explored; protocols relying on
+    /// `notify_one` fairness should model with `notify_all`).
+    pub(crate) fn condvar_notify_one(&self, me: usize, cv: usize) -> bool {
+        if !self.yield_op(me) {
+            return false;
+        }
+        let mut s = self.lock();
+        while !s.cv_waiters[cv].is_empty() {
+            let w = s.cv_waiters[cv].remove(0);
+            if s.threads[w] == TState::WaitingCv(cv) {
+                s.threads[w] = TState::Runnable;
+                break;
+            }
+        }
+        true
+    }
+
+    /// Registers a newly spawned thread as runnable, returning its id.
+    /// The spawning thread should [`Self::yield_op`] afterwards so the
+    /// child can be scheduled immediately.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(TState::Runnable);
+        s.panicked.push(false);
+        s.observed.push(false);
+        s.threads.len() - 1
+    }
+
+    /// First thing a model thread does: park until scheduled.
+    pub(crate) fn thread_start(&self, me: usize) {
+        let s = self.lock();
+        let _ = self.wait_until_active(s, me);
+    }
+
+    /// Last thing a model thread does (from its exit guard): mark
+    /// itself finished, release joiners, hand off the schedule.
+    pub(crate) fn thread_exit(&self, me: usize, panicked: bool) {
+        let mut s = self.lock();
+        s.threads[me] = TState::Finished;
+        s.panicked[me] = panicked;
+        for t in &mut s.threads {
+            if *t == TState::BlockedJoin(me) {
+                *t = TState::Runnable;
+            }
+        }
+        s.schedule_next();
+        self.cv.notify_all();
+    }
+
+    /// Blocks `me` until thread `target` finishes, and marks the
+    /// target's outcome observed. Returns `false` on abort.
+    pub(crate) fn join(&self, me: usize, target: usize) -> bool {
+        if !self.yield_op(me) {
+            return false;
+        }
+        let mut s = self.lock();
+        loop {
+            if s.abort.is_some() && std::thread::panicking() {
+                return false;
+            }
+            if matches!(s.threads[target], TState::Finished) {
+                s.observed[target] = true;
+                return true;
+            }
+            s.threads[me] = TState::BlockedJoin(target);
+            s.schedule_next();
+            self.cv.notify_all();
+            let (g, ok) = self.wait_until_active(s, me);
+            if !ok {
+                return false;
+            }
+            s = g;
+        }
+    }
+
+    /// Blocks the orchestrator (a non-model thread) until every model
+    /// thread finished, then returns the iteration's outcome.
+    fn wait_iteration_done(&self) -> IterationOutcome {
+        let mut s = self.lock();
+        while !s.all_finished() {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        let unjoined_panic = s
+            .panicked
+            .iter()
+            .zip(&s.observed)
+            .enumerate()
+            .find(|(_, (&p, &o))| p && !o)
+            .map(|(i, _)| i);
+        IterationOutcome {
+            decisions: s.decisions.clone(),
+            schedule: s.chosen(),
+            abort: s.abort.clone(),
+            unjoined_panic,
+        }
+    }
+}
+
+struct IterationOutcome {
+    decisions: Vec<Decision>,
+    schedule: Vec<usize>,
+    abort: Option<String>,
+    unjoined_panic: Option<usize>,
+}
+
+/// Runs `f` on a fresh model thread with `CURRENT` installed, calling
+/// [`ModelCtx::thread_exit`] however the closure leaves (return or
+/// unwind). Used for both free-standing and scoped model threads.
+pub(crate) fn run_model_thread<T>(ctx: Arc<ModelCtx>, tid: usize, f: impl FnOnce() -> T) -> T {
+    struct ExitGuard {
+        ctx: Arc<ModelCtx>,
+        tid: usize,
+    }
+    impl Drop for ExitGuard {
+        fn drop(&mut self) {
+            // ModelAbort teardown panics are bookkeeping, not failures.
+            let user_panic = std::thread::panicking();
+            self.ctx.thread_exit(self.tid, user_panic);
+            set_current(None);
+        }
+    }
+    set_current(Some(ThreadCtx {
+        model: Arc::clone(&ctx),
+        tid,
+    }));
+    let guard = ExitGuard { ctx, tid };
+    guard.ctx.thread_start(tid);
+    f()
+}
+
+/// Exploration statistics returned by [`model`] / [`Builder::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub iterations: usize,
+}
+
+/// Configures the exploration bounds of a model run.
+///
+/// # Examples
+///
+/// ```
+/// let report = interleave::Builder::new()
+///     .max_iterations(10_000)
+///     .check(|| {
+///         // nothing to schedule: exactly one iteration
+///     });
+/// assert_eq!(report.iterations, 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    max_iterations: usize,
+    max_depth: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_iterations: 1 << 20,
+            max_depth: 10_000,
+        }
+    }
+}
+
+static EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl Builder {
+    /// Default bounds: 2²⁰ schedules, 10 000 decisions per schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of schedules; exceeding it panics — exploration
+    /// is never silently truncated.
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Caps the scheduling decisions per schedule.
+    pub fn max_depth(mut self, n: usize) -> Self {
+        self.max_depth = n;
+        self
+    }
+
+    /// Runs `f` under every schedule within the bounds. Panics (with
+    /// the offending schedule) on a model assertion failure, a
+    /// deadlock, or an exceeded bound.
+    pub fn check<F>(self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "interleave: exceeded max_iterations = {} schedules",
+                self.max_iterations
+            );
+            let ctx = Arc::new(ModelCtx {
+                epoch: EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                sched: Mutex::new(Sched {
+                    active: 0,
+                    prefix: prefix.clone(),
+                    max_depth: self.max_depth,
+                    ..Default::default()
+                }),
+                cv: Condvar::new(),
+            });
+            let root = ctx.register_thread();
+            debug_assert_eq!(root, 0);
+            let handle = {
+                let ctx = Arc::clone(&ctx);
+                let f = Arc::clone(&f);
+                std::thread::Builder::new()
+                    .name("interleave-root".into())
+                    .spawn(move || run_model_thread(ctx, root, move || f()))
+                    .unwrap_or_else(|e| panic!("interleave: cannot spawn model root: {e}"))
+            };
+            let outcome = ctx.wait_iteration_done();
+            let root_result = handle.join();
+            if let Some(reason) = outcome.abort {
+                panic!(
+                    "interleave: {reason} (schedule {:?}, iteration {iterations})",
+                    outcome.schedule
+                );
+            }
+            if let Err(payload) = root_result {
+                if !payload.is::<ModelAbort>() {
+                    eprintln!(
+                        "interleave: model failed on schedule {:?} (iteration {iterations})",
+                        outcome.schedule
+                    );
+                    resume_unwind(payload);
+                }
+            }
+            if let Some(tid) = outcome.unjoined_panic {
+                panic!(
+                    "interleave: thread {tid} panicked and was never joined \
+                     (schedule {:?}, iteration {iterations})",
+                    outcome.schedule
+                );
+            }
+            match next_prefix(&outcome.decisions) {
+                Some(p) => prefix = p,
+                None => return Report { iterations },
+            }
+        }
+    }
+}
+
+/// The DFS step: advance the deepest decision with untried
+/// alternatives; `None` when the whole tree has been visited.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
+    let mut d = decisions.to_vec();
+    while let Some(last) = d.pop() {
+        if last.chosen + 1 < last.choices {
+            let mut p: Vec<usize> = d.iter().map(|x| x.chosen).collect();
+            p.push(last.chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Explores every interleaving of `f`'s threads with default bounds.
+/// See the [crate docs](crate) for the execution model.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prefix_walks_the_tree_depth_first() {
+        let d = |chosen, choices| Decision { chosen, choices };
+        assert_eq!(next_prefix(&[]), None);
+        assert_eq!(next_prefix(&[d(0, 2)]), Some(vec![1]));
+        assert_eq!(next_prefix(&[d(1, 2)]), None);
+        assert_eq!(next_prefix(&[d(0, 2), d(1, 2)]), Some(vec![1]));
+        assert_eq!(next_prefix(&[d(0, 3), d(2, 3)]), Some(vec![1]));
+        assert_eq!(next_prefix(&[d(2, 3), d(0, 2)]), Some(vec![2, 1]));
+    }
+
+    #[test]
+    fn a_model_with_no_choices_runs_once() {
+        let report = model(|| {
+            let x = 21 * 2;
+            assert_eq!(x, 42);
+        });
+        assert_eq!(report.iterations, 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! Instrumented drop-in stand-ins for [`std::sync`] primitives.
+//!
+//! Inside a [`model`](crate::model) every operation is a scheduling
+//! point the explorer branches on; outside, everything delegates to the
+//! real `std` primitive, so code compiled against these shims behaves
+//! identically in production builds and ordinary tests.
+//!
+//! API-compatibility notes: `lock`/`wait` return [`std::sync::LockResult`]
+//! like their `std` counterparts but never poison (a model iteration
+//! that unwinds is torn down and reported by the explorer instead), so
+//! the usual `unwrap_or_else(|e| e.into_inner())` call sites compile
+//! unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::LockResult;
+
+use crate::scheduler::{self, ThreadCtx};
+
+/// Logical-id registration shared by [`Mutex`] and [`Condvar`]: a shim
+/// object learns its per-model id lazily, on first use inside that
+/// model, and re-registers when it encounters a fresh model epoch.
+/// (An object must not be used by two *concurrently running* models.)
+#[derive(Debug, Default)]
+struct ModelId {
+    epoch: AtomicU64,
+    id: AtomicU64,
+}
+
+impl ModelId {
+    fn get_or_register(&self, t: &ThreadCtx, register: impl FnOnce() -> usize) -> usize {
+        if self.epoch.load(Ordering::Relaxed) == t.model.epoch {
+            return usize::try_from(self.id.load(Ordering::Relaxed)).unwrap_or(usize::MAX);
+        }
+        let id = register();
+        self.id.store(id as u64, Ordering::Relaxed);
+        self.epoch.store(t.model.epoch, Ordering::Relaxed);
+        id
+    }
+}
+
+/// Instrumented [`std::sync::Mutex`]: inside a model, acquisition order
+/// is a scheduling decision the explorer enumerates; outside a model it
+/// *is* a `std` mutex.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    model_id: ModelId,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            model_id: ModelId::default(),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn id(&self, t: &ThreadCtx) -> usize {
+        self.model_id
+            .get_or_register(t, || t.model.register_mutex())
+    }
+
+    /// Acquires the mutex, scheduling through contention when a model
+    /// is active. Never returns `Err`: see the [module docs](self).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match scheduler::current() {
+            Some(t) => {
+                let id = self.id(&t);
+                if t.model.mutex_lock(t.tid, id) {
+                    // Execution is serialized and the logical owner is
+                    // us, so the std lock must be free: the previous
+                    // guard released it before its logical unlock.
+                    let inner = self.inner.try_lock().unwrap_or_else(|_| {
+                        panic!("interleave: std lock held without logical owner")
+                    });
+                    Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        model: Some((t, id)),
+                    })
+                } else {
+                    // Aborted mid-unwind: degrade to the raw primitive
+                    // so destructors can still make progress.
+                    let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        model: None,
+                    })
+                }
+            }
+            None => {
+                let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: None,
+                })
+            }
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases the lock (std first, then the
+/// logical claim) on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    /// Back-reference so `Condvar::wait` can reacquire after dropping.
+    lock: &'a Mutex<T>,
+    /// `Option` so `Condvar::wait` and `Drop` can release the std
+    /// guard before the logical state changes hands.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(ThreadCtx, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the std lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the std lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Order matters: release the std lock before the logical claim,
+        // so whoever logically acquires next finds the std lock free.
+        self.inner = None;
+        if let Some((t, id)) = self.model.take() {
+            t.model.mutex_unlock(t.tid, id);
+        }
+    }
+}
+
+/// Instrumented [`std::sync::Condvar`]. Inside a model, `wait` parks
+/// the thread in the scheduler (no spurious wakeups are generated) and
+/// `notify_*` are scheduling points; outside, it is a `std` condvar.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    model_id: ModelId,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    fn id(&self, t: &ThreadCtx) -> usize {
+        self.model_id
+            .get_or_register(t, || t.model.register_condvar())
+    }
+
+    /// Releases `guard`'s mutex, parks until notified, reacquires.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock: &'a Mutex<T> = guard.lock;
+        match guard.model.take() {
+            Some((t, mx_id)) => {
+                let cv_id = self.id(&t);
+                // Stripping `model` disarmed the guard's logical
+                // unlock; dropping the guard releases the std lock.
+                // `condvar_wait` then handles the logical release +
+                // park + logical reacquire in one protocol step.
+                drop(guard);
+                if t.model.condvar_wait(t.tid, cv_id, mx_id) {
+                    let inner = lock.inner.try_lock().unwrap_or_else(|_| {
+                        panic!("interleave: std lock held without logical owner")
+                    });
+                    Ok(MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: Some((t, mx_id)),
+                    })
+                } else {
+                    // Aborted: raw reacquire so unwinding callers can
+                    // re-check their predicates and bail.
+                    let inner = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    Ok(MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: None,
+                    })
+                }
+            }
+            None => {
+                let std_guard = guard.inner.take().expect("guard holds the std lock");
+                // `guard` is now inert (no std guard, no model claim);
+                // dropping it is a no-op, freeing the borrow for the
+                // rebuilt guard below.
+                drop(guard);
+                let back = self
+                    .inner
+                    .wait(std_guard)
+                    .unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    inner: Some(back),
+                    model: None,
+                })
+            }
+        }
+    }
+
+    /// Wakes every thread parked on this condvar.
+    pub fn notify_all(&self) {
+        if let Some(t) = scheduler::current() {
+            let id = self.id(&t);
+            t.model.condvar_notify_all(t.tid, id);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+
+    /// Wakes one thread parked on this condvar (FIFO inside a model;
+    /// the explorer does not branch on *which* waiter wakes).
+    pub fn notify_one(&self) {
+        if let Some(t) = scheduler::current() {
+            let id = self.id(&t);
+            t.model.condvar_notify_one(t.tid, id);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+}
+
+/// Instrumented sequentially-consistent atomics. Inside a model each
+/// operation is a scheduling point; execution is serialized, so every
+/// ordering argument is effectively `SeqCst` (the strongest — models
+/// verify SC executions only, which is sound for the mutex/condvar
+/// protocols this workspace checks).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::scheduler;
+
+    fn yield_op() {
+        if let Some(t) = scheduler::current() {
+            t.model.yield_op(t.tid);
+        }
+    }
+
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    #[derive(Debug, Default)]
+    pub struct AtomicUsize {
+        inner: std::sync::atomic::AtomicUsize,
+    }
+
+    impl AtomicUsize {
+        /// Creates a new atomic with the given initial value.
+        pub fn new(v: usize) -> Self {
+            AtomicUsize {
+                inner: std::sync::atomic::AtomicUsize::new(v),
+            }
+        }
+
+        /// Atomic load (a scheduling point inside a model).
+        pub fn load(&self, order: Ordering) -> usize {
+            yield_op();
+            self.inner.load(order)
+        }
+
+        /// Atomic store (a scheduling point inside a model).
+        pub fn store(&self, v: usize, order: Ordering) {
+            yield_op();
+            self.inner.store(v, order);
+        }
+
+        /// Atomic fetch-add (a scheduling point inside a model).
+        pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+            yield_op();
+            self.inner.fetch_add(v, order)
+        }
+
+        /// Atomic compare-exchange (a scheduling point inside a model).
+        pub fn compare_exchange(
+            &self,
+            current: usize,
+            new: usize,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<usize, usize> {
+            yield_op();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    /// Instrumented [`std::sync::atomic::AtomicBool`].
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        pub fn new(v: bool) -> Self {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Atomic load (a scheduling point inside a model).
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_op();
+            self.inner.load(order)
+        }
+
+        /// Atomic store (a scheduling point inside a model).
+        pub fn store(&self, v: bool, order: Ordering) {
+            yield_op();
+            self.inner.store(v, order);
+        }
+
+        /// Atomic swap (a scheduling point inside a model).
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            yield_op();
+            self.inner.swap(v, order)
+        }
+    }
+}

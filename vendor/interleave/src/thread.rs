@@ -1,0 +1,135 @@
+//! Instrumented stand-ins for [`std::thread`] spawn/scope/join.
+//!
+//! Inside a [`model`](crate::model), spawned closures become model
+//! threads the explorer schedules; `join` first waits *logically* (a
+//! scheduling point that can block, letting other threads run) and
+//! only then performs the real OS join, which by that point returns
+//! promptly. Outside a model everything is a thin passthrough to
+//! `std::thread`.
+//!
+//! One contract for model code: **join every scoped handle before the
+//! scope closure returns.** The implicit join at the end of
+//! [`std::thread::scope`] is not instrumented, so leaking an unjoined
+//! scoped model thread would park the scope exit on a thread the
+//! scheduler still owns. (`vendor/parallel` joins all its workers
+//! explicitly, so the fan-out port satisfies this by construction.)
+
+use std::sync::Arc;
+
+use crate::scheduler::{self, run_model_thread, ModelCtx};
+
+/// Spawns a thread. Inside a model the closure runs as a model thread
+/// under the explorer's schedule; outside it is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match scheduler::current() {
+        Some(t) => {
+            let model = Arc::clone(&t.model);
+            let tid = model.register_thread();
+            let inner = {
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || run_model_thread(model, tid, f))
+            };
+            // Scheduling point: the child is runnable from here on.
+            t.model.yield_op(t.tid);
+            JoinHandle {
+                inner,
+                model: Some((model, tid)),
+            }
+        }
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        },
+    }
+}
+
+/// Handle returned by [`spawn`]; mirrors [`std::thread::JoinHandle`].
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<ModelCtx>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (or the
+    /// panic payload it unwound with). A scheduling point in a model.
+    pub fn join(self) -> std::thread::Result<T> {
+        logical_join(self.model.as_ref());
+        self.inner.join()
+    }
+}
+
+fn logical_join(target: Option<&(Arc<ModelCtx>, usize)>) {
+    if let (Some((_, tid)), Some(me)) = (target, scheduler::current()) {
+        me.model.join(me.tid, *tid);
+    }
+}
+
+/// Scoped-thread entry point mirroring [`std::thread::scope`]. The
+/// closure receives a [`Scope`] *by value*, which reads the same at
+/// call sites as std's `&Scope`.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+{
+    let ctx = scheduler::current();
+    std::thread::scope(|s| f(Scope { inner: s, ctx }))
+}
+
+/// Instrumented view of [`std::thread::Scope`].
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    /// Owned (not borrowed): a borrow could not satisfy the
+    /// higher-ranked `for<'scope>` bound of [`std::thread::scope`].
+    ctx: Option<scheduler::ThreadCtx>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; see [`spawn`] for the model semantics.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.ctx {
+            Some(t) => {
+                let model = Arc::clone(&t.model);
+                let tid = model.register_thread();
+                let inner = {
+                    let model = Arc::clone(&model);
+                    self.inner.spawn(move || run_model_thread(model, tid, f))
+                };
+                t.model.yield_op(t.tid);
+                ScopedJoinHandle {
+                    inner,
+                    model: Some((model, tid)),
+                }
+            }
+            None => ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+                model: None,
+            },
+        }
+    }
+}
+
+/// Handle returned by [`Scope::spawn`]; mirrors
+/// [`std::thread::ScopedJoinHandle`].
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<(Arc<ModelCtx>, usize)>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the scoped thread to finish; see [`JoinHandle::join`].
+    pub fn join(self) -> std::thread::Result<T> {
+        logical_join(self.model.as_ref());
+        self.inner.join()
+    }
+}

@@ -1,0 +1,311 @@
+//! Behavioural suite for the interleaving explorer: exhaustiveness,
+//! bug-finding power (it must *fail* on genuinely racy protocols),
+//! deadlock detection, condvar semantics, scoped threads, and the
+//! passthrough contract outside models.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use interleave::sync::atomic::{AtomicUsize, Ordering};
+use interleave::sync::{Condvar, Mutex};
+use interleave::{model, thread, Builder};
+
+#[test]
+fn mutex_counter_is_correct_under_every_schedule() {
+    let report = model(|| {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let mut c = counter.lock().unwrap();
+                    *c += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 3);
+    });
+    // Three threads racing one lock: strictly more than one schedule.
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+}
+
+#[test]
+fn finds_the_lost_update_in_a_check_then_act_race() {
+    // Classic TOCTOU: read the counter, drop the lock, write back
+    // read+1. Exploration must find the schedule where both threads
+    // read 0 and the final value is 1, not 2.
+    let failed = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let counter = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        let read = *counter.lock().unwrap();
+                        *counter.lock().unwrap() = read + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock().unwrap(), 2, "lost update");
+        });
+    }));
+    assert!(failed.is_err(), "the race must be found");
+}
+
+#[test]
+fn finds_the_lost_update_between_atomic_load_and_store() {
+    let failed = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        let read = counter.load(Ordering::SeqCst);
+                        counter.store(read + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }));
+    assert!(failed.is_err(), "the atomic race must be found");
+}
+
+#[test]
+fn fetch_add_has_no_lost_update() {
+    model(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn detects_the_classic_ab_ba_deadlock() {
+    let failed = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let t = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                thread::spawn(move || {
+                    let _ga = a.lock().unwrap();
+                    let _gb = b.lock().unwrap();
+                })
+            };
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            t.join().unwrap();
+        });
+    }));
+    let payload = failed.expect_err("AB/BA ordering must deadlock in some schedule");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("deadlock"),
+        "diagnostic names the deadlock: {msg}"
+    );
+}
+
+#[test]
+fn condvar_handshake_never_misses_a_wakeup() {
+    // Proper predicate-loop handshake: must pass under every schedule,
+    // including notify-before-wait (the waiter then never parks).
+    let report = model(|| {
+        let slot = Arc::new((Mutex::new(false), Condvar::new()));
+        let setter = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                let (lock, cv) = &*slot;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            })
+        };
+        {
+            let (lock, cv) = &*slot;
+            let mut ready = lock.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+        }
+        setter.join().unwrap();
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+}
+
+#[test]
+fn detects_the_missed_wakeup_when_the_wait_has_no_predicate() {
+    // Broken handshake: waiter parks unconditionally. The schedule
+    // where the setter notifies *before* the waiter parks leaves the
+    // waiter asleep forever — a deadlock the explorer must surface.
+    let failed = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let slot = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = {
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || {
+                    let (lock, cv) = &*slot;
+                    *lock.lock().unwrap() = true;
+                    cv.notify_all();
+                })
+            };
+            {
+                let (lock, cv) = &*slot;
+                let ready = lock.lock().unwrap();
+                // BUG under test: no predicate re-check loop.
+                let _ready = cv.wait(ready).unwrap();
+            }
+            setter.join().unwrap();
+        });
+    }));
+    let payload = failed.expect_err("missed wakeup must be detected");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock"), "diagnostic: {msg}");
+}
+
+#[test]
+fn scoped_threads_share_borrows_and_preserve_results() {
+    model(|| {
+        let items = [1u64, 2, 3];
+        let results = Arc::new(Mutex::new(vec![0u64; items.len()]));
+        thread::scope(|s| {
+            let handles: Vec<_> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    let results = Arc::clone(&results);
+                    s.spawn(move || {
+                        results.lock().unwrap()[i] = x * 10;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(*results.lock().unwrap(), vec![10, 20, 30]);
+    });
+}
+
+#[test]
+fn join_observes_the_child_result_and_panic() {
+    model(|| {
+        let ok = thread::spawn(|| 41 + 1);
+        assert_eq!(ok.join().unwrap(), 42);
+    });
+    // A child panic surfaces through join as Err, like std.
+    model(|| {
+        let bad = thread::spawn(|| panic!("child failed"));
+        let err = bad.join().expect_err("panic must reach join");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "child failed");
+    });
+}
+
+#[test]
+fn iteration_bound_is_enforced_not_truncated() {
+    let failed = catch_unwind(AssertUnwindSafe(|| {
+        Builder::new().max_iterations(2).check(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        *m.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }));
+    assert!(failed.is_err(), "exceeding max_iterations must panic");
+}
+
+#[test]
+fn passthrough_outside_models_behaves_like_std() {
+    // No model active: shims must be plain std primitives.
+    let m = Mutex::new(5u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let waiter = {
+        let pair = Arc::clone(&pair);
+        thread::spawn(move || {
+            let (lock, cv) = &*pair;
+            let mut ready = lock.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            true
+        })
+    };
+    {
+        let (lock, cv) = &*pair;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    assert!(waiter.join().unwrap());
+
+    let a = AtomicUsize::new(1);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(a.load(Ordering::SeqCst), 3);
+
+    let total = thread::scope(|s| {
+        let h1 = s.spawn(|| 20);
+        let h2 = s.spawn(|| 22);
+        h1.join().unwrap() + h2.join().unwrap()
+    });
+    assert_eq!(total, 42);
+}
+
+#[test]
+fn exploration_counts_match_the_schedule_tree() {
+    // One thread, no contention: exactly one schedule.
+    assert_eq!(model(|| {}).iterations, 1);
+    let single = model(|| {
+        let m = Mutex::new(0u32);
+        *m.lock().unwrap() += 1;
+    });
+    assert_eq!(single.iterations, 1, "no second thread, no choice");
+    // Two uncontended-but-concurrent threads explore > 1 schedule.
+    let two = model(|| {
+        let h = thread::spawn(|| {
+            let m = Mutex::new(0u32);
+            *m.lock().unwrap() += 1;
+        });
+        let m = Mutex::new(0u32);
+        *m.lock().unwrap() += 1;
+        h.join().unwrap();
+    });
+    assert!(two.iterations > 1, "explored {}", two.iterations);
+}

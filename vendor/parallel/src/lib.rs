@@ -37,13 +37,21 @@
 #![warn(missing_docs)]
 
 use std::panic::resume_unwind;
-use std::sync::Mutex;
-use std::thread;
+
+// Under `--cfg interleave` the sync/thread primitives are swapped for
+// the instrumented shims from `vendor/interleave`, letting the model
+// checker exhaustively explore fan-out schedules. The shims pass
+// through to `std` outside a model, so behaviour is unchanged for
+// ordinary tests even in an interleave build.
+#[cfg(interleave)]
+use interleave::{sync::Mutex, thread};
+#[cfg(not(interleave))]
+use std::{sync::Mutex, thread};
 
 /// Hardware parallelism of the host (at least 1); the fallback worker
 /// count when `HATT_THREADS` is unset.
 pub fn available_workers() -> usize {
-    thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Parses a `HATT_THREADS`-style override: a positive integer wins,
@@ -263,5 +271,63 @@ mod tests {
             })
         });
         assert!(result.is_err(), "the worker panic must reach the caller");
+    }
+}
+
+/// Exhaustive schedule exploration of the fan-out core, compiled only
+/// under `RUSTFLAGS="--cfg interleave"` (the CI `interleave` job). Each
+/// model re-runs its body under *every* interleaving of the workers'
+/// queue-lock acquisitions, so order preservation and exactly-once
+/// delivery are verified against the full schedule tree, not one lucky
+/// run.
+#[cfg(all(test, interleave))]
+mod interleave_models {
+    use super::*;
+
+    #[test]
+    fn fan_out_preserves_order_under_every_schedule() {
+        let report = interleave::model(|| {
+            let items = [10u64, 20, 30];
+            let got = par_map_with(2, &items, |x| x + 1);
+            assert_eq!(got, vec![11, 21, 31]);
+        });
+        assert!(
+            report.iterations > 1,
+            "two workers over one queue must branch (explored {})",
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn mut_fan_out_hits_each_item_exactly_once_under_every_schedule() {
+        interleave::model(|| {
+            let mut items = [0u8; 3];
+            let got = par_map_mut_with(2, &mut items, |i, slot| {
+                *slot += 1;
+                (i, *slot)
+            });
+            assert_eq!(got, vec![(0, 1), (1, 1), (2, 1)]);
+            assert_eq!(items, [1, 1, 1], "each slot visited exactly once");
+        });
+    }
+
+    #[test]
+    fn worker_panic_reaches_caller_under_model_schedules() {
+        // The panic fires in whichever worker draws index 1; every
+        // schedule must re-raise it on the caller after the join.
+        let result = std::panic::catch_unwind(|| {
+            interleave::model(|| {
+                par_map_with(2, &[0u8, 1, 2], |&x| {
+                    if x == 1 {
+                        panic!("boom");
+                    }
+                    x
+                });
+            });
+        });
+        assert!(
+            result.is_err(),
+            "worker panic must propagate out of the model"
+        );
     }
 }
