@@ -77,6 +77,7 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 // Under `--cfg interleave` (the model-checking CI job) the slot and
@@ -95,19 +96,20 @@ use hatt_mappings::{NodeId, TernaryTree};
 
 use crate::algorithm::{hatt_replay, hatt_with_impl, HattMapping, HattOptions};
 use crate::error::HattError;
+use crate::store::{StoreTier, StoreTierStats};
 
 /// The canonical structure of a Hamiltonian: mode count plus every
 /// term's support, in the deterministic (sorted) order [`MajoranaSum`]
 /// stores them. Coefficients are deliberately excluded — see the
 /// [module docs](self).
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Structure {
-    n_modes: usize,
-    terms: Vec<Vec<u32>>,
+pub(crate) struct Structure {
+    pub(crate) n_modes: usize,
+    pub(crate) terms: Vec<Vec<u32>>,
 }
 
 impl Structure {
-    fn of(h: &MajoranaSum) -> Self {
+    pub(crate) fn of(h: &MajoranaSum) -> Self {
         Structure {
             n_modes: h.n_modes(),
             terms: h.iter().map(|(support, _)| support.to_vec()).collect(),
@@ -116,7 +118,7 @@ impl Structure {
 
     /// FNV-1a over the structure, with per-term length prefixes so term
     /// boundaries cannot alias (`{0,1},{2}` vs `{0},{1,2}`).
-    fn hash(&self) -> u64 {
+    pub(crate) fn hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut acc = OFFSET;
@@ -168,7 +170,7 @@ pub fn structure_key(h: &MajoranaSum) -> u64 {
 /// have smaller node ids than their parent, so replaying in this order
 /// is valid.
 #[allow(clippy::expect_used)]
-fn merge_sequence(tree: &TernaryTree) -> Vec<[NodeId; 3]> {
+pub(crate) fn merge_sequence(tree: &TernaryTree) -> Vec<[NodeId; 3]> {
     (0..tree.n_modes())
         .map(|q| {
             tree.children(tree.internal_of(q))
@@ -377,9 +379,26 @@ impl Drop for FailOnUnwind<'_> {
 /// [`MappingCache::new`] is unbounded (each entry is just a merge
 /// sequence, `24·N` bytes); [`MappingCache::with_capacity`] bounds the
 /// entry count with LRU eviction — the service configuration.
+///
+/// A cache may additionally carry a **persistent second tier** (see
+/// [`MapperBuilder::store_path`](crate::MapperBuilder::store_path)): an
+/// in-memory miss then consults the on-disk store before constructing,
+/// and every fresh construction is written through — so a structure
+/// computed once is never computed again, across restarts. Store hits
+/// replay exactly like in-memory hits (bit-identical, zero selection
+/// work) and count toward [`MappingCache::hits`] *of the store tier*,
+/// reported separately via the mapper's store stats.
 #[derive(Debug, Default)]
 pub struct MappingCache {
     inner: Mutex<CacheInner>,
+    /// The optional on-disk tier. Store I/O happens *outside* the cache
+    /// lock (only the slot owner for a structure touches the store, so
+    /// disk latency never blocks probes of other structures).
+    store: Option<StoreTier>,
+    /// Real constructions run (selection work actually done): misses of
+    /// *both* tiers. The persistence smoke test pins this at zero for a
+    /// fully warm-started daemon.
+    constructions: AtomicU64,
 }
 
 impl MappingCache {
@@ -416,7 +435,39 @@ impl MappingCache {
                 capacity: Some(capacity),
                 ..Default::default()
             }),
+            store: None,
+            constructions: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches the persistent tier (build-time only: the cache is not
+    /// yet shared).
+    pub(crate) fn set_store(&mut self, tier: StoreTier) {
+        self.store = Some(tier);
+    }
+
+    /// The persistent tier, when one is attached.
+    pub(crate) fn store(&self) -> Option<&StoreTier> {
+        self.store.as_ref()
+    }
+
+    /// Counters and sizes of the persistent tier (`None` when the cache
+    /// is memory-only).
+    pub fn store_stats(&self) -> Option<StoreTierStats> {
+        self.store.as_ref().map(StoreTier::stats)
+    }
+
+    /// Real constructions run — probes that missed *every* tier and did
+    /// the full selection work. `misses() - constructions()` (plus
+    /// store-tier hits) is the work the tiers saved.
+    pub fn constructions(&self) -> u64 {
+        self.constructions.load(Ordering::Relaxed)
+    }
+
+    /// Runs a real construction (both tiers missed), counting it.
+    fn construct(&self, h: &MajoranaSum, options: &HattOptions) -> Result<HattMapping, HattError> {
+        self.constructions.fetch_add(1, Ordering::Relaxed);
+        hatt_with_impl(h, options)
     }
 
     /// The configured entry bound (`None` = unbounded).
@@ -469,10 +520,20 @@ impl MappingCache {
             ..*options
         };
         if self.capacity() == Some(0) {
-            // Caching disabled: construct directly (still counted as a
-            // miss for observability).
+            // In-memory caching disabled: still counted as a miss for
+            // observability, and the persistent tier (if any) still
+            // works — it is a separate knob.
             self.lock().misses += 1;
-            return hatt_with_impl(h, options);
+            if let Some(tier) = &self.store {
+                let structure = Structure::of(h);
+                if let Some(seq) = tier.load(&structure, &norm) {
+                    return Ok(hatt_replay(h, options, &seq));
+                }
+                let mapping = self.construct(h, options)?;
+                tier.save(&structure, &norm, &mapping);
+                return Ok(mapping);
+            }
+            return self.construct(h, options);
         }
         let structure = Structure::of(h);
         let hash = structure.hash();
@@ -483,8 +544,28 @@ impl MappingCache {
                 hash,
                 slot: &slot,
             };
-            match hatt_with_impl(h, options) {
+            // Second tier: a record on disk skips the construction.
+            // Only the slot owner reaches the store, so concurrent
+            // probes of one structure cost one disk read — and store
+            // I/O runs outside the cache lock.
+            if let Some(seq) = self
+                .store
+                .as_ref()
+                .and_then(|tier| tier.load(&structure, &norm))
+            {
+                let mapping = hatt_replay(h, options, &seq);
+                slot.fill(seq);
+                std::mem::forget(guard);
+                return Ok(mapping);
+            }
+            match self.construct(h, options) {
                 Ok(mapping) => {
+                    // Write-through before publishing the slot, so a
+                    // follower observing `Ready` implies the record is
+                    // (best-effort) on its way to disk.
+                    if let Some(tier) = &self.store {
+                        tier.save(&structure, &norm, &mapping);
+                    }
                     slot.fill(merge_sequence(mapping.tree()));
                     // fill() resolved the slot, so the guard's cleanup
                     // must not run — the entry stays cached.
@@ -499,7 +580,7 @@ impl MappingCache {
             match slot.wait() {
                 Some(seq) => Ok(hatt_replay(h, options, &seq)),
                 // The owner failed; reproduce its outcome independently.
-                None => hatt_with_impl(h, options),
+                None => self.construct(h, options),
             }
         }
     }

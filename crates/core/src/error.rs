@@ -58,6 +58,10 @@ pub enum HattError {
     },
     /// A `hatt-wire/1` document failed to encode or decode.
     Wire(WireError),
+    /// The persistent mapping store failed to open or flush. (Read and
+    /// write failures *during* mapping never surface here — they
+    /// degrade to cache misses and dropped write-throughs.)
+    Store(String),
     /// An internal invariant did not hold. Documented infallible for
     /// valid inputs (and guarded by `debug_assert!` in tests); surfacing
     /// it as an error keeps the invariant out of reach of `panic!` on
@@ -76,6 +80,7 @@ impl HattError {
             HattError::InvalidThreads => "invalid_threads",
             HattError::BatchItem { .. } => "batch_item",
             HattError::Wire(_) => "wire",
+            HattError::Store(_) => "store",
             HattError::Internal(_) => "internal",
         }
     }
@@ -109,6 +114,7 @@ impl fmt::Display for HattError {
                 write!(f, "batch element {index}: {source}")
             }
             HattError::Wire(e) => write!(f, "wire format error: {e}"),
+            HattError::Store(msg) => write!(f, "mapping store error: {msg}"),
             HattError::Internal(what) => {
                 write!(f, "internal invariant violated: {what} (please report)")
             }

@@ -74,6 +74,7 @@ pub mod batch;
 mod error;
 mod mapper;
 mod stats;
+mod store;
 pub mod wire;
 
 #[allow(deprecated)]
@@ -85,3 +86,4 @@ pub use batch::{structure_key, MappingCache};
 pub use error::HattError;
 pub use mapper::{Mapper, MapperBuilder};
 pub use stats::{ConstructionStats, IterationStats};
+pub use store::StoreTierStats;

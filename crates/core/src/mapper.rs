@@ -24,6 +24,8 @@
 //! # Ok::<(), hatt_core::HattError>(())
 //! ```
 
+use std::path::PathBuf;
+
 use hatt_fermion::{FermionOperator, MajoranaSum};
 use hatt_mappings::SelectionPolicy;
 use hatt_pauli::PauliSum;
@@ -31,6 +33,7 @@ use hatt_pauli::PauliSum;
 use crate::algorithm::{HattMapping, HattOptions, Variant};
 use crate::batch::{map_many_impl, MappingCache};
 use crate::error::HattError;
+use crate::store::{StoreTier, StoreTierStats};
 use hatt_mappings::FermionMapping as _;
 
 /// A configured, reusable, thread-safe fermion-to-qubit mapping handle.
@@ -112,6 +115,23 @@ impl Mapper {
         &self.cache
     }
 
+    /// Counters and sizes of the persistent store tier — `None` unless
+    /// the handle was built with
+    /// [`MapperBuilder::store_path`].
+    pub fn store_stats(&self) -> Option<StoreTierStats> {
+        self.cache.store_stats()
+    }
+
+    /// Flushes the persistent store tier to stable storage (a no-op for
+    /// a memory-only mapper). The daemon calls this on graceful drain;
+    /// ordinary write-throughs are OS-buffered.
+    pub fn sync_store(&self) -> Result<(), HattError> {
+        match self.cache.store() {
+            Some(tier) => tier.sync(),
+            None => Ok(()),
+        }
+    }
+
     /// Maps one Majorana Hamiltonian.
     ///
     /// # Errors
@@ -182,6 +202,7 @@ pub struct MapperBuilder {
     naive_weight: bool,
     threads: Option<usize>,
     cache_capacity: Option<usize>,
+    store_path: Option<PathBuf>,
 }
 
 impl MapperBuilder {
@@ -231,6 +252,24 @@ impl MapperBuilder {
         self
     }
 
+    /// Attaches a persistent on-disk store tier at `path`: the mapper
+    /// warm-starts from any records already there, consults the file
+    /// after every in-memory miss, and writes every fresh construction
+    /// through — so a structure computed once is never computed again,
+    /// across restarts and across processes sharing the file's host.
+    /// Results are bit-identical with or without the store (a disk hit
+    /// replays the stored merge sequence against the incoming
+    /// operator, exactly like an in-memory hit).
+    ///
+    /// The log is created if absent; opening it fails the build with
+    /// [`HattError::Store`]. I/O problems *after* open never fail a
+    /// mapping — they degrade to misses and dropped write-throughs,
+    /// visible in [`Mapper::store_stats`].
+    pub fn store_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
     /// Validates the configuration and builds the handle.
     pub fn build(self) -> Result<Mapper, HattError> {
         let policy = match &self.policy_str {
@@ -246,10 +285,13 @@ impl MapperBuilder {
             policy,
             threads: self.threads,
         };
-        let cache = match self.cache_capacity {
+        let mut cache = match self.cache_capacity {
             Some(cap) => MappingCache::with_capacity(cap),
             None => MappingCache::new(),
         };
+        if let Some(path) = &self.store_path {
+            cache.set_store(StoreTier::open(path)?);
+        }
         Ok(Mapper { options, cache })
     }
 }

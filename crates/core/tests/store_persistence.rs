@@ -1,0 +1,168 @@
+//! Persistence-tier integration: a `Mapper` built with
+//! `MapperBuilder::store_path` must warm-start from disk — a fresh
+//! process (modelled by a fresh handle) serving a previously mapped
+//! structure out of the store with **zero** constructions and a tree
+//! bit-identical to in-memory construction — and a damaged store file
+//! must degrade to cache misses, never to errors.
+
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use hatt_core::Mapper;
+use hatt_fermion::models::random_hermitian;
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::SelectionPolicy;
+
+/// A unique throwaway store path (the container has no tempfile crate).
+fn store_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "hatt-store-test-{}-{}.store",
+        std::process::id(),
+        tag
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn workload() -> Vec<MajoranaSum> {
+    let mut hams: Vec<MajoranaSum> = (2..6).map(MajoranaSum::uniform_singles).collect();
+    for seed in [11, 17] {
+        let mut h = MajoranaSum::from_fermion(&random_hermitian(4, 5, 4, seed));
+        let _ = h.take_identity();
+        hams.push(h);
+    }
+    hams
+}
+
+#[test]
+fn warm_start_is_bit_identical_and_construction_free() {
+    let path = store_path("warm");
+    let hams = workload();
+
+    // Pass 1: cold — everything constructs and writes through.
+    let cold = Mapper::builder().store_path(&path).build().unwrap();
+    let cold_maps: Vec<_> = hams.iter().map(|h| cold.map(h).unwrap()).collect();
+    assert_eq!(cold.cache().constructions(), hams.len() as u64);
+    let stats = cold.store_stats().unwrap();
+    assert_eq!(stats.writes, hams.len() as u64);
+    assert_eq!(stats.write_errors, 0);
+    drop(cold);
+
+    // Pass 2: a fresh handle on the same file — all store hits, no
+    // selection work, trees bit-identical. Coefficients are rescaled to
+    // prove the store keys on structure alone.
+    let warm = Mapper::builder().store_path(&path).build().unwrap();
+    for (h, cold_mapping) in hams.iter().zip(&cold_maps) {
+        let warm_mapping = warm.map(&h.scaled(1.75)).unwrap();
+        assert_eq!(warm_mapping.tree(), cold_mapping.tree());
+    }
+    assert_eq!(warm.cache().constructions(), 0, "store replay only");
+    let stats = warm.store_stats().unwrap();
+    assert_eq!(stats.hits, hams.len() as u64);
+    assert_eq!(stats.misses, 0);
+
+    // And the store never changed what gets computed: a store-less
+    // mapper agrees bit for bit.
+    let reference = Mapper::new();
+    for (h, cold_mapping) in hams.iter().zip(&cold_maps) {
+        assert_eq!(reference.map(h).unwrap().tree(), cold_mapping.tree());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_damaged_store_degrades_to_misses_not_errors() {
+    let path = store_path("damage");
+    let hams = workload();
+    {
+        let mapper = Mapper::builder().store_path(&path).build().unwrap();
+        for h in &hams {
+            mapper.map(h).unwrap();
+        }
+        mapper.sync_store().unwrap();
+    }
+
+    // Vandalize the middle of the file: flip a byte well inside the
+    // record stream.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x5a;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The damaged records are skipped on load; every mapping still
+    // succeeds (reconstructed where the store lost it) and matches the
+    // store-less reference.
+    let mapper = Mapper::builder().store_path(&path).build().unwrap();
+    let reference = Mapper::new();
+    for h in &hams {
+        assert_eq!(
+            mapper.map(h).unwrap().tree(),
+            reference.map(h).unwrap().tree()
+        );
+    }
+    let stats = mapper.store_stats().unwrap();
+    assert!(
+        stats.misses > 0,
+        "the flipped byte should have cost at least one record"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn the_store_keys_on_options_not_just_structure() {
+    let path = store_path("options");
+    let h = MajoranaSum::uniform_singles(4);
+
+    let greedy = Mapper::builder().store_path(&path).build().unwrap();
+    let greedy_map = greedy.map(&h).unwrap();
+    drop(greedy);
+
+    // Same structure, different selection policy: must be a store miss
+    // and a fresh construction under the new policy.
+    let restarts = Mapper::builder()
+        .policy(SelectionPolicy::Restarts)
+        .store_path(&path)
+        .build()
+        .unwrap();
+    let restarts_map = restarts.map(&h).unwrap();
+    assert_eq!(restarts.cache().constructions(), 1);
+    let stats = restarts.store_stats().unwrap();
+    assert_eq!((stats.hits, stats.misses), (0, 1));
+
+    let reference = Mapper::builder()
+        .policy(SelectionPolicy::Restarts)
+        .build()
+        .unwrap();
+    assert_eq!(restarts_map.tree(), reference.map(&h).unwrap().tree());
+    // Both entries coexist now: each policy warm-starts independently.
+    drop(restarts);
+    let warm = Mapper::builder().store_path(&path).build().unwrap();
+    assert_eq!(warm.map(&h).unwrap().tree(), greedy_map.tree());
+    assert_eq!(warm.cache().constructions(), 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn the_store_serves_repeats_even_with_the_memory_cache_disabled() {
+    let path = store_path("nocache");
+    let h = MajoranaSum::uniform_singles(5);
+
+    let mapper = Mapper::builder()
+        .cache_capacity(0)
+        .store_path(&path)
+        .build()
+        .unwrap();
+    let first = mapper.map(&h).unwrap();
+    let second = mapper.map(&h.scaled(0.5)).unwrap();
+    assert_eq!(first.tree(), second.tree());
+    assert_eq!(
+        mapper.cache().constructions(),
+        1,
+        "second map must replay from the store despite cache_capacity(0)"
+    );
+    let stats = mapper.store_stats().unwrap();
+    assert_eq!((stats.hits, stats.writes), (1, 1));
+    let _ = std::fs::remove_file(&path);
+}

@@ -3,8 +3,9 @@
 //!
 //! ```sh
 //! hattd [--addr 127.0.0.1:7878] [--threads N] [--queue N] [--cache N]
+//!       [--store PATH] [--max-conns N] [--max-line-bytes N]
 //!       [--policy greedy|vanilla|restarts|lookahead:<w>|beam:<w>]
-//!       [--variant cached|paired|unopt] [--self-check]
+//!       [--variant cached|paired|unopt] [--self-check] [--persist-check]
 //! ```
 //!
 //! * `--addr` — listen address (`:0` picks an ephemeral port; the bound
@@ -14,29 +15,49 @@
 //! * `--queue` — bounded scheduler queue capacity (default 256).
 //! * `--cache` — LRU bound on the structure cache (default unbounded;
 //!   `0` disables caching).
+//! * `--store` — persistent content-addressed mapping store: warm-starts
+//!   the cache from `PATH` on boot, writes every newly constructed
+//!   mapping through, and flushes on shutdown. A restarted daemon
+//!   serves previously seen structures from disk with zero selection
+//!   work.
+//! * `--max-conns` — concurrent-connection cap (default 256); over-cap
+//!   connections get one typed `overloaded` line and are closed.
+//! * `--max-line-bytes` — longest accepted request line (default 4 MiB);
+//!   longer lines are answered with `invalid_request` without buffering.
 //! * `--policy` / `--variant` — the server mapper's defaults; requests
 //!   may override per call.
 //! * `--self-check` — boot on an ephemeral port, round-trip a sample
 //!   request through a real socket, verify the responses against
 //!   in-process mappings, and exit (the CI smoke mode).
+//! * `--persist-check` — boot with a store, map the Table I molecule
+//!   roster, restart the daemon on the same store, map the roster
+//!   again, and verify the second pass is all store hits with **zero**
+//!   constructions and bit-identical trees (the CI persistence smoke).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use hatt_core::Mapper;
-use hatt_fermion::MajoranaSum;
+use hatt_fermion::models::molecule_catalog;
+use hatt_fermion::{FermionOperator, MajoranaSum};
 use hatt_mappings::FermionMapping;
 use hatt_pauli::Complex64;
-use hatt_service::{client, MapRequest, Scheduler, SchedulerConfig, Server, ServerConfig};
+use hatt_service::{
+    client, MapRequest, Scheduler, SchedulerConfig, Server, ServerConfig, StatsReply,
+};
 
 struct Args {
     addr: String,
     threads: Option<usize>,
     queue: usize,
     cache: Option<usize>,
+    store: Option<std::path::PathBuf>,
+    max_conns: Option<usize>,
+    max_line_bytes: Option<usize>,
     policy: Option<String>,
     variant: Option<String>,
     self_check: bool,
+    persist_check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,9 +66,13 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         queue: 256,
         cache: None,
+        store: None,
+        max_conns: None,
+        max_line_bytes: None,
         policy: None,
         variant: None,
         self_check: false,
+        persist_check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -73,13 +98,30 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--cache: {e}"))?,
                 )
             }
+            "--store" => args.store = Some(value("--store")?.into()),
+            "--max-conns" => {
+                args.max_conns = Some(
+                    value("--max-conns")?
+                        .parse()
+                        .map_err(|e| format!("--max-conns: {e}"))?,
+                )
+            }
+            "--max-line-bytes" => {
+                args.max_line_bytes = Some(
+                    value("--max-line-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--max-line-bytes: {e}"))?,
+                )
+            }
             "--policy" => args.policy = Some(value("--policy")?),
             "--variant" => args.variant = Some(value("--variant")?),
             "--self-check" => args.self_check = true,
+            "--persist-check" => args.persist_check = true,
             "--help" | "-h" => {
                 println!(
                     "hattd [--addr IP:PORT] [--threads N] [--queue N] [--cache N] \
-                     [--policy P] [--variant V] [--self-check]"
+                     [--store PATH] [--max-conns N] [--max-line-bytes N] \
+                     [--policy P] [--variant V] [--self-check] [--persist-check]"
                 );
                 std::process::exit(0);
             }
@@ -105,6 +147,9 @@ fn build_mapper(args: &Args) -> Result<Mapper, String> {
     if let Some(cache) = args.cache {
         builder = builder.cache_capacity(cache);
     }
+    if let Some(store) = &args.store {
+        builder = builder.store_path(store);
+    }
     builder.build().map_err(|e| e.to_string())
 }
 
@@ -112,6 +157,15 @@ fn scheduler_config(args: &Args) -> SchedulerConfig {
     SchedulerConfig {
         workers: args.threads.unwrap_or_else(parallel::max_threads),
         queue_capacity: args.queue,
+    }
+}
+
+fn server_config(args: &Args) -> ServerConfig {
+    let defaults = ServerConfig::default();
+    ServerConfig {
+        scheduler: scheduler_config(args),
+        max_line_bytes: args.max_line_bytes.unwrap_or(defaults.max_line_bytes),
+        max_connections: args.max_conns.unwrap_or(defaults.max_connections),
     }
 }
 
@@ -135,6 +189,18 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.persist_check {
+        return match persist_check(args) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("hattd persist-check FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mapper = match build_mapper(&args) {
         Ok(m) => m,
         Err(e) => {
@@ -142,9 +208,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = ServerConfig {
-        scheduler: scheduler_config(&args),
-    };
+    let config = server_config(&args);
     match Server::bind(args.addr.as_str(), mapper, config) {
         Ok(server) => {
             println!("hattd listening on {}", server.local_addr());
@@ -163,9 +227,7 @@ fn main() -> ExitCode {
 fn self_check(args: &Args) -> Result<String, String> {
     let mapper = build_mapper(args)?;
     let reference = build_mapper(args)?;
-    let config = ServerConfig {
-        scheduler: scheduler_config(args),
-    };
+    let config = server_config(args);
     let server = Server::bind("127.0.0.1:0", mapper, config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr();
 
@@ -238,5 +300,103 @@ fn self_check(args: &Args) -> Result<String, String> {
         "hattd self-check ok: {} items round-tripped on {addr}, trees bit-identical, \
          typed errors intact",
         hams.len()
+    ))
+}
+
+/// Strips the identity and numerical noise off a second-quantized
+/// Hamiltonian — the same preprocessing the benchmarks use.
+fn preprocess(h: &FermionOperator) -> MajoranaSum {
+    let mut m = MajoranaSum::from_fermion(h);
+    let _ = m.take_identity();
+    m.prune(1e-10);
+    m
+}
+
+/// The CI persistence smoke: boot a daemon with a store, map the
+/// Table I molecule roster over the socket, restart the daemon on the
+/// same store file, map the roster again, and require the second pass
+/// to be pure store hits — zero constructions — with trees
+/// bit-identical to the first pass.
+fn persist_check(mut args: Args) -> Result<String, String> {
+    let temp = args.store.is_none();
+    let store_path = args.store.take().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("hattd-persist-check-{}.store", std::process::id()))
+    });
+    // The check owns the store's lifecycle: a leftover file from an
+    // earlier run would make the first pass warm and fail the cold
+    // assertions.
+    let _ = std::fs::remove_file(&store_path);
+    args.store = Some(store_path.clone());
+
+    let roster: Vec<MajoranaSum> = molecule_catalog()
+        .iter()
+        .map(|spec| preprocess(&spec.hamiltonian()))
+        .collect();
+
+    let run_pass = |label: &str| -> Result<(Vec<hatt_service::MapItem>, StatsReply), String> {
+        let mapper = build_mapper(&args)?;
+        let server = Server::bind("127.0.0.1:0", mapper, server_config(&args))
+            .map_err(|e| format!("{label}: bind: {e}"))?;
+        let addr = server.local_addr();
+        let req = MapRequest::new(label, roster.clone());
+        let reply = client::request(addr, &req).map_err(|e| format!("{label}: request: {e}"))?;
+        if reply.done.errors != 0 {
+            return Err(format!("{label}: unexpected errors: {:?}", reply.done));
+        }
+        let items = reply.into_ordered();
+        let stats = client::stats(addr, label).map_err(|e| format!("{label}: stats: {e}"))?;
+        // Shutdown drains the scheduler and flushes the store to disk —
+        // the durability boundary the second pass depends on.
+        server.shutdown();
+        Ok((items, stats))
+    };
+
+    let (cold_items, cold_stats) = run_pass("persist-cold")?;
+    let (warm_items, warm_stats) = run_pass("persist-warm")?;
+    if temp {
+        let _ = std::fs::remove_file(&store_path);
+    }
+
+    let n = roster.len() as u64;
+    let cold_store = cold_stats
+        .store
+        .ok_or("cold pass: stats reports no store tier")?;
+    if cold_stats.constructions != n || cold_store.writes != n {
+        return Err(format!(
+            "cold pass: expected {n} constructions / {n} store writes, \
+             got {} / {}",
+            cold_stats.constructions, cold_store.writes
+        ));
+    }
+    let warm_store = warm_stats
+        .store
+        .ok_or("warm pass: stats reports no store tier")?;
+    if warm_stats.constructions != 0 {
+        return Err(format!(
+            "warm pass ran {} constructions; the store should have served all {n}",
+            warm_stats.constructions
+        ));
+    }
+    if warm_store.hits != n {
+        return Err(format!(
+            "warm pass: expected {n} store hits, got {} ({} misses)",
+            warm_store.hits, warm_store.misses
+        ));
+    }
+    for (i, (cold, warm)) in cold_items.iter().zip(&warm_items).enumerate() {
+        let (Some(a), Some(b)) = (cold.mapping(), warm.mapping()) else {
+            return Err(format!("item {i}: missing mapping payload"));
+        };
+        if a.tree() != b.tree() {
+            return Err(format!(
+                "item {i}: store-replayed tree differs from the freshly built one"
+            ));
+        }
+    }
+    Ok(format!(
+        "hattd persist-check ok: {} structures persisted to {}; restarted daemon \
+         served all of them from the store (0 constructions, trees bit-identical)",
+        roster.len(),
+        store_path.display()
     ))
 }

@@ -6,7 +6,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::error::ServiceError;
-use crate::proto::{MapDone, MapItem, MapRequest, ResponseLine};
+use crate::proto::{MapDone, MapItem, MapRequest, ResponseLine, StatsReply, StatsRequest};
 
 /// A complete response to one request.
 #[derive(Debug)]
@@ -83,5 +83,38 @@ pub fn request_streaming(
     }
     Err(ServiceError::Protocol(
         "connection closed before map_done".into(),
+    ))
+}
+
+/// Asks a `hattd` server for its observability snapshot (queue depth,
+/// cache and store hit/miss, per-policy latency histograms).
+///
+/// # Examples
+///
+/// See [`crate::Server`] — the doctest there probes a live daemon.
+pub fn stats(addr: impl ToSocketAddrs, id: impl Into<String>) -> Result<StatsReply, ServiceError> {
+    let req = StatsRequest::new(id);
+    let stream = TcpStream::connect(addr)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writer.write_all(req.to_line().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = StatsReply::from_line(&line)?;
+        if reply.id != req.id {
+            return Err(ServiceError::Protocol(format!(
+                "stats for probe {:?} while waiting on {:?}",
+                reply.id, req.id
+            )));
+        }
+        return Ok(reply);
+    }
+    Err(ServiceError::Protocol(
+        "connection closed before the stats line".into(),
     ))
 }

@@ -49,12 +49,16 @@
 
 pub mod client;
 mod error;
+mod metrics;
 mod proto;
 mod scheduler;
 mod server;
 
 pub use client::MapReply;
 pub use error::ServiceError;
-pub use proto::{ItemError, ItemPayload, MapDone, MapItem, MapRequest, ResponseLine};
+pub use proto::{
+    ItemError, ItemPayload, LatencyBucket, MapDone, MapItem, MapRequest, PolicyLatency,
+    RequestLine, ResponseLine, StatsReply, StatsRequest, TierStats,
+};
 pub use scheduler::{Scheduler, SchedulerConfig};
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,171 @@
+//! Hand-rolled, std-only service observability: the counters and
+//! per-policy latency histograms behind the `stats` request verb.
+//!
+//! No external metrics crate (the container is offline); the histogram
+//! is a fixed set of cumulative-friendly duration buckets chosen to
+//! bracket real mapping latencies — sub-millisecond cache hits up to
+//! multi-second cold beam constructions.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Upper bounds (nanoseconds) of the finite histogram buckets; one
+/// overflow bucket follows. 100µs..10s in decades.
+pub(crate) const BUCKET_BOUNDS_NS: [u64; 6] = [
+    100_000,        // 100 µs
+    1_000_000,      // 1 ms
+    10_000_000,     // 10 ms
+    100_000_000,    // 100 ms
+    1_000_000_000,  // 1 s
+    10_000_000_000, // 10 s
+];
+
+/// One latency histogram: counts per bucket plus totals for averages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Histogram {
+    /// `counts[i]` = observations ≤ `BUCKET_BOUNDS_NS[i]` (and above the
+    /// previous bound); the last slot is the overflow bucket.
+    pub(crate) counts: [u64; BUCKET_BOUNDS_NS.len() + 1],
+    /// Total observations.
+    pub(crate) count: u64,
+    /// Sum of observed nanoseconds (saturating).
+    pub(crate) total_ns: u64,
+}
+
+impl Histogram {
+    pub(crate) fn observe(&mut self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let slot = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+}
+
+/// Shared service counters. One instance lives in the [`Scheduler`]
+/// (the object every connection already shares); the server layers its
+/// connection-level counters onto the same struct so the `stats` verb
+/// has a single source.
+///
+/// [`Scheduler`]: crate::Scheduler
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    /// Handler threads currently serving a connection.
+    pub(crate) connections_active: AtomicUsize,
+    /// Connections turned away at the connection limit.
+    pub(crate) connections_rejected: AtomicU64,
+    /// Request lines discarded for exceeding `max_line_bytes`.
+    pub(crate) oversize_lines: AtomicU64,
+    /// Map requests accepted into the scheduler.
+    pub(crate) requests: AtomicU64,
+    /// Per-policy job latency (policy string → histogram). A `BTreeMap`
+    /// so the `stats` reply lists policies in a deterministic order.
+    latencies: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Metrics {
+    /// Records one job's wall-clock latency under its policy label.
+    pub(crate) fn observe_latency(&self, policy: &str, elapsed: Duration) {
+        let mut map = self.lock();
+        map.entry(policy.to_string()).or_default().observe(elapsed);
+    }
+
+    /// Snapshot of every policy histogram (deterministic order).
+    pub(crate) fn latency_snapshot(&self) -> Vec<(String, Histogram)> {
+        self.lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Histogram>> {
+        self.latencies.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII claim of one connection slot: increments the active count on
+/// claim, decrements on drop (however the handler exits — return, error
+/// or unwind), so the connection limit cannot leak slots. Owns its
+/// `Arc<Metrics>` so the claim can travel into the handler thread.
+#[derive(Debug)]
+pub(crate) struct ConnectionSlot {
+    metrics: Arc<Metrics>,
+}
+
+impl ConnectionSlot {
+    /// Tries to claim a slot under `limit`; `None` means the server is
+    /// at its connection cap and the connection must be rejected.
+    pub(crate) fn claim(metrics: &Arc<Metrics>, limit: usize) -> Option<Self> {
+        let claimed = metrics
+            .connections_active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |active| {
+                (active < limit).then_some(active + 1)
+            })
+            .is_ok();
+        if claimed {
+            Some(ConnectionSlot {
+                metrics: Arc::clone(metrics),
+            })
+        } else {
+            metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.metrics
+            .connections_active
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_totals() {
+        let mut h = Histogram::default();
+        h.observe(Duration::from_micros(50)); // ≤ 100µs
+        h.observe(Duration::from_micros(500)); // ≤ 1ms
+        h.observe(Duration::from_millis(50)); // ≤ 100ms
+        h.observe(Duration::from_secs(60)); // overflow
+        assert_eq!(h.counts, [1, 1, 0, 1, 0, 0, 1]);
+        assert_eq!(h.count, 4);
+        assert_eq!(
+            h.total_ns,
+            50_000 + 500_000 + 50_000_000 + 60_000_000_000u64
+        );
+    }
+
+    #[test]
+    fn connection_slots_enforce_the_limit_and_release_on_drop() {
+        let metrics = Arc::new(Metrics::default());
+        let a = ConnectionSlot::claim(&metrics, 2).expect("slot 1");
+        let _b = ConnectionSlot::claim(&metrics, 2).expect("slot 2");
+        assert!(ConnectionSlot::claim(&metrics, 2).is_none(), "at cap");
+        assert_eq!(metrics.connections_rejected.load(Ordering::SeqCst), 1);
+        drop(a);
+        assert!(ConnectionSlot::claim(&metrics, 2).is_some(), "slot freed");
+    }
+
+    #[test]
+    fn latency_snapshot_is_deterministically_ordered() {
+        let metrics = Metrics::default();
+        metrics.observe_latency("restarts", Duration::from_millis(2));
+        metrics.observe_latency("greedy", Duration::from_micros(10));
+        metrics.observe_latency("greedy", Duration::from_micros(20));
+        let snap = metrics.latency_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "greedy");
+        assert_eq!(snap[0].1.count, 2);
+        assert_eq!(snap[1].0, "restarts");
+    }
+}

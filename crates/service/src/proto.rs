@@ -38,18 +38,22 @@
 //! `map_done` — the connection stays usable.
 
 use hatt_core::wire::{decode_hatt_mapping_payload, hatt_mapping_payload};
+use hatt_core::StoreTierStats;
 use hatt_core::{HattError, HattMapping, HattOptions, Variant};
 use hatt_fermion::wire::{decode_majorana_sum_payload, majorana_sum_payload};
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::{FermionMapping, SelectionPolicy};
 use hatt_pauli::json::Json;
 use hatt_pauli::wire::{
-    as_arr, as_bool, as_obj, as_str, as_usize, envelope, field, get, open_envelope, WireError,
+    as_arr, as_bool, as_obj, as_str, as_u64, as_usize, envelope, field, get, open_envelope,
+    WireError,
 };
 
 const KIND_REQUEST: &str = "map_request";
 const KIND_ITEM: &str = "map_item";
 const KIND_DONE: &str = "map_done";
+const KIND_STATS_REQUEST: &str = "stats_request";
+const KIND_STATS: &str = "stats";
 
 /// A batch mapping request: one or more Majorana Hamiltonians to map
 /// under one option set.
@@ -362,6 +366,291 @@ impl MapDone {
     /// Renders the done marker as one JSON line.
     pub fn to_line(&self) -> String {
         self.encode().render()
+    }
+}
+
+/// The observability verb (`kind: "stats_request"`): ask the daemon
+/// for its counters. Answered with one [`StatsReply`] line.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_service::StatsRequest;
+///
+/// let req = StatsRequest::new("probe-1");
+/// let back = StatsRequest::from_line(&req.to_line())?;
+/// assert_eq!(back.id, "probe-1");
+/// # Ok::<(), hatt_pauli::wire::WireError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsRequest {
+    /// Caller-chosen identifier, echoed on the reply line.
+    pub id: String,
+}
+
+impl StatsRequest {
+    /// A stats request with the given id.
+    pub fn new(id: impl Into<String>) -> Self {
+        StatsRequest { id: id.into() }
+    }
+
+    /// Encodes the request envelope.
+    pub fn encode(&self) -> Json {
+        envelope(
+            KIND_STATS_REQUEST,
+            Json::Obj(vec![("id".into(), Json::str(&self.id))]),
+        )
+    }
+
+    /// Decodes a stats-request envelope.
+    pub fn decode(v: &Json) -> Result<Self, WireError> {
+        const CTX: &str = "stats_request payload";
+        let pairs = as_obj(open_envelope(v, KIND_STATS_REQUEST)?, CTX)?;
+        Ok(StatsRequest {
+            id: as_str(field(pairs, "id", CTX)?, CTX)?.to_string(),
+        })
+    }
+
+    /// Renders the request as one JSON line.
+    pub fn to_line(&self) -> String {
+        self.encode().render()
+    }
+
+    /// Parses a stats-request line.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        Self::decode(&Json::parse(line)?)
+    }
+}
+
+/// Hit/miss counters of one cache tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Probes answered by this tier.
+    pub hits: u64,
+    /// Probes this tier could not answer.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// One histogram bucket of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyBucket {
+    /// Inclusive upper bound in nanoseconds; `None` is the overflow
+    /// bucket.
+    pub le_ns: Option<u64>,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+/// Per-policy job latency distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyLatency {
+    /// The selection policy label (`greedy`, `restarts`, `beam:8`, …).
+    pub policy: String,
+    /// Total jobs observed under this policy.
+    pub count: u64,
+    /// Sum of observed latencies in nanoseconds.
+    pub total_ns: u64,
+    /// The bucketed distribution, ascending bounds, overflow last.
+    pub buckets: Vec<LatencyBucket>,
+}
+
+/// The daemon's observability snapshot (`kind: "stats"`), answering a
+/// [`StatsRequest`]: queue depth, connection counters, per-tier cache
+/// hit/miss, persistent-store health and per-policy latency histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReply {
+    /// Echo of the request id.
+    pub id: String,
+    /// Jobs queued in the scheduler, not yet dispatched.
+    pub queue_depth: usize,
+    /// Connections currently being served.
+    pub connections: usize,
+    /// The configured connection cap.
+    pub connection_limit: usize,
+    /// Connections turned away at the cap since boot.
+    pub connections_rejected: u64,
+    /// Request lines discarded for exceeding the line-length cap.
+    pub oversize_lines: u64,
+    /// Map requests accepted into the scheduler since boot.
+    pub requests: u64,
+    /// Real constructions run (both cache tiers missed).
+    pub constructions: u64,
+    /// The in-memory structure cache tier.
+    pub cache: TierStats,
+    /// The persistent store tier (`None` when running memory-only).
+    pub store: Option<StoreTierStats>,
+    /// Per-policy latency histograms, deterministically ordered.
+    pub policies: Vec<PolicyLatency>,
+}
+
+impl StatsReply {
+    /// Encodes the stats envelope.
+    pub fn encode(&self) -> Json {
+        let cache = Json::Obj(vec![
+            ("hits".into(), Json::int(self.cache.hits)),
+            ("misses".into(), Json::int(self.cache.misses)),
+            ("entries".into(), Json::int(self.cache.entries as u64)),
+        ]);
+        let store = match &self.store {
+            None => Json::Null,
+            Some(s) => Json::Obj(vec![
+                ("hits".into(), Json::int(s.hits)),
+                ("misses".into(), Json::int(s.misses)),
+                ("writes".into(), Json::int(s.writes)),
+                ("write_errors".into(), Json::int(s.write_errors)),
+                ("entries".into(), Json::int(s.entries as u64)),
+                ("file_bytes".into(), Json::int(s.file_bytes)),
+            ]),
+        };
+        let policies = self
+            .policies
+            .iter()
+            .map(|p| {
+                let buckets = p
+                    .buckets
+                    .iter()
+                    .map(|b| {
+                        Json::Obj(vec![
+                            ("le_ns".into(), b.le_ns.map_or(Json::Null, Json::int)),
+                            ("count".into(), Json::int(b.count)),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("policy".into(), Json::str(&p.policy)),
+                    ("count".into(), Json::int(p.count)),
+                    ("total_ns".into(), Json::int(p.total_ns)),
+                    ("buckets".into(), Json::Arr(buckets)),
+                ])
+            })
+            .collect();
+        envelope(
+            KIND_STATS,
+            Json::Obj(vec![
+                ("id".into(), Json::str(&self.id)),
+                ("queue_depth".into(), Json::int(self.queue_depth as u64)),
+                ("connections".into(), Json::int(self.connections as u64)),
+                (
+                    "connection_limit".into(),
+                    Json::int(self.connection_limit as u64),
+                ),
+                (
+                    "connections_rejected".into(),
+                    Json::int(self.connections_rejected),
+                ),
+                ("oversize_lines".into(), Json::int(self.oversize_lines)),
+                ("requests".into(), Json::int(self.requests)),
+                ("constructions".into(), Json::int(self.constructions)),
+                ("cache".into(), cache),
+                ("store".into(), store),
+                ("policies".into(), Json::Arr(policies)),
+            ]),
+        )
+    }
+
+    /// Decodes a stats envelope.
+    pub fn decode(v: &Json) -> Result<Self, WireError> {
+        const CTX: &str = "stats payload";
+        let pairs = as_obj(open_envelope(v, KIND_STATS)?, CTX)?;
+        const CCTX: &str = "stats cache";
+        let cp = as_obj(field(pairs, "cache", CTX)?, CCTX)?;
+        let cache = TierStats {
+            hits: as_u64(field(cp, "hits", CCTX)?, CCTX)?,
+            misses: as_u64(field(cp, "misses", CCTX)?, CCTX)?,
+            entries: as_usize(field(cp, "entries", CCTX)?, CCTX)?,
+        };
+        const SCTX: &str = "stats store";
+        let store = match field(pairs, "store", CTX)? {
+            Json::Null => None,
+            v => {
+                let sp = as_obj(v, SCTX)?;
+                Some(StoreTierStats {
+                    hits: as_u64(field(sp, "hits", SCTX)?, SCTX)?,
+                    misses: as_u64(field(sp, "misses", SCTX)?, SCTX)?,
+                    writes: as_u64(field(sp, "writes", SCTX)?, SCTX)?,
+                    write_errors: as_u64(field(sp, "write_errors", SCTX)?, SCTX)?,
+                    entries: as_usize(field(sp, "entries", SCTX)?, SCTX)?,
+                    file_bytes: as_u64(field(sp, "file_bytes", SCTX)?, SCTX)?,
+                })
+            }
+        };
+        const PCTX: &str = "stats policy";
+        let mut policies = Vec::new();
+        for p in as_arr(field(pairs, "policies", CTX)?, CTX)? {
+            let pp = as_obj(p, PCTX)?;
+            let mut buckets = Vec::new();
+            for b in as_arr(field(pp, "buckets", PCTX)?, PCTX)? {
+                let bp = as_obj(b, PCTX)?;
+                buckets.push(LatencyBucket {
+                    le_ns: match field(bp, "le_ns", PCTX)? {
+                        Json::Null => None,
+                        v => Some(as_u64(v, PCTX)?),
+                    },
+                    count: as_u64(field(bp, "count", PCTX)?, PCTX)?,
+                });
+            }
+            policies.push(PolicyLatency {
+                policy: as_str(field(pp, "policy", PCTX)?, PCTX)?.to_string(),
+                count: as_u64(field(pp, "count", PCTX)?, PCTX)?,
+                total_ns: as_u64(field(pp, "total_ns", PCTX)?, PCTX)?,
+                buckets,
+            });
+        }
+        Ok(StatsReply {
+            id: as_str(field(pairs, "id", CTX)?, CTX)?.to_string(),
+            queue_depth: as_usize(field(pairs, "queue_depth", CTX)?, CTX)?,
+            connections: as_usize(field(pairs, "connections", CTX)?, CTX)?,
+            connection_limit: as_usize(field(pairs, "connection_limit", CTX)?, CTX)?,
+            connections_rejected: as_u64(field(pairs, "connections_rejected", CTX)?, CTX)?,
+            oversize_lines: as_u64(field(pairs, "oversize_lines", CTX)?, CTX)?,
+            requests: as_u64(field(pairs, "requests", CTX)?, CTX)?,
+            constructions: as_u64(field(pairs, "constructions", CTX)?, CTX)?,
+            cache,
+            store,
+            policies,
+        })
+    }
+
+    /// Renders the stats reply as one JSON line.
+    pub fn to_line(&self) -> String {
+        self.encode().render()
+    }
+
+    /// Parses a stats line.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        Self::decode(&Json::parse(line)?)
+    }
+}
+
+/// One parsed request line: a mapping batch or a stats probe.
+#[derive(Debug, Clone)]
+pub enum RequestLine {
+    /// A batch mapping request.
+    Map(MapRequest),
+    /// An observability probe.
+    Stats(StatsRequest),
+}
+
+impl RequestLine {
+    /// Parses one request line, dispatching on the envelope kind.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        let v = Json::parse(line)?;
+        let pairs = as_obj(&v, "request envelope")?;
+        let kind = get(pairs, "kind")
+            .and_then(|k| match k {
+                Json::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        match kind {
+            KIND_STATS_REQUEST => Ok(RequestLine::Stats(StatsRequest::decode(&v)?)),
+            // Anything else goes through the map-request decoder so the
+            // error message names the expected kind (and legacy clients
+            // that only speak map_request keep their exact errors).
+            _ => Ok(RequestLine::Map(MapRequest::decode(&v)?)),
+        }
     }
 }
 

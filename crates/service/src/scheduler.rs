@@ -40,15 +40,18 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use hatt_core::{HattError, HattOptions, Mapper};
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::FermionMapping;
 
 use crate::error::ServiceError;
+use crate::metrics::Metrics;
 use crate::proto::{ItemError, ItemPayload, MapItem, MapRequest};
 
 /// Scheduler sizing.
@@ -89,6 +92,7 @@ struct QueueState {
 
 struct Shared {
     mapper: Arc<Mapper>,
+    metrics: Arc<Metrics>,
     workers: usize,
     capacity: usize,
     state: Mutex<QueueState>,
@@ -129,6 +133,7 @@ impl Scheduler {
     pub fn new(mapper: Arc<Mapper>, config: SchedulerConfig) -> std::io::Result<Scheduler> {
         let shared = Arc::new(Shared {
             mapper,
+            metrics: Arc::new(Metrics::default()),
             workers: config.workers.max(1),
             capacity: config.queue_capacity.max(1),
             state: Mutex::new(QueueState {
@@ -153,6 +158,16 @@ impl Scheduler {
     /// Jobs currently queued (not yet dispatched).
     pub fn queue_len(&self) -> usize {
         self.shared.lock().jobs.len()
+    }
+
+    /// The service counters shared between scheduler and server.
+    pub(crate) fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
+    }
+
+    /// The mapper every job maps through.
+    pub(crate) fn mapper(&self) -> &Arc<Mapper> {
+        &self.shared.mapper
     }
 
     /// Enqueues every item of `req`, blocking while the queue is full
@@ -201,6 +216,7 @@ impl Scheduler {
             });
             self.shared.not_empty.notify_all();
         }
+        self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
         Ok(rx)
     }
 }
@@ -250,7 +266,11 @@ fn dispatch_loop(shared: &Shared) {
         // concurrent jobs are peers, exactly like `Mapper::map_batch`.
         let inner_threads = (shared.workers / batch.len().min(shared.workers)).max(1);
         parallel::par_map_with(shared.workers, &batch, |job| {
+            let start = Instant::now();
             let item = run_job(&shared.mapper, job, inner_threads);
+            shared
+                .metrics
+                .observe_latency(&job.options.policy.to_string(), start.elapsed());
             // A dropped receiver (client went away) is not an error —
             // the work is already done and cached.
             let _ = job.tx.send(item);

@@ -1,6 +1,7 @@
 //! The `hattd` JSON-lines-over-TCP server: one [`MapRequest`] per
 //! line in, one [`MapItem`] line **per batch item as it completes**
-//! out, closed by a [`MapDone`] line.
+//! out, closed by a [`MapDone`] line. A [`StatsRequest`] line is
+//! answered with a single [`StatsReply`] line.
 //!
 //! The server is std-only: an accept thread hands each connection to
 //! its own handler thread; all handlers share one [`Scheduler`] (and
@@ -8,6 +9,25 @@
 //! any number of requests back to back; an unparsable line yields a
 //! single `invalid_request` item plus `map_done` and the connection
 //! stays usable.
+//!
+//! ## Hardening
+//!
+//! * **Bounded request lines.** A line is read through a fixed-size
+//!   window ([`ServerConfig::max_line_bytes`], default 4 MiB); an
+//!   over-long line is discarded as it streams in — never buffered —
+//!   and answered with a typed `invalid_request` item, after which the
+//!   connection keeps working.
+//! * **Connection limit.** At most [`ServerConfig::max_connections`]
+//!   handler threads exist at once; a connection beyond the cap gets a
+//!   single typed `overloaded` line and is closed.
+//! * **Graceful drain.** Shutdown stops accepting, wakes idle handlers
+//!   (they observe the stop flag on their next read-timeout tick),
+//!   joins every handler — in-flight batches finish and their items are
+//!   delivered — then tears down the scheduler and flushes the mapper's
+//!   persistent store.
+//! * **No silent truncation.** If the scheduler goes away mid-batch,
+//!   every unmapped index is answered with a typed `internal` error
+//!   item, so `map_done.items` always equals the request length.
 //!
 //! # Examples
 //!
@@ -21,6 +41,9 @@
 //! let reply = client::request(server.local_addr(), &req)?;
 //! assert_eq!(reply.done.items, 1);
 //! assert!(reply.items[0].is_ok());
+//!
+//! let stats = client::stats(server.local_addr(), "probe")?;
+//! assert_eq!(stats.requests, 1);
 //! server.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -28,30 +51,58 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use hatt_core::Mapper;
 
-use crate::proto::{ItemError, ItemPayload, MapDone, MapItem, MapRequest};
+use crate::error::ServiceError;
+use crate::metrics::{ConnectionSlot, BUCKET_BOUNDS_NS};
+use crate::proto::{
+    ItemError, ItemPayload, LatencyBucket, MapDone, MapItem, MapRequest, PolicyLatency,
+    RequestLine, StatsReply, StatsRequest, TierStats,
+};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 
-/// Server sizing (passed through to the [`Scheduler`]).
-#[derive(Debug, Clone, Default)]
+/// Server sizing and hardening knobs.
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Scheduler sizing.
     pub scheduler: SchedulerConfig,
+    /// Longest accepted request line in bytes (default 4 MiB). Longer
+    /// lines are discarded as they stream in — the server never buffers
+    /// more than its internal read window — and answered with a typed
+    /// `invalid_request` item; the connection stays usable.
+    pub max_line_bytes: usize,
+    /// Concurrent connections served at once (default 256). A
+    /// connection beyond the cap receives one typed `overloaded` item
+    /// plus `map_done` and is closed without a handler thread.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            scheduler: SchedulerConfig::default(),
+            max_line_bytes: 4 << 20,
+            max_connections: 256,
+        }
+    }
 }
 
 /// A running `hattd` server. Dropping (or calling
-/// [`Server::shutdown`]) stops accepting and tears the scheduler down;
-/// in-flight requests are still answered.
+/// [`Server::shutdown`]) stops accepting, drains in-flight requests,
+/// joins every handler thread and flushes the mapper's persistent
+/// store (when one is configured).
 #[derive(Debug)]
 pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     scheduler: Option<Arc<Scheduler>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    mapper: Arc<Mapper>,
 }
 
 impl Server {
@@ -64,20 +115,32 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let scheduler = Arc::new(Scheduler::new(Arc::new(mapper), config.scheduler)?);
+        let mapper = Arc::new(mapper);
+        let scheduler = Arc::new(Scheduler::new(
+            Arc::clone(&mapper),
+            config.scheduler.clone(),
+        )?);
         let stop = Arc::new(AtomicBool::new(false));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let stop = Arc::clone(&stop);
             let scheduler = Arc::clone(&scheduler);
+            let handlers = Arc::clone(&handlers);
+            let limits = Limits {
+                max_line_bytes: config.max_line_bytes.max(1),
+                max_connections: config.max_connections.max(1),
+            };
             std::thread::Builder::new()
                 .name("hattd-accept".into())
-                .spawn(move || accept_loop(&listener, &stop, &scheduler))?
+                .spawn(move || accept_loop(&listener, &stop, &scheduler, &handlers, limits))?
         };
         Ok(Server {
             local_addr,
             stop,
             accept: Some(accept),
             scheduler: Some(scheduler),
+            handlers,
+            mapper,
         })
     }
 
@@ -94,7 +157,8 @@ impl Server {
         }
     }
 
-    /// Stops accepting connections and joins the accept thread.
+    /// Stops accepting connections, drains in-flight requests, joins
+    /// every handler thread and flushes the persistent store.
     pub fn shutdown(self) {
         drop(self);
     }
@@ -106,8 +170,19 @@ impl Server {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        // Dropping the last scheduler handle joins the dispatcher.
+        // Join every handler: idle connections notice the stop flag on
+        // their next read-timeout tick; busy ones finish their batch
+        // (the scheduler is still alive here, so they can't deadlock).
+        let handles = std::mem::take(&mut *lock_handlers(&self.handlers));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Dropping the last scheduler handle joins the dispatcher
+        // (already-queued jobs are still dispatched and answered).
         self.scheduler.take();
+        // Everything that will ever be written through this server has
+        // been; make the store tier durable.
+        let _ = self.mapper.sync_store();
     }
 }
 
@@ -117,19 +192,62 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool, scheduler: &Arc<Scheduler>) {
+/// The per-connection hardening knobs, copied into the accept thread.
+#[derive(Clone, Copy)]
+struct Limits {
+    max_line_bytes: usize,
+    max_connections: usize,
+}
+
+fn lock_handlers(
+    handlers: &Mutex<Vec<JoinHandle<()>>>,
+) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    handlers.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    scheduler: &Arc<Scheduler>,
+    handlers: &Mutex<Vec<JoinHandle<()>>>,
+    limits: Limits,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
-                let scheduler = Arc::clone(scheduler);
-                let _ = std::thread::Builder::new()
-                    .name("hattd-conn".into())
-                    .spawn(move || {
-                        let _ = handle_connection(stream, &scheduler);
-                    });
+                // Reap finished handlers so the tracked set stays
+                // proportional to *live* connections, not history.
+                {
+                    let mut tracked = lock_handlers(handlers);
+                    let (done, live): (Vec<_>, Vec<_>) =
+                        tracked.drain(..).partition(JoinHandle::is_finished);
+                    *tracked = live;
+                    drop(tracked);
+                    for handle in done {
+                        let _ = handle.join();
+                    }
+                }
+                let Some(slot) = ConnectionSlot::claim(scheduler.metrics(), limits.max_connections)
+                else {
+                    reject_overloaded(stream);
+                    continue;
+                };
+                let spawned = {
+                    let stop = Arc::clone(stop);
+                    let scheduler = Arc::clone(scheduler);
+                    std::thread::Builder::new()
+                        .name("hattd-conn".into())
+                        .spawn(move || {
+                            let _slot = slot;
+                            let _ = handle_connection(stream, &scheduler, &stop, limits);
+                        })
+                };
+                if let Ok(handle) = spawned {
+                    lock_handlers(handlers).push(handle);
+                }
             }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
@@ -138,54 +256,159 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool, scheduler: &Arc<Schedu
                 // Back off instead of busy-spinning: persistent accept
                 // errors (fd exhaustion, EMFILE) would otherwise peg a
                 // core while contributing nothing.
-                std::thread::sleep(std::time::Duration::from_millis(50));
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Answers an over-limit connection with one typed `overloaded` line
+/// plus `map_done`, then closes it.
+fn reject_overloaded(stream: TcpStream) {
+    let e = ServiceError::Overloaded;
+    let item = MapItem {
+        id: String::new(),
+        index: None,
+        payload: ItemPayload::Err(ItemError {
+            code: e.code().to_string(),
+            message: "connection limit reached; retry later".to_string(),
+        }),
+    };
+    let done = MapDone {
+        id: String::new(),
+        items: 1,
+        errors: 1,
+    };
+    let mut writer = BufWriter::new(stream);
+    let _ = write_line(&mut writer, &item.to_line());
+    let _ = write_line(&mut writer, &done.to_line());
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line within the size cap (terminator stripped).
+    Line(String),
+    /// The line exceeded the cap; its bytes were discarded up to and
+    /// including the terminating newline.
+    Oversize,
+    /// Clean end of the stream (or shutdown observed while idle).
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. Oversize
+/// lines are *streamed to the bin*, never accumulated, so a hostile
+/// client cannot make the server buffer an unbounded line. Read
+/// timeouts (the stream carries one) are used to poll `stop` so idle
+/// connections drain promptly on shutdown.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    stop: &AtomicBool,
+) -> std::io::Result<LineRead> {
+    let mut line = Vec::new();
+    let mut oversize = false;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(LineRead::Eof);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF. An unterminated tail is not a request line.
+            return Ok(LineRead::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !oversize && line.len() + pos <= max {
+                    line.extend_from_slice(&available[..pos]);
+                } else {
+                    oversize = true;
+                }
+                reader.consume(pos + 1);
+                if oversize {
+                    return Ok(LineRead::Oversize);
+                }
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(LineRead::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            None => {
+                let n = available.len();
+                if !oversize {
+                    if line.len() + n <= max {
+                        line.extend_from_slice(available);
+                    } else {
+                        oversize = true;
+                        line.clear();
+                    }
+                }
+                reader.consume(n);
             }
         }
     }
 }
 
 /// Serves one connection: request lines in, streamed item lines out.
-fn handle_connection(stream: TcpStream, scheduler: &Scheduler) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+fn handle_connection(
+    stream: TcpStream,
+    scheduler: &Scheduler,
+    stop: &AtomicBool,
+    limits: Limits,
+) -> std::io::Result<()> {
+    // The read timeout doubles as the shutdown poll interval; the write
+    // timeout bounds how long a stuck client can hold up the drain.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        let line = match read_line_bounded(&mut reader, limits.max_line_bytes, stop)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::Oversize => {
+                scheduler
+                    .metrics()
+                    .oversize_lines
+                    .fetch_add(1, Ordering::Relaxed);
+                let item = MapItem {
+                    id: String::new(),
+                    index: None,
+                    payload: ItemPayload::Err(ItemError::invalid_request(format!(
+                        "request line exceeds the {} byte limit",
+                        limits.max_line_bytes
+                    ))),
+                };
+                write_line(&mut writer, &item.to_line())?;
+                let done = MapDone {
+                    id: String::new(),
+                    items: 1,
+                    errors: 1,
+                };
+                write_line(&mut writer, &done.to_line())?;
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let (items, errors, id) = match MapRequest::from_line(&line) {
-            Ok(req) => {
-                let expected = req.hamiltonians.len();
-                match scheduler.submit(&req) {
-                    Ok(rx) => {
-                        let mut errors = 0usize;
-                        let mut received = 0usize;
-                        // Stream items in completion order; the channel
-                        // closes once every job answered.
-                        while received < expected {
-                            let Ok(item) = rx.recv() else { break };
-                            received += 1;
-                            if !item.is_ok() {
-                                errors += 1;
-                            }
-                            write_line(&mut writer, &item.to_line())?;
-                        }
-                        (received, errors, req.id)
-                    }
-                    Err(e) => {
-                        let item = MapItem {
-                            id: req.id.clone(),
-                            index: None,
-                            payload: ItemPayload::Err(ItemError {
-                                code: e.code().to_string(),
-                                message: e.to_string(),
-                            }),
-                        };
-                        write_line(&mut writer, &item.to_line())?;
-                        (1, 1, req.id)
-                    }
-                }
+        match RequestLine::from_line(&line) {
+            Ok(RequestLine::Stats(req)) => {
+                let reply = stats_reply(scheduler, &req, limits);
+                write_line(&mut writer, &reply.to_line())?;
             }
+            Ok(RequestLine::Map(req)) => serve_map(&mut writer, scheduler, &req)?,
             Err(e) => {
                 let item = MapItem {
                     id: String::new(),
@@ -193,13 +416,135 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler) -> std::io::Resul
                     payload: ItemPayload::Err(ItemError::invalid_request(e.to_string())),
                 };
                 write_line(&mut writer, &item.to_line())?;
-                (1, 1, String::new())
+                let done = MapDone {
+                    id: String::new(),
+                    items: 1,
+                    errors: 1,
+                };
+                write_line(&mut writer, &done.to_line())?;
             }
-        };
-        let done = MapDone { id, items, errors };
-        write_line(&mut writer, &done.to_line())?;
+        }
     }
-    Ok(())
+}
+
+/// Serves one map request: submit, stream items, close with `map_done`.
+fn serve_map(
+    writer: &mut impl Write,
+    scheduler: &Scheduler,
+    req: &MapRequest,
+) -> std::io::Result<()> {
+    let expected = req.hamiltonians.len();
+    let (items, errors) = match scheduler.submit(req) {
+        Ok(rx) => {
+            let mut errors = 0usize;
+            let mut received = 0usize;
+            let mut seen = vec![false; expected];
+            // Stream items in completion order; the channel closes once
+            // every job answered.
+            while received < expected {
+                let Ok(item) = rx.recv() else { break };
+                received += 1;
+                if let Some(i) = item.index {
+                    if let Some(flag) = seen.get_mut(i) {
+                        *flag = true;
+                    }
+                }
+                if !item.is_ok() {
+                    errors += 1;
+                }
+                write_line(writer, &item.to_line())?;
+            }
+            // The channel closing early (scheduler torn down mid-batch)
+            // must not silently truncate the reply: answer every
+            // missing index with a typed error so items == expected.
+            for item in truncation_errors(&req.id, &seen) {
+                received += 1;
+                errors += 1;
+                write_line(writer, &item.to_line())?;
+            }
+            (received, errors)
+        }
+        Err(e) => {
+            let item = MapItem {
+                id: req.id.clone(),
+                index: None,
+                payload: ItemPayload::Err(ItemError {
+                    code: e.code().to_string(),
+                    message: e.to_string(),
+                }),
+            };
+            write_line(writer, &item.to_line())?;
+            (1, 1)
+        }
+    };
+    let done = MapDone {
+        id: req.id.clone(),
+        items,
+        errors,
+    };
+    write_line(writer, &done.to_line())
+}
+
+/// One typed `internal` error item per index the scheduler never
+/// answered — the fix for the silent-truncation bug where an early
+/// channel close produced a short `map_done` with no error marker.
+fn truncation_errors(id: &str, seen: &[bool]) -> Vec<MapItem> {
+    seen.iter()
+        .enumerate()
+        .filter(|&(_, &answered)| !answered)
+        .map(|(index, _)| MapItem {
+            id: id.to_string(),
+            index: Some(index),
+            payload: ItemPayload::Err(ItemError {
+                code: "internal".to_string(),
+                message: "scheduler shut down before this item was mapped".to_string(),
+            }),
+        })
+        .collect()
+}
+
+/// Builds the `stats` reply from the scheduler, mapper and counters.
+fn stats_reply(scheduler: &Scheduler, req: &StatsRequest, limits: Limits) -> StatsReply {
+    let metrics = scheduler.metrics();
+    let cache = scheduler.mapper().cache();
+    let policies = metrics
+        .latency_snapshot()
+        .into_iter()
+        .map(|(policy, h)| {
+            let buckets = h
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(i, &count)| LatencyBucket {
+                    le_ns: BUCKET_BOUNDS_NS.get(i).copied(),
+                    count,
+                })
+                .collect();
+            PolicyLatency {
+                policy,
+                count: h.count,
+                total_ns: h.total_ns,
+                buckets,
+            }
+        })
+        .collect();
+    StatsReply {
+        id: req.id.clone(),
+        queue_depth: scheduler.queue_len(),
+        connections: metrics.connections_active.load(Ordering::SeqCst),
+        connection_limit: limits.max_connections,
+        connections_rejected: metrics.connections_rejected.load(Ordering::Relaxed),
+        oversize_lines: metrics.oversize_lines.load(Ordering::Relaxed),
+        requests: metrics.requests.load(Ordering::Relaxed),
+        constructions: cache.constructions(),
+        cache: TierStats {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            entries: cache.len(),
+        },
+        store: scheduler.mapper().store_stats(),
+        policies,
+    }
 }
 
 fn write_line(writer: &mut impl Write, line: &str) -> std::io::Result<()> {
@@ -208,4 +553,21 @@ fn write_line(writer: &mut impl Write, line: &str) -> std::io::Result<()> {
     // Flush per line: responses must *stream*, not arrive as one blob
     // when the batch finishes.
     writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_errors_cover_exactly_the_unanswered_indices() {
+        let items = truncation_errors("req", &[true, false, true, false, false]);
+        let indices: Vec<_> = items.iter().map(|i| i.index).collect();
+        assert_eq!(indices, [Some(1), Some(3), Some(4)]);
+        for item in &items {
+            assert_eq!(item.id, "req");
+            assert_eq!(item.error().map(|e| e.code.as_str()), Some("internal"));
+        }
+        assert!(truncation_errors("req", &[true, true]).is_empty());
+    }
 }

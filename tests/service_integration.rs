@@ -234,3 +234,222 @@ fn repeated_structures_cache_hit_across_the_socket() {
     }
     server.shutdown();
 }
+
+#[test]
+fn oversize_lines_get_a_typed_error_and_the_connection_survives() {
+    let config = ServerConfig {
+        max_line_bytes: 1024,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Mapper::new(), config).expect("bind ephemeral port");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // A 64 KiB line: far over the 1 KiB cap. The server must discard it
+    // as it streams (never buffering it) and answer with a typed error.
+    let mut junk = vec![b'x'; 64 * 1024];
+    junk.push(b'\n');
+    writer.write_all(&junk).expect("send oversize line");
+    writer.flush().expect("flush");
+
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error line");
+    match ResponseLine::from_line(&line).expect("parse") {
+        ResponseLine::Item(item) => {
+            let err = item.error().expect("typed error");
+            assert_eq!(err.code, "invalid_request");
+            assert!(
+                err.message.contains("1024"),
+                "message should name the limit: {}",
+                err.message
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    line.clear();
+    reader.read_line(&mut line).expect("done line");
+    assert!(matches!(
+        ResponseLine::from_line(&line).expect("parse"),
+        ResponseLine::Done(_)
+    ));
+
+    // The connection is still usable for a (small) valid request.
+    let req = MapRequest::new("after-oversize", vec![MajoranaSum::uniform_singles(2)]);
+    writer
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .expect("send valid");
+    writer.flush().expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("item line");
+    match ResponseLine::from_line(&line).expect("parse") {
+        ResponseLine::Item(item) => assert!(item.is_ok(), "connection wedged after oversize"),
+        other => panic!("{other:?}"),
+    }
+
+    // The incident is counted.
+    let stats = client::stats(server.local_addr(), "probe").expect("stats");
+    assert_eq!(stats.oversize_lines, 1);
+    server.shutdown();
+}
+
+#[test]
+fn a_client_disconnecting_mid_stream_does_not_wedge_the_server() {
+    let server = boot(Mapper::new());
+    let addr = server.local_addr();
+
+    // Send a multi-item request, read a single response line, hang up.
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let hams: Vec<MajoranaSum> = (2..8).map(MajoranaSum::uniform_singles).collect();
+        let req = MapRequest::new("walkout", hams);
+        writer
+            .write_all(format!("{}\n", req.to_line()).as_bytes())
+            .expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("first item");
+        // Drop both halves: the handler's remaining writes fail and the
+        // handler must exit instead of wedging a slot forever.
+    }
+
+    // The server still serves fresh connections.
+    let req = MapRequest::new("aftermath", vec![MajoranaSum::uniform_singles(3)]);
+    let reply = client::request(addr, &req).expect("server survived the walkout");
+    assert_eq!(reply.done.errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn connections_beyond_the_cap_get_a_typed_overloaded_line() {
+    let config = ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Mapper::new(), config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // Occupy both slots with connections whose handlers are provably
+    // live (each completed a round trip, so its slot is claimed).
+    let occupy = |id: &str| {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let req = MapRequest::new(id, vec![MajoranaSum::uniform_singles(2)]);
+        writer
+            .write_all(format!("{}\n", req.to_line()).as_bytes())
+            .expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("line");
+            if matches!(
+                ResponseLine::from_line(&line).expect("parse"),
+                ResponseLine::Done(_)
+            ) {
+                break;
+            }
+        }
+        (reader, writer)
+    };
+    let _a = occupy("slot-a");
+    let _b = occupy("slot-b");
+
+    // The third connection is rejected with one typed line and closed.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("overloaded line");
+    match ResponseLine::from_line(&line).expect("parse") {
+        ResponseLine::Item(item) => {
+            assert_eq!(item.error().expect("typed error").code, "overloaded");
+        }
+        other => panic!("{other:?}"),
+    }
+    line.clear();
+    reader.read_line(&mut line).expect("done line");
+    assert!(matches!(
+        ResponseLine::from_line(&line).expect("parse"),
+        ResponseLine::Done(_)
+    ));
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).expect("eof"), 0, "closed");
+
+    // Freeing a slot readmits new connections.
+    drop(_a);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let req = MapRequest::new("readmitted", vec![MajoranaSum::uniform_singles(2)]);
+        match client::request(addr, &req) {
+            Ok(reply)
+                if reply
+                    .items
+                    .iter()
+                    .any(|i| i.error().is_some_and(|e| e.code == "overloaded")) =>
+            {
+                // Still at the cap: the rejection itself is a well-formed
+                // reply (one `overloaded` item + done), not a transport
+                // error. The freed slot releases when the old handler
+                // notices the hangup on its next poll tick; retry briefly.
+                if std::time::Instant::now() >= deadline {
+                    panic!("slot never freed: still overloaded at deadline");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Ok(reply) => {
+                assert_eq!(reply.done.errors, 0);
+                break;
+            }
+            Err(_) if std::time::Instant::now() < deadline => {
+                // The freed slot releases when the handler notices the
+                // hangup on its next poll tick; retry briefly.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn the_stats_verb_reports_tiers_queue_depth_and_latency_histograms() {
+    let server = boot(Mapper::new());
+    let addr = server.local_addr();
+    let hams: Vec<MajoranaSum> = (2..5).map(MajoranaSum::uniform_singles).collect();
+    let n = hams.len();
+    let req = MapRequest::new("warmup", hams);
+    client::request(addr, &req).expect("round trip");
+
+    let stats = client::stats(addr, "schema-probe").expect("stats");
+    assert_eq!(stats.id, "schema-probe");
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.constructions, n as u64);
+    assert_eq!(stats.cache.entries, n);
+    assert_eq!(stats.cache.misses, n as u64);
+    assert_eq!(
+        stats.connection_limit,
+        ServerConfig::default().max_connections
+    );
+    assert!(stats.store.is_none(), "no --store configured");
+    assert_eq!(stats.queue_depth, 0, "all work drained");
+
+    // One policy histogram (the default policy), internally consistent:
+    // finite buckets ascend, the overflow bucket closes the list, and
+    // the bucket counts sum to the observation count.
+    assert_eq!(stats.policies.len(), 1);
+    let p = &stats.policies[0];
+    assert_eq!(p.count, n as u64);
+    assert!(p.total_ns > 0);
+    let bounds: Vec<_> = p.buckets.iter().map(|b| b.le_ns).collect();
+    assert!(bounds.windows(2).all(|w| w[0] < w[1] || w[1].is_none()));
+    assert_eq!(*bounds.last().expect("buckets"), None, "overflow bucket");
+    assert_eq!(
+        p.buckets.iter().map(|b| b.count).sum::<u64>(),
+        p.count,
+        "bucket counts must sum to the total"
+    );
+    server.shutdown();
+}
