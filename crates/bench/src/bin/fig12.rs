@@ -11,7 +11,10 @@
 
 use std::time::Instant;
 
-use hatt_bench::perf::{loglog_slope, sweep_variant, SweepConfig, SweepPoint, VariantSweep};
+use hatt_bench::perf::{
+    loglog_slope, sweep_variant, sweep_variant_on, SweepConfig, SweepPoint, SweepWorkload,
+    VariantSweep,
+};
 use hatt_core::Variant;
 use hatt_fermion::MajoranaSum;
 use hatt_mappings::exhaustive_optimal;
@@ -134,4 +137,23 @@ fn main() {
             last.n, last.stats.median, last.memo_hits, last.memo_misses
         );
     }
+
+    // The dense-molecule workload: unlike the singles chain, every mode
+    // participates in quartic interaction terms, so candidate scans
+    // touch many terms per triple — the structure shape of the Table I
+    // electronic-structure cases.
+    println!("\n== dense-molecule workload (2N hops + 4N interactions) ==");
+    let dense = sweep_variant_on(&cfg, Variant::Cached, SweepWorkload::DenseMolecule);
+    println!("  {:>5} {:>12} {:>12}", "N", "HATT(s)", "weight");
+    for p in &dense.points {
+        println!(
+            "  {:>5} {:>12.5} {:>12}",
+            p.n, p.stats.median, p.pauli_weight
+        );
+    }
+    println!(
+        "  dense HATT slope ~ N^{} (N ≥ {})",
+        fmt_slope(dense.slope),
+        cfg.slope_min_n
+    );
 }

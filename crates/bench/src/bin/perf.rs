@@ -1,8 +1,9 @@
 //! Machine-readable perf harness: sweeps the three HATT variants on the
-//! paper's scalability workload, the policy quality-vs-time ladder, and
-//! the parallel engine (threaded `restarts`, batched `map_many`), then
-//! writes `BENCH_perf.json` (schema `hatt-perf/2`) so successive PRs can
-//! compare perf trajectories.
+//! paper's scalability workload (plus a dense-molecule structure), the
+//! policy quality-vs-time ladder, the parallel engine (threaded
+//! `restarts`, batched `map_many`) and the incremental-remap stream,
+//! then writes `BENCH_perf.json` (schema `hatt-perf/3`) so successive
+//! PRs can compare perf trajectories.
 //!
 //! `cargo run --release -p hatt-bench --bin perf -- [--smoke]
 //!     [--out PATH] [--budget SECONDS] [--samples K] [--max-n N]`
@@ -19,8 +20,8 @@
 use std::process::ExitCode;
 
 use hatt_bench::perf::{
-    paper_complexity, parallel_study, policy_tradeoff, sweep_variant, sweeps_to_json, SweepConfig,
-    VariantSweep,
+    paper_complexity, parallel_study, policy_tradeoff, remap_study, sweep_variant,
+    sweep_variant_on, sweeps_to_json, SweepConfig, SweepWorkload, VariantSweep,
 };
 use hatt_core::Variant;
 
@@ -176,7 +177,38 @@ fn main() -> ExitCode {
         b.cache_misses,
     );
 
-    let doc = sweeps_to_json(&cfg, args.smoke, &sweeps, &policies, &parallel);
+    println!("\n== dense-molecule structure (2N hops + 4N interactions) ==");
+    let dense: Vec<VariantSweep> = [Variant::Cached]
+        .iter()
+        .map(|&v| {
+            let sweep = sweep_variant_on(&cfg, v, SweepWorkload::DenseMolecule);
+            let last = sweep.points.last().expect("ns is non-empty");
+            println!(
+                "  {:<24} reached N={:<4} median {:.4} s",
+                sweep.variant.label(),
+                last.n,
+                last.stats.median,
+            );
+            sweep
+        })
+        .collect();
+
+    println!("\n== incremental remap: one-term-delta stream vs cold rebuilds ==");
+    let remap = remap_study(args.smoke);
+    println!(
+        "  {} / {} steps  incremental {:.2} ms  fresh {:.2} ms  ×{:.2}  ({:.1} remaps/s, {} cold after base)",
+        remap.case,
+        remap.steps,
+        remap.incremental_s * 1e3,
+        remap.fresh_s * 1e3,
+        remap.speedup(),
+        remap.remaps_per_s(),
+        remap.constructions_after_base,
+    );
+
+    let doc = sweeps_to_json(
+        &cfg, args.smoke, &sweeps, &policies, &parallel, &dense, &remap,
+    );
     if let Err(e) = std::fs::write(&args.out, doc.render_pretty()) {
         eprintln!("perf: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

@@ -9,15 +9,19 @@
 //! `map_many` sweeps with the structure-keyed cache), so
 //! `BENCH_perf.json` records how fast the kernel is, what each extra
 //! millisecond of search buys, *and* what threads/batching buy on this
-//! host.
+//! host. Since hatt-perf/3 the document also carries a dense-molecule
+//! sweep (two-body interaction structure, not the uniform-singles
+//! chain) and the [`remap_study`] — incremental [`Mapper::remap`]
+//! throughput on a one-term-delta stream vs cold rebuilds.
 
 use std::time::Instant;
 
 use criterion::{summarize, Stats};
 use hatt_core::{HattMapping, Mapper, Variant};
-use hatt_fermion::models::{molecule_catalog, FermiHubbard, NeutrinoModel};
-use hatt_fermion::MajoranaSum;
+use hatt_fermion::models::{molecule_catalog, random_hermitian, FermiHubbard, NeutrinoModel};
+use hatt_fermion::{HamiltonianDelta, MajoranaSum};
 use hatt_mappings::{jordan_wigner, FermionMapping, SelectionPolicy};
+use hatt_pauli::Complex64;
 
 use crate::json::Json;
 
@@ -126,12 +130,56 @@ pub fn time_construction(h: &MajoranaSum, variant: Variant) -> (f64, HattMapping
     (dt, m)
 }
 
+/// The Hamiltonian family a scalability sweep times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepWorkload {
+    /// The paper's `H_F = Σ_i M_i` chain (§V-E): every term is one
+    /// Majorana pair — the sparsest possible structure.
+    UniformSingles,
+    /// A dense molecule-like instance: `2N` one-body hops plus `4N`
+    /// two-body interactions (quartic Majorana supports), deterministic
+    /// in `N`. This is the structure shape of the Table I
+    /// electronic-structure cases, where candidate scans touch far more
+    /// terms per triple than the singles chain.
+    DenseMolecule,
+}
+
+impl SweepWorkload {
+    /// Machine-readable key used in `BENCH_perf.json`.
+    pub fn key(self) -> &'static str {
+        match self {
+            SweepWorkload::UniformSingles => "uniform_singles",
+            SweepWorkload::DenseMolecule => "dense_molecule",
+        }
+    }
+
+    /// The workload instance at `n` modes (pure function of `n`).
+    pub fn hamiltonian(self, n: usize) -> MajoranaSum {
+        match self {
+            SweepWorkload::UniformSingles => MajoranaSum::uniform_singles(n),
+            SweepWorkload::DenseMolecule => {
+                crate::preprocess(&random_hermitian(n, 2 * n, 4 * n, 0xDE5E + n as u64))
+            }
+        }
+    }
+}
+
 /// Sweeps one variant over the configured Ns on `H_F = Σ_i M_i`,
 /// stopping early when a point blows the per-point budget.
 pub fn sweep_variant(cfg: &SweepConfig, variant: Variant) -> VariantSweep {
+    sweep_variant_on(cfg, variant, SweepWorkload::UniformSingles)
+}
+
+/// Sweeps one variant over the configured Ns on the given workload,
+/// stopping early when a point blows the per-point budget.
+pub fn sweep_variant_on(
+    cfg: &SweepConfig,
+    variant: Variant,
+    workload: SweepWorkload,
+) -> VariantSweep {
     let mut points = Vec::new();
     for &n in &cfg.ns {
-        let h = MajoranaSum::uniform_singles(n);
+        let h = workload.hamiltonian(n);
         let (first, mapping) = time_construction(&h, variant);
         let mut samples = vec![first];
         let over_budget = first > cfg.budget_per_point;
@@ -451,6 +499,117 @@ pub fn parallel_study(smoke: bool) -> ParallelReport {
     }
 }
 
+/// The incremental-remapping study serialized under `"remap"` in
+/// `BENCH_perf.json` (hatt-perf/3): a stream of one-term deltas served
+/// by [`Mapper::remap`] vs cold rebuilds of every edited Hamiltonian —
+/// the adaptive-ansatz workload the `map_delta` verb exists for.
+#[derive(Debug, Clone)]
+pub struct RemapStudy {
+    /// Benchmark case name.
+    pub case: String,
+    /// Mode count of the base Hamiltonian.
+    pub n_modes: usize,
+    /// One-term deltas in the stream.
+    pub steps: usize,
+    /// Total wall time of the incremental chain (base construction
+    /// excluded), seconds.
+    pub incremental_s: f64,
+    /// Total wall time of cold-constructing every edited Hamiltonian,
+    /// seconds.
+    pub fresh_s: f64,
+    /// Incremental rebuilds served (must equal `steps`).
+    pub remaps: u64,
+    /// Cold constructions on the incremental path **after** the base
+    /// (must be 0 — every step rode the ancestor).
+    pub constructions_after_base: u64,
+}
+
+impl RemapStudy {
+    /// Cold / incremental wall-time ratio (> 1 means remap won).
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_s > 0.0 {
+            self.fresh_s / self.incremental_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Remapped mappings per second through the incremental path.
+    pub fn remaps_per_s(&self) -> f64 {
+        if self.incremental_s > 0.0 {
+            self.steps as f64 / self.incremental_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A quartic support absent from `h`, scanned deterministically from
+/// `salt` — the one-term edit of the remap stream.
+fn absent_quad(h: &MajoranaSum, salt: usize) -> Vec<u32> {
+    let m = 2 * h.n_modes() as u32;
+    assert!(m >= 4, "remap study needs at least two modes");
+    for off in 0..m {
+        let a = (salt as u32 + off) % (m - 3);
+        let support = vec![a, a + 1, a + 2, a + 3];
+        if h.coefficient_of(&support).is_zero(1e-12) {
+            return support;
+        }
+    }
+    // hatt-lint: allow(panic) -- bench harness; m candidate quads cannot all collide with O(m) terms
+    panic!("no absent quad found");
+}
+
+/// Times a one-term-delta stream on the dense-molecule workload:
+/// `steps` edits, each served incrementally through [`Mapper::remap`]
+/// (one warm base construction, then ancestor rebuilds only) and, for
+/// the baseline, cold-constructed from scratch. Both paths produce
+/// bit-identical trees (`tests/remap_differential.rs` pins this); the
+/// study records what the incremental path saves.
+pub fn remap_study(smoke: bool) -> RemapStudy {
+    let (n, steps) = if smoke { (8, 8) } else { (12, 32) };
+    let base = SweepWorkload::DenseMolecule.hamiltonian(n);
+    let mapper = Mapper::new();
+    mapper.map(&base).expect("base maps");
+    let base_constructions = mapper.cache().constructions();
+
+    let mut incremental_s = 0.0;
+    let mut fresh_s = 0.0;
+    let mut current = base.clone();
+    for step in 0..steps {
+        let mut delta = HamiltonianDelta::new(current.n_modes());
+        delta
+            .push_add(Complex64::real(0.5), &absent_quad(&current, 7 * step + 1))
+            .expect("absent support inserts");
+        let next = delta.apply(&current).expect("one-term delta applies");
+
+        let t0 = Instant::now();
+        let m = mapper
+            .remap(&current, &delta)
+            .expect("remap serves the edit");
+        incremental_s += t0.elapsed().as_secs_f64();
+        std::hint::black_box(m.stats().total_weight());
+
+        let cold = uncached_mapper(|b| b);
+        let t0 = Instant::now();
+        let m = cold.map(&next).expect("cold rebuild");
+        fresh_s += t0.elapsed().as_secs_f64();
+        std::hint::black_box(m.stats().total_weight());
+
+        current = next;
+    }
+
+    RemapStudy {
+        case: format!("dense_molecule n={n}"),
+        n_modes: n,
+        steps,
+        incremental_s,
+        fresh_s,
+        remaps: mapper.cache().remaps(),
+        constructions_after_base: mapper.cache().constructions() - base_constructions,
+    }
+}
+
 /// Least-squares slope of `ln t` against `ln n`; `None` with fewer than
 /// two usable (positive-time) points.
 pub fn loglog_slope(points: &[(usize, f64)]) -> Option<f64> {
@@ -475,20 +634,25 @@ pub fn loglog_slope(points: &[(usize, f64)]) -> Option<f64> {
 }
 
 /// Serializes a sweep set to the `BENCH_perf.json` document
-/// (`schema: "hatt-perf/2"`; see README "Perf harness" and
+/// (`schema: "hatt-perf/3"`; see README "Perf harness" and
 /// docs/REPRODUCTION.md for the schema). `policies` is the
 /// quality-vs-time study from [`policy_tradeoff`]; `parallel` is the
-/// parallel-engine study from [`parallel_study`]. Both sections are
-/// additive over hatt-perf/1 — older documents simply lack them.
+/// parallel-engine study from [`parallel_study`]; `dense` is the
+/// [`SweepWorkload::DenseMolecule`] scalability sweep and `remap` the
+/// one-term-delta stream from [`remap_study`]. Every section is
+/// additive over the previous schema version — older documents simply
+/// lack the newer keys.
 pub fn sweeps_to_json(
     cfg: &SweepConfig,
     smoke: bool,
     sweeps: &[VariantSweep],
     policies: &[PolicyPoint],
     parallel: &ParallelReport,
+    dense: &[VariantSweep],
+    remap: &RemapStudy,
 ) -> Json {
     Json::Obj(vec![
-        ("schema".into(), Json::str("hatt-perf/2")),
+        ("schema".into(), Json::str("hatt-perf/3")),
         ("workload".into(), Json::str("uniform_singles")),
         ("smoke".into(), Json::Bool(smoke)),
         ("samples_per_point".into(), Json::int(cfg.samples as u64)),
@@ -503,6 +667,38 @@ pub fn sweeps_to_json(
             Json::Arr(policies.iter().map(policy_point_to_json).collect()),
         ),
         ("parallel".into(), parallel_to_json(parallel)),
+        (
+            "dense".into(),
+            Json::Obj(vec![
+                (
+                    "workload".into(),
+                    Json::str(SweepWorkload::DenseMolecule.key()),
+                ),
+                (
+                    "variants".into(),
+                    Json::Arr(dense.iter().map(sweep_to_json).collect()),
+                ),
+            ]),
+        ),
+        ("remap".into(), remap_to_json(remap)),
+    ])
+}
+
+/// The `"remap"` section of the hatt-perf/3 document.
+fn remap_to_json(r: &RemapStudy) -> Json {
+    Json::Obj(vec![
+        ("case".into(), Json::str(&r.case)),
+        ("n_modes".into(), Json::int(r.n_modes as u64)),
+        ("steps".into(), Json::int(r.steps as u64)),
+        ("incremental_s".into(), Json::Num(r.incremental_s)),
+        ("fresh_s".into(), Json::Num(r.fresh_s)),
+        ("speedup".into(), Json::Num(r.speedup())),
+        ("remaps_per_s".into(), Json::Num(r.remaps_per_s())),
+        ("remaps".into(), Json::int(r.remaps)),
+        (
+            "constructions_after_base".into(),
+            Json::int(r.constructions_after_base),
+        ),
     ])
 }
 
@@ -668,14 +864,35 @@ mod tests {
             }
         }
         let report = tiny_parallel_report();
-        let doc = sweeps_to_json(&cfg, true, &sweeps, &policies, &report).render();
-        assert!(doc.starts_with(r#"{"schema":"hatt-perf/2""#));
+        let dense = vec![sweep_variant_on(
+            &cfg,
+            Variant::Cached,
+            SweepWorkload::DenseMolecule,
+        )];
+        let remap = tiny_remap_study();
+        let doc = sweeps_to_json(&cfg, true, &sweeps, &policies, &report, &dense, &remap).render();
+        assert!(doc.starts_with(r#"{"schema":"hatt-perf/3""#));
         assert!(doc.contains(r#""name":"cached""#));
         assert!(doc.contains(r#""pauli_weight":"#));
         assert!(doc.contains(r#""policy":"restarts""#));
         assert!(doc.contains(r#""parallel":{"workers":"#));
         assert!(doc.contains(r#""throughput":{"batch_size":"#));
         assert!(doc.contains(r#""cache_hits":"#));
+        assert!(doc.contains(r#""dense":{"workload":"dense_molecule""#));
+        assert!(doc.contains(r#""remap":{"case":"#));
+        assert!(doc.contains(r#""remaps_per_s":"#));
+    }
+
+    fn tiny_remap_study() -> RemapStudy {
+        RemapStudy {
+            case: "t".into(),
+            n_modes: 8,
+            steps: 4,
+            incremental_s: 0.5,
+            fresh_s: 2.0,
+            remaps: 4,
+            constructions_after_base: 0,
+        }
     }
 
     fn tiny_parallel_report() -> ParallelReport {
@@ -731,6 +948,45 @@ mod tests {
         assert_eq!(report.batch.cache_misses, 1);
         assert_eq!(report.batch.cache_hits, 7);
         assert!(report.batch.throughput_per_s() > 0.0);
+    }
+
+    #[test]
+    fn remap_study_arithmetic_and_counters() {
+        let r = tiny_remap_study();
+        assert!((r.speedup() - 4.0).abs() < 1e-12);
+        assert!((r.remaps_per_s() - 8.0).abs() < 1e-12);
+        let zero = RemapStudy {
+            incremental_s: 0.0,
+            ..tiny_remap_study()
+        };
+        assert_eq!(zero.speedup(), 0.0);
+        assert_eq!(zero.remaps_per_s(), 0.0);
+    }
+
+    #[test]
+    fn remap_study_smoke_rides_the_ancestor_every_step() {
+        let r = remap_study(true);
+        assert_eq!(r.steps, 8);
+        assert_eq!(r.remaps, 8, "every edit must remap incrementally");
+        assert_eq!(
+            r.constructions_after_base, 0,
+            "one-term deltas must never construct cold"
+        );
+        assert!(r.incremental_s > 0.0 && r.fresh_s > 0.0);
+    }
+
+    #[test]
+    fn dense_workload_is_deterministic_and_not_singles_shaped() {
+        let a = SweepWorkload::DenseMolecule.hamiltonian(8);
+        let b = SweepWorkload::DenseMolecule.hamiltonian(8);
+        assert_eq!(a, b, "the sweep must time a pure function of N");
+        // A dense instance must contain quartic supports — the shape
+        // uniform_singles never has.
+        assert!(
+            a.iter().any(|(support, _)| support.len() == 4),
+            "no two-body structure in the dense workload"
+        );
+        assert!(a.n_terms() > 8, "denser than the singles chain");
     }
 
     #[test]

@@ -954,6 +954,159 @@ pub(crate) fn hatt_replay(
     }
 }
 
+/// Whether `options` admit the incremental remap kernel
+/// ([`hatt_remap`]). Only the single-pass greedy policies qualify:
+/// lookahead re-ranks by simulated next steps and the beam keeps
+/// multiple prefixes alive, so neither can reuse a single previous
+/// merge sequence; the restarts portfolio would need one sequence *per
+/// member*. `Unopt` is out because its free-triple scan has no pairing
+/// structure to skip over. Unsupported options simply fall back to a
+/// fresh construction — same result, no savings.
+pub(crate) fn remap_supported(options: &HattOptions) -> bool {
+    matches!(
+        options.policy,
+        SelectionPolicy::Greedy | SelectionPolicy::Vanilla
+    ) && !matches!(options.variant, Variant::Unopt)
+}
+
+/// Incremental greedy construction seeded by a previous merge sequence.
+///
+/// `h` is the *new* (post-delta) Hamiltonian, `prev_seq` the merge
+/// sequence of the previous mapping (same mode count, options passing
+/// [`remap_supported`]), and `touched` the Majorana indices whose terms
+/// the delta added or removed. Produces output **bit-identical** to
+/// `hatt_single(h, options, blend)` — tree, merge sequence and per-step
+/// settled weights — while re-scoring only the frontier the delta can
+/// influence (`tests/remap_differential.rs` pins the equivalence).
+///
+/// Why this is sound: a candidate triple whose three subtrees contain
+/// no touched leaf interacts with no added/removed term, so its
+/// [`TripleScore`] — per-triple counts only — is the same in the old
+/// and new engines. While the replayed prefix matches the old tree and
+/// the previous winner is itself untouched, the old winner therefore
+/// still dominates every untouched candidate, and the true new winner
+/// can only be the old winner or a *touched* candidate. Scoring just
+/// that subset (in enumeration order, under the same strict-`<`
+/// first-wins rule) reproduces the full scan's choice exactly. The
+/// moment the previous winner is touched, the step falls back to a full
+/// scan; the moment the choice diverges from `prev_seq`, the remaining
+/// steps are a plain greedy construction ([`select_paired`] with the
+/// Algorithm 3 maps — valid for `Paired` too, which differs from
+/// `Cached` only in traversal accounting, never in results).
+pub(crate) fn hatt_remap(
+    h: &MajoranaSum,
+    options: &HattOptions,
+    prev_seq: &[[NodeId; 3]],
+    touched: &[u32],
+) -> Result<HattMapping, HattError> {
+    let n = h.n_modes();
+    debug_assert!(n >= 1, "caller gates on EmptyHamiltonian");
+    debug_assert_eq!(prev_seq.len(), n, "caller gates on sequence length");
+    debug_assert!(remap_supported(options), "caller gates on remap_supported");
+    let blend = options.policy.blend();
+    let start = Instant::now();
+    let mut engine = TermEngine::new(h);
+    let mut builder = TernaryTreeBuilder::new(n);
+    let mut state = PairingState::new(n);
+    let mut iterations = Vec::with_capacity(n);
+    // `touched_node[v]`: v's subtree contains a leaf the delta touched.
+    // Seeded at the leaves, propagated to each attached parent below.
+    let mut touched_node = vec![false; 3 * n + 1];
+    for &i in touched {
+        if (i as usize) < 2 * n {
+            touched_node[i as usize] = true;
+        }
+    }
+    let mut diverged = false;
+
+    for (qubit, &prev) in prev_seq.iter().enumerate() {
+        let mut iter_stats = IterationStats {
+            qubit,
+            ..Default::default()
+        };
+        let u = builder.roots();
+        let next_parent: NodeId = 2 * n + 1 + qubit;
+        let prev_touched = prev.iter().any(|&v| touched_node[v]);
+        let selection = if diverged || prev_touched {
+            // Full scan. If the tree still matches the old prefix this
+            // may well re-elect `prev` (the delta touched it without
+            // dethroning it), in which case later steps resume the fast
+            // path.
+            select_paired(
+                &mut engine,
+                None,
+                &u,
+                n,
+                options,
+                blend,
+                next_parent,
+                &mut iter_stats,
+                &mut state,
+            )?
+        } else {
+            // Fast path: the previous winner is untouched, so only it
+            // and the touched candidates can win. Same enumeration
+            // order and strict-`<` first-wins rule as the full scan.
+            let mut best: Option<(TripleScore, [NodeId; 3])> = None;
+            {
+                let engine = &mut engine;
+                let counted = &mut iter_stats.candidates;
+                for_each_paired_candidate(&state, &u, n, |cx, cy, cz| {
+                    let children = [cx, cy, cz];
+                    if children != prev
+                        && !(touched_node[cx] || touched_node[cy] || touched_node[cz])
+                    {
+                        return;
+                    }
+                    *counted += 1;
+                    let score = score_of(engine, options, blend, cx, cy, cz);
+                    if best.as_ref().is_none_or(|b| score < b.0) {
+                        best = Some((score, children));
+                    }
+                });
+            }
+            // Infallible: `prev` itself is always enumerated — the
+            // replayed prefix reproduces the node set and pairing maps
+            // under which it was originally selected.
+            debug_assert!(best.is_some(), "previous winner must be a candidate");
+            let (score, children) = best.ok_or(HattError::Internal(
+                "remap step found no candidate although the previous winner is one",
+            ))?;
+            Selection {
+                children,
+                weight: score.weight,
+            }
+        };
+        if !diverged && selection.children != prev {
+            diverged = true;
+        }
+        let [ox, oy, oz] = selection.children;
+        iter_stats.settled_weight = selection.weight;
+        let parent = builder.attach([ox, oy, oz]);
+        debug_assert_eq!(parent, next_parent);
+        engine.reduce(parent, ox, oy, oz);
+        state.record_attach(parent, oz);
+        touched_node[parent] = touched_node[ox] || touched_node[oy] || touched_node[oz];
+        iterations.push(iter_stats);
+    }
+
+    let (memo_hits, memo_misses) = engine.memo_stats();
+    let stats = ConstructionStats {
+        iterations,
+        n_terms: engine.n_terms(),
+        elapsed: start.elapsed(),
+        memo_hits,
+        memo_misses,
+    };
+    let tree = builder.finish();
+    let mapping = TreeMapping::with_identity_assignment(options.variant.label(), tree);
+    Ok(HattMapping {
+        mapping,
+        stats,
+        options: *options,
+    })
+}
+
 /// Runs one [`PortfolioMember`] of the restarts portfolio as a complete,
 /// independent construction — the unit of work the threaded portfolio
 /// fans out.
@@ -1253,5 +1406,53 @@ mod tests {
     fn zero_modes_rejected() {
         let h = MajoranaSum::new(0);
         let _ = hatt(&h);
+    }
+
+    /// Direct kernel-level differential check; the full randomized suite
+    /// (policies × threads × socket) lives in `tests/remap_differential.rs`.
+    #[test]
+    fn remap_kernel_matches_fresh_construction_bit_identically() {
+        use crate::batch::merge_sequence;
+        use hatt_fermion::HamiltonianDelta;
+        use hatt_pauli::Complex64;
+
+        for variant in [Variant::Paired, Variant::Cached] {
+            for seed in 0..4 {
+                let op = hatt_fermion::models::random_hermitian(6, 8, 6, seed);
+                let mut h = MajoranaSum::from_fermion(&op);
+                let _ = h.take_identity();
+                let options = opts(variant);
+                let prev = hatt_with_impl(&h, &options).unwrap();
+                let prev_seq = merge_sequence(prev.tree());
+
+                // Remove one existing term, add one absent term.
+                let (victim, coeff) = h.iter().next().map(|(i, c)| (i.to_vec(), c)).unwrap();
+                let mut delta = HamiltonianDelta::new(h.n_modes());
+                delta.push_remove(coeff, &victim).unwrap();
+                let extra: Vec<u32> = (0..4).map(|k| (2 * k) as u32).collect();
+                if h.coefficient_of(&extra).is_zero(1e-12) {
+                    delta.push_add(Complex64::real(0.375), &extra).unwrap();
+                }
+                let next = delta.apply(&h).unwrap();
+
+                let fresh = hatt_with_impl(&next, &options).unwrap();
+                let remap =
+                    hatt_remap(&next, &options, &prev_seq, &delta.support_touched()).unwrap();
+                assert_eq!(remap.tree(), fresh.tree(), "{variant:?}/{seed}");
+                for (a, b) in remap
+                    .stats()
+                    .iterations
+                    .iter()
+                    .zip(&fresh.stats().iterations)
+                {
+                    assert_eq!(
+                        a.settled_weight, b.settled_weight,
+                        "{variant:?}/{seed} step {}",
+                        a.qubit
+                    );
+                }
+                assert_eq!(remap.stats().n_terms, fresh.stats().n_terms);
+            }
+        }
     }
 }

@@ -91,10 +91,12 @@ use interleave::sync::{Condvar, Mutex, MutexGuard};
 #[cfg(not(interleave))]
 use std::sync::{Condvar, Mutex, MutexGuard};
 
-use hatt_fermion::MajoranaSum;
+use hatt_fermion::{HamiltonianDelta, MajoranaSum};
 use hatt_mappings::{NodeId, TernaryTree};
 
-use crate::algorithm::{hatt_replay, hatt_with_impl, HattMapping, HattOptions};
+use crate::algorithm::{
+    hatt_remap, hatt_replay, hatt_with_impl, remap_supported, HattMapping, HattOptions,
+};
 use crate::error::HattError;
 use crate::store::{StoreTier, StoreTierStats};
 
@@ -307,6 +309,30 @@ impl CacheInner {
         (slot, true)
     }
 
+    /// Read-only lookup of a *resolved* entry's merge sequence. Unlike
+    /// [`CacheInner::probe`] this never claims, never blocks on a
+    /// pending slot, and moves no counters or LRU clocks — it is the
+    /// remap path asking "do we happen to still know the ancestor's
+    /// tree?", and a miss there is not a cache miss of the requested
+    /// structure. (Locking a slot under the cache lock is fine; eviction
+    /// already does it.)
+    fn peek(
+        &self,
+        hash: u64,
+        structure: &Structure,
+        options: &HattOptions,
+    ) -> Option<Vec<[NodeId; 3]>> {
+        let entry = self
+            .buckets
+            .get(&hash)?
+            .iter()
+            .find(|e| e.options == *options && e.structure == *structure)?;
+        match &*entry.slot.lock() {
+            SlotState::Ready(seq) => Some(seq.clone()),
+            _ => None,
+        }
+    }
+
     /// Evicts least-recently-used *resolved* entries until the bound
     /// holds. Pending entries (a worker is constructing; followers may
     /// be blocked on the slot) are never evicted, so the cache can
@@ -399,6 +425,13 @@ pub struct MappingCache {
     /// *both* tiers. The persistence smoke test pins this at zero for a
     /// fully warm-started daemon.
     constructions: AtomicU64,
+    /// Incremental rebuilds run by the remap fast path
+    /// ([`MappingCache::try_remap_or_build`]): the ancestor's merge
+    /// sequence was found and replay-with-reselection replaced a cold
+    /// construction. Deliberately *not* counted in `constructions` —
+    /// the differential harness pins remapped workloads at strictly
+    /// fewer constructions than fresh ones.
+    remaps: AtomicU64,
 }
 
 impl MappingCache {
@@ -437,6 +470,7 @@ impl MappingCache {
             }),
             store: None,
             constructions: AtomicU64::new(0),
+            remaps: AtomicU64::new(0),
         }
     }
 
@@ -462,6 +496,14 @@ impl MappingCache {
     /// store-tier hits) is the work the tiers saved.
     pub fn constructions(&self) -> u64 {
         self.constructions.load(Ordering::Relaxed)
+    }
+
+    /// Incremental rebuilds run by [`MappingCache::try_remap_or_build`]
+    /// — probes that missed both tiers for the *requested* structure but
+    /// found the ancestor's tree and re-selected only the delta's
+    /// frontier instead of constructing cold.
+    pub fn remaps(&self) -> u64 {
+        self.remaps.load(Ordering::Relaxed)
     }
 
     /// Runs a real construction (both tiers missed), counting it.
@@ -513,6 +555,53 @@ impl MappingCache {
         h: &MajoranaSum,
         options: &HattOptions,
     ) -> Result<HattMapping, HattError> {
+        self.resolve(h, options, None)
+    }
+
+    /// Maps the Hamiltonian obtained by applying `delta` to `prev`,
+    /// reusing `prev`'s construction wherever possible:
+    ///
+    /// 1. If the *post-delta* structure hits either tier, the cached
+    ///    merge sequence is replayed — the delta turned out to land on
+    ///    a structure already known.
+    /// 2. Otherwise, if `prev`'s merge sequence is still available
+    ///    (in memory or on disk) and the options admit it
+    ///    (single-pass greedy policies, paired variants), the tree is
+    ///    rebuilt *incrementally*: only candidate triples whose
+    ///    subtrees the delta touches are re-scored, the rest of the
+    ///    previous selection is replayed. The result is bit-identical
+    ///    to a fresh construction (`tests/remap_differential.rs`), and
+    ///    the write-through record carries `prev`'s structure hash as
+    ///    its `lineage`.
+    /// 3. Otherwise it degrades to an ordinary cold construction.
+    ///
+    /// A delta that does not apply cleanly to `prev` (removing an
+    /// absent term, adding a present one, mode mismatch) is
+    /// [`HattError::Delta`].
+    pub fn try_remap_or_build(
+        &self,
+        prev: &MajoranaSum,
+        delta: &HamiltonianDelta,
+        options: &HattOptions,
+    ) -> Result<HattMapping, HattError> {
+        let next = delta.apply(prev)?;
+        let prev_structure = Structure::of(prev);
+        let touched = delta.support_touched();
+        self.resolve(&next, options, Some((&prev_structure, &touched)))
+    }
+
+    /// The shared probe/own/follow flow behind
+    /// [`MappingCache::try_get_or_build`] (no ancestor) and
+    /// [`MappingCache::try_remap_or_build`] (ancestor = the pre-delta
+    /// structure plus the touched Majorana indices). The ancestor is
+    /// consulted only where a cold construction would otherwise run, so
+    /// it can change how fast a result is produced but never which one.
+    fn resolve(
+        &self,
+        h: &MajoranaSum,
+        options: &HattOptions,
+        ancestor: Option<(&Structure, &[u32])>,
+    ) -> Result<HattMapping, HattError> {
         // The worker cap changes scheduling, never results: normalize it
         // out of the cache identity.
         let norm = HattOptions {
@@ -524,16 +613,23 @@ impl MappingCache {
             // observability, and the persistent tier (if any) still
             // works — it is a separate knob.
             self.lock().misses += 1;
+            let structure = Structure::of(h);
             if let Some(tier) = &self.store {
-                let structure = Structure::of(h);
                 if let Some(seq) = tier.load(&structure, &norm) {
                     return Ok(hatt_replay(h, options, &seq));
                 }
-                let mapping = self.construct(h, options)?;
-                tier.save(&structure, &norm, &mapping);
+            }
+            if let Some(mapping) = self.remap_from_ancestor(h, options, &norm, ancestor)? {
+                if let Some(tier) = &self.store {
+                    tier.save(&structure, &norm, &mapping, ancestor.map(|(s, _)| s.hash()));
+                }
                 return Ok(mapping);
             }
-            return self.construct(h, options);
+            let mapping = self.construct(h, options)?;
+            if let Some(tier) = &self.store {
+                tier.save(&structure, &norm, &mapping, None);
+            }
+            return Ok(mapping);
         }
         let structure = Structure::of(h);
         let hash = structure.hash();
@@ -558,13 +654,23 @@ impl MappingCache {
                 std::mem::forget(guard);
                 return Ok(mapping);
             }
+            if let Some(mapping) = self.remap_from_ancestor(h, options, &norm, ancestor)? {
+                // Same write-through-then-publish order as a cold
+                // construction, with the ancestor recorded as lineage.
+                if let Some(tier) = &self.store {
+                    tier.save(&structure, &norm, &mapping, ancestor.map(|(s, _)| s.hash()));
+                }
+                slot.fill(merge_sequence(mapping.tree()));
+                std::mem::forget(guard);
+                return Ok(mapping);
+            }
             match self.construct(h, options) {
                 Ok(mapping) => {
                     // Write-through before publishing the slot, so a
                     // follower observing `Ready` implies the record is
                     // (best-effort) on its way to disk.
                     if let Some(tier) = &self.store {
-                        tier.save(&structure, &norm, &mapping);
+                        tier.save(&structure, &norm, &mapping, None);
                     }
                     slot.fill(merge_sequence(mapping.tree()));
                     // fill() resolved the slot, so the guard's cleanup
@@ -583,6 +689,46 @@ impl MappingCache {
                 None => self.construct(h, options),
             }
         }
+    }
+
+    /// The incremental fast path: looks the ancestor's merge sequence up
+    /// (memory first — read-only peek, no counters — then the
+    /// persistent tier) and rebuilds from it when the options admit the
+    /// remap kernel. `Ok(None)` means "no usable ancestor, construct
+    /// cold"; any damaged, missing or mismatched ancestor record lands
+    /// there, so remap lineage faults degrade gracefully
+    /// (`tests/store_persistence.rs`).
+    fn remap_from_ancestor(
+        &self,
+        h: &MajoranaSum,
+        options: &HattOptions,
+        norm: &HattOptions,
+        ancestor: Option<(&Structure, &[u32])>,
+    ) -> Result<Option<HattMapping>, HattError> {
+        let Some((prev_structure, touched)) = ancestor else {
+            return Ok(None);
+        };
+        let n = h.n_modes();
+        if n == 0 || prev_structure.n_modes != n || !remap_supported(norm) {
+            return Ok(None);
+        }
+        let prev_hash = prev_structure.hash();
+        let seq = self
+            .lock()
+            .peek(prev_hash, prev_structure, norm)
+            .or_else(|| {
+                self.store
+                    .as_ref()
+                    .and_then(|tier| tier.load(prev_structure, norm))
+            });
+        let Some(seq) = seq else {
+            return Ok(None);
+        };
+        if seq.len() != n {
+            return Ok(None);
+        }
+        self.remaps.fetch_add(1, Ordering::Relaxed);
+        hatt_remap(h, options, &seq, touched).map(Some)
     }
 
     /// Panicking convenience over [`MappingCache::try_get_or_build`].

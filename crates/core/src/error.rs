@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use hatt_fermion::DeltaError;
 use hatt_mappings::ParsePolicyError;
 use hatt_pauli::wire::WireError;
 
@@ -56,6 +57,10 @@ pub enum HattError {
         /// What went wrong with it.
         source: Box<HattError>,
     },
+    /// A structural delta could not be applied to its base Hamiltonian
+    /// (a removed term was absent, an added term already present, an
+    /// index out of range, …) — see [`Mapper::remap`](crate::Mapper::remap).
+    Delta(DeltaError),
     /// A `hatt-wire/1` document failed to encode or decode.
     Wire(WireError),
     /// The persistent mapping store failed to open or flush. (Read and
@@ -79,6 +84,7 @@ impl HattError {
             HattError::InvalidPolicy(_) => "invalid_policy",
             HattError::InvalidThreads => "invalid_threads",
             HattError::BatchItem { .. } => "batch_item",
+            HattError::Delta(_) => "delta",
             HattError::Wire(_) => "wire",
             HattError::Store(_) => "store",
             HattError::Internal(_) => "internal",
@@ -113,6 +119,7 @@ impl fmt::Display for HattError {
             HattError::BatchItem { index, source } => {
                 write!(f, "batch element {index}: {source}")
             }
+            HattError::Delta(e) => write!(f, "cannot apply delta: {e}"),
             HattError::Wire(e) => write!(f, "wire format error: {e}"),
             HattError::Store(msg) => write!(f, "mapping store error: {msg}"),
             HattError::Internal(what) => {
@@ -126,6 +133,7 @@ impl std::error::Error for HattError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HattError::InvalidPolicy(e) => Some(e),
+            HattError::Delta(e) => Some(e),
             HattError::Wire(e) => Some(e),
             HattError::BatchItem { source, .. } => Some(source),
             _ => None,
@@ -142,6 +150,12 @@ impl From<WireError> for HattError {
 impl From<ParsePolicyError> for HattError {
     fn from(e: ParsePolicyError) -> Self {
         HattError::InvalidPolicy(e)
+    }
+}
+
+impl From<DeltaError> for HattError {
+    fn from(e: DeltaError) -> Self {
+        HattError::Delta(e)
     }
 }
 

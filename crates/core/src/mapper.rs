@@ -26,7 +26,7 @@
 
 use std::path::PathBuf;
 
-use hatt_fermion::{FermionOperator, MajoranaSum};
+use hatt_fermion::{FermionOperator, HamiltonianDelta, MajoranaSum};
 use hatt_mappings::SelectionPolicy;
 use hatt_pauli::PauliSum;
 
@@ -139,6 +139,60 @@ impl Mapper {
     /// [`HattError::EmptyHamiltonian`] when `h` has zero modes.
     pub fn map(&self, h: &MajoranaSum) -> Result<HattMapping, HattError> {
         self.cache.try_get_or_build(h, &self.options)
+    }
+
+    /// Maps the Hamiltonian obtained by applying `delta` to `prev`,
+    /// reusing `prev`'s construction wherever possible instead of
+    /// building from scratch — the entry point for workloads that
+    /// evolve a Hamiltonian term by term (adaptive ansatz growth,
+    /// geometry scans that add/drop interactions).
+    ///
+    /// The result is **bit-identical** to
+    /// `self.map(&delta.apply(prev)?)` — same tree, same per-step
+    /// settled weights (`tests/remap_differential.rs` pins this) — the
+    /// delta only changes how much selection work runs: when the
+    /// previous structure's tree is still cached (either tier) and the
+    /// options admit the incremental kernel, only candidate triples the
+    /// delta touches are re-scored. [`MappingCache::remaps`] counts the
+    /// incremental rebuilds.
+    ///
+    /// # Errors
+    ///
+    /// [`HattError::Delta`] when `delta` does not apply cleanly to
+    /// `prev` (removing an absent term, adding a present one, mode
+    /// mismatch); [`HattError::EmptyHamiltonian`] when `prev` has zero
+    /// modes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hatt_core::Mapper;
+    /// use hatt_fermion::{HamiltonianDelta, MajoranaSum};
+    /// use hatt_pauli::Complex64;
+    ///
+    /// let mut h = MajoranaSum::new(2);
+    /// h.add(Complex64::ONE, &[0, 1]);
+    /// h.add(Complex64::ONE, &[2, 3]);
+    ///
+    /// let mapper = Mapper::new();
+    /// let _ = mapper.map(&h)?; // warm the cache
+    ///
+    /// let mut delta = HamiltonianDelta::new(2);
+    /// delta.push_add(Complex64::real(0.5), &[0, 1, 2, 3])?;
+    /// let remapped = mapper.remap(&h, &delta)?;
+    ///
+    /// // Bit-identical to mapping the post-delta Hamiltonian fresh.
+    /// let fresh = mapper.map(&delta.apply(&h)?)?;
+    /// assert_eq!(remapped.tree(), fresh.tree());
+    /// assert_eq!(mapper.cache().remaps(), 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn remap(
+        &self,
+        prev: &MajoranaSum,
+        delta: &HamiltonianDelta,
+    ) -> Result<HattMapping, HattError> {
+        self.cache.try_remap_or_build(prev, delta, &self.options)
     }
 
     /// Maps a second-quantized operator (preprocesses to Majorana form

@@ -117,9 +117,20 @@ impl StoreTier {
     /// Writes a freshly constructed mapping through to disk.
     /// Best-effort: an I/O error is counted and dropped, never
     /// propagated into the mapping result.
-    pub(crate) fn save(&self, structure: &Structure, options: &HattOptions, mapping: &HattMapping) {
+    ///
+    /// `lineage` is the structure hash of the mapping this record was
+    /// incrementally derived from (`None` for cold constructions); it
+    /// is recorded for provenance and ignored on load, so records with
+    /// and without it interoperate in both directions.
+    pub(crate) fn save(
+        &self,
+        structure: &Structure,
+        options: &HattOptions,
+        mapping: &HattMapping,
+        lineage: Option<u64>,
+    ) {
         let key = Self::key(structure, options);
-        let value = encode_record(structure, mapping).render();
+        let value = encode_record(structure, mapping, lineage).render();
         match self.lock().put(&key, value.as_bytes()) {
             Ok(()) => self.writes.fetch_add(1, Ordering::Relaxed),
             Err(_) => self.write_errors.fetch_add(1, Ordering::Relaxed),
@@ -153,26 +164,30 @@ impl StoreTier {
 }
 
 /// The `store_record` document: the full structure (collision guard)
-/// next to the standard `hatt_mapping` payload.
-fn encode_record(structure: &Structure, mapping: &HattMapping) -> Json {
+/// next to the standard `hatt_mapping` payload, plus an optional
+/// `lineage` field — the parent structure hash when the mapping came
+/// out of the incremental remap path, as a 16-hex-digit string (the
+/// JSON integer type here is `i64`-bounded; hashes are full `u64`s).
+fn encode_record(structure: &Structure, mapping: &HattMapping, lineage: Option<u64>) -> Json {
     let terms = structure
         .terms
         .iter()
         .map(|t| Json::Arr(t.iter().map(|&i| Json::int(u64::from(i))).collect()))
         .collect();
-    envelope(
-        KIND,
-        Json::Obj(vec![
-            (
-                "structure".into(),
-                Json::Obj(vec![
-                    ("n_modes".into(), Json::int(structure.n_modes as u64)),
-                    ("terms".into(), Json::Arr(terms)),
-                ]),
-            ),
-            ("mapping".into(), hatt_mapping_payload(mapping)),
-        ]),
-    )
+    let mut payload = vec![
+        (
+            "structure".into(),
+            Json::Obj(vec![
+                ("n_modes".into(), Json::int(structure.n_modes as u64)),
+                ("terms".into(), Json::Arr(terms)),
+            ]),
+        ),
+        ("mapping".into(), hatt_mapping_payload(mapping)),
+    ];
+    if let Some(parent) = lineage {
+        payload.push(("lineage".into(), Json::str(format!("{parent:016x}"))));
+    }
+    envelope(KIND, Json::Obj(payload))
 }
 
 /// Decodes and *verifies* a stored record: the embedded structure must
@@ -243,9 +258,29 @@ mod tests {
         let options = HattOptions::default();
         let structure = Structure::of(&h);
         let mapping = hatt_with_impl(&h, &options).unwrap();
-        let doc = encode_record(&structure, &mapping).render();
+        let doc = encode_record(&structure, &mapping, None).render();
         let seq = decode_record(doc.as_bytes(), &structure, &options).unwrap();
         assert_eq!(seq, merge_sequence(mapping.tree()));
+    }
+
+    #[test]
+    fn lineage_is_recorded_but_never_gates_decoding() {
+        let h = MajoranaSum::uniform_singles(4);
+        let options = HattOptions::default();
+        let structure = Structure::of(&h);
+        let mapping = hatt_with_impl(&h, &options).unwrap();
+        let with = encode_record(&structure, &mapping, Some(u64::MAX)).render();
+        // Full-range u64 survives as a hex string in the document…
+        assert!(with.contains(r#""lineage":"ffffffffffffffff""#));
+        // …and a lineage-bearing record decodes exactly like a bare one
+        // (the field is provenance only).
+        let seq = decode_record(with.as_bytes(), &structure, &options).unwrap();
+        let bare = encode_record(&structure, &mapping, None).render();
+        assert!(!bare.contains("lineage"));
+        assert_eq!(
+            seq,
+            decode_record(bare.as_bytes(), &structure, &options).unwrap()
+        );
     }
 
     #[test]
@@ -254,7 +289,7 @@ mod tests {
         let options = HattOptions::default();
         let structure = Structure::of(&h);
         let mapping = hatt_with_impl(&h, &options).unwrap();
-        let doc = encode_record(&structure, &mapping).render();
+        let doc = encode_record(&structure, &mapping, None).render();
         // Same address, different structure: the collision guard.
         let other = Structure::of(&MajoranaSum::uniform_singles(5));
         assert!(decode_record(doc.as_bytes(), &other, &options).is_err());
@@ -277,7 +312,7 @@ mod tests {
         let structure = Structure::of(&h);
         assert!(tier.load(&structure, &options).is_none());
         let mapping = hatt_with_impl(&h, &options).unwrap();
-        tier.save(&structure, &options, &mapping);
+        tier.save(&structure, &options, &mapping, None);
         let seq = tier.load(&structure, &options).unwrap();
         assert_eq!(seq, merge_sequence(mapping.tree()));
         let stats = tier.stats();

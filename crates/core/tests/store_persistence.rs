@@ -3,7 +3,9 @@
 //! process (modelled by a fresh handle) serving a previously mapped
 //! structure out of the store with **zero** constructions and a tree
 //! bit-identical to in-memory construction — and a damaged store file
-//! must degrade to cache misses, never to errors.
+//! must degrade to cache misses, never to errors. The same holds under
+//! incremental remapping: a damaged or torn **parent** record costs the
+//! ancestor fast path, never correctness.
 
 // Test-harness code unwraps freely; the no-panic contract covers library code only.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -12,8 +14,9 @@ use std::path::PathBuf;
 
 use hatt_core::Mapper;
 use hatt_fermion::models::random_hermitian;
-use hatt_fermion::MajoranaSum;
+use hatt_fermion::{HamiltonianDelta, MajoranaSum};
 use hatt_mappings::SelectionPolicy;
+use hatt_pauli::Complex64;
 
 /// A unique throwaway store path (the container has no tempfile crate).
 fn store_path(tag: &str) -> PathBuf {
@@ -107,6 +110,115 @@ fn a_damaged_store_degrades_to_misses_not_errors() {
         stats.misses > 0,
         "the flipped byte should have cost at least one record"
     );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A single-term insertion on a structure whose terms are all Majorana
+/// pairs — always applicable, always remap-eligible under defaults.
+fn quad_delta(n_modes: usize) -> HamiltonianDelta {
+    let mut delta = HamiltonianDelta::new(n_modes);
+    delta.push_add(Complex64::real(0.5), &[0, 1, 2, 3]).unwrap();
+    delta
+}
+
+#[test]
+fn remap_warm_starts_from_a_parent_record_on_disk() {
+    let path = store_path("remap-warm");
+    let base = MajoranaSum::uniform_singles(4);
+    let delta = quad_delta(4);
+    let next = delta.apply(&base).unwrap();
+
+    // Process 1 maps the base and exits; only the parent record is on
+    // disk.
+    {
+        let mapper = Mapper::builder().store_path(&path).build().unwrap();
+        mapper.map(&base).unwrap();
+        mapper.sync_store().unwrap();
+    }
+
+    // Process 2 remaps straight off the stored parent: no cold
+    // construction at all, and the result is bit-identical to a fresh
+    // build of the edited Hamiltonian.
+    let mapper = Mapper::builder().store_path(&path).build().unwrap();
+    let incremental = mapper.remap(&base, &delta).unwrap();
+    assert_eq!(mapper.cache().remaps(), 1);
+    assert_eq!(mapper.cache().constructions(), 0, "ancestor replay only");
+    let fresh = Mapper::new().map(&next).unwrap();
+    assert_eq!(incremental.tree(), fresh.tree());
+    assert_eq!(
+        incremental.stats().total_weight(),
+        fresh.stats().total_weight()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_damaged_parent_record_degrades_remap_to_a_cold_construct() {
+    let path = store_path("remap-damage");
+    let base = MajoranaSum::uniform_singles(4);
+    let delta = quad_delta(4);
+    let next = delta.apply(&base).unwrap();
+    {
+        let mapper = Mapper::builder().store_path(&path).build().unwrap();
+        mapper.map(&base).unwrap();
+        mapper.sync_store().unwrap();
+    }
+
+    // Vandalize the lone parent record.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x5a;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The remap request still succeeds — it silently loses the fast
+    // path (no usable ancestor → cold construct, no remap counted) and
+    // the output is bit-identical to a store-less fresh build.
+    let mapper = Mapper::builder().store_path(&path).build().unwrap();
+    let incremental = mapper.remap(&base, &delta).unwrap();
+    assert_eq!(mapper.cache().remaps(), 0, "no ancestor to remap from");
+    assert_eq!(mapper.cache().constructions(), 1, "degraded to cold");
+    let fresh = Mapper::new().map(&next).unwrap();
+    assert_eq!(incremental.tree(), fresh.tree());
+    assert_eq!(
+        incremental.stats().total_weight(),
+        fresh.stats().total_weight()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_torn_parent_record_degrades_remap_to_a_cold_construct() {
+    let path = store_path("remap-torn");
+    let base = MajoranaSum::uniform_singles(4);
+    let delta = quad_delta(4);
+    let next = delta.apply(&base).unwrap();
+    {
+        let mapper = Mapper::builder().store_path(&path).build().unwrap();
+        mapper.map(&base).unwrap();
+        mapper.sync_store().unwrap();
+    }
+
+    // A torn write: the process died mid-append, leaving a truncated
+    // tail.
+    let bytes = std::fs::read(&path).unwrap();
+    assert!(bytes.len() > 16);
+    std::fs::write(&path, &bytes[..bytes.len() - 16]).unwrap();
+
+    let mapper = Mapper::builder().store_path(&path).build().unwrap();
+    let incremental = mapper.remap(&base, &delta).unwrap();
+    assert_eq!(mapper.cache().remaps(), 0);
+    assert_eq!(mapper.cache().constructions(), 1);
+    let fresh = Mapper::new().map(&next).unwrap();
+    assert_eq!(incremental.tree(), fresh.tree());
+
+    // The degraded construct wrote through, so a fresh handle serving
+    // the same edit hits the store — it self-heals on the first cold
+    // build.
+    mapper.sync_store().unwrap();
+    drop(mapper);
+    let healed = Mapper::builder().store_path(&path).build().unwrap();
+    let again = healed.remap(&base, &quad_delta(4)).unwrap();
+    assert_eq!(again.tree(), fresh.tree());
     let _ = std::fs::remove_file(&path);
 }
 

@@ -24,10 +24,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod delta;
 mod ladder;
 mod majorana;
 pub mod models;
 pub mod wire;
 
+pub use delta::{DeltaError, DeltaOp, HamiltonianDelta};
 pub use ladder::{FermionOperator, LadderOp};
 pub use majorana::{MajoranaSum, MAJORANA_EPS};

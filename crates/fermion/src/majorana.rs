@@ -52,7 +52,7 @@ pub struct MajoranaSum {
 
 /// Sorts a Majorana index sequence, returning the anticommutation sign and
 /// the canonical (sorted, pair-cancelled) index set.
-fn canonicalize(mut seq: Vec<u32>) -> (f64, Vec<u32>) {
+pub(crate) fn canonicalize(mut seq: Vec<u32>) -> (f64, Vec<u32>) {
     // Insertion sort, counting inversions (each adjacent swap of distinct
     // Majoranas contributes a factor −1).
     let mut swaps = 0usize;
@@ -187,6 +187,18 @@ impl MajoranaSum {
     /// Removes and returns the identity (empty-monomial) coefficient.
     pub fn take_identity(&mut self) -> Complex64 {
         self.terms.remove(&Vec::new()).unwrap_or(Complex64::ZERO)
+    }
+
+    /// Removes a whole monomial (the indices may appear in any order and
+    /// with repetitions), returning its coefficient with the
+    /// canonicalization sign folded in — the exact value [`add`] of the
+    /// same index sequence would have to receive to recreate the term.
+    /// Returns `None` when the canonical monomial is absent.
+    ///
+    /// [`add`]: MajoranaSum::add
+    pub fn remove_term(&mut self, indices: &[u32]) -> Option<Complex64> {
+        let (sign, key) = canonicalize(indices.to_vec());
+        self.terms.remove(&key).map(|c| c * sign)
     }
 
     /// Drops terms with `|c| <= eps`.

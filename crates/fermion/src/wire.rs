@@ -35,13 +35,14 @@
 
 use hatt_pauli::json::Json;
 use hatt_pauli::wire::{
-    as_arr, as_obj, as_usize, checked_modes, coeff_fields, decode_coeff, envelope, field,
+    as_arr, as_obj, as_str, as_usize, checked_modes, coeff_fields, decode_coeff, envelope, field,
     open_envelope, WireError,
 };
 
-use crate::MajoranaSum;
+use crate::{DeltaOp, HamiltonianDelta, MajoranaSum};
 
 const KIND: &str = "majorana_sum";
+const KIND_DELTA: &str = "hamiltonian_delta";
 
 /// Encodes a [`MajoranaSum`] as a `hatt-wire/1` envelope.
 pub fn encode_majorana_sum(h: &MajoranaSum) -> Json {
@@ -101,6 +102,89 @@ pub fn decode_majorana_sum_payload(v: &Json) -> Result<MajoranaSum, WireError> {
     Ok(sum)
 }
 
+/// Encodes a [`HamiltonianDelta`] as a `hatt-wire/1` envelope.
+pub fn encode_hamiltonian_delta(d: &HamiltonianDelta) -> Json {
+    envelope(KIND_DELTA, hamiltonian_delta_payload(d))
+}
+
+/// The bare (un-enveloped) payload of a structural delta — composed
+/// into `map_delta` request lines by `hatt-service`:
+///
+/// ```json
+/// {"n_modes": 2,
+///  "ops": [{"op":"add","re":0.5,"im":0.0,"idx":[2,3]},
+///          {"op":"remove","re":1.0,"im":0.0,"idx":[0,1]}]}
+/// ```
+pub fn hamiltonian_delta_payload(d: &HamiltonianDelta) -> Json {
+    let ops = d
+        .ops()
+        .iter()
+        .map(|op| {
+            let (tag, coeff, support) = match op {
+                DeltaOp::Add { coeff, support } => ("add", coeff, support),
+                DeltaOp::Remove { coeff, support } => ("remove", coeff, support),
+            };
+            let mut pairs = vec![("op".to_string(), Json::str(tag))];
+            pairs.extend(coeff_fields(*coeff));
+            pairs.push((
+                "idx".into(),
+                Json::Arr(support.iter().map(|&i| Json::int(u64::from(i))).collect()),
+            ));
+            Json::Obj(pairs)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("n_modes".into(), Json::int(d.n_modes() as u64)),
+        ("ops".into(), Json::Arr(ops)),
+    ])
+}
+
+/// Decodes a [`HamiltonianDelta`] envelope.
+pub fn decode_hamiltonian_delta(v: &Json) -> Result<HamiltonianDelta, WireError> {
+    decode_hamiltonian_delta_payload(open_envelope(v, KIND_DELTA)?)
+}
+
+/// Decodes a bare delta payload (see [`hamiltonian_delta_payload`]),
+/// validating every index and re-running the delta's own construction
+/// checks (identity terms, zero coefficients) so a decoded delta is as
+/// well-formed as a locally built one.
+pub fn decode_hamiltonian_delta_payload(v: &Json) -> Result<HamiltonianDelta, WireError> {
+    const CTX: &str = "hamiltonian_delta payload";
+    let pairs = as_obj(v, CTX)?;
+    let n = checked_modes(as_usize(field(pairs, "n_modes", CTX)?, CTX)?, CTX)?;
+    let mut delta = HamiltonianDelta::new(n);
+    for op in as_arr(field(pairs, "ops", CTX)?, CTX)? {
+        const OCTX: &str = "hamiltonian_delta op";
+        let op_pairs = as_obj(op, OCTX)?;
+        let tag = as_str(field(op_pairs, "op", OCTX)?, OCTX)?;
+        let coeff = decode_coeff(op_pairs, OCTX)?;
+        let mut indices = Vec::new();
+        for idx in as_arr(field(op_pairs, "idx", OCTX)?, OCTX)? {
+            let i = as_usize(idx, OCTX)?;
+            if i >= 2 * n {
+                return Err(WireError::ModeMismatch {
+                    context: "hamiltonian_delta op index",
+                    declared: n,
+                    required: i / 2 + 1,
+                });
+            }
+            indices.push(i as u32);
+        }
+        let pushed = match tag {
+            "add" => delta.push_add(coeff, &indices),
+            "remove" => delta.push_remove(coeff, &indices),
+            other => {
+                return Err(WireError::schema(
+                    OCTX,
+                    format!("unknown op {other:?} (expected \"add\" or \"remove\")"),
+                ))
+            }
+        };
+        pushed.map_err(|e| WireError::schema(OCTX, format!("{e}")))?;
+    }
+    Ok(delta)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +236,36 @@ mod tests {
         assert!(h
             .coefficient_of(&[0, 1])
             .approx_eq(Complex64::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn delta_round_trips_bit_identically() {
+        let mut d = HamiltonianDelta::new(3);
+        d.push_add(Complex64::new(0.25, -0.5), &[0, 1, 4, 5])
+            .unwrap();
+        d.push_remove(Complex64::real(0.125), &[2, 3]).unwrap();
+        let text = encode_hamiltonian_delta(&d).render();
+        let back = decode_hamiltonian_delta(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn malformed_delta_documents_fail_with_typed_errors() {
+        for payload in [
+            r#"{"ops":[]}"#,
+            r#"{"n_modes":1,"ops":[{"op":"warp","re":1,"im":0,"idx":[0]}]}"#,
+            r#"{"n_modes":1,"ops":[{"op":"add","re":1,"im":0,"idx":[2]}]}"#,
+            r#"{"n_modes":1,"ops":[{"op":"add","re":0,"im":0,"idx":[0]}]}"#,
+            r#"{"n_modes":1,"ops":[{"op":"add","re":1,"im":0,"idx":[0,0]}]}"#,
+            r#"{"n_modes":1,"ops":[{"op":"add","re":1,"im":0}]}"#,
+            r#"{"n_modes":1,"ops":{}}"#,
+        ] {
+            let doc = Json::parse(&format!(
+                r#"{{"format":"hatt-wire/1","kind":"hamiltonian_delta","payload":{payload}}}"#
+            ))
+            .unwrap();
+            assert!(decode_hamiltonian_delta(&doc).is_err(), "{payload}");
+        }
     }
 
     #[test]

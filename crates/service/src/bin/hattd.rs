@@ -43,7 +43,8 @@ use hatt_fermion::{FermionOperator, MajoranaSum};
 use hatt_mappings::FermionMapping;
 use hatt_pauli::Complex64;
 use hatt_service::{
-    client, MapRequest, Scheduler, SchedulerConfig, Server, ServerConfig, StatsReply,
+    client, MapDeltaRequest, MapRequest, Scheduler, SchedulerConfig, Server, ServerConfig,
+    StatsReply,
 };
 
 struct Args {
@@ -285,6 +286,48 @@ fn self_check(args: &Args) -> Result<String, String> {
     }
     if !items[1].is_ok() {
         return Err("valid item failed alongside an invalid one".into());
+    }
+
+    // The incremental verb: remap the already-warmed eq3 structure with
+    // a one-term delta over the socket and require the result to be
+    // bit-identical to a fresh in-process build — served as a remap,
+    // not a cold construction.
+    let mut delta = hatt_fermion::HamiltonianDelta::new(3);
+    delta
+        .push_add(Complex64::real(0.25), &[0, 1, 2, 3])
+        .map_err(|e| format!("delta build: {e}"))?;
+    let edited = delta
+        .apply(&hams[0])
+        .map_err(|e| format!("delta apply: {e}"))?;
+    let reply = client::remap(
+        addr,
+        &MapDeltaRequest::new("self-check-delta", hams[0].clone(), delta),
+    )
+    .map_err(|e| format!("map_delta request: {e}"))?;
+    if reply.done.errors != 0 {
+        return Err(format!("map_delta errors: {:?}", reply.done));
+    }
+    let remote = reply.items[0]
+        .mapping()
+        .ok_or_else(|| format!("map_delta item is an error: {:?}", reply.items[0].error()))?;
+    let local = reference
+        .map(&edited)
+        .map_err(|e| format!("local map of the edited Hamiltonian: {e}"))?;
+    if remote.tree() != local.tree() {
+        return Err("map_delta: socket tree differs from in-process tree".into());
+    }
+    // Under the default greedy/cached configuration the delta must ride
+    // the ancestor fast path; exotic --policy/--variant flags may
+    // legitimately fall back to a cold construct, so only the default
+    // asserts the counter.
+    if args.policy.is_none() && args.variant.is_none() {
+        let stats = client::stats(addr, "self-check-stats").map_err(|e| format!("stats: {e}"))?;
+        if stats.remaps != 1 {
+            return Err(format!(
+                "expected the delta to be served incrementally (1 remap), stats report {}",
+                stats.remaps
+            ));
+        }
     }
 
     // A scheduler smoke directly (no socket) for the bounded queue.

@@ -6,7 +6,9 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::error::ServiceError;
-use crate::proto::{MapDone, MapItem, MapRequest, ResponseLine, StatsReply, StatsRequest};
+use crate::proto::{
+    MapDeltaRequest, MapDone, MapItem, MapRequest, ResponseLine, StatsReply, StatsRequest,
+};
 
 /// A complete response to one request.
 #[derive(Debug)]
@@ -43,12 +45,56 @@ pub fn request(addr: impl ToSocketAddrs, req: &MapRequest) -> Result<MapReply, S
 pub fn request_streaming(
     addr: impl ToSocketAddrs,
     req: &MapRequest,
+    on_item: impl FnMut(&MapItem),
+) -> Result<MapReply, ServiceError> {
+    exchange(addr, &req.to_line(), &req.id, on_item)
+}
+
+/// Sends a [`MapDeltaRequest`] — incremental remapping of a base
+/// Hamiltonian plus a structural delta — and collects the single-item
+/// response. The daemon reuses the cached tree of the base structure
+/// when it has one, re-scoring only the touched frontier.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_core::Mapper;
+/// use hatt_fermion::{HamiltonianDelta, MajoranaSum};
+/// use hatt_pauli::Complex64;
+/// use hatt_service::{client, MapDeltaRequest, MapRequest, Server, ServerConfig};
+///
+/// let server = Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default())?;
+/// let base = MajoranaSum::uniform_singles(3);
+/// // Warm the daemon's cache with the base structure…
+/// client::request(server.local_addr(), &MapRequest::new("warm", vec![base.clone()]))?;
+/// // …then remap a one-term edit of it incrementally.
+/// let mut delta = HamiltonianDelta::new(3);
+/// delta.push_add(Complex64::real(0.5), &[0, 1, 2, 3]).unwrap();
+/// let reply = client::remap(server.local_addr(), &MapDeltaRequest::new("step", base, delta))?;
+/// assert_eq!(reply.done.items, 1);
+/// assert!(reply.items[0].is_ok());
+/// let stats = client::stats(server.local_addr(), "probe")?;
+/// assert_eq!(stats.remaps, 1);
+/// server.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn remap(addr: impl ToSocketAddrs, req: &MapDeltaRequest) -> Result<MapReply, ServiceError> {
+    exchange(addr, &req.to_line(), &req.id, |_| {})
+}
+
+/// Writes one request line and collects the streamed `map_item` lines
+/// up to the `map_done` marker — the shared transport loop behind
+/// [`request_streaming`] and [`remap`].
+fn exchange(
+    addr: impl ToSocketAddrs,
+    request_line: &str,
+    id: &str,
     mut on_item: impl FnMut(&MapItem),
 ) -> Result<MapReply, ServiceError> {
     let stream = TcpStream::connect(addr)?;
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    writer.write_all(req.to_line().as_bytes())?;
+    writer.write_all(request_line.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()?;
 
@@ -60,10 +106,10 @@ pub fn request_streaming(
         }
         match ResponseLine::from_line(&line)? {
             ResponseLine::Item(item) => {
-                if item.id != req.id && !item.id.is_empty() {
+                if item.id != id && !item.id.is_empty() {
                     return Err(ServiceError::Protocol(format!(
-                        "response for request {:?} while waiting on {:?}",
-                        item.id, req.id
+                        "response for request {:?} while waiting on {id:?}",
+                        item.id
                     )));
                 }
                 on_item(&item);

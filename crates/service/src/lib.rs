@@ -57,8 +57,8 @@ mod server;
 pub use client::MapReply;
 pub use error::ServiceError;
 pub use proto::{
-    ItemError, ItemPayload, LatencyBucket, MapDone, MapItem, MapRequest, PolicyLatency,
-    RequestLine, ResponseLine, StatsReply, StatsRequest, TierStats,
+    ItemError, ItemPayload, LatencyBucket, MapDeltaRequest, MapDone, MapItem, MapRequest,
+    PolicyLatency, RequestLine, ResponseLine, StatsReply, StatsRequest, TierStats,
 };
-pub use scheduler::{Scheduler, SchedulerConfig};
+pub use scheduler::{ClientId, Scheduler, SchedulerConfig};
 pub use server::{Server, ServerConfig};

@@ -40,8 +40,11 @@
 use hatt_core::wire::{decode_hatt_mapping_payload, hatt_mapping_payload};
 use hatt_core::StoreTierStats;
 use hatt_core::{HattError, HattMapping, HattOptions, Variant};
-use hatt_fermion::wire::{decode_majorana_sum_payload, majorana_sum_payload};
-use hatt_fermion::MajoranaSum;
+use hatt_fermion::wire::{
+    decode_hamiltonian_delta_payload, decode_majorana_sum_payload, hamiltonian_delta_payload,
+    majorana_sum_payload,
+};
+use hatt_fermion::{HamiltonianDelta, MajoranaSum};
 use hatt_mappings::{FermionMapping, SelectionPolicy};
 use hatt_pauli::json::Json;
 use hatt_pauli::wire::{
@@ -50,6 +53,7 @@ use hatt_pauli::wire::{
 };
 
 const KIND_REQUEST: &str = "map_request";
+const KIND_DELTA_REQUEST: &str = "map_delta";
 const KIND_ITEM: &str = "map_item";
 const KIND_DONE: &str = "map_done";
 const KIND_STATS_REQUEST: &str = "stats_request";
@@ -101,14 +105,7 @@ impl MapRequest {
     pub fn encode(&self) -> Json {
         let mut payload = vec![("id".into(), Json::str(&self.id))];
         if let Some(options) = &self.options {
-            payload.push((
-                "options".into(),
-                Json::Obj(vec![
-                    ("variant".into(), Json::str(options.variant.key())),
-                    ("policy".into(), Json::str(options.policy.to_string())),
-                    ("naive_weight".into(), Json::Bool(options.naive_weight)),
-                ]),
-            ));
+            payload.push(("options".into(), encode_options(options)));
         }
         if let Some(n) = self.n_modes {
             payload.push(("n_modes".into(), Json::int(n as u64)));
@@ -154,6 +151,105 @@ impl MapRequest {
     pub fn from_line(line: &str) -> Result<Self, WireError> {
         Self::decode(&Json::parse(line)?)
     }
+}
+
+/// An incremental remapping request (`kind: "map_delta"`): a base
+/// Hamiltonian the daemon has (ideally) already mapped, plus a
+/// structural [`HamiltonianDelta`] to apply to it. Answered with one
+/// `map_item` for the post-delta Hamiltonian and a `map_done` line —
+/// the same response shape as a one-item [`MapRequest`], so existing
+/// response parsers work unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_fermion::{HamiltonianDelta, MajoranaSum};
+/// use hatt_pauli::Complex64;
+/// use hatt_service::MapDeltaRequest;
+///
+/// let base = MajoranaSum::uniform_singles(3);
+/// let mut delta = HamiltonianDelta::new(3);
+/// delta.push_add(Complex64::real(0.5), &[0, 1, 2, 3]).unwrap();
+/// let req = MapDeltaRequest::new("step-42", base, delta);
+/// let back = MapDeltaRequest::from_line(&req.to_line())?;
+/// assert_eq!(back.id, "step-42");
+/// assert_eq!(back.delta.len(), 1);
+/// # Ok::<(), hatt_pauli::wire::WireError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MapDeltaRequest {
+    /// Caller-chosen identifier, echoed on every response line.
+    pub id: String,
+    /// Construction options (`None` = use the server mapper's
+    /// configuration), exactly as on [`MapRequest`].
+    pub options: Option<HattOptions>,
+    /// The base Hamiltonian the delta applies to.
+    pub hamiltonian: MajoranaSum,
+    /// The structural edit to apply before mapping.
+    pub delta: HamiltonianDelta,
+}
+
+impl MapDeltaRequest {
+    /// A remap request with default (server-side) options.
+    pub fn new(id: impl Into<String>, hamiltonian: MajoranaSum, delta: HamiltonianDelta) -> Self {
+        MapDeltaRequest {
+            id: id.into(),
+            options: None,
+            hamiltonian,
+            delta,
+        }
+    }
+
+    /// Encodes the request envelope.
+    pub fn encode(&self) -> Json {
+        let mut payload = vec![("id".into(), Json::str(&self.id))];
+        if let Some(options) = &self.options {
+            payload.push(("options".into(), encode_options(options)));
+        }
+        payload.push((
+            "hamiltonian".into(),
+            majorana_sum_payload(&self.hamiltonian),
+        ));
+        payload.push(("delta".into(), hamiltonian_delta_payload(&self.delta)));
+        envelope(KIND_DELTA_REQUEST, Json::Obj(payload))
+    }
+
+    /// Decodes a remap-request envelope.
+    pub fn decode(v: &Json) -> Result<Self, WireError> {
+        const CTX: &str = "map_delta payload";
+        let pairs = as_obj(open_envelope(v, KIND_DELTA_REQUEST)?, CTX)?;
+        let id = as_str(field(pairs, "id", CTX)?, CTX)?.to_string();
+        let options = match get(pairs, "options") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(decode_options(v)?),
+        };
+        let hamiltonian = decode_majorana_sum_payload(field(pairs, "hamiltonian", CTX)?)?;
+        let delta = decode_hamiltonian_delta_payload(field(pairs, "delta", CTX)?)?;
+        Ok(MapDeltaRequest {
+            id,
+            options,
+            hamiltonian,
+            delta,
+        })
+    }
+
+    /// Renders the request as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.encode().render()
+    }
+
+    /// Parses a remap-request line.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        Self::decode(&Json::parse(line)?)
+    }
+}
+
+fn encode_options(options: &HattOptions) -> Json {
+    Json::Obj(vec![
+        ("variant".into(), Json::str(options.variant.key())),
+        ("policy".into(), Json::str(options.policy.to_string())),
+        ("naive_weight".into(), Json::Bool(options.naive_weight)),
+    ])
 }
 
 fn decode_options(v: &Json) -> Result<HattOptions, WireError> {
@@ -477,6 +573,10 @@ pub struct StatsReply {
     pub requests: u64,
     /// Real constructions run (both cache tiers missed).
     pub constructions: u64,
+    /// Incremental remaps served: `map_delta` requests whose base
+    /// structure was found in a cache tier, so only the touched
+    /// frontier was re-scored instead of a cold construction.
+    pub remaps: u64,
     /// The in-memory structure cache tier.
     pub cache: TierStats,
     /// The persistent store tier (`None` when running memory-only).
@@ -543,6 +643,7 @@ impl StatsReply {
                 ("oversize_lines".into(), Json::int(self.oversize_lines)),
                 ("requests".into(), Json::int(self.requests)),
                 ("constructions".into(), Json::int(self.constructions)),
+                ("remaps".into(), Json::int(self.remaps)),
                 ("cache".into(), cache),
                 ("store".into(), store),
                 ("policies".into(), Json::Arr(policies)),
@@ -607,6 +708,12 @@ impl StatsReply {
             oversize_lines: as_u64(field(pairs, "oversize_lines", CTX)?, CTX)?,
             requests: as_u64(field(pairs, "requests", CTX)?, CTX)?,
             constructions: as_u64(field(pairs, "constructions", CTX)?, CTX)?,
+            // Absent on lines from pre-remap daemons; default to zero so
+            // newer probes can read older servers.
+            remaps: match get(pairs, "remaps") {
+                None | Some(Json::Null) => 0,
+                Some(v) => as_u64(v, CTX)?,
+            },
             cache,
             store,
             policies,
@@ -624,11 +731,14 @@ impl StatsReply {
     }
 }
 
-/// One parsed request line: a mapping batch or a stats probe.
+/// One parsed request line: a mapping batch, an incremental remap or a
+/// stats probe.
 #[derive(Debug, Clone)]
 pub enum RequestLine {
     /// A batch mapping request.
     Map(MapRequest),
+    /// An incremental remapping request.
+    Delta(MapDeltaRequest),
     /// An observability probe.
     Stats(StatsRequest),
 }
@@ -646,6 +756,7 @@ impl RequestLine {
             .unwrap_or_default();
         match kind {
             KIND_STATS_REQUEST => Ok(RequestLine::Stats(StatsRequest::decode(&v)?)),
+            KIND_DELTA_REQUEST => Ok(RequestLine::Delta(MapDeltaRequest::decode(&v)?)),
             // Anything else goes through the map-request decoder so the
             // error message names the expected kind (and legacy clients
             // that only speak map_request keep their exact errors).
@@ -760,6 +871,41 @@ mod tests {
         match ResponseLine::from_line(&done.to_line()).unwrap() {
             ResponseLine::Done(back) => assert_eq!(back, done),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_request_round_trips_and_dispatches() {
+        let base = sample_hams().remove(0);
+        let mut delta = hatt_fermion::HamiltonianDelta::new(base.n_modes());
+        delta.push_add(Complex64::real(0.25), &[0, 2]).unwrap();
+        delta.push_remove(Complex64::ONE, &[0, 1]).unwrap();
+        let mut req = MapDeltaRequest::new("d1", base.clone(), delta.clone());
+        req.options = Some(HattOptions {
+            policy: SelectionPolicy::Vanilla,
+            ..Default::default()
+        });
+        let back = MapDeltaRequest::from_line(&req.to_line()).unwrap();
+        assert_eq!(back.id, "d1");
+        assert_eq!(back.options.unwrap().policy, SelectionPolicy::Vanilla);
+        assert_eq!(back.hamiltonian, base);
+        assert_eq!(back.delta.ops(), delta.ops());
+        match RequestLine::from_line(&req.to_line()).unwrap() {
+            RequestLine::Delta(d) => assert_eq!(d.id, "d1"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_delta_requests_fail_typed() {
+        for line in [
+            r#"{"format":"hatt-wire/1","kind":"map_delta","payload":{}}"#,
+            r#"{"format":"hatt-wire/1","kind":"map_delta","payload":{"id":"x"}}"#,
+            r#"{"format":"hatt-wire/1","kind":"map_delta","payload":{"id":"x","hamiltonian":{"n_modes":2,"terms":[]}}}"#,
+            r#"{"format":"hatt-wire/1","kind":"map_delta","payload":{"id":"x","hamiltonian":{"n_modes":2,"terms":[]},"delta":{"n_modes":2,"ops":[{"op":"frob","re":1,"im":0,"idx":[0]}]}}}"#,
+        ] {
+            assert!(MapDeltaRequest::from_line(line).is_err(), "{line:?}");
+            assert!(RequestLine::from_line(line).is_err(), "{line:?}");
         }
     }
 

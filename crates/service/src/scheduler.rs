@@ -10,6 +10,11 @@
 //!   [`Scheduler::try_submit`] instead fails fast with
 //!   [`ServiceError::Overloaded`] — the knob a front-end uses to shed
 //!   load.
+//! * **Per-client fairness.** Jobs are queued per [`ClientId`] (the
+//!   server mints one per connection) and the dispatcher drains clients
+//!   round-robin, one job each per turn — a chatty client with a huge
+//!   batch cannot monopolize the queue ahead of a small request from
+//!   another connection.
 //! * **Fan-out.** A single dispatcher thread drains the queue in
 //!   batches and runs each batch through [`parallel::par_map_with`] —
 //!   the same scoped-thread fan-out the construction engine itself
@@ -39,8 +44,8 @@
 //! # Ok::<(), hatt_service::ServiceError>(())
 //! ```
 
-use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -85,8 +90,78 @@ struct Job {
     tx: Sender<MapItem>,
 }
 
+/// Identifies one submission source (typically: one connection) for the
+/// round-robin fairness of the queue. Mint with
+/// [`Scheduler::register_client`]; plain [`Scheduler::submit`] mints a
+/// fresh one per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ClientId(u64);
+
+/// A queue of jobs bucketed by client, drained round-robin: each drain
+/// turn takes one job from the least-recently-served non-empty client.
+/// `BTreeMap` (not a hash map) keeps the client order deterministic.
+struct FairQueue<T> {
+    queues: BTreeMap<u64, VecDeque<T>>,
+    /// Non-empty clients in service order; a client re-joins at the back
+    /// after each served job.
+    rotation: VecDeque<u64>,
+    len: usize,
+}
+
+impl<T> Default for FairQueue<T> {
+    fn default() -> Self {
+        FairQueue {
+            queues: BTreeMap::new(),
+            rotation: VecDeque::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> FairQueue<T> {
+    fn push(&mut self, client: ClientId, item: T) {
+        let queue = self.queues.entry(client.0).or_default();
+        if queue.is_empty() {
+            self.rotation.push_back(client.0);
+        }
+        queue.push_back(item);
+        self.len += 1;
+    }
+
+    /// Removes up to `max` items, one per client per rotation turn.
+    fn drain(&mut self, max: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Some(client) = self.rotation.pop_front() else {
+                break;
+            };
+            let Some(queue) = self.queues.get_mut(&client) else {
+                continue;
+            };
+            if let Some(item) = queue.pop_front() {
+                out.push(item);
+                self.len -= 1;
+            }
+            if queue.is_empty() {
+                self.queues.remove(&client);
+            } else {
+                self.rotation.push_back(client);
+            }
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: FairQueue<Job>,
     shutdown: bool,
 }
 
@@ -95,6 +170,7 @@ struct Shared {
     metrics: Arc<Metrics>,
     workers: usize,
     capacity: usize,
+    next_client: AtomicU64,
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -136,8 +212,9 @@ impl Scheduler {
             metrics: Arc::new(Metrics::default()),
             workers: config.workers.max(1),
             capacity: config.queue_capacity.max(1),
+            next_client: AtomicU64::new(0),
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                jobs: FairQueue::default(),
                 shutdown: false,
             }),
             not_empty: Condvar::new(),
@@ -170,22 +247,47 @@ impl Scheduler {
         &self.shared.mapper
     }
 
+    /// Mints a fresh fairness bucket. The server registers one client
+    /// per connection so the round-robin drain interleaves
+    /// *connections*, whatever their batch sizes.
+    pub fn register_client(&self) -> ClientId {
+        ClientId(self.shared.next_client.fetch_add(1, Ordering::Relaxed))
+    }
+
     /// Enqueues every item of `req`, blocking while the queue is full
     /// (backpressure). Returns the channel on which one [`MapItem`] per
     /// Hamiltonian arrives in completion order; the channel disconnects
-    /// after the last item.
+    /// after the last item. Each call is its own fairness bucket; use
+    /// [`Scheduler::submit_from`] to pool several requests under one
+    /// [`ClientId`].
     pub fn submit(&self, req: &MapRequest) -> Result<Receiver<MapItem>, ServiceError> {
-        self.enqueue(req, true)
+        self.submit_from(self.register_client(), req)
     }
 
     /// Like [`Scheduler::submit`] but fails fast with
     /// [`ServiceError::Overloaded`] when the queue cannot take the whole
     /// request right now.
     pub fn try_submit(&self, req: &MapRequest) -> Result<Receiver<MapItem>, ServiceError> {
-        self.enqueue(req, false)
+        self.enqueue(self.register_client(), req, false)
     }
 
-    fn enqueue(&self, req: &MapRequest, block: bool) -> Result<Receiver<MapItem>, ServiceError> {
+    /// [`Scheduler::submit`] under an explicit fairness bucket: all
+    /// requests submitted under one [`ClientId`] share a single
+    /// round-robin turn against other clients.
+    pub fn submit_from(
+        &self,
+        client: ClientId,
+        req: &MapRequest,
+    ) -> Result<Receiver<MapItem>, ServiceError> {
+        self.enqueue(client, req, true)
+    }
+
+    fn enqueue(
+        &self,
+        client: ClientId,
+        req: &MapRequest,
+        block: bool,
+    ) -> Result<Receiver<MapItem>, ServiceError> {
         let (tx, rx) = channel();
         let options = req.options.unwrap_or(*self.shared.mapper.options());
         let mut state = self.shared.lock();
@@ -206,14 +308,17 @@ impl Scheduler {
             if state.shutdown {
                 return Err(ServiceError::ShuttingDown);
             }
-            state.jobs.push_back(Job {
-                id: req.id.clone(),
-                index,
-                h: h.clone(),
-                options,
-                expected_modes: req.n_modes,
-                tx: tx.clone(),
-            });
+            state.jobs.push(
+                client,
+                Job {
+                    id: req.id.clone(),
+                    index,
+                    h: h.clone(),
+                    options,
+                    expected_modes: req.n_modes,
+                    tx: tx.clone(),
+                },
+            );
             self.shared.not_empty.notify_all();
         }
         self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
@@ -256,9 +361,11 @@ fn dispatch_loop(shared: &Shared) {
             }
             // Dispatch up to 2× the worker count per round: enough to
             // keep every worker busy while leaving later arrivals the
-            // chance to ride the next (soon) round.
+            // chance to ride the next (soon) round. The drain itself is
+            // round-robin across clients, so a round mixes every waiting
+            // connection instead of exhausting the chattiest one first.
             let take = state.jobs.len().min(shared.workers * 2);
-            let batch = state.jobs.drain(..take).collect();
+            let batch = state.jobs.drain(take);
             shared.not_full.notify_all();
             batch
         };
@@ -391,6 +498,53 @@ mod tests {
             .unwrap();
         let _ = collect(rx, 1);
         assert_eq!(mapper.cache().hits(), 1, "second request replayed");
+    }
+
+    #[test]
+    fn fair_queue_interleaves_clients_round_robin() {
+        let mut q = FairQueue::default();
+        let (a, b, c) = (ClientId(0), ClientId(1), ClientId(2));
+        for i in 0..6 {
+            q.push(a, format!("a{i}"));
+        }
+        q.push(b, "b0".to_string());
+        q.push(b, "b1".to_string());
+        q.push(c, "c0".to_string());
+        assert_eq!(q.len(), 9);
+        // One job per client per turn, in arrival order of the clients.
+        assert_eq!(q.drain(6), ["a0", "b0", "c0", "a1", "b1", "a2"]);
+        // Only client a remains; the drain degenerates to FIFO.
+        assert_eq!(q.drain(10), ["a3", "a4", "a5"]);
+        assert!(q.is_empty());
+        assert!(q.drain(4).is_empty());
+    }
+
+    #[test]
+    fn fair_queue_late_client_overtakes_a_deep_backlog() {
+        let mut q = FairQueue::default();
+        let (a, b) = (ClientId(7), ClientId(3));
+        for i in 0..100 {
+            q.push(a, (0usize, i));
+        }
+        // b arrives after a's whole backlog, with a single job.
+        q.push(b, (1usize, 0));
+        let batch = q.drain(4);
+        assert_eq!(batch, [(0, 0), (1, 0), (0, 1), (0, 2)]);
+        // b's lone job rode the first round instead of waiting out all
+        // 100 of a's — the fairness property the service test pins
+        // end to end.
+    }
+
+    #[test]
+    fn submissions_under_one_client_share_a_turn() {
+        let mut q = FairQueue::default();
+        let shared = ClientId(0);
+        q.push(shared, "r1-0");
+        q.push(shared, "r1-1");
+        q.push(shared, "r2-0");
+        q.push(ClientId(1), "other");
+        // Both of client 0's requests pool into one rotation slot.
+        assert_eq!(q.drain(3), ["r1-0", "other", "r1-1"]);
     }
 
     #[test]

@@ -53,17 +53,18 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use hatt_core::Mapper;
+use hatt_core::{HattError, Mapper};
+use hatt_mappings::FermionMapping;
 
 use crate::error::ServiceError;
 use crate::metrics::{ConnectionSlot, BUCKET_BOUNDS_NS};
 use crate::proto::{
-    ItemError, ItemPayload, LatencyBucket, MapDone, MapItem, MapRequest, PolicyLatency,
-    RequestLine, StatsReply, StatsRequest, TierStats,
+    ItemError, ItemPayload, LatencyBucket, MapDeltaRequest, MapDone, MapItem, MapRequest,
+    PolicyLatency, RequestLine, StatsReply, StatsRequest, TierStats,
 };
-use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::scheduler::{ClientId, Scheduler, SchedulerConfig};
 
 /// Server sizing and hardening knobs.
 #[derive(Debug, Clone)]
@@ -373,6 +374,9 @@ fn handle_connection(
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    // One fairness bucket per connection: every request on this stream
+    // shares a single round-robin turn against other connections.
+    let client = scheduler.register_client();
     loop {
         let line = match read_line_bounded(&mut reader, limits.max_line_bytes, stop)? {
             LineRead::Eof => return Ok(()),
@@ -408,7 +412,8 @@ fn handle_connection(
                 let reply = stats_reply(scheduler, &req, limits);
                 write_line(&mut writer, &reply.to_line())?;
             }
-            Ok(RequestLine::Map(req)) => serve_map(&mut writer, scheduler, &req)?,
+            Ok(RequestLine::Map(req)) => serve_map(&mut writer, scheduler, client, &req)?,
+            Ok(RequestLine::Delta(req)) => serve_remap(&mut writer, scheduler, &req)?,
             Err(e) => {
                 let item = MapItem {
                     id: String::new(),
@@ -431,10 +436,11 @@ fn handle_connection(
 fn serve_map(
     writer: &mut impl Write,
     scheduler: &Scheduler,
+    client: ClientId,
     req: &MapRequest,
 ) -> std::io::Result<()> {
     let expected = req.hamiltonians.len();
-    let (items, errors) = match scheduler.submit(req) {
+    let (items, errors) = match scheduler.submit_from(client, req) {
         Ok(rx) => {
             let mut errors = 0usize;
             let mut received = 0usize;
@@ -503,6 +509,60 @@ fn truncation_errors(id: &str, seen: &[bool]) -> Vec<MapItem> {
         .collect()
 }
 
+/// Serves one `map_delta` request: apply the structural delta to the
+/// base Hamiltonian and map the result, reusing the cached ancestor
+/// tree when the base structure is known (the incremental fast path of
+/// [`hatt_core::MappingCache`]). A single item, so it runs on the
+/// connection thread — it never queues behind batch work, and a failed
+/// delta is a typed error item like any other.
+fn serve_remap(
+    writer: &mut impl Write,
+    scheduler: &Scheduler,
+    req: &MapDeltaRequest,
+) -> std::io::Result<()> {
+    let mapper = scheduler.mapper();
+    let options = req.options.unwrap_or(*mapper.options());
+    let start = Instant::now();
+    let result = req
+        .delta
+        .apply(&req.hamiltonian)
+        .map_err(HattError::from)
+        .and_then(|next| {
+            let mapping =
+                mapper
+                    .cache()
+                    .try_remap_or_build(&req.hamiltonian, &req.delta, &options)?;
+            Ok((mapping, next))
+        });
+    scheduler
+        .metrics()
+        .observe_latency(&options.policy.to_string(), start.elapsed());
+    scheduler.metrics().requests.fetch_add(1, Ordering::Relaxed);
+    let payload = match result {
+        Ok((mapping, next)) => {
+            let pauli_weight = mapping.map_majorana_sum(&next).weight();
+            ItemPayload::Ok {
+                mapping,
+                pauli_weight,
+            }
+        }
+        Err(e) => ItemPayload::Err(ItemError::from_hatt(&e)),
+    };
+    let errors = usize::from(matches!(payload, ItemPayload::Err(_)));
+    let item = MapItem {
+        id: req.id.clone(),
+        index: Some(0),
+        payload,
+    };
+    write_line(writer, &item.to_line())?;
+    let done = MapDone {
+        id: req.id.clone(),
+        items: 1,
+        errors,
+    };
+    write_line(writer, &done.to_line())
+}
+
 /// Builds the `stats` reply from the scheduler, mapper and counters.
 fn stats_reply(scheduler: &Scheduler, req: &StatsRequest, limits: Limits) -> StatsReply {
     let metrics = scheduler.metrics();
@@ -537,6 +597,7 @@ fn stats_reply(scheduler: &Scheduler, req: &StatsRequest, limits: Limits) -> Sta
         oversize_lines: metrics.oversize_lines.load(Ordering::Relaxed),
         requests: metrics.requests.load(Ordering::Relaxed),
         constructions: cache.constructions(),
+        remaps: cache.remaps(),
         cache: TierStats {
             hits: cache.hits(),
             misses: cache.misses(),

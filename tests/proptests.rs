@@ -1,15 +1,22 @@
-//! Workspace-level property tests: mapping validity invariants and
+//! Workspace-level property tests: mapping validity invariants,
 //! cross-mapping isospectrality on randomly generated fermionic
-//! Hamiltonians.
+//! Hamiltonians, and fuzz-style totality checks on the JSON parser and
+//! every `hatt-wire/1` decoder (random bytes, truncations and
+//! single-byte mutations must yield typed errors, never panics).
 
 // Test-harness code unwraps freely; the no-panic contract covers library code only.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use hatt::core::{HattOptions, Mapper, Variant};
 use hatt::fermion::models::random_hermitian;
-use hatt::fermion::MajoranaSum;
+use hatt::fermion::{HamiltonianDelta, MajoranaSum};
 use hatt::mappings::{
     balanced_ternary_tree, bravyi_kitaev, jordan_wigner, parity, validate, FermionMapping,
+};
+use hatt::pauli::json::Json;
+use hatt::pauli::{Complex64, PauliSum};
+use hatt::service::{
+    MapDeltaRequest, MapDone, MapRequest, RequestLine, ResponseLine, StatsRequest,
 };
 use hatt::sim::spectrum;
 use proptest::prelude::*;
@@ -75,6 +82,33 @@ proptest! {
     }
 
     #[test]
+    fn json_parser_never_panics_on_random_bytes(bytes in proptest::collection::vec(0u8..=255, 0usize..200)) {
+        let text = String::from_utf8_lossy(&bytes);
+        // Totality: any byte soup parses or fails with a typed error.
+        if let Ok(v) = Json::parse(&text) {
+            // And anything that parsed must round-trip through render.
+            prop_assert!(Json::parse(&v.render()).is_ok(), "render/reparse drifted on {:?}", text);
+        }
+    }
+
+    #[test]
+    fn mutated_wire_lines_decode_to_typed_errors_not_panics(
+        doc in 0usize..9,
+        pos in 0usize..4096,
+        byte in 0u8..=255,
+    ) {
+        let (name, line, decode) = &wire_corpus()[doc];
+        let mut bytes = line.clone().into_bytes();
+        let at = pos % bytes.len();
+        bytes[at] = byte;
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        // Ok (the mutation was benign) and Err are both fine; only a
+        // panic would fail the case.
+        let _ = decode(&mutated);
+        prop_assert!(!name.is_empty());
+    }
+
+    #[test]
     fn mappings_are_isospectral_on_random_hamiltonians(seed in 0u64..40) {
         let op = random_hermitian(3, 4, 2, seed);
         let h = MajoranaSum::from_fermion(&op);
@@ -90,5 +124,134 @@ proptest! {
                     "{} spectrum deviates at seed {seed}", m.name());
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire fuzz corpus: one valid line per `hatt-wire/1` kind, paired with
+// the decoder the service layer would feed it to.
+// ---------------------------------------------------------------------
+
+type WireDecoder = fn(&str) -> Result<(), String>;
+
+fn decode_via<T, E: std::fmt::Display>(
+    text: &str,
+    f: impl Fn(&Json) -> Result<T, E>,
+) -> Result<(), String> {
+    let v = Json::parse(text).map_err(|e| e.to_string())?;
+    f(&v).map(|_| ()).map_err(|e| e.to_string())
+}
+
+/// Every wire kind in the registry with a valid rendered line and its
+/// decoder. Index order is stable so proptest cases can address it.
+fn wire_corpus() -> Vec<(&'static str, String, WireDecoder)> {
+    let h = MajoranaSum::uniform_singles(3);
+    let mapping = Mapper::new().map(&h).unwrap();
+    let mut pauli = PauliSum::new(2);
+    pauli.add(Complex64::new(0.5, -0.25), "XY".parse().unwrap());
+    let mut delta = HamiltonianDelta::new(3);
+    delta.push_add(Complex64::real(0.5), &[0, 1, 2, 3]).unwrap();
+
+    vec![
+        (
+            "pauli_string",
+            hatt::pauli::wire::encode_pauli_string(&"XYZI".parse().unwrap()).render(),
+            (|t| decode_via(t, hatt::pauli::wire::decode_pauli_string)) as WireDecoder,
+        ),
+        (
+            "pauli_sum",
+            hatt::pauli::wire::encode_pauli_sum(&pauli).render(),
+            |t| decode_via(t, hatt::pauli::wire::decode_pauli_sum),
+        ),
+        (
+            "majorana_sum",
+            hatt::fermion::wire::encode_majorana_sum(&h).render(),
+            |t| decode_via(t, hatt::fermion::wire::decode_majorana_sum),
+        ),
+        (
+            "hamiltonian_delta",
+            hatt::fermion::wire::encode_hamiltonian_delta(&delta).render(),
+            |t| decode_via(t, hatt::fermion::wire::decode_hamiltonian_delta),
+        ),
+        (
+            "ternary_tree",
+            hatt::mappings::wire::encode_ternary_tree(mapping.tree()).render(),
+            |t| decode_via(t, hatt::mappings::wire::decode_ternary_tree),
+        ),
+        (
+            "hatt_mapping",
+            hatt::core::wire::encode_hatt_mapping(&mapping).render(),
+            |t| decode_via(t, hatt::core::wire::decode_hatt_mapping),
+        ),
+        (
+            "map_request",
+            MapRequest::new("fuzz", vec![h.clone()]).to_line(),
+            |t| {
+                RequestLine::from_line(t)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            },
+        ),
+        (
+            "map_delta",
+            {
+                let mut d = HamiltonianDelta::new(3);
+                d.push_add(Complex64::real(0.5), &[0, 1, 2, 3]).unwrap();
+                MapDeltaRequest::new("fuzz", MajoranaSum::uniform_singles(3), d).to_line()
+            },
+            |t| {
+                RequestLine::from_line(t)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            },
+        ),
+        (
+            "stats_request / map_done",
+            StatsRequest::new("fuzz").to_line(),
+            |t| {
+                RequestLine::from_line(t)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            },
+        ),
+    ]
+}
+
+/// Truncation totality: **every strict prefix** of every valid wire
+/// line must come back as a typed error — a dropped connection mid-line
+/// can never panic a reader or silently decode to something shorter.
+#[test]
+fn every_strict_prefix_of_a_valid_wire_line_is_a_typed_error() {
+    for (name, line, decode) in wire_corpus() {
+        assert!(decode(&line).is_ok(), "{name}: the full line must decode");
+        for end in 0..line.len() {
+            if !line.is_char_boundary(end) {
+                continue;
+            }
+            let prefix = &line[..end];
+            assert!(
+                decode(prefix).is_err(),
+                "{name}: prefix of {end}/{} bytes decoded",
+                line.len()
+            );
+        }
+    }
+}
+
+/// The response-side decoders are total on truncations too.
+#[test]
+fn every_strict_prefix_of_a_response_line_is_a_typed_error() {
+    let done = MapDone {
+        id: "fuzz".into(),
+        items: 2,
+        errors: 1,
+    };
+    let line = done.to_line();
+    assert!(ResponseLine::from_line(&line).is_ok());
+    for end in 0..line.len() {
+        assert!(
+            ResponseLine::from_line(&line[..end]).is_err(),
+            "map_done prefix of {end} bytes decoded"
+        );
     }
 }

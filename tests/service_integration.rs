@@ -10,12 +10,17 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use hatt::core::{HattOptions, Mapper};
 use hatt::fermion::models::{molecule_catalog, NeutrinoModel};
-use hatt::fermion::MajoranaSum;
+use hatt::fermion::{HamiltonianDelta, MajoranaSum};
 use hatt::mappings::{validate, FermionMapping, SelectionPolicy};
-use hatt::service::{client, MapRequest, ResponseLine, Server, ServerConfig};
+use hatt::pauli::Complex64;
+use hatt::service::{
+    client, MapDeltaRequest, MapRequest, ResponseLine, SchedulerConfig, Server, ServerConfig,
+};
 
 fn preprocess(h: &hatt::fermion::FermionOperator) -> MajoranaSum {
     let mut m = MajoranaSum::from_fermion(h);
@@ -411,6 +416,114 @@ fn connections_beyond_the_cap_get_a_typed_overloaded_line() {
             Err(e) => panic!("slot never freed: {e}"),
         }
     }
+    server.shutdown();
+}
+
+#[test]
+fn map_delta_over_tcp_matches_a_fresh_build_and_counts_a_remap() {
+    let server = boot(Mapper::new());
+    let addr = server.local_addr();
+    let base = preprocess(&NeutrinoModel::new(3, 2).hamiltonian());
+
+    // Warm the daemon's cache with the base structure.
+    let warm = client::request(addr, &MapRequest::new("warm", vec![base.clone()]))
+        .expect("warm round trip");
+    assert_eq!(warm.done.errors, 0);
+
+    // Remap a one-term structural edit of the base incrementally.
+    let mut delta = HamiltonianDelta::new(base.n_modes());
+    delta
+        .push_add(Complex64::real(0.125), &[0, 1, 2, 3])
+        .expect("delta term");
+    let req = MapDeltaRequest::new("edit-1", base.clone(), delta.clone());
+    let reply = client::remap(addr, &req).expect("map_delta round trip");
+    assert_eq!(reply.done.items, 1);
+    assert_eq!(reply.done.errors, 0);
+    let remote = reply.items[0].mapping().expect("ok item");
+
+    // Bit-identical to a fresh in-process build of the post-delta
+    // Hamiltonian.
+    let next = delta.apply(&base).expect("delta applies");
+    let local = Mapper::new().map(&next).expect("fresh build");
+    assert_eq!(remote.tree(), local.tree(), "remap tree drifted over TCP");
+    assert_eq!(
+        remote.stats().total_weight(),
+        local.stats().total_weight(),
+        "remap settled weight drifted"
+    );
+    assert_eq!(
+        remote.map_majorana_sum(&next).weight(),
+        local.map_majorana_sum(&next).weight(),
+        "remap compile weight drifted"
+    );
+    assert!(validate(remote).is_valid());
+
+    // The daemon served the edit from the ancestor tree: one remap,
+    // and still only the single (base) cold construction.
+    let stats = client::stats(addr, "probe").expect("stats");
+    assert_eq!(stats.remaps, 1, "expected the incremental fast path");
+    assert_eq!(stats.constructions, 1, "the edit must not construct cold");
+
+    // A delta that does not apply comes back as a typed error item.
+    let mut bogus = HamiltonianDelta::new(base.n_modes());
+    bogus
+        .push_remove(Complex64::real(999.0), &[0, 1, 2, 3])
+        .expect("delta term");
+    let reply = client::remap(addr, &MapDeltaRequest::new("bad", base, bogus))
+        .expect("typed error round trip");
+    assert_eq!(reply.done.errors, 1);
+    assert_eq!(reply.items[0].error().expect("error item").code, "delta");
+    server.shutdown();
+}
+
+#[test]
+fn a_small_client_is_not_starved_behind_a_chatty_one() {
+    // One worker makes dispatch fully sequential: each round-robin round
+    // takes at most two jobs, so client B's lone job must ride an early
+    // round instead of waiting out client A's entire backlog.
+    let config = ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: 1,
+            queue_capacity: 256,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Mapper::new(), config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // Client A: a 32-item batch of distinct structures (no cache hits).
+    let a_hams: Vec<MajoranaSum> = (4..36).map(MajoranaSum::uniform_singles).collect();
+    let a_total = a_hams.len();
+    let a_seen = Arc::new(AtomicUsize::new(0));
+    let a_thread = {
+        let a_seen = Arc::clone(&a_seen);
+        std::thread::spawn(move || {
+            client::request_streaming(addr, &MapRequest::new("chatty", a_hams), |_| {
+                a_seen.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+    };
+
+    // Wait until A's batch is demonstrably in flight…
+    while a_seen.load(Ordering::SeqCst) == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // …then submit B's single-item request on a second connection.
+    let req = MapRequest::new("small", vec![MajoranaSum::uniform_singles(3)]);
+    let reply = client::request(addr, &req).expect("small client round trip");
+    assert_eq!(reply.done.errors, 0);
+    let a_done_when_b_finished = a_seen.load(Ordering::SeqCst);
+
+    let a_reply = a_thread
+        .join()
+        .expect("client thread")
+        .expect("chatty client round trip");
+    assert_eq!(a_reply.done.items, a_total);
+    assert!(
+        a_done_when_b_finished < a_total,
+        "round-robin drain should answer the small client while the \
+         chatty batch is still streaming (saw {a_done_when_b_finished}/{a_total})"
+    );
     server.shutdown();
 }
 
