@@ -1,0 +1,204 @@
+//! Synthetic open-loop load generator for `hattd` deployments — the CI
+//! smoke driver behind the `"load"` section of `BENCH_perf.json`.
+//!
+//! `cargo run --release -p hatt-bench --bin loadgen -- [--smoke]
+//!     [--addr HOST:PORT] [--rate HZ] [--requests N] [--connections C]
+//!     [--identity HOST:PORT]`
+//!
+//! * `--smoke` — boot a single daemon and a two-shard router in-process
+//!   and drive the quick study against both (no external daemon).
+//! * `--addr HOST:PORT` — drive a live daemon (single or router) with
+//!   the open-loop generator and print its sustained throughput and
+//!   latency percentiles.
+//! * `--rate` / `--requests` / `--connections` — override the offered
+//!   load for `--addr` runs (defaults: the smoke configuration).
+//! * `--identity HOST:PORT` — map the Table I roster through a live
+//!   daemon and verify every response is bit-identical to an in-process
+//!   reference `Mapper` (the router-vs-single-daemon identity check).
+//!
+//! Exits non-zero when a run completes nothing, reports errors, or an
+//! identity check finds a drifted tree.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+
+use hatt_bench::load::{load_study, run_load, LoadConfig};
+use hatt_bench::preprocess;
+use hatt_core::Mapper;
+use hatt_fermion::models::{molecule_catalog, NeutrinoModel};
+use hatt_fermion::MajoranaSum;
+use hatt_mappings::FermionMapping;
+use hatt_service::{client, MapRequest};
+
+struct Args {
+    smoke: bool,
+    addr: Option<String>,
+    identity: Option<String>,
+    rate: Option<f64>,
+    requests: Option<usize>,
+    connections: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        addr: None,
+        identity: None,
+        rate: None,
+        requests: None,
+        connections: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--identity" => args.identity = Some(value("--identity")?),
+            "--rate" => {
+                args.rate = Some(
+                    value("--rate")?
+                        .parse()
+                        .map_err(|e| format!("--rate: {e}"))?,
+                )
+            }
+            "--requests" => {
+                args.requests = Some(
+                    value("--requests")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?,
+                )
+            }
+            "--connections" => {
+                args.connections = Some(
+                    value("--connections")?
+                        .parse()
+                        .map_err(|e| format!("--connections: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if !args.smoke && args.addr.is_none() && args.identity.is_none() {
+        return Err("nothing to do: pass --smoke, --addr or --identity".into());
+    }
+    Ok(args)
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address behind {addr}"))
+}
+
+fn print_report(topology: &str, report: &hatt_bench::load::LoadReport) -> bool {
+    println!(
+        "loadgen: {topology} sustained {:.1} mappings/s  p50 {:.2} ms  p99 {:.2} ms  max {:.2} ms  ({}/{} ok, {} errors)",
+        report.sustained_per_s,
+        report.p50_ms,
+        report.p99_ms,
+        report.max_ms,
+        report.completed,
+        report.offered,
+        report.errors,
+    );
+    report.completed > 0 && report.errors == 0
+}
+
+/// The Table I roster: every catalog molecule plus two neutrino models
+/// — the same cases `tests/service_integration.rs` pins.
+fn roster() -> Vec<(String, MajoranaSum)> {
+    let mut cases: Vec<(String, MajoranaSum)> = molecule_catalog()
+        .into_iter()
+        .map(|spec| (spec.name.to_string(), preprocess(&spec.hamiltonian())))
+        .collect();
+    for (sites, flavors) in [(3usize, 2usize), (4, 2)] {
+        let model = NeutrinoModel::new(sites, flavors);
+        cases.push((
+            format!("neutrino {}", model.label()),
+            preprocess(&model.hamiltonian()),
+        ));
+    }
+    cases
+}
+
+fn check_identity(addr: &str) -> Result<(), String> {
+    let cases = roster();
+    let hams: Vec<MajoranaSum> = cases.iter().map(|(_, h)| h.clone()).collect();
+    let reply = client::request(addr, &MapRequest::new("identity", hams))
+        .map_err(|e| format!("identity round trip failed: {e}"))?;
+    if reply.done.errors != 0 {
+        return Err(format!(
+            "{} roster items came back as errors",
+            reply.done.errors
+        ));
+    }
+    let items = reply.into_ordered();
+    let reference = Mapper::new();
+    for ((name, h), item) in cases.iter().zip(&items) {
+        let remote = item
+            .mapping()
+            .ok_or_else(|| format!("{name}: error item {:?}", item.error()))?;
+        let local = reference.map(h).map_err(|e| format!("{name}: {e}"))?;
+        if remote.tree() != local.tree() {
+            return Err(format!("{name}: tree drifted through {addr}"));
+        }
+        if remote.map_majorana_sum(h).weight() != local.map_majorana_sum(h).weight() {
+            return Err(format!("{name}: mapped weight drifted through {addr}"));
+        }
+    }
+    println!(
+        "loadgen: identity ok — {} roster cases bit-identical through {addr}",
+        cases.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ok = true;
+    if args.smoke {
+        let study = load_study(true);
+        ok &= print_report("single", &study.single);
+        ok &= print_report("routed", &study.routed);
+    }
+    if let Some(addr) = &args.addr {
+        let target = match resolve(addr) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut cfg = LoadConfig::smoke();
+        if let Some(rate) = args.rate {
+            cfg.rate_hz = rate;
+        }
+        if let Some(requests) = args.requests {
+            cfg.requests = requests;
+        }
+        if let Some(connections) = args.connections {
+            cfg.connections = connections;
+        }
+        ok &= print_report(addr, &run_load(target, &cfg));
+    }
+    if let Some(addr) = &args.identity {
+        if let Err(e) = check_identity(addr) {
+            eprintln!("loadgen: identity check failed: {e}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

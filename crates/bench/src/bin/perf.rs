@@ -1,9 +1,10 @@
 //! Machine-readable perf harness: sweeps the three HATT variants on the
 //! paper's scalability workload (plus a dense-molecule structure), the
 //! policy quality-vs-time ladder, the parallel engine (threaded
-//! `restarts`, batched `map_many`) and the incremental-remap stream,
-//! then writes `BENCH_perf.json` (schema `hatt-perf/3`) so successive
-//! PRs can compare perf trajectories.
+//! `restarts`, batched `map_many`), the incremental-remap stream and
+//! the open-loop service load study (single daemon vs two-shard
+//! router), then writes `BENCH_perf.json` (schema `hatt-perf/4`) so
+//! successive PRs can compare perf trajectories.
 //!
 //! `cargo run --release -p hatt-bench --bin perf -- [--smoke]
 //!     [--out PATH] [--budget SECONDS] [--samples K] [--max-n N]`
@@ -19,6 +20,7 @@
 
 use std::process::ExitCode;
 
+use hatt_bench::load::load_study;
 use hatt_bench::perf::{
     paper_complexity, parallel_study, policy_tradeoff, remap_study, sweep_variant,
     sweep_variant_on, sweeps_to_json, SweepConfig, SweepWorkload, VariantSweep,
@@ -206,8 +208,22 @@ fn main() -> ExitCode {
         remap.constructions_after_base,
     );
 
+    println!("\n== open-loop service load: single daemon vs 2-shard router ==");
+    let load = load_study(args.smoke);
+    for (topology, report) in [("single", &load.single), ("routed", &load.routed)] {
+        println!(
+            "  {topology:<8} {}/{} ok  {:.1} mappings/s  p50 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+            report.completed,
+            report.offered,
+            report.sustained_per_s,
+            report.p50_ms,
+            report.p99_ms,
+            report.max_ms,
+        );
+    }
+
     let doc = sweeps_to_json(
-        &cfg, args.smoke, &sweeps, &policies, &parallel, &dense, &remap,
+        &cfg, args.smoke, &sweeps, &policies, &parallel, &dense, &remap, &load,
     );
     if let Err(e) = std::fs::write(&args.out, doc.render_pretty()) {
         eprintln!("perf: cannot write {}: {e}", args.out);

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod load;
 pub mod perf;
 
 use std::time::Instant;

@@ -1,0 +1,297 @@
+//! Open-loop load generator for the `hattd` service layer: requests
+//! arrive on a fixed schedule regardless of completions (so a slow
+//! server builds queueing delay instead of silently throttling the
+//! generator), and latency is measured from the *scheduled* arrival —
+//! the coordinated-omission-resistant convention. The [`load_study`]
+//! drives the same offered load against a single in-process daemon and
+//! a two-shard consistent-hash router, producing the `"load"` section
+//! of `BENCH_perf.json` (schema `hatt-perf/4`).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use hatt_core::Mapper;
+use hatt_fermion::MajoranaSum;
+use hatt_service::{MapRequest, ResponseLine, Server, ServerConfig};
+
+/// Configuration of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Offered arrival rate in requests per second. Arrivals sit on a
+    /// fixed grid: request `i` is due at `start + i / rate_hz`.
+    pub rate_hz: f64,
+    /// Total requests offered over the run.
+    pub requests: usize,
+    /// Persistent client connections the offered load is spread over
+    /// (request `i` rides connection `i % connections`).
+    pub connections: usize,
+    /// Mode counts of the single-item request structures, cycled per
+    /// request. Distinct sizes are distinct structure keys, so a router
+    /// spreads them across shards and a daemon's cache converges to
+    /// hits — the steady-state serving regime, not construction cost.
+    pub sizes: Vec<usize>,
+}
+
+impl LoadConfig {
+    /// The quick configuration used by `loadgen --smoke` and CI.
+    pub fn smoke() -> Self {
+        LoadConfig {
+            rate_hz: 200.0,
+            requests: 300,
+            connections: 4,
+            sizes: vec![4, 6, 8, 10],
+        }
+    }
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            rate_hz: 400.0,
+            requests: 2000,
+            connections: 8,
+            sizes: vec![4, 6, 8, 10, 12, 14, 16],
+        }
+    }
+}
+
+/// The measured outcome of one open-loop run. All latencies are in
+/// milliseconds, measured from the request's scheduled arrival to the
+/// arrival of its `map_done` line.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests offered (the configured total).
+    pub offered: usize,
+    /// Requests that completed with zero error items.
+    pub completed: usize,
+    /// Requests that failed (transport error after one reconnect, or a
+    /// reply containing typed error items).
+    pub errors: usize,
+    /// Wall time from the first scheduled arrival to the last
+    /// completion, seconds.
+    pub elapsed_s: f64,
+    /// Sustained completion throughput, mappings per second.
+    pub sustained_per_s: f64,
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Worst-case latency.
+    pub max_ms: f64,
+}
+
+/// One persistent connection of the generator: write a request line,
+/// drain its streamed reply to the `map_done` marker.
+struct LoadConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl LoadConn {
+    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(LoadConn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and drains the reply; returns the number of
+    /// typed error items the server reported for it.
+    fn exchange(&mut self, req: &MapRequest) -> std::io::Result<usize> {
+        self.writer.write_all(req.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            match ResponseLine::from_line(line.trim_end())
+                .map_err(|e| std::io::Error::other(e.to_string()))?
+            {
+                ResponseLine::Item(_) => {}
+                ResponseLine::Done(done) => return Ok(done.errors),
+            }
+        }
+    }
+}
+
+/// `q`-th quantile of an ascending sample (nearest-rank).
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Drives one open-loop run against a live daemon (single or router).
+///
+/// Each of the `connections` workers owns one persistent connection and
+/// serves the arrival grid points assigned to it; a worker that falls
+/// behind its grid accumulates the delay into its requests' latencies
+/// instead of slowing the offered rate. A transport failure is retried
+/// once on a fresh connection before the request counts as an error.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let conns = cfg.connections.max(1);
+    let tick = Duration::from_secs_f64(1.0 / cfg.rate_hz.max(1e-9));
+    // A short runway so every worker sees the same epoch in the future.
+    let start = Instant::now() + Duration::from_millis(20);
+
+    let per_worker: Vec<(usize, usize, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut completed = 0usize;
+                    let mut errors = 0usize;
+                    let mut latencies_ms = Vec::new();
+                    let mut conn = LoadConn::connect(addr).ok();
+                    let mut i = worker;
+                    while i < cfg.requests {
+                        let scheduled = start + tick.mul_f64(i as f64);
+                        let now = Instant::now();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let size = cfg.sizes[i % cfg.sizes.len()].max(1);
+                        let req = MapRequest::new(
+                            format!("load-{i}"),
+                            vec![MajoranaSum::uniform_singles(size)],
+                        );
+                        let ok = match conn.as_mut().map(|c| c.exchange(&req)) {
+                            Some(Ok(0)) => true,
+                            Some(Ok(_)) => false,
+                            _ => {
+                                conn = LoadConn::connect(addr).ok();
+                                matches!(conn.as_mut().map(|c| c.exchange(&req)), Some(Ok(0)))
+                            }
+                        };
+                        if ok {
+                            completed += 1;
+                            latencies_ms.push(scheduled.elapsed().as_secs_f64() * 1e3);
+                        } else {
+                            errors += 1;
+                        }
+                        i += conns;
+                    }
+                    (completed, errors, latencies_ms)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker"))
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let completed: usize = per_worker.iter().map(|w| w.0).sum();
+    let errors: usize = per_worker.iter().map(|w| w.1).sum();
+    let mut latencies_ms: Vec<f64> = per_worker.into_iter().flat_map(|w| w.2).collect();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    LoadReport {
+        offered: cfg.requests,
+        completed,
+        errors,
+        elapsed_s,
+        sustained_per_s: completed as f64 / elapsed_s,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// The load study serialized under `"load"` in `BENCH_perf.json`
+/// (hatt-perf/4): the same offered load against a single in-process
+/// daemon and a two-shard consistent-hash router.
+#[derive(Debug, Clone)]
+pub struct LoadStudy {
+    /// The offered-load configuration both runs share.
+    pub config: LoadConfig,
+    /// Shard daemons behind the routed run.
+    pub shards: usize,
+    /// The single-daemon run.
+    pub single: LoadReport,
+    /// The routed run (router in front of the shard daemons).
+    pub routed: LoadReport,
+}
+
+/// Boots a single daemon and a two-shard router in-process and drives
+/// the open-loop generator against each. Both topologies serve the
+/// identical structure roster, so the reports differ only in the
+/// serving path (direct scheduler vs consistent-hash fan-out).
+pub fn load_study(smoke: bool) -> LoadStudy {
+    let cfg = if smoke {
+        LoadConfig::smoke()
+    } else {
+        LoadConfig::default()
+    };
+
+    let single = Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default())
+        .expect("bind single daemon");
+    let single_report = run_load(single.local_addr(), &cfg);
+    single.shutdown();
+
+    let shard_a =
+        Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default()).expect("bind shard a");
+    let shard_b =
+        Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default()).expect("bind shard b");
+    let shard_addrs = vec![
+        shard_a.local_addr().to_string(),
+        shard_b.local_addr().to_string(),
+    ];
+    let router = Server::bind_router("127.0.0.1:0", &shard_addrs, ServerConfig::default())
+        .expect("bind router");
+    let routed = run_load(router.local_addr(), &cfg);
+    router.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
+
+    LoadStudy {
+        config: cfg,
+        shards: 2,
+        single: single_report,
+        routed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn open_loop_run_completes_the_offered_load() {
+        let server = Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default())
+            .expect("bind ephemeral port");
+        let cfg = LoadConfig {
+            rate_hz: 500.0,
+            requests: 40,
+            connections: 2,
+            sizes: vec![3, 4],
+        };
+        let report = run_load(server.local_addr(), &cfg);
+        server.shutdown();
+        assert_eq!(report.offered, 40);
+        assert_eq!(report.completed, 40, "{report:?}");
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert!(report.sustained_per_s > 0.0);
+        assert!(report.p50_ms <= report.p99_ms && report.p99_ms <= report.max_ms);
+    }
+}

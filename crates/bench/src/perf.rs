@@ -12,7 +12,10 @@
 //! host. Since hatt-perf/3 the document also carries a dense-molecule
 //! sweep (two-body interaction structure, not the uniform-singles
 //! chain) and the [`remap_study`] — incremental [`Mapper::remap`]
-//! throughput on a one-term-delta stream vs cold rebuilds.
+//! throughput on a one-term-delta stream vs cold rebuilds. hatt-perf/4
+//! adds the `"load"` section: the open-loop service study from
+//! [`crate::load::load_study`] (sustained mappings/sec and tail latency
+//! against a single daemon and a two-shard router).
 
 use std::time::Instant;
 
@@ -634,14 +637,16 @@ pub fn loglog_slope(points: &[(usize, f64)]) -> Option<f64> {
 }
 
 /// Serializes a sweep set to the `BENCH_perf.json` document
-/// (`schema: "hatt-perf/3"`; see README "Perf harness" and
+/// (`schema: "hatt-perf/4"`; see README "Perf harness" and
 /// docs/REPRODUCTION.md for the schema). `policies` is the
 /// quality-vs-time study from [`policy_tradeoff`]; `parallel` is the
 /// parallel-engine study from [`parallel_study`]; `dense` is the
-/// [`SweepWorkload::DenseMolecule`] scalability sweep and `remap` the
-/// one-term-delta stream from [`remap_study`]. Every section is
-/// additive over the previous schema version — older documents simply
-/// lack the newer keys.
+/// [`SweepWorkload::DenseMolecule`] scalability sweep, `remap` the
+/// one-term-delta stream from [`remap_study`], and `load` the
+/// open-loop service study from [`crate::load::load_study`]. Every
+/// section is additive over the previous schema version — older
+/// documents simply lack the newer keys.
+#[allow(clippy::too_many_arguments)] // one argument per schema section
 pub fn sweeps_to_json(
     cfg: &SweepConfig,
     smoke: bool,
@@ -650,9 +655,10 @@ pub fn sweeps_to_json(
     parallel: &ParallelReport,
     dense: &[VariantSweep],
     remap: &RemapStudy,
+    load: &crate::load::LoadStudy,
 ) -> Json {
     Json::Obj(vec![
-        ("schema".into(), Json::str("hatt-perf/3")),
+        ("schema".into(), Json::str("hatt-perf/4")),
         ("workload".into(), Json::str("uniform_singles")),
         ("smoke".into(), Json::Bool(smoke)),
         ("samples_per_point".into(), Json::int(cfg.samples as u64)),
@@ -681,6 +687,47 @@ pub fn sweeps_to_json(
             ]),
         ),
         ("remap".into(), remap_to_json(remap)),
+        ("load".into(), load_to_json(load)),
+    ])
+}
+
+/// The `"load"` section of the hatt-perf/4 document.
+fn load_to_json(study: &crate::load::LoadStudy) -> Json {
+    Json::Obj(vec![
+        ("generator".into(), Json::str("open_loop")),
+        ("rate_hz".into(), Json::Num(study.config.rate_hz)),
+        ("requests".into(), Json::int(study.config.requests as u64)),
+        (
+            "connections".into(),
+            Json::int(study.config.connections as u64),
+        ),
+        (
+            "sizes".into(),
+            Json::Arr(
+                study
+                    .config
+                    .sizes
+                    .iter()
+                    .map(|&s| Json::int(s as u64))
+                    .collect(),
+            ),
+        ),
+        ("shards".into(), Json::int(study.shards as u64)),
+        ("single".into(), load_report_to_json(&study.single)),
+        ("routed".into(), load_report_to_json(&study.routed)),
+    ])
+}
+
+fn load_report_to_json(r: &crate::load::LoadReport) -> Json {
+    Json::Obj(vec![
+        ("offered".into(), Json::int(r.offered as u64)),
+        ("completed".into(), Json::int(r.completed as u64)),
+        ("errors".into(), Json::int(r.errors as u64)),
+        ("elapsed_s".into(), Json::Num(r.elapsed_s)),
+        ("sustained_per_s".into(), Json::Num(r.sustained_per_s)),
+        ("p50_ms".into(), Json::Num(r.p50_ms)),
+        ("p99_ms".into(), Json::Num(r.p99_ms)),
+        ("max_ms".into(), Json::Num(r.max_ms)),
     ])
 }
 
@@ -870,8 +917,12 @@ mod tests {
             SweepWorkload::DenseMolecule,
         )];
         let remap = tiny_remap_study();
-        let doc = sweeps_to_json(&cfg, true, &sweeps, &policies, &report, &dense, &remap).render();
-        assert!(doc.starts_with(r#"{"schema":"hatt-perf/3""#));
+        let load = tiny_load_study();
+        let doc = sweeps_to_json(
+            &cfg, true, &sweeps, &policies, &report, &dense, &remap, &load,
+        )
+        .render();
+        assert!(doc.starts_with(r#"{"schema":"hatt-perf/4""#));
         assert!(doc.contains(r#""name":"cached""#));
         assert!(doc.contains(r#""pauli_weight":"#));
         assert!(doc.contains(r#""policy":"restarts""#));
@@ -881,6 +932,29 @@ mod tests {
         assert!(doc.contains(r#""dense":{"workload":"dense_molecule""#));
         assert!(doc.contains(r#""remap":{"case":"#));
         assert!(doc.contains(r#""remaps_per_s":"#));
+        assert!(doc.contains(r#""load":{"generator":"open_loop""#));
+        assert!(doc.contains(r#""sustained_per_s":"#));
+        assert!(doc.contains(r#""p99_ms":"#));
+        assert!(doc.contains(r#""routed":{"offered":"#));
+    }
+
+    fn tiny_load_study() -> crate::load::LoadStudy {
+        let report = crate::load::LoadReport {
+            offered: 8,
+            completed: 8,
+            errors: 0,
+            elapsed_s: 0.5,
+            sustained_per_s: 16.0,
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            max_ms: 3.0,
+        };
+        crate::load::LoadStudy {
+            config: crate::load::LoadConfig::smoke(),
+            shards: 2,
+            single: report.clone(),
+            routed: report,
+        }
     }
 
     fn tiny_remap_study() -> RemapStudy {

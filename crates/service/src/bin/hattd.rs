@@ -4,12 +4,21 @@
 //! ```sh
 //! hattd [--addr 127.0.0.1:7878] [--threads N] [--queue N] [--cache N]
 //!       [--store PATH] [--max-conns N] [--max-line-bytes N]
+//!       [--event-workers N] [--route HOST:PORT,HOST:PORT,...]
 //!       [--policy greedy|vanilla|restarts|lookahead:<w>|beam:<w>]
-//!       [--variant cached|paired|unopt] [--self-check] [--persist-check]
+//!       [--variant cached|paired|unopt]
+//!       [--self-check] [--persist-check] [--route-check]
 //! ```
 //!
 //! * `--addr` — listen address (`:0` picks an ephemeral port; the bound
 //!   address is printed either way as `hattd listening on <addr>`).
+//! * `--route` — **shard router mode**: serve the same wire protocol,
+//!   but forward each request item to the listed shard daemon that owns
+//!   the item's structure key on a consistent-hash ring. Per-shard
+//!   health appears in `stats`; mapping flags (`--store`, `--cache`,
+//!   `--policy`, …) are ignored — the shards own the mapping.
+//! * `--event-workers` — event-loop worker threads multiplexing the
+//!   connections (default: automatic).
 //! * `--threads` — worker cap for the scheduler and constructions
 //!   (default: `HATT_THREADS` / hardware count).
 //! * `--queue` — bounded scheduler queue capacity (default 256).
@@ -33,6 +42,10 @@
 //!   roster, restart the daemon on the same store, map the roster
 //!   again, and verify the second pass is all store hits with **zero**
 //!   constructions and bit-identical trees (the CI persistence smoke).
+//! * `--route-check` — boot two in-process shard daemons plus a router
+//!   over them, map a synthetic roster through the router, and verify
+//!   the responses are bit-identical to in-process mappings with every
+//!   shard healthy (the CI router smoke).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -55,10 +68,13 @@ struct Args {
     store: Option<std::path::PathBuf>,
     max_conns: Option<usize>,
     max_line_bytes: Option<usize>,
+    event_workers: Option<usize>,
+    route: Option<String>,
     policy: Option<String>,
     variant: Option<String>,
     self_check: bool,
     persist_check: bool,
+    route_check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,10 +86,13 @@ fn parse_args() -> Result<Args, String> {
         store: None,
         max_conns: None,
         max_line_bytes: None,
+        event_workers: None,
+        route: None,
         policy: None,
         variant: None,
         self_check: false,
         persist_check: false,
+        route_check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -114,15 +133,26 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-line-bytes: {e}"))?,
                 )
             }
+            "--event-workers" => {
+                args.event_workers = Some(
+                    value("--event-workers")?
+                        .parse()
+                        .map_err(|e| format!("--event-workers: {e}"))?,
+                )
+            }
+            "--route" => args.route = Some(value("--route")?),
             "--policy" => args.policy = Some(value("--policy")?),
             "--variant" => args.variant = Some(value("--variant")?),
             "--self-check" => args.self_check = true,
             "--persist-check" => args.persist_check = true,
+            "--route-check" => args.route_check = true,
             "--help" | "-h" => {
                 println!(
                     "hattd [--addr IP:PORT] [--threads N] [--queue N] [--cache N] \
                      [--store PATH] [--max-conns N] [--max-line-bytes N] \
-                     [--policy P] [--variant V] [--self-check] [--persist-check]"
+                     [--event-workers N] [--route HOST:PORT,...] \
+                     [--policy P] [--variant V] \
+                     [--self-check] [--persist-check] [--route-check]"
                 );
                 std::process::exit(0);
             }
@@ -167,7 +197,22 @@ fn server_config(args: &Args) -> ServerConfig {
         scheduler: scheduler_config(args),
         max_line_bytes: args.max_line_bytes.unwrap_or(defaults.max_line_bytes),
         max_connections: args.max_conns.unwrap_or(defaults.max_connections),
+        event_workers: args.event_workers.unwrap_or(defaults.event_workers),
+        max_write_buffer: defaults.max_write_buffer,
     }
+}
+
+/// Splits a `--route` shard list, rejecting empty entries.
+fn parse_shards(route: &str) -> Result<Vec<String>, String> {
+    let shards: Vec<String> = route
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err("--route: needs at least one HOST:PORT".into());
+    }
+    Ok(shards)
 }
 
 fn main() -> ExitCode {
@@ -202,15 +247,44 @@ fn main() -> ExitCode {
             }
         };
     }
-    let mapper = match build_mapper(&args) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("hattd: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    if args.route_check {
+        return match route_check(&args) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("hattd route-check FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let config = server_config(&args);
-    match Server::bind(args.addr.as_str(), mapper, config) {
+    let bound = if let Some(route) = &args.route {
+        let shards = match parse_shards(route) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hattd: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "hattd routing to {} shard(s): {}",
+            shards.len(),
+            shards.join(", ")
+        );
+        Server::bind_router(args.addr.as_str(), &shards, config)
+    } else {
+        let mapper = match build_mapper(&args) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("hattd: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        Server::bind(args.addr.as_str(), mapper, config)
+    };
+    match bound {
         Ok(server) => {
             println!("hattd listening on {}", server.local_addr());
             server.join();
@@ -221,6 +295,83 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The CI router smoke: boot two in-process shard daemons plus a
+/// consistent-hash router over them, map a synthetic roster through the
+/// router, and require the responses to be bit-identical to in-process
+/// mappings with both shards healthy in the router's `stats`.
+fn route_check(args: &Args) -> Result<String, String> {
+    let shard_a = Server::bind("127.0.0.1:0", build_mapper(args)?, server_config(args))
+        .map_err(|e| format!("shard a: bind: {e}"))?;
+    let shard_b = Server::bind("127.0.0.1:0", build_mapper(args)?, server_config(args))
+        .map_err(|e| format!("shard b: bind: {e}"))?;
+    let shards = vec![
+        shard_a.local_addr().to_string(),
+        shard_b.local_addr().to_string(),
+    ];
+    let router = Server::bind_router("127.0.0.1:0", &shards, server_config(args))
+        .map_err(|e| format!("router: bind: {e}"))?;
+    let reference = build_mapper(args)?;
+
+    let hams: Vec<MajoranaSum> = (2..26).map(MajoranaSum::uniform_singles).collect();
+    let reply = client::request(
+        router.local_addr(),
+        &MapRequest::new("route-check", hams.clone()),
+    )
+    .map_err(|e| format!("routed request: {e}"))?;
+    if reply.done.errors != 0 {
+        return Err(format!("routed request had errors: {:?}", reply.done));
+    }
+    let items = reply.into_ordered();
+    if items.len() != hams.len() {
+        return Err(format!(
+            "expected {} items, got {}",
+            hams.len(),
+            items.len()
+        ));
+    }
+    for (i, (item, h)) in items.iter().zip(&hams).enumerate() {
+        let mapping = item
+            .mapping()
+            .ok_or_else(|| format!("item {i} is an error: {:?}", item.error()))?;
+        let local = reference
+            .map(h)
+            .map_err(|e| format!("local map {i}: {e}"))?;
+        if mapping.tree() != local.tree() {
+            return Err(format!(
+                "item {i}: routed tree differs from in-process tree"
+            ));
+        }
+    }
+
+    let stats = client::stats(router.local_addr(), "route-check-stats")
+        .map_err(|e| format!("router stats: {e}"))?;
+    if stats.shards.len() != 2 {
+        return Err(format!(
+            "expected 2 shards in stats, got {}",
+            stats.shards.len()
+        ));
+    }
+    if let Some(sick) = stats.shards.iter().find(|s| !s.healthy) {
+        return Err(format!("shard {} reported unhealthy", sick.addr));
+    }
+    let forwarded: u64 = stats.shards.iter().map(|s| s.forwarded).sum();
+    if forwarded != hams.len() as u64 {
+        return Err(format!(
+            "router forwarded {forwarded} items, expected {}",
+            hams.len()
+        ));
+    }
+
+    router.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
+    Ok(format!(
+        "hattd route-check ok: {} items routed across 2 shards, trees bit-identical, \
+         both shards healthy",
+        hams.len()
+    ))
 }
 
 /// Boots an ephemeral server, round-trips a request through a real

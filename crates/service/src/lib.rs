@@ -8,14 +8,21 @@
 //! `hattd` binary) with a matching [`client`] helper.
 //!
 //! ```text
-//! client ──(map_request line)──▶ hattd ──▶ Scheduler (bounded queue)
-//!                                              │ par_map over workers
-//!                                              ▼
-//!                                     Mapper + MappingCache
-//!                                              │
-//! client ◀─(map_item line per item, streamed)──┘
+//! client ──(map_request line)──▶ hattd event loop ──▶ Scheduler
+//!            non-blocking socket,      (bounded, fair queue)
+//!            readiness-multiplexed          │ par_map over workers
+//!                                           ▼
+//!                                  Mapper + MappingCache
+//!                                           │
+//! client ◀─(map_item line per item, streamed)
 //!        ◀─(map_done line)
 //! ```
+//!
+//! Connections are owned by a small set of readiness-based event-loop
+//! workers (`vendor/poll` over non-blocking sockets) — no per-connection
+//! thread, no blocking write to a slow client. [`Server::bind_router`]
+//! swaps the scheduler for a consistent-hash shard router that fans
+//! request items out to the shard daemons owning their structure keys.
 //!
 //! Responses stream **one line per batch item as it completes**, so a
 //! large batch's fast items arrive while slow ones still construct.
@@ -51,6 +58,8 @@ pub mod client;
 mod error;
 mod metrics;
 mod proto;
+mod reactor;
+mod router;
 mod scheduler;
 mod server;
 
@@ -58,7 +67,7 @@ pub use client::MapReply;
 pub use error::ServiceError;
 pub use proto::{
     ItemError, ItemPayload, LatencyBucket, MapDeltaRequest, MapDone, MapItem, MapRequest,
-    PolicyLatency, RequestLine, ResponseLine, StatsReply, StatsRequest, TierStats,
+    PolicyLatency, RequestLine, ResponseLine, ShardStats, StatsReply, StatsRequest, TierStats,
 };
 pub use scheduler::{ClientId, Scheduler, SchedulerConfig};
 pub use server::{Server, ServerConfig};

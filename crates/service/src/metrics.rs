@@ -63,6 +63,13 @@ pub(crate) struct Metrics {
     pub(crate) oversize_lines: AtomicU64,
     /// Map requests accepted into the scheduler.
     pub(crate) requests: AtomicU64,
+    /// Queued items skipped because their connection hung up before
+    /// they were dispatched — work the disconnect cancellation saved.
+    pub(crate) items_cancelled: AtomicU64,
+    /// Event-loop poll returns across every reactor worker. Near-idle
+    /// servers should barely move this — the counter the idle-churn
+    /// regression test watches.
+    pub(crate) wakeups: AtomicU64,
     /// Per-policy job latency (policy string → histogram). A `BTreeMap`
     /// so the `stats` reply lists policies in a deterministic order.
     latencies: Mutex<BTreeMap<String, Histogram>>,

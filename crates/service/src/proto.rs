@@ -552,6 +552,26 @@ pub struct PolicyLatency {
     pub buckets: Vec<LatencyBucket>,
 }
 
+/// Health and traffic counters of one routed shard. Only populated by
+/// `hattd --route`; a single daemon reports an empty shard list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard's address as configured on the router command line.
+    pub addr: String,
+    /// False while the shard's last forward (including its reconnect
+    /// retry) failed; true again after the next success.
+    pub healthy: bool,
+    /// Jobs accepted for this shard, not yet forwarded.
+    pub queue_depth: usize,
+    /// Items relayed back from this shard since boot.
+    pub forwarded: u64,
+    /// Forward attempts answered with typed errors instead (shard
+    /// unreachable or mid-response failure after retry).
+    pub errors: u64,
+    /// Items shed with `overloaded` because the shard queue was full.
+    pub shed: u64,
+}
+
 /// The daemon's observability snapshot (`kind: "stats"`), answering a
 /// [`StatsRequest`]: queue depth, connection counters, per-tier cache
 /// hit/miss, persistent-store health and per-policy latency histograms.
@@ -577,12 +597,20 @@ pub struct StatsReply {
     /// structure was found in a cache tier, so only the touched
     /// frontier was re-scored instead of a cold construction.
     pub remaps: u64,
+    /// Queued items skipped because their connection hung up before
+    /// dispatch — work the disconnect cancellation saved.
+    pub cancelled_items: u64,
+    /// Event-loop poll returns across every reactor worker since boot.
+    /// An idle server should barely move this counter.
+    pub event_loop_wakeups: u64,
     /// The in-memory structure cache tier.
     pub cache: TierStats,
     /// The persistent store tier (`None` when running memory-only).
     pub store: Option<StoreTierStats>,
     /// Per-policy latency histograms, deterministically ordered.
     pub policies: Vec<PolicyLatency>,
+    /// Per-shard router health (`hattd --route` only; empty otherwise).
+    pub shards: Vec<ShardStats>,
 }
 
 impl StatsReply {
@@ -644,9 +672,32 @@ impl StatsReply {
                 ("requests".into(), Json::int(self.requests)),
                 ("constructions".into(), Json::int(self.constructions)),
                 ("remaps".into(), Json::int(self.remaps)),
+                ("cancelled_items".into(), Json::int(self.cancelled_items)),
+                (
+                    "event_loop_wakeups".into(),
+                    Json::int(self.event_loop_wakeups),
+                ),
                 ("cache".into(), cache),
                 ("store".into(), store),
                 ("policies".into(), Json::Arr(policies)),
+                (
+                    "shards".into(),
+                    Json::Arr(
+                        self.shards
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("addr".into(), Json::str(&s.addr)),
+                                    ("healthy".into(), Json::Bool(s.healthy)),
+                                    ("queue_depth".into(), Json::int(s.queue_depth as u64)),
+                                    ("forwarded".into(), Json::int(s.forwarded)),
+                                    ("errors".into(), Json::int(s.errors)),
+                                    ("shed".into(), Json::int(s.shed)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         )
     }
@@ -714,9 +765,38 @@ impl StatsReply {
                 None | Some(Json::Null) => 0,
                 Some(v) => as_u64(v, CTX)?,
             },
+            // Likewise additive (event-loop rework): tolerate absence.
+            cancelled_items: match get(pairs, "cancelled_items") {
+                None | Some(Json::Null) => 0,
+                Some(v) => as_u64(v, CTX)?,
+            },
+            event_loop_wakeups: match get(pairs, "event_loop_wakeups") {
+                None | Some(Json::Null) => 0,
+                Some(v) => as_u64(v, CTX)?,
+            },
             cache,
             store,
             policies,
+            // Additive (shard router): absent means "not a router".
+            shards: match get(pairs, "shards") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(v) => {
+                    const SHCTX: &str = "stats shard";
+                    let mut shards = Vec::new();
+                    for s in as_arr(v, CTX)? {
+                        let sp = as_obj(s, SHCTX)?;
+                        shards.push(ShardStats {
+                            addr: as_str(field(sp, "addr", SHCTX)?, SHCTX)?.to_string(),
+                            healthy: as_bool(field(sp, "healthy", SHCTX)?, SHCTX)?,
+                            queue_depth: as_usize(field(sp, "queue_depth", SHCTX)?, SHCTX)?,
+                            forwarded: as_u64(field(sp, "forwarded", SHCTX)?, SHCTX)?,
+                            errors: as_u64(field(sp, "errors", SHCTX)?, SHCTX)?,
+                            shed: as_u64(field(sp, "shed", SHCTX)?, SHCTX)?,
+                        });
+                    }
+                    shards
+                }
+            },
         })
     }
 

@@ -1,0 +1,769 @@
+//! The readiness-based connection engine behind [`Server`]: one
+//! acceptor thread plus N event-loop workers, each owning a set of
+//! **non-blocking** connections it multiplexes with `vendor/poll`
+//! (raw `ppoll`, no libc). Replaces the thread-per-connection model —
+//! and its 100 ms `set_read_timeout` idle spin — with true readiness
+//! wakeups: an idle connection costs zero syscalls until bytes arrive
+//! or the peer hangs up.
+//!
+//! ## Buffer ownership and data flow
+//!
+//! ```text
+//! acceptor ──(stream+slot)──▶ worker intake ──▶ Conn {
+//!     read:  kernel ─▶ LineScanner (bounded, incremental) ─▶ pending queue
+//!     serve: pending ─▶ Backend::submit_* ─▶ scheduler / shard queues
+//!     done:  completions channel ─(ConnSink wake)─▶ write buffer
+//!     write: write buffer ─▶ kernel, drained on POLLOUT readiness
+//! }
+//! ```
+//!
+//! Every buffer is owned by exactly one connection and only touched by
+//! the worker that owns that connection, so a half-written line can
+//! never interleave into another connection's stream. Backpressure
+//! points, in order: the per-connection pending queue (reads pause at
+//! [`MAX_PENDING`] parsed lines), the write buffer (reads pause and no
+//! further pending request is started above `max_write_buffer`), and
+//! the backend's bounded queues (a full queue sheds the request with a
+//! typed `overloaded` error instead of stalling the worker).
+//!
+//! Responses stay strictly serialized per connection: one request's
+//! items and `map_done` are fully emitted before the next pending line
+//! is served, exactly like the old one-thread-per-connection loop.
+//!
+//! ## Disconnects
+//!
+//! A peer that closes its read side mid-batch surfaces as a write
+//! error (or `POLLERR`); the worker then flips the connection's shared
+//! cancellation flag so the scheduler skips its still-queued jobs
+//! (counted in `stats` as `cancelled_items`) and drops the connection
+//! state. A peer that merely shuts down its *write* side (EOF on read)
+//! still receives every in-flight response before the close.
+//!
+//! [`Server`]: crate::Server
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::ServiceError;
+use crate::metrics::{ConnectionSlot, Metrics};
+use crate::proto::{
+    ItemError, ItemPayload, MapDeltaRequest, MapDone, MapItem, MapRequest, RequestLine, StatsReply,
+    StatsRequest,
+};
+use crate::scheduler::ClientId;
+
+/// Parsed-but-unserved lines a connection may queue before its reads
+/// pause (resumed as the queue drains).
+const MAX_PENDING: usize = 64;
+
+/// Most bytes one connection may consume per readiness cycle, so a
+/// blasting peer cannot monopolize its worker's loop.
+const READ_QUANTUM: usize = 256 << 10;
+
+/// What serves requests behind the reactor: the local scheduler+mapper
+/// ([`Server::bind`]) or the consistent-hash shard router
+/// ([`Server::bind_router`]). Submissions must **never block** — they
+/// run on an event-loop worker.
+///
+/// [`Server::bind`]: crate::Server::bind
+/// [`Server::bind_router`]: crate::Server::bind_router
+pub(crate) trait Backend: Send + Sync + 'static {
+    /// Mints the fairness bucket for one connection.
+    fn register_client(&self) -> ClientId;
+    /// The shared counters the reactor layers its own onto.
+    fn metrics(&self) -> &Arc<Metrics>;
+    /// Starts serving a batch request; one [`MapItem`] per item will
+    /// arrive through `sink`. Returns how many items to await.
+    fn submit_map(
+        &self,
+        client: ClientId,
+        req: &MapRequest,
+        sink: &ConnSink,
+    ) -> Result<usize, ServiceError>;
+    /// Starts serving an incremental remap (same contract).
+    fn submit_delta(
+        &self,
+        client: ClientId,
+        req: &MapDeltaRequest,
+        sink: &ConnSink,
+    ) -> Result<usize, ServiceError>;
+    /// Builds the observability snapshot (answered inline — must not
+    /// block on I/O).
+    fn stats(&self, req: &StatsRequest) -> StatsReply;
+    /// Pre-teardown hook, called once after every worker has drained:
+    /// join internal threads, flush persistent tiers.
+    fn drain(&self);
+}
+
+/// Reactor sizing, shared by acceptor and workers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReactorLimits {
+    pub(crate) max_line_bytes: usize,
+    pub(crate) max_connections: usize,
+    /// Above this many buffered response bytes a connection stops
+    /// reading and stops starting new pending requests — the slow
+    /// reader's cost stays on the slow reader.
+    pub(crate) max_write_buffer: usize,
+    /// How long shutdown waits for in-flight responses to flush before
+    /// abandoning unresponsive peers.
+    pub(crate) drain_grace: Duration,
+}
+
+/// Completion path into an event-loop worker: the scheduler (or a shard
+/// forwarder) pushes finished items here; each push wakes the owning
+/// worker. Cloned into every job of the connection's in-flight request.
+#[derive(Debug, Clone)]
+pub(crate) struct ConnSink {
+    token: u64,
+    tx: Sender<(u64, MapItem)>,
+    waker: Arc<poll::Waker>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl ConnSink {
+    /// Delivers one completed item (dropped silently when the
+    /// connection is already gone) and wakes the owning worker.
+    pub(crate) fn send(&self, item: MapItem) {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return;
+        }
+        let _ = self.tx.send((self.token, item));
+        self.waker.wake();
+    }
+
+    /// Whether the owning connection hung up — the scheduler's cue to
+    /// skip this job without running it.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+}
+
+/// One complete scan result of the incremental line scanner.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Scanned {
+    /// A complete line within the size cap (terminator stripped).
+    Line(String),
+    /// A line that exceeded the cap; its bytes were discarded as they
+    /// streamed in, never buffered.
+    Oversize,
+}
+
+/// The bounded incremental line scanner: feed it arbitrary chunks, get
+/// complete lines out. The non-blocking successor of the old
+/// `read_line_bounded` — same cap semantics (an over-long line is
+/// streamed to the bin and reported as [`Scanned::Oversize`]), but
+/// driven by readiness instead of blocking reads.
+#[derive(Debug)]
+pub(crate) struct LineScanner {
+    buf: Vec<u8>,
+    discarding: bool,
+    max: usize,
+}
+
+impl LineScanner {
+    pub(crate) fn new(max: usize) -> LineScanner {
+        LineScanner {
+            buf: Vec::new(),
+            discarding: false,
+            max,
+        }
+    }
+
+    /// Consumes one chunk, appending every completed line to `out`.
+    pub(crate) fn push(&mut self, mut chunk: &[u8], out: &mut Vec<Scanned>) {
+        while let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            let (head, rest) = chunk.split_at(pos);
+            chunk = &rest[1..];
+            if self.discarding || self.buf.len() + head.len() > self.max {
+                self.discarding = false;
+                self.buf.clear();
+                out.push(Scanned::Oversize);
+                continue;
+            }
+            self.buf.extend_from_slice(head);
+            if self.buf.last() == Some(&b'\r') {
+                self.buf.pop();
+            }
+            out.push(Scanned::Line(
+                String::from_utf8_lossy(&self.buf).into_owned(),
+            ));
+            self.buf.clear();
+        }
+        if !self.discarding {
+            if self.buf.len() + chunk.len() > self.max {
+                self.discarding = true;
+                self.buf.clear();
+            } else {
+                self.buf.extend_from_slice(chunk);
+            }
+        }
+    }
+}
+
+/// The per-connection outbound buffer, drained on write readiness. One
+/// owner, one stream — lines are appended whole, so partial writes can
+/// only ever split *this* connection's bytes, never another's.
+#[derive(Debug, Default)]
+struct WriteBuf {
+    buf: VecDeque<u8>,
+}
+
+impl WriteBuf {
+    fn push_line(&mut self, line: &str) {
+        self.buf.extend(line.as_bytes());
+        self.buf.push_back(b'\n');
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes as much as the socket takes right now. `Ok(())` on
+    /// progress or `WouldBlock`; a real error marks the peer dead.
+    fn flush_into(&mut self, mut stream: &TcpStream) -> std::io::Result<()> {
+        while !self.buf.is_empty() {
+            let (head, _) = self.buf.as_slices();
+            match stream.write(head) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted no bytes",
+                    ))
+                }
+                Ok(n) => drop(self.buf.drain(..n)),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed line waiting its serialized turn on one connection.
+enum Pending {
+    Request(Box<RequestLine>),
+    /// A line that failed to parse (the error message).
+    Invalid(String),
+    /// A line that blew the length cap.
+    Oversize,
+}
+
+/// The response stream currently being emitted on one connection.
+struct Inflight {
+    id: String,
+    expected: usize,
+    received: usize,
+    errors: usize,
+}
+
+/// One connection owned by an event-loop worker.
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    /// RAII connection-count claim; released whenever the conn drops.
+    _slot: ConnectionSlot,
+    client: ClientId,
+    sink: ConnSink,
+    scanner: LineScanner,
+    pending: VecDeque<Pending>,
+    inflight: Option<Inflight>,
+    wbuf: WriteBuf,
+    /// Peer sent EOF: serve what's queued, then close.
+    read_closed: bool,
+    /// Transport is broken: cancel queued work and drop.
+    dead: bool,
+}
+
+impl Conn {
+    fn wants_read(&self, limits: &ReactorLimits) -> bool {
+        !self.read_closed
+            && !self.dead
+            && self.pending.len() < MAX_PENDING
+            && self.wbuf.len() < limits.max_write_buffer
+    }
+
+    fn has_work(&self) -> bool {
+        self.inflight.is_some() || !self.pending.is_empty() || !self.wbuf.is_empty()
+    }
+}
+
+/// The handle the acceptor (and `Server::shutdown`) uses to reach one
+/// event-loop worker.
+#[derive(Debug)]
+pub(crate) struct WorkerShared {
+    pub(crate) waker: Arc<poll::Waker>,
+    completions_tx: Sender<(u64, MapItem)>,
+    intake: Mutex<Vec<(TcpStream, ConnectionSlot)>>,
+}
+
+impl WorkerShared {
+    fn lock_intake(&self) -> std::sync::MutexGuard<'_, Vec<(TcpStream, ConnectionSlot)>> {
+        self.intake.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Hands a fresh connection to this worker and wakes it.
+    pub(crate) fn adopt(&self, stream: TcpStream, slot: ConnectionSlot) {
+        self.lock_intake().push((stream, slot));
+        self.waker.wake();
+    }
+}
+
+/// A worker's shared handle plus the private completions receiver its
+/// event loop owns.
+pub(crate) type WorkerPair = (Arc<WorkerShared>, Receiver<(u64, MapItem)>);
+
+/// Builds one worker's shared handle plus the private completions
+/// receiver its event loop owns.
+pub(crate) fn worker_pair() -> std::io::Result<WorkerPair> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let shared = Arc::new(WorkerShared {
+        waker: Arc::new(poll::Waker::new()?),
+        completions_tx: tx,
+        intake: Mutex::new(Vec::new()),
+    });
+    Ok((shared, rx))
+}
+
+/// One event-loop worker: multiplexes its connections until `stop` is
+/// observed and the drain completes (or the grace period expires).
+pub(crate) fn event_loop(
+    shared: &WorkerShared,
+    completions: &Receiver<(u64, MapItem)>,
+    backend: &Arc<dyn Backend>,
+    limits: ReactorLimits,
+    stop: &AtomicBool,
+) {
+    let metrics = Arc::clone(backend.metrics());
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut tokens: Vec<u64> = Vec::new();
+    let mut pollfds: Vec<(RawFd, poll::Interest)> = Vec::new();
+    let mut readiness: Vec<poll::Readiness> = Vec::new();
+    let mut scanned: Vec<Scanned> = Vec::new();
+    let mut next_token: u64 = 1;
+    let mut deadline: Option<Instant> = None;
+
+    loop {
+        let draining = deadline.is_some();
+
+        // Build the poll set: the waker first, then every connection.
+        // Hangup/error readiness is reported even for empty interest,
+        // so paused or write-only connections still notice dying peers.
+        pollfds.clear();
+        tokens.clear();
+        pollfds.push((shared.waker.fd(), poll::Interest::READABLE));
+        tokens.push(0);
+        for conn in &conns {
+            pollfds.push((
+                conn.fd,
+                poll::Interest {
+                    readable: !draining && conn.wants_read(&limits),
+                    writable: !conn.wbuf.is_empty(),
+                },
+            ));
+            tokens.push(conn.sink.token);
+        }
+
+        let timeout = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        if poll::wait(&pollfds, timeout, &mut readiness).is_err() {
+            // EINVAL-class failures are not actionable per-iteration;
+            // back off instead of spinning.
+            std::thread::sleep(Duration::from_millis(10));
+            readiness.clear();
+            readiness.resize(pollfds.len(), poll::Readiness::default());
+        }
+        metrics.wakeups.fetch_add(1, Ordering::Relaxed);
+
+        if readiness.first().is_some_and(poll::Readiness::any) {
+            shared.waker.drain();
+        }
+
+        // Adopt connections the acceptor handed over. During a drain,
+        // late arrivals are closed immediately (accept raced the stop).
+        for (stream, slot) in shared.lock_intake().drain(..) {
+            if stop.load(Ordering::SeqCst) {
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            // Responses are batched per readiness cycle already; don't
+            // let Nagle delay a small batch further.
+            let _ = stream.set_nodelay(true);
+            let fd = stream.as_raw_fd();
+            let sink = ConnSink {
+                token: next_token,
+                tx: shared.completions_tx.clone(),
+                waker: Arc::clone(&shared.waker),
+                cancelled: Arc::new(AtomicBool::new(false)),
+            };
+            next_token += 1;
+            conns.push(Conn {
+                stream,
+                fd,
+                _slot: slot,
+                client: backend.register_client(),
+                sink,
+                scanner: LineScanner::new(limits.max_line_bytes),
+                pending: VecDeque::new(),
+                inflight: None,
+                wbuf: WriteBuf::default(),
+                read_closed: false,
+                dead: false,
+            });
+        }
+
+        // Deliver completed items into their connections' write buffers.
+        while let Ok((token, item)) = completions.try_recv() {
+            if let Some(conn) = conns.iter_mut().find(|c| c.sink.token == token) {
+                on_item(conn, item);
+            }
+        }
+
+        // Socket readiness: reads first (they can enqueue work), then
+        // writes flush whatever this cycle produced.
+        for (i, r) in readiness.iter().enumerate().skip(1) {
+            if !r.any() {
+                continue;
+            }
+            let token = tokens[i];
+            let Some(conn) = conns.iter_mut().find(|c| c.sink.token == token) else {
+                continue;
+            };
+            if r.readable || r.hangup || r.error {
+                do_read(conn, &metrics, &mut scanned);
+            }
+        }
+
+        // Observe a freshly-signalled stop: no new requests; answer
+        // parsed-but-unserved lines with typed `shutting_down` errors,
+        // then let in-flight responses finish and flush under the
+        // grace deadline.
+        if stop.load(Ordering::SeqCst) && deadline.is_none() {
+            deadline = Some(Instant::now() + limits.drain_grace);
+            for conn in &mut conns {
+                reject_pending_for_shutdown(conn);
+            }
+        }
+
+        for conn in &mut conns {
+            serve_pending(conn, backend, &limits);
+            if !conn.wbuf.is_empty() && conn.wbuf.flush_into(&conn.stream).is_err() {
+                conn.dead = true;
+            }
+            // The flush may have made room to start the next request.
+            serve_pending(conn, backend, &limits);
+        }
+
+        // Reap: broken transports cancel their queued work; cleanly
+        // closed peers leave once everything owed them was written.
+        conns.retain(|conn| {
+            if conn.dead {
+                conn.sink.cancel();
+                return false;
+            }
+            if conn.read_closed && !conn.has_work() {
+                return false;
+            }
+            true
+        });
+
+        if let Some(d) = deadline {
+            let expired = Instant::now() >= d;
+            if expired {
+                // Whoever hasn't taken their bytes by now isn't going
+                // to; cancel what remains so the scheduler drains fast.
+                for conn in &conns {
+                    conn.sink.cancel();
+                }
+            }
+            if expired || conns.iter().all(|c| !c.has_work()) {
+                return;
+            }
+        }
+    }
+}
+
+/// Reads until `WouldBlock` (or the per-cycle quantum), feeding the
+/// scanner and queueing parsed lines.
+fn do_read(conn: &mut Conn, metrics: &Metrics, scanned: &mut Vec<Scanned>) {
+    if conn.read_closed || conn.dead {
+        // Still consume readiness on a half-closed socket: an error here
+        // (RST) is how we learn the peer is fully gone.
+        let mut probe = [0u8; 64];
+        match (&conn.stream).read(&mut probe) {
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => conn.dead = true,
+        }
+        return;
+    }
+    let mut chunk = [0u8; 16 << 10];
+    let mut consumed = 0usize;
+    loop {
+        if conn.pending.len() >= MAX_PENDING || consumed >= READ_QUANTUM {
+            break;
+        }
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                consumed += n;
+                scanned.clear();
+                conn.scanner.push(&chunk[..n], scanned);
+                for entry in scanned.drain(..) {
+                    match entry {
+                        Scanned::Oversize => {
+                            metrics.oversize_lines.fetch_add(1, Ordering::Relaxed);
+                            conn.pending.push_back(Pending::Oversize);
+                        }
+                        Scanned::Line(line) => {
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            match RequestLine::from_line(&line) {
+                                Ok(req) => conn.pending.push_back(Pending::Request(Box::new(req))),
+                                Err(e) => conn.pending.push_back(Pending::Invalid(e.to_string())),
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Folds one completed item into its connection's response stream.
+fn on_item(conn: &mut Conn, item: MapItem) {
+    let Some(inflight) = conn.inflight.as_mut() else {
+        // A completion for a request this connection no longer tracks
+        // (cancelled then re-registered token is impossible — tokens
+        // are unique — so this is a late item after an error reply).
+        return;
+    };
+    inflight.received += 1;
+    if !item.is_ok() {
+        inflight.errors += 1;
+    }
+    conn.wbuf.push_line(&item.to_line());
+    if inflight.received >= inflight.expected {
+        let done = MapDone {
+            id: inflight.id.clone(),
+            items: inflight.received,
+            errors: inflight.errors,
+        };
+        conn.wbuf.push_line(&done.to_line());
+        conn.inflight = None;
+    }
+}
+
+/// Emits a request-level error reply (one typed item + `map_done`).
+fn error_reply(conn: &mut Conn, id: &str, error: ItemError) {
+    let item = MapItem {
+        id: id.to_string(),
+        index: None,
+        payload: ItemPayload::Err(error),
+    };
+    conn.wbuf.push_line(&item.to_line());
+    let done = MapDone {
+        id: id.to_string(),
+        items: 1,
+        errors: 1,
+    };
+    conn.wbuf.push_line(&done.to_line());
+}
+
+/// Starts as many pending lines as the serialization and backpressure
+/// rules allow (responses stay strictly in request order).
+fn serve_pending(conn: &mut Conn, backend: &Arc<dyn Backend>, limits: &ReactorLimits) {
+    while conn.inflight.is_none() && conn.wbuf.len() < limits.max_write_buffer && !conn.dead {
+        let Some(next) = conn.pending.pop_front() else {
+            return;
+        };
+        match next {
+            Pending::Oversize => error_reply(
+                conn,
+                "",
+                ItemError::invalid_request(format!(
+                    "request line exceeds the {} byte limit",
+                    limits.max_line_bytes
+                )),
+            ),
+            Pending::Invalid(message) => {
+                error_reply(conn, "", ItemError::invalid_request(message));
+            }
+            Pending::Request(line) => match *line {
+                RequestLine::Stats(req) => {
+                    let reply = backend.stats(&req);
+                    conn.wbuf.push_line(&reply.to_line());
+                }
+                RequestLine::Map(req) => match backend.submit_map(conn.client, &req, &conn.sink) {
+                    Ok(0) => conn.wbuf.push_line(
+                        &MapDone {
+                            id: req.id.clone(),
+                            items: 0,
+                            errors: 0,
+                        }
+                        .to_line(),
+                    ),
+                    Ok(expected) => {
+                        conn.inflight = Some(Inflight {
+                            id: req.id.clone(),
+                            expected,
+                            received: 0,
+                            errors: 0,
+                        });
+                    }
+                    Err(e) => error_reply(
+                        conn,
+                        &req.id.clone(),
+                        ItemError {
+                            code: e.code().to_string(),
+                            message: e.to_string(),
+                        },
+                    ),
+                },
+                RequestLine::Delta(req) => {
+                    match backend.submit_delta(conn.client, &req, &conn.sink) {
+                        Ok(expected) => {
+                            conn.inflight = Some(Inflight {
+                                id: req.id.clone(),
+                                expected,
+                                received: 0,
+                                errors: 0,
+                            });
+                        }
+                        Err(e) => error_reply(
+                            conn,
+                            &req.id.clone(),
+                            ItemError {
+                                code: e.code().to_string(),
+                                message: e.to_string(),
+                            },
+                        ),
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Answers every not-yet-started pending line with a typed
+/// `shutting_down` reply — a stopping server refuses new work loudly
+/// instead of silently dropping parsed requests.
+fn reject_pending_for_shutdown(conn: &mut Conn) {
+    let e = ServiceError::ShuttingDown;
+    while let Some(next) = conn.pending.pop_front() {
+        let id = match &next {
+            Pending::Request(line) => match line.as_ref() {
+                RequestLine::Map(req) => req.id.clone(),
+                RequestLine::Delta(req) => req.id.clone(),
+                RequestLine::Stats(req) => req.id.clone(),
+            },
+            _ => String::new(),
+        };
+        error_reply(
+            conn,
+            &id,
+            ItemError {
+                code: e.code().to_string(),
+                message: e.to_string(),
+            },
+        );
+    }
+}
+
+/// Test-only sink bound to a worker handle, for exercising queue and
+/// sink plumbing without a live socket.
+#[cfg(test)]
+pub(crate) fn test_sink(shared: &WorkerShared) -> ConnSink {
+    ConnSink {
+        token: 1,
+        tx: shared.completions_tx.clone(),
+        waker: Arc::clone(&shared.waker),
+        cancelled: Arc::new(AtomicBool::new(false)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(scanner: &mut LineScanner, chunks: &[&[u8]]) -> Vec<Scanned> {
+        let mut out = Vec::new();
+        for chunk in chunks {
+            scanner.push(chunk, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn scanner_reassembles_lines_split_across_chunks() {
+        let mut s = LineScanner::new(64);
+        let out = lines(&mut s, &[b"hel", b"lo\nwor", b"ld\r\n", b"tail"]);
+        assert_eq!(
+            out,
+            [Scanned::Line("hello".into()), Scanned::Line("world".into())]
+        );
+        // The unterminated tail stays buffered until its newline.
+        let out = lines(&mut s, &[b"!\n"]);
+        assert_eq!(out, [Scanned::Line("tail!".into())]);
+    }
+
+    #[test]
+    fn scanner_discards_oversize_lines_without_buffering_them() {
+        let mut s = LineScanner::new(8);
+        // 30 bytes streamed in small chunks: must never be accumulated.
+        let out = lines(&mut s, &[b"0123456789", b"0123456789", b"0123456789\nok\n"]);
+        assert_eq!(out, [Scanned::Oversize, Scanned::Line("ok".into())]);
+        assert!(s.buf.capacity() <= 16, "oversize bytes were buffered");
+    }
+
+    #[test]
+    fn scanner_boundary_is_exact() {
+        let mut s = LineScanner::new(4);
+        let out = lines(&mut s, &[b"abcd\nabcde\nab\n"]);
+        assert_eq!(
+            out,
+            [
+                Scanned::Line("abcd".into()),
+                Scanned::Oversize,
+                Scanned::Line("ab".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn write_buf_appends_whole_lines() {
+        let mut w = WriteBuf::default();
+        w.push_line("abc");
+        w.push_line("de");
+        assert_eq!(w.len(), 7);
+        let bytes: Vec<u8> = w.buf.iter().copied().collect();
+        assert_eq!(bytes, b"abc\nde\n");
+        assert!(!w.is_empty());
+    }
+}

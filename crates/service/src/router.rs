@@ -1,0 +1,645 @@
+//! The consistent-hash shard router behind `hattd --route`: a reactor
+//! front-end (same event loop as the local server) whose backend fans
+//! each request item out to the shard that owns the item's canonical
+//! structure key, instead of a local scheduler.
+//!
+//! ## Why hash the structure key
+//!
+//! The `MappingCache` and the persistent store are already
+//! content-addressed by the coefficient-independent FNV-1a structure
+//! key of a Hamiltonian (the paper's observation that the HATT tree
+//! depends only on the *support structure*). Routing on the same key
+//! means every structure has exactly one owning shard, so shard caches
+//! partition the keyspace instead of duplicating it — adding a shard
+//! grows aggregate cache capacity nearly linearly, and the consistent
+//! ring keeps most keys on their old owner when the shard set changes.
+//!
+//! ## Data flow and backpressure
+//!
+//! ```text
+//! client ──▶ router reactor ──(group items by ring owner)──▶ per-shard
+//!   bounded queue ──▶ forwarder thread (persistent connection, one
+//!   retry on transport error) ──▶ shard hattd ──▶ items stream back,
+//!   indices translated to the client's, into the client's ConnSink
+//! ```
+//!
+//! A full shard queue **sheds** that shard's slice of the request with
+//! typed `overloaded` items (the other shards' slices proceed); a
+//! shard that stays unreachable after a reconnect answers its slice
+//! with typed `io` items and is marked unhealthy in `stats` until a
+//! forward succeeds again. The router never blocks an event-loop
+//! worker on a shard.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hatt_core::structure_key;
+
+use crate::error::ServiceError;
+use crate::metrics::Metrics;
+use crate::proto::{
+    ItemError, ItemPayload, MapDeltaRequest, MapItem, MapRequest, ResponseLine, ShardStats,
+    StatsReply, StatsRequest, TierStats,
+};
+use crate::reactor::{Backend, ConnSink, ReactorLimits};
+use crate::scheduler::ClientId;
+
+/// Virtual points per shard on the ring: enough to keep the keyspace
+/// split within a few percent of even for small shard counts.
+const RING_REPLICAS: usize = 64;
+
+/// 64-bit FNV-1a over a byte stream — the same construction (offset
+/// basis + prime) as the structure key itself, applied to shard labels
+/// to place ring points.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A consistent-hash ring over shard indices: `owner(key)` is the
+/// first ring point at or after `key` (wrapping), so re-labelling or
+/// resizing the shard set moves only the keys between affected points.
+#[derive(Debug)]
+pub(crate) struct HashRing {
+    /// `(point, shard index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    pub(crate) fn new(labels: &[String]) -> HashRing {
+        let mut points: Vec<(u64, usize)> = labels
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, label)| {
+                (0..RING_REPLICAS).map(move |replica| {
+                    let bytes = label
+                        .bytes()
+                        .chain(std::iter::once(b'#'))
+                        .chain((replica as u64).to_le_bytes());
+                    (fnv1a(bytes), shard)
+                })
+            })
+            .collect();
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The shard owning `key`.
+    pub(crate) fn owner(&self, key: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < key);
+        self.points[i % self.points.len()].1
+    }
+}
+
+/// One unit of forwarding work: a sub-request bound for one shard.
+struct ShardJob {
+    payload: ShardPayload,
+    sink: ConnSink,
+}
+
+enum ShardPayload {
+    /// A slice of a batch request; `orig[i]` is the client-side index
+    /// of the sub-request's item `i`.
+    Map { sub: MapRequest, orig: Vec<usize> },
+    /// A whole remap request (routed by its base structure's key so it
+    /// lands on the shard whose cache holds the ancestor tree).
+    Delta(MapDeltaRequest),
+}
+
+impl ShardJob {
+    fn item_count(&self) -> usize {
+        match &self.payload {
+            ShardPayload::Map { orig, .. } => orig.len(),
+            ShardPayload::Delta(_) => 1,
+        }
+    }
+
+    fn id(&self) -> &str {
+        match &self.payload {
+            ShardPayload::Map { sub, .. } => &sub.id,
+            ShardPayload::Delta(req) => &req.id,
+        }
+    }
+
+    /// Translates a sub-request item index back to the client's.
+    fn orig_index(&self, i: usize) -> Option<usize> {
+        match &self.payload {
+            ShardPayload::Map { orig, .. } => orig.get(i).copied(),
+            ShardPayload::Delta(_) => (i == 0).then_some(0),
+        }
+    }
+
+    fn to_line(&self) -> String {
+        match &self.payload {
+            ShardPayload::Map { sub, .. } => sub.to_line(),
+            ShardPayload::Delta(req) => req.to_line(),
+        }
+    }
+}
+
+/// The bounded job queue in front of one forwarder thread.
+struct ShardQueue {
+    state: Mutex<(VecDeque<ShardJob>, bool)>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    fn new(capacity: usize) -> ShardQueue {
+        ShardQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (VecDeque<ShardJob>, bool)> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Non-blocking (event-loop safe): `Err` hands the job back when
+    /// the queue is full or shutting down — the caller sheds it.
+    #[allow(clippy::result_large_err)] // Err returns the job to the caller by design
+    fn try_push(&self, job: ShardJob) -> Result<(), ShardJob> {
+        let mut state = self.lock();
+        if state.1 || state.0.len() >= self.capacity {
+            return Err(job);
+        }
+        state.0.push_back(job);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once shut down *and* drained
+    /// (already-accepted work is always forwarded or answered).
+    fn pop(&self) -> Option<ShardJob> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.lock().0.len()
+    }
+
+    fn shutdown(&self) {
+        self.lock().1 = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// Health and traffic counters of one shard, surfaced in `stats`.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    /// False after a forward failed (reconnect included); true again
+    /// after the next success. Fresh shards start healthy.
+    unhealthy: AtomicBool,
+    forwarded: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+}
+
+struct Shard {
+    addr: String,
+    queue: Arc<ShardQueue>,
+    counters: Arc<ShardCounters>,
+    forwarder: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The router backend: groups request items by ring owner, enqueues
+/// per-shard sub-requests, and reports per-shard health.
+pub(crate) struct RouterBackend {
+    shards: Vec<Shard>,
+    ring: HashRing,
+    metrics: Arc<Metrics>,
+    limits: ReactorLimits,
+    next_client: AtomicU64,
+}
+
+impl RouterBackend {
+    /// Spawns one forwarder per shard address. `shard_queue` bounds
+    /// each shard's accepted-but-not-forwarded backlog (requests
+    /// beyond it are shed with typed `overloaded` items).
+    pub(crate) fn new(
+        shard_addrs: &[String],
+        shard_queue: usize,
+        limits: ReactorLimits,
+    ) -> std::io::Result<RouterBackend> {
+        let metrics = Arc::new(Metrics::default());
+        let mut shards = Vec::with_capacity(shard_addrs.len());
+        for addr in shard_addrs {
+            let queue = Arc::new(ShardQueue::new(shard_queue));
+            let counters = Arc::new(ShardCounters::default());
+            let forwarder = {
+                let addr = addr.clone();
+                let queue = Arc::clone(&queue);
+                let counters = Arc::clone(&counters);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("hattd-fwd-{addr}"))
+                    .spawn(move || forwarder_loop(&addr, &queue, &counters, &metrics))?
+            };
+            shards.push(Shard {
+                addr: addr.clone(),
+                queue,
+                counters,
+                forwarder: Mutex::new(Some(forwarder)),
+            });
+        }
+        Ok(RouterBackend {
+            ring: HashRing::new(shard_addrs),
+            shards,
+            metrics,
+            limits,
+            next_client: AtomicU64::new(0),
+        })
+    }
+
+    /// Sheds one shard slice: every affected client index gets a typed
+    /// `overloaded` item immediately.
+    fn shed(&self, shard: &Shard, id: &str, indices: &[usize], sink: &ConnSink) {
+        shard
+            .counters
+            .shed
+            .fetch_add(indices.len() as u64, Ordering::Relaxed);
+        let e = ServiceError::Overloaded;
+        for &index in indices {
+            sink.send(MapItem {
+                id: id.to_string(),
+                index: Some(index),
+                payload: ItemPayload::Err(ItemError {
+                    code: e.code().to_string(),
+                    message: format!("shard {} queue is full; retry later", shard.addr),
+                }),
+            });
+        }
+    }
+}
+
+impl Backend for RouterBackend {
+    fn register_client(&self) -> ClientId {
+        ClientId::from_raw(self.next_client.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    fn submit_map(
+        &self,
+        _client: ClientId,
+        req: &MapRequest,
+        sink: &ConnSink,
+    ) -> Result<usize, ServiceError> {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // Group client indices by owning shard, preserving order.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (index, h) in req.hamiltonians.iter().enumerate() {
+            groups[self.ring.owner(structure_key(h))].push(index);
+        }
+        for (shard, orig) in self.shards.iter().zip(&groups) {
+            if orig.is_empty() {
+                continue;
+            }
+            let sub = MapRequest {
+                id: req.id.clone(),
+                options: req.options,
+                n_modes: req.n_modes,
+                hamiltonians: orig.iter().map(|&i| req.hamiltonians[i].clone()).collect(),
+            };
+            let job = ShardJob {
+                payload: ShardPayload::Map {
+                    sub,
+                    orig: orig.clone(),
+                },
+                sink: sink.clone(),
+            };
+            if let Err(job) = shard.queue.try_push(job) {
+                self.shed(shard, &req.id, orig, &job.sink);
+            }
+        }
+        Ok(req.hamiltonians.len())
+    }
+
+    fn submit_delta(
+        &self,
+        _client: ClientId,
+        req: &MapDeltaRequest,
+        sink: &ConnSink,
+    ) -> Result<usize, ServiceError> {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // Route by the *base* structure: that's the key under which the
+        // owning shard's cache holds the ancestor tree the incremental
+        // remap wants to reuse.
+        let shard = &self.shards[self.ring.owner(structure_key(&req.hamiltonian))];
+        let job = ShardJob {
+            payload: ShardPayload::Delta(req.clone()),
+            sink: sink.clone(),
+        };
+        if let Err(job) = shard.queue.try_push(job) {
+            self.shed(shard, &req.id, &[0], &job.sink);
+        }
+        Ok(1)
+    }
+
+    fn stats(&self, req: &StatsRequest) -> StatsReply {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| ShardStats {
+                addr: s.addr.clone(),
+                healthy: !s.counters.unhealthy.load(Ordering::Relaxed),
+                queue_depth: s.queue.len(),
+                forwarded: s.counters.forwarded.load(Ordering::Relaxed),
+                errors: s.counters.errors.load(Ordering::Relaxed),
+                shed: s.counters.shed.load(Ordering::Relaxed),
+            })
+            .collect();
+        StatsReply {
+            id: req.id.clone(),
+            queue_depth: self.shards.iter().map(|s| s.queue.len()).sum(),
+            connections: self.metrics.connections_active.load(Ordering::SeqCst),
+            connection_limit: self.limits.max_connections,
+            connections_rejected: self.metrics.connections_rejected.load(Ordering::Relaxed),
+            oversize_lines: self.metrics.oversize_lines.load(Ordering::Relaxed),
+            requests: self.metrics.requests.load(Ordering::Relaxed),
+            // Constructions, caches and latency histograms live on the
+            // shards (probe them directly); the router reports its own
+            // traffic plus per-shard health.
+            constructions: 0,
+            remaps: 0,
+            cancelled_items: self.metrics.items_cancelled.load(Ordering::Relaxed),
+            event_loop_wakeups: self.metrics.wakeups.load(Ordering::Relaxed),
+            cache: TierStats::default(),
+            store: None,
+            policies: Vec::new(),
+            shards,
+        }
+    }
+
+    fn drain(&self) {
+        for shard in &self.shards {
+            shard.queue.shutdown();
+        }
+        for shard in &self.shards {
+            let handle = shard
+                .forwarder
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// One shard's persistent connection (line-buffered both ways).
+struct ShardConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn connect(addr: &str) -> std::io::Result<ShardConn> {
+    let stream = TcpStream::connect(addr)?;
+    // A wedged shard must not pin the forwarder (and the router's
+    // drain) forever; a timeout surfaces as a transport error and the
+    // job is answered with typed items.
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    Ok(ShardConn {
+        reader: BufReader::new(stream.try_clone()?),
+        writer: BufWriter::new(stream),
+    })
+}
+
+/// The per-shard forwarder: pops jobs, relays them over a persistent
+/// connection (reconnecting once per job on transport errors), and
+/// translates item indices back to the client's.
+fn forwarder_loop(addr: &str, queue: &ShardQueue, counters: &ShardCounters, metrics: &Metrics) {
+    let mut conn: Option<ShardConn> = None;
+    while let Some(job) = queue.pop() {
+        if job.sink.is_cancelled() {
+            // The client hung up while the job sat in the queue: skip
+            // the round trip entirely.
+            metrics
+                .items_cancelled
+                .fetch_add(job.item_count() as u64, Ordering::Relaxed);
+            continue;
+        }
+        // `answered` survives the retry so a mid-response reconnect
+        // never double-sends an index (the shard's cache makes the
+        // replayed sub-request cheap).
+        let mut answered = vec![false; job.item_count()];
+        let mut outcome = Err(ServiceError::Protocol("never attempted".into()));
+        for _attempt in 0..2 {
+            let io = match conn.as_mut() {
+                Some(io) => io,
+                None => match connect(addr) {
+                    Ok(fresh) => conn.insert(fresh),
+                    Err(e) => {
+                        outcome = Err(ServiceError::Io(e));
+                        continue;
+                    }
+                },
+            };
+            match forward_once(io, &job, &mut answered, counters) {
+                Ok(()) => {
+                    outcome = Ok(());
+                    break;
+                }
+                Err(e) => {
+                    // Transport is suspect: retry on a fresh connection.
+                    conn = None;
+                    outcome = Err(e);
+                }
+            }
+        }
+        match outcome {
+            Ok(()) => counters.unhealthy.store(false, Ordering::Relaxed),
+            Err(e) => {
+                counters.unhealthy.store(true, Ordering::Relaxed);
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                let error = ItemError {
+                    code: e.code().to_string(),
+                    message: format!("shard {addr} unavailable: {e}"),
+                };
+                for (i, done) in answered.iter().enumerate() {
+                    if *done {
+                        continue;
+                    }
+                    if let Some(index) = job.orig_index(i) {
+                        job.sink.send(MapItem {
+                            id: job.id().to_string(),
+                            index: Some(index),
+                            payload: ItemPayload::Err(error.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Relays one job over an established connection: writes the
+/// sub-request line, streams items back (translating indices), and
+/// covers any index the shard never answered with a typed error.
+fn forward_once(
+    io: &mut ShardConn,
+    job: &ShardJob,
+    answered: &mut [bool],
+    counters: &ShardCounters,
+) -> Result<(), ServiceError> {
+    io.writer.write_all(job.to_line().as_bytes())?;
+    io.writer.write_all(b"\n")?;
+    io.writer.flush()?;
+    let mut request_error: Option<ItemError> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if io.reader.read_line(&mut line)? == 0 {
+            return Err(ServiceError::Protocol(
+                "shard closed the connection mid-response".into(),
+            ));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match ResponseLine::from_line(line.trim_end())? {
+            ResponseLine::Item(mut item) => match item.index {
+                Some(i) if i < answered.len() && !answered[i] => {
+                    answered[i] = true;
+                    item.index = job.orig_index(i);
+                    counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                    job.sink.send(item);
+                }
+                // Request-level (index-less) errors from the shard are
+                // remembered and fanned to every unanswered index below.
+                _ => {
+                    if let ItemPayload::Err(e) = item.payload {
+                        request_error = Some(e);
+                    }
+                }
+            },
+            ResponseLine::Done(_) => break,
+        }
+    }
+    let fallback = request_error.unwrap_or_else(|| ItemError {
+        code: "internal".to_string(),
+        message: "shard response did not cover this item".to_string(),
+    });
+    for (i, done) in answered.iter_mut().enumerate() {
+        if *done {
+            continue;
+        }
+        *done = true;
+        if let Some(index) = job.orig_index(i) {
+            job.sink.send(MapItem {
+                id: job.id().to_string(),
+                index: Some(index),
+                payload: ItemPayload::Err(fallback.clone()),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hatt_fermion::MajoranaSum;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn ring_assignment_is_deterministic_and_total() {
+        let a = HashRing::new(&labels(3));
+        let b = HashRing::new(&labels(3));
+        for key in (0..10_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            let owner = a.owner(key);
+            assert!(owner < 3);
+            assert_eq!(owner, b.owner(key), "same labels, same ring");
+        }
+    }
+
+    #[test]
+    fn ring_spreads_structure_keys_across_shards() {
+        let ring = HashRing::new(&labels(2));
+        let mut counts = [0usize; 2];
+        for n in 2..40 {
+            counts[ring.owner(structure_key(&MajoranaSum::uniform_singles(n)))] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "both shards should own some of the workload: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn ring_growth_moves_only_a_fraction_of_keys() {
+        let two = HashRing::new(&labels(2));
+        let three = HashRing::new(&labels(3));
+        let keys: Vec<u64> = (0..20_000u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
+        let moved = keys
+            .iter()
+            .filter(|&&k| {
+                let before = two.owner(k);
+                let after = three.owner(k);
+                after != before && after != 2
+            })
+            .count();
+        // Consistent hashing: keys either stay put or move to the new
+        // shard; cross-migration between surviving shards stays small.
+        assert!(
+            moved * 10 < keys.len(),
+            "{moved} of {} keys migrated between surviving shards",
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn shard_queue_bounds_and_drains() {
+        let q = ShardQueue::new(2);
+        let sink_parts = crate::reactor::worker_pair().expect("pair");
+        let mk = || ShardJob {
+            payload: ShardPayload::Map {
+                sub: MapRequest::new("r", vec![]),
+                orig: vec![],
+            },
+            sink: crate::reactor::test_sink(&sink_parts.0),
+        };
+        assert!(q.try_push(mk()).is_ok());
+        assert!(q.try_push(mk()).is_ok());
+        assert!(q.try_push(mk()).is_err(), "third job must be shed");
+        assert_eq!(q.len(), 2);
+        q.shutdown();
+        assert!(q.try_push(mk()).is_err(), "no work after shutdown");
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none(), "drained and shut down");
+    }
+}

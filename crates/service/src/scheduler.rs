@@ -52,12 +52,13 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use hatt_core::{HattError, HattOptions, Mapper};
-use hatt_fermion::MajoranaSum;
+use hatt_fermion::{HamiltonianDelta, MajoranaSum};
 use hatt_mappings::FermionMapping;
 
 use crate::error::ServiceError;
 use crate::metrics::Metrics;
-use crate::proto::{ItemError, ItemPayload, MapItem, MapRequest};
+use crate::proto::{ItemError, ItemPayload, MapDeltaRequest, MapItem, MapRequest};
+use crate::reactor::ConnSink;
 
 /// Scheduler sizing.
 #[derive(Debug, Clone)]
@@ -80,14 +81,59 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// One queued unit of work: a single Hamiltonian of some request.
+/// Where one job's finished [`MapItem`] goes.
+enum JobSink {
+    /// The in-process API path: a per-request channel the caller holds
+    /// the receiving end of ([`Scheduler::submit`] and friends).
+    Channel(Sender<MapItem>),
+    /// The event-loop path: completions are tagged with the owning
+    /// connection token and the owning reactor worker is woken.
+    Conn(ConnSink),
+}
+
+impl JobSink {
+    fn send(&self, item: MapItem) {
+        match self {
+            // A dropped receiver (caller went away) is not an error —
+            // the work is already done and cached.
+            JobSink::Channel(tx) => drop(tx.send(item)),
+            JobSink::Conn(sink) => sink.send(item),
+        }
+    }
+
+    /// Whether the destination hung up before this job ran — the signal
+    /// to skip the work entirely.
+    fn cancelled(&self) -> bool {
+        match self {
+            JobSink::Channel(_) => false,
+            JobSink::Conn(sink) => sink.is_cancelled(),
+        }
+    }
+}
+
+/// The computation of one queued job.
+enum Work {
+    /// Map one Hamiltonian of a batch request.
+    Map {
+        index: usize,
+        h: MajoranaSum,
+        expected_modes: Option<usize>,
+    },
+    /// Apply a structural delta to a base Hamiltonian and remap it,
+    /// reusing the cached ancestor tree when the base is known (the
+    /// incremental fast path of [`hatt_core::MappingCache`]).
+    Remap {
+        hamiltonian: MajoranaSum,
+        delta: HamiltonianDelta,
+    },
+}
+
+/// One queued unit of work: a single item of some request.
 struct Job {
     id: String,
-    index: usize,
-    h: MajoranaSum,
     options: HattOptions,
-    expected_modes: Option<usize>,
-    tx: Sender<MapItem>,
+    work: Work,
+    sink: JobSink,
 }
 
 /// Identifies one submission source (typically: one connection) for the
@@ -96,6 +142,15 @@ struct Job {
 /// fresh one per call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ClientId(u64);
+
+impl ClientId {
+    /// Builds a client id from a raw counter value — for submission
+    /// sources that mint their own ids (the shard router has no
+    /// scheduler to register with).
+    pub(crate) fn from_raw(raw: u64) -> ClientId {
+        ClientId(raw)
+    }
+}
 
 /// A queue of jobs bucketed by client, drained round-robin: each drain
 /// turn takes one job from the least-recently-served non-empty client.
@@ -186,7 +241,7 @@ impl Shared {
 #[derive(Debug)]
 pub struct Scheduler {
     shared: Arc<Shared>,
-    dispatcher: Option<JoinHandle<()>>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -228,8 +283,29 @@ impl Scheduler {
         };
         Ok(Scheduler {
             shared,
-            dispatcher: Some(dispatcher),
+            dispatcher: Mutex::new(Some(dispatcher)),
         })
+    }
+
+    /// Signals shutdown and joins the dispatcher: every already-queued
+    /// job is still dispatched and answered first. Idempotent, callable
+    /// through a shared reference (the server drains its backend behind
+    /// an `Arc`); [`Drop`] calls it too.
+    pub(crate) fn drain(&self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        let handle = self
+            .dispatcher
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
     }
 
     /// Jobs currently queued (not yet dispatched).
@@ -312,11 +388,13 @@ impl Scheduler {
                 client,
                 Job {
                     id: req.id.clone(),
-                    index,
-                    h: h.clone(),
                     options,
-                    expected_modes: req.n_modes,
-                    tx: tx.clone(),
+                    work: Work::Map {
+                        index,
+                        h: h.clone(),
+                        expected_modes: req.n_modes,
+                    },
+                    sink: JobSink::Channel(tx.clone()),
                 },
             );
             self.shared.not_empty.notify_all();
@@ -324,19 +402,88 @@ impl Scheduler {
         self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
         Ok(rx)
     }
+
+    /// The event-loop submission path for a batch request: every item
+    /// completion goes through `sink` (tagged with its connection and
+    /// waking the owning reactor worker). **Never blocks** — a reactor
+    /// worker must not stall every connection it owns on one full
+    /// queue, so an oversubscribed queue sheds the request with
+    /// [`ServiceError::Overloaded`] instead of applying backpressure.
+    /// Returns the number of items the caller should await.
+    pub(crate) fn submit_conn(
+        &self,
+        client: ClientId,
+        req: &MapRequest,
+        sink: &ConnSink,
+    ) -> Result<usize, ServiceError> {
+        let options = req.options.unwrap_or(*self.shared.mapper.options());
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if state.jobs.len() + req.hamiltonians.len() > self.shared.capacity {
+            return Err(ServiceError::Overloaded);
+        }
+        for (index, h) in req.hamiltonians.iter().enumerate() {
+            state.jobs.push(
+                client,
+                Job {
+                    id: req.id.clone(),
+                    options,
+                    work: Work::Map {
+                        index,
+                        h: h.clone(),
+                        expected_modes: req.n_modes,
+                    },
+                    sink: JobSink::Conn(sink.clone()),
+                },
+            );
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        Ok(req.hamiltonians.len())
+    }
+
+    /// The event-loop submission path for an incremental remap: one
+    /// queued job, same shedding contract as [`Scheduler::submit_conn`].
+    /// Running the remap through the queue (instead of inline on a
+    /// connection thread, as the thread-per-connection server did)
+    /// keeps the reactor worker free while the frontier re-scores.
+    pub(crate) fn submit_delta_conn(
+        &self,
+        client: ClientId,
+        req: &MapDeltaRequest,
+        sink: &ConnSink,
+    ) -> Result<usize, ServiceError> {
+        let options = req.options.unwrap_or(*self.shared.mapper.options());
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.shared.capacity {
+            return Err(ServiceError::Overloaded);
+        }
+        state.jobs.push(
+            client,
+            Job {
+                id: req.id.clone(),
+                options,
+                work: Work::Remap {
+                    hamiltonian: req.hamiltonian.clone(),
+                    delta: req.delta.clone(),
+                },
+                sink: JobSink::Conn(sink.clone()),
+            },
+        );
+        self.shared.not_empty.notify_all();
+        self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        Ok(1)
+    }
 }
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        {
-            let mut state = self.shared.lock();
-            state.shutdown = true;
-        }
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
-        if let Some(handle) = self.dispatcher.take() {
-            let _ = handle.join();
-        }
+        self.drain();
     }
 }
 
@@ -369,6 +516,21 @@ fn dispatch_loop(shared: &Shared) {
             shared.not_full.notify_all();
             batch
         };
+        // Disconnect cancellation: a job whose connection hung up is
+        // dead weight — skip the construction entirely. The check sits
+        // here (per dispatch round, not only at enqueue) so a client
+        // dropping mid-batch stops burning workers within one round.
+        let (batch, cancelled): (Vec<Job>, Vec<Job>) =
+            batch.into_iter().partition(|job| !job.sink.cancelled());
+        if !cancelled.is_empty() {
+            shared
+                .metrics
+                .items_cancelled
+                .fetch_add(cancelled.len() as u64, Ordering::Relaxed);
+        }
+        if batch.is_empty() {
+            continue;
+        }
         // Split the thread budget so one round never oversubscribes:
         // concurrent jobs are peers, exactly like `Mapper::map_batch`.
         let inner_threads = (shared.workers / batch.len().min(shared.workers)).max(1);
@@ -378,9 +540,7 @@ fn dispatch_loop(shared: &Shared) {
             shared
                 .metrics
                 .observe_latency(&job.options.policy.to_string(), start.elapsed());
-            // A dropped receiver (client went away) is not an error —
-            // the work is already done and cached.
-            let _ = job.tx.send(item);
+            job.sink.send(item);
         });
     }
 }
@@ -388,35 +548,69 @@ fn dispatch_loop(shared: &Shared) {
 /// Runs one job to a response item. Infallible by construction: every
 /// failure mode becomes a typed error payload.
 fn run_job(mapper: &Mapper, job: &Job, inner_threads: usize) -> MapItem {
-    let result = check_modes(job).and_then(|()| {
-        let options = HattOptions {
-            threads: Some(inner_threads),
-            ..job.options
-        };
-        mapper.cache().try_get_or_build(&job.h, &options)
-    });
-    let payload = match result {
+    let options = HattOptions {
+        threads: Some(inner_threads),
+        ..job.options
+    };
+    let (index, payload) = match &job.work {
+        Work::Map {
+            index,
+            h,
+            expected_modes,
+        } => {
+            let result = check_modes(h, *expected_modes)
+                .and_then(|()| mapper.cache().try_get_or_build(h, &options));
+            (*index, to_payload(result, h))
+        }
+        Work::Remap { hamiltonian, delta } => {
+            let result = delta
+                .apply(hamiltonian)
+                .map_err(HattError::from)
+                .and_then(|next| {
+                    let mapping =
+                        mapper
+                            .cache()
+                            .try_remap_or_build(hamiltonian, delta, &options)?;
+                    Ok((mapping, next))
+                });
+            let payload = match result {
+                Ok((mapping, next)) => {
+                    let pauli_weight = mapping.map_majorana_sum(&next).weight();
+                    ItemPayload::Ok {
+                        mapping,
+                        pauli_weight,
+                    }
+                }
+                Err(e) => ItemPayload::Err(ItemError::from_hatt(&e)),
+            };
+            (0, payload)
+        }
+    };
+    MapItem {
+        id: job.id.clone(),
+        index: Some(index),
+        payload,
+    }
+}
+
+fn to_payload(result: Result<hatt_core::HattMapping, HattError>, h: &MajoranaSum) -> ItemPayload {
+    match result {
         Ok(mapping) => {
-            let pauli_weight = mapping.map_majorana_sum(&job.h).weight();
+            let pauli_weight = mapping.map_majorana_sum(h).weight();
             ItemPayload::Ok {
                 mapping,
                 pauli_weight,
             }
         }
         Err(e) => ItemPayload::Err(ItemError::from_hatt(&e)),
-    };
-    MapItem {
-        id: job.id.clone(),
-        index: Some(job.index),
-        payload,
     }
 }
 
-fn check_modes(job: &Job) -> Result<(), HattError> {
-    match job.expected_modes {
-        Some(expected) if job.h.n_modes() != expected => Err(HattError::ModeMismatch {
+fn check_modes(h: &MajoranaSum, expected_modes: Option<usize>) -> Result<(), HattError> {
+    match expected_modes {
+        Some(expected) if h.n_modes() != expected => Err(HattError::ModeMismatch {
             expected,
-            got: job.h.n_modes(),
+            got: h.n_modes(),
         }),
         _ => Ok(()),
     }

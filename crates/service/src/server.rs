@@ -3,31 +3,46 @@
 //! out, closed by a [`MapDone`] line. A [`StatsRequest`] line is
 //! answered with a single [`StatsReply`] line.
 //!
-//! The server is std-only: an accept thread hands each connection to
-//! its own handler thread; all handlers share one [`Scheduler`] (and
-//! through it one [`Mapper`] + structure cache). A connection can issue
-//! any number of requests back to back; an unparsable line yields a
-//! single `invalid_request` item plus `map_done` and the connection
-//! stays usable.
+//! The server is std-only and **readiness-based**: one accept thread
+//! hands each connection to one of a small set of event-loop workers
+//! (see [`crate::reactor`]), which own their connections as
+//! non-blocking sockets multiplexed with `vendor/poll`. No thread ever
+//! blocks on one peer's socket — an idle connection costs zero
+//! syscalls until bytes arrive, and a slow reader only fills its own
+//! write buffer. All connections share one [`Scheduler`] (and through
+//! it one [`Mapper`] + structure cache); in router mode
+//! ([`Server::bind_router`]) they instead share a consistent-hash
+//! shard router.
 //!
 //! ## Hardening
 //!
-//! * **Bounded request lines.** A line is read through a fixed-size
+//! * **Bounded request lines.** A line is scanned through a fixed-size
 //!   window ([`ServerConfig::max_line_bytes`], default 4 MiB); an
 //!   over-long line is discarded as it streams in — never buffered —
 //!   and answered with a typed `invalid_request` item, after which the
 //!   connection keeps working.
 //! * **Connection limit.** At most [`ServerConfig::max_connections`]
-//!   handler threads exist at once; a connection beyond the cap gets a
+//!   connections are served at once; a connection beyond the cap gets a
 //!   single typed `overloaded` line and is closed.
-//! * **Graceful drain.** Shutdown stops accepting, wakes idle handlers
-//!   (they observe the stop flag on their next read-timeout tick),
-//!   joins every handler — in-flight batches finish and their items are
-//!   delivered — then tears down the scheduler and flushes the mapper's
-//!   persistent store.
-//! * **No silent truncation.** If the scheduler goes away mid-batch,
-//!   every unmapped index is answered with a typed `internal` error
-//!   item, so `map_done.items` always equals the request length.
+//! * **Slow-reader isolation.** Responses queue in a per-connection
+//!   write buffer drained on write readiness; above
+//!   [`ServerConfig::max_write_buffer`] the connection stops reading
+//!   and starting new requests until the peer catches up. Other
+//!   connections are unaffected.
+//! * **Coalesced writes.** Response lines accumulate in the write
+//!   buffer and reach the kernel once per readiness cycle instead of
+//!   one flush per item — items still *stream* (each cycle flushes
+//!   whatever is ready), but a large batch no longer costs one
+//!   syscall-pair per line.
+//! * **Disconnect cancellation.** A peer that hangs up mid-batch has
+//!   its still-queued jobs skipped (counted as `cancelled_items` in
+//!   `stats`); a half-written line dies with its own connection and
+//!   can never interleave into another connection's stream.
+//! * **Graceful drain.** Shutdown stops accepting, answers
+//!   parsed-but-unstarted requests with typed `shutting_down` errors,
+//!   lets in-flight batches finish and flush under a grace period,
+//!   then tears down the backend and flushes the mapper's persistent
+//!   store.
 //!
 //! # Examples
 //!
@@ -48,23 +63,29 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use hatt_core::{HattError, Mapper};
-use hatt_mappings::FermionMapping;
+use hatt_core::Mapper;
 
 use crate::error::ServiceError;
-use crate::metrics::{ConnectionSlot, BUCKET_BOUNDS_NS};
+use crate::metrics::{ConnectionSlot, Metrics, BUCKET_BOUNDS_NS};
 use crate::proto::{
     ItemError, ItemPayload, LatencyBucket, MapDeltaRequest, MapDone, MapItem, MapRequest,
-    PolicyLatency, RequestLine, StatsReply, StatsRequest, TierStats,
+    PolicyLatency, StatsReply, StatsRequest, TierStats,
 };
+use crate::reactor::{event_loop, worker_pair, Backend, ConnSink, ReactorLimits, WorkerShared};
+use crate::router::RouterBackend;
 use crate::scheduler::{ClientId, Scheduler, SchedulerConfig};
+
+/// How long shutdown waits for in-flight responses to flush before
+/// abandoning peers that stopped taking their bytes.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
 
 /// Server sizing and hardening knobs.
 #[derive(Debug, Clone)]
@@ -78,8 +99,16 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// Concurrent connections served at once (default 256). A
     /// connection beyond the cap receives one typed `overloaded` item
-    /// plus `map_done` and is closed without a handler thread.
+    /// plus `map_done` and is closed without entering an event loop.
     pub max_connections: usize,
+    /// Event-loop worker threads (default `0` = automatic: the
+    /// available parallelism, capped at 4 — connection multiplexing is
+    /// I/O-bound; the mapping work has its own worker pool).
+    pub event_workers: usize,
+    /// Buffered response bytes per connection above which the
+    /// connection stops reading new requests until the peer drains its
+    /// responses (default 8 MiB) — the slow-reader backpressure knob.
+    pub max_write_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,22 +117,53 @@ impl Default for ServerConfig {
             scheduler: SchedulerConfig::default(),
             max_line_bytes: 4 << 20,
             max_connections: 256,
+            event_workers: 0,
+            max_write_buffer: 8 << 20,
         }
+    }
+}
+
+impl ServerConfig {
+    fn reactor_limits(&self) -> ReactorLimits {
+        ReactorLimits {
+            max_line_bytes: self.max_line_bytes.max(1),
+            max_connections: self.max_connections.max(1),
+            max_write_buffer: self.max_write_buffer.max(1),
+            drain_grace: DRAIN_GRACE,
+        }
+    }
+
+    fn effective_event_workers(&self) -> usize {
+        if self.event_workers > 0 {
+            return self.event_workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(4)
     }
 }
 
 /// A running `hattd` server. Dropping (or calling
 /// [`Server::shutdown`]) stops accepting, drains in-flight requests,
-/// joins every handler thread and flushes the mapper's persistent
+/// joins every worker thread and flushes the mapper's persistent
 /// store (when one is configured).
-#[derive(Debug)]
 pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    scheduler: Option<Arc<Scheduler>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    mapper: Arc<Mapper>,
+    workers: Vec<JoinHandle<()>>,
+    worker_shared: Vec<Arc<WorkerShared>>,
+    backend: Option<Arc<dyn Backend>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("event_workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Server {
@@ -114,34 +174,80 @@ impl Server {
         mapper: Mapper,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        let mapper = Arc::new(mapper);
+        let scheduler = Scheduler::new(Arc::clone(&mapper), config.scheduler.clone())?;
+        let backend: Arc<dyn Backend> = Arc::new(LocalBackend {
+            scheduler,
+            mapper,
+            limits: config.reactor_limits(),
+        });
+        Self::bind_with(addr, backend, &config)
+    }
+
+    /// Binds a **shard router**: instead of mapping locally, every
+    /// request item is forwarded to the shard daemon that owns the
+    /// item's canonical structure key on a consistent-hash ring (the
+    /// `router` module). The wire protocol is identical to a single
+    /// daemon's — clients cannot tell the difference, except for the
+    /// populated `shards` section in `stats`.
+    pub fn bind_router(
+        addr: impl ToSocketAddrs,
+        shard_addrs: &[String],
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        if shard_addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router mode needs at least one shard address",
+            ));
+        }
+        let backend: Arc<dyn Backend> = Arc::new(RouterBackend::new(
+            shard_addrs,
+            config.scheduler.queue_capacity.max(1),
+            config.reactor_limits(),
+        )?);
+        Self::bind_with(addr, backend, &config)
+    }
+
+    fn bind_with(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn Backend>,
+        config: &ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let mapper = Arc::new(mapper);
-        let scheduler = Arc::new(Scheduler::new(
-            Arc::clone(&mapper),
-            config.scheduler.clone(),
-        )?);
+        let limits = config.reactor_limits();
         let stop = Arc::new(AtomicBool::new(false));
-        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let mut workers = Vec::new();
+        let mut worker_shared = Vec::new();
+        for i in 0..config.effective_event_workers() {
+            let (shared, completions) = worker_pair()?;
+            let handle = {
+                let shared = Arc::clone(&shared);
+                let backend = Arc::clone(&backend);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("hattd-loop-{i}"))
+                    .spawn(move || run_worker(&shared, &completions, &backend, limits, &stop))?
+            };
+            workers.push(handle);
+            worker_shared.push(shared);
+        }
         let accept = {
             let stop = Arc::clone(&stop);
-            let scheduler = Arc::clone(&scheduler);
-            let handlers = Arc::clone(&handlers);
-            let limits = Limits {
-                max_line_bytes: config.max_line_bytes.max(1),
-                max_connections: config.max_connections.max(1),
-            };
+            let metrics = Arc::clone(backend.metrics());
+            let worker_shared = worker_shared.clone();
             std::thread::Builder::new()
                 .name("hattd-accept".into())
-                .spawn(move || accept_loop(&listener, &stop, &scheduler, &handlers, limits))?
+                .spawn(move || accept_loop(&listener, &stop, &metrics, &worker_shared, limits))?
         };
         Ok(Server {
             local_addr,
             stop,
             accept: Some(accept),
-            scheduler: Some(scheduler),
-            handlers,
-            mapper,
+            workers,
+            worker_shared,
+            backend: Some(backend),
         })
     }
 
@@ -159,7 +265,7 @@ impl Server {
     }
 
     /// Stops accepting connections, drains in-flight requests, joins
-    /// every handler thread and flushes the persistent store.
+    /// every worker thread and flushes the persistent store.
     pub fn shutdown(self) {
         drop(self);
     }
@@ -171,19 +277,21 @@ impl Server {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        // Join every handler: idle connections notice the stop flag on
-        // their next read-timeout tick; busy ones finish their batch
-        // (the scheduler is still alive here, so they can't deadlock).
-        let handles = std::mem::take(&mut *lock_handlers(&self.handlers));
-        for handle in handles {
+        // Wake every event loop so it observes the stop flag, then let
+        // each drain: pending lines are answered with `shutting_down`,
+        // in-flight batches finish (the backend is still alive here)
+        // and their bytes flush, bounded by the grace period.
+        for shared in &self.worker_shared {
+            shared.waker.wake();
+        }
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        // Dropping the last scheduler handle joins the dispatcher
-        // (already-queued jobs are still dispatched and answered).
-        self.scheduler.take();
-        // Everything that will ever be written through this server has
-        // been; make the store tier durable.
-        let _ = self.mapper.sync_store();
+        // Only now tear the backend down: join the dispatcher (or the
+        // shard forwarders) and flush the persistent tier.
+        if let Some(backend) = self.backend.take() {
+            backend.drain();
+        }
     }
 }
 
@@ -193,62 +301,40 @@ impl Drop for Server {
     }
 }
 
-/// The per-connection hardening knobs, copied into the accept thread.
-#[derive(Clone, Copy)]
-struct Limits {
-    max_line_bytes: usize,
-    max_connections: usize,
-}
-
-fn lock_handlers(
-    handlers: &Mutex<Vec<JoinHandle<()>>>,
-) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
-    handlers.lock().unwrap_or_else(|e| e.into_inner())
+/// One event-loop worker thread body (moved-ownership shim over
+/// [`event_loop`]).
+fn run_worker(
+    shared: &WorkerShared,
+    completions: &Receiver<(u64, MapItem)>,
+    backend: &Arc<dyn Backend>,
+    limits: ReactorLimits,
+    stop: &AtomicBool,
+) {
+    event_loop(shared, completions, backend, limits, stop);
 }
 
 fn accept_loop(
     listener: &TcpListener,
-    stop: &Arc<AtomicBool>,
-    scheduler: &Arc<Scheduler>,
-    handlers: &Mutex<Vec<JoinHandle<()>>>,
-    limits: Limits,
+    stop: &AtomicBool,
+    metrics: &Arc<Metrics>,
+    workers: &[Arc<WorkerShared>],
+    limits: ReactorLimits,
 ) {
+    let mut next = 0usize;
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
-                // Reap finished handlers so the tracked set stays
-                // proportional to *live* connections, not history.
-                {
-                    let mut tracked = lock_handlers(handlers);
-                    let (done, live): (Vec<_>, Vec<_>) =
-                        tracked.drain(..).partition(JoinHandle::is_finished);
-                    *tracked = live;
-                    drop(tracked);
-                    for handle in done {
-                        let _ = handle.join();
-                    }
-                }
-                let Some(slot) = ConnectionSlot::claim(scheduler.metrics(), limits.max_connections)
-                else {
+                let Some(slot) = ConnectionSlot::claim(metrics, limits.max_connections) else {
                     reject_overloaded(stream);
                     continue;
                 };
-                let spawned = {
-                    let stop = Arc::clone(stop);
-                    let scheduler = Arc::clone(scheduler);
-                    std::thread::Builder::new()
-                        .name("hattd-conn".into())
-                        .spawn(move || {
-                            let _slot = slot;
-                            let _ = handle_connection(stream, &scheduler, &stop, limits);
-                        })
-                };
-                if let Ok(handle) = spawned {
-                    lock_handlers(handlers).push(handle);
-                }
+                // Round-robin across workers: connection counts stay
+                // balanced without shared state between loops.
+                workers[next % workers.len()].adopt(stream, slot);
+                next = next.wrapping_add(1);
             }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
@@ -264,8 +350,11 @@ fn accept_loop(
 }
 
 /// Answers an over-limit connection with one typed `overloaded` line
-/// plus `map_done`, then closes it.
+/// plus `map_done`, then closes it. Runs on the accept thread (the
+/// rejected stream never reaches an event loop); the write timeout
+/// keeps a non-reading peer from stalling accepts.
 fn reject_overloaded(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let e = ServiceError::Overloaded;
     let item = MapItem {
         id: String::new(),
@@ -281,290 +370,62 @@ fn reject_overloaded(stream: TcpStream) {
         errors: 1,
     };
     let mut writer = BufWriter::new(stream);
-    let _ = write_line(&mut writer, &item.to_line());
-    let _ = write_line(&mut writer, &done.to_line());
+    let _ = writer.write_all(item.to_line().as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.write_all(done.to_line().as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
 }
 
-/// Outcome of one bounded line read.
-enum LineRead {
-    /// A complete line within the size cap (terminator stripped).
-    Line(String),
-    /// The line exceeded the cap; its bytes were discarded up to and
-    /// including the terminating newline.
-    Oversize,
-    /// Clean end of the stream (or shutdown observed while idle).
-    Eof,
+/// The single-daemon backend: the scheduler+mapper pair every
+/// connection of a [`Server::bind`] server shares.
+struct LocalBackend {
+    scheduler: Scheduler,
+    mapper: Arc<Mapper>,
+    limits: ReactorLimits,
 }
 
-/// Reads one `\n`-terminated line of at most `max` bytes. Oversize
-/// lines are *streamed to the bin*, never accumulated, so a hostile
-/// client cannot make the server buffer an unbounded line. Read
-/// timeouts (the stream carries one) are used to poll `stop` so idle
-/// connections drain promptly on shutdown.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    max: usize,
-    stop: &AtomicBool,
-) -> std::io::Result<LineRead> {
-    let mut line = Vec::new();
-    let mut oversize = false;
-    loop {
-        let available = match reader.fill_buf() {
-            Ok(chunk) => chunk,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    return Ok(LineRead::Eof);
-                }
-                continue;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        if available.is_empty() {
-            // EOF. An unterminated tail is not a request line.
-            return Ok(LineRead::Eof);
-        }
-        match available.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                if !oversize && line.len() + pos <= max {
-                    line.extend_from_slice(&available[..pos]);
-                } else {
-                    oversize = true;
-                }
-                reader.consume(pos + 1);
-                if oversize {
-                    return Ok(LineRead::Oversize);
-                }
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return Ok(LineRead::Line(String::from_utf8_lossy(&line).into_owned()));
-            }
-            None => {
-                let n = available.len();
-                if !oversize {
-                    if line.len() + n <= max {
-                        line.extend_from_slice(available);
-                    } else {
-                        oversize = true;
-                        line.clear();
-                    }
-                }
-                reader.consume(n);
-            }
-        }
+impl Backend for LocalBackend {
+    fn register_client(&self) -> ClientId {
+        self.scheduler.register_client()
     }
-}
 
-/// Serves one connection: request lines in, streamed item lines out.
-fn handle_connection(
-    stream: TcpStream,
-    scheduler: &Scheduler,
-    stop: &AtomicBool,
-    limits: Limits,
-) -> std::io::Result<()> {
-    // The read timeout doubles as the shutdown poll interval; the write
-    // timeout bounds how long a stuck client can hold up the drain.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    // One fairness bucket per connection: every request on this stream
-    // shares a single round-robin turn against other connections.
-    let client = scheduler.register_client();
-    loop {
-        let line = match read_line_bounded(&mut reader, limits.max_line_bytes, stop)? {
-            LineRead::Eof => return Ok(()),
-            LineRead::Oversize => {
-                scheduler
-                    .metrics()
-                    .oversize_lines
-                    .fetch_add(1, Ordering::Relaxed);
-                let item = MapItem {
-                    id: String::new(),
-                    index: None,
-                    payload: ItemPayload::Err(ItemError::invalid_request(format!(
-                        "request line exceeds the {} byte limit",
-                        limits.max_line_bytes
-                    ))),
-                };
-                write_line(&mut writer, &item.to_line())?;
-                let done = MapDone {
-                    id: String::new(),
-                    items: 1,
-                    errors: 1,
-                };
-                write_line(&mut writer, &done.to_line())?;
-                continue;
-            }
-            LineRead::Line(line) => line,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match RequestLine::from_line(&line) {
-            Ok(RequestLine::Stats(req)) => {
-                let reply = stats_reply(scheduler, &req, limits);
-                write_line(&mut writer, &reply.to_line())?;
-            }
-            Ok(RequestLine::Map(req)) => serve_map(&mut writer, scheduler, client, &req)?,
-            Ok(RequestLine::Delta(req)) => serve_remap(&mut writer, scheduler, &req)?,
-            Err(e) => {
-                let item = MapItem {
-                    id: String::new(),
-                    index: None,
-                    payload: ItemPayload::Err(ItemError::invalid_request(e.to_string())),
-                };
-                write_line(&mut writer, &item.to_line())?;
-                let done = MapDone {
-                    id: String::new(),
-                    items: 1,
-                    errors: 1,
-                };
-                write_line(&mut writer, &done.to_line())?;
-            }
-        }
+    fn metrics(&self) -> &Arc<Metrics> {
+        self.scheduler.metrics()
     }
-}
 
-/// Serves one map request: submit, stream items, close with `map_done`.
-fn serve_map(
-    writer: &mut impl Write,
-    scheduler: &Scheduler,
-    client: ClientId,
-    req: &MapRequest,
-) -> std::io::Result<()> {
-    let expected = req.hamiltonians.len();
-    let (items, errors) = match scheduler.submit_from(client, req) {
-        Ok(rx) => {
-            let mut errors = 0usize;
-            let mut received = 0usize;
-            let mut seen = vec![false; expected];
-            // Stream items in completion order; the channel closes once
-            // every job answered.
-            while received < expected {
-                let Ok(item) = rx.recv() else { break };
-                received += 1;
-                if let Some(i) = item.index {
-                    if let Some(flag) = seen.get_mut(i) {
-                        *flag = true;
-                    }
-                }
-                if !item.is_ok() {
-                    errors += 1;
-                }
-                write_line(writer, &item.to_line())?;
-            }
-            // The channel closing early (scheduler torn down mid-batch)
-            // must not silently truncate the reply: answer every
-            // missing index with a typed error so items == expected.
-            for item in truncation_errors(&req.id, &seen) {
-                received += 1;
-                errors += 1;
-                write_line(writer, &item.to_line())?;
-            }
-            (received, errors)
-        }
-        Err(e) => {
-            let item = MapItem {
-                id: req.id.clone(),
-                index: None,
-                payload: ItemPayload::Err(ItemError {
-                    code: e.code().to_string(),
-                    message: e.to_string(),
-                }),
-            };
-            write_line(writer, &item.to_line())?;
-            (1, 1)
-        }
-    };
-    let done = MapDone {
-        id: req.id.clone(),
-        items,
-        errors,
-    };
-    write_line(writer, &done.to_line())
-}
+    fn submit_map(
+        &self,
+        client: ClientId,
+        req: &MapRequest,
+        sink: &ConnSink,
+    ) -> Result<usize, ServiceError> {
+        self.scheduler.submit_conn(client, req, sink)
+    }
 
-/// One typed `internal` error item per index the scheduler never
-/// answered — the fix for the silent-truncation bug where an early
-/// channel close produced a short `map_done` with no error marker.
-fn truncation_errors(id: &str, seen: &[bool]) -> Vec<MapItem> {
-    seen.iter()
-        .enumerate()
-        .filter(|&(_, &answered)| !answered)
-        .map(|(index, _)| MapItem {
-            id: id.to_string(),
-            index: Some(index),
-            payload: ItemPayload::Err(ItemError {
-                code: "internal".to_string(),
-                message: "scheduler shut down before this item was mapped".to_string(),
-            }),
-        })
-        .collect()
-}
+    fn submit_delta(
+        &self,
+        client: ClientId,
+        req: &MapDeltaRequest,
+        sink: &ConnSink,
+    ) -> Result<usize, ServiceError> {
+        self.scheduler.submit_delta_conn(client, req, sink)
+    }
 
-/// Serves one `map_delta` request: apply the structural delta to the
-/// base Hamiltonian and map the result, reusing the cached ancestor
-/// tree when the base structure is known (the incremental fast path of
-/// [`hatt_core::MappingCache`]). A single item, so it runs on the
-/// connection thread — it never queues behind batch work, and a failed
-/// delta is a typed error item like any other.
-fn serve_remap(
-    writer: &mut impl Write,
-    scheduler: &Scheduler,
-    req: &MapDeltaRequest,
-) -> std::io::Result<()> {
-    let mapper = scheduler.mapper();
-    let options = req.options.unwrap_or(*mapper.options());
-    let start = Instant::now();
-    let result = req
-        .delta
-        .apply(&req.hamiltonian)
-        .map_err(HattError::from)
-        .and_then(|next| {
-            let mapping =
-                mapper
-                    .cache()
-                    .try_remap_or_build(&req.hamiltonian, &req.delta, &options)?;
-            Ok((mapping, next))
-        });
-    scheduler
-        .metrics()
-        .observe_latency(&options.policy.to_string(), start.elapsed());
-    scheduler.metrics().requests.fetch_add(1, Ordering::Relaxed);
-    let payload = match result {
-        Ok((mapping, next)) => {
-            let pauli_weight = mapping.map_majorana_sum(&next).weight();
-            ItemPayload::Ok {
-                mapping,
-                pauli_weight,
-            }
-        }
-        Err(e) => ItemPayload::Err(ItemError::from_hatt(&e)),
-    };
-    let errors = usize::from(matches!(payload, ItemPayload::Err(_)));
-    let item = MapItem {
-        id: req.id.clone(),
-        index: Some(0),
-        payload,
-    };
-    write_line(writer, &item.to_line())?;
-    let done = MapDone {
-        id: req.id.clone(),
-        items: 1,
-        errors,
-    };
-    write_line(writer, &done.to_line())
+    fn stats(&self, req: &StatsRequest) -> StatsReply {
+        stats_reply(&self.scheduler, req, &self.limits)
+    }
+
+    fn drain(&self) {
+        self.scheduler.drain();
+        // Everything that will ever be written through this server has
+        // been; make the store tier durable.
+        let _ = self.mapper.sync_store();
+    }
 }
 
 /// Builds the `stats` reply from the scheduler, mapper and counters.
-fn stats_reply(scheduler: &Scheduler, req: &StatsRequest, limits: Limits) -> StatsReply {
+fn stats_reply(scheduler: &Scheduler, req: &StatsRequest, limits: &ReactorLimits) -> StatsReply {
     let metrics = scheduler.metrics();
     let cache = scheduler.mapper().cache();
     let policies = metrics
@@ -598,6 +459,8 @@ fn stats_reply(scheduler: &Scheduler, req: &StatsRequest, limits: Limits) -> Sta
         requests: metrics.requests.load(Ordering::Relaxed),
         constructions: cache.constructions(),
         remaps: cache.remaps(),
+        cancelled_items: metrics.items_cancelled.load(Ordering::Relaxed),
+        event_loop_wakeups: metrics.wakeups.load(Ordering::Relaxed),
         cache: TierStats {
             hits: cache.hits(),
             misses: cache.misses(),
@@ -605,30 +468,6 @@ fn stats_reply(scheduler: &Scheduler, req: &StatsRequest, limits: Limits) -> Sta
         },
         store: scheduler.mapper().store_stats(),
         policies,
-    }
-}
-
-fn write_line(writer: &mut impl Write, line: &str) -> std::io::Result<()> {
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    // Flush per line: responses must *stream*, not arrive as one blob
-    // when the batch finishes.
-    writer.flush()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn truncation_errors_cover_exactly_the_unanswered_indices() {
-        let items = truncation_errors("req", &[true, false, true, false, false]);
-        let indices: Vec<_> = items.iter().map(|i| i.index).collect();
-        assert_eq!(indices, [Some(1), Some(3), Some(4)]);
-        for item in &items {
-            assert_eq!(item.id, "req");
-            assert_eq!(item.error().map(|e| e.code.as_str()), Some("internal"));
-        }
-        assert!(truncation_errors("req", &[true, true]).is_empty());
+        shards: Vec::new(),
     }
 }

@@ -8,10 +8,11 @@
 // Test-harness code unwraps freely; the no-panic contract covers library code only.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hatt::core::{HattOptions, Mapper};
 use hatt::fermion::models::{molecule_catalog, NeutrinoModel};
@@ -564,5 +565,384 @@ fn the_stats_verb_reports_tiers_queue_depth_and_latency_histograms() {
         p.count,
         "bucket counts must sum to the total"
     );
+    server.shutdown();
+}
+
+#[test]
+fn router_sharded_roster_is_bit_identical_to_a_single_mapper() {
+    // Two independent shard daemons plus a router in front: the Table I
+    // roster mapped through the consistent-hash fan-out must be
+    // bit-identical to the single in-process reference mapper.
+    let shard_a = boot(Mapper::new());
+    let shard_b = boot(Mapper::new());
+    let shard_addrs = vec![
+        shard_a.local_addr().to_string(),
+        shard_b.local_addr().to_string(),
+    ];
+    let router = Server::bind_router("127.0.0.1:0", &shard_addrs, ServerConfig::default())
+        .expect("bind router");
+    let addr = router.local_addr();
+
+    let cases = roster();
+    let hams: Vec<MajoranaSum> = cases.iter().map(|(_, h)| h.clone()).collect();
+    let reply = client::request(addr, &MapRequest::new("routed-table1", hams.clone()))
+        .expect("routed round trip");
+    assert_eq!(reply.done.items, hams.len());
+    assert_eq!(reply.done.errors, 0);
+    let items = reply.into_ordered();
+
+    let reference = Mapper::new();
+    for (i, ((name, h), item)) in cases.iter().zip(&items).enumerate() {
+        assert_eq!(item.index, Some(i), "{name}: stream index");
+        let remote = item.mapping().unwrap_or_else(|| {
+            panic!("{name}: error item {:?}", item.error());
+        });
+        let local = reference.map(h).expect("roster maps");
+        assert_eq!(
+            remote.tree(),
+            local.tree(),
+            "{name}: tree drifted through the router"
+        );
+        assert_eq!(
+            remote.map_majorana_sum(h).weight(),
+            local.map_majorana_sum(h).weight(),
+            "{name}: mapped weight drifted through the router"
+        );
+        assert!(validate(remote).is_valid(), "{name}: invalid via router");
+    }
+
+    // A map_delta routed whole to the shard owning its base structure
+    // matches a fresh in-process build as well. (A singles-only base, so
+    // the added quartic term is genuinely new.)
+    let base = MajoranaSum::uniform_singles(4);
+    let mut delta = HamiltonianDelta::new(base.n_modes());
+    delta
+        .push_add(Complex64::real(0.125), &[0, 1, 2, 3])
+        .expect("delta term");
+    let reply = client::remap(
+        addr,
+        &MapDeltaRequest::new("routed-edit", base.clone(), delta.clone()),
+    )
+    .expect("routed remap");
+    assert_eq!(
+        reply.done.errors, 0,
+        "routed remap error: {:?}",
+        reply.items
+    );
+    let next = delta.apply(&base).expect("delta applies");
+    let local = Mapper::new().map(&next).expect("fresh build");
+    assert_eq!(
+        reply.items[0].mapping().expect("ok item").tree(),
+        local.tree(),
+        "routed remap tree drifted"
+    );
+
+    // The router's stats expose both shards as healthy and account for
+    // every item it forwarded (roster + the one delta).
+    let stats = client::stats(addr, "router-probe").expect("router stats");
+    assert_eq!(stats.shards.len(), 2);
+    assert!(stats.shards.iter().all(|s| s.healthy), "{:?}", stats.shards);
+    let forwarded: u64 = stats.shards.iter().map(|s| s.forwarded).sum();
+    assert_eq!(forwarded, hams.len() as u64 + 1);
+
+    router.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
+}
+
+#[test]
+fn a_slow_reader_does_not_stall_other_connections() {
+    // A slowloris-style client requests a large response and refuses to
+    // read it: the kernel socket buffer fills, then the server-side
+    // write buffer holds the rest. No thread blocks on that socket, so
+    // other connections keep getting answers.
+    let config = ServerConfig {
+        max_write_buffer: 64 * 1024,
+        scheduler: SchedulerConfig {
+            workers: 1,
+            queue_capacity: 1024,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Mapper::new(), config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // Conn A: one construction plus 299 cache hits — a response far
+    // larger than the kernel's socket buffer — left entirely unread.
+    let a_stream = TcpStream::connect(addr).expect("connect slow reader");
+    let mut a_writer = a_stream.try_clone().expect("clone");
+    let a_hams: Vec<MajoranaSum> = (0..300).map(|_| MajoranaSum::uniform_singles(12)).collect();
+    let a_total = a_hams.len();
+    a_writer
+        .write_all(format!("{}\n", MapRequest::new("slow", a_hams).to_line()).as_bytes())
+        .expect("send slow request");
+    a_writer.flush().expect("flush");
+
+    // While A sits unread, a fast client's round trips complete.
+    for k in 0..5 {
+        let start = Instant::now();
+        let req = MapRequest::new(format!("fast-{k}"), vec![MajoranaSum::uniform_singles(3)]);
+        let reply = client::request(addr, &req).expect("fast client round trip");
+        assert_eq!(reply.done.errors, 0);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "fast client stalled behind the slow reader"
+        );
+    }
+
+    // Drain A slowloris-style first — a few single bytes with pauses —
+    // then fully: the stream must still be complete and well-formed.
+    let mut a_reader = BufReader::new(a_stream);
+    let mut prefix = Vec::new();
+    let mut byte = [0u8; 1];
+    for _ in 0..5 {
+        a_reader.read_exact(&mut byte).expect("slow byte");
+        prefix.push(byte[0]);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let mut rest = String::new();
+    a_reader.read_line(&mut rest).expect("rest of first line");
+    let first_line = format!("{}{rest}", String::from_utf8_lossy(&prefix));
+    let mut seen = 0usize;
+    let mut done = None;
+    let mut pending = Some(first_line);
+    let mut line = String::new();
+    while done.is_none() {
+        let next = match pending.take() {
+            Some(first) => first,
+            None => {
+                line.clear();
+                assert!(
+                    a_reader.read_line(&mut line).expect("drain line") > 0,
+                    "connection closed before map_done"
+                );
+                line.clone()
+            }
+        };
+        match ResponseLine::from_line(next.trim_end()).expect("parse") {
+            ResponseLine::Item(item) => {
+                assert!(item.is_ok(), "{:?}", item.error());
+                seen += 1;
+            }
+            ResponseLine::Done(d) => done = Some(d),
+        }
+    }
+    assert_eq!(seen, a_total, "slow reader lost items");
+    let done = done.expect("done line");
+    assert_eq!(done.items, a_total);
+    assert_eq!(done.errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_cost_near_zero_wakeups() {
+    // 100 idle connections must not spin the event loop: the old
+    // thread-per-connection server re-armed a 100 ms read timeout per
+    // connection (~2000 syscalls over this window); the readiness loop
+    // should wake only for the two stats probes themselves.
+    let server = boot(Mapper::new());
+    let addr = server.local_addr();
+
+    let idle: Vec<TcpStream> = (0..100)
+        .map(|_| TcpStream::connect(addr).expect("connect idle"))
+        .collect();
+    // Let every connection get adopted and settle.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let w1 = client::stats(addr, "idle-1")
+        .expect("stats")
+        .event_loop_wakeups;
+    std::thread::sleep(Duration::from_secs(2));
+    let w2 = client::stats(addr, "idle-2")
+        .expect("stats")
+        .event_loop_wakeups;
+    assert!(w2 >= w1);
+    assert!(
+        w2 - w1 <= 20,
+        "idle connections churned the event loop: {} wakeups in 2s",
+        w2 - w1
+    );
+    drop(idle);
+    server.shutdown();
+}
+
+#[test]
+fn a_thousand_item_batch_arrives_complete_with_coalesced_writes() {
+    // One batch big enough that per-line flushing would dominate: every
+    // item line must arrive exactly once, closed by a consistent
+    // map_done. (Write coalescing batches the lines per readiness
+    // cycle; completeness and framing are the observable contract.)
+    let config = ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: SchedulerConfig::default().workers,
+            queue_capacity: 2048,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Mapper::new(), config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let n = 1000usize;
+    let hams: Vec<MajoranaSum> = (0..n).map(|_| MajoranaSum::uniform_singles(3)).collect();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(format!("{}\n", MapRequest::new("big-batch", hams).to_line()).as_bytes())
+        .expect("send");
+    writer.flush().expect("flush");
+
+    let reader = BufReader::new(stream);
+    let mut index_seen = vec![false; n];
+    let mut items = 0usize;
+    let mut done = None;
+    for line in reader.lines() {
+        let line = line.expect("read line");
+        match ResponseLine::from_line(&line).expect("parse") {
+            ResponseLine::Item(item) => {
+                assert!(done.is_none(), "item line after map_done");
+                assert!(item.is_ok(), "{:?}", item.error());
+                let idx = item.index.expect("indexed item");
+                assert!(!index_seen[idx], "index {idx} delivered twice");
+                index_seen[idx] = true;
+                items += 1;
+            }
+            ResponseLine::Done(d) => {
+                done = Some(d);
+                break;
+            }
+        }
+    }
+    let done = done.expect("missing map_done");
+    assert_eq!(items, n, "batch arrived incomplete");
+    assert!(index_seen.iter().all(|&s| s), "an index never arrived");
+    assert_eq!(done.items, n);
+    assert_eq!(done.errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn disconnecting_mid_batch_cancels_queued_work() {
+    // A client that walks out mid-batch must not keep the scheduler
+    // grinding through its queue: the remaining items are cancelled,
+    // counted in stats, and the server stays serviceable.
+    let config = ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: 1,
+            queue_capacity: 1024,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Mapper::new(), config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    {
+        // 32 distinct constructions through a single worker: after the
+        // first item streams back, most of the batch is still queued.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let hams: Vec<MajoranaSum> = (10..42).map(MajoranaSum::uniform_singles).collect();
+        writer
+            .write_all(format!("{}\n", MapRequest::new("walkout", hams).to_line()).as_bytes())
+            .expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("first item");
+        assert!(matches!(
+            ResponseLine::from_line(&line).expect("parse"),
+            ResponseLine::Item(_)
+        ));
+        // Drop with response bytes unread: the peer reset tells the
+        // event loop this connection is gone.
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = client::stats(addr, "cancel-probe").expect("stats");
+        if stats.cancelled_items > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no queued item was cancelled after the disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Other connections were never corrupted; fresh work still lands.
+    let reply = client::request(
+        addr,
+        &MapRequest::new("after", vec![MajoranaSum::uniform_singles(3)]),
+    )
+    .expect("served after cancellation");
+    assert_eq!(reply.done.errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn an_open_loop_burst_over_the_cap_sheds_typed_overloaded_and_recovers() {
+    // An open-loop burst of 12 simultaneous connections against a
+    // 4-connection cap: every client gets a well-formed terminal reply —
+    // either its mapping or a typed `overloaded` line — and the server
+    // serves normally once the burst passes.
+    let config = ServerConfig {
+        max_connections: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Mapper::new(), config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..12)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let req =
+                    MapRequest::new(format!("burst-{k}"), vec![MajoranaSum::uniform_singles(2)]);
+                client::request(addr, &req)
+            })
+        })
+        .collect();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for handle in handles {
+        match handle.join().expect("burst thread") {
+            Ok(reply)
+                if reply
+                    .items
+                    .iter()
+                    .any(|i| i.error().is_some_and(|e| e.code == "overloaded")) =>
+            {
+                shed += 1;
+            }
+            Ok(reply) => {
+                assert_eq!(reply.done.errors, 0);
+                served += 1;
+            }
+            Err(e) => panic!("burst client got a transport error instead of a typed reply: {e}"),
+        }
+    }
+    assert_eq!(served + shed, 12);
+    assert!(served >= 1, "the burst starved every client");
+
+    // After the burst the cap has slots again.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let req = MapRequest::new("after-burst", vec![MajoranaSum::uniform_singles(3)]);
+        match client::request(addr, &req) {
+            Ok(reply)
+                if reply
+                    .items
+                    .iter()
+                    .any(|i| i.error().is_some_and(|e| e.code == "overloaded")) =>
+            {
+                assert!(Instant::now() < deadline, "cap never released after burst");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Ok(reply) => {
+                assert_eq!(reply.done.errors, 0);
+                break;
+            }
+            Err(e) => panic!("server unserviceable after burst: {e}"),
+        }
+    }
     server.shutdown();
 }
