@@ -2,11 +2,17 @@
 //! smoke driver behind the `"load"` section of `BENCH_perf.json`.
 //!
 //! `cargo run --release -p hatt-bench --bin loadgen -- [--smoke]
-//!     [--addr HOST:PORT] [--rate HZ] [--requests N] [--connections C]
-//!     [--identity HOST:PORT]`
+//!     [--trace] [--addr HOST:PORT] [--rate HZ] [--requests N]
+//!     [--connections C] [--identity HOST:PORT]`
 //!
 //! * `--smoke` — boot a single daemon and a two-shard router in-process
 //!   and drive the quick study against both (no external daemon).
+//! * `--trace` — boot the two-shard routed topology twice (span
+//!   collector off, then on), measure tracing's throughput overhead and
+//!   print the per-stage p50/p99 breakdown (queue wait, cache probe,
+//!   construction, forward hop, write drain, …) mined from the daemons'
+//!   `trace_dump` replies. Honours `--rate`/`--requests`/
+//!   `--connections`.
 //! * `--addr HOST:PORT` — drive a live daemon (single or router) with
 //!   the open-loop generator and print its sustained throughput and
 //!   latency percentiles.
@@ -22,7 +28,7 @@
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 
-use hatt_bench::load::{load_study, run_load, LoadConfig};
+use hatt_bench::load::{load_study, run_load, trace_study_with, LoadConfig};
 use hatt_bench::preprocess;
 use hatt_core::Mapper;
 use hatt_fermion::models::{molecule_catalog, NeutrinoModel};
@@ -32,6 +38,7 @@ use hatt_service::{client, MapRequest};
 
 struct Args {
     smoke: bool,
+    trace: bool,
     addr: Option<String>,
     identity: Option<String>,
     rate: Option<f64>,
@@ -42,6 +49,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
+        trace: false,
         addr: None,
         identity: None,
         rate: None,
@@ -53,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--smoke" => args.smoke = true,
+            "--trace" => args.trace = true,
             "--addr" => args.addr = Some(value("--addr")?),
             "--identity" => args.identity = Some(value("--identity")?),
             "--rate" => {
@@ -79,10 +88,26 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    if !args.smoke && args.addr.is_none() && args.identity.is_none() {
-        return Err("nothing to do: pass --smoke, --addr or --identity".into());
+    if !args.smoke && !args.trace && args.addr.is_none() && args.identity.is_none() {
+        return Err("nothing to do: pass --smoke, --trace, --addr or --identity".into());
     }
     Ok(args)
+}
+
+/// The offered load of a `--trace` or `--addr` run: the smoke
+/// configuration with any explicit overrides applied.
+fn offered_load(args: &Args) -> LoadConfig {
+    let mut cfg = LoadConfig::smoke();
+    if let Some(rate) = args.rate {
+        cfg.rate_hz = rate;
+    }
+    if let Some(requests) = args.requests {
+        cfg.requests = requests;
+    }
+    if let Some(connections) = args.connections {
+        cfg.connections = connections;
+    }
+    cfg
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr, String> {
@@ -170,6 +195,25 @@ fn main() -> ExitCode {
         ok &= print_report("single", &study.single);
         ok &= print_report("routed", &study.routed);
     }
+    if args.trace {
+        let study = trace_study_with(&offered_load(&args));
+        ok &= print_report("untraced", &study.untraced);
+        ok &= print_report("traced", &study.traced);
+        println!(
+            "loadgen: tracing overhead {:.2}% of sustained throughput  ({} spans recorded, {} dropped)",
+            study.overhead_pct, study.spans_recorded, study.spans_dropped,
+        );
+        for s in &study.stages {
+            println!(
+                "loadgen:   stage {:<16} x{:<5} p50 {:.3} ms  p99 {:.3} ms",
+                s.name, s.count, s.p50_ms, s.p99_ms,
+            );
+        }
+        if study.stages.is_empty() {
+            eprintln!("loadgen: traced run produced no spans");
+            ok = false;
+        }
+    }
     if let Some(addr) = &args.addr {
         let target = match resolve(addr) {
             Ok(t) => t,
@@ -178,17 +222,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let mut cfg = LoadConfig::smoke();
-        if let Some(rate) = args.rate {
-            cfg.rate_hz = rate;
-        }
-        if let Some(requests) = args.requests {
-            cfg.requests = requests;
-        }
-        if let Some(connections) = args.connections {
-            cfg.connections = connections;
-        }
-        ok &= print_report(addr, &run_load(target, &cfg));
+        ok &= print_report(addr, &run_load(target, &offered_load(&args)));
     }
     if let Some(addr) = &args.identity {
         if let Err(e) = check_identity(addr) {

@@ -3,8 +3,10 @@
 //! policy quality-vs-time ladder, the parallel engine (threaded
 //! `restarts`, batched `map_many`), the incremental-remap stream and
 //! the open-loop service load study (single daemon vs two-shard
-//! router), then writes `BENCH_perf.json` (schema `hatt-perf/4`) so
-//! successive PRs can compare perf trajectories.
+//! router) and the tracing-overhead study (the routed run with the
+//! span collector off vs on, with a per-stage latency breakdown), then
+//! writes `BENCH_perf.json` (schema `hatt-perf/5`) so successive PRs
+//! can compare perf trajectories.
 //!
 //! `cargo run --release -p hatt-bench --bin perf -- [--smoke]
 //!     [--out PATH] [--budget SECONDS] [--samples K] [--max-n N]`
@@ -20,7 +22,7 @@
 
 use std::process::ExitCode;
 
-use hatt_bench::load::load_study;
+use hatt_bench::load::{load_study, trace_study};
 use hatt_bench::perf::{
     paper_complexity, parallel_study, policy_tradeoff, remap_study, sweep_variant,
     sweep_variant_on, sweeps_to_json, SweepConfig, SweepWorkload, VariantSweep,
@@ -222,8 +224,27 @@ fn main() -> ExitCode {
         );
     }
 
+    println!("\n== tracing overhead: routed load with the span collector off vs on ==");
+    let trace = trace_study(args.smoke);
+    for (label, report) in [("untraced", &trace.untraced), ("traced", &trace.traced)] {
+        println!(
+            "  {label:<8} {}/{} ok  {:.1} mappings/s  p50 {:.2} ms  p99 {:.2} ms",
+            report.completed, report.offered, report.sustained_per_s, report.p50_ms, report.p99_ms,
+        );
+    }
+    println!(
+        "  overhead {:.2}%  ({} spans recorded, {} dropped)",
+        trace.overhead_pct, trace.spans_recorded, trace.spans_dropped,
+    );
+    for s in &trace.stages {
+        println!(
+            "  stage {:<16} ×{:<5} p50 {:.3} ms  p99 {:.3} ms",
+            s.name, s.count, s.p50_ms, s.p99_ms,
+        );
+    }
+
     let doc = sweeps_to_json(
-        &cfg, args.smoke, &sweeps, &policies, &parallel, &dense, &remap, &load,
+        &cfg, args.smoke, &sweeps, &policies, &parallel, &dense, &remap, &load, &trace,
     );
     if let Err(e) = std::fs::write(&args.out, doc.render_pretty()) {
         eprintln!("perf: cannot write {}: {e}", args.out);

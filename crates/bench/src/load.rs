@@ -5,15 +5,19 @@
 //! the coordinated-omission-resistant convention. The [`load_study`]
 //! drives the same offered load against a single in-process daemon and
 //! a two-shard consistent-hash router, producing the `"load"` section
-//! of `BENCH_perf.json` (schema `hatt-perf/4`).
+//! of `BENCH_perf.json`, and the [`trace_study`] repeats the routed run
+//! with the span collector off and on, producing the `"trace"` section
+//! (schema `hatt-perf/5`): tracing's throughput overhead plus a
+//! per-stage latency breakdown mined from the daemons' span dumps.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use hatt_core::Mapper;
 use hatt_fermion::MajoranaSum;
-use hatt_service::{MapRequest, ResponseLine, Server, ServerConfig};
+use hatt_service::{client, MapRequest, ResponseLine, Server, ServerConfig};
 
 /// Configuration of one open-loop run.
 #[derive(Debug, Clone)]
@@ -240,26 +244,199 @@ pub fn load_study(smoke: bool) -> LoadStudy {
     let single_report = run_load(single.local_addr(), &cfg);
     single.shutdown();
 
-    let shard_a =
-        Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default()).expect("bind shard a");
-    let shard_b =
-        Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default()).expect("bind shard b");
-    let shard_addrs = vec![
-        shard_a.local_addr().to_string(),
-        shard_b.local_addr().to_string(),
-    ];
-    let router = Server::bind_router("127.0.0.1:0", &shard_addrs, ServerConfig::default())
-        .expect("bind router");
-    let routed = run_load(router.local_addr(), &cfg);
-    router.shutdown();
-    shard_a.shutdown();
-    shard_b.shutdown();
+    let topology = boot_routed(false);
+    let routed = run_load(topology.router_addr(), &cfg);
+    topology.shutdown();
 
     LoadStudy {
         config: cfg,
         shards: 2,
         single: single_report,
         routed,
+    }
+}
+
+/// A two-shard consistent-hash topology booted in-process: the router
+/// plus both shard daemons, each on an ephemeral port.
+struct RoutedTopology {
+    /// `[router, shard_a, shard_b]` — the router leads so
+    /// [`RoutedTopology::router_addr`] is index 0.
+    servers: Vec<Server>,
+}
+
+/// Boots two shard daemons and a router over them, all sharing one
+/// configuration (with or without the span collector).
+fn boot_routed(trace: bool) -> RoutedTopology {
+    let config = ServerConfig {
+        trace,
+        ..ServerConfig::default()
+    };
+    let shard_a = Server::bind("127.0.0.1:0", Mapper::new(), config.clone()).expect("bind shard a");
+    let shard_b = Server::bind("127.0.0.1:0", Mapper::new(), config.clone()).expect("bind shard b");
+    let shard_addrs = vec![
+        shard_a.local_addr().to_string(),
+        shard_b.local_addr().to_string(),
+    ];
+    let router = Server::bind_router("127.0.0.1:0", &shard_addrs, config).expect("bind router");
+    RoutedTopology {
+        servers: vec![router, shard_a, shard_b],
+    }
+}
+
+impl RoutedTopology {
+    fn router_addr(&self) -> SocketAddr {
+        self.servers[0].local_addr()
+    }
+
+    fn addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(|s| s.local_addr()).collect()
+    }
+
+    fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+/// Per-stage latency statistics mined from the merged router and shard
+/// trace dumps of one traced load run: every retained span of a stage,
+/// pooled across the daemons that recorded it.
+#[derive(Debug, Clone)]
+pub struct TraceStageStats {
+    /// Span name (`"queue.wait"`, `"construct"`, `"route.forward"`, …).
+    pub name: String,
+    /// Retained spans of this stage across all dumps.
+    pub count: usize,
+    /// Median span duration, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile span duration, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The tracing study serialized under `"trace"` in `BENCH_perf.json`
+/// (hatt-perf/5): the routed open-loop run with the span collector off
+/// and on, the sustained-throughput overhead tracing costs, and the
+/// per-stage breakdown (queue wait, cache probe, construction, forward
+/// hop, write drain, …) aggregated from every daemon's `trace_dump`.
+#[derive(Debug, Clone)]
+pub struct TraceStudy {
+    /// The offered-load configuration both runs share.
+    pub config: LoadConfig,
+    /// Shard daemons behind the router.
+    pub shards: usize,
+    /// The routed run with tracing off (the baseline).
+    pub untraced: LoadReport,
+    /// The identical run with `--trace` collectors on every daemon.
+    pub traced: LoadReport,
+    /// Throughput cost of tracing as a percentage of the untraced
+    /// sustained rate (positive = tracing was slower; small negative
+    /// values are run-to-run noise).
+    pub overhead_pct: f64,
+    /// Spans recorded across the three daemons during the traced run.
+    pub spans_recorded: u64,
+    /// Spans evicted from full ring buffers during the traced run.
+    pub spans_dropped: u64,
+    /// Per-stage duration percentiles, ordered by stage name.
+    pub stages: Vec<TraceStageStats>,
+}
+
+/// Every retained span duration across the topology's dumps, as
+/// `(stage name, milliseconds)` pairs.
+fn dump_spans(addrs: &[SocketAddr]) -> Vec<(String, f64)> {
+    let mut spans = Vec::new();
+    for addr in addrs {
+        if let Ok(dump) = client::trace_dump(addr, "trace-study") {
+            for tree in &dump.traces {
+                for s in &tree.spans {
+                    spans.push((s.name.clone(), s.dur_ns as f64 / 1e6));
+                }
+            }
+        }
+    }
+    spans
+}
+
+/// Runs the tracing study at the standard smoke/full offered load.
+pub fn trace_study(smoke: bool) -> TraceStudy {
+    let cfg = if smoke {
+        LoadConfig::smoke()
+    } else {
+        LoadConfig::default()
+    };
+    trace_study_with(&cfg)
+}
+
+/// Runs the tracing study at an explicit offered load: the same
+/// two-shard routed topology driven twice — collector off, then on —
+/// followed by a `trace_dump` sweep over router and shards for the
+/// per-stage breakdown.
+pub fn trace_study_with(cfg: &LoadConfig) -> TraceStudy {
+    let baseline = boot_routed(false);
+    let untraced = run_load(baseline.router_addr(), cfg);
+    baseline.shutdown();
+
+    let topology = boot_routed(true);
+    let traced = run_load(topology.router_addr(), cfg);
+
+    // The final requests' root scopes close moments after their clients
+    // read `map_done` (the write-drain span lands last), so poll until
+    // the merged dumps stop growing before aggregating.
+    let addrs = topology.addrs();
+    let mut spans = Vec::new();
+    let mut last_len = usize::MAX;
+    for _ in 0..100 {
+        spans = dump_spans(&addrs);
+        if spans.len() == last_len {
+            break;
+        }
+        last_len = spans.len();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (mut spans_recorded, mut spans_dropped) = (0u64, 0u64);
+    for addr in &addrs {
+        if let Some(summary) = client::stats(addr, "trace-study")
+            .ok()
+            .and_then(|reply| reply.trace)
+        {
+            spans_recorded += summary.recorded;
+            spans_dropped += summary.dropped;
+        }
+    }
+    topology.shutdown();
+
+    let mut by_stage: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (name, ms) in spans {
+        by_stage.entry(name).or_default().push(ms);
+    }
+    let stages = by_stage
+        .into_iter()
+        .map(|(name, mut ms)| {
+            ms.sort_by(|a, b| a.total_cmp(b));
+            TraceStageStats {
+                name,
+                count: ms.len(),
+                p50_ms: percentile(&ms, 0.50),
+                p99_ms: percentile(&ms, 0.99),
+            }
+        })
+        .collect();
+
+    let overhead_pct = if untraced.sustained_per_s > 0.0 {
+        (untraced.sustained_per_s - traced.sustained_per_s) / untraced.sustained_per_s * 100.0
+    } else {
+        0.0
+    };
+    TraceStudy {
+        config: cfg.clone(),
+        shards: 2,
+        untraced,
+        traced,
+        overhead_pct,
+        spans_recorded,
+        spans_dropped,
+        stages,
     }
 }
 
@@ -293,5 +470,42 @@ mod tests {
         assert_eq!(report.errors, 0, "{report:?}");
         assert!(report.sustained_per_s > 0.0);
         assert!(report.p50_ms <= report.p99_ms && report.p99_ms <= report.max_ms);
+    }
+
+    #[test]
+    fn trace_study_breaks_latency_into_stages() {
+        let cfg = LoadConfig {
+            rate_hz: 500.0,
+            requests: 40,
+            connections: 2,
+            sizes: vec![3, 4],
+        };
+        let study = trace_study_with(&cfg);
+        for (label, report) in [("untraced", &study.untraced), ("traced", &study.traced)] {
+            assert_eq!(report.completed, 40, "{label}: {report:?}");
+            assert_eq!(report.errors, 0, "{label}: {report:?}");
+        }
+        assert!(study.spans_recorded > 0, "traced run must record spans");
+        let names: Vec<&str> = study.stages.iter().map(|s| s.name.as_str()).collect();
+        for stage in [
+            "queue.wait",
+            "cache.probe",
+            "construct",
+            "route.forward",
+            "write.drain",
+        ] {
+            assert!(names.contains(&stage), "missing stage {stage}: {names:?}");
+        }
+        for s in &study.stages {
+            assert!(s.count > 0 && s.p50_ms <= s.p99_ms, "{s:?}");
+        }
+        // Every routed request forwards exactly once (single-item
+        // requests, no retries on a healthy topology).
+        let forward = study
+            .stages
+            .iter()
+            .find(|s| s.name == "route.forward")
+            .expect("forward stage");
+        assert_eq!(forward.count, 40, "one forward hop per request");
     }
 }

@@ -15,7 +15,12 @@
 //! throughput on a one-term-delta stream vs cold rebuilds. hatt-perf/4
 //! adds the `"load"` section: the open-loop service study from
 //! [`crate::load::load_study`] (sustained mappings/sec and tail latency
-//! against a single daemon and a two-shard router).
+//! against a single daemon and a two-shard router). hatt-perf/5 adds
+//! the `"trace"` section from [`crate::load::trace_study`]: the routed
+//! run with the span collector off and on — tracing's throughput
+//! overhead plus the per-stage latency breakdown (queue wait, cache
+//! probe, construction, forward hop, write drain) mined from the
+//! daemons' `trace_dump` replies.
 
 use std::time::Instant;
 
@@ -637,13 +642,14 @@ pub fn loglog_slope(points: &[(usize, f64)]) -> Option<f64> {
 }
 
 /// Serializes a sweep set to the `BENCH_perf.json` document
-/// (`schema: "hatt-perf/4"`; see README "Perf harness" and
+/// (`schema: "hatt-perf/5"`; see README "Perf harness" and
 /// docs/REPRODUCTION.md for the schema). `policies` is the
 /// quality-vs-time study from [`policy_tradeoff`]; `parallel` is the
 /// parallel-engine study from [`parallel_study`]; `dense` is the
 /// [`SweepWorkload::DenseMolecule`] scalability sweep, `remap` the
-/// one-term-delta stream from [`remap_study`], and `load` the
-/// open-loop service study from [`crate::load::load_study`]. Every
+/// one-term-delta stream from [`remap_study`], `load` the open-loop
+/// service study from [`crate::load::load_study`], and `trace` the
+/// tracing-overhead study from [`crate::load::trace_study`]. Every
 /// section is additive over the previous schema version — older
 /// documents simply lack the newer keys.
 #[allow(clippy::too_many_arguments)] // one argument per schema section
@@ -656,9 +662,10 @@ pub fn sweeps_to_json(
     dense: &[VariantSweep],
     remap: &RemapStudy,
     load: &crate::load::LoadStudy,
+    trace: &crate::load::TraceStudy,
 ) -> Json {
     Json::Obj(vec![
-        ("schema".into(), Json::str("hatt-perf/4")),
+        ("schema".into(), Json::str("hatt-perf/5")),
         ("workload".into(), Json::str("uniform_singles")),
         ("smoke".into(), Json::Bool(smoke)),
         ("samples_per_point".into(), Json::int(cfg.samples as u64)),
@@ -688,6 +695,43 @@ pub fn sweeps_to_json(
         ),
         ("remap".into(), remap_to_json(remap)),
         ("load".into(), load_to_json(load)),
+        ("trace".into(), trace_to_json(trace)),
+    ])
+}
+
+/// The `"trace"` section of the hatt-perf/5 document.
+fn trace_to_json(study: &crate::load::TraceStudy) -> Json {
+    Json::Obj(vec![
+        ("generator".into(), Json::str("open_loop")),
+        ("rate_hz".into(), Json::Num(study.config.rate_hz)),
+        ("requests".into(), Json::int(study.config.requests as u64)),
+        (
+            "connections".into(),
+            Json::int(study.config.connections as u64),
+        ),
+        ("shards".into(), Json::int(study.shards as u64)),
+        ("untraced".into(), load_report_to_json(&study.untraced)),
+        ("traced".into(), load_report_to_json(&study.traced)),
+        ("overhead_pct".into(), Json::Num(study.overhead_pct)),
+        ("spans_recorded".into(), Json::int(study.spans_recorded)),
+        ("spans_dropped".into(), Json::int(study.spans_dropped)),
+        (
+            "stages".into(),
+            Json::Arr(
+                study
+                    .stages
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(&s.name)),
+                            ("count".into(), Json::int(s.count as u64)),
+                            ("p50_ms".into(), Json::Num(s.p50_ms)),
+                            ("p99_ms".into(), Json::Num(s.p99_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -918,11 +962,12 @@ mod tests {
         )];
         let remap = tiny_remap_study();
         let load = tiny_load_study();
+        let trace = tiny_trace_study();
         let doc = sweeps_to_json(
-            &cfg, true, &sweeps, &policies, &report, &dense, &remap, &load,
+            &cfg, true, &sweeps, &policies, &report, &dense, &remap, &load, &trace,
         )
         .render();
-        assert!(doc.starts_with(r#"{"schema":"hatt-perf/4""#));
+        assert!(doc.starts_with(r#"{"schema":"hatt-perf/5""#));
         assert!(doc.contains(r#""name":"cached""#));
         assert!(doc.contains(r#""pauli_weight":"#));
         assert!(doc.contains(r#""policy":"restarts""#));
@@ -936,10 +981,16 @@ mod tests {
         assert!(doc.contains(r#""sustained_per_s":"#));
         assert!(doc.contains(r#""p99_ms":"#));
         assert!(doc.contains(r#""routed":{"offered":"#));
+        assert!(doc.contains(r#""trace":{"generator":"open_loop""#));
+        assert!(doc.contains(r#""overhead_pct":"#));
+        assert!(doc.contains(r#""spans_recorded":"#));
+        assert!(doc.contains(r#""stages":[{"name":"construct""#));
+        assert!(doc.contains(r#""untraced":{"offered":"#));
+        assert!(doc.contains(r#""traced":{"offered":"#));
     }
 
-    fn tiny_load_study() -> crate::load::LoadStudy {
-        let report = crate::load::LoadReport {
+    fn tiny_load_report() -> crate::load::LoadReport {
+        crate::load::LoadReport {
             offered: 8,
             completed: 8,
             errors: 0,
@@ -948,12 +999,34 @@ mod tests {
             p50_ms: 1.0,
             p99_ms: 2.0,
             max_ms: 3.0,
-        };
+        }
+    }
+
+    fn tiny_load_study() -> crate::load::LoadStudy {
+        let report = tiny_load_report();
         crate::load::LoadStudy {
             config: crate::load::LoadConfig::smoke(),
             shards: 2,
             single: report.clone(),
             routed: report,
+        }
+    }
+
+    fn tiny_trace_study() -> crate::load::TraceStudy {
+        crate::load::TraceStudy {
+            config: crate::load::LoadConfig::smoke(),
+            shards: 2,
+            untraced: tiny_load_report(),
+            traced: tiny_load_report(),
+            overhead_pct: 1.5,
+            spans_recorded: 64,
+            spans_dropped: 0,
+            stages: vec![crate::load::TraceStageStats {
+                name: "construct".into(),
+                count: 8,
+                p50_ms: 0.4,
+                p99_ms: 0.9,
+            }],
         }
     }
 

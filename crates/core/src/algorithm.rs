@@ -338,45 +338,50 @@ fn hatt_single(
         };
         let u = builder.roots();
         let next_parent: NodeId = 2 * n + 1 + qubit;
-        let selection = match options.variant {
-            Variant::Unopt => {
-                let sel = select_free_triple(
-                    &mut engine,
-                    &u,
-                    options.policy,
-                    blend,
-                    options.naive_weight,
-                    next_parent,
-                );
-                iter_stats.candidates = sel.candidates;
-                Selection {
-                    children: sel.children,
-                    weight: sel.score.weight,
+        // `construct.step` times one qubit's candidate selection — the
+        // per-step profiling hook behind the fig12 kernel analysis. A
+        // free no-op outside a tracing scope.
+        let selection = hatt_trace::span("construct.step", || -> Result<Selection, HattError> {
+            Ok(match options.variant {
+                Variant::Unopt => {
+                    let sel = select_free_triple(
+                        &mut engine,
+                        &u,
+                        options.policy,
+                        blend,
+                        options.naive_weight,
+                        next_parent,
+                    );
+                    iter_stats.candidates = sel.candidates;
+                    Selection {
+                        children: sel.children,
+                        weight: sel.score.weight,
+                    }
                 }
-            }
-            Variant::Paired => select_paired(
-                &mut engine,
-                Some(&builder),
-                &u,
-                n,
-                options,
-                blend,
-                next_parent,
-                &mut iter_stats,
-                &mut state,
-            )?,
-            Variant::Cached => select_paired(
-                &mut engine,
-                None,
-                &u,
-                n,
-                options,
-                blend,
-                next_parent,
-                &mut iter_stats,
-                &mut state,
-            )?,
-        };
+                Variant::Paired => select_paired(
+                    &mut engine,
+                    Some(&builder),
+                    &u,
+                    n,
+                    options,
+                    blend,
+                    next_parent,
+                    &mut iter_stats,
+                    &mut state,
+                )?,
+                Variant::Cached => select_paired(
+                    &mut engine,
+                    None,
+                    &u,
+                    n,
+                    options,
+                    blend,
+                    next_parent,
+                    &mut iter_stats,
+                    &mut state,
+                )?,
+            })
+        })?;
         let [ox, oy, oz] = selection.children;
         iter_stats.settled_weight = selection.weight;
         let parent = builder.attach([ox, oy, oz]);

@@ -93,6 +93,11 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 
 use hatt_fermion::{HamiltonianDelta, MajoranaSum};
 use hatt_mappings::{NodeId, TernaryTree};
+// A free no-op unless the calling thread is inside a `Tracer::scope`
+// (the service's dispatch loop installs one per traced request): the
+// cache tiers report where a request's time went without any plumbing
+// through these signatures.
+use hatt_trace::span;
 
 use crate::algorithm::{
     hatt_remap, hatt_replay, hatt_with_impl, remap_supported, HattMapping, HattOptions,
@@ -509,7 +514,7 @@ impl MappingCache {
     /// Runs a real construction (both tiers missed), counting it.
     fn construct(&self, h: &MajoranaSum, options: &HattOptions) -> Result<HattMapping, HattError> {
         self.constructions.fetch_add(1, Ordering::Relaxed);
-        hatt_with_impl(h, options)
+        span("construct", || hatt_with_impl(h, options))
     }
 
     /// The configured entry bound (`None` = unbounded).
@@ -615,25 +620,29 @@ impl MappingCache {
             self.lock().misses += 1;
             let structure = Structure::of(h);
             if let Some(tier) = &self.store {
-                if let Some(seq) = tier.load(&structure, &norm) {
-                    return Ok(hatt_replay(h, options, &seq));
+                if let Some(seq) = span("store.load", || tier.load(&structure, &norm)) {
+                    return Ok(span("cache.replay", || hatt_replay(h, options, &seq)));
                 }
             }
             if let Some(mapping) = self.remap_from_ancestor(h, options, &norm, ancestor)? {
                 if let Some(tier) = &self.store {
-                    tier.save(&structure, &norm, &mapping, ancestor.map(|(s, _)| s.hash()));
+                    span("store.save", || {
+                        tier.save(&structure, &norm, &mapping, ancestor.map(|(s, _)| s.hash()));
+                    });
                 }
                 return Ok(mapping);
             }
             let mapping = self.construct(h, options)?;
             if let Some(tier) = &self.store {
-                tier.save(&structure, &norm, &mapping, None);
+                span("store.save", || {
+                    tier.save(&structure, &norm, &mapping, None)
+                });
             }
             return Ok(mapping);
         }
         let structure = Structure::of(h);
         let hash = structure.hash();
-        let (slot, owner) = self.lock().probe(hash, &structure, &norm);
+        let (slot, owner) = span("cache.probe", || self.lock().probe(hash, &structure, &norm));
         if owner {
             let guard = FailOnUnwind {
                 cache: self,
@@ -647,9 +656,9 @@ impl MappingCache {
             if let Some(seq) = self
                 .store
                 .as_ref()
-                .and_then(|tier| tier.load(&structure, &norm))
+                .and_then(|tier| span("store.load", || tier.load(&structure, &norm)))
             {
-                let mapping = hatt_replay(h, options, &seq);
+                let mapping = span("cache.replay", || hatt_replay(h, options, &seq));
                 slot.fill(seq);
                 std::mem::forget(guard);
                 return Ok(mapping);
@@ -658,7 +667,9 @@ impl MappingCache {
                 // Same write-through-then-publish order as a cold
                 // construction, with the ancestor recorded as lineage.
                 if let Some(tier) = &self.store {
-                    tier.save(&structure, &norm, &mapping, ancestor.map(|(s, _)| s.hash()));
+                    span("store.save", || {
+                        tier.save(&structure, &norm, &mapping, ancestor.map(|(s, _)| s.hash()));
+                    });
                 }
                 slot.fill(merge_sequence(mapping.tree()));
                 std::mem::forget(guard);
@@ -670,7 +681,9 @@ impl MappingCache {
                     // follower observing `Ready` implies the record is
                     // (best-effort) on its way to disk.
                     if let Some(tier) = &self.store {
-                        tier.save(&structure, &norm, &mapping, None);
+                        span("store.save", || {
+                            tier.save(&structure, &norm, &mapping, None)
+                        });
                     }
                     slot.fill(merge_sequence(mapping.tree()));
                     // fill() resolved the slot, so the guard's cleanup
@@ -684,7 +697,7 @@ impl MappingCache {
             }
         } else {
             match slot.wait() {
-                Some(seq) => Ok(hatt_replay(h, options, &seq)),
+                Some(seq) => Ok(span("cache.replay", || hatt_replay(h, options, &seq))),
                 // The owner failed; reproduce its outcome independently.
                 None => self.construct(h, options),
             }
@@ -728,7 +741,7 @@ impl MappingCache {
             return Ok(None);
         }
         self.remaps.fetch_add(1, Ordering::Relaxed);
-        hatt_remap(h, options, &seq, touched).map(Some)
+        span("remap", || hatt_remap(h, options, &seq, touched)).map(Some)
     }
 
     /// Panicking convenience over [`MappingCache::try_get_or_build`].
@@ -790,7 +803,14 @@ pub(crate) fn map_many_impl(
         threads: Some((workers / distinct.max(1)).max(1)),
         ..*options
     };
-    let results = parallel::par_map_with(workers, hs, |h| cache.try_get_or_build(h, &inner));
+    // Scoped fan-out workers do not inherit the caller's thread-local
+    // trace scope; a captured handle re-enters it per item so tier
+    // spans (cache.probe, construct, …) stay in the request's trace.
+    let scope = hatt_trace::capture();
+    let results = parallel::par_map_with(workers, hs, |h| match &scope {
+        Some(handle) => handle.scope("batch.item", || cache.try_get_or_build(h, &inner)),
+        None => cache.try_get_or_build(h, &inner),
+    });
     results
         .into_iter()
         .enumerate()

@@ -6,8 +6,8 @@
 //!       [--store PATH] [--max-conns N] [--max-line-bytes N]
 //!       [--event-workers N] [--route HOST:PORT,HOST:PORT,...]
 //!       [--policy greedy|vanilla|restarts|lookahead:<w>|beam:<w>]
-//!       [--variant cached|paired|unopt]
-//!       [--self-check] [--persist-check] [--route-check]
+//!       [--variant cached|paired|unopt] [--trace]
+//!       [--self-check] [--persist-check] [--route-check] [--trace-check]
 //! ```
 //!
 //! * `--addr` — listen address (`:0` picks an ephemeral port; the bound
@@ -46,6 +46,16 @@
 //!   over them, map a synthetic roster through the router, and verify
 //!   the responses are bit-identical to in-process mappings with every
 //!   shard healthy (the CI router smoke).
+//! * `--trace` — record a span tree per request (accept, frame parse,
+//!   queue wait, cache probe / construction, forward hop, write drain)
+//!   into a bounded in-memory ring; dump recent trees with the
+//!   `trace_dump` verb (`hatt_service::client::trace_dump`) and see
+//!   recorded/dropped totals in `stats`.
+//! * `--trace-check` — boot two traced in-process shard daemons plus a
+//!   traced router, send one request through the router, merge the
+//!   three daemons' `trace_dump`s, and verify they form a single
+//!   connected trace — router accept → forward hop → shard
+//!   construction — with at least 6 nested spans (the CI trace smoke).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -57,7 +67,7 @@ use hatt_mappings::FermionMapping;
 use hatt_pauli::Complex64;
 use hatt_service::{
     client, MapDeltaRequest, MapRequest, Scheduler, SchedulerConfig, Server, ServerConfig,
-    StatsReply,
+    StatsReply, TraceSpan,
 };
 
 struct Args {
@@ -72,9 +82,11 @@ struct Args {
     route: Option<String>,
     policy: Option<String>,
     variant: Option<String>,
+    trace: bool,
     self_check: bool,
     persist_check: bool,
     route_check: bool,
+    trace_check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -90,9 +102,11 @@ fn parse_args() -> Result<Args, String> {
         route: None,
         policy: None,
         variant: None,
+        trace: false,
         self_check: false,
         persist_check: false,
         route_check: false,
+        trace_check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -143,16 +157,18 @@ fn parse_args() -> Result<Args, String> {
             "--route" => args.route = Some(value("--route")?),
             "--policy" => args.policy = Some(value("--policy")?),
             "--variant" => args.variant = Some(value("--variant")?),
+            "--trace" => args.trace = true,
             "--self-check" => args.self_check = true,
             "--persist-check" => args.persist_check = true,
             "--route-check" => args.route_check = true,
+            "--trace-check" => args.trace_check = true,
             "--help" | "-h" => {
                 println!(
                     "hattd [--addr IP:PORT] [--threads N] [--queue N] [--cache N] \
                      [--store PATH] [--max-conns N] [--max-line-bytes N] \
                      [--event-workers N] [--route HOST:PORT,...] \
-                     [--policy P] [--variant V] \
-                     [--self-check] [--persist-check] [--route-check]"
+                     [--policy P] [--variant V] [--trace] \
+                     [--self-check] [--persist-check] [--route-check] [--trace-check]"
                 );
                 std::process::exit(0);
             }
@@ -199,6 +215,7 @@ fn server_config(args: &Args) -> ServerConfig {
         max_connections: args.max_conns.unwrap_or(defaults.max_connections),
         event_workers: args.event_workers.unwrap_or(defaults.event_workers),
         max_write_buffer: defaults.max_write_buffer,
+        trace: args.trace,
     }
 }
 
@@ -255,6 +272,18 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("hattd route-check FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.trace_check {
+        return match trace_check(&args) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("hattd trace-check FAILED: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -371,6 +400,114 @@ fn route_check(args: &Args) -> Result<String, String> {
         "hattd route-check ok: {} items routed across 2 shards, trees bit-identical, \
          both shards healthy",
         hams.len()
+    ))
+}
+
+/// The CI trace smoke: boot two traced in-process shard daemons plus a
+/// traced router, send **one** map request through the router, merge
+/// the three daemons' `trace_dump`s, and require a single connected
+/// trace — router accept → forward hop → shard construction → write
+/// drain — with at least 6 nested spans under one root.
+fn trace_check(args: &Args) -> Result<String, String> {
+    let mut config = server_config(args);
+    config.trace = true;
+    let shard_a = Server::bind("127.0.0.1:0", build_mapper(args)?, config.clone())
+        .map_err(|e| format!("shard a: bind: {e}"))?;
+    let shard_b = Server::bind("127.0.0.1:0", build_mapper(args)?, config.clone())
+        .map_err(|e| format!("shard b: bind: {e}"))?;
+    let shards = vec![
+        shard_a.local_addr().to_string(),
+        shard_b.local_addr().to_string(),
+    ];
+    let router = Server::bind_router("127.0.0.1:0", &shards, config)
+        .map_err(|e| format!("router: bind: {e}"))?;
+
+    let req = MapRequest::new("trace-check", vec![MajoranaSum::uniform_singles(6)]);
+    let reply =
+        client::request(router.local_addr(), &req).map_err(|e| format!("traced request: {e}"))?;
+    if reply.done.errors != 0 {
+        return Err(format!("traced request had errors: {:?}", reply.done));
+    }
+
+    // Every stage the request crossed, in at least one of the three
+    // daemons' rings.
+    let required = [
+        "request",
+        "accept",
+        "frame.parse",
+        "queue.wait",
+        "route.hash",
+        "route.forward",
+        "construct",
+        "write.drain",
+    ];
+    // The final write-drain span lands moments after the client reads
+    // `map_done`; poll the dumps briefly instead of racing them.
+    let mut merged: std::collections::BTreeMap<u64, Vec<TraceSpan>> = Default::default();
+    for _ in 0..200 {
+        merged.clear();
+        let router_addr = router.local_addr().to_string();
+        for addr in std::iter::once(&router_addr).chain(&shards) {
+            let dump = client::trace_dump(addr.as_str(), "trace-check-dump")
+                .map_err(|e| format!("trace_dump {addr}: {e}"))?;
+            if !dump.enabled {
+                return Err(format!("daemon {addr} reports tracing disabled"));
+            }
+            for tree in dump.traces {
+                merged.entry(tree.trace_id).or_default().extend(tree.spans);
+            }
+        }
+        let covered = required
+            .iter()
+            .all(|n| merged.values().flatten().any(|s| s.name == *n));
+        if merged.len() == 1 && covered {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    if merged.len() != 1 {
+        return Err(format!(
+            "expected exactly one trace id across router+shards, found {}",
+            merged.len()
+        ));
+    }
+    let (trace_id, spans) = merged.into_iter().next().ok_or("no spans recorded")?;
+    for name in required {
+        if !spans.iter().any(|s| s.name == name) {
+            return Err(format!("trace {trace_id:#x} is missing a {name:?} span"));
+        }
+    }
+    let nested = spans.iter().filter(|s| s.parent_span != 0).count();
+    if nested < 6 {
+        return Err(format!(
+            "trace {trace_id:#x} has only {nested} nested spans (need ≥ 6): {spans:?}"
+        ));
+    }
+    // Connectivity: exactly one root (the router's request span), and
+    // every other span — including the shard's, linked through the
+    // on-wire forward-hop context — hangs off a recorded span.
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    let orphans: Vec<&TraceSpan> = spans
+        .iter()
+        .filter(|s| s.parent_span != 0 && !ids.contains(&s.parent_span))
+        .collect();
+    if !orphans.is_empty() {
+        return Err(format!("spans with unrecorded parents: {orphans:?}"));
+    }
+    let roots = spans.iter().filter(|s| s.parent_span == 0).count();
+    if roots != 1 {
+        return Err(format!("expected 1 root span, found {roots}"));
+    }
+
+    router.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
+    Ok(format!(
+        "hattd trace-check ok: one traced request produced trace {trace_id:#x} with \
+         {} spans ({nested} nested) spanning router accept → forward hop → shard \
+         construction → write drain",
+        spans.len()
     ))
 }
 

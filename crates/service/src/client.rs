@@ -8,6 +8,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use crate::error::ServiceError;
 use crate::proto::{
     MapDeltaRequest, MapDone, MapItem, MapRequest, ResponseLine, StatsReply, StatsRequest,
+    TraceDumpReply, TraceDumpRequest,
 };
 
 /// A complete response to one request.
@@ -162,5 +163,57 @@ pub fn stats(addr: impl ToSocketAddrs, id: impl Into<String>) -> Result<StatsRep
     }
     Err(ServiceError::Protocol(
         "connection closed before the stats line".into(),
+    ))
+}
+
+/// Asks a `--trace` daemon for its recent span trees (the `trace_dump`
+/// verb). On a daemon without tracing the reply comes back with
+/// `enabled: false` and no traces — asking is always safe.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_core::Mapper;
+/// use hatt_fermion::MajoranaSum;
+/// use hatt_service::{client, MapRequest, Server, ServerConfig};
+///
+/// let config = ServerConfig { trace: true, ..ServerConfig::default() };
+/// let server = Server::bind("127.0.0.1:0", Mapper::new(), config)?;
+/// let req = MapRequest::new("traced", vec![MajoranaSum::uniform_singles(2)]);
+/// client::request(server.local_addr(), &req)?;
+/// let dump = client::trace_dump(server.local_addr(), "probe")?;
+/// assert!(dump.enabled);
+/// assert_eq!(dump.traces.len(), 1);
+/// assert!(dump.traces[0].spans.iter().any(|s| s.name == "construct"));
+/// server.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn trace_dump(
+    addr: impl ToSocketAddrs,
+    id: impl Into<String>,
+) -> Result<TraceDumpReply, ServiceError> {
+    let req = TraceDumpRequest::new(id);
+    let stream = TcpStream::connect(addr)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writer.write_all(req.to_line().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = TraceDumpReply::from_line(&line)?;
+        if reply.id != req.id {
+            return Err(ServiceError::Protocol(format!(
+                "trace dump for probe {:?} while waiting on {:?}",
+                reply.id, req.id
+            )));
+        }
+        return Ok(reply);
+    }
+    Err(ServiceError::Protocol(
+        "connection closed before the trace_dump line".into(),
     ))
 }

@@ -68,6 +68,7 @@ pub use error::ServiceError;
 pub use proto::{
     ItemError, ItemPayload, LatencyBucket, MapDeltaRequest, MapDone, MapItem, MapRequest,
     PolicyLatency, RequestLine, ResponseLine, ShardStats, StatsReply, StatsRequest, TierStats,
+    TraceDumpReply, TraceDumpRequest, TraceSpan, TraceSummary, TraceTree, VerbCounters,
 };
 pub use scheduler::{ClientId, Scheduler, SchedulerConfig};
 pub use server::{Server, ServerConfig};

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bounds (nanoseconds) of the finite histogram buckets; one
 /// overflow bucket follows. 100µs..10s in decades.
@@ -53,8 +53,20 @@ impl Histogram {
 /// has a single source.
 ///
 /// [`Scheduler`]: crate::Scheduler
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Metrics {
+    /// When this daemon's metrics were created — the uptime epoch the
+    /// `stats` verb reports against.
+    pub(crate) started: Instant,
+    /// `map_request` lines accepted by the reactor (parse failures and
+    /// overload rejections excluded).
+    pub(crate) verb_map: AtomicU64,
+    /// `map_delta` lines accepted by the reactor.
+    pub(crate) verb_delta: AtomicU64,
+    /// `stats_request` lines answered.
+    pub(crate) verb_stats: AtomicU64,
+    /// `trace_dump_request` lines answered.
+    pub(crate) verb_trace_dump: AtomicU64,
     /// Handler threads currently serving a connection.
     pub(crate) connections_active: AtomicUsize,
     /// Connections turned away at the connection limit.
@@ -75,7 +87,42 @@ pub(crate) struct Metrics {
     latencies: Mutex<BTreeMap<String, Histogram>>,
 }
 
+// Manual because `Instant` has no `Default`: the epoch is "now".
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            verb_map: AtomicU64::new(0),
+            verb_delta: AtomicU64::new(0),
+            verb_stats: AtomicU64::new(0),
+            verb_trace_dump: AtomicU64::new(0),
+            connections_active: AtomicUsize::new(0),
+            connections_rejected: AtomicU64::new(0),
+            oversize_lines: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            items_cancelled: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            latencies: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
 impl Metrics {
+    /// Milliseconds since this daemon's metrics epoch.
+    pub(crate) fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Snapshot of the per-verb request counters.
+    pub(crate) fn verb_counters(&self) -> crate::proto::VerbCounters {
+        crate::proto::VerbCounters {
+            map: self.verb_map.load(Ordering::Relaxed),
+            map_delta: self.verb_delta.load(Ordering::Relaxed),
+            stats: self.verb_stats.load(Ordering::Relaxed),
+            trace_dump: self.verb_trace_dump.load(Ordering::Relaxed),
+        }
+    }
+
     /// Records one job's wall-clock latency under its policy label.
     pub(crate) fn observe_latency(&self, policy: &str, elapsed: Duration) {
         let mut map = self.lock();

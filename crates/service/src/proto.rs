@@ -51,6 +51,7 @@ use hatt_pauli::wire::{
     as_arr, as_bool, as_obj, as_str, as_u64, as_usize, envelope, field, get, open_envelope,
     WireError,
 };
+use hatt_trace::{SpanRecord, TraceCtx};
 
 const KIND_REQUEST: &str = "map_request";
 const KIND_DELTA_REQUEST: &str = "map_delta";
@@ -58,6 +59,31 @@ const KIND_ITEM: &str = "map_item";
 const KIND_DONE: &str = "map_done";
 const KIND_STATS_REQUEST: &str = "stats_request";
 const KIND_STATS: &str = "stats";
+const KIND_TRACE_DUMP_REQUEST: &str = "trace_dump_request";
+const KIND_TRACE_DUMP: &str = "trace_dump";
+
+/// Encodes a propagated trace context as the optional `trace_ctx`
+/// request field. IDs are 63-bit by construction ([`hatt_trace`] mints
+/// them that way); out-of-range values are masked rather than panicking.
+fn encode_trace_ctx(ctx: TraceCtx) -> Json {
+    let mask = i64::MAX as u64;
+    Json::Obj(vec![
+        ("trace_id".into(), Json::int(ctx.trace_id & mask)),
+        ("parent_span".into(), Json::int(ctx.parent_span & mask)),
+    ])
+}
+
+fn decode_trace_ctx(v: &Json) -> Result<TraceCtx, WireError> {
+    const CTX: &str = "trace_ctx";
+    let pairs = as_obj(v, CTX)?;
+    Ok(TraceCtx {
+        trace_id: as_u64(field(pairs, "trace_id", CTX)?, CTX)?,
+        parent_span: match get(pairs, "parent_span") {
+            None | Some(Json::Null) => 0,
+            Some(v) => as_u64(v, CTX)?,
+        },
+    })
+}
 
 /// A batch mapping request: one or more Majorana Hamiltonians to map
 /// under one option set.
@@ -86,6 +112,11 @@ pub struct MapRequest {
     /// Optional mode-count pin: items of any other size fail
     /// individually with `mode_mismatch`.
     pub n_modes: Option<usize>,
+    /// Optional propagated trace context (`trace_ctx` on the wire): a
+    /// traced caller's trace ID plus its active span, so the server's
+    /// spans join the caller's tree. Absent means "not traced by the
+    /// caller" — a `--trace` server then roots a fresh trace itself.
+    pub trace: Option<TraceCtx>,
     /// The Hamiltonians to map, in order.
     pub hamiltonians: Vec<MajoranaSum>,
 }
@@ -97,6 +128,7 @@ impl MapRequest {
             id: id.into(),
             options: None,
             n_modes: None,
+            trace: None,
             hamiltonians,
         }
     }
@@ -109,6 +141,9 @@ impl MapRequest {
         }
         if let Some(n) = self.n_modes {
             payload.push(("n_modes".into(), Json::int(n as u64)));
+        }
+        if let Some(ctx) = self.trace {
+            payload.push(("trace_ctx".into(), encode_trace_ctx(ctx)));
         }
         payload.push((
             "hamiltonians".into(),
@@ -130,6 +165,11 @@ impl MapRequest {
             None | Some(Json::Null) => None,
             Some(v) => Some(as_usize(v, CTX)?),
         };
+        // Additive (tracing): absent on lines from untraced clients.
+        let trace = match get(pairs, "trace_ctx") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(decode_trace_ctx(v)?),
+        };
         let hamiltonians = as_arr(field(pairs, "hamiltonians", CTX)?, CTX)?
             .iter()
             .map(decode_majorana_sum_payload)
@@ -138,6 +178,7 @@ impl MapRequest {
             id,
             options,
             n_modes,
+            trace,
             hamiltonians,
         })
     }
@@ -183,6 +224,8 @@ pub struct MapDeltaRequest {
     /// Construction options (`None` = use the server mapper's
     /// configuration), exactly as on [`MapRequest`].
     pub options: Option<HattOptions>,
+    /// Optional propagated trace context, exactly as on [`MapRequest`].
+    pub trace: Option<TraceCtx>,
     /// The base Hamiltonian the delta applies to.
     pub hamiltonian: MajoranaSum,
     /// The structural edit to apply before mapping.
@@ -195,6 +238,7 @@ impl MapDeltaRequest {
         MapDeltaRequest {
             id: id.into(),
             options: None,
+            trace: None,
             hamiltonian,
             delta,
         }
@@ -205,6 +249,9 @@ impl MapDeltaRequest {
         let mut payload = vec![("id".into(), Json::str(&self.id))];
         if let Some(options) = &self.options {
             payload.push(("options".into(), encode_options(options)));
+        }
+        if let Some(ctx) = self.trace {
+            payload.push(("trace_ctx".into(), encode_trace_ctx(ctx)));
         }
         payload.push((
             "hamiltonian".into(),
@@ -223,11 +270,16 @@ impl MapDeltaRequest {
             None | Some(Json::Null) => None,
             Some(v) => Some(decode_options(v)?),
         };
+        let trace = match get(pairs, "trace_ctx") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(decode_trace_ctx(v)?),
+        };
         let hamiltonian = decode_majorana_sum_payload(field(pairs, "hamiltonian", CTX)?)?;
         let delta = decode_hamiltonian_delta_payload(field(pairs, "delta", CTX)?)?;
         Ok(MapDeltaRequest {
             id,
             options,
+            trace,
             hamiltonian,
             delta,
         })
@@ -572,6 +624,32 @@ pub struct ShardStats {
     pub shed: u64,
 }
 
+/// Requests served since boot, by verb. All counters are additive wire
+/// fields: lines from older daemons decode as zeroes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerbCounters {
+    /// `map_request` lines accepted (parse failures excluded).
+    pub map: u64,
+    /// `map_delta` lines accepted.
+    pub map_delta: u64,
+    /// `stats_request` lines answered.
+    pub stats: u64,
+    /// `trace_dump_request` lines answered.
+    pub trace_dump: u64,
+}
+
+/// Summary of the trace collector, embedded in [`StatsReply`] when the
+/// daemon runs with `--trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Ring-buffer capacity (spans retained).
+    pub capacity: usize,
+    /// Spans recorded since boot (including later-evicted ones).
+    pub recorded: u64,
+    /// Spans evicted because the ring was full.
+    pub dropped: u64,
+}
+
 /// The daemon's observability snapshot (`kind: "stats"`), answering a
 /// [`StatsRequest`]: queue depth, connection counters, per-tier cache
 /// hit/miss, persistent-store health and per-policy latency histograms.
@@ -579,6 +657,12 @@ pub struct ShardStats {
 pub struct StatsReply {
     /// Echo of the request id.
     pub id: String,
+    /// Milliseconds since the daemon booted.
+    pub uptime_ms: u64,
+    /// Requests served since boot, by verb.
+    pub verbs: VerbCounters,
+    /// Trace-collector summary (`None` when tracing is off).
+    pub trace: Option<TraceSummary>,
     /// Jobs queued in the scheduler, not yet dispatched.
     pub queue_depth: usize,
     /// Connections currently being served.
@@ -658,6 +742,29 @@ impl StatsReply {
             KIND_STATS,
             Json::Obj(vec![
                 ("id".into(), Json::str(&self.id)),
+                ("uptime_ms".into(), Json::int(self.uptime_ms)),
+                (
+                    "verbs".into(),
+                    Json::Obj(vec![
+                        // Counter keys are the verbs' wire kinds (the
+                        // consts, so the registry sees one literal each).
+                        ("map".into(), Json::int(self.verbs.map)),
+                        (KIND_DELTA_REQUEST.into(), Json::int(self.verbs.map_delta)),
+                        (KIND_STATS.into(), Json::int(self.verbs.stats)),
+                        (KIND_TRACE_DUMP.into(), Json::int(self.verbs.trace_dump)),
+                    ]),
+                ),
+                (
+                    "trace".into(),
+                    match &self.trace {
+                        None => Json::Null,
+                        Some(t) => Json::Obj(vec![
+                            ("capacity".into(), Json::int(t.capacity as u64)),
+                            ("recorded".into(), Json::int(t.recorded)),
+                            ("dropped".into(), Json::int(t.dropped)),
+                        ]),
+                    },
+                ),
                 ("queue_depth".into(), Json::int(self.queue_depth as u64)),
                 ("connections".into(), Json::int(self.connections as u64)),
                 (
@@ -752,6 +859,42 @@ impl StatsReply {
         }
         Ok(StatsReply {
             id: as_str(field(pairs, "id", CTX)?, CTX)?.to_string(),
+            // Additive (tracing PR): absent on lines from older daemons.
+            uptime_ms: match get(pairs, "uptime_ms") {
+                None | Some(Json::Null) => 0,
+                Some(v) => as_u64(v, CTX)?,
+            },
+            verbs: match get(pairs, "verbs") {
+                None | Some(Json::Null) => VerbCounters::default(),
+                Some(v) => {
+                    const VCTX: &str = "stats verbs";
+                    let vp = as_obj(v, VCTX)?;
+                    let count = |key: &str| -> Result<u64, WireError> {
+                        match get(vp, key) {
+                            None | Some(Json::Null) => Ok(0),
+                            Some(v) => as_u64(v, VCTX),
+                        }
+                    };
+                    VerbCounters {
+                        map: count("map")?,
+                        map_delta: count(KIND_DELTA_REQUEST)?,
+                        stats: count(KIND_STATS)?,
+                        trace_dump: count(KIND_TRACE_DUMP)?,
+                    }
+                }
+            },
+            trace: match get(pairs, "trace") {
+                None | Some(Json::Null) => None,
+                Some(v) => {
+                    const TCTX: &str = "stats trace";
+                    let tp = as_obj(v, TCTX)?;
+                    Some(TraceSummary {
+                        capacity: as_usize(field(tp, "capacity", TCTX)?, TCTX)?,
+                        recorded: as_u64(field(tp, "recorded", TCTX)?, TCTX)?,
+                        dropped: as_u64(field(tp, "dropped", TCTX)?, TCTX)?,
+                    })
+                }
+            },
             queue_depth: as_usize(field(pairs, "queue_depth", CTX)?, CTX)?,
             connections: as_usize(field(pairs, "connections", CTX)?, CTX)?,
             connection_limit: as_usize(field(pairs, "connection_limit", CTX)?, CTX)?,
@@ -811,8 +954,240 @@ impl StatsReply {
     }
 }
 
-/// One parsed request line: a mapping batch, an incremental remap or a
-/// stats probe.
+/// The trace verb (`kind: "trace_dump_request"`): ask a `--trace`
+/// daemon for its recently retained span trees. Answered with one
+/// [`TraceDumpReply`] line.
+///
+/// # Examples
+///
+/// ```
+/// use hatt_service::TraceDumpRequest;
+///
+/// let req = TraceDumpRequest::new("dump-1").with_max_traces(8);
+/// let back = TraceDumpRequest::from_line(&req.to_line())?;
+/// assert_eq!(back.id, "dump-1");
+/// assert_eq!(back.max_traces, Some(8));
+/// # Ok::<(), hatt_pauli::wire::WireError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDumpRequest {
+    /// Caller-chosen identifier, echoed on the reply line.
+    pub id: String,
+    /// Most-recent trace cap (`None` = every retained trace).
+    pub max_traces: Option<usize>,
+}
+
+impl TraceDumpRequest {
+    /// A dump request for every retained trace.
+    pub fn new(id: impl Into<String>) -> Self {
+        TraceDumpRequest {
+            id: id.into(),
+            max_traces: None,
+        }
+    }
+
+    /// Caps the reply to the `max` most recent traces.
+    pub fn with_max_traces(mut self, max: usize) -> Self {
+        self.max_traces = Some(max);
+        self
+    }
+
+    /// Encodes the request envelope.
+    pub fn encode(&self) -> Json {
+        let mut payload = vec![("id".into(), Json::str(&self.id))];
+        if let Some(max) = self.max_traces {
+            payload.push(("max_traces".into(), Json::int(max as u64)));
+        }
+        envelope(KIND_TRACE_DUMP_REQUEST, Json::Obj(payload))
+    }
+
+    /// Decodes a trace-dump-request envelope.
+    pub fn decode(v: &Json) -> Result<Self, WireError> {
+        const CTX: &str = "trace_dump_request payload";
+        let pairs = as_obj(open_envelope(v, KIND_TRACE_DUMP_REQUEST)?, CTX)?;
+        Ok(TraceDumpRequest {
+            id: as_str(field(pairs, "id", CTX)?, CTX)?.to_string(),
+            max_traces: match get(pairs, "max_traces") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(as_usize(v, CTX)?),
+            },
+        })
+    }
+
+    /// Renders the request as one JSON line.
+    pub fn to_line(&self) -> String {
+        self.encode().render()
+    }
+
+    /// Parses a trace-dump-request line.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        Self::decode(&Json::parse(line)?)
+    }
+}
+
+/// One completed span on the wire (inside a [`TraceTree`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Host-unique span identifier.
+    pub span_id: u64,
+    /// Parent span ID (`0` = root of the trace).
+    pub parent_span: u64,
+    /// Stage name (`"queue.wait"`, `"construct"`, …).
+    pub name: String,
+    /// Start time, nanoseconds since the *recording process's*
+    /// monotonic epoch — comparable within one daemon only.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Every retained span of one trace, in recording order (children
+/// complete before their parents). The tree shape is carried by
+/// `parent_span` links; spans forwarded across daemons share the trace
+/// ID, so router and shard dumps merge by concatenation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTree {
+    /// The trace these spans belong to.
+    pub trace_id: u64,
+    /// The spans, oldest first.
+    pub spans: Vec<TraceSpan>,
+}
+
+/// The trace dump (`kind: "trace_dump"`), answering a
+/// [`TraceDumpRequest`] with recent span trees, oldest trace first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDumpReply {
+    /// Echo of the request id.
+    pub id: String,
+    /// Whether the daemon records spans (`false` = no `--trace`; the
+    /// trace list is then empty).
+    pub enabled: bool,
+    /// Retained traces, ordered by first recorded span.
+    pub traces: Vec<TraceTree>,
+}
+
+impl TraceDumpReply {
+    /// Groups a collector snapshot into per-trace span lists, keeping
+    /// the `max_traces` most recent traces (by first appearance).
+    pub fn from_spans(
+        id: impl Into<String>,
+        enabled: bool,
+        spans: &[SpanRecord],
+        max_traces: Option<usize>,
+    ) -> Self {
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: std::collections::BTreeMap<u64, Vec<TraceSpan>> =
+            std::collections::BTreeMap::new();
+        for s in spans {
+            let group = groups.entry(s.trace_id).or_default();
+            if group.is_empty() {
+                order.push(s.trace_id);
+            }
+            group.push(TraceSpan {
+                span_id: s.span_id,
+                parent_span: s.parent_span,
+                name: s.name.to_string(),
+                start_ns: s.start_ns,
+                dur_ns: s.dur_ns,
+            });
+        }
+        let keep = max_traces.unwrap_or(usize::MAX);
+        let skip = order.len().saturating_sub(keep);
+        let traces = order
+            .into_iter()
+            .skip(skip)
+            .map(|trace_id| TraceTree {
+                trace_id,
+                spans: groups.remove(&trace_id).unwrap_or_default(),
+            })
+            .collect();
+        TraceDumpReply {
+            id: id.into(),
+            enabled,
+            traces,
+        }
+    }
+
+    /// Encodes the dump envelope.
+    pub fn encode(&self) -> Json {
+        let mask = i64::MAX as u64;
+        let traces = self
+            .traces
+            .iter()
+            .map(|t| {
+                let spans = t
+                    .spans
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("span_id".into(), Json::int(s.span_id & mask)),
+                            ("parent_span".into(), Json::int(s.parent_span & mask)),
+                            ("name".into(), Json::str(&s.name)),
+                            ("start_ns".into(), Json::int(s.start_ns & mask)),
+                            ("dur_ns".into(), Json::int(s.dur_ns & mask)),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("trace_id".into(), Json::int(t.trace_id & mask)),
+                    ("spans".into(), Json::Arr(spans)),
+                ])
+            })
+            .collect();
+        envelope(
+            KIND_TRACE_DUMP,
+            Json::Obj(vec![
+                ("id".into(), Json::str(&self.id)),
+                ("enabled".into(), Json::Bool(self.enabled)),
+                ("traces".into(), Json::Arr(traces)),
+            ]),
+        )
+    }
+
+    /// Decodes a dump envelope.
+    pub fn decode(v: &Json) -> Result<Self, WireError> {
+        const CTX: &str = "trace_dump payload";
+        let pairs = as_obj(open_envelope(v, KIND_TRACE_DUMP)?, CTX)?;
+        const TCTX: &str = "trace_dump trace";
+        let mut traces = Vec::new();
+        for t in as_arr(field(pairs, "traces", CTX)?, CTX)? {
+            let tp = as_obj(t, TCTX)?;
+            let mut spans = Vec::new();
+            for s in as_arr(field(tp, "spans", TCTX)?, TCTX)? {
+                let sp = as_obj(s, TCTX)?;
+                spans.push(TraceSpan {
+                    span_id: as_u64(field(sp, "span_id", TCTX)?, TCTX)?,
+                    parent_span: as_u64(field(sp, "parent_span", TCTX)?, TCTX)?,
+                    name: as_str(field(sp, "name", TCTX)?, TCTX)?.to_string(),
+                    start_ns: as_u64(field(sp, "start_ns", TCTX)?, TCTX)?,
+                    dur_ns: as_u64(field(sp, "dur_ns", TCTX)?, TCTX)?,
+                });
+            }
+            traces.push(TraceTree {
+                trace_id: as_u64(field(tp, "trace_id", TCTX)?, TCTX)?,
+                spans,
+            });
+        }
+        Ok(TraceDumpReply {
+            id: as_str(field(pairs, "id", CTX)?, CTX)?.to_string(),
+            enabled: as_bool(field(pairs, "enabled", CTX)?, CTX)?,
+            traces,
+        })
+    }
+
+    /// Renders the dump as one JSON line.
+    pub fn to_line(&self) -> String {
+        self.encode().render()
+    }
+
+    /// Parses a trace-dump line.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        Self::decode(&Json::parse(line)?)
+    }
+}
+
+/// One parsed request line: a mapping batch, an incremental remap, a
+/// stats probe or a trace dump.
 #[derive(Debug, Clone)]
 pub enum RequestLine {
     /// A batch mapping request.
@@ -821,6 +1196,8 @@ pub enum RequestLine {
     Delta(MapDeltaRequest),
     /// An observability probe.
     Stats(StatsRequest),
+    /// A span-tree dump request.
+    TraceDump(TraceDumpRequest),
 }
 
 impl RequestLine {
@@ -836,6 +1213,7 @@ impl RequestLine {
             .unwrap_or_default();
         match kind {
             KIND_STATS_REQUEST => Ok(RequestLine::Stats(StatsRequest::decode(&v)?)),
+            KIND_TRACE_DUMP_REQUEST => Ok(RequestLine::TraceDump(TraceDumpRequest::decode(&v)?)),
             KIND_DELTA_REQUEST => Ok(RequestLine::Delta(MapDeltaRequest::decode(&v)?)),
             // Anything else goes through the map-request decoder so the
             // error message names the expected kind (and legacy clients

@@ -50,11 +50,13 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use hatt_trace::{now_ns, TraceCtx, Tracer};
+
 use crate::error::ServiceError;
 use crate::metrics::{ConnectionSlot, Metrics};
 use crate::proto::{
     ItemError, ItemPayload, MapDeltaRequest, MapDone, MapItem, MapRequest, RequestLine, StatsReply,
-    StatsRequest,
+    StatsRequest, TraceDumpReply, TraceDumpRequest,
 };
 use crate::scheduler::ClientId;
 
@@ -78,13 +80,18 @@ pub(crate) trait Backend: Send + Sync + 'static {
     fn register_client(&self) -> ClientId;
     /// The shared counters the reactor layers its own onto.
     fn metrics(&self) -> &Arc<Metrics>;
+    /// The span collector (disabled unless the server traces).
+    fn tracer(&self) -> &Tracer;
     /// Starts serving a batch request; one [`MapItem`] per item will
-    /// arrive through `sink`. Returns how many items to await.
+    /// arrive through `sink`. Returns how many items to await. `trace`
+    /// is the request's context parented on its root span; the backend
+    /// nests its own spans (queue wait, forward hop, …) beneath it.
     fn submit_map(
         &self,
         client: ClientId,
         req: &MapRequest,
         sink: &ConnSink,
+        trace: Option<TraceCtx>,
     ) -> Result<usize, ServiceError>;
     /// Starts serving an incremental remap (same contract).
     fn submit_delta(
@@ -92,10 +99,21 @@ pub(crate) trait Backend: Send + Sync + 'static {
         client: ClientId,
         req: &MapDeltaRequest,
         sink: &ConnSink,
+        trace: Option<TraceCtx>,
     ) -> Result<usize, ServiceError>;
     /// Builds the observability snapshot (answered inline — must not
     /// block on I/O).
     fn stats(&self, req: &StatsRequest) -> StatsReply;
+    /// Answers a span-tree dump from the collector (answered inline).
+    fn trace_dump(&self, req: &TraceDumpRequest) -> TraceDumpReply {
+        let tracer = self.tracer();
+        TraceDumpReply::from_spans(
+            &req.id,
+            tracer.is_enabled(),
+            &tracer.snapshot(),
+            req.max_traces,
+        )
+    }
     /// Pre-teardown hook, called once after every worker has drained:
     /// join internal threads, flush persistent tiers.
     fn drain(&self);
@@ -254,9 +272,36 @@ impl WriteBuf {
     }
 }
 
+/// The trace identity one traced request carries through the reactor.
+/// The root span's ID is allocated at parse time (children reference it
+/// before it completes) and recorded when the `map_done` line buffers.
+#[derive(Clone, Copy)]
+struct ReqTrace {
+    trace_id: u64,
+    /// The request's root span (parent of every server-side span).
+    root_span: u64,
+    /// What the root span itself parents onto: 0, or the forwarding
+    /// router's hop span when the context arrived over the wire.
+    root_parent: u64,
+    /// Parse start — where the root span begins.
+    started_ns: u64,
+    /// Parse end — where the pending-queue wait begins.
+    parsed_ns: u64,
+}
+
+impl ReqTrace {
+    /// The context server-side children record under.
+    fn ctx(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            parent_span: self.root_span,
+        }
+    }
+}
+
 /// A parsed line waiting its serialized turn on one connection.
 enum Pending {
-    Request(Box<RequestLine>),
+    Request(Box<RequestLine>, Option<ReqTrace>),
     /// A line that failed to parse (the error message).
     Invalid(String),
     /// A line that blew the length cap.
@@ -269,6 +314,7 @@ struct Inflight {
     expected: usize,
     received: usize,
     errors: usize,
+    trace: Option<ReqTrace>,
 }
 
 /// One connection owned by an event-loop worker.
@@ -287,6 +333,16 @@ struct Conn {
     read_closed: bool,
     /// Transport is broken: cancel queued work and drop.
     dead: bool,
+    /// When the worker adopted this connection — the start of the
+    /// retroactive `accept` span.
+    accepted_ns: u64,
+    /// Whether the `accept` span was already emitted (once per
+    /// connection, under its first traced request).
+    accept_traced: bool,
+    /// Armed when a traced response finishes buffering: `(trace,
+    /// buffered_ns)`; the `write.drain` span is recorded once the write
+    /// buffer empties.
+    drain_trace: Option<(ReqTrace, u64)>,
 }
 
 impl Conn {
@@ -349,6 +405,7 @@ pub(crate) fn event_loop(
     stop: &AtomicBool,
 ) {
     let metrics = Arc::clone(backend.metrics());
+    let tracer = backend.tracer().clone();
     let mut conns: Vec<Conn> = Vec::new();
     let mut tokens: Vec<u64> = Vec::new();
     let mut pollfds: Vec<(RawFd, poll::Interest)> = Vec::new();
@@ -424,13 +481,16 @@ pub(crate) fn event_loop(
                 wbuf: WriteBuf::default(),
                 read_closed: false,
                 dead: false,
+                accepted_ns: if tracer.is_enabled() { now_ns() } else { 0 },
+                accept_traced: false,
+                drain_trace: None,
             });
         }
 
         // Deliver completed items into their connections' write buffers.
         while let Ok((token, item)) = completions.try_recv() {
             if let Some(conn) = conns.iter_mut().find(|c| c.sink.token == token) {
-                on_item(conn, item);
+                on_item(conn, item, &tracer);
             }
         }
 
@@ -445,7 +505,7 @@ pub(crate) fn event_loop(
                 continue;
             };
             if r.readable || r.hangup || r.error {
-                do_read(conn, &metrics, &mut scanned);
+                do_read(conn, &metrics, &tracer, &mut scanned);
             }
         }
 
@@ -461,12 +521,19 @@ pub(crate) fn event_loop(
         }
 
         for conn in &mut conns {
-            serve_pending(conn, backend, &limits);
+            serve_pending(conn, backend, &limits, &metrics, &tracer);
             if !conn.wbuf.is_empty() && conn.wbuf.flush_into(&conn.stream).is_err() {
                 conn.dead = true;
             }
+            // A traced response whose bytes all reached the kernel
+            // closes its `write.drain` span.
+            if conn.wbuf.is_empty() {
+                if let Some((t, buffered_ns)) = conn.drain_trace.take() {
+                    tracer.record_span(t.ctx(), "write.drain", buffered_ns, now_ns());
+                }
+            }
             // The flush may have made room to start the next request.
-            serve_pending(conn, backend, &limits);
+            serve_pending(conn, backend, &limits, &metrics, &tracer);
         }
 
         // Reap: broken transports cancel their queued work; cleanly
@@ -498,9 +565,48 @@ pub(crate) fn event_loop(
     }
 }
 
+/// Builds the trace identity of one freshly parsed request: continues
+/// the caller's context when the line carried `trace_ctx`, otherwise
+/// roots a fresh trace (the daemon runs `--trace`). Emits the
+/// retroactive `accept` (first traced request per connection) and
+/// `frame.parse` spans as a side effect.
+fn request_trace(
+    conn: &mut Conn,
+    req: &RequestLine,
+    tracer: &Tracer,
+    parse_start: u64,
+) -> Option<ReqTrace> {
+    if !tracer.is_enabled() {
+        return None;
+    }
+    let incoming = match req {
+        RequestLine::Map(r) => r.trace,
+        RequestLine::Delta(r) => r.trace,
+        // Probe verbs are answered inline; tracing them would only
+        // drown the mapping spans the dump exists to expose.
+        RequestLine::Stats(_) | RequestLine::TraceDump(_) => return None,
+    };
+    let ctx_in = incoming.or_else(|| tracer.new_trace())?;
+    let root_span = tracer.alloc_span_id();
+    let parsed_ns = now_ns();
+    let trace = ReqTrace {
+        trace_id: ctx_in.trace_id,
+        root_span,
+        root_parent: ctx_in.parent_span,
+        started_ns: parse_start,
+        parsed_ns,
+    };
+    if !conn.accept_traced {
+        conn.accept_traced = true;
+        tracer.record_span(trace.ctx(), "accept", conn.accepted_ns, parse_start);
+    }
+    tracer.record_span(trace.ctx(), "frame.parse", parse_start, parsed_ns);
+    Some(trace)
+}
+
 /// Reads until `WouldBlock` (or the per-cycle quantum), feeding the
 /// scanner and queueing parsed lines.
-fn do_read(conn: &mut Conn, metrics: &Metrics, scanned: &mut Vec<Scanned>) {
+fn do_read(conn: &mut Conn, metrics: &Metrics, tracer: &Tracer, scanned: &mut Vec<Scanned>) {
     if conn.read_closed || conn.dead {
         // Still consume readiness on a half-closed socket: an error here
         // (RST) is how we learn the peer is fully gone.
@@ -538,8 +644,13 @@ fn do_read(conn: &mut Conn, metrics: &Metrics, scanned: &mut Vec<Scanned>) {
                             if line.trim().is_empty() {
                                 continue;
                             }
+                            let parse_start = if tracer.is_enabled() { now_ns() } else { 0 };
                             match RequestLine::from_line(&line) {
-                                Ok(req) => conn.pending.push_back(Pending::Request(Box::new(req))),
+                                Ok(req) => {
+                                    let trace = request_trace(conn, &req, tracer, parse_start);
+                                    conn.pending
+                                        .push_back(Pending::Request(Box::new(req), trace));
+                                }
                                 Err(e) => conn.pending.push_back(Pending::Invalid(e.to_string())),
                             }
                         }
@@ -557,7 +668,7 @@ fn do_read(conn: &mut Conn, metrics: &Metrics, scanned: &mut Vec<Scanned>) {
 }
 
 /// Folds one completed item into its connection's response stream.
-fn on_item(conn: &mut Conn, item: MapItem) {
+fn on_item(conn: &mut Conn, item: MapItem, tracer: &Tracer) {
     let Some(inflight) = conn.inflight.as_mut() else {
         // A completion for a request this connection no longer tracks
         // (cancelled then re-registered token is impossible — tokens
@@ -576,6 +687,22 @@ fn on_item(conn: &mut Conn, item: MapItem) {
             errors: inflight.errors,
         };
         conn.wbuf.push_line(&done.to_line());
+        // The response is fully buffered: close the root `request`
+        // span and arm the `write.drain` span for the flush path.
+        if let Some(t) = inflight.trace {
+            let buffered_ns = now_ns();
+            tracer.record_span_id(
+                t.root_span,
+                TraceCtx {
+                    trace_id: t.trace_id,
+                    parent_span: t.root_parent,
+                },
+                "request",
+                t.started_ns,
+                buffered_ns,
+            );
+            conn.drain_trace = Some((t, buffered_ns));
+        }
         conn.inflight = None;
     }
 }
@@ -596,9 +723,23 @@ fn error_reply(conn: &mut Conn, id: &str, error: ItemError) {
     conn.wbuf.push_line(&done.to_line());
 }
 
+/// Closes the pending-queue-wait span of a request about to be served.
+fn observe_queue_wait(tracer: &Tracer, trace: Option<ReqTrace>) -> Option<ReqTrace> {
+    if let Some(t) = trace {
+        tracer.record_span(t.ctx(), "queue.wait", t.parsed_ns, now_ns());
+    }
+    trace
+}
+
 /// Starts as many pending lines as the serialization and backpressure
 /// rules allow (responses stay strictly in request order).
-fn serve_pending(conn: &mut Conn, backend: &Arc<dyn Backend>, limits: &ReactorLimits) {
+fn serve_pending(
+    conn: &mut Conn,
+    backend: &Arc<dyn Backend>,
+    limits: &ReactorLimits,
+    metrics: &Metrics,
+    tracer: &Tracer,
+) {
     while conn.inflight.is_none() && conn.wbuf.len() < limits.max_write_buffer && !conn.dead {
         let Some(next) = conn.pending.pop_front() else {
             return;
@@ -615,59 +756,105 @@ fn serve_pending(conn: &mut Conn, backend: &Arc<dyn Backend>, limits: &ReactorLi
             Pending::Invalid(message) => {
                 error_reply(conn, "", ItemError::invalid_request(message));
             }
-            Pending::Request(line) => match *line {
+            Pending::Request(line, trace) => match *line {
                 RequestLine::Stats(req) => {
+                    metrics.verb_stats.fetch_add(1, Ordering::Relaxed);
                     let reply = backend.stats(&req);
                     conn.wbuf.push_line(&reply.to_line());
                 }
-                RequestLine::Map(req) => match backend.submit_map(conn.client, &req, &conn.sink) {
-                    Ok(0) => conn.wbuf.push_line(
-                        &MapDone {
-                            id: req.id.clone(),
-                            items: 0,
-                            errors: 0,
+                RequestLine::TraceDump(req) => {
+                    metrics.verb_trace_dump.fetch_add(1, Ordering::Relaxed);
+                    let reply = backend.trace_dump(&req);
+                    conn.wbuf.push_line(&reply.to_line());
+                }
+                RequestLine::Map(req) => {
+                    let trace = observe_queue_wait(tracer, trace);
+                    let ctx = trace.map(|t| t.ctx());
+                    match backend.submit_map(conn.client, &req, &conn.sink, ctx) {
+                        Ok(0) => {
+                            metrics.verb_map.fetch_add(1, Ordering::Relaxed);
+                            conn.wbuf.push_line(
+                                &MapDone {
+                                    id: req.id.clone(),
+                                    items: 0,
+                                    errors: 0,
+                                }
+                                .to_line(),
+                            );
+                            close_root_span(conn, tracer, trace);
                         }
-                        .to_line(),
-                    ),
-                    Ok(expected) => {
-                        conn.inflight = Some(Inflight {
-                            id: req.id.clone(),
-                            expected,
-                            received: 0,
-                            errors: 0,
-                        });
-                    }
-                    Err(e) => error_reply(
-                        conn,
-                        &req.id.clone(),
-                        ItemError {
-                            code: e.code().to_string(),
-                            message: e.to_string(),
-                        },
-                    ),
-                },
-                RequestLine::Delta(req) => {
-                    match backend.submit_delta(conn.client, &req, &conn.sink) {
                         Ok(expected) => {
+                            metrics.verb_map.fetch_add(1, Ordering::Relaxed);
                             conn.inflight = Some(Inflight {
                                 id: req.id.clone(),
                                 expected,
                                 received: 0,
                                 errors: 0,
+                                trace,
                             });
                         }
-                        Err(e) => error_reply(
-                            conn,
-                            &req.id.clone(),
-                            ItemError {
-                                code: e.code().to_string(),
-                                message: e.to_string(),
-                            },
-                        ),
+                        Err(e) => {
+                            error_reply(
+                                conn,
+                                &req.id.clone(),
+                                ItemError {
+                                    code: e.code().to_string(),
+                                    message: e.to_string(),
+                                },
+                            );
+                            close_root_span(conn, tracer, trace);
+                        }
+                    }
+                }
+                RequestLine::Delta(req) => {
+                    let trace = observe_queue_wait(tracer, trace);
+                    let ctx = trace.map(|t| t.ctx());
+                    match backend.submit_delta(conn.client, &req, &conn.sink, ctx) {
+                        Ok(expected) => {
+                            metrics.verb_delta.fetch_add(1, Ordering::Relaxed);
+                            conn.inflight = Some(Inflight {
+                                id: req.id.clone(),
+                                expected,
+                                received: 0,
+                                errors: 0,
+                                trace,
+                            });
+                        }
+                        Err(e) => {
+                            error_reply(
+                                conn,
+                                &req.id.clone(),
+                                ItemError {
+                                    code: e.code().to_string(),
+                                    message: e.to_string(),
+                                },
+                            );
+                            close_root_span(conn, tracer, trace);
+                        }
                     }
                 }
             },
         }
+    }
+}
+
+/// Records the root `request` span of a request answered without going
+/// in-flight (empty batch or typed submit error) and arms the
+/// `write.drain` span.
+fn close_root_span(conn: &mut Conn, tracer: &Tracer, trace: Option<ReqTrace>) {
+    if let Some(t) = trace {
+        let buffered_ns = now_ns();
+        tracer.record_span_id(
+            t.root_span,
+            TraceCtx {
+                trace_id: t.trace_id,
+                parent_span: t.root_parent,
+            },
+            "request",
+            t.started_ns,
+            buffered_ns,
+        );
+        conn.drain_trace = Some((t, buffered_ns));
     }
 }
 
@@ -678,10 +865,11 @@ fn reject_pending_for_shutdown(conn: &mut Conn) {
     let e = ServiceError::ShuttingDown;
     while let Some(next) = conn.pending.pop_front() {
         let id = match &next {
-            Pending::Request(line) => match line.as_ref() {
+            Pending::Request(line, _) => match line.as_ref() {
                 RequestLine::Map(req) => req.id.clone(),
                 RequestLine::Delta(req) => req.id.clone(),
                 RequestLine::Stats(req) => req.id.clone(),
+                RequestLine::TraceDump(req) => req.id.clone(),
             },
             _ => String::new(),
         };

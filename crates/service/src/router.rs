@@ -39,12 +39,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hatt_core::structure_key;
+use hatt_trace::{now_ns, TraceCtx, Tracer};
 
 use crate::error::ServiceError;
 use crate::metrics::Metrics;
 use crate::proto::{
     ItemError, ItemPayload, MapDeltaRequest, MapItem, MapRequest, ResponseLine, ShardStats,
-    StatsReply, StatsRequest, TierStats,
+    StatsReply, StatsRequest, TierStats, TraceSummary,
 };
 use crate::reactor::{Backend, ConnSink, ReactorLimits};
 use crate::scheduler::ClientId;
@@ -104,6 +105,11 @@ impl HashRing {
 struct ShardJob {
     payload: ShardPayload,
     sink: ConnSink,
+    /// The originating request's trace context (parent = the router's
+    /// root request span). The forwarder mints a `route.forward` span
+    /// under it and stamps *that* span as the sub-request's `trace_ctx`
+    /// parent, linking the shard's span tree into the router's.
+    trace: Option<TraceCtx>,
 }
 
 enum ShardPayload {
@@ -142,6 +148,15 @@ impl ShardJob {
         match &self.payload {
             ShardPayload::Map { sub, .. } => sub.to_line(),
             ShardPayload::Delta(req) => req.to_line(),
+        }
+    }
+
+    /// Sets the sub-request's on-wire `trace_ctx` (the forward span the
+    /// shard's spans should hang off).
+    fn set_forward_ctx(&mut self, ctx: TraceCtx) {
+        match &mut self.payload {
+            ShardPayload::Map { sub, .. } => sub.trace = Some(ctx),
+            ShardPayload::Delta(req) => req.trace = Some(ctx),
         }
     }
 }
@@ -233,6 +248,7 @@ pub(crate) struct RouterBackend {
     ring: HashRing,
     metrics: Arc<Metrics>,
     limits: ReactorLimits,
+    tracer: Tracer,
     next_client: AtomicU64,
 }
 
@@ -244,6 +260,7 @@ impl RouterBackend {
         shard_addrs: &[String],
         shard_queue: usize,
         limits: ReactorLimits,
+        tracer: Tracer,
     ) -> std::io::Result<RouterBackend> {
         let metrics = Arc::new(Metrics::default());
         let mut shards = Vec::with_capacity(shard_addrs.len());
@@ -255,9 +272,10 @@ impl RouterBackend {
                 let queue = Arc::clone(&queue);
                 let counters = Arc::clone(&counters);
                 let metrics = Arc::clone(&metrics);
+                let tracer = tracer.clone();
                 std::thread::Builder::new()
                     .name(format!("hattd-fwd-{addr}"))
-                    .spawn(move || forwarder_loop(&addr, &queue, &counters, &metrics))?
+                    .spawn(move || forwarder_loop(&addr, &queue, &counters, &metrics, &tracer))?
             };
             shards.push(Shard {
                 addr: addr.clone(),
@@ -271,6 +289,7 @@ impl RouterBackend {
             shards,
             metrics,
             limits,
+            tracer,
             next_client: AtomicU64::new(0),
         })
     }
@@ -305,17 +324,27 @@ impl Backend for RouterBackend {
         &self.metrics
     }
 
+    fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     fn submit_map(
         &self,
         _client: ClientId,
         req: &MapRequest,
         sink: &ConnSink,
+        trace: Option<TraceCtx>,
     ) -> Result<usize, ServiceError> {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         // Group client indices by owning shard, preserving order.
+        let hash_start = trace.map(|_| now_ns()).unwrap_or_default();
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (index, h) in req.hamiltonians.iter().enumerate() {
             groups[self.ring.owner(structure_key(h))].push(index);
+        }
+        if let Some(ctx) = trace {
+            self.tracer
+                .record_span(ctx, "route.hash", hash_start, now_ns());
         }
         for (shard, orig) in self.shards.iter().zip(&groups) {
             if orig.is_empty() {
@@ -326,6 +355,7 @@ impl Backend for RouterBackend {
                 options: req.options,
                 n_modes: req.n_modes,
                 hamiltonians: orig.iter().map(|&i| req.hamiltonians[i].clone()).collect(),
+                trace: None,
             };
             let job = ShardJob {
                 payload: ShardPayload::Map {
@@ -333,6 +363,7 @@ impl Backend for RouterBackend {
                     orig: orig.clone(),
                 },
                 sink: sink.clone(),
+                trace,
             };
             if let Err(job) = shard.queue.try_push(job) {
                 self.shed(shard, &req.id, orig, &job.sink);
@@ -346,15 +377,24 @@ impl Backend for RouterBackend {
         _client: ClientId,
         req: &MapDeltaRequest,
         sink: &ConnSink,
+        trace: Option<TraceCtx>,
     ) -> Result<usize, ServiceError> {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         // Route by the *base* structure: that's the key under which the
         // owning shard's cache holds the ancestor tree the incremental
         // remap wants to reuse.
+        let hash_start = trace.map(|_| now_ns()).unwrap_or_default();
         let shard = &self.shards[self.ring.owner(structure_key(&req.hamiltonian))];
+        if let Some(ctx) = trace {
+            self.tracer
+                .record_span(ctx, "route.hash", hash_start, now_ns());
+        }
+        let mut sub = req.clone();
+        sub.trace = None;
         let job = ShardJob {
-            payload: ShardPayload::Delta(req.clone()),
+            payload: ShardPayload::Delta(sub),
             sink: sink.clone(),
+            trace,
         };
         if let Err(job) = shard.queue.try_push(job) {
             self.shed(shard, &req.id, &[0], &job.sink);
@@ -377,6 +417,13 @@ impl Backend for RouterBackend {
             .collect();
         StatsReply {
             id: req.id.clone(),
+            uptime_ms: self.metrics.uptime_ms(),
+            verbs: self.metrics.verb_counters(),
+            trace: self.tracer.is_enabled().then(|| TraceSummary {
+                capacity: self.tracer.capacity(),
+                recorded: self.tracer.spans_recorded(),
+                dropped: self.tracer.spans_dropped(),
+            }),
             queue_depth: self.shards.iter().map(|s| s.queue.len()).sum(),
             connections: self.metrics.connections_active.load(Ordering::SeqCst),
             connection_limit: self.limits.max_connections,
@@ -436,9 +483,15 @@ fn connect(addr: &str) -> std::io::Result<ShardConn> {
 /// The per-shard forwarder: pops jobs, relays them over a persistent
 /// connection (reconnecting once per job on transport errors), and
 /// translates item indices back to the client's.
-fn forwarder_loop(addr: &str, queue: &ShardQueue, counters: &ShardCounters, metrics: &Metrics) {
+fn forwarder_loop(
+    addr: &str,
+    queue: &ShardQueue,
+    counters: &ShardCounters,
+    metrics: &Metrics,
+    tracer: &Tracer,
+) {
     let mut conn: Option<ShardConn> = None;
-    while let Some(job) = queue.pop() {
+    while let Some(mut job) = queue.pop() {
         if job.sink.is_cancelled() {
             // The client hung up while the job sat in the queue: skip
             // the round trip entirely.
@@ -447,23 +500,37 @@ fn forwarder_loop(addr: &str, queue: &ShardQueue, counters: &ShardCounters, metr
                 .fetch_add(job.item_count() as u64, Ordering::Relaxed);
             continue;
         }
+        // The forward-hop span id is minted *before* the sub-request is
+        // serialized so the shard's root span can parent on it — the
+        // cross-process seam of a trace.
+        let forward = job.trace.filter(|_| tracer.is_enabled()).map(|ctx| {
+            let span_id = tracer.alloc_span_id();
+            job.set_forward_ctx(TraceCtx {
+                trace_id: ctx.trace_id,
+                parent_span: span_id,
+            });
+            (ctx, span_id, now_ns())
+        });
         // `answered` survives the retry so a mid-response reconnect
         // never double-sends an index (the shard's cache makes the
         // replayed sub-request cheap).
         let mut answered = vec![false; job.item_count()];
         let mut outcome = Err(ServiceError::Protocol("never attempted".into()));
-        for _attempt in 0..2 {
-            let io = match conn.as_mut() {
-                Some(io) => io,
-                None => match connect(addr) {
-                    Ok(fresh) => conn.insert(fresh),
-                    Err(e) => {
-                        outcome = Err(ServiceError::Io(e));
-                        continue;
-                    }
-                },
-            };
-            match forward_once(io, &job, &mut answered, counters) {
+        for attempt in 0..2 {
+            let retry_start = if attempt > 0 { now_ns() } else { 0 };
+            let result = (|| {
+                let io = match conn.as_mut() {
+                    Some(io) => io,
+                    None => conn.insert(connect(addr).map_err(ServiceError::Io)?),
+                };
+                forward_once(io, &job, &mut answered, counters)
+            })();
+            if attempt > 0 {
+                if let Some((ctx, span_id, _)) = forward {
+                    tracer.record_span(ctx.child_of(span_id), "route.retry", retry_start, now_ns());
+                }
+            }
+            match result {
                 Ok(()) => {
                     outcome = Ok(());
                     break;
@@ -474,6 +541,9 @@ fn forwarder_loop(addr: &str, queue: &ShardQueue, counters: &ShardCounters, metr
                     outcome = Err(e);
                 }
             }
+        }
+        if let Some((ctx, span_id, start)) = forward {
+            tracer.record_span_id(span_id, ctx, "route.forward", start, now_ns());
         }
         match outcome {
             Ok(()) => counters.unhealthy.store(false, Ordering::Relaxed),
@@ -631,6 +701,7 @@ mod tests {
                 orig: vec![],
             },
             sink: crate::reactor::test_sink(&sink_parts.0),
+            trace: None,
         };
         assert!(q.try_push(mk()).is_ok());
         assert!(q.try_push(mk()).is_ok());

@@ -54,6 +54,7 @@ use std::time::Instant;
 use hatt_core::{HattError, HattOptions, Mapper};
 use hatt_fermion::{HamiltonianDelta, MajoranaSum};
 use hatt_mappings::FermionMapping;
+use hatt_trace::{now_ns, TraceCtx, Tracer};
 
 use crate::error::ServiceError;
 use crate::metrics::Metrics;
@@ -128,12 +129,21 @@ enum Work {
     },
 }
 
+/// The trace identity a traced job carries through the queue: the
+/// request's context (parented on its root span) plus the enqueue
+/// timestamp, so dispatch can emit the `sched.wait` span retroactively.
+struct JobTrace {
+    ctx: TraceCtx,
+    enqueued_ns: u64,
+}
+
 /// One queued unit of work: a single item of some request.
 struct Job {
     id: String,
     options: HattOptions,
     work: Work,
     sink: JobSink,
+    trace: Option<JobTrace>,
 }
 
 /// Identifies one submission source (typically: one connection) for the
@@ -223,6 +233,7 @@ struct QueueState {
 struct Shared {
     mapper: Arc<Mapper>,
     metrics: Arc<Metrics>,
+    tracer: Tracer,
     workers: usize,
     capacity: usize,
     next_client: AtomicU64,
@@ -262,9 +273,20 @@ impl Scheduler {
     /// Fails when the dispatcher thread cannot be spawned (resource
     /// exhaustion).
     pub fn new(mapper: Arc<Mapper>, config: SchedulerConfig) -> std::io::Result<Scheduler> {
+        Self::with_tracer(mapper, config, Tracer::disabled())
+    }
+
+    /// [`Scheduler::new`] with a span collector: traced jobs record
+    /// their queue wait and dispatch under the request's trace.
+    pub(crate) fn with_tracer(
+        mapper: Arc<Mapper>,
+        config: SchedulerConfig,
+        tracer: Tracer,
+    ) -> std::io::Result<Scheduler> {
         let shared = Arc::new(Shared {
             mapper,
             metrics: Arc::new(Metrics::default()),
+            tracer,
             workers: config.workers.max(1),
             capacity: config.queue_capacity.max(1),
             next_client: AtomicU64::new(0),
@@ -316,6 +338,12 @@ impl Scheduler {
     /// The service counters shared between scheduler and server.
     pub(crate) fn metrics(&self) -> &Arc<Metrics> {
         &self.shared.metrics
+    }
+
+    /// The span collector shared between scheduler and server (disabled
+    /// unless the server was booted with tracing on).
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
     }
 
     /// The mapper every job maps through.
@@ -395,6 +423,7 @@ impl Scheduler {
                         expected_modes: req.n_modes,
                     },
                     sink: JobSink::Channel(tx.clone()),
+                    trace: None,
                 },
             );
             self.shared.not_empty.notify_all();
@@ -415,8 +444,10 @@ impl Scheduler {
         client: ClientId,
         req: &MapRequest,
         sink: &ConnSink,
+        trace: Option<TraceCtx>,
     ) -> Result<usize, ServiceError> {
         let options = req.options.unwrap_or(*self.shared.mapper.options());
+        let enqueued_ns = trace.map(|_| now_ns()).unwrap_or_default();
         let mut state = self.shared.lock();
         if state.shutdown {
             return Err(ServiceError::ShuttingDown);
@@ -436,6 +467,7 @@ impl Scheduler {
                         expected_modes: req.n_modes,
                     },
                     sink: JobSink::Conn(sink.clone()),
+                    trace: trace.map(|ctx| JobTrace { ctx, enqueued_ns }),
                 },
             );
         }
@@ -454,8 +486,10 @@ impl Scheduler {
         client: ClientId,
         req: &MapDeltaRequest,
         sink: &ConnSink,
+        trace: Option<TraceCtx>,
     ) -> Result<usize, ServiceError> {
         let options = req.options.unwrap_or(*self.shared.mapper.options());
+        let enqueued_ns = trace.map(|_| now_ns()).unwrap_or_default();
         let mut state = self.shared.lock();
         if state.shutdown {
             return Err(ServiceError::ShuttingDown);
@@ -473,6 +507,7 @@ impl Scheduler {
                     delta: req.delta.clone(),
                 },
                 sink: JobSink::Conn(sink.clone()),
+                trace: trace.map(|ctx| JobTrace { ctx, enqueued_ns }),
             },
         );
         self.shared.not_empty.notify_all();
@@ -536,7 +571,21 @@ fn dispatch_loop(shared: &Shared) {
         let inner_threads = (shared.workers / batch.len().min(shared.workers)).max(1);
         parallel::par_map_with(shared.workers, &batch, |job| {
             let start = Instant::now();
-            let item = run_job(&shared.mapper, job, inner_threads);
+            // A traced job emits its queue wait retroactively and runs
+            // under a dispatch scope, so every span the construction
+            // layer emits (cache probe, store I/O, selection steps)
+            // nests beneath this request's tree.
+            let item = match &job.trace {
+                Some(t) => {
+                    shared
+                        .tracer
+                        .record_span(t.ctx, "sched.wait", t.enqueued_ns, now_ns());
+                    shared.tracer.scope(t.ctx, "sched.dispatch", || {
+                        run_job(&shared.mapper, job, inner_threads)
+                    })
+                }
+                None => run_job(&shared.mapper, job, inner_threads),
+            };
             shared
                 .metrics
                 .observe_latency(&job.options.policy.to_string(), start.elapsed());

@@ -72,12 +72,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hatt_core::Mapper;
+use hatt_trace::{TraceCtx, Tracer};
 
 use crate::error::ServiceError;
 use crate::metrics::{ConnectionSlot, Metrics, BUCKET_BOUNDS_NS};
 use crate::proto::{
     ItemError, ItemPayload, LatencyBucket, MapDeltaRequest, MapDone, MapItem, MapRequest,
-    PolicyLatency, StatsReply, StatsRequest, TierStats,
+    PolicyLatency, StatsReply, StatsRequest, TierStats, TraceSummary,
 };
 use crate::reactor::{event_loop, worker_pair, Backend, ConnSink, ReactorLimits, WorkerShared};
 use crate::router::RouterBackend;
@@ -109,6 +110,13 @@ pub struct ServerConfig {
     /// connection stops reading new requests until the peer drains its
     /// responses (default 8 MiB) — the slow-reader backpressure knob.
     pub max_write_buffer: usize,
+    /// Enables the in-process tracing collector (`hattd --trace`).
+    /// Every `map`/`map_delta` request then records a span tree —
+    /// accept, frame parse, queue wait, cache probe/construction,
+    /// write drain — retrievable with the `trace_dump` verb and
+    /// summarised in `stats`. Off by default: a disabled tracer costs
+    /// one branch per instrumentation point.
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +127,7 @@ impl Default for ServerConfig {
             max_connections: 256,
             event_workers: 0,
             max_write_buffer: 8 << 20,
+            trace: false,
         }
     }
 }
@@ -141,6 +150,14 @@ impl ServerConfig {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
             .min(4)
+    }
+
+    fn tracer(&self) -> Tracer {
+        if self.trace {
+            Tracer::enabled(hatt_trace::DEFAULT_CAPACITY)
+        } else {
+            Tracer::disabled()
+        }
     }
 }
 
@@ -175,7 +192,11 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let mapper = Arc::new(mapper);
-        let scheduler = Scheduler::new(Arc::clone(&mapper), config.scheduler.clone())?;
+        let scheduler = Scheduler::with_tracer(
+            Arc::clone(&mapper),
+            config.scheduler.clone(),
+            config.tracer(),
+        )?;
         let backend: Arc<dyn Backend> = Arc::new(LocalBackend {
             scheduler,
             mapper,
@@ -205,6 +226,7 @@ impl Server {
             shard_addrs,
             config.scheduler.queue_capacity.max(1),
             config.reactor_limits(),
+            config.tracer(),
         )?);
         Self::bind_with(addr, backend, &config)
     }
@@ -394,13 +416,18 @@ impl Backend for LocalBackend {
         self.scheduler.metrics()
     }
 
+    fn tracer(&self) -> &Tracer {
+        self.scheduler.tracer()
+    }
+
     fn submit_map(
         &self,
         client: ClientId,
         req: &MapRequest,
         sink: &ConnSink,
+        trace: Option<TraceCtx>,
     ) -> Result<usize, ServiceError> {
-        self.scheduler.submit_conn(client, req, sink)
+        self.scheduler.submit_conn(client, req, sink, trace)
     }
 
     fn submit_delta(
@@ -408,8 +435,9 @@ impl Backend for LocalBackend {
         client: ClientId,
         req: &MapDeltaRequest,
         sink: &ConnSink,
+        trace: Option<TraceCtx>,
     ) -> Result<usize, ServiceError> {
-        self.scheduler.submit_delta_conn(client, req, sink)
+        self.scheduler.submit_delta_conn(client, req, sink, trace)
     }
 
     fn stats(&self, req: &StatsRequest) -> StatsReply {
@@ -449,8 +477,16 @@ fn stats_reply(scheduler: &Scheduler, req: &StatsRequest, limits: &ReactorLimits
             }
         })
         .collect();
+    let tracer = scheduler.tracer();
     StatsReply {
         id: req.id.clone(),
+        uptime_ms: metrics.uptime_ms(),
+        verbs: metrics.verb_counters(),
+        trace: tracer.is_enabled().then(|| TraceSummary {
+            capacity: tracer.capacity(),
+            recorded: tracer.spans_recorded(),
+            dropped: tracer.spans_dropped(),
+        }),
         queue_depth: scheduler.queue_len(),
         connections: metrics.connections_active.load(Ordering::SeqCst),
         connection_limit: limits.max_connections,

@@ -1,0 +1,180 @@
+//! Wire-format property tests for the tracing protocol surface:
+//! `decode ∘ encode = id` for `trace_ctx` contexts riding `map` /
+//! `map_delta` lines and for the `trace_dump` request/reply pair, plus
+//! totality on truncations and random byte mutations (a dropped
+//! connection or corrupted line must yield a typed error, never a
+//! panic).
+
+// Test-harness code unwraps freely; the no-panic contract covers library code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hatt_fermion::{HamiltonianDelta, MajoranaSum};
+use hatt_pauli::Complex64;
+use hatt_service::{
+    MapDeltaRequest, MapRequest, RequestLine, TraceDumpReply, TraceDumpRequest, TraceSpan,
+    TraceTree,
+};
+use hatt_trace::TraceCtx;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A wire-legal trace context: IDs are minted below `2^63` (the JSON
+/// integer range) and the trace ID is never zero.
+fn random_ctx(rng: &mut StdRng) -> TraceCtx {
+    TraceCtx {
+        trace_id: rng.gen_range(1..i64::MAX as u64),
+        // Zero = "root span" is a legal parent on the wire.
+        parent_span: rng.gen_range(0..i64::MAX as u64),
+    }
+}
+
+fn random_span(rng: &mut StdRng) -> TraceSpan {
+    let names = [
+        "request",
+        "queue.wait",
+        "construct",
+        "route.forward",
+        "write.drain",
+    ];
+    TraceSpan {
+        span_id: rng.gen_range(1..i64::MAX as u64),
+        parent_span: rng.gen_range(0..i64::MAX as u64),
+        name: names[rng.gen_range(0..names.len())].to_string(),
+        start_ns: rng.gen_range(0..i64::MAX as u64),
+        dur_ns: rng.gen_range(0..i64::MAX as u64),
+    }
+}
+
+fn random_reply(rng: &mut StdRng) -> TraceDumpReply {
+    let traces = (0..rng.gen_range(0usize..4))
+        .map(|i| TraceTree {
+            // Distinct ascending IDs keep the reply canonical (the
+            // reply encoder preserves trace order as-is).
+            trace_id: 1 + i as u64 * 7919 + rng.gen_range(0..1000),
+            spans: (0..rng.gen_range(1usize..5))
+                .map(|_| random_span(rng))
+                .collect(),
+        })
+        .collect();
+    TraceDumpReply {
+        id: format!("dump-{}", rng.gen_range(0..1000)),
+        enabled: rng.gen_bool(0.9),
+        traces,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn map_request_trace_ctx_roundtrips(seed in 0u64..1000, traced in proptest::bool::ANY) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut req = MapRequest::new("props", vec![MajoranaSum::uniform_singles(3)]);
+        req.trace = traced.then(|| random_ctx(&mut rng));
+        // Through the value tree…
+        let back = MapRequest::decode(&req.encode()).expect("decode value");
+        prop_assert_eq!(back.trace, req.trace);
+        // …and through actual bytes (the socket path).
+        let back = MapRequest::from_line(&req.to_line()).expect("decode text");
+        prop_assert_eq!(back.trace, req.trace);
+        prop_assert_eq!(back.id, req.id);
+        prop_assert_eq!(back.hamiltonians, req.hamiltonians);
+    }
+
+    #[test]
+    fn map_delta_trace_ctx_roundtrips(seed in 0u64..1000, traced in proptest::bool::ANY) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut delta = HamiltonianDelta::new(3);
+        delta.push_add(Complex64::real(0.5), &[0, 1, 2, 3]).unwrap();
+        let mut req = MapDeltaRequest::new("props", MajoranaSum::uniform_singles(3), delta);
+        req.trace = traced.then(|| random_ctx(&mut rng));
+        let back = MapDeltaRequest::from_line(&req.to_line()).expect("decode text");
+        prop_assert_eq!(back.trace, req.trace);
+        prop_assert_eq!(back.id, req.id);
+    }
+
+    #[test]
+    fn trace_dump_request_roundtrips(seed in 0u64..1000, capped in proptest::bool::ANY) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut req = TraceDumpRequest::new(format!("dump-{}", rng.gen_range(0..1000)));
+        if capped {
+            req = req.with_max_traces(rng.gen_range(0..64));
+        }
+        let back = TraceDumpRequest::decode(&req.encode()).expect("decode value");
+        prop_assert_eq!(&back, &req);
+        let back = TraceDumpRequest::from_line(&req.to_line()).expect("decode text");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn trace_dump_reply_roundtrips(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reply = random_reply(&mut rng);
+        let back = TraceDumpReply::decode(&reply.encode()).expect("decode value");
+        prop_assert_eq!(&back, &reply);
+        let back = TraceDumpReply::from_line(&reply.to_line()).expect("decode text");
+        prop_assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn mutated_trace_lines_decode_to_typed_errors_not_panics(
+        doc in 0usize..3,
+        pos in 0usize..4096,
+        byte in 0u8..=255,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let line = trace_corpus(&mut rng)[doc].1.clone();
+        let mut bytes = line.into_bytes();
+        let at = pos % bytes.len();
+        bytes[at] = byte;
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        // Ok (the mutation was benign) and Err are both fine; only a
+        // panic would fail the case.
+        let _ = RequestLine::from_line(&mutated);
+        let _ = TraceDumpReply::from_line(&mutated);
+    }
+}
+
+/// One valid rendered line per tracing wire surface: a traced `map`
+/// request, a capped `trace_dump_request`, and a populated reply.
+fn trace_corpus(rng: &mut StdRng) -> Vec<(&'static str, String)> {
+    let mut map = MapRequest::new("fuzz", vec![MajoranaSum::uniform_singles(3)]);
+    map.trace = Some(random_ctx(rng));
+    vec![
+        ("traced map_request", map.to_line()),
+        (
+            "trace_dump_request",
+            TraceDumpRequest::new("fuzz").with_max_traces(4).to_line(),
+        ),
+        ("trace_dump reply", random_reply(rng).to_line()),
+    ]
+}
+
+/// Truncation totality: every strict prefix of every tracing wire line
+/// must come back as a typed error.
+#[test]
+fn every_strict_prefix_of_a_trace_line_is_a_typed_error() {
+    let mut rng = StdRng::seed_from_u64(0x7ace);
+    for (name, line) in trace_corpus(&mut rng) {
+        let full_request = RequestLine::from_line(&line).is_ok();
+        let full_reply = TraceDumpReply::from_line(&line).is_ok();
+        assert!(
+            full_request || full_reply,
+            "{name}: the full line must decode"
+        );
+        for end in 0..line.len() {
+            if !line.is_char_boundary(end) {
+                continue;
+            }
+            let prefix = &line[..end];
+            assert!(
+                RequestLine::from_line(prefix).is_err()
+                    && TraceDumpReply::from_line(prefix).is_err(),
+                "{name}: prefix of {end}/{} bytes decoded",
+                line.len()
+            );
+        }
+    }
+}

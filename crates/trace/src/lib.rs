@@ -1,0 +1,552 @@
+//! # hatt-trace — structured tracing for the HATT service stack
+//!
+//! A dependency-free, std-only tracing subsystem. The pieces:
+//!
+//! - [`TraceCtx`] — the propagated identity of a request: a 63-bit
+//!   trace ID plus the span ID of the caller's active span. It rides
+//!   the `hatt-wire/1` protocol as an optional `trace_ctx` field, so a
+//!   request traced at the router carries one trace ID through
+//!   forwarder → shard → scheduler → construction and back.
+//! - [`Tracer`] — a cheap handle (an `Option<Arc<..>>`) shared by every
+//!   layer of a daemon. Disabled tracers record nothing and cost a
+//!   branch; enabled tracers drain spans into a bounded ring buffer
+//!   (oldest spans are evicted, never blocking the hot path).
+//! - [`SpanRecord`] — one completed span: `(trace_id, span_id,
+//!   parent_span, name, start_ns, dur_ns)`. Timestamps come from a
+//!   process-wide monotonic epoch ([`now_ns`]), so spans from one
+//!   process order correctly among themselves; cross-process trees are
+//!   joined by span *identity*, not by clock.
+//! - a thread-local **scope** ([`Tracer::scope`] + the free function
+//!   [`span`]) so deep layers (`MappingCache`, the construction kernel)
+//!   can be instrumented without threading a context through their
+//!   signatures. Inside a scope, `span(name, f)` times `f` and buffers
+//!   the record locally — one collector lock per scope, not per span.
+//!
+//! IDs are minted from `(process id, atomic counter)` and are unique
+//! across the daemons of one host without randomness, so span trees
+//! merged from a router and its shards never collide. All IDs fit in
+//! 63 bits (they survive a JSON `Int` round trip).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default collector capacity (spans retained) for `--trace` daemons.
+pub const DEFAULT_CAPACITY: usize = 16_384;
+
+/// How many buffered spans a thread-local scope holds before draining
+/// into the shared collector.
+const SCOPE_FLUSH: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Clock and identifiers
+// ---------------------------------------------------------------------------
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide monotonic epoch (first call).
+///
+/// Monotonic and cheap; comparable within one process only.
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Mints a host-unique 63-bit identifier: the process id in the high
+/// bits, a process-local counter in the low 40. Deterministic (no
+/// randomness), collision-free across the daemons of one host for any
+/// realistic span volume, and always representable as a JSON `Int`.
+fn mint_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let seq = NEXT.fetch_add(1, Ordering::Relaxed);
+    let pid = u64::from(std::process::id()) & 0x3f_ffff;
+    let id = (pid << 40) | (seq & 0xff_ffff_ffff);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// The propagated identity of a traced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Identifies the whole request tree, across processes.
+    pub trace_id: u64,
+    /// Span ID of the caller's active span (`0` = root of the trace).
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    /// A context rooted at `parent_span` within the same trace.
+    pub fn child_of(self, parent_span: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            parent_span,
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Unique span identifier (host-unique, see [`TraceCtx`]).
+    pub span_id: u64,
+    /// Parent span ID (`0` = root span of the trace).
+    pub parent_span: u64,
+    /// Static stage name (e.g. `"queue.wait"`, `"construct"`).
+    pub name: &'static str,
+    /// Start time, nanoseconds since this process's monotonic epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Collector
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Collector {
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Collector {
+    fn push_all(&self, spans: &[SpanRecord]) {
+        if spans.is_empty() {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        for span in spans {
+            if ring.len() == self.capacity {
+                ring.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.push_back(*span);
+        }
+        self.recorded
+            .fetch_add(spans.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A cheap, clonable tracing handle. Disabled by default; an enabled
+/// tracer shares one bounded ring-buffer collector among its clones.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Collector>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (every call is a cheap branch).
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer retaining up to `capacity` recent spans
+    /// (capacity is clamped to at least 16).
+    pub fn enabled(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Collector {
+                capacity: capacity.max(16),
+                ring: Mutex::new(VecDeque::new()),
+                recorded: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether this tracer records spans.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Retained-span capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |c| c.capacity)
+    }
+
+    /// Total spans recorded since creation (including later-evicted).
+    pub fn spans_recorded(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |c| c.recorded.load(Ordering::Relaxed))
+    }
+
+    /// Spans evicted from the ring because it was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |c| c.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Mints a fresh root context, or `None` when disabled.
+    pub fn new_trace(&self) -> Option<TraceCtx> {
+        self.inner.as_ref()?;
+        Some(TraceCtx {
+            trace_id: mint_id(),
+            parent_span: 0,
+        })
+    }
+
+    /// Allocates a span ID without recording anything yet. Use when
+    /// children must reference the span before it completes (e.g. a
+    /// request's root span, or a router forward hop whose sub-request
+    /// parents the shard-side tree).
+    pub fn alloc_span_id(&self) -> u64 {
+        if self.inner.is_some() {
+            mint_id()
+        } else {
+            0
+        }
+    }
+
+    /// Records a completed span with explicit timestamps under a
+    /// pre-allocated ID (see [`Tracer::alloc_span_id`]).
+    pub fn record_span_id(
+        &self,
+        span_id: u64,
+        ctx: TraceCtx,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        if let Some(collector) = &self.inner {
+            collector.push_all(&[SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id,
+                parent_span: ctx.parent_span,
+                name,
+                start_ns,
+                dur_ns: end_ns.saturating_sub(start_ns),
+            }]);
+        }
+    }
+
+    /// Records a completed span with explicit timestamps, returning its
+    /// freshly allocated ID (0 when disabled). This is the API for
+    /// stages measured retroactively — e.g. the reactor's accept,
+    /// frame-parse and queue-wait phases, which finish before or
+    /// without a thread-local scope.
+    pub fn record_span(
+        &self,
+        ctx: TraceCtx,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> u64 {
+        if self.inner.is_none() {
+            return 0;
+        }
+        let span_id = mint_id();
+        self.record_span_id(span_id, ctx, name, start_ns, end_ns);
+        span_id
+    }
+
+    /// Runs `f` inside a thread-local tracing scope: a span named
+    /// `name` is opened as a child of `ctx`, and every [`span`] call
+    /// made by `f` (however deep) nests beneath it, buffered locally
+    /// and drained into the collector when the scope ends. Disabled
+    /// tracers run `f` with no scope installed.
+    pub fn scope<T>(&self, ctx: TraceCtx, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let Some(collector) = self.inner.clone() else {
+            return f();
+        };
+        let scope_span = mint_id();
+        let previous = SCOPE.with(|slot| {
+            slot.borrow_mut().replace(ScopeState {
+                collector,
+                trace_id: ctx.trace_id,
+                current_parent: scope_span,
+                buf: Vec::new(),
+            })
+        });
+        // The guard restores the previous scope and flushes the buffer
+        // on drop, so a panic unwinding through `f` cannot leave a
+        // stale scope installed on this thread.
+        let _guard = ScopeGuard {
+            previous: Some(previous),
+            ctx,
+            name,
+            scope_span,
+            start_ns: now_ns(),
+        };
+        f()
+    }
+
+    /// Most-recent retained spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(collector) => {
+                let ring = collector.ring.lock().unwrap_or_else(|e| e.into_inner());
+                ring.iter().copied().collect()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local scope
+// ---------------------------------------------------------------------------
+
+struct ScopeState {
+    collector: Arc<Collector>,
+    trace_id: u64,
+    current_parent: u64,
+    buf: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<ScopeState>> = const { RefCell::new(None) };
+}
+
+struct ScopeGuard {
+    previous: Option<Option<ScopeState>>,
+    ctx: TraceCtx,
+    name: &'static str,
+    scope_span: u64,
+    start_ns: u64,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let state = SCOPE.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let state = slot.take();
+            *slot = self.previous.take().unwrap_or(None);
+            state
+        });
+        if let Some(mut state) = state {
+            state.buf.push(SpanRecord {
+                trace_id: self.ctx.trace_id,
+                span_id: self.scope_span,
+                parent_span: self.ctx.parent_span,
+                name: self.name,
+                start_ns: self.start_ns,
+                dur_ns: now_ns().saturating_sub(self.start_ns),
+            });
+            state.collector.push_all(&state.buf);
+        }
+    }
+}
+
+/// Times `f` as a span named `name` nested under the innermost active
+/// [`Tracer::scope`] on this thread. Without an active scope this is a
+/// no-op wrapper (one thread-local read), which is what makes it safe
+/// to leave in hot library code such as the construction kernel.
+pub fn span<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    // Reserve our place in the tree (and check for a scope) first…
+    let opened = SCOPE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let state = slot.as_mut()?;
+        let span_id = mint_id();
+        let parent = state.current_parent;
+        state.current_parent = span_id;
+        Some((span_id, parent, now_ns()))
+    });
+    let Some((span_id, parent, start)) = opened else {
+        return f();
+    };
+    // …then run `f` with the borrow released so nested spans work.
+    let out = f();
+    SCOPE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(state) = slot.as_mut() {
+            state.current_parent = parent;
+            state.buf.push(SpanRecord {
+                trace_id: state.trace_id,
+                span_id,
+                parent_span: parent,
+                name,
+                start_ns: start,
+                dur_ns: now_ns().saturating_sub(start),
+            });
+            if state.buf.len() >= SCOPE_FLUSH {
+                let drained: Vec<SpanRecord> = state.buf.drain(..).collect();
+                state.collector.push_all(&drained);
+            }
+        }
+    });
+    out
+}
+
+/// The span ID that a [`span`] call would currently nest under on this
+/// thread (`None` outside any scope). Lets mid-layer code parent an
+/// explicitly recorded span onto the implicit tree.
+pub fn current_ctx() -> Option<TraceCtx> {
+    SCOPE.with(|slot| {
+        slot.borrow().as_ref().map(|state| TraceCtx {
+            trace_id: state.trace_id,
+            parent_span: state.current_parent,
+        })
+    })
+}
+
+/// A captured snapshot of the calling thread's active scope — the
+/// send-across-threads form of the thread-local tree. Scoped worker
+/// threads (a batch fan-out) do not inherit thread-locals; capturing a
+/// handle before the fan-out and [`ScopeHandle::scope`]-ing inside each
+/// worker keeps their spans in the originating request's trace.
+#[derive(Debug, Clone)]
+pub struct ScopeHandle {
+    tracer: Tracer,
+    ctx: TraceCtx,
+}
+
+impl ScopeHandle {
+    /// Re-enters the captured trace on the current thread: runs `f`
+    /// inside a scope named `name`, parented where the capturing
+    /// thread's next [`span`] would have nested.
+    pub fn scope<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        self.tracer.scope(self.ctx, name, f)
+    }
+}
+
+/// Captures the calling thread's active scope as a sendable
+/// [`ScopeHandle`] (`None` outside any scope).
+pub fn capture() -> Option<ScopeHandle> {
+    SCOPE.with(|slot| {
+        slot.borrow().as_ref().map(|state| ScopeHandle {
+            tracer: Tracer {
+                inner: Some(Arc::clone(&state.collector)),
+            },
+            ctx: TraceCtx {
+                trace_id: state.trace_id,
+                parent_span: state.current_parent,
+            },
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.new_trace().is_none());
+        let ctx = TraceCtx {
+            trace_id: 7,
+            parent_span: 0,
+        };
+        assert_eq!(t.record_span(ctx, "x", 0, 10), 0);
+        let ran = t.scope(ctx, "outer", || span("inner", || 42));
+        assert_eq!(ran, 42);
+        assert!(t.snapshot().is_empty());
+        assert_eq!(t.spans_recorded(), 0);
+    }
+
+    #[test]
+    fn scope_nests_spans_under_one_trace() {
+        let t = Tracer::enabled(64);
+        let ctx = t.new_trace().expect("enabled");
+        assert_ne!(ctx.trace_id, 0);
+        let out = t.scope(ctx, "outer", || {
+            span("mid", || span("leaf", || 5)) + span("sibling", || 1)
+        });
+        assert_eq!(out, 6);
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().all(|s| s.trace_id == ctx.trace_id));
+        let outer = spans.iter().find(|s| s.name == "outer").expect("outer");
+        let mid = spans.iter().find(|s| s.name == "mid").expect("mid");
+        let leaf = spans.iter().find(|s| s.name == "leaf").expect("leaf");
+        let sibling = spans.iter().find(|s| s.name == "sibling").expect("sib");
+        assert_eq!(outer.parent_span, ctx.parent_span);
+        assert_eq!(mid.parent_span, outer.span_id);
+        assert_eq!(leaf.parent_span, mid.span_id);
+        assert_eq!(sibling.parent_span, outer.span_id);
+        // Children complete (and are buffered) before their parent.
+        assert!(
+            spans.iter().position(|s| s.name == "leaf")
+                < spans.iter().position(|s| s.name == "outer")
+        );
+    }
+
+    #[test]
+    fn span_outside_any_scope_is_a_no_op() {
+        assert_eq!(span("orphan", || 3), 3);
+        assert!(current_ctx().is_none());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Tracer::enabled(16);
+        let ctx = t.new_trace().expect("enabled");
+        for _ in 0..40 {
+            t.record_span(ctx, "tick", 0, 1);
+        }
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 16);
+        assert_eq!(t.spans_recorded(), 40);
+        assert_eq!(t.spans_dropped(), 24);
+    }
+
+    #[test]
+    fn explicit_spans_saturate_instead_of_underflowing() {
+        let t = Tracer::enabled(16);
+        let ctx = t.new_trace().expect("enabled");
+        let id = t.record_span(ctx, "clock-skew", 100, 50);
+        assert_ne!(id, 0);
+        let spans = t.snapshot();
+        assert_eq!(spans[0].dur_ns, 0);
+        assert_eq!(spans[0].span_id, id);
+    }
+
+    #[test]
+    fn ids_fit_in_63_bits_and_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let id = mint_id();
+            assert!(id <= i64::MAX as u64);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn captured_handle_carries_the_trace_across_threads() {
+        let t = Tracer::enabled(64);
+        let ctx = t.new_trace().expect("enabled");
+        t.scope(ctx, "outer", || {
+            let handle = capture().expect("inside a scope");
+            std::thread::spawn(move || handle.scope("worker", || span("leaf", || ())))
+                .join()
+                .expect("worker thread");
+        });
+        let spans = t.snapshot();
+        let outer = spans.iter().find(|s| s.name == "outer").expect("outer");
+        let worker = spans.iter().find(|s| s.name == "worker").expect("worker");
+        let leaf = spans.iter().find(|s| s.name == "leaf").expect("leaf");
+        assert_eq!(worker.trace_id, ctx.trace_id);
+        assert_eq!(worker.parent_span, outer.span_id);
+        assert_eq!(leaf.parent_span, worker.span_id);
+        assert!(capture().is_none(), "no scope outside");
+    }
+
+    #[test]
+    fn nested_scopes_restore_the_outer_scope() {
+        let t = Tracer::enabled(64);
+        let outer_ctx = t.new_trace().expect("enabled");
+        let inner_ctx = t.new_trace().expect("enabled");
+        t.scope(outer_ctx, "outer", || {
+            t.scope(inner_ctx, "inner", || span("deep", || ()));
+            span("after", || ());
+        });
+        let spans = t.snapshot();
+        let deep = spans.iter().find(|s| s.name == "deep").expect("deep");
+        let after = spans.iter().find(|s| s.name == "after").expect("after");
+        assert_eq!(deep.trace_id, inner_ctx.trace_id);
+        assert_eq!(after.trace_id, outer_ctx.trace_id);
+    }
+}

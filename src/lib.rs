@@ -16,6 +16,7 @@ pub use hatt_mappings as mappings;
 pub use hatt_pauli as pauli;
 pub use hatt_service as service;
 pub use hatt_sim as sim;
+pub use hatt_trace as trace;
 
 /// Commonly used items, re-exported for `use hatt::prelude::*`.
 pub mod prelude {

@@ -16,7 +16,8 @@ use hatt::mappings::{
 use hatt::pauli::json::Json;
 use hatt::pauli::{Complex64, PauliSum};
 use hatt::service::{
-    MapDeltaRequest, MapDone, MapRequest, RequestLine, ResponseLine, StatsRequest,
+    MapDeltaRequest, MapDone, MapRequest, RequestLine, ResponseLine, StatsRequest, TraceDumpReply,
+    TraceDumpRequest, TraceSpan, TraceTree,
 };
 use hatt::sim::spectrum;
 use proptest::prelude::*;
@@ -93,7 +94,7 @@ proptest! {
 
     #[test]
     fn mutated_wire_lines_decode_to_typed_errors_not_panics(
-        doc in 0usize..9,
+        doc in 0usize..11,
         pos in 0usize..4096,
         byte in 0u8..=255,
     ) {
@@ -210,6 +211,38 @@ fn wire_corpus() -> Vec<(&'static str, String, WireDecoder)> {
             StatsRequest::new("fuzz").to_line(),
             |t| {
                 RequestLine::from_line(t)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            },
+        ),
+        (
+            "trace_dump_request",
+            TraceDumpRequest::new("fuzz").with_max_traces(4).to_line(),
+            |t| {
+                RequestLine::from_line(t)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            },
+        ),
+        (
+            "trace_dump",
+            TraceDumpReply {
+                id: "fuzz".into(),
+                enabled: true,
+                traces: vec![TraceTree {
+                    trace_id: 7,
+                    spans: vec![TraceSpan {
+                        span_id: 11,
+                        parent_span: 0,
+                        name: "request".into(),
+                        start_ns: 100,
+                        dur_ns: 250,
+                    }],
+                }],
+            }
+            .to_line(),
+            |t| {
+                TraceDumpReply::from_line(t)
                     .map(|_| ())
                     .map_err(|e| e.to_string())
             },

@@ -1,0 +1,173 @@
+//! End-to-end tracing through the sharded topology: one traced `map`
+//! request entering a router in front of two `--trace` shard daemons
+//! must come back as a *single* trace — one trace ID whose spans cover
+//! the router's accept/parse/hash/forward stages and the serving
+//! shard's queue/construction/write stages, stitched across processes
+//! by the forward-hop span the router stamps into the sub-request's
+//! `trace_ctx`.
+
+// Test-harness code unwraps freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use hatt::core::Mapper;
+use hatt::fermion::MajoranaSum;
+use hatt::service::{client, MapRequest, Server, ServerConfig, TraceSpan};
+
+/// Boots two traced shards and a traced router over them.
+fn boot_traced_topology() -> (Server, Server, Server) {
+    let config = ServerConfig {
+        trace: true,
+        ..ServerConfig::default()
+    };
+    let shard_a = Server::bind("127.0.0.1:0", Mapper::new(), config.clone()).expect("bind shard a");
+    let shard_b = Server::bind("127.0.0.1:0", Mapper::new(), config.clone()).expect("bind shard b");
+    let shard_addrs = vec![
+        shard_a.local_addr().to_string(),
+        shard_b.local_addr().to_string(),
+    ];
+    let router = Server::bind_router("127.0.0.1:0", &shard_addrs, config).expect("bind router");
+    (router, shard_a, shard_b)
+}
+
+/// Merges every daemon's dump into per-trace span lists. Spans recorded
+/// by different daemons share the trace ID, so concatenation joins the
+/// cross-process tree.
+fn merged_traces(addrs: &[SocketAddr]) -> BTreeMap<u64, Vec<TraceSpan>> {
+    let mut merged: BTreeMap<u64, Vec<TraceSpan>> = BTreeMap::new();
+    for addr in addrs {
+        let dump = client::trace_dump(addr, "trace-it").expect("trace_dump answers");
+        assert!(dump.enabled, "daemon at {addr} must be tracing");
+        for tree in dump.traces {
+            merged.entry(tree.trace_id).or_default().extend(tree.spans);
+        }
+    }
+    merged
+}
+
+#[test]
+fn a_traced_map_through_two_shards_is_one_trace_with_nested_spans() {
+    let (router, shard_a, shard_b) = boot_traced_topology();
+    let addrs = vec![
+        router.local_addr(),
+        shard_a.local_addr(),
+        shard_b.local_addr(),
+    ];
+
+    let req = MapRequest::new("trace-it", vec![MajoranaSum::uniform_singles(6)]);
+    let reply = client::request(router.local_addr(), &req).expect("routed map");
+    assert_eq!(reply.done.errors, 0);
+
+    // The router's write-drain span lands moments after the client reads
+    // `map_done`; poll until the merged dumps carry the full tree.
+    let required = [
+        "request",
+        "accept",
+        "frame.parse",
+        "queue.wait",
+        "route.hash",
+        "route.forward",
+        "construct",
+        "write.drain",
+    ];
+    let mut traces = BTreeMap::new();
+    for _ in 0..200 {
+        traces = merged_traces(&addrs);
+        let names: BTreeSet<&str> = traces.values().flatten().map(|s| s.name.as_str()).collect();
+        if required.iter().all(|n| names.contains(n)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    assert_eq!(
+        traces.len(),
+        1,
+        "one traced request must yield exactly one trace ID, got {:?}",
+        traces.keys().collect::<Vec<_>>()
+    );
+    let (trace_id, spans) = traces.into_iter().next().unwrap();
+    assert_ne!(trace_id, 0);
+
+    let names: BTreeSet<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    for name in required {
+        assert!(names.contains(name), "missing span {name}: {names:?}");
+    }
+
+    // The acceptance bar: at least six spans nested under the trace.
+    let nested = spans.iter().filter(|s| s.parent_span != 0).count();
+    assert!(nested >= 6, "only {nested} nested spans: {spans:?}");
+
+    // Exactly one root (the router's request span) and no orphans: every
+    // non-root parent must itself be a recorded span — including the
+    // cross-process seam, where the shard's request span parents on the
+    // router's forward-hop span.
+    let ids: BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    let roots = spans.iter().filter(|s| s.parent_span == 0).count();
+    assert_eq!(roots, 1, "exactly one root span: {spans:?}");
+    for s in &spans {
+        assert!(
+            s.parent_span == 0 || ids.contains(&s.parent_span),
+            "orphaned span {s:?}"
+        );
+    }
+
+    // The shard-side construction is stitched under the router's
+    // forward hop (transitively): walk construct's ancestry to a
+    // route.forward span.
+    let by_id: BTreeMap<u64, &TraceSpan> = spans.iter().map(|s| (s.span_id, s)).collect();
+    let construct = spans.iter().find(|s| s.name == "construct").unwrap();
+    let mut cursor = construct.parent_span;
+    let mut crossed_forward = false;
+    while cursor != 0 {
+        let span = by_id[&cursor];
+        if span.name == "route.forward" {
+            crossed_forward = true;
+        }
+        cursor = span.parent_span;
+    }
+    assert!(
+        crossed_forward,
+        "construct must hang under the router's forward hop: {spans:?}"
+    );
+
+    router.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
+}
+
+#[test]
+fn untraced_daemons_answer_trace_dump_with_enabled_false() {
+    let server = Server::bind("127.0.0.1:0", Mapper::new(), ServerConfig::default())
+        .expect("bind ephemeral port");
+    let dump = client::trace_dump(server.local_addr(), "off").expect("trace_dump answers");
+    assert!(!dump.enabled);
+    assert!(dump.traces.is_empty());
+
+    // And stats omits the trace summary entirely when tracing is off.
+    let stats = client::stats(server.local_addr(), "off").expect("stats answers");
+    assert!(stats.trace.is_none());
+    server.shutdown();
+}
+
+#[test]
+fn stats_counts_verbs_uptime_and_the_trace_summary() {
+    let config = ServerConfig {
+        trace: true,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Mapper::new(), config).expect("bind ephemeral port");
+    let req = MapRequest::new("s", vec![MajoranaSum::uniform_singles(4)]);
+    client::request(server.local_addr(), &req).expect("map");
+
+    let stats = client::stats(server.local_addr(), "s").expect("stats answers");
+    assert_eq!(stats.verbs.map, 1);
+    assert_eq!(stats.verbs.stats, 1, "this probe counts itself");
+    let trace = stats.trace.expect("trace summary present under --trace");
+    assert!(trace.capacity > 0);
+    assert!(trace.recorded > 0, "the traced map must record spans");
+    server.shutdown();
+}
